@@ -1,0 +1,205 @@
+(* Command-line front door to the limit-study framework.
+
+     loopapalooza list                      — benchmark registry
+     loopapalooza run <file|bench>         — execute a Looplang program
+     loopapalooza analyze <file|bench>     — limit study under one config
+     loopapalooza sweep <file|bench>       — the full Figure-2/3 config ladder
+     loopapalooza census <file|bench>      — Table-I census of the program
+     loopapalooza dump-ir <file|bench>     — canonicalized SSA dump
+*)
+
+open Cmdliner
+
+let read_program target =
+  match Suites.Suite.find target with
+  | Some b -> b.Suites.Suite.source
+  | None ->
+      if Sys.file_exists target then In_channel.with_open_text target In_channel.input_all
+      else
+        raise
+          (Invalid_argument
+             (Printf.sprintf "%S is neither a benchmark name nor a file" target))
+
+let target_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROGRAM" ~doc:"A registered benchmark name or a Looplang source file.")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run the constant-folding/DCE/CFG-cleanup pipeline before analysis.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int 500_000_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Abort after $(docv) interpreted instructions.")
+
+let handle_errors f =
+  try
+    f ();
+    0
+  with
+  | Frontend.Compile_error e ->
+      Printf.eprintf "compile error: %s\n" (Frontend.error_to_string e);
+      1
+  | Interp.Rvalue.Runtime_error msg ->
+      Printf.eprintf "runtime error: %s\n" msg;
+      1
+  | Invalid_argument msg | Loopa.Config.Bad_config msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    let t = Report.Table.create [ "name"; "suite"; "description" ] in
+    List.iter
+      (fun (b : Suites.Suite.benchmark) ->
+        Report.Table.add_row t
+          [
+            b.Suites.Suite.name;
+            Suites.Suite.category_name b.Suites.Suite.category;
+            b.Suites.Suite.descr;
+          ])
+      (Suites.Suite.all ());
+    print_endline (Report.Table.render t);
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the registered benchmark suites.")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run target fuel =
+    handle_errors (fun () ->
+        let out = Loopa.Driver.run_source ~fuel (read_program target) in
+        print_string out.Interp.Machine.output;
+        Printf.printf "[%d dynamic IR instructions, %d heap words]\n"
+          out.Interp.Machine.clock out.Interp.Machine.mem_words)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a Looplang program on the reference interpreter.")
+    Term.(const run $ target_arg $ fuel_arg)
+
+(* ---- analyze ---- *)
+
+let config_arg =
+  Arg.(
+    value
+    & opt string "reduc1-dep1-fn2 HELIX"
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:
+          "Configuration: $(b,reducR-depD-fnF) plus a model name (DOALL, PDOALL or \
+           HELIX), e.g. \"reduc1-dep2-fn2 PDOALL\".")
+
+let loops_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "loops" ] ~docv:"N" ~doc:"Show the $(docv) costliest loops (0 = none).")
+
+let print_report ~show_loops (r : Loopa.Evaluate.report) =
+  Printf.printf "config        : %s\n" (Loopa.Config.name r.Loopa.Evaluate.config);
+  Printf.printf "serial cost   : %d dynamic IR instructions\n" r.Loopa.Evaluate.total_cost;
+  Printf.printf "parallel cost : %.0f\n" r.Loopa.Evaluate.parallel_cost;
+  Printf.printf "limit speedup : %.2fx\n" r.Loopa.Evaluate.speedup;
+  Printf.printf "coverage      : %.1f%% of instructions inside parallel loops\n"
+    r.Loopa.Evaluate.coverage_pct;
+  if show_loops > 0 then begin
+    let t =
+      Report.Table.create
+        [ "loop"; "depth"; "invocations"; "parallel"; "serial"; "final"; "speedup" ]
+    in
+    List.iteri
+      (fun i (l : Loopa.Evaluate.loop_result) ->
+        if i < show_loops then
+          Report.Table.add_row t
+            [
+              Printf.sprintf "%s/bb%d" l.Loopa.Evaluate.fname l.Loopa.Evaluate.header;
+              string_of_int l.Loopa.Evaluate.depth;
+              string_of_int l.Loopa.Evaluate.invocations;
+              string_of_int l.Loopa.Evaluate.parallel_invocations;
+              Printf.sprintf "%.0f" l.Loopa.Evaluate.serial_cost;
+              Printf.sprintf "%.0f" l.Loopa.Evaluate.final_cost;
+              Printf.sprintf "%.2fx"
+                (l.Loopa.Evaluate.serial_cost /. Float.max 1.0 l.Loopa.Evaluate.final_cost);
+            ])
+      r.Loopa.Evaluate.loops;
+    print_newline ();
+    print_endline (Report.Table.render t)
+  end
+
+let analyze_cmd =
+  let run target config fuel loops optimize =
+    handle_errors (fun () ->
+        let cfg = Loopa.Config.of_string config in
+        let a = Loopa.Driver.analyze_source ~fuel ~optimize (read_program target) in
+        print_report ~show_loops:loops (Loopa.Driver.evaluate a cfg))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the limit study on a program under one configuration.")
+    Term.(const run $ target_arg $ config_arg $ fuel_arg $ loops_arg $ optimize_arg)
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run target fuel =
+    handle_errors (fun () ->
+        let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
+        let t = Report.Table.create [ "configuration"; "speedup"; "coverage %" ] in
+        List.iter
+          (fun cfg ->
+            let r = Loopa.Driver.evaluate a cfg in
+            Report.Table.add_row t
+              [
+                Loopa.Config.name cfg;
+                Printf.sprintf "%.2f" r.Loopa.Evaluate.speedup;
+                Printf.sprintf "%.1f" r.Loopa.Evaluate.coverage_pct;
+              ])
+          Loopa.Config.figure_ladder;
+        print_endline (Report.Table.render t))
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Evaluate the full Figure-2/3 configuration ladder.")
+    Term.(const run $ target_arg $ fuel_arg)
+
+(* ---- census ---- *)
+
+let census_cmd =
+  let run target fuel =
+    handle_errors (fun () ->
+        let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
+        Format.printf "%a@." Loopa.Taxonomy.pp
+          (Loopa.Taxonomy.of_profile a.Loopa.Driver.profile))
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:"Print the Table-I census of ordering constraints for a program.")
+    Term.(const run $ target_arg $ fuel_arg)
+
+(* ---- dump-ir ---- *)
+
+let dump_ir_cmd =
+  let run target optimize =
+    handle_errors (fun () ->
+        let m = Frontend.compile_exn (read_program target) in
+        if optimize then Opt.Pipeline.run_module m;
+        Cfg.Loop_simplify.run_module m;
+        Ir.Verifier.check_module_exn m;
+        print_string (Ir.Pp.module_to_string m))
+  in
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc:"Print the canonicalized SSA IR of a program.")
+    Term.(const run $ target_arg $ optimize_arg)
+
+let () =
+  let doc = "Loopapalooza: a compiler-driven limit study of loop-level parallelism" in
+  let info = Cmd.info "loopapalooza" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; analyze_cmd; sweep_cmd; census_cmd; dump_ir_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_benchmark.ml: List Loopa Printf Report

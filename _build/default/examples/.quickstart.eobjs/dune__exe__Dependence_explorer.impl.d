@@ -1,0 +1,1 @@
+examples/dependence_explorer.ml: Array Frontend Hashtbl In_channel List Loopa Printf Suites Sys

@@ -1,0 +1,1 @@
+examples/value_prediction_demo.ml: Fun Int64 List Loopa Predictors Printf

@@ -1,0 +1,74 @@
+(* Value prediction (paper §III-C): how the four predictors behave on
+   characteristic value streams, and how -dep2 turns a predictable register
+   LCD from a serializer into a non-event.
+
+     dune exec examples/value_prediction_demo.exe
+*)
+
+let show_stream name stream =
+  Printf.printf "%-34s" name;
+  List.iter
+    (fun mk ->
+      let p = mk () in
+      Printf.printf "  %s %4.0f%%" p.Predictors.Predictor.name
+        (100.0 *. Predictors.Predictor.accuracy p stream))
+    [
+      Predictors.Last_value.create;
+      Predictors.Stride.create;
+      Predictors.Two_delta.create;
+      (fun () -> Predictors.Fcm.create ());
+    ];
+  let h = Predictors.Hybrid.create () in
+  let hits = List.filter Fun.id (Predictors.Hybrid.hits h stream) in
+  Printf.printf "  hybrid %4.0f%%\n"
+    (100.0 *. float_of_int (List.length hits) /. float_of_int (List.length stream));
+  ()
+
+let () =
+  print_endline "predictor accuracy per stream (the hybrid is their union):";
+  show_stream "constant 7 7 7 ..." (List.init 64 (fun _ -> 7L));
+  show_stream "stride 3 6 9 12 ..." (List.init 64 (fun i -> Int64.of_int (3 * i)));
+  show_stream "stride with one glitch"
+    (List.init 64 (fun i -> Int64.of_int (if i = 20 then 999 else 3 * i)));
+  show_stream "period-4 pattern 1 5 2 9 ..."
+    (List.init 64 (fun i -> Int64.of_int (List.nth [ 1; 5; 2; 9 ] (i mod 4))));
+  show_stream "lcg (chaotic)"
+    (let s = ref 7L in
+     List.init 64 (fun _ ->
+         s := Int64.logand (Int64.add (Int64.mul !s 1103515245L) 12345L) 2147483647L;
+         !s));
+
+  (* The same story at the whole-program level: [cursor] advances by a stride
+     fetched from memory, so SCEV cannot compute it (not an induction
+     variable) — but a stride predictor nails it, so -dep2 parallelizes. *)
+  let program =
+    {|
+fn main() -> int {
+  var stride_tab: int[] = new int[1];
+  stride_tab[0] = 5;
+  var out: int[] = new int[600];
+  var cursor: int = 0;
+  for (var i: int = 0; i < 600; i = i + 1) {
+    cursor = cursor + stride_tab[0];   // non-computable, but predictable
+    out[i] = (cursor * 40503) & 4095;
+  }
+  print_int(out[599]);
+  return 0;
+}
+|}
+  in
+  let a = Loopa.Driver.analyze_source program in
+  print_newline ();
+  List.iter
+    (fun cfg ->
+      let r = Loopa.Driver.evaluate a cfg in
+      Printf.printf "%-28s -> %.2fx\n" (Loopa.Config.name cfg) r.Loopa.Evaluate.speedup)
+    [
+      Loopa.Config.of_string "reduc0-dep0-fn0 PDOALL";
+      Loopa.Config.of_string "reduc0-dep2-fn0 PDOALL";
+      Loopa.Config.of_string "reduc0-dep3-fn0 PDOALL";
+    ];
+  print_endline
+    "\ndep0 serializes on the cursor; dep2's hybrid predictor (stride) removes\n\
+     nearly every instance, matching the perfect predictor dep3 — the paper's\n\
+     'predictable non-computable register LCD' category in action."

@@ -1,0 +1,1 @@
+lib/cfg/loop_simplify.ml: Array Dom Graph Ir List Loopinfo

@@ -1,0 +1,1 @@
+lib/cfg/loopinfo.ml: Array Dom Graph Hashtbl Int List Option Set

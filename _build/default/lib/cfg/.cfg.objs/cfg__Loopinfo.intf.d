@@ -1,0 +1,1 @@
+lib/cfg/loopinfo.mli: Dom Graph Set

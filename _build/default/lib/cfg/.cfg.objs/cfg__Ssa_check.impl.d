@@ -1,0 +1,1 @@
+lib/cfg/ssa_check.ml: Array Dom Format Graph Hashtbl Ir List Printf

@@ -1,0 +1,1 @@
+lib/cfg/ssa_check.mli: Format Ir

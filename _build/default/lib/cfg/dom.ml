@@ -1,0 +1,74 @@
+(* Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm
+   ("A Simple, Fast Dominance Algorithm"). Operates on reverse postorder
+   indices for the intersect walk. *)
+
+type t = {
+  cfg : Graph.t;
+  idom : int array; (* block id -> immediate dominator block id; entry -> itself *)
+  children : int list array; (* dominator-tree children *)
+  depth : int array; (* depth in the dominator tree, entry = 0 *)
+}
+
+let compute (cfg : Graph.t) : t =
+  let n = Graph.num_blocks cfg in
+  let entry = Graph.entry cfg in
+  let rpo = Array.of_list (Graph.reachable_blocks cfg) in
+  let rpo_pos = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_pos.(b) <- i) rpo;
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(entry) <- entry;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_pos.(!a) > rpo_pos.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_pos.(!b) > rpo_pos.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed_preds =
+            List.filter (fun p -> idom.(p) >= 0) (Graph.predecessors cfg b)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let children = Array.make n [] in
+  let depth = Array.make n 0 in
+  Array.iter
+    (fun b -> if b <> entry && idom.(b) >= 0 then children.(idom.(b)) <- b :: children.(idom.(b)))
+    rpo;
+  (* rpo order guarantees parents are visited before children *)
+  Array.iter (fun b -> if b <> entry && idom.(b) >= 0 then depth.(b) <- depth.(idom.(b)) + 1) rpo;
+  Array.iteri (fun i cs -> children.(i) <- List.rev cs) children;
+  { cfg; idom; children; depth }
+
+let idom t b = if b = Graph.entry t.cfg then None else if t.idom.(b) < 0 then None else Some t.idom.(b)
+
+let children t b = t.children.(b)
+
+let depth t b = t.depth.(b)
+
+(* [dominates t a b] : does block [a] dominate block [b]? (reflexive) *)
+let dominates t a b =
+  let rec walk b = if b = a then true else match idom t b with None -> false | Some p -> walk p
+  in
+  t.idom.(b) >= 0 && walk b
+
+let strictly_dominates t a b = a <> b && dominates t a b

@@ -1,0 +1,21 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm
+    ("A Simple, Fast Dominance Algorithm"). *)
+
+type t
+
+val compute : Graph.t -> t
+
+(** Immediate dominator; [None] for the entry block and unreachable blocks. *)
+val idom : t -> int -> int option
+
+(** Dominator-tree children. *)
+val children : t -> int -> int list
+
+(** Depth in the dominator tree; entry = 0. *)
+val depth : t -> int -> int
+
+(** [dominates t a b]: does block [a] dominate block [b]? Reflexive; false
+    for unreachable [b]. *)
+val dominates : t -> int -> int -> bool
+
+val strictly_dominates : t -> int -> int -> bool

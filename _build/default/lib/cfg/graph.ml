@@ -1,0 +1,61 @@
+(* Control-flow graph view of a function: successor/predecessor arrays and
+   depth-first orders. Rebuilt on demand after transforms. *)
+
+type t = {
+  fn : Ir.Func.t;
+  succ : int list array; (* by block id *)
+  pred : int list array;
+  rpo : int array; (* reverse postorder of reachable blocks, entry first *)
+  rpo_index : int array; (* block id -> position in rpo, -1 if unreachable *)
+}
+
+let build (fn : Ir.Func.t) : t =
+  let n = Ir.Func.num_blocks fn in
+  let succ = Array.make n [] in
+  let pred = Array.make n [] in
+  for b = 0 to n - 1 do
+    succ.(b) <- Ir.Func.successors fn b
+  done;
+  Array.iteri (fun b ss -> List.iter (fun s -> pred.(s) <- b :: pred.(s)) ss) succ;
+  Array.iteri (fun s ps -> pred.(s) <- List.rev ps) pred;
+  (* postorder DFS from entry *)
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs succ.(b);
+      post := b :: !post
+    end
+  in
+  if n > 0 then dfs fn.Ir.Func.entry;
+  let rpo = Array.of_list !post in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  { fn; succ; pred; rpo; rpo_index }
+
+let successors t b = t.succ.(b)
+
+let predecessors t b = t.pred.(b)
+
+let num_blocks t = Array.length t.succ
+
+let is_reachable t b = t.rpo_index.(b) >= 0
+
+let reachable_blocks t = Array.to_list t.rpo
+
+(* Blocks never reached from entry; transforms may want to ignore them. *)
+let unreachable_blocks t =
+  let out = ref [] in
+  for b = num_blocks t - 1 downto 0 do
+    if not (is_reachable t b) then out := b :: !out
+  done;
+  !out
+
+let entry t = t.fn.Ir.Func.entry
+
+(* An edge a->b is critical if a has several successors and b several
+   predecessors; loop-simplify must split such edges to create dedicated
+   preheaders/exits. *)
+let is_critical_edge t a b =
+  List.length t.succ.(a) > 1 && List.length t.pred.(b) > 1

@@ -1,0 +1,26 @@
+(** Control-flow-graph view of a function: successor/predecessor lists and
+    reverse postorder. Rebuild after any transform; views do not track
+    mutation. *)
+
+type t
+
+val build : Ir.Func.t -> t
+
+val successors : t -> int -> int list
+
+val predecessors : t -> int -> int list
+
+val num_blocks : t -> int
+
+val is_reachable : t -> int -> bool
+
+(** Reachable blocks in reverse postorder, entry first. *)
+val reachable_blocks : t -> int list
+
+val unreachable_blocks : t -> int list
+
+val entry : t -> int
+
+(** [is_critical_edge t a b] assumes the edge a->b exists: true when [a] has
+    several successors and [b] several predecessors. *)
+val is_critical_edge : t -> int -> int -> bool

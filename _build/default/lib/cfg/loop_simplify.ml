@@ -1,0 +1,105 @@
+(* Loop canonicalization, mirroring LLVM's -loopsimplify: every loop gets a
+   dedicated preheader, a single latch, and dedicated exit blocks (exits whose
+   predecessors are all inside the loop). The limit-study driver runs this
+   before classification so loops are uniquely identified by their headers and
+   register LCDs appear as header phis with exactly two incoming edges
+   (preheader, latch). *)
+
+open Ir.Types
+
+(* Redirect the edges from every block in [preds] to [tgt] through a fresh
+   block. Header/exit phis in [tgt] are rewritten: their entries for [preds]
+   move into the fresh block (as a new phi there when |preds| > 1). Returns
+   the new block id. *)
+let split_preds (fn : Ir.Func.t) ~tgt ~preds ~name =
+  let mid = Ir.Func.add_block ~name fn in
+  (* Rewrite phis of tgt. *)
+  List.iter
+    (fun (phi : Ir.Instr.t) ->
+      match phi.Ir.Instr.kind with
+      | Ir.Instr.Phi incoming ->
+          let moved, kept =
+            List.partition (fun (p, _) -> List.mem p preds) (Array.to_list incoming)
+          in
+          if moved <> [] then begin
+            let merged_value =
+              match moved with
+              | [ (_, v) ] -> v
+              | _ ->
+                  let ty =
+                    match phi.Ir.Instr.ty with Some t -> t | None -> I64
+                  in
+                  Reg
+                    (Ir.Func.prepend_instr fn mid ~ty:(Some ty)
+                       (Ir.Instr.Phi (Array.of_list moved)))
+            in
+            phi.Ir.Instr.kind <-
+              Ir.Instr.Phi (Array.of_list (kept @ [ (mid, merged_value) ]))
+          end
+      | _ -> ())
+    (Ir.Func.phis fn tgt);
+  (* Terminate mid with a jump to tgt, then retarget the preds. *)
+  ignore (Ir.Func.append_instr fn mid ~ty:None (Ir.Instr.Br tgt));
+  List.iter
+    (fun p ->
+      match Ir.Func.terminator fn p with
+      | Some term ->
+          term.Ir.Instr.kind <-
+            Ir.Instr.retarget_successor ~from_:tgt ~to_:mid term.Ir.Instr.kind
+      | None -> ())
+    preds;
+  mid
+
+(* One canonicalization step; returns true if the function changed. *)
+let step (fn : Ir.Func.t) : bool =
+  let cfg = Graph.build fn in
+  let dom = Dom.compute cfg in
+  let li = Loopinfo.compute cfg dom in
+  let fix_loop (l : Loopinfo.loop) =
+    let lid = l.Loopinfo.lid in
+    let in_loop b = Loopinfo.contains li lid b in
+    if Loopinfo.preheader li lid = None then begin
+      let outside =
+        List.filter (fun p -> not (in_loop p)) (Graph.predecessors cfg l.Loopinfo.header)
+      in
+      (* A header with no outside predecessor is unreachable-loop weirdness;
+         nothing to canonicalize. *)
+      if outside = [] then false
+      else begin
+        ignore (split_preds fn ~tgt:l.Loopinfo.header ~preds:outside ~name:"preheader");
+        true
+      end
+    end
+    else if List.length l.Loopinfo.latches > 1 then begin
+      ignore
+        (split_preds fn ~tgt:l.Loopinfo.header ~preds:l.Loopinfo.latches ~name:"latch");
+      true
+    end
+    else begin
+      let bad_exit =
+        List.find_opt
+          (fun e -> List.exists (fun p -> not (in_loop p)) (Graph.predecessors cfg e))
+          (Loopinfo.exit_blocks li lid)
+      in
+      match bad_exit with
+      | Some e ->
+          let inside = List.filter in_loop (Graph.predecessors cfg e) in
+          ignore (split_preds fn ~tgt:e ~preds:inside ~name:"loopexit");
+          true
+      | None -> false
+    end
+  in
+  let rec try_loops = function
+    | [] -> false
+    | l :: rest -> if fix_loop l then true else try_loops rest
+  in
+  try_loops (Loopinfo.loops li)
+
+let run_func (fn : Ir.Func.t) =
+  (* Each step adds one block and fixes one defect; defects are finite. *)
+  let budget = ref (4 * (Ir.Func.num_blocks fn + 8)) in
+  while step fn && !budget > 0 do
+    decr budget
+  done
+
+let run_module (m : Ir.Func.modul) = List.iter run_func m.Ir.Func.funcs

@@ -1,0 +1,12 @@
+(** Loop canonicalization, mirroring LLVM's -loopsimplify: after [run_func]
+    every natural loop has a dedicated preheader, a single latch and
+    dedicated exit blocks, so register LCDs appear as header phis with
+    exactly two incoming edges. Preserves semantics; adds blocks. *)
+
+(** Redirect the edges from [preds] to [tgt] through a fresh block, moving
+    the relevant phi entries; returns the new block id. Exposed for tests. *)
+val split_preds : Ir.Func.t -> tgt:int -> preds:int list -> name:string -> int
+
+val run_func : Ir.Func.t -> unit
+
+val run_module : Ir.Func.modul -> unit

@@ -1,0 +1,165 @@
+(* Natural-loop detection and the loop forest. A back edge is an edge
+   latch->header where header dominates latch; the natural loop of a header
+   is the union over its back edges of the blocks that reach the latch
+   without passing through the header. Loops sharing a header are merged,
+   matching LLVM's LoopInfo. *)
+
+module Int_set = Set.Make (Int)
+
+type loop = {
+  lid : int;
+  header : int;
+  mutable body : Int_set.t; (* includes header *)
+  mutable latches : int list;
+  mutable parent : int option; (* lid of the immediately enclosing loop *)
+  mutable children : int list; (* lids, innermost-first discovery order *)
+  mutable depth : int; (* 1 for top-level loops *)
+}
+
+type t = {
+  cfg : Graph.t;
+  loops : loop array;
+  innermost : int array; (* block id -> innermost loop lid, or -1 *)
+  header_loop : int array; (* block id -> lid of loop headed here, or -1 *)
+  irreducible_edges : (int * int) list; (* retreating edges whose target does
+                                           not dominate the source *)
+}
+
+let compute (cfg : Graph.t) (dom : Dom.t) : t =
+  let n = Graph.num_blocks cfg in
+  (* Find back edges grouped by header. *)
+  let by_header = Hashtbl.create 8 in
+  let irreducible = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if Dom.dominates dom s b then
+            let latches = Option.value ~default:[] (Hashtbl.find_opt by_header s) in
+            Hashtbl.replace by_header s (b :: latches))
+        (Graph.successors cfg b))
+    (Graph.reachable_blocks cfg);
+  (* Irreducibility detection: an edge u->v is retreating if rpo(v) <= rpo(u);
+     if additionally v does not dominate u, the region is irreducible. *)
+  let rpo_pos = Array.make n max_int in
+  List.iteri (fun i b -> rpo_pos.(b) <- i) (Graph.reachable_blocks cfg);
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          if rpo_pos.(v) <= rpo_pos.(u) && not (Dom.dominates dom v u) then
+            irreducible := (u, v) :: !irreducible)
+        (Graph.successors cfg u))
+    (Graph.reachable_blocks cfg);
+  (* Build each natural loop body by reverse reachability from the latches. *)
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) by_header [] in
+  let headers = List.sort compare headers in
+  let loops =
+    List.mapi
+      (fun lid header ->
+        let latches = List.rev (Hashtbl.find by_header header) in
+        let body = ref (Int_set.singleton header) in
+        let rec pull b =
+          if not (Int_set.mem b !body) then begin
+            body := Int_set.add b !body;
+            List.iter pull (Graph.predecessors cfg b)
+          end
+        in
+        List.iter pull latches;
+        { lid; header; body = !body; latches; parent = None; children = []; depth = 0 })
+      headers
+  in
+  let loops = Array.of_list loops in
+  (* Nesting: the parent of loop L is the smallest loop strictly containing
+     L's header (other than L itself). Natural loops of a reducible CFG are
+     disjoint or nested, so containment of the header implies containment of
+     the body. *)
+  Array.iter
+    (fun l ->
+      let best = ref None in
+      Array.iter
+        (fun m ->
+          if m.lid <> l.lid && Int_set.mem l.header m.body then
+            match !best with
+            | Some b when Int_set.cardinal b.body <= Int_set.cardinal m.body -> ()
+            | _ -> best := Some m)
+        loops;
+      match !best with
+      | Some p ->
+          l.parent <- Some p.lid;
+          p.children <- l.lid :: p.children
+      | None -> ())
+    loops;
+  Array.iter (fun l -> l.children <- List.rev l.children) loops;
+  (* Depths: walk from roots. *)
+  let rec set_depth d lid =
+    let l = loops.(lid) in
+    l.depth <- d;
+    List.iter (set_depth (d + 1)) l.children
+  in
+  Array.iter (fun l -> if l.parent = None then set_depth 1 l.lid) loops;
+  (* Innermost loop per block: smallest body containing the block. *)
+  let innermost = Array.make n (-1) in
+  for b = 0 to n - 1 do
+    let best = ref None in
+    Array.iter
+      (fun l ->
+        if Int_set.mem b l.body then
+          match !best with
+          | Some m when Int_set.cardinal m.body <= Int_set.cardinal l.body -> ()
+          | _ -> best := Some l)
+      loops;
+    match !best with Some l -> innermost.(b) <- l.lid | None -> ()
+  done;
+  let header_loop = Array.make n (-1) in
+  Array.iter (fun l -> header_loop.(l.header) <- l.lid) loops;
+  { cfg; loops; innermost; header_loop; irreducible_edges = !irreducible }
+
+let num_loops t = Array.length t.loops
+
+let loop t lid = t.loops.(lid)
+
+let loops t = Array.to_list t.loops
+
+let innermost_loop t b = if t.innermost.(b) < 0 then None else Some t.innermost.(b)
+
+let loop_of_header t b = if t.header_loop.(b) < 0 then None else Some t.header_loop.(b)
+
+let contains t lid b = Int_set.mem b t.loops.(lid).body
+
+let top_level_loops t =
+  List.filter (fun l -> l.parent = None) (Array.to_list t.loops)
+
+(* Exit edges: (from-block inside, to-block outside). *)
+let exit_edges t lid =
+  let l = t.loops.(lid) in
+  Int_set.fold
+    (fun b acc ->
+      List.fold_left
+        (fun acc s -> if Int_set.mem s l.body then acc else (b, s) :: acc)
+        acc (Graph.successors t.cfg b))
+    l.body []
+  |> List.rev
+
+let exit_blocks t lid =
+  List.sort_uniq compare (List.map snd (exit_edges t lid))
+
+(* The preheader, if canonical: a unique out-of-loop predecessor of the
+   header whose only successor is the header. *)
+let preheader t lid =
+  let l = t.loops.(lid) in
+  let outside_preds =
+    List.filter (fun p -> not (Int_set.mem p l.body)) (Graph.predecessors t.cfg l.header)
+  in
+  match outside_preds with
+  | [ p ] when Graph.successors t.cfg p = [ l.header ] -> Some p
+  | _ -> None
+
+(* Whether the loop is in canonical (loop-simplify) form. *)
+let is_canonical t lid =
+  let l = t.loops.(lid) in
+  preheader t lid <> None
+  && List.length l.latches = 1
+  && List.for_all
+       (fun e -> List.for_all (fun p -> Int_set.mem p l.body) (Graph.predecessors t.cfg e))
+       (exit_blocks t lid)

@@ -1,0 +1,56 @@
+(** Natural-loop detection and the loop forest (the LLVM LoopInfo analogue).
+    A back edge is an edge latch->header where the header dominates the
+    latch; loops sharing a header are merged. Loop ids ([lid]) index into the
+    forest and are stable for a given function shape. *)
+
+module Int_set : Set.S with type elt = int
+
+type loop = {
+  lid : int;
+  header : int;
+  mutable body : Int_set.t;  (** block ids, including the header *)
+  mutable latches : int list;
+  mutable parent : int option;  (** lid of the immediately enclosing loop *)
+  mutable children : int list;
+  mutable depth : int;  (** 1 for top-level loops *)
+}
+
+type t = {
+  cfg : Graph.t;
+  loops : loop array;
+  innermost : int array;
+  header_loop : int array;
+  irreducible_edges : (int * int) list;
+      (** retreating edges whose target does not dominate the source: the
+          enclosing region is irreducible and forms no natural loop *)
+}
+
+val compute : Graph.t -> Dom.t -> t
+
+val num_loops : t -> int
+
+val loop : t -> int -> loop
+
+val loops : t -> loop list
+
+(** Innermost loop containing a block, if any. *)
+val innermost_loop : t -> int -> int option
+
+(** The loop headed at this block, if any. *)
+val loop_of_header : t -> int -> int option
+
+val contains : t -> int -> int -> bool
+
+val top_level_loops : t -> loop list
+
+(** Exit edges (from-block inside, to-block outside). *)
+val exit_edges : t -> int -> (int * int) list
+
+val exit_blocks : t -> int -> int list
+
+(** The canonical preheader: the unique out-of-loop predecessor of the header
+    whose only successor is the header. *)
+val preheader : t -> int -> int option
+
+(** Loop-simplify form: preheader + single latch + dedicated exits. *)
+val is_canonical : t -> int -> bool

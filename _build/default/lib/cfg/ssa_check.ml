@@ -1,0 +1,87 @@
+(* Dominance-based SSA validity: every use of an instruction result must be
+   dominated by its definition. For a phi use, the definition must dominate
+   the corresponding predecessor's terminator instead. Complements the
+   structural checks in Ir.Verifier. *)
+
+type error = { in_func : string; use_instr : int; operand : int; reason : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s/%%%d: use of %%%d %s" e.in_func e.use_instr e.operand e.reason
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let check_func (fn : Ir.Func.t) : error list =
+  let cfg = Graph.build fn in
+  let dom = Dom.compute cfg in
+  let errs = ref [] in
+  (* Position of each instruction within its block, for same-block ordering. *)
+  let pos = Hashtbl.create 64 in
+  Ir.Func.iter_blocks
+    (fun b -> List.iteri (fun i id -> Hashtbl.replace pos id i) b.Ir.Func.instr_ids)
+    fn;
+  let def_reaches ~def_id ~use_block ~use_pos =
+    let def = Ir.Func.instr fn def_id in
+    let def_block = def.Ir.Instr.block in
+    if def_block = use_block then
+      match (Hashtbl.find_opt pos def_id, use_pos) with
+      | Some dp, Some up -> dp < up
+      | _ -> false
+    else Dom.strictly_dominates dom def_block use_block
+  in
+  Ir.Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun use_id ->
+          let i = Ir.Func.instr fn use_id in
+          if Graph.is_reachable cfg b.Ir.Func.bid then
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Phi incoming ->
+                Array.iter
+                  (fun (pred, v) ->
+                    match v with
+                    | Ir.Types.Reg def_id ->
+                        (* The def must reach the end of the predecessor. *)
+                        let def = Ir.Func.instr fn def_id in
+                        if
+                          Graph.is_reachable cfg pred
+                          && not
+                               (def.Ir.Instr.block = pred
+                               || Dom.dominates dom def.Ir.Instr.block pred)
+                        then
+                          errs :=
+                            {
+                              in_func = fn.Ir.Func.fname;
+                              use_instr = use_id;
+                              operand = def_id;
+                              reason =
+                                Printf.sprintf "not dominating phi edge from bb%d" pred;
+                            }
+                            :: !errs
+                    | _ -> ())
+                  incoming
+            | kind ->
+                List.iter
+                  (fun v ->
+                    match v with
+                    | Ir.Types.Reg def_id ->
+                        if
+                          not
+                            (def_reaches ~def_id ~use_block:b.Ir.Func.bid
+                               ~use_pos:(Hashtbl.find_opt pos use_id))
+                        then
+                          errs :=
+                            {
+                              in_func = fn.Ir.Func.fname;
+                              use_instr = use_id;
+                              operand = def_id;
+                              reason = "not dominated by its definition";
+                            }
+                            :: !errs
+                    | _ -> ())
+                  (Ir.Instr.operands kind))
+        b.Ir.Func.instr_ids)
+    fn;
+  List.rev !errs
+
+let check_module (m : Ir.Func.modul) : error list =
+  List.concat_map check_func m.Ir.Func.funcs

@@ -1,0 +1,14 @@
+(** Dominance-based SSA validity: every use of an instruction result must be
+    dominated by its definition (phi uses: the definition must dominate the
+    incoming predecessor). Complements the structural checks of
+    {!Ir.Verifier}. Unreachable code is exempt. *)
+
+type error = { in_func : string; use_instr : int; operand : int; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+
+val check_func : Ir.Func.t -> error list
+
+val check_module : Ir.Func.modul -> error list

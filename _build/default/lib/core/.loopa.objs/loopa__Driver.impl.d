@@ -1,0 +1,1 @@
+lib/core/driver.ml: Cfg Classify Config Evaluate Frontend Hashtbl Interp Ir List Opt Profile

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Classify Config Evaluate Interp Ir Predictors Profile

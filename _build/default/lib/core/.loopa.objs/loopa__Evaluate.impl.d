@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Array Classify Config Float Hashtbl Ir List Model Option Profile

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Array Classify Float Hashtbl Interp Ir List Option Predictors

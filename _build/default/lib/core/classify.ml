@@ -1,0 +1,206 @@
+(* The compile-time component (paper §III-A): after canonicalization, walk
+   every loop and classify its header phis — the register loop-carried
+   dependencies — as computable (SCEV add-recurrence), reduction
+   (recurrence descriptor), or non-computable; classify every function for
+   the fn ladder (purity fixpoint); and build the interpreter watch plans
+   that make the run-time component track exactly the values the study
+   needs. *)
+
+type phi_class =
+  | Computable (* IV / MIV / polynomial: regenerable from the iteration index *)
+  | Reduction of Scev.Recurrence.kind
+  | Non_computable
+
+let phi_class_name = function
+  | Computable -> "computable"
+  | Reduction k -> "reduction:" ^ Scev.Recurrence.kind_name k
+  | Non_computable -> "non-computable"
+
+type phi_info = {
+  phi_id : int;
+  cls : phi_class;
+  latch_def : int option; (* instr id producing the next-iteration value *)
+}
+
+type loop_static = {
+  lid : int;
+  header : int;
+  depth : int;
+  parent : int option;
+  phis : phi_info array;
+  trip_bound : unit; (* reserved *)
+}
+
+type func_static = {
+  fname : string;
+  fn : Ir.Func.t;
+  li : Cfg.Loopinfo.t;
+  loops : loop_static array; (* indexed by lid *)
+  pure : bool; (* read-only, no observable side effects *)
+}
+
+type module_static = {
+  modul : Ir.Func.modul;
+  funcs : (string, func_static) Hashtbl.t;
+}
+
+(* ---- purity fixpoint over the call graph ---- *)
+
+(* A function is pure when it has no stores/allocs, calls only pure builtins
+   and pure user functions. Loads are allowed (read-only); they are tracked
+   by instrumentation anyway. Greatest fixpoint: assume pure, strike out. *)
+let compute_purity (m : Ir.Func.modul) : (string, bool) Hashtbl.t =
+  let pure = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace pure f.Ir.Func.fname true) m.Ir.Func.funcs;
+  let directly_impure (fn : Ir.Func.t) =
+    Ir.Func.fold_instrs
+      (fun acc i ->
+        acc
+        ||
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Store _ | Ir.Instr.Alloc _ -> true
+        | Ir.Instr.Call (callee, _) -> (
+            match Ir.Builtins.find callee with
+            | Some s -> s.Ir.Builtins.safety <> Ir.Builtins.Pure
+            | None -> false (* user callee handled by the fixpoint *))
+        | _ -> false)
+      false fn
+  in
+  List.iter
+    (fun f -> if directly_impure f then Hashtbl.replace pure f.Ir.Func.fname false)
+    m.Ir.Func.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        if Hashtbl.find pure f.Ir.Func.fname then
+          let calls_impure =
+            Ir.Func.fold_instrs
+              (fun acc i ->
+                acc
+                ||
+                match i.Ir.Instr.kind with
+                | Ir.Instr.Call (callee, _) when not (Ir.Builtins.is_builtin callee) ->
+                    not (Option.value ~default:false (Hashtbl.find_opt pure callee))
+                | _ -> false)
+              false f
+          in
+          if calls_impure then begin
+            Hashtbl.replace pure f.Ir.Func.fname false;
+            changed := true
+          end)
+      m.Ir.Func.funcs
+  done;
+  pure
+
+(* ---- per-loop phi classification ---- *)
+
+let classify_phi (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (scev : Scev.Analysis.t)
+    phi_id : phi_class =
+  match Scev.Recurrence.detect fn li phi_id with
+  | Some d -> Reduction d.Scev.Recurrence.kind
+  | None -> (
+      match Scev.Analysis.classify_header_phi scev phi_id with
+      | Scev.Analysis.Computable _ | Scev.Analysis.Computable_shifted _ -> Computable
+      | Scev.Analysis.Non_computable -> Non_computable)
+
+let latch_def_of (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) lid phi_id : int option =
+  match Ir.Func.kind fn phi_id with
+  | Ir.Instr.Phi incoming ->
+      Array.to_list incoming
+      |> List.find_map (fun (pred, v) ->
+             if Cfg.Loopinfo.contains li lid pred then
+               match v with Ir.Types.Reg r -> Some r | _ -> None
+             else None)
+  | _ -> None
+
+let analyze_func ~pure (fn : Ir.Func.t) : func_static =
+  let cfg = Cfg.Graph.build fn in
+  let dom = Cfg.Dom.compute cfg in
+  let li = Cfg.Loopinfo.compute cfg dom in
+  let scev = Scev.Analysis.create fn li in
+  let loops =
+    Array.map
+      (fun (l : Cfg.Loopinfo.loop) ->
+        let phis =
+          Ir.Func.phis fn l.Cfg.Loopinfo.header
+          |> List.map (fun (i : Ir.Instr.t) ->
+                 let phi_id = i.Ir.Instr.id in
+                 {
+                   phi_id;
+                   cls = classify_phi fn li scev phi_id;
+                   latch_def = latch_def_of fn li l.Cfg.Loopinfo.lid phi_id;
+                 })
+          |> Array.of_list
+        in
+        {
+          lid = l.Cfg.Loopinfo.lid;
+          header = l.Cfg.Loopinfo.header;
+          depth = l.Cfg.Loopinfo.depth;
+          parent = l.Cfg.Loopinfo.parent;
+          phis;
+          trip_bound = ();
+        })
+      (Array.of_list (Cfg.Loopinfo.loops li))
+  in
+  { fname = fn.Ir.Func.fname; fn; li; loops; pure }
+
+let analyze_module (m : Ir.Func.modul) : module_static =
+  let purity = compute_purity m in
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun fn ->
+      let pure = Option.value ~default:false (Hashtbl.find_opt purity fn.Ir.Func.fname) in
+      Hashtbl.replace funcs fn.Ir.Func.fname (analyze_func ~pure fn))
+    m.Ir.Func.funcs;
+  { modul = m; funcs }
+
+let func_static ms fname =
+  match Hashtbl.find_opt ms.funcs fname with
+  | Some fs -> fs
+  | None -> invalid_arg ("Classify.func_static: unknown function " ^ fname)
+
+(* Phis the run-time must track: reductions (non-computable under -reduc0)
+   and non-computable LCDs. Computable phis never constrain parallelism. *)
+let watched_phis (ls : loop_static) : phi_info list =
+  Array.to_list ls.phis
+  |> List.filter (fun pi ->
+         match pi.cls with
+         | Computable -> false
+         | Reduction _ | Non_computable -> true)
+
+(* Build the interpreter watch plan plus the def->phis reverse map used by
+   the profiler to time producer instructions. *)
+let watch_plan_of (fs : func_static) : Interp.Events.watch_plan * (int, int list) Hashtbl.t
+    =
+  let plan = Interp.Events.empty_watch_plan fs.fn in
+  let def_to_phis = Hashtbl.create 16 in
+  Array.iter
+    (fun ls ->
+      List.iter
+        (fun pi ->
+          plan.Interp.Events.phis.(pi.phi_id) <- true;
+          match pi.latch_def with
+          | Some def ->
+              plan.Interp.Events.defs.(def) <- true;
+              let old = Option.value ~default:[] (Hashtbl.find_opt def_to_phis def) in
+              Hashtbl.replace def_to_phis def (pi.phi_id :: old)
+          | None -> ())
+        (watched_phis ls))
+    fs.loops;
+  (* Uses: any instruction reading a watched phi. *)
+  Ir.Func.iter_instrs
+    (fun i ->
+      let used =
+        List.filter_map
+          (fun v ->
+            match v with
+            | Ir.Types.Reg r when plan.Interp.Events.phis.(r) -> Some r
+            | _ -> None)
+          (Ir.Instr.operands i.Ir.Instr.kind)
+      in
+      if used <> [] then
+        plan.Interp.Events.phi_uses.(i.Ir.Instr.id) <- List.sort_uniq compare used)
+    fs.fn;
+  (plan, def_to_phis)

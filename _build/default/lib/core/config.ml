@@ -1,0 +1,119 @@
+(* The configuration lattice of the limit study (paper Table II): a parallel
+   execution model plus the reduc / dep / fn relaxation flags. *)
+
+type model = Doall | Pdoall | Helix
+
+type reduc =
+  | Reduc0 (* reductions are ordinary non-computable LCDs *)
+  | Reduc1 (* reductions decoupled: parallel with no overheads *)
+
+type dep =
+  | Dep0 (* non-computable register LCDs bar parallelization *)
+  | Dep1 (* lowered to memory: frequent memory LCDs (HELIX sync) *)
+  | Dep2 (* realistic hybrid value prediction *)
+  | Dep3 (* perfect value prediction *)
+
+type fn =
+  | Fn0 (* any call in the loop makes it sequential *)
+  | Fn1 (* only pure calls are parallel *)
+  | Fn2 (* pure + thread-safe library + instrumented user calls *)
+  | Fn3 (* every call is parallelizable *)
+
+type t = { model : model; reduc : reduc; dep : dep; fn : fn }
+
+let model_name = function Doall -> "DOALL" | Pdoall -> "PDOALL" | Helix -> "HELIX"
+
+let flags_name c =
+  Printf.sprintf "reduc%d-dep%d-fn%d"
+    (match c.reduc with Reduc0 -> 0 | Reduc1 -> 1)
+    (match c.dep with Dep0 -> 0 | Dep1 -> 1 | Dep2 -> 2 | Dep3 -> 3)
+    (match c.fn with Fn0 -> 0 | Fn1 -> 1 | Fn2 -> 2 | Fn3 -> 3)
+
+let name c = Printf.sprintf "%s %s" (flags_name c) (model_name c.model)
+
+let make ?(model = Pdoall) ?(reduc = Reduc0) ?(dep = Dep0) ?(fn = Fn0) () =
+  { model; reduc; dep; fn }
+
+(* DOALL cannot exploit any register-LCD relaxation (paper §IV): reject
+   nonsensical combinations early. *)
+let validate c =
+  match (c.model, c.dep) with
+  | Doall, (Dep1 | Dep2 | Dep3) ->
+      Error "DOALL does not support non-computable register LCDs (use dep0)"
+  | (Doall | Pdoall | Helix), _ -> Ok c
+
+exception Bad_config of string
+
+let of_string s : t =
+  let fail () = raise (Bad_config (Printf.sprintf "bad configuration %S" s)) in
+  let model_of m =
+    match String.uppercase_ascii m with
+    | "DOALL" -> Doall
+    | "PDOALL" -> Pdoall
+    | "HELIX" -> Helix
+    | _ -> fail ()
+  in
+  let is_flags w = String.length w > 5 && String.sub w 0 5 = "reduc" in
+  let model, flags =
+    match String.split_on_char ' ' (String.trim s) with
+    | [ flags ] -> (Pdoall, flags)
+    | [ a; b ] when is_flags a -> (model_of b, a)
+    | [ a; b ] when is_flags b -> (model_of a, b)
+    | _ -> fail ()
+  in
+  match String.split_on_char '-' flags with
+  | [ r; d; f ] ->
+      let reduc =
+        match r with "reduc0" -> Reduc0 | "reduc1" -> Reduc1 | _ -> fail ()
+      in
+      let dep =
+        match d with
+        | "dep0" -> Dep0
+        | "dep1" -> Dep1
+        | "dep2" -> Dep2
+        | "dep3" -> Dep3
+        | _ -> fail ()
+      in
+      let fn =
+        match f with
+        | "fn0" -> Fn0
+        | "fn1" -> Fn1
+        | "fn2" -> Fn2
+        | "fn3" -> Fn3
+        | _ -> fail ()
+      in
+      { model; reduc; dep; fn }
+  | _ -> fail ()
+
+(* The configuration ladder of Figures 2 and 3, bottom (most restrictive)
+   to top. *)
+let figure_ladder : t list =
+  [
+    { model = Doall; reduc = Reduc0; dep = Dep0; fn = Fn0 };
+    { model = Doall; reduc = Reduc1; dep = Dep0; fn = Fn0 };
+    { model = Pdoall; reduc = Reduc0; dep = Dep0; fn = Fn0 };
+    { model = Pdoall; reduc = Reduc0; dep = Dep2; fn = Fn0 };
+    { model = Pdoall; reduc = Reduc1; dep = Dep2; fn = Fn0 };
+    { model = Pdoall; reduc = Reduc0; dep = Dep0; fn = Fn2 };
+    { model = Pdoall; reduc = Reduc0; dep = Dep2; fn = Fn2 };
+    { model = Pdoall; reduc = Reduc1; dep = Dep2; fn = Fn2 };
+    { model = Pdoall; reduc = Reduc0; dep = Dep3; fn = Fn2 };
+    { model = Pdoall; reduc = Reduc0; dep = Dep3; fn = Fn3 };
+    { model = Helix; reduc = Reduc0; dep = Dep0; fn = Fn2 };
+    { model = Helix; reduc = Reduc1; dep = Dep0; fn = Fn2 };
+    { model = Helix; reduc = Reduc0; dep = Dep1; fn = Fn2 };
+    { model = Helix; reduc = Reduc1; dep = Dep1; fn = Fn2 };
+  ]
+
+(* The per-benchmark comparison of Figure 4. *)
+let best_pdoall = { model = Pdoall; reduc = Reduc1; dep = Dep2; fn = Fn2 }
+
+let best_helix = { model = Helix; reduc = Reduc1; dep = Dep1; fn = Fn2 }
+
+(* The coverage comparison of Figure 5. *)
+let coverage_configs : t list =
+  [
+    { model = Pdoall; reduc = Reduc0; dep = Dep0; fn = Fn2 };
+    { model = Helix; reduc = Reduc0; dep = Dep0; fn = Fn2 };
+    { model = Helix; reduc = Reduc0; dep = Dep1; fn = Fn2 };
+  ]

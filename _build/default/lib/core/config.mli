@@ -1,0 +1,60 @@
+(** The limit study's configuration lattice (paper Table II): a parallel
+    execution model combined with the [reduc]/[dep]/[fn] relaxation flags. *)
+
+(** Parallel execution models (paper §II-C, Figure 1). *)
+type model =
+  | Doall  (** abandon parallel execution on any manifesting conflict *)
+  | Pdoall  (** Partial-DOALL: phase restarts, 80% conflict cutoff *)
+  | Helix  (** generalized DOACROSS: per-iteration synchronization *)
+
+(** Reduction accumulator handling. *)
+type reduc =
+  | Reduc0  (** reductions are ordinary non-computable LCDs *)
+  | Reduc1  (** reductions are decoupled: parallel with no overheads *)
+
+(** Non-computable register LCD handling. *)
+type dep =
+  | Dep0  (** bar parallelization *)
+  | Dep1  (** lower to memory: a frequent memory LCD (HELIX sync) *)
+  | Dep2  (** realistic hybrid value prediction *)
+  | Dep3  (** perfect value prediction *)
+
+(** Function calls inside loops. *)
+type fn =
+  | Fn0  (** any call makes the loop sequential *)
+  | Fn1  (** only pure calls are parallelizable *)
+  | Fn2  (** pure + thread-safe library + instrumented user calls *)
+  | Fn3  (** every call is parallelizable *)
+
+type t = { model : model; reduc : reduc; dep : dep; fn : fn }
+
+val model_name : model -> string
+
+(** ["reducR-depD-fnF"], as the paper prints it. *)
+val flags_name : t -> string
+
+(** ["reducR-depD-fnF MODEL"]; parseable by {!of_string}. *)
+val name : t -> string
+
+val make : ?model:model -> ?reduc:reduc -> ?dep:dep -> ?fn:fn -> unit -> t
+
+(** Reject combinations the models cannot express (DOALL with dep1–dep3). *)
+val validate : t -> (t, string) result
+
+exception Bad_config of string
+
+(** Parse ["reduc1-dep2-fn2"], ["reduc0-dep0-fn0 DOALL"] or
+    ["HELIX reduc0-dep1-fn2"]. The model defaults to PDOALL.
+    @raise Bad_config on anything else. *)
+val of_string : string -> t
+
+(** The 14 rungs evaluated in Figures 2 and 3, most restrictive first. *)
+val figure_ladder : t list
+
+(** The two configurations compared per benchmark in Figure 4. *)
+val best_pdoall : t
+
+val best_helix : t
+
+(** The three configurations whose coverage Figure 5 reports. *)
+val coverage_configs : t list

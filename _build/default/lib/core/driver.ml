@@ -1,0 +1,69 @@
+(* End-to-end pipeline: Looplang source -> canonicalized SSA -> static
+   classification -> instrumented execution -> profile -> per-configuration
+   reports. This is the whole Loopapalooza flow of paper §III. *)
+
+type analysis = {
+  ms : Classify.module_static;
+  profile : Profile.profile;
+}
+
+(* Canonicalize and statically analyze a module (destructive on [m]).
+   [optimize] first runs the constant-folding / CFG-cleanup / DCE pipeline —
+   the stand-in for the paper's "-Ofast IR" starting point. *)
+let prepare ?(optimize = false) (m : Ir.Func.modul) : Classify.module_static =
+  if optimize then Opt.Pipeline.run_module m;
+  Cfg.Loop_simplify.run_module m;
+  Ir.Verifier.check_module_exn m;
+  Classify.analyze_module m
+
+(* Execute the instrumented program once, collecting the profile all
+   configurations are evaluated against. *)
+let profile_module ?(fuel = 2_000_000_000) ?make_predictor
+    (ms : Classify.module_static) : Profile.profile =
+  let def_maps = Hashtbl.create 16 in
+  let watch_plans = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun fname fs ->
+      let plan, defs = Classify.watch_plan_of fs in
+      Hashtbl.replace watch_plans fname plan;
+      Hashtbl.replace def_maps fname defs)
+    ms.Classify.funcs;
+  let profiler = Profile.create ?make_predictor ms ~def_maps in
+  let machine =
+    Interp.Machine.create ~hooks:(Profile.hooks_of profiler) ~fuel
+      ~watch:(fun fname -> Hashtbl.find_opt watch_plans fname)
+      ms.Classify.modul
+  in
+  let outcome = Interp.Machine.run_main machine in
+  {
+    Profile.ms;
+    invs = Ir.Vec.to_array profiler.Profile.invs;
+    total_cost = outcome.Interp.Machine.clock;
+    outcome;
+  }
+
+let analyze_source ?fuel ?make_predictor ?optimize (src : string) : analysis =
+  let m = Frontend.compile_exn src in
+  let ms = prepare ?optimize m in
+  { ms; profile = profile_module ?fuel ?make_predictor ms }
+
+let analyze_module ?fuel ?make_predictor ?optimize (m : Ir.Func.modul) : analysis =
+  let ms = prepare ?optimize m in
+  { ms; profile = profile_module ?fuel ?make_predictor ms }
+
+let evaluate ?knobs (a : analysis) (config : Config.t) : Evaluate.report =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error msg -> raise (Config.Bad_config msg));
+  Evaluate.evaluate ?knobs a.profile config
+
+let evaluate_all (a : analysis) (configs : Config.t list) : Evaluate.report list =
+  List.map (evaluate a) configs
+
+(* Plain uninstrumented run (e.g. to check program output). *)
+let run_source ?(fuel = 2_000_000_000) (src : string) : Interp.Machine.outcome =
+  let m = Frontend.compile_exn src in
+  Cfg.Loop_simplify.run_module m;
+  Ir.Verifier.check_module_exn m;
+  let machine = Interp.Machine.create ~fuel m in
+  Interp.Machine.run_main machine

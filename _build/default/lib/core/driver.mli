@@ -1,0 +1,46 @@
+(** End-to-end pipeline (paper §III): Looplang source -> canonicalized SSA ->
+    static classification -> one instrumented execution -> a profile that
+    every configuration is evaluated against. *)
+
+type analysis = { ms : Classify.module_static; profile : Profile.profile }
+
+(** Canonicalize loops (loop-simplify), re-verify, and classify every loop's
+    register LCDs and every function's purity. Mutates [m]. [optimize]
+    (default false) first runs the Opt pipeline (constant folding, CFG
+    cleanup, DCE) — the paper's "-Ofast IR" starting point. *)
+val prepare : ?optimize:bool -> Ir.Func.modul -> Classify.module_static
+
+(** Execute the instrumented program once and collect the dynamic profile.
+    [fuel] bounds the interpreted instruction count (default 2e9). *)
+val profile_module :
+  ?fuel:int ->
+  ?make_predictor:(unit -> Predictors.Hybrid.t) ->
+  Classify.module_static ->
+  Profile.profile
+
+(** [compile + prepare + profile_module] from source text.
+    @raise Frontend.Compile_error on front-end errors
+    @raise Interp.Rvalue.Runtime_error on execution errors *)
+val analyze_source :
+  ?fuel:int ->
+  ?make_predictor:(unit -> Predictors.Hybrid.t) ->
+  ?optimize:bool ->
+  string ->
+  analysis
+
+(** As {!analyze_source}, starting from an already-built module. *)
+val analyze_module :
+  ?fuel:int ->
+  ?make_predictor:(unit -> Predictors.Hybrid.t) ->
+  ?optimize:bool ->
+  Ir.Func.modul ->
+  analysis
+
+(** Evaluate one configuration against the recorded profile.
+    @raise Config.Bad_config if the configuration is invalid *)
+val evaluate : ?knobs:Evaluate.knobs -> analysis -> Config.t -> Evaluate.report
+
+val evaluate_all : analysis -> Config.t list -> Evaluate.report list
+
+(** Compile and run a program without instrumentation (checksums, demos). *)
+val run_source : ?fuel:int -> string -> Interp.Machine.outcome

@@ -1,0 +1,48 @@
+(** Configuration evaluation over a collected profile: bottom-up over the
+    dynamic loop-invocation tree, applying the execution model at every level
+    and propagating savings upward (nested parallelism, as in the paper's
+    comparison with SWARM/T4). *)
+
+(** Aggregate outcome for one static loop across all of its invocations. *)
+type loop_result = {
+  fname : string;
+  lid : int;  (** Cfg.Loopinfo loop id within [fname] *)
+  header : int;  (** header block id *)
+  depth : int;  (** nesting depth, 1 = top level *)
+  invocations : int;
+  parallel_invocations : int;
+  serial_cost : float;  (** with nested savings already applied *)
+  final_cost : float;  (** min(serial, model cost) *)
+  mem_dep_manifestations : int;
+  conflicting_iterations : int;
+  total_iterations : int;
+}
+
+type report = {
+  config : Config.t;
+  total_cost : int;  (** serial program cost (dynamic IR instructions) *)
+  parallel_cost : float;
+  speedup : float;  (** total_cost / parallel_cost *)
+  coverage_pct : float;
+      (** % of dynamic instructions executed inside a loop marked parallel
+          (paper Figure 5) *)
+  loops : loop_result list;  (** sorted by serial cost, descending *)
+}
+
+(** Whether call classes in [mask] (see {!Profile}) block parallelization
+    under the given fn flag. *)
+val call_violation : Config.fn -> int -> bool
+
+(** Whether a watched register LCD is in the effective non-computable set
+    under the reduc flag. *)
+val track_active : Config.reduc -> Profile.reg_track -> bool
+
+(** Ablation knobs; defaults reproduce the paper's model. *)
+type knobs = {
+  pdoall_cutoff : float;
+  helix_distance_normalized : bool;
+}
+
+val default_knobs : knobs
+
+val evaluate : ?knobs:knobs -> Profile.profile -> Config.t -> report

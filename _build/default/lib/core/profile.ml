@@ -1,0 +1,332 @@
+(* The run-time component (paper §III-B): listens to interpreter events and
+   builds, per dynamic loop invocation, everything the cost models need:
+
+   - per-iteration start time-stamps (iteration costs);
+   - memory RAW conflicts across iterations, with producer/consumer offsets
+     normalized per iteration of distance (HELIX deltas);
+   - per watched register LCD: hybrid-predictor hit/miss per iteration, and
+     producer(def)/consumer(first-use) offsets;
+   - the classes of calls observed during any iteration (fn ladder);
+   - the invocation tree (parent invocation and parent iteration index).
+
+   WAR/WAW are never recorded: the study assumes lazy versioning with
+   in-order commit (paper §II-D). *)
+
+type reg_track = {
+  phi_id : int;
+  cls : Classify.phi_class;
+  predictor : Predictors.Hybrid.t;
+  (* def offset (relative to its iteration's start) of the value produced in
+     the previous iteration; -1 when unknown *)
+  mutable prev_def_rel : int;
+  mutable cur_def_rel : int;
+  (* pending consumer information for the current iteration *)
+  mutable use_seen : bool;
+  mutable pending_mispredict : bool;
+  mutable pending_iter : int;
+  (* aggregates *)
+  mutable n_instances : int; (* latch-edge arrivals = predictable instances *)
+  mutable n_mispredicts : int;
+  mutable max_delta_all : float; (* over all iterations (dep1 sync) *)
+  mutable max_delta_mispredict : float; (* over mispredicted iterations *)
+  mispredict_iters : int Ir.Vec.t;
+}
+
+type inv = {
+  inv_id : int;
+  fname : string;
+  lid : int;
+  parent : int; (* inv_id of enclosing invocation, -1 at top level *)
+  parent_iter : int;
+  start_clock : int;
+  mutable end_clock : int;
+  iter_starts : int Ir.Vec.t;
+  (* consumer iteration -> (worst stall delta, most recent producer
+     iteration). The producer index is what lets Partial-DOALL treat reads of
+     already-committed writes as satisfied (paper §III-B). *)
+  mem_conflicts : (int, float * int) Hashtbl.t;
+  tracks : reg_track array;
+  (* last writer per address within this invocation *)
+  last_write : (int, int * int) Hashtbl.t; (* addr -> (iter, clock) *)
+  mutable call_mask : int;
+  mutable n_mem_deps : int; (* count of cross-iteration RAW manifestations *)
+}
+
+let n_iters inv = Ir.Vec.length inv.iter_starts
+
+let cur_iter inv = n_iters inv - 1
+
+let iter_start inv k = Ir.Vec.get inv.iter_starts k
+
+(* call_mask bits *)
+let mask_pure_builtin = 1
+
+let mask_threadsafe_builtin = 2
+
+let mask_unsafe_builtin = 4
+
+let mask_pure_user = 8
+
+let mask_user = 16
+
+type t = {
+  ms : Classify.module_static;
+  invs : inv Ir.Vec.t;
+  mutable stack : inv list; (* innermost first *)
+  mutable call_stack : string list;
+  def_maps : (string, (int, int list) Hashtbl.t) Hashtbl.t; (* fname -> def->phis *)
+  make_predictor : unit -> Predictors.Hybrid.t; (* predictor bank (ablation) *)
+}
+
+let dummy_inv =
+  {
+    inv_id = -1;
+    fname = "";
+    lid = -1;
+    parent = -1;
+    parent_iter = 0;
+    start_clock = 0;
+    end_clock = 0;
+    iter_starts = Ir.Vec.create ~dummy:0;
+    mem_conflicts = Hashtbl.create 1;
+    tracks = [||];
+    last_write = Hashtbl.create 1;
+    call_mask = 0;
+    n_mem_deps = 0;
+  }
+
+let create ?(make_predictor = fun () -> Predictors.Hybrid.create ())
+    (ms : Classify.module_static) ~def_maps : t =
+  {
+    ms;
+    invs = Ir.Vec.create ~dummy:dummy_inv;
+    stack = [];
+    call_stack = [];
+    def_maps;
+    make_predictor;
+  }
+
+let current_fname t =
+  match t.call_stack with f :: _ -> f | [] -> invalid_arg "no active function"
+
+let new_track t (pi : Classify.phi_info) : reg_track =
+  {
+    phi_id = pi.Classify.phi_id;
+    cls = pi.Classify.cls;
+    predictor = t.make_predictor ();
+    prev_def_rel = -1;
+    cur_def_rel = -1;
+    use_seen = false;
+    pending_mispredict = false;
+    pending_iter = -1;
+    n_instances = 0;
+    n_mispredicts = 0;
+    max_delta_all = 0.0;
+    max_delta_mispredict = 0.0;
+    mispredict_iters = Ir.Vec.create ~dummy:0;
+  }
+
+(* ---- event handlers ---- *)
+
+let on_call_enter t ~fname ~clock:_ =
+  t.call_stack <- fname :: t.call_stack;
+  (* An instrumented user call observed inside every active iteration. *)
+  let fs = Classify.func_static t.ms fname in
+  let bit = if fs.Classify.pure then mask_pure_user else mask_user in
+  (match t.stack with
+  | [] -> ()
+  | _ -> List.iter (fun inv -> inv.call_mask <- inv.call_mask lor bit) t.stack)
+
+let on_call_exit t ~fname:_ ~clock:_ =
+  match t.call_stack with
+  | _ :: rest -> t.call_stack <- rest
+  | [] -> invalid_arg "call stack underflow"
+
+let on_builtin_call t ~name ~clock:_ =
+  let bit =
+    match Ir.Builtins.find name with
+    | Some s -> (
+        match s.Ir.Builtins.safety with
+        | Ir.Builtins.Pure -> mask_pure_builtin
+        | Ir.Builtins.Thread_safe -> mask_threadsafe_builtin
+        | Ir.Builtins.Io | Ir.Builtins.Global_state -> mask_unsafe_builtin)
+    | None -> mask_unsafe_builtin
+  in
+  List.iter (fun inv -> inv.call_mask <- inv.call_mask lor bit) t.stack
+
+let on_loop_enter t ~lid ~clock =
+  let fname = current_fname t in
+  let fs = Classify.func_static t.ms fname in
+  let ls = fs.Classify.loops.(lid) in
+  let parent, parent_iter =
+    match t.stack with
+    | p :: _ -> (p.inv_id, cur_iter p)
+    | [] -> (-1, 0)
+  in
+  let inv =
+    {
+      inv_id = Ir.Vec.length t.invs;
+      fname;
+      lid;
+      parent;
+      parent_iter;
+      start_clock = clock;
+      end_clock = clock;
+      iter_starts = Ir.Vec.create ~dummy:0;
+      mem_conflicts = Hashtbl.create 8;
+      tracks = Array.of_list (List.map (new_track t) (Classify.watched_phis ls));
+      last_write = Hashtbl.create 64;
+      call_mask = 0;
+      n_mem_deps = 0;
+    }
+  in
+  Ir.Vec.push inv.iter_starts clock;
+  Ir.Vec.push t.invs inv;
+  t.stack <- inv :: t.stack
+
+(* Close out per-track pending state for the iteration that just ended: a
+   mispredicted instance whose consumer never executed stalls nothing, so
+   its delta contribution is 0 (already the default). *)
+let finish_iteration_tracks inv =
+  Array.iter
+    (fun tr ->
+      tr.prev_def_rel <- tr.cur_def_rel;
+      tr.cur_def_rel <- -1;
+      tr.use_seen <- false;
+      tr.pending_mispredict <- false)
+    inv.tracks
+
+let on_loop_iter t ~lid ~clock =
+  match t.stack with
+  | inv :: _ when inv.lid = lid ->
+      finish_iteration_tracks inv;
+      Ir.Vec.push inv.iter_starts clock
+  | _ -> invalid_arg "loop_iter without matching invocation"
+
+let on_loop_exit t ~lid ~clock =
+  match t.stack with
+  | inv :: rest when inv.lid = lid ->
+      finish_iteration_tracks inv;
+      inv.end_clock <- clock;
+      t.stack <- rest
+  | _ -> invalid_arg "loop_exit without matching invocation"
+
+let on_mem_access t ~addr ~is_write ~clock =
+  List.iter
+    (fun inv ->
+      let k = cur_iter inv in
+      if is_write then Hashtbl.replace inv.last_write addr (k, clock)
+      else
+        match Hashtbl.find_opt inv.last_write addr with
+        | Some (wi, wclock) when wi < k ->
+            (* RAW loop-carried dependency manifests. The stall delta is the
+               raw producer/consumer offset difference, NOT normalized by the
+               iteration distance: the paper's HELIX model synchronizes every
+               neighbouring-iteration pair at the worst offset observed for
+               any manifesting LCD (§III-B), which is what lets PDOALL beat
+               HELIX on loops with rare, long-distance conflicts (Fig. 4). *)
+            inv.n_mem_deps <- inv.n_mem_deps + 1;
+            let prod_rel = wclock - iter_start inv wi in
+            let cons_rel = clock - iter_start inv k in
+            let delta = Float.max 0.0 (float_of_int (prod_rel - cons_rel)) in
+            let old_d, old_p =
+              Option.value ~default:(0.0, -1) (Hashtbl.find_opt inv.mem_conflicts k)
+            in
+            Hashtbl.replace inv.mem_conflicts k (Float.max old_d delta, max old_p wi)
+        | _ -> ())
+    t.stack
+
+(* Find the innermost active invocation owning watched phi [phi_id] of the
+   current function. *)
+let find_track t phi_id : (inv * reg_track) option =
+  let fname = current_fname t in
+  let rec go = function
+    | [] -> None
+    | inv :: rest ->
+        if inv.fname = fname then
+          match Array.find_opt (fun tr -> tr.phi_id = phi_id) inv.tracks with
+          | Some tr -> Some (inv, tr)
+          | None -> go rest
+        else go rest
+  in
+  go t.stack
+
+let on_header_phi t ~phi_id ~value ~clock:_ =
+  match find_track t phi_id with
+  | Some (inv, tr) ->
+      let k = cur_iter inv in
+      let hit = Predictors.Hybrid.step tr.predictor (Predictors.Hybrid.bits_of_rv value) in
+      if k > 0 then begin
+        tr.n_instances <- tr.n_instances + 1;
+        if not hit then begin
+          tr.n_mispredicts <- tr.n_mispredicts + 1;
+          tr.pending_mispredict <- true;
+          tr.pending_iter <- k;
+          Ir.Vec.push tr.mispredict_iters k
+        end
+      end
+  | None -> ()
+
+let on_watched_def t ~instr_id ~clock =
+  let fname = current_fname t in
+  match Hashtbl.find_opt t.def_maps fname with
+  | None -> ()
+  | Some map -> (
+      match Hashtbl.find_opt map instr_id with
+      | None -> ()
+      | Some phis ->
+          List.iter
+            (fun phi_id ->
+              match find_track t phi_id with
+              | Some (inv, tr) ->
+                  let k = cur_iter inv in
+                  tr.cur_def_rel <- clock - iter_start inv k
+              | None -> ())
+            phis)
+
+let on_watched_use t ~phi_id ~clock =
+  match find_track t phi_id with
+  | Some (inv, tr) when not tr.use_seen ->
+      tr.use_seen <- true;
+      let k = cur_iter inv in
+      if k > 0 && tr.prev_def_rel >= 0 then begin
+        let use_rel = clock - iter_start inv k in
+        let delta = Float.max 0.0 (float_of_int (tr.prev_def_rel - use_rel)) in
+        tr.max_delta_all <- Float.max tr.max_delta_all delta;
+        if tr.pending_mispredict && tr.pending_iter = k then
+          tr.max_delta_mispredict <- Float.max tr.max_delta_mispredict delta
+      end
+  | Some _ | None -> ()
+
+let hooks_of t : Interp.Events.hooks =
+  {
+    Interp.Events.on_call_enter = (fun ~fname ~clock -> on_call_enter t ~fname ~clock);
+    on_call_exit = (fun ~fname ~clock -> on_call_exit t ~fname ~clock);
+    on_loop_enter = (fun ~lid ~clock -> on_loop_enter t ~lid ~clock);
+    on_loop_iter = (fun ~lid ~clock -> on_loop_iter t ~lid ~clock);
+    on_loop_exit = (fun ~lid ~clock -> on_loop_exit t ~lid ~clock);
+    on_mem_access =
+      (fun ~addr ~is_write ~clock -> on_mem_access t ~addr ~is_write ~clock);
+    on_watched_def = (fun ~instr_id ~clock -> on_watched_def t ~instr_id ~clock);
+    on_watched_use = (fun ~phi_id ~clock -> on_watched_use t ~phi_id ~clock);
+    on_header_phi = (fun ~phi_id ~value ~clock -> on_header_phi t ~phi_id ~value ~clock);
+    on_builtin_call = (fun ~name ~clock -> on_builtin_call t ~name ~clock);
+  }
+
+(* ---- the collected profile ---- *)
+
+type profile = {
+  ms : Classify.module_static;
+  invs : inv array; (* creation order: parents before children *)
+  total_cost : int;
+  outcome : Interp.Machine.outcome;
+}
+
+(* Per-iteration raw costs of an invocation: start-to-start deltas, with the
+   final iteration closed by the loop-exit clock. *)
+let iter_costs (inv : inv) : int array =
+  let n = n_iters inv in
+  Array.init n (fun k ->
+      let s = iter_start inv k in
+      let e = if k + 1 < n then iter_start inv (k + 1) else inv.end_clock in
+      e - s)

@@ -1,0 +1,35 @@
+(** Table-I census: classify the ordering constraints observed in a profile
+    into the paper's taxonomy. *)
+
+(** A memory LCD manifesting in at least this fraction of a loop's iterations
+    is counted as "frequent". *)
+val frequent_fraction : float
+
+(** A non-computable register LCD whose hybrid predictor misses at most this
+    fraction of instances is counted as "predictable". *)
+val predictable_miss_fraction : float
+
+type census = {
+  mutable reg_computable : int;  (** IVs & MIVs (static count of phis) *)
+  mutable reg_reduction : int;
+  mutable reg_predictable : int;
+  mutable reg_unpredictable : int;
+  mutable mem_frequent_loops : int;
+  mutable mem_infrequent_loops : int;
+  mutable mem_clean_loops : int;
+  mutable loops_with_calls : int;  (** structural call-stack constraint *)
+  mutable total_invocations : int;
+}
+
+val empty : unit -> census
+
+(** Add the static register-LCD classes of a classified module. *)
+val add_static : census -> Classify.module_static -> unit
+
+(** Accumulate one profile (static + dynamic judgements); returns [census]
+    for chaining. *)
+val add_profile : census -> Profile.profile -> census
+
+val of_profile : Profile.profile -> census
+
+val pp : Format.formatter -> census -> unit

@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Ast Cfg Format Ir Lexer List Lower Parser Sema String

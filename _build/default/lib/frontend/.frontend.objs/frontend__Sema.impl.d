@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Ast Format Hashtbl List Option

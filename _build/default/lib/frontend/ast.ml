@@ -1,0 +1,90 @@
+(* Abstract syntax of Looplang, the small C-like language the benchmark
+   suites are written in. Deliberately minimal: ints (64-bit), floats
+   (double), bools, heap arrays of int/float, functions, globals, structured
+   control flow. No pointers-to-locals, so scalars promote cleanly to SSA. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tbool
+  | Tarr of ty (* element type: Tint or Tfloat *)
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tbool -> "bool"
+  | Tarr t -> ty_to_string t ^ "[]"
+
+let equal_ty (a : ty) (b : ty) = a = b
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Band
+  | Bor
+  | Bxor
+  | Bshl
+  | Bshr
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+
+type unop = Uneg | Unot
+
+type expr = { e : expr_kind; pos : pos; mutable ety : ty option }
+
+and expr_kind =
+  | Eint of int64
+  | Efloat of float
+  | Ebool of bool
+  | Evar of string
+  | Ebin of binop * expr * expr
+  | Eand of expr * expr (* short-circuit && *)
+  | Eor of expr * expr (* short-circuit || *)
+  | Eun of unop * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr (* a[i] *)
+  | Enew of ty * expr (* new elem_ty[n] *)
+  | Elen of expr (* len(a) *)
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Svar of string * ty * expr option
+  | Sassign of string * expr
+  | Sstore of expr * expr * expr (* a[i] = v *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sexpr of expr
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+  fpos : pos;
+}
+
+type global = { gname : string; gty : ty; ginit : expr option; gpos : pos }
+
+type program = { globals : global list; funcs : func list }
+
+let mk_expr ?(pos = no_pos) e = { e; pos; ety = None }
+
+let mk_stmt ?(pos = no_pos) s = { s; spos = pos }

@@ -1,0 +1,59 @@
+(* Front-end entry points: Looplang source text -> verified SSA module.
+   Re-exports the pipeline stages so users can reach them as Frontend.Ast,
+   Frontend.Parser, etc. *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Sema = Sema
+module Lower = Lower
+
+type error = { msg : string; pos : Ast.pos }
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" Ast.pp_pos e.pos e.msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Compile_error of error
+
+(* Parse + typecheck + lower. Raises Compile_error with a source position on
+   any front-end failure, and Ir.Verifier.Invalid_ir if lowering ever emits
+   ill-formed IR (that would be a bug in this library, not in user code). *)
+let compile_exn (src : string) : Ir.Func.modul =
+  let wrap msg pos = raise (Compile_error { msg; pos }) in
+  let prog =
+    try Parser.parse_program src with
+    | Lexer.Lex_error (msg, pos) -> wrap ("lexical error: " ^ msg) pos
+    | Parser.Parse_error (msg, pos) -> wrap ("syntax error: " ^ msg) pos
+  in
+  (try Sema.check_program prog
+   with Sema.Sema_error (msg, pos) -> wrap ("type error: " ^ msg) pos);
+  let m =
+    try Lower.lower_program prog
+    with Lower.Lower_error (msg, pos) -> wrap ("lowering error: " ^ msg) pos
+  in
+  Ir.Verifier.check_module_exn m;
+  (match Cfg.Ssa_check.check_module m with
+  | [] -> ()
+  | errs ->
+      raise
+        (Ir.Verifier.Invalid_ir
+           (String.concat "\n" (List.map Cfg.Ssa_check.error_to_string errs))));
+  m
+
+let compile (src : string) : (Ir.Func.modul, error) result =
+  match compile_exn src with
+  | m -> Ok m
+  | exception Compile_error e -> Error e
+
+(* Parse and typecheck only; useful for tooling and tests. *)
+let parse_and_check_exn (src : string) : Ast.program =
+  let wrap msg pos = raise (Compile_error { msg; pos }) in
+  let prog =
+    try Parser.parse_program src with
+    | Lexer.Lex_error (msg, pos) -> wrap ("lexical error: " ^ msg) pos
+    | Parser.Parse_error (msg, pos) -> wrap ("syntax error: " ^ msg) pos
+  in
+  (try Sema.check_program prog
+   with Sema.Sema_error (msg, pos) -> wrap ("type error: " ^ msg) pos);
+  prog

@@ -1,0 +1,260 @@
+(* Hand-written lexer for Looplang. Produces a token list with positions;
+   supports // line and /* block */ comments. *)
+
+type token =
+  | Tint_lit of int64
+  | Tfloat_lit of float
+  | Tident of string
+  (* keywords *)
+  | Kfn
+  | Kvar
+  | Kglobal
+  | Kif
+  | Kelse
+  | Kwhile
+  | Kfor
+  | Kbreak
+  | Kcontinue
+  | Kreturn
+  | Ktrue
+  | Kfalse
+  | Knew
+  | Kint
+  | Kfloat
+  | Kbool
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Colon
+  | Comma
+  | Arrow
+  | Assign
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Shl
+  | Shr
+  | Ampamp
+  | Pipepipe
+  | Bang
+  | Eof
+
+let token_to_string = function
+  | Tint_lit i -> Printf.sprintf "int(%Ld)" i
+  | Tfloat_lit f -> Printf.sprintf "float(%g)" f
+  | Tident s -> Printf.sprintf "ident(%s)" s
+  | Kfn -> "fn"
+  | Kvar -> "var"
+  | Kglobal -> "global"
+  | Kif -> "if"
+  | Kelse -> "else"
+  | Kwhile -> "while"
+  | Kfor -> "for"
+  | Kbreak -> "break"
+  | Kcontinue -> "continue"
+  | Kreturn -> "return"
+  | Ktrue -> "true"
+  | Kfalse -> "false"
+  | Knew -> "new"
+  | Kint -> "int"
+  | Kfloat -> "float"
+  | Kbool -> "bool"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Colon -> ":"
+  | Comma -> ","
+  | Arrow -> "->"
+  | Assign -> "="
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Ampamp -> "&&"
+  | Pipepipe -> "||"
+  | Bang -> "!"
+  | Eof -> "<eof>"
+
+exception Lex_error of string * Ast.pos
+
+let keyword_of = function
+  | "fn" -> Some Kfn
+  | "var" -> Some Kvar
+  | "global" -> Some Kglobal
+  | "if" -> Some Kif
+  | "else" -> Some Kelse
+  | "while" -> Some Kwhile
+  | "for" -> Some Kfor
+  | "break" -> Some Kbreak
+  | "continue" -> Some Kcontinue
+  | "return" -> Some Kreturn
+  | "true" -> Some Ktrue
+  | "false" -> Some Kfalse
+  | "new" -> Some Knew
+  | "int" -> Some Kint
+  | "float" -> Some Kfloat
+  | "bool" -> Some Kbool
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize (src : string) : (token * Ast.pos) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let line = ref 1 and col = ref 1 in
+  let pos () : Ast.pos = { Ast.line = !line; Ast.col = !col } in
+  let advance () =
+    (if !i < n then
+       if src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr i
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let emit tok p = toks := (tok, p) :: !toks in
+  while !i < n do
+    let p = pos () in
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then raise (Lex_error ("unterminated block comment", p))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      let is_float =
+        (!i < n && src.[!i] = '.' && match peek 1 with Some d -> is_digit d | None -> false)
+        || (!i < n && (src.[!i] = 'e' || src.[!i] = 'E'))
+      in
+      if is_float then begin
+        if !i < n && src.[!i] = '.' then begin
+          advance ();
+          while !i < n && is_digit src.[!i] do
+            advance ()
+          done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          advance ();
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then advance ();
+          while !i < n && is_digit src.[!i] do
+            advance ()
+          done
+        end;
+        let text = String.sub src start (!i - start) in
+        match float_of_string_opt text with
+        | Some f -> emit (Tfloat_lit f) p
+        | None -> raise (Lex_error ("bad float literal " ^ text, p))
+      end
+      else begin
+        let text = String.sub src start (!i - start) in
+        match Int64.of_string_opt text with
+        | Some v -> emit (Tint_lit v) p
+        | None -> raise (Lex_error ("integer literal out of range " ^ text, p))
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      match keyword_of text with
+      | Some k -> emit k p
+      | None -> emit (Tident text) p
+    end
+    else begin
+      let two tok = advance (); advance (); emit tok p in
+      let one tok = advance (); emit tok p in
+      match (c, peek 1) with
+      | '-', Some '>' -> two Arrow
+      | '=', Some '=' -> two Eq
+      | '!', Some '=' -> two Neq
+      | '<', Some '=' -> two Le
+      | '>', Some '=' -> two Ge
+      | '<', Some '<' -> two Shl
+      | '>', Some '>' -> two Shr
+      | '&', Some '&' -> two Ampamp
+      | '|', Some '|' -> two Pipepipe
+      | '(', _ -> one Lparen
+      | ')', _ -> one Rparen
+      | '{', _ -> one Lbrace
+      | '}', _ -> one Rbrace
+      | '[', _ -> one Lbracket
+      | ']', _ -> one Rbracket
+      | ';', _ -> one Semi
+      | ':', _ -> one Colon
+      | ',', _ -> one Comma
+      | '=', _ -> one Assign
+      | '<', _ -> one Lt
+      | '>', _ -> one Gt
+      | '+', _ -> one Plus
+      | '-', _ -> one Minus
+      | '*', _ -> one Star
+      | '/', _ -> one Slash
+      | '%', _ -> one Percent
+      | '&', _ -> one Amp
+      | '|', _ -> one Pipe
+      | '^', _ -> one Caret
+      | '!', _ -> one Bang
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, p))
+    end
+  done;
+  emit Eof (pos ());
+  List.rev !toks

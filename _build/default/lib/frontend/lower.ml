@@ -1,0 +1,599 @@
+(* Lowering from the checked AST to SSA IR, using on-the-fly SSA construction
+   (Braun et al., "Simple and Efficient Construction of Static Single
+   Assignment Form", CC 2013). Scalars never touch memory, so register
+   loop-carried dependencies appear directly as loop-header phis — exactly
+   what the limit study classifies. Arrays live on the heap ([alloc]); the
+   word before an array's base stores its length. Globals are load/store
+   through a [Global] address.
+
+   Semantics fixed here: variables without initializers are zero-valued;
+   `new` returns zero-filled storage; bool equality compares i1 directly. *)
+
+open Ast
+
+exception Lower_error of string * pos
+
+let ir_ty : Ast.ty -> Ir.Types.ty = function
+  | Tint -> Ir.Types.I64
+  | Tfloat -> Ir.Types.F64
+  | Tbool -> Ir.Types.I1
+  | Tarr _ -> Ir.Types.I64
+
+let zero_value : Ir.Types.ty -> Ir.Types.value = function
+  | Ir.Types.I64 -> Ir.Types.int_ 0
+  | Ir.Types.F64 -> Ir.Types.float_ 0.0
+  | Ir.Types.I1 -> Ir.Types.bool_ false
+
+(* A resolved variable reference. *)
+type var_ref = Local of string (* unique SSA variable name *) | Glob of string
+
+type ctx = {
+  fn : Ir.Func.t;
+  bld : Ir.Builder.t;
+  func_rets : (string * Ir.Types.ty option) list; (* user function results *)
+  global_tys : (string * Ast.ty) list;
+  (* Braun SSA state *)
+  current_def : (int * string, Ir.Types.value) Hashtbl.t; (* (block, var) *)
+  mutable sealed : (int, unit) Hashtbl.t;
+  incomplete : (int, (string * int) list) Hashtbl.t; (* block -> (var, phi id) *)
+  preds : (int, int list) Hashtbl.t; (* incremental predecessor map *)
+  var_ty : (string, Ir.Types.ty) Hashtbl.t; (* unique var -> IR type *)
+  (* forwarding for removed trivial phis: phi id -> replacement value *)
+  replaced : (int, Ir.Types.value) Hashtbl.t;
+  (* scope stack: source name -> unique var name *)
+  mutable scopes : (string, string) Hashtbl.t list;
+  mutable name_counter : int;
+  (* (continue target, break target) stack *)
+  mutable loop_stack : (int * int) list;
+}
+
+let fresh_name ctx base =
+  ctx.name_counter <- ctx.name_counter + 1;
+  Printf.sprintf "%s.%d" base ctx.name_counter
+
+let push_scope ctx = ctx.scopes <- Hashtbl.create 8 :: ctx.scopes
+
+let pop_scope ctx =
+  match ctx.scopes with [] -> () | _ :: rest -> ctx.scopes <- rest
+
+let declare_var ctx name ty =
+  let unique = fresh_name ctx name in
+  (match ctx.scopes with
+  | scope :: _ -> Hashtbl.replace scope name unique
+  | [] -> invalid_arg "declare_var: no scope");
+  Hashtbl.replace ctx.var_ty unique (ir_ty ty);
+  unique
+
+let resolve_var ctx pos name : var_ref =
+  let rec go = function
+    | [] -> (
+        match List.assoc_opt name ctx.global_tys with
+        | Some _ -> Glob name
+        | None -> raise (Lower_error ("unresolved variable " ^ name, pos)))
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some unique -> Local unique
+        | None -> go rest)
+  in
+  go ctx.scopes
+
+let predecessors ctx b = Option.value ~default:[] (Hashtbl.find_opt ctx.preds b)
+
+let add_pred ctx ~from_ ~to_ =
+  Hashtbl.replace ctx.preds to_ (from_ :: predecessors ctx to_)
+
+(* Terminator emission keeps the incremental predecessor map in sync. *)
+let emit_br ctx target =
+  let from_ = Ir.Builder.current ctx.bld in
+  Ir.Builder.br ctx.bld target;
+  add_pred ctx ~from_ ~to_:target
+
+let emit_cond_br ctx c l1 l2 =
+  let from_ = Ir.Builder.current ctx.bld in
+  Ir.Builder.cond_br ctx.bld c l1 l2;
+  add_pred ctx ~from_ ~to_:l1;
+  if l1 <> l2 then add_pred ctx ~from_ ~to_:l2
+
+(* ---- Braun et al. SSA construction ---- *)
+
+(* Chase the forwarding chain of removed trivial phis. Values can go stale
+   when a recursive try_remove_trivial_phi removes a phi that an outer call
+   already chose as a replacement. *)
+let rec resolve ctx v =
+  match v with
+  | Ir.Types.Reg id -> (
+      match Hashtbl.find_opt ctx.replaced id with
+      | Some v' -> resolve ctx v'
+      | None -> v)
+  | _ -> v
+
+let write_variable ctx var block value =
+  Hashtbl.replace ctx.current_def (block, var) (resolve ctx value)
+
+let var_ir_ty ctx var =
+  match Hashtbl.find_opt ctx.var_ty var with
+  | Some t -> t
+  | None -> invalid_arg ("var_ir_ty: unknown variable " ^ var)
+
+let rec read_variable ctx var block : Ir.Types.value =
+  match Hashtbl.find_opt ctx.current_def (block, var) with
+  | Some v -> resolve ctx v
+  | None -> resolve ctx (read_variable_recursive ctx var block)
+
+and read_variable_recursive ctx var block =
+  let value =
+    if not (Hashtbl.mem ctx.sealed block) then begin
+      let phi = Ir.Builder.phi_placeholder ctx.fn block ~ty:(var_ir_ty ctx var) in
+      let pending = Option.value ~default:[] (Hashtbl.find_opt ctx.incomplete block) in
+      Hashtbl.replace ctx.incomplete block ((var, phi) :: pending);
+      Ir.Types.Reg phi
+    end
+    else
+      match predecessors ctx block with
+      | [] ->
+          (* Entry block or dead code: the variable is unwritten here; it
+             reads as the zero of its type. *)
+          zero_value (var_ir_ty ctx var)
+      | [ p ] -> read_variable ctx var p
+      | _ :: _ ->
+          let phi = Ir.Builder.phi_placeholder ctx.fn block ~ty:(var_ir_ty ctx var) in
+          write_variable ctx var block (Ir.Types.Reg phi);
+          add_phi_operands ctx var phi
+  in
+  write_variable ctx var block value;
+  value
+
+and add_phi_operands ctx var phi : Ir.Types.value =
+  let block = (Ir.Func.instr ctx.fn phi).Ir.Instr.block in
+  let incoming =
+    List.map (fun p -> (p, read_variable ctx var p)) (List.rev (predecessors ctx block))
+  in
+  (* A later read in the list may have removed a phi an earlier read
+     returned; re-resolve at installation time. *)
+  let incoming = List.map (fun (p, v) -> (p, resolve ctx v)) incoming in
+  Ir.Func.set_kind ctx.fn phi (Ir.Instr.Phi (Array.of_list incoming));
+  try_remove_trivial_phi ctx phi
+
+and try_remove_trivial_phi ctx phi : Ir.Types.value =
+  let self = Ir.Types.Reg phi in
+  match Ir.Func.kind ctx.fn phi with
+  | Ir.Instr.Phi incoming -> (
+      let same = ref None in
+      let trivial = ref true in
+      Array.iter
+        (fun (_, v) ->
+          if Ir.Types.equal_value v self then ()
+          else
+            match !same with
+            | Some s when Ir.Types.equal_value s v -> ()
+            | Some _ -> trivial := false
+            | None -> same := Some v)
+        incoming;
+      if not !trivial then self
+      else begin
+        let replacement =
+          match !same with
+          | Some v -> v
+          | None ->
+              (* Phi with no non-self operands: only in unreachable code. *)
+              zero_value
+                (match (Ir.Func.instr ctx.fn phi).Ir.Instr.ty with
+                | Some t -> t
+                | None -> Ir.Types.I64)
+        in
+        (* Collect phi users before rewriting, then recurse on those that may
+           have become trivial. *)
+        let phi_users =
+          Ir.Func.fold_instrs
+            (fun acc i ->
+              match i.Ir.Instr.kind with
+              | Ir.Instr.Phi _
+                when i.Ir.Instr.id <> phi
+                     && List.exists
+                          (fun v -> Ir.Types.equal_value v self)
+                          (Ir.Instr.operands i.Ir.Instr.kind) ->
+                  i.Ir.Instr.id :: acc
+              | _ -> acc)
+            [] ctx.fn
+        in
+        Hashtbl.replace ctx.replaced phi replacement;
+        Ir.Func.replace_all_uses ctx.fn ~old_id:phi ~with_:replacement;
+        (* Any current_def entries naming this phi must follow the rewrite. *)
+        Hashtbl.iter
+          (fun k v ->
+            if Ir.Types.equal_value v self then
+              Hashtbl.replace ctx.current_def k replacement)
+          (Hashtbl.copy ctx.current_def);
+        Ir.Func.remove_instr ctx.fn (Ir.Func.instr ctx.fn phi).Ir.Instr.block phi;
+        List.iter (fun p -> ignore (try_remove_trivial_phi ctx p)) phi_users;
+        (* The recursion may have removed [replacement] itself. *)
+        resolve ctx replacement
+      end)
+  | _ -> self
+
+let seal_block ctx block =
+  if not (Hashtbl.mem ctx.sealed block) then begin
+    (match Hashtbl.find_opt ctx.incomplete block with
+    | Some pending ->
+        List.iter (fun (var, phi) -> ignore (add_phi_operands ctx var phi)) pending;
+        Hashtbl.remove ctx.incomplete block
+    | None -> ());
+    Hashtbl.replace ctx.sealed block ()
+  end
+
+(* ---- Expression lowering ---- *)
+
+let ety e =
+  match e.ety with
+  | Some t -> t
+  | None -> raise (Lower_error ("internal: untyped expression", e.pos))
+
+let rec lower_expr ctx (e : expr) : Ir.Types.value =
+  let b = ctx.bld in
+  match e.e with
+  | Eint v -> Ir.Types.int64_ v
+  | Efloat v -> Ir.Types.float_ v
+  | Ebool v -> Ir.Types.bool_ v
+  | Evar name -> (
+      match resolve_var ctx e.pos name with
+      | Local unique -> read_variable ctx unique (Ir.Builder.current b)
+      | Glob g ->
+          let gty = List.assoc g ctx.global_tys in
+          Ir.Builder.load b ~ty:(ir_ty gty) (Ir.Types.Global g))
+  | Eun (Uneg, x) ->
+      let v = lower_expr ctx x in
+      if ety x = Tfloat then Ir.Builder.fsub b (Ir.Types.float_ 0.0) v
+      else Ir.Builder.sub b (Ir.Types.int_ 0) v
+  | Eun (Unot, x) ->
+      let v = lower_expr ctx x in
+      Ir.Builder.icmp b Ir.Instr.Ieq v (Ir.Types.bool_ false)
+  | Eand (l, r) -> lower_short_circuit ctx ~is_and:true l r
+  | Eor (l, r) -> lower_short_circuit ctx ~is_and:false l r
+  | Ebin (op, l, r) -> lower_binop ctx op l r
+  | Eindex (arr, idx) ->
+      let base = lower_expr ctx arr in
+      let i = lower_expr ctx idx in
+      let addr = Ir.Builder.add b base i in
+      let elem = match ety arr with Tarr t -> t | _ -> Tint in
+      Ir.Builder.load b ~ty:(ir_ty elem) addr
+  | Enew (_, size) ->
+      let n = lower_expr ctx size in
+      let words = Ir.Builder.add b n (Ir.Types.int_ 1) in
+      let base = Ir.Builder.alloc b words in
+      Ir.Builder.store b ~addr:base n;
+      Ir.Builder.add b base (Ir.Types.int_ 1)
+  | Elen arr ->
+      let base = lower_expr ctx arr in
+      let addr = Ir.Builder.sub b base (Ir.Types.int_ 1) in
+      Ir.Builder.load b ~ty:Ir.Types.I64 addr
+  | Ecall (name, args) -> lower_call ctx e.pos name args (Some (ety e))
+
+and lower_short_circuit ctx ~is_and l r =
+  let b = ctx.bld in
+  let lv = lower_expr ctx l in
+  let lhs_block = Ir.Builder.current b in
+  let rhs_block = Ir.Builder.fresh_block ~name:"sc.rhs" ctx.bld in
+  let merge = Ir.Builder.fresh_block ~name:"sc.merge" ctx.bld in
+  if is_and then emit_cond_br ctx lv rhs_block merge
+  else emit_cond_br ctx lv merge rhs_block;
+  seal_block ctx rhs_block;
+  Ir.Builder.position b rhs_block;
+  let rv = lower_expr ctx r in
+  let rhs_end = Ir.Builder.current b in
+  emit_br ctx merge;
+  seal_block ctx merge;
+  Ir.Builder.position b merge;
+  let short_val = Ir.Types.bool_ (not is_and) in
+  Ir.Builder.phi b ~ty:Ir.Types.I1 [ (lhs_block, short_val); (rhs_end, rv) ]
+
+and lower_binop ctx op l r =
+  let b = ctx.bld in
+  let fl = ety l = Tfloat in
+  let lv = lower_expr ctx l in
+  let rv = lower_expr ctx r in
+  match (op, fl) with
+  | Badd, false -> Ir.Builder.add b lv rv
+  | Bsub, false -> Ir.Builder.sub b lv rv
+  | Bmul, false -> Ir.Builder.mul b lv rv
+  | Bdiv, false -> Ir.Builder.sdiv b lv rv
+  | Bmod, _ -> Ir.Builder.srem b lv rv
+  | Badd, true -> Ir.Builder.fadd b lv rv
+  | Bsub, true -> Ir.Builder.fsub b lv rv
+  | Bmul, true -> Ir.Builder.fmul b lv rv
+  | Bdiv, true -> Ir.Builder.fdiv b lv rv
+  | Band, _ -> Ir.Builder.and_ b lv rv
+  | Bor, _ -> Ir.Builder.or_ b lv rv
+  | Bxor, _ -> Ir.Builder.xor b lv rv
+  | Bshl, _ -> Ir.Builder.shl b lv rv
+  | Bshr, _ -> Ir.Builder.ashr b lv rv
+  | Beq, _ | Bne, _ | Blt, _ | Ble, _ | Bgt, _ | Bge, _ ->
+      if fl then
+        let fop =
+          match op with
+          | Beq -> Ir.Instr.Feq
+          | Bne -> Ir.Instr.Fne
+          | Blt -> Ir.Instr.Flt
+          | Ble -> Ir.Instr.Fle
+          | Bgt -> Ir.Instr.Fgt
+          | Bge -> Ir.Instr.Fge
+          | _ -> assert false
+        in
+        Ir.Builder.fcmp b fop lv rv
+      else
+        let iop =
+          match op with
+          | Beq -> Ir.Instr.Ieq
+          | Bne -> Ir.Instr.Ine
+          | Blt -> Ir.Instr.Islt
+          | Ble -> Ir.Instr.Isle
+          | Bgt -> Ir.Instr.Isgt
+          | Bge -> Ir.Instr.Isge
+          | _ -> assert false
+        in
+        Ir.Builder.icmp b iop lv rv
+
+and lower_call ctx pos name args result_ty : Ir.Types.value =
+  let b = ctx.bld in
+  let vals () = List.map (lower_expr ctx) args in
+  match (name, args) with
+  (* intrinsics expand inline: no call instruction, no fn-ladder impact *)
+  | "float", [ x ] -> Ir.Builder.si_to_fp b (lower_expr ctx x)
+  | "int", [ x ] -> Ir.Builder.fp_to_si b (lower_expr ctx x)
+  | "imin", [ x; y ] ->
+      let xv = lower_expr ctx x and yv = lower_expr ctx y in
+      let c = Ir.Builder.icmp b Ir.Instr.Islt xv yv in
+      Ir.Builder.select b ~ty:Ir.Types.I64 c xv yv
+  | "imax", [ x; y ] ->
+      let xv = lower_expr ctx x and yv = lower_expr ctx y in
+      let c = Ir.Builder.icmp b Ir.Instr.Isgt xv yv in
+      Ir.Builder.select b ~ty:Ir.Types.I64 c xv yv
+  | "fminv", [ x; y ] ->
+      let xv = lower_expr ctx x and yv = lower_expr ctx y in
+      let c = Ir.Builder.fcmp b Ir.Instr.Flt xv yv in
+      Ir.Builder.select b ~ty:Ir.Types.F64 c xv yv
+  | "fmaxv", [ x; y ] ->
+      let xv = lower_expr ctx x and yv = lower_expr ctx y in
+      let c = Ir.Builder.fcmp b Ir.Instr.Fgt xv yv in
+      Ir.Builder.select b ~ty:Ir.Types.F64 c xv yv
+  | "iabs", [ x ] ->
+      let xv = lower_expr ctx x in
+      let c = Ir.Builder.icmp b Ir.Instr.Islt xv (Ir.Types.int_ 0) in
+      let n = Ir.Builder.sub b (Ir.Types.int_ 0) xv in
+      Ir.Builder.select b ~ty:Ir.Types.I64 c n xv
+  | "fabs", [ x ] ->
+      let xv = lower_expr ctx x in
+      let c = Ir.Builder.fcmp b Ir.Instr.Flt xv (Ir.Types.float_ 0.0) in
+      let n = Ir.Builder.fsub b (Ir.Types.float_ 0.0) xv in
+      Ir.Builder.select b ~ty:Ir.Types.F64 c n xv
+  | _ -> (
+      let ret_ir =
+        match Ir.Builtins.find name with
+        | Some s -> s.Ir.Builtins.ret
+        | None -> (
+            match List.assoc_opt name ctx.func_rets with
+            | Some r -> r
+            | None -> (
+                (* arrcopy/arrfill are builtins with array-generic types *)
+                match result_ty with
+                | Some t -> Some (ir_ty t)
+                | None -> None))
+      in
+      match ret_ir with
+      | Some ty -> Ir.Builder.call b ~ty:(Some ty) name (vals ())
+      | None ->
+          Ir.Builder.call_unit b name (vals ());
+          raise_void_use pos name result_ty)
+
+and raise_void_use pos name result_ty =
+  match result_ty with
+  | None -> Ir.Types.int_ 0 (* dummy; callers of void calls discard this *)
+  | Some _ -> raise (Lower_error ("void call used as a value: " ^ name, pos))
+
+(* ---- Statement lowering ---- *)
+
+let rec lower_stmt ctx (s : stmt) : unit =
+  let b = ctx.bld in
+  match s.s with
+  | Svar (name, ty, init) ->
+      let v =
+        match init with
+        | Some e -> lower_expr ctx e
+        | None -> zero_value (ir_ty ty)
+      in
+      let unique = declare_var ctx name ty in
+      write_variable ctx unique (Ir.Builder.current b) v
+  | Sassign (name, e) -> (
+      let v = lower_expr ctx e in
+      match resolve_var ctx s.spos name with
+      | Local unique -> write_variable ctx unique (Ir.Builder.current b) v
+      | Glob g -> Ir.Builder.store b ~addr:(Ir.Types.Global g) v)
+  | Sstore (arr, idx, v) ->
+      let base = lower_expr ctx arr in
+      let i = lower_expr ctx idx in
+      let addr = Ir.Builder.add b base i in
+      let value = lower_expr ctx v in
+      Ir.Builder.store b ~addr value
+  | Sif (cond, then_, else_) ->
+      let cv = lower_expr ctx cond in
+      let then_block = Ir.Builder.fresh_block ~name:"if.then" b in
+      let merge = Ir.Builder.fresh_block ~name:"if.merge" b in
+      let else_block =
+        if else_ = [] then merge else Ir.Builder.fresh_block ~name:"if.else" b
+      in
+      emit_cond_br ctx cv then_block else_block;
+      seal_block ctx then_block;
+      Ir.Builder.position b then_block;
+      push_scope ctx;
+      List.iter (lower_stmt ctx) then_;
+      pop_scope ctx;
+      if not (Ir.Builder.is_closed b) then emit_br ctx merge;
+      if else_ <> [] then begin
+        seal_block ctx else_block;
+        Ir.Builder.position b else_block;
+        push_scope ctx;
+        List.iter (lower_stmt ctx) else_;
+        pop_scope ctx;
+        if not (Ir.Builder.is_closed b) then emit_br ctx merge
+      end;
+      seal_block ctx merge;
+      Ir.Builder.position b merge
+  | Swhile (cond, body) ->
+      let header = Ir.Builder.fresh_block ~name:"while.header" b in
+      let body_block = Ir.Builder.fresh_block ~name:"while.body" b in
+      let exit = Ir.Builder.fresh_block ~name:"while.exit" b in
+      emit_br ctx header;
+      (* header stays unsealed until every latch (including continues) is in *)
+      Ir.Builder.position b header;
+      let cv = lower_expr ctx cond in
+      emit_cond_br ctx cv body_block exit;
+      seal_block ctx body_block;
+      Ir.Builder.position b body_block;
+      ctx.loop_stack <- (header, exit) :: ctx.loop_stack;
+      push_scope ctx;
+      List.iter (lower_stmt ctx) body;
+      pop_scope ctx;
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      if not (Ir.Builder.is_closed b) then emit_br ctx header;
+      seal_block ctx header;
+      seal_block ctx exit;
+      Ir.Builder.position b exit
+  | Sfor (init, cond, step, body) ->
+      push_scope ctx;
+      Option.iter (lower_stmt ctx) init;
+      let header = Ir.Builder.fresh_block ~name:"for.header" b in
+      let body_block = Ir.Builder.fresh_block ~name:"for.body" b in
+      let step_block = Ir.Builder.fresh_block ~name:"for.step" b in
+      let exit = Ir.Builder.fresh_block ~name:"for.exit" b in
+      emit_br ctx header;
+      Ir.Builder.position b header;
+      let cv =
+        match cond with Some c -> lower_expr ctx c | None -> Ir.Types.bool_ true
+      in
+      emit_cond_br ctx cv body_block exit;
+      seal_block ctx body_block;
+      Ir.Builder.position b body_block;
+      ctx.loop_stack <- (step_block, exit) :: ctx.loop_stack;
+      push_scope ctx;
+      List.iter (lower_stmt ctx) body;
+      pop_scope ctx;
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      if not (Ir.Builder.is_closed b) then emit_br ctx step_block;
+      seal_block ctx step_block;
+      Ir.Builder.position b step_block;
+      Option.iter (lower_stmt ctx) step;
+      if not (Ir.Builder.is_closed b) then emit_br ctx header;
+      seal_block ctx header;
+      seal_block ctx exit;
+      Ir.Builder.position b exit;
+      pop_scope ctx
+  | Sbreak -> (
+      match ctx.loop_stack with
+      | (_, exit) :: _ ->
+          emit_br ctx exit;
+          dead_block ctx
+      | [] -> raise (Lower_error ("break outside loop", s.spos)))
+  | Scontinue -> (
+      match ctx.loop_stack with
+      | (cont, _) :: _ ->
+          emit_br ctx cont;
+          dead_block ctx
+      | [] -> raise (Lower_error ("continue outside loop", s.spos)))
+  | Sreturn e ->
+      let v = Option.map (lower_expr ctx) e in
+      Ir.Builder.ret ctx.bld v;
+      dead_block ctx
+  | Sexpr e -> (
+      match e.e with
+      | Ecall (name, args) ->
+          (* Possibly-void call in statement position. *)
+          let result_ty = e.ety in
+          (match (Sema.is_intrinsic name, result_ty) with
+          | true, _ -> ignore (lower_call ctx e.pos name args result_ty)
+          | false, _ -> (
+              let ret_ir =
+                match Ir.Builtins.find name with
+                | Some sg -> sg.Ir.Builtins.ret
+                | None -> (
+                    match List.assoc_opt name ctx.func_rets with
+                    | Some r -> r
+                    | None -> Option.map ir_ty result_ty)
+              in
+              let vals = List.map (lower_expr ctx) args in
+              match ret_ir with
+              | Some ty -> ignore (Ir.Builder.call ctx.bld ~ty:(Some ty) name vals)
+              | None -> Ir.Builder.call_unit ctx.bld name vals))
+      | _ -> ignore (lower_expr ctx e))
+
+(* After a terminator mid-statement-list, keep lowering into a fresh
+   unreachable block (it is sealed immediately: it has no predecessors). *)
+and dead_block ctx =
+  let blk = Ir.Builder.fresh_block ~name:"dead" ctx.bld in
+  seal_block ctx blk;
+  Ir.Builder.position ctx.bld blk
+
+let lower_func ~func_rets ~global_tys (f : func) : Ir.Func.t =
+  let fn =
+    Ir.Func.create ~name:f.fname
+      ~params:(List.map (fun (n, t) -> (n, ir_ty t)) f.params)
+      ~ret:(Option.map ir_ty f.ret)
+  in
+  let entry = Ir.Func.add_block ~name:"entry" fn in
+  fn.Ir.Func.entry <- entry;
+  let ctx =
+    {
+      fn;
+      bld = Ir.Builder.create fn;
+      func_rets;
+      global_tys;
+      current_def = Hashtbl.create 64;
+      replaced = Hashtbl.create 16;
+      sealed = Hashtbl.create 16;
+      incomplete = Hashtbl.create 8;
+      preds = Hashtbl.create 16;
+      var_ty = Hashtbl.create 32;
+      scopes = [];
+      name_counter = 0;
+      loop_stack = [];
+    }
+  in
+  Ir.Builder.position ctx.bld entry;
+  seal_block ctx entry;
+  push_scope ctx;
+  (* Parameters become ordinary SSA variables initialized from Param. *)
+  List.iteri
+    (fun i (name, ty) ->
+      let unique = declare_var ctx name ty in
+      write_variable ctx unique entry (Ir.Types.Param i))
+    f.params;
+  List.iter (lower_stmt ctx) f.body;
+  pop_scope ctx;
+  (* Implicit return on fall-through. *)
+  if not (Ir.Builder.is_closed ctx.bld) then
+    Ir.Builder.ret ctx.bld
+      (match f.ret with Some t -> Some (zero_value (ir_ty t)) | None -> None);
+  fn
+
+let const_of_global (g : Ast.global) : Ir.Types.const =
+  match (g.gty, g.ginit) with
+  | Tint, Some { e = Eint v; _ } -> Ir.Types.Cint v
+  | Tint, Some { e = Eun (Uneg, { e = Eint v; _ }); _ } -> Ir.Types.Cint (Int64.neg v)
+  | Tfloat, Some { e = Efloat v; _ } -> Ir.Types.Cfloat v
+  | Tfloat, Some { e = Eun (Uneg, { e = Efloat v; _ }); _ } -> Ir.Types.Cfloat (-.v)
+  | Tbool, Some { e = Ebool v; _ } -> Ir.Types.Cbool v
+  | Tint, None -> Ir.Types.Cint 0L
+  | Tfloat, None -> Ir.Types.Cfloat 0.0
+  | Tbool, None -> Ir.Types.Cbool false
+  | Tarr _, _ -> Ir.Types.Cint 0L (* null array; must be assigned before use *)
+  | _, Some _ -> Ir.Types.Cint 0L (* rejected by sema *)
+
+let lower_program (p : program) : Ir.Func.modul =
+  let m = Ir.Func.create_module () in
+  List.iter
+    (fun g ->
+      Ir.Func.add_global m
+        { Ir.Func.gname = g.gname; gty = ir_ty g.gty; ginit = const_of_global g })
+    p.globals;
+  let func_rets = List.map (fun f -> (f.fname, Option.map ir_ty f.ret)) p.funcs in
+  let global_tys = List.map (fun g -> (g.gname, g.gty)) p.globals in
+  List.iter (fun f -> Ir.Func.add_func m (lower_func ~func_rets ~global_tys f)) p.funcs;
+  m

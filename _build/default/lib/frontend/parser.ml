@@ -1,0 +1,383 @@
+(* Recursive-descent parser for Looplang. Operator precedence follows C
+   (with the usual simplifications: no assignment expressions, no ternary). *)
+
+open Ast
+open Lexer
+
+exception Parse_error of string * pos
+
+type state = { toks : (token * pos) array; mutable cur : int }
+
+let peek st = fst st.toks.(st.cur)
+
+let peek2 st =
+  if st.cur + 1 < Array.length st.toks then fst st.toks.(st.cur + 1) else Eof
+
+let pos_here st = snd st.toks.(st.cur)
+
+let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+
+let error st msg = raise (Parse_error (msg, pos_here st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected '%s' but found '%s'" (token_to_string tok)
+         (token_to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Tident name ->
+      advance st;
+      name
+  | t -> error st (Printf.sprintf "expected identifier, found '%s'" (token_to_string t))
+
+(* type := ("int"|"float"|"bool") ("[" "]")* *)
+let parse_ty st =
+  let base =
+    match peek st with
+    | Kint -> advance st; Tint
+    | Kfloat -> advance st; Tfloat
+    | Kbool -> advance st; Tbool
+    | t -> error st (Printf.sprintf "expected a type, found '%s'" (token_to_string t))
+  in
+  let rec arrays t =
+    if peek st = Lbracket && peek2 st = Rbracket then begin
+      advance st;
+      advance st;
+      arrays (Tarr t)
+    end
+    else t
+  in
+  arrays base
+
+let binop_of_token = function
+  | Plus -> Some Badd
+  | Minus -> Some Bsub
+  | Star -> Some Bmul
+  | Slash -> Some Bdiv
+  | Percent -> Some Bmod
+  | Amp -> Some Band
+  | Pipe -> Some Bor
+  | Caret -> Some Bxor
+  | Shl -> Some Bshl
+  | Shr -> Some Bshr
+  | Eq -> Some Beq
+  | Neq -> Some Bne
+  | Lt -> Some Blt
+  | Le -> Some Ble
+  | Gt -> Some Bgt
+  | Ge -> Some Bge
+  | _ -> None
+
+(* Precedence climbing, C-like levels (higher binds tighter). *)
+let prec_of = function
+  | Bmul | Bdiv | Bmod -> 10
+  | Badd | Bsub -> 9
+  | Bshl | Bshr -> 8
+  | Blt | Ble | Bgt | Bge -> 7
+  | Beq | Bne -> 6
+  | Band -> 5
+  | Bxor -> 4
+  | Bor -> 3
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = Pipepipe do
+    let p = pos_here st in
+    advance st;
+    let rhs = parse_and st in
+    lhs := mk_expr ~pos:p (Eor (!lhs, rhs))
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_binary st 0) in
+  while peek st = Ampamp do
+    let p = pos_here st in
+    advance st;
+    let rhs = parse_binary st 0 in
+    lhs := mk_expr ~pos:p (Eand (!lhs, rhs))
+  done;
+  !lhs
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek st) with
+    | Some op when prec_of op >= min_prec ->
+        let p = pos_here st in
+        advance st;
+        let rhs = parse_binary st (prec_of op + 1) in
+        lhs := mk_expr ~pos:p (Ebin (op, !lhs, rhs))
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Minus ->
+      let p = pos_here st in
+      advance st;
+      mk_expr ~pos:p (Eun (Uneg, parse_unary st))
+  | Bang ->
+      let p = pos_here st in
+      advance st;
+      mk_expr ~pos:p (Eun (Unot, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lbracket ->
+        let p = pos_here st in
+        advance st;
+        let idx = parse_expr st in
+        expect st Rbracket;
+        e := mk_expr ~pos:p (Eindex (!e, idx))
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_primary st =
+  let p = pos_here st in
+  match peek st with
+  | Tint_lit v ->
+      advance st;
+      mk_expr ~pos:p (Eint v)
+  | Tfloat_lit v ->
+      advance st;
+      mk_expr ~pos:p (Efloat v)
+  | Ktrue ->
+      advance st;
+      mk_expr ~pos:p (Ebool true)
+  | Kfalse ->
+      advance st;
+      mk_expr ~pos:p (Ebool false)
+  | Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Rparen;
+      e
+  (* conversion intrinsics share spelling with the type keywords *)
+  | Kfloat when peek2 st = Lparen ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st Rparen;
+      mk_expr ~pos:p (Ecall ("float", [ e ]))
+  | Kint when peek2 st = Lparen ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st Rparen;
+      mk_expr ~pos:p (Ecall ("int", [ e ]))
+  | Knew ->
+      advance st;
+      let elem =
+        match peek st with
+        | Kint -> advance st; Tint
+        | Kfloat -> advance st; Tfloat
+        | t ->
+            error st
+              (Printf.sprintf "expected 'int' or 'float' after 'new', found '%s'"
+                 (token_to_string t))
+      in
+      expect st Lbracket;
+      let size = parse_expr st in
+      expect st Rbracket;
+      mk_expr ~pos:p (Enew (elem, size))
+  | Tident "len" when peek2 st = Lparen ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st Rparen;
+      mk_expr ~pos:p (Elen e)
+  | Tident name -> (
+      advance st;
+      match peek st with
+      | Lparen ->
+          advance st;
+          let args = ref [] in
+          if peek st <> Rparen then begin
+            args := [ parse_expr st ];
+            while peek st = Comma do
+              advance st;
+              args := parse_expr st :: !args
+            done
+          end;
+          expect st Rparen;
+          mk_expr ~pos:p (Ecall (name, List.rev !args))
+      | _ -> mk_expr ~pos:p (Evar name))
+  | t -> error st (Printf.sprintf "unexpected token '%s' in expression" (token_to_string t))
+
+(* A "simple" statement usable in for-headers: declaration, assignment,
+   array store or expression, with no trailing semicolon. *)
+let rec parse_simple_stmt st =
+  let p = pos_here st in
+  match peek st with
+  | Kvar ->
+      advance st;
+      let name = expect_ident st in
+      expect st Colon;
+      let ty = parse_ty st in
+      let init =
+        if peek st = Assign then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      mk_stmt ~pos:p (Svar (name, ty, init))
+  | Tident name when peek2 st = Assign ->
+      advance st;
+      advance st;
+      let rhs = parse_expr st in
+      mk_stmt ~pos:p (Sassign (name, rhs))
+  | _ ->
+      (* Could be an array store (lvalue with indexing) or a call statement. *)
+      let e = parse_expr st in
+      if peek st = Assign then begin
+        advance st;
+        let rhs = parse_expr st in
+        match e.Ast.e with
+        | Eindex (arr, idx) -> mk_stmt ~pos:p (Sstore (arr, idx, rhs))
+        | Evar name -> mk_stmt ~pos:p (Sassign (name, rhs))
+        | _ -> error st "invalid assignment target"
+      end
+      else mk_stmt ~pos:p (Sexpr e)
+
+and parse_stmt st =
+  let p = pos_here st in
+  match peek st with
+  | Kif ->
+      advance st;
+      expect st Lparen;
+      let cond = parse_expr st in
+      expect st Rparen;
+      let then_ = parse_block st in
+      let else_ =
+        if peek st = Kelse then begin
+          advance st;
+          if peek st = Kif then [ parse_stmt st ] else parse_block st
+        end
+        else []
+      in
+      mk_stmt ~pos:p (Sif (cond, then_, else_))
+  | Kwhile ->
+      advance st;
+      expect st Lparen;
+      let cond = parse_expr st in
+      expect st Rparen;
+      let body = parse_block st in
+      mk_stmt ~pos:p (Swhile (cond, body))
+  | Kfor ->
+      advance st;
+      expect st Lparen;
+      let init = if peek st = Semi then None else Some (parse_simple_stmt st) in
+      expect st Semi;
+      let cond = if peek st = Semi then None else Some (parse_expr st) in
+      expect st Semi;
+      let step = if peek st = Rparen then None else Some (parse_simple_stmt st) in
+      expect st Rparen;
+      let body = parse_block st in
+      mk_stmt ~pos:p (Sfor (init, cond, step, body))
+  | Kbreak ->
+      advance st;
+      expect st Semi;
+      mk_stmt ~pos:p Sbreak
+  | Kcontinue ->
+      advance st;
+      expect st Semi;
+      mk_stmt ~pos:p Scontinue
+  | Kreturn ->
+      advance st;
+      if peek st = Semi then begin
+        advance st;
+        mk_stmt ~pos:p (Sreturn None)
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Semi;
+        mk_stmt ~pos:p (Sreturn (Some e))
+      end
+  | _ ->
+      let s = parse_simple_stmt st in
+      expect st Semi;
+      s
+
+and parse_block st =
+  expect st Lbrace;
+  let stmts = ref [] in
+  while peek st <> Rbrace do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st Rbrace;
+  List.rev !stmts
+
+let parse_func st =
+  let p = pos_here st in
+  expect st Kfn;
+  let name = expect_ident st in
+  expect st Lparen;
+  let params = ref [] in
+  if peek st <> Rparen then begin
+    let param () =
+      let pname = expect_ident st in
+      expect st Colon;
+      let ty = parse_ty st in
+      (pname, ty)
+    in
+    params := [ param () ];
+    while peek st = Comma do
+      advance st;
+      params := param () :: !params
+    done
+  end;
+  expect st Rparen;
+  let ret =
+    if peek st = Arrow then begin
+      advance st;
+      Some (parse_ty st)
+    end
+    else None
+  in
+  let body = parse_block st in
+  { fname = name; params = List.rev !params; ret; body; fpos = p }
+
+let parse_global st =
+  let p = pos_here st in
+  expect st Kglobal;
+  let name = expect_ident st in
+  expect st Colon;
+  let ty = parse_ty st in
+  let init =
+    if peek st = Assign then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  expect st Semi;
+  { gname = name; gty = ty; ginit = init; gpos = p }
+
+let parse_program (src : string) : program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; cur = 0 } in
+  let globals = ref [] and funcs = ref [] in
+  while peek st <> Eof do
+    match peek st with
+    | Kglobal -> globals := parse_global st :: !globals
+    | Kfn -> funcs := parse_func st :: !funcs
+    | t ->
+        error st
+          (Printf.sprintf "expected 'fn' or 'global' at top level, found '%s'"
+             (token_to_string t))
+  done;
+  { globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,353 @@
+(* Semantic analysis: scope resolution and type checking. Annotates every
+   expression with its type (expr.ety) so lowering never re-infers. *)
+
+open Ast
+
+exception Sema_error of string * pos
+
+let err pos fmt = Format.kasprintf (fun msg -> raise (Sema_error (msg, pos))) fmt
+
+(* Intrinsics are expanded inline during lowering (they are language
+   constructs, not calls). *)
+let intrinsics = [ "imin"; "imax"; "fminv"; "fmaxv"; "iabs"; "fabs"; "float"; "int" ]
+
+let is_intrinsic name = List.mem name intrinsics
+
+(* Looplang-level signatures of the runtime builtins. *)
+let builtin_sig name : (ty list * ty option) option =
+  match name with
+  | "print_int" | "print_char" -> Some ([ Tint ], None)
+  | "print_float" -> Some ([ Tfloat ], None)
+  | "rand" -> Some ([], Some Tint)
+  | "srand" -> Some ([ Tint ], None)
+  | "sqrt" | "sin" | "cos" | "exp" | "log" -> Some ([ Tfloat ], Some Tfloat)
+  | "pow" -> Some ([ Tfloat; Tfloat ], Some Tfloat)
+  | _ -> None
+
+type env = {
+  globals : (string * ty) list;
+  func_sigs : (string * (ty list * ty option)) list;
+  mutable scopes : (string, ty) Hashtbl.t list;
+  fn_ret : ty option;
+  mutable loop_depth : int;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+
+let pop_scope env =
+  match env.scopes with [] -> () | _ :: rest -> env.scopes <- rest
+
+let declare env pos name ty =
+  match env.scopes with
+  | [] -> err pos "internal: no scope"
+  | scope :: _ ->
+      if Hashtbl.mem scope name then err pos "redeclaration of '%s'" name;
+      Hashtbl.replace scope name ty
+
+let lookup_local env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with Some t -> Some t | None -> go rest)
+  in
+  go env.scopes
+
+let lookup_var env pos name =
+  match lookup_local env name with
+  | Some t -> (t, `Local)
+  | None -> (
+      match List.assoc_opt name env.globals with
+      | Some t -> (t, `Global)
+      | None -> err pos "undefined variable '%s'" name)
+
+let is_numeric = function Tint | Tfloat -> true | Tbool | Tarr _ -> false
+
+let rec check_expr env (e : expr) : ty =
+  let t = infer_expr env e in
+  e.ety <- Some t;
+  t
+
+and infer_expr env e =
+  let pos = e.pos in
+  match e.e with
+  | Eint _ -> Tint
+  | Efloat _ -> Tfloat
+  | Ebool _ -> Tbool
+  | Evar name -> fst (lookup_var env pos name)
+  | Eun (Uneg, x) -> (
+      match check_expr env x with
+      | (Tint | Tfloat) as t -> t
+      | t -> err pos "cannot negate %s" (ty_to_string t))
+  | Eun (Unot, x) -> (
+      match check_expr env x with
+      | Tbool -> Tbool
+      | t -> err pos "'!' needs bool, got %s" (ty_to_string t))
+  | Eand (a, b) | Eor (a, b) ->
+      let ta = check_expr env a and tb = check_expr env b in
+      if ta <> Tbool || tb <> Tbool then
+        err pos "logical operator needs bool operands, got %s and %s" (ty_to_string ta)
+          (ty_to_string tb);
+      Tbool
+  | Ebin (op, a, b) -> (
+      let ta = check_expr env a and tb = check_expr env b in
+      let both t = equal_ty ta t && equal_ty tb t in
+      match op with
+      | Badd | Bsub | Bmul | Bdiv ->
+          if both Tint then Tint
+          else if both Tfloat then Tfloat
+          else
+            err pos "arithmetic needs matching int or float operands, got %s and %s"
+              (ty_to_string ta) (ty_to_string tb)
+      | Bmod | Band | Bor | Bxor | Bshl | Bshr ->
+          if both Tint then Tint
+          else
+            err pos "integer operator needs int operands, got %s and %s"
+              (ty_to_string ta) (ty_to_string tb)
+      | Blt | Ble | Bgt | Bge ->
+          if both Tint || both Tfloat then Tbool
+          else
+            err pos "comparison needs matching numeric operands, got %s and %s"
+              (ty_to_string ta) (ty_to_string tb)
+      | Beq | Bne ->
+          if both Tint || both Tfloat || both Tbool then Tbool
+          else
+            err pos "equality needs matching scalar operands, got %s and %s"
+              (ty_to_string ta) (ty_to_string tb))
+  | Eindex (arr, idx) -> (
+      let ta = check_expr env arr in
+      let ti = check_expr env idx in
+      if ti <> Tint then err pos "array index must be int, got %s" (ty_to_string ti);
+      match ta with
+      | Tarr t -> t
+      | t -> err pos "cannot index %s" (ty_to_string t))
+  | Enew (elem, size) ->
+      if check_expr env size <> Tint then err pos "array size must be int";
+      if not (is_numeric elem) then err pos "arrays hold int or float only";
+      Tarr elem
+  | Elen arr -> (
+      match check_expr env arr with
+      | Tarr _ -> Tint
+      | t -> err pos "len() needs an array, got %s" (ty_to_string t))
+  | Ecall (name, args) -> (
+      let targs = List.map (check_expr env) args in
+      let arity_err want =
+        err pos "'%s' expects %d argument(s), got %d" name want (List.length args)
+      in
+      match name with
+      (* intrinsics *)
+      | "float" -> (
+          match targs with
+          | [ Tint ] -> Tfloat
+          | [ _ ] -> err pos "float() needs an int"
+          | _ -> arity_err 1)
+      | "int" -> (
+          match targs with
+          | [ Tfloat ] -> Tint
+          | [ _ ] -> err pos "int() needs a float"
+          | _ -> arity_err 1)
+      | "imin" | "imax" -> (
+          match targs with
+          | [ Tint; Tint ] -> Tint
+          | [ _; _ ] -> err pos "%s() needs two ints" name
+          | _ -> arity_err 2)
+      | "fminv" | "fmaxv" -> (
+          match targs with
+          | [ Tfloat; Tfloat ] -> Tfloat
+          | [ _; _ ] -> err pos "%s() needs two floats" name
+          | _ -> arity_err 2)
+      | "iabs" -> (
+          match targs with
+          | [ Tint ] -> Tint
+          | [ _ ] -> err pos "iabs() needs an int"
+          | _ -> arity_err 1)
+      | "fabs" -> (
+          match targs with
+          | [ Tfloat ] -> Tfloat
+          | [ _ ] -> err pos "fabs() needs a float"
+          | _ -> arity_err 1)
+      (* generic array builtins *)
+      | "arrcopy" -> (
+          match targs with
+          | [ Tarr a; Tarr b; Tint ] when equal_ty a b -> Tint (* words copied *)
+          | _ -> err pos "arrcopy(dst, src, n) needs two arrays of one type and an int")
+      | "arrfill" -> (
+          match targs with
+          | [ Tarr a; b; Tint ] when equal_ty a b -> Tint (* words written *)
+          | _ -> err pos "arrfill(a, v, n) needs an array, a matching value and an int")
+      | _ -> (
+          let sig_ =
+            match builtin_sig name with
+            | Some s -> Some s
+            | None -> List.assoc_opt name env.func_sigs
+          in
+          match sig_ with
+          | None -> err pos "call to undefined function '%s'" name
+          | Some (want, ret) ->
+              if List.length want <> List.length targs then arity_err (List.length want);
+              List.iteri
+                (fun i (w, g) ->
+                  if not (equal_ty w g) then
+                    err pos "argument %d of '%s' has type %s, expected %s" (i + 1) name
+                      (ty_to_string g) (ty_to_string w))
+                (List.combine want targs);
+              (match ret with
+              | Some t -> t
+              | None ->
+                  (* A void call is only legal as a statement; the caller
+                     (check_stmt) handles that case before recursing here. *)
+                  err pos "void function '%s' used in an expression" name)))
+
+let rec check_stmt env (s : stmt) : unit =
+  let pos = s.spos in
+  match s.s with
+  | Svar (name, ty, init) ->
+      (match init with
+      | Some e ->
+          let t = check_expr env e in
+          if not (equal_ty t ty) then
+            err pos "initializer of '%s' has type %s, expected %s" name (ty_to_string t)
+              (ty_to_string ty)
+      | None -> ());
+      declare env pos name ty
+  | Sassign (name, e) ->
+      let tvar, _ = lookup_var env pos name in
+      let t = check_expr env e in
+      if not (equal_ty t tvar) then
+        err pos "assigning %s to '%s' of type %s" (ty_to_string t) name
+          (ty_to_string tvar)
+  | Sstore (arr, idx, v) -> (
+      let ta = check_expr env arr in
+      let ti = check_expr env idx in
+      let tv = check_expr env v in
+      if ti <> Tint then err pos "array index must be int";
+      match ta with
+      | Tarr elem when equal_ty elem tv -> ()
+      | Tarr elem ->
+          err pos "storing %s into %s array" (ty_to_string tv) (ty_to_string elem)
+      | t -> err pos "cannot index %s" (ty_to_string t))
+  | Sif (cond, then_, else_) ->
+      if check_expr env cond <> Tbool then err pos "if condition must be bool";
+      push_scope env;
+      List.iter (check_stmt env) then_;
+      pop_scope env;
+      push_scope env;
+      List.iter (check_stmt env) else_;
+      pop_scope env
+  | Swhile (cond, body) ->
+      if check_expr env cond <> Tbool then err pos "while condition must be bool";
+      env.loop_depth <- env.loop_depth + 1;
+      push_scope env;
+      List.iter (check_stmt env) body;
+      pop_scope env;
+      env.loop_depth <- env.loop_depth - 1
+  | Sfor (init, cond, step, body) ->
+      push_scope env;
+      Option.iter (check_stmt env) init;
+      (match cond with
+      | Some c -> if check_expr env c <> Tbool then err pos "for condition must be bool"
+      | None -> ());
+      env.loop_depth <- env.loop_depth + 1;
+      push_scope env;
+      List.iter (check_stmt env) body;
+      pop_scope env;
+      Option.iter (check_stmt env) step;
+      env.loop_depth <- env.loop_depth - 1;
+      pop_scope env
+  | Sbreak | Scontinue ->
+      if env.loop_depth = 0 then err pos "break/continue outside a loop"
+  | Sreturn e -> (
+      match (e, env.fn_ret) with
+      | None, None -> ()
+      | Some e, Some want ->
+          let t = check_expr env e in
+          if not (equal_ty t want) then
+            err pos "returning %s from a function returning %s" (ty_to_string t)
+              (ty_to_string want)
+      | Some _, None -> err pos "returning a value from a void function"
+      | None, Some t -> err pos "missing return value of type %s" (ty_to_string t))
+  | Sexpr e -> (
+      (* Statement expressions are calls; void calls are legal here. *)
+      match e.e with
+      | Ecall (name, args) -> (
+          let void_sig =
+            match builtin_sig name with
+            | Some (want, None) -> Some want
+            | Some (_, Some _) -> None
+            | None -> (
+                match List.assoc_opt name env.func_sigs with
+                | Some (want, None) -> Some want
+                | _ -> None)
+          in
+          match void_sig with
+          | Some want when not (is_intrinsic name) ->
+              let targs = List.map (check_expr env) args in
+              if List.length want <> List.length targs then
+                err pos "'%s' expects %d argument(s), got %d" name (List.length want)
+                  (List.length targs);
+              List.iteri
+                (fun i (w, g) ->
+                  if not (equal_ty w g) then
+                    err pos "argument %d of '%s' has type %s, expected %s" (i + 1) name
+                      (ty_to_string g) (ty_to_string w))
+                (List.combine want targs);
+              e.ety <- None
+          | _ -> ignore (check_expr env e))
+      | _ -> ignore (check_expr env e))
+
+let check_func ~globals ~func_sigs (f : func) : unit =
+  let env =
+    { globals; func_sigs; scopes = []; fn_ret = f.ret; loop_depth = 0 }
+  in
+  push_scope env;
+  List.iter
+    (fun (name, ty) ->
+      if is_intrinsic name || builtin_sig name <> None then
+        err f.fpos "parameter '%s' shadows a builtin" name;
+      declare env f.fpos name ty)
+    f.params;
+  List.iter (check_stmt env) f.body;
+  pop_scope env
+
+let check_program (p : program) : unit =
+  let globals =
+    List.map
+      (fun g ->
+        (match g.gty with
+        | Tint | Tfloat | Tbool | Tarr _ -> ());
+        (g.gname, g.gty))
+      p.globals
+  in
+  (* Global initializers must be literals (evaluated at load time). *)
+  List.iter
+    (fun g ->
+      match g.ginit with
+      | None -> ()
+      | Some { e = Eint _; _ } when g.gty = Tint -> ()
+      | Some { e = Efloat _; _ } when g.gty = Tfloat -> ()
+      | Some { e = Ebool _; _ } when g.gty = Tbool -> ()
+      | Some { e = Eun (Uneg, { e = Eint _; _ }); _ } when g.gty = Tint -> ()
+      | Some { e = Eun (Uneg, { e = Efloat _; _ }); _ } when g.gty = Tfloat -> ()
+      | Some _ ->
+          err g.gpos "global '%s' initializer must be a literal of type %s" g.gname
+            (ty_to_string g.gty))
+    p.globals;
+  let rec dup_names seen = function
+    | [] -> ()
+    | g :: rest ->
+        if List.mem g.gname seen then err g.gpos "duplicate global '%s'" g.gname;
+        dup_names (g.gname :: seen) rest
+  in
+  dup_names [] p.globals;
+  let func_sigs =
+    List.map (fun f -> (f.fname, (List.map snd f.params, f.ret))) p.funcs
+  in
+  let rec dup_funcs seen = function
+    | [] -> ()
+    | f :: rest ->
+        if List.mem f.fname seen then err f.fpos "duplicate function '%s'" f.fname;
+        if is_intrinsic f.fname || builtin_sig f.fname <> None then
+          err f.fpos "function '%s' shadows a builtin" f.fname;
+        dup_funcs (f.fname :: seen) rest
+  in
+  dup_funcs [] p.funcs;
+  List.iter (check_func ~globals ~func_sigs) p.funcs

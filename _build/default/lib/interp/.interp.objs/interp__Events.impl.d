@@ -1,0 +1,1 @@
+lib/interp/events.ml: Array Ir Rvalue

@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Buffer Cfg Char Events Float Hashtbl Int64 Ir List Option Printf Rvalue

@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Cfg Events Ir Rvalue

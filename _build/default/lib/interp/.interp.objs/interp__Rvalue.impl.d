@@ -1,0 +1,1 @@
+lib/interp/rvalue.ml: Format Hashtbl Int64 Ir List Printf

@@ -1,0 +1,56 @@
+(* Instrumentation hooks — the run-time callback surface the paper's
+   compile-time component inserts into the program (§III-A). The machine
+   invokes these during execution; Loopa.Profile implements them. All hooks
+   receive the dynamic IR instruction count ("clock") as the time-stamp.
+
+   Loop ids are the Cfg.Loopinfo lids of the *current* function; the
+   listener tracks which function is current via call_enter/call_exit. *)
+
+type hooks = {
+  on_call_enter : fname:string -> clock:int -> unit;
+  on_call_exit : fname:string -> clock:int -> unit;
+  on_loop_enter : lid:int -> clock:int -> unit;
+  (* arrival at the header via the latch: a new iteration begins *)
+  on_loop_iter : lid:int -> clock:int -> unit;
+  on_loop_exit : lid:int -> clock:int -> unit;
+  on_mem_access : addr:int -> is_write:bool -> clock:int -> unit;
+  (* execution of an instruction the listener registered interest in
+     (producers of register LCD values) *)
+  on_watched_def : instr_id:int -> clock:int -> unit;
+  (* use of a watched header phi's value by any instruction *)
+  on_watched_use : phi_id:int -> clock:int -> unit;
+  (* value flowing into a watched header phi at each header arrival; for the
+     entry edge this is the initial value, for latch edges the value the
+     previous iteration produced *)
+  on_header_phi : phi_id:int -> value:Rvalue.rv -> clock:int -> unit;
+  (* a builtin ("library") call; user calls report via on_call_enter *)
+  on_builtin_call : name:string -> clock:int -> unit;
+}
+
+let no_hooks : hooks =
+  {
+    on_call_enter = (fun ~fname:_ ~clock:_ -> ());
+    on_call_exit = (fun ~fname:_ ~clock:_ -> ());
+    on_loop_enter = (fun ~lid:_ ~clock:_ -> ());
+    on_loop_iter = (fun ~lid:_ ~clock:_ -> ());
+    on_loop_exit = (fun ~lid:_ ~clock:_ -> ());
+    on_mem_access = (fun ~addr:_ ~is_write:_ ~clock:_ -> ());
+    on_watched_def = (fun ~instr_id:_ ~clock:_ -> ());
+    on_watched_use = (fun ~phi_id:_ ~clock:_ -> ());
+    on_header_phi = (fun ~phi_id:_ ~value:_ ~clock:_ -> ());
+    on_builtin_call = (fun ~name:_ ~clock:_ -> ());
+  }
+
+(* Which instructions of each function the listener wants reported.
+   [defs] marks producers (on_watched_def); [phi_uses] maps instruction id ->
+   list of watched phi ids it uses (on_watched_use); [phis] marks watched
+   header phis (on_header_phi). *)
+type watch_plan = {
+  defs : bool array;
+  phis : bool array;
+  phi_uses : int list array;
+}
+
+let empty_watch_plan (fn : Ir.Func.t) : watch_plan =
+  let n = max 1 (Ir.Func.num_instrs fn) in
+  { defs = Array.make n false; phis = Array.make n false; phi_uses = Array.make n [] }

@@ -1,0 +1,378 @@
+(* The IR interpreter — the "run-time component" of the limit study. Executes
+   a verified module deterministically, advancing a clock by one per executed
+   IR instruction (the paper's dynamic IR instruction count metric, §III-B),
+   and reporting instrumentation events through Events.hooks.
+
+   Deviation from the paper noted in DESIGN.md: the paper accumulates
+   hard-coded per-basic-block counts; we tick per instruction, which yields
+   the same totals with finer-grained intra-iteration time-stamps. *)
+
+open Rvalue
+
+type func_plan = {
+  fn : Ir.Func.t;
+  li : Cfg.Loopinfo.t;
+  watch : Events.watch_plan;
+  (* per block: phi instruction ids and remaining instruction ids *)
+  phis_of : int array array;
+  rest_of : int array array;
+}
+
+type t = {
+  modul : Ir.Func.modul;
+  plans : (string, func_plan) Hashtbl.t;
+  mem : memory;
+  hooks : Events.hooks;
+  mutable clock : int;
+  fuel : int;
+  out : Buffer.t;
+  mutable rand_state : int64;
+  mutable depth : int;
+  max_depth : int;
+}
+
+type outcome = {
+  ret : rv option;
+  clock : int;
+  output : string;
+  mem_words : int;
+}
+
+let make_plan ?watch (fn : Ir.Func.t) : func_plan =
+  let cfg = Cfg.Graph.build fn in
+  let dom = Cfg.Dom.compute cfg in
+  let li = Cfg.Loopinfo.compute cfg dom in
+  let nb = Ir.Func.num_blocks fn in
+  let phis_of = Array.make nb [||] and rest_of = Array.make nb [||] in
+  for b = 0 to nb - 1 do
+    let is_phi id =
+      match Ir.Func.kind fn id with Ir.Instr.Phi _ -> true | _ -> false
+    in
+    let ids = (Ir.Func.block fn b).Ir.Func.instr_ids in
+    phis_of.(b) <- Array.of_list (List.filter is_phi ids);
+    rest_of.(b) <- Array.of_list (List.filter (fun i -> not (is_phi i)) ids)
+  done;
+  let watch =
+    match watch with Some w -> w | None -> Events.empty_watch_plan fn
+  in
+  { fn; li; watch; phis_of; rest_of }
+
+let create ?(hooks = Events.no_hooks) ?(fuel = 2_000_000_000)
+    ?(mem_limit = 1 lsl 26) ?(max_depth = 10_000)
+    ?(watch : (string -> Events.watch_plan option) option)
+    (modul : Ir.Func.modul) : t =
+  let plans = Hashtbl.create 16 in
+  List.iter
+    (fun fn ->
+      let w =
+        match watch with Some f -> f fn.Ir.Func.fname | None -> None
+      in
+      Hashtbl.replace plans fn.Ir.Func.fname (make_plan ?watch:w fn))
+    modul.Ir.Func.funcs;
+  {
+    modul;
+    plans;
+    mem = Rvalue.create ~limit:mem_limit modul.Ir.Func.globals;
+    hooks;
+    clock = 0;
+    fuel;
+    out = Buffer.create 256;
+    rand_state = 88172645463325252L;
+    depth = 0;
+    max_depth;
+  }
+
+let plan t fname =
+  match Hashtbl.find_opt t.plans fname with
+  | Some p -> p
+  | None -> error "call to undefined function @%s" fname
+
+let loopinfo t fname = (plan t fname).li
+
+let tick (t : t) =
+  t.clock <- t.clock + 1;
+  if t.clock > t.fuel then error "fuel exhausted after %d instructions" t.fuel
+
+(* ---- scalar operations ---- *)
+
+let exec_ibinop op a b =
+  let open Ir.Instr in
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Sdiv ->
+      if b = 0L then error "division by zero"
+      else if b = -1L then Int64.neg a
+      else Int64.div a b
+  | Srem ->
+      if b = 0L then error "remainder by zero"
+      else if b = -1L then 0L
+      else Int64.rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Ashr -> Int64.shift_right a (Int64.to_int b land 63)
+  | Lshr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+
+let exec_fbinop op a b =
+  let open Ir.Instr in
+  match op with Fadd -> a +. b | Fsub -> a -. b | Fmul -> a *. b | Fdiv -> a /. b
+
+let exec_icmp op (a : rv) (b : rv) =
+  let open Ir.Instr in
+  match (a, b) with
+  | Vint x, Vint y -> (
+      match op with
+      | Ieq -> x = y
+      | Ine -> x <> y
+      | Islt -> x < y
+      | Isle -> x <= y
+      | Isgt -> x > y
+      | Isge -> x >= y)
+  | Vbool x, Vbool y -> (
+      match op with
+      | Ieq -> x = y
+      | Ine -> x <> y
+      | Islt -> (not x) && y
+      | Isle -> (not x) || y
+      | Isgt -> x && not y
+      | Isge -> x || not y)
+  | _ -> error "icmp on mixed types (%s, %s)" (rv_to_string a) (rv_to_string b)
+
+let exec_fcmp op a b =
+  let open Ir.Instr in
+  match op with
+  | Feq -> a = b
+  | Fne -> a <> b
+  | Flt -> a < b
+  | Fle -> a <= b
+  | Fgt -> a > b
+  | Fge -> a >= b
+
+(* ---- builtins ---- *)
+
+let lcg_next s = Int64.add (Int64.mul s 6364136223846793005L) 1442695040888963407L
+
+let exec_builtin t name (args : rv list) : rv option =
+  t.hooks.Events.on_builtin_call ~name ~clock:t.clock;
+  match (name, args) with
+  | "print_int", [ v ] ->
+      Buffer.add_string t.out (Int64.to_string (as_int v));
+      Buffer.add_char t.out '\n';
+      None
+  | "print_float", [ v ] ->
+      Buffer.add_string t.out (Printf.sprintf "%.6g" (as_float v));
+      Buffer.add_char t.out '\n';
+      None
+  | "print_char", [ v ] ->
+      Buffer.add_char t.out (Char.chr (Int64.to_int (as_int v) land 0xff));
+      None
+  | "rand", [] ->
+      t.rand_state <- lcg_next t.rand_state;
+      Some (Vint (Int64.logand (Int64.shift_right_logical t.rand_state 17) 0x3fffffffL))
+  | "srand", [ v ] ->
+      t.rand_state <- Int64.logxor (as_int v) 88172645463325252L;
+      None
+  | "sqrt", [ v ] -> Some (Vfloat (sqrt (as_float v)))
+  | "sin", [ v ] -> Some (Vfloat (sin (as_float v)))
+  | "cos", [ v ] -> Some (Vfloat (cos (as_float v)))
+  | "exp", [ v ] -> Some (Vfloat (exp (as_float v)))
+  | "log", [ v ] -> Some (Vfloat (log (as_float v)))
+  | "pow", [ x; y ] -> Some (Vfloat (Float.pow (as_float x) (as_float y)))
+  | "arrcopy", [ dst; src; n ] ->
+      let dst = Int64.to_int (as_int dst)
+      and src = Int64.to_int (as_int src)
+      and n = Int64.to_int (as_int n) in
+      for i = 0 to n - 1 do
+        tick t;
+        t.hooks.Events.on_mem_access ~addr:(src + i) ~is_write:false ~clock:t.clock;
+        t.hooks.Events.on_mem_access ~addr:(dst + i) ~is_write:true ~clock:t.clock;
+        Rvalue.store t.mem (dst + i) (Rvalue.load t.mem (src + i))
+      done;
+      Some (Vint (Int64.of_int n))
+  | "arrfill", [ dst; v; n ] ->
+      let dst = Int64.to_int (as_int dst) and n = Int64.to_int (as_int n) in
+      for i = 0 to n - 1 do
+        tick t;
+        t.hooks.Events.on_mem_access ~addr:(dst + i) ~is_write:true ~clock:t.clock;
+        Rvalue.store t.mem (dst + i) v
+      done;
+      Some (Vint (Int64.of_int n))
+  | _ -> error "bad builtin call %s/%d" name (List.length args)
+
+(* ---- execution ---- *)
+
+let rec exec_func t fname (args : rv array) : rv option =
+  let p = plan t fname in
+  t.depth <- t.depth + 1;
+  if t.depth > t.max_depth then error "call depth exceeded in @%s" fname;
+  t.hooks.Events.on_call_enter ~fname ~clock:t.clock;
+  let regs = Array.make (max 1 (Ir.Func.num_instrs p.fn)) (Vint 0L) in
+  let loop_stack = ref [] in
+  let eval v =
+    match v with
+    | Ir.Types.Const (Ir.Types.Cint i) -> Vint i
+    | Ir.Types.Const (Ir.Types.Cfloat f) -> Vfloat f
+    | Ir.Types.Const (Ir.Types.Cbool b) -> Vbool b
+    | Ir.Types.Reg id -> regs.(id)
+    | Ir.Types.Param i -> args.(i)
+    | Ir.Types.Global g -> Vint (Int64.of_int (Rvalue.global_addr t.mem g))
+  in
+  let pop_all_loops () =
+    List.iter
+      (fun lid -> t.hooks.Events.on_loop_exit ~lid ~clock:t.clock)
+      !loop_stack;
+    loop_stack := []
+  in
+  (* Loop enter/iter/exit events for a CFG edge. *)
+  let handle_edge ~from_ ~to_ =
+    if from_ >= 0 then begin
+      let rec pop () =
+        match !loop_stack with
+        | lid :: rest when not (Cfg.Loopinfo.contains p.li lid to_) ->
+            t.hooks.Events.on_loop_exit ~lid ~clock:t.clock;
+            loop_stack := rest;
+            pop ()
+        | _ -> ()
+      in
+      pop ()
+    end;
+    match Cfg.Loopinfo.loop_of_header p.li to_ with
+    | Some lid -> (
+        match !loop_stack with
+        | top :: _ when top = lid -> t.hooks.Events.on_loop_iter ~lid ~clock:t.clock
+        | _ ->
+            loop_stack := lid :: !loop_stack;
+            t.hooks.Events.on_loop_enter ~lid ~clock:t.clock)
+    | None -> ()
+  in
+  let result = ref None in
+  let finished = ref false in
+  let cur = ref p.fn.Ir.Func.entry in
+  let from_ = ref (-1) in
+  while not !finished do
+    let b = !cur in
+    handle_edge ~from_:!from_ ~to_:b;
+    (* Phis evaluate in parallel with respect to the incoming edge. *)
+    let phis = p.phis_of.(b) in
+    if Array.length phis > 0 then begin
+      let staged =
+        Array.map
+          (fun id ->
+            tick t;
+            if p.watch.Events.defs.(id) then
+              t.hooks.Events.on_watched_def ~instr_id:id ~clock:t.clock;
+            (match p.watch.Events.phi_uses.(id) with
+            | [] -> ()
+            | used ->
+                List.iter
+                  (fun phi_id -> t.hooks.Events.on_watched_use ~phi_id ~clock:t.clock)
+                  used);
+            match Ir.Func.kind p.fn id with
+            | Ir.Instr.Phi incoming ->
+                let chosen = ref None in
+                Array.iter
+                  (fun (pred, v) -> if pred = !from_ then chosen := Some v)
+                  incoming;
+                let v =
+                  match !chosen with
+                  | Some v -> eval v
+                  | None ->
+                      error "phi %%%d in @%s has no entry for predecessor bb%d" id
+                        fname !from_
+                in
+                if p.watch.Events.phis.(id) then
+                  t.hooks.Events.on_header_phi ~phi_id:id ~value:v ~clock:t.clock;
+                (id, v)
+            | _ -> assert false)
+          phis
+      in
+      Array.iter (fun (id, v) -> regs.(id) <- v) staged
+    end;
+    (* Straight-line body and terminator. *)
+    let insns = p.rest_of.(b) in
+    let n = Array.length insns in
+    let i = ref 0 in
+    let advanced = ref false in
+    while not !advanced do
+      if !i >= n then error "block bb%d in @%s fell through" b fname;
+      let id = insns.(!i) in
+      incr i;
+      tick t;
+      if p.watch.Events.defs.(id) then
+        t.hooks.Events.on_watched_def ~instr_id:id ~clock:t.clock;
+      (match p.watch.Events.phi_uses.(id) with
+      | [] -> ()
+      | phis ->
+          List.iter
+            (fun phi_id -> t.hooks.Events.on_watched_use ~phi_id ~clock:t.clock)
+            phis);
+      match Ir.Func.kind p.fn id with
+      | Ir.Instr.Ibinop (op, a, bb) ->
+          regs.(id) <- Vint (exec_ibinop op (as_int (eval a)) (as_int (eval bb)))
+      | Ir.Instr.Fbinop (op, a, bb) ->
+          regs.(id) <- Vfloat (exec_fbinop op (as_float (eval a)) (as_float (eval bb)))
+      | Ir.Instr.Icmp (op, a, bb) -> regs.(id) <- Vbool (exec_icmp op (eval a) (eval bb))
+      | Ir.Instr.Fcmp (op, a, bb) ->
+          regs.(id) <- Vbool (exec_fcmp op (as_float (eval a)) (as_float (eval bb)))
+      | Ir.Instr.Select (c, x, y) ->
+          regs.(id) <- (if as_bool (eval c) then eval x else eval y)
+      | Ir.Instr.Si_to_fp x -> regs.(id) <- Vfloat (Int64.to_float (as_int (eval x)))
+      | Ir.Instr.Fp_to_si x -> regs.(id) <- Vint (Int64.of_float (as_float (eval x)))
+      | Ir.Instr.Load a ->
+          let addr = Int64.to_int (as_int (eval a)) in
+          t.hooks.Events.on_mem_access ~addr ~is_write:false ~clock:t.clock;
+          regs.(id) <- Rvalue.load t.mem addr
+      | Ir.Instr.Store (a, v) ->
+          let addr = Int64.to_int (as_int (eval a)) in
+          let v = eval v in
+          t.hooks.Events.on_mem_access ~addr ~is_write:true ~clock:t.clock;
+          Rvalue.store t.mem addr v
+      | Ir.Instr.Alloc n ->
+          let size = Int64.to_int (as_int (eval n)) in
+          regs.(id) <- Vint (Int64.of_int (Rvalue.alloc t.mem size))
+      | Ir.Instr.Call (callee, cargs) -> (
+          let vals = Array.of_list (List.map eval cargs) in
+          let res =
+            if Ir.Builtins.is_builtin callee then
+              exec_builtin t callee (Array.to_list vals)
+            else exec_func t callee vals
+          in
+          match ((Ir.Func.instr p.fn id).Ir.Instr.ty, res) with
+          | Some _, Some v -> regs.(id) <- v
+          | Some _, None -> error "void result from @%s used as a value" callee
+          | None, _ -> ())
+      | Ir.Instr.Br l ->
+          from_ := b;
+          cur := l;
+          advanced := true
+      | Ir.Instr.Cond_br (c, l1, l2) ->
+          from_ := b;
+          cur := (if as_bool (eval c) then l1 else l2);
+          advanced := true
+      | Ir.Instr.Ret v ->
+          result := Option.map eval v;
+          pop_all_loops ();
+          advanced := true;
+          finished := true
+      | Ir.Instr.Phi _ -> error "phi %%%d after non-phi instructions in @%s" id fname
+      | Ir.Instr.Unreachable -> error "reached 'unreachable' in @%s" fname
+    done
+  done;
+  t.hooks.Events.on_call_exit ~fname ~clock:t.clock;
+  t.depth <- t.depth - 1;
+  !result
+
+let run_main ?(args = []) t : outcome =
+  (match Ir.Func.find_func t.modul "main" with
+  | None -> error "module has no @main function"
+  | Some _ -> ());
+  let ret = exec_func t "main" (Array.of_list args) in
+  {
+    ret;
+    clock = t.clock;
+    output = Buffer.contents t.out;
+    mem_words = Rvalue.words_in_use t.mem;
+  }

@@ -1,0 +1,44 @@
+(** The IR interpreter — the limit study's run-time component. Executes a
+    verified module deterministically, advancing a clock by one per executed
+    IR instruction (the paper's dynamic-IR-instruction-count time metric)
+    and reporting instrumentation events through {!Events.hooks}. *)
+
+type t
+
+type outcome = {
+  ret : Rvalue.rv option;  (** main's return value *)
+  clock : int;  (** total dynamic IR instructions *)
+  output : string;  (** everything the print builtins emitted *)
+  mem_words : int;  (** heap high-water mark *)
+}
+
+(** [watch] supplies per-function watch plans (which instructions report
+    defs/uses/phi values); [fuel] bounds the instruction count; [mem_limit]
+    bounds memory (words); [max_depth] bounds the call stack. *)
+val create :
+  ?hooks:Events.hooks ->
+  ?fuel:int ->
+  ?mem_limit:int ->
+  ?max_depth:int ->
+  ?watch:(string -> Events.watch_plan option) ->
+  Ir.Func.modul ->
+  t
+
+(** The loop forest the machine computed for a function (lids match what the
+    loop events report). *)
+val loopinfo : t -> string -> Cfg.Loopinfo.t
+
+(** Scalar semantics, exposed for tests and the constant folder (optimized
+    code can never disagree with execution).
+    @raise Rvalue.Runtime_error on division/remainder by zero *)
+val exec_ibinop : Ir.Instr.ibinop -> int64 -> int64 -> int64
+
+val exec_fbinop : Ir.Instr.fbinop -> float -> float -> float
+
+val exec_icmp : Ir.Instr.icmp -> Rvalue.rv -> Rvalue.rv -> bool
+
+val exec_fcmp : Ir.Instr.fcmp -> float -> float -> bool
+
+(** Run [main] (which must exist).
+    @raise Rvalue.Runtime_error on any execution error *)
+val run_main : ?args:Rvalue.rv list -> t -> outcome

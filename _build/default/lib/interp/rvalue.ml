@@ -1,0 +1,85 @@
+(* Runtime values and the flat word-addressed memory. Address 0 is the null
+   sentinel; globals occupy [1 .. n]; the heap grows upward from there. Cells
+   are dynamically typed so the machine catches type confusion (a library
+   bug, not a benchmark property) instead of silently reinterpreting. *)
+
+type rv = Vint of int64 | Vfloat of float | Vbool of bool
+
+let rv_to_string = function
+  | Vint i -> Int64.to_string i
+  | Vfloat f -> Printf.sprintf "%.17g" f
+  | Vbool b -> string_of_bool b
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
+
+let as_int = function
+  | Vint i -> i
+  | v -> error "expected an int, got %s" (rv_to_string v)
+
+let as_float = function
+  | Vfloat f -> f
+  (* zero-initialized cells read back as 0.0 through a float-typed load *)
+  | Vint 0L -> 0.0
+  | v -> error "expected a float, got %s" (rv_to_string v)
+
+let as_bool = function
+  | Vbool b -> b
+  | v -> error "expected a bool, got %s" (rv_to_string v)
+
+type memory = {
+  cells : rv Ir.Vec.t;
+  mutable brk : int; (* next free heap address *)
+  limit : int; (* max words *)
+  global_addrs : (string, int) Hashtbl.t;
+}
+
+let create ?(limit = 1 lsl 26) (globals : Ir.Func.global list) : memory =
+  let cells = Ir.Vec.create ~dummy:(Vint 0L) in
+  Ir.Vec.push cells (Vint 0L) (* address 0: null *);
+  let global_addrs = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ir.Func.global) ->
+      let v =
+        match g.Ir.Func.ginit with
+        | Ir.Types.Cint i -> Vint i
+        | Ir.Types.Cfloat f -> Vfloat f
+        | Ir.Types.Cbool b -> Vbool b
+      in
+      Hashtbl.replace global_addrs g.Ir.Func.gname (Ir.Vec.length cells);
+      Ir.Vec.push cells v)
+    globals;
+  { cells; brk = Ir.Vec.length cells; limit; global_addrs }
+
+let global_addr mem name =
+  match Hashtbl.find_opt mem.global_addrs name with
+  | Some a -> a
+  | None -> error "unknown global @%s" name
+
+let check_addr mem a =
+  if a <= 0 || a >= Ir.Vec.length mem.cells then
+    error "memory access out of bounds at address %d" a
+
+let load mem a =
+  check_addr mem a;
+  Ir.Vec.get mem.cells a
+
+let store mem a v =
+  check_addr mem a;
+  Ir.Vec.set mem.cells a v
+
+(* Allocate [size] zero-initialized words; returns the base address. *)
+let alloc mem size =
+  if size < 0 then error "alloc with negative size %d" size;
+  if mem.brk + size > mem.limit then
+    error "out of memory: heap would reach %d words (limit %d)" (mem.brk + size)
+      mem.limit;
+  let base = mem.brk in
+  for _ = 1 to size do
+    Ir.Vec.push mem.cells (Vint 0L)
+  done;
+  mem.brk <- mem.brk + size;
+  base
+
+let words_in_use mem = mem.brk

@@ -1,0 +1,41 @@
+(** Runtime values and the flat word-addressed memory. Address 0 is the null
+    sentinel; globals occupy [1..n]; the heap grows upward (bump allocation,
+    no free — benchmarks are one-shot). Cells are dynamically typed so type
+    confusion is caught rather than reinterpreted. *)
+
+type rv = Vint of int64 | Vfloat of float | Vbool of bool
+
+val rv_to_string : rv -> string
+
+exception Runtime_error of string
+
+(** Raise {!Runtime_error} with a formatted message. *)
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** @raise Runtime_error unless the value has the expected shape. A
+    zero-initialized cell ([Vint 0]) reads as [0.0] through {!as_float}. *)
+val as_int : rv -> int64
+
+val as_float : rv -> float
+
+val as_bool : rv -> bool
+
+type memory
+
+(** [limit] caps total words (default 2^26). Globals get addresses in
+    declaration order starting at 1. *)
+val create : ?limit:int -> Ir.Func.global list -> memory
+
+(** @raise Runtime_error for unknown names. *)
+val global_addr : memory -> string -> int
+
+(** @raise Runtime_error on out-of-bounds (including null). *)
+val load : memory -> int -> rv
+
+val store : memory -> int -> rv -> unit
+
+(** Allocate zero-initialized words; returns the base address.
+    @raise Runtime_error on negative size or memory exhaustion *)
+val alloc : memory -> int -> int
+
+val words_in_use : memory -> int

@@ -1,0 +1,1 @@
+lib/ir/builtins.ml: List Types

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Instr List Printf Types Vec

@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Array List Types

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Format Func Instr List Types Vec

@@ -1,0 +1,1 @@
+lib/ir/types.ml: Format Int64 String

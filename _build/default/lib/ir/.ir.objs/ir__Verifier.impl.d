@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Format Func Instr List Option Pp Printf String Types

@@ -1,0 +1,72 @@
+(* Cursor-style construction API over Func. Each [emit] appends to the
+   current block; terminators close the block and the caller repositions. *)
+
+open Types
+
+type t = { fn : Func.t; mutable cur : int }
+
+let create fn = { fn; cur = fn.Func.entry }
+
+let position b bid = b.cur <- bid
+
+let current b = b.cur
+
+let fresh_block ?name b = Func.add_block ?name b.fn
+
+let emit b ~ty k = Types.Reg (Func.append_instr b.fn b.cur ~ty k)
+
+let emit_unit b k = ignore (Func.append_instr b.fn b.cur ~ty:None k)
+
+(* Integer ops *)
+let add b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Add, x, y))
+let sub b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Sub, x, y))
+let mul b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Mul, x, y))
+let sdiv b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Sdiv, x, y))
+let srem b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Srem, x, y))
+let and_ b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.And, x, y))
+let or_ b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Or, x, y))
+let xor b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Xor, x, y))
+let shl b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Shl, x, y))
+let ashr b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Ashr, x, y))
+let lshr b x y = emit b ~ty:(Some I64) (Instr.Ibinop (Instr.Lshr, x, y))
+
+(* Float ops *)
+let fadd b x y = emit b ~ty:(Some F64) (Instr.Fbinop (Instr.Fadd, x, y))
+let fsub b x y = emit b ~ty:(Some F64) (Instr.Fbinop (Instr.Fsub, x, y))
+let fmul b x y = emit b ~ty:(Some F64) (Instr.Fbinop (Instr.Fmul, x, y))
+let fdiv b x y = emit b ~ty:(Some F64) (Instr.Fbinop (Instr.Fdiv, x, y))
+
+(* Comparisons *)
+let icmp b op x y = emit b ~ty:(Some I1) (Instr.Icmp (op, x, y))
+let fcmp b op x y = emit b ~ty:(Some I1) (Instr.Fcmp (op, x, y))
+
+let select b ~ty c x y = emit b ~ty:(Some ty) (Instr.Select (c, x, y))
+let si_to_fp b x = emit b ~ty:(Some F64) (Instr.Si_to_fp x)
+let fp_to_si b x = emit b ~ty:(Some I64) (Instr.Fp_to_si x)
+
+(* Memory *)
+let load b ~ty addr = emit b ~ty:(Some ty) (Instr.Load addr)
+let store b ~addr v = emit_unit b (Instr.Store (addr, v))
+let alloc b size = emit b ~ty:(Some I64) (Instr.Alloc size)
+
+(* Calls: [ty = None] for void. *)
+let call b ~ty name args = emit b ~ty (Instr.Call (name, args))
+
+let call_unit b name args = emit_unit b (Instr.Call (name, args))
+
+(* Phi with its incoming list known up front. *)
+let phi b ~ty incoming =
+  Types.Reg (Func.prepend_instr b.fn b.cur ~ty:(Some ty) (Instr.Phi (Array.of_list incoming)))
+
+(* Empty phi placeholder to be filled later (SSA construction). *)
+let phi_placeholder fn bid ~ty =
+  Func.prepend_instr fn bid ~ty:(Some ty) (Instr.Phi [||])
+
+(* Terminators *)
+let br b l = emit_unit b (Instr.Br l)
+let cond_br b c l1 l2 = emit_unit b (Instr.Cond_br (c, l1, l2))
+let ret b v = emit_unit b (Instr.Ret v)
+let unreachable b = emit_unit b Instr.Unreachable
+
+(* Whether the current block already ends in a terminator. *)
+let is_closed b = Option.is_some (Func.terminator b.fn b.cur)

@@ -1,0 +1,51 @@
+(* Builtin ("library") functions callable from Looplang programs. Each
+   carries the safety classification the fn0–fn3 ladder needs (paper Table
+   II): pure builtins are callable under -fn1; thread-safe (re-entrant,
+   argument-only effects) builtins additionally under -fn2; I/O and
+   global-state builtins only under -fn3.
+
+   These model the pre-compiled C library of the paper's setup: their
+   *internal* execution time is not instrumented (paper §III-D) beyond a
+   fixed cost, but their memory effects on program-visible arrays are
+   reported to the conflict tracker. *)
+
+open Types
+
+type safety =
+  | Pure (* read-only, no side effects: callable under -fn1 *)
+  | Thread_safe (* re-entrant, writes only through its arguments: -fn2 *)
+  | Io (* observable side effects in program order: -fn3 only *)
+  | Global_state (* hidden mutable state (e.g. the rand seed): -fn3 only *)
+
+type signature = { args : ty list; ret : ty option; safety : safety }
+
+let table : (string * signature) list =
+  [
+    ("print_int", { args = [ I64 ]; ret = None; safety = Io });
+    ("print_float", { args = [ F64 ]; ret = None; safety = Io });
+    ("print_char", { args = [ I64 ]; ret = None; safety = Io });
+    (* Deterministic LCG random source with a hidden seed *)
+    ("rand", { args = []; ret = Some I64; safety = Global_state });
+    ("srand", { args = [ I64 ]; ret = None; safety = Global_state });
+    (* libm subset *)
+    ("sqrt", { args = [ F64 ]; ret = Some F64; safety = Pure });
+    ("sin", { args = [ F64 ]; ret = Some F64; safety = Pure });
+    ("cos", { args = [ F64 ]; ret = Some F64; safety = Pure });
+    ("exp", { args = [ F64 ]; ret = Some F64; safety = Pure });
+    ("log", { args = [ F64 ]; ret = Some F64; safety = Pure });
+    ("pow", { args = [ F64; F64 ]; ret = Some F64; safety = Pure });
+    (* memcpy/memset analogues: thread-safe, effects via arguments only;
+       their word-level accesses are reported to the conflict tracker *)
+    ("arrcopy", { args = [ I64; I64; I64 ]; ret = Some I64; safety = Thread_safe });
+    ("arrfill", { args = [ I64; I64; I64 ] (* fill value is i64 or f64 *); ret = Some I64; safety = Thread_safe });
+  ]
+
+let find name = List.assoc_opt name table
+
+let is_builtin name = find name <> None
+
+let safety_name = function
+  | Pure -> "pure"
+  | Thread_safe -> "thread-safe"
+  | Io -> "io"
+  | Global_state -> "global-state"

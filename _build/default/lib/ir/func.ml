@@ -1,0 +1,142 @@
+(* Functions, basic blocks and modules. Instructions live in a per-function
+   arena ([instrs]) and blocks reference them by id, so analyses can use
+   plain int ids as dense keys. *)
+
+open Types
+
+type block = {
+  bid : int;
+  mutable name : string;
+  mutable instr_ids : int list; (* in execution order; last one terminates *)
+}
+
+type t = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty option;
+  blocks : block Vec.t;
+  instrs : Instr.t Vec.t;
+  mutable entry : int;
+}
+
+type global = { gname : string; gty : ty; ginit : const }
+
+type modul = {
+  mutable funcs : t list; (* in definition order *)
+  mutable globals : global list;
+}
+
+let dummy_block = { bid = -1; name = "<dummy>"; instr_ids = [] }
+
+let dummy_instr : Instr.t = { id = -1; kind = Instr.Unreachable; ty = None; block = -1 }
+
+let create ~name ~params ~ret =
+  {
+    fname = name;
+    params;
+    ret;
+    blocks = Vec.create ~dummy:dummy_block;
+    instrs = Vec.create ~dummy:dummy_instr;
+    entry = 0;
+  }
+
+let add_block ?(name = "") fn =
+  let bid = Vec.length fn.blocks in
+  let name = if name = "" then Printf.sprintf "bb%d" bid else name in
+  Vec.push fn.blocks { bid; name; instr_ids = [] };
+  bid
+
+let block fn bid = Vec.get fn.blocks bid
+
+let num_blocks fn = Vec.length fn.blocks
+
+let instr fn id = Vec.get fn.instrs id
+
+let num_instrs fn = Vec.length fn.instrs
+
+let kind fn id = (instr fn id).Instr.kind
+
+let set_kind fn id k = (instr fn id).Instr.kind <- k
+
+let instr_ty fn id = (instr fn id).Instr.ty
+
+(* Type of a value in the context of [fn]. *)
+let value_ty fn = function
+  | Const c -> Some (const_ty c)
+  | Reg id -> instr_ty fn id
+  | Param i -> (
+      match List.nth_opt fn.params i with
+      | Some (_, ty) -> Some ty
+      | None -> None)
+  | Global _ -> Some I64
+
+let terminator fn bid =
+  match List.rev (block fn bid).instr_ids with
+  | [] -> None
+  | last :: _ ->
+      let i = instr fn last in
+      if Instr.is_terminator i.Instr.kind then Some i else None
+
+let successors fn bid =
+  match terminator fn bid with
+  | None -> []
+  | Some i -> Instr.successors i.Instr.kind
+
+let iter_blocks f fn = Vec.iter f fn.blocks
+
+let iter_instrs f fn =
+  iter_blocks (fun b -> List.iter (fun id -> f (instr fn id)) b.instr_ids) fn
+
+let fold_instrs f init fn =
+  let acc = ref init in
+  iter_instrs (fun i -> acc := f !acc i) fn;
+  !acc
+
+(* Phis of a block (they must form a prefix of the instruction list). *)
+let phis fn bid =
+  let rec take = function
+    | id :: rest -> (
+        match kind fn id with Instr.Phi _ -> instr fn id :: take rest | _ -> [])
+    | [] -> []
+  in
+  take (block fn bid).instr_ids
+
+let non_phi_instrs fn bid =
+  List.filter
+    (fun id -> match kind fn id with Instr.Phi _ -> false | _ -> true)
+    (block fn bid).instr_ids
+
+(* Append an instruction to a block, returning its arena id. *)
+let append_instr fn bid ~ty k =
+  let id = Vec.length fn.instrs in
+  Vec.push fn.instrs { Instr.id; kind = k; ty; block = bid };
+  let b = block fn bid in
+  b.instr_ids <- b.instr_ids @ [ id ];
+  id
+
+(* Insert an instruction at the head of a block (used for phis). *)
+let prepend_instr fn bid ~ty k =
+  let id = Vec.length fn.instrs in
+  Vec.push fn.instrs { Instr.id; kind = k; ty; block = bid };
+  let b = block fn bid in
+  b.instr_ids <- id :: b.instr_ids;
+  id
+
+let remove_instr fn bid id =
+  let b = block fn bid in
+  b.instr_ids <- List.filter (fun i -> i <> id) b.instr_ids
+
+(* Replace every use of [Reg old_id] with [v] across the function. *)
+let replace_all_uses fn ~old_id ~with_ =
+  let subst value =
+    match value with Reg r when r = old_id -> with_ | _ -> value
+  in
+  Vec.iter (fun i -> i.Instr.kind <- Instr.map_operands subst i.Instr.kind) fn.instrs
+
+let find_func m name = List.find_opt (fun f -> f.fname = name) m.funcs
+
+let create_module () = { funcs = []; globals = [] }
+
+let add_func m fn = m.funcs <- m.funcs @ [ fn ]
+
+let add_global m g = m.globals <- m.globals @ [ g ]

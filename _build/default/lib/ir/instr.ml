@@ -1,0 +1,148 @@
+(* IR instruction set. A deliberately small LLVM-like SSA vocabulary: enough
+   to lower Looplang and to carry the analyses the limit study needs (loop
+   phis for register LCDs, loads/stores for memory LCDs, calls for the fn
+   ladder). *)
+
+open Types
+
+type ibinop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Srem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Ashr
+  | Lshr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Ieq | Ine | Islt | Isle | Isgt | Isge
+
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+
+type kind =
+  | Ibinop of ibinop * value * value
+  | Fbinop of fbinop * value * value
+  | Icmp of icmp * value * value
+  | Fcmp of fcmp * value * value
+  | Select of value * value * value (* cond, if-true, if-false *)
+  | Si_to_fp of value
+  | Fp_to_si of value
+  | Load of value (* word address *)
+  | Store of value * value (* word address, stored value *)
+  | Alloc of value (* size in words; yields base address of a fresh block *)
+  | Call of string * value list
+  | Phi of (int * value) array (* (predecessor block id, incoming value) *)
+  | Br of int
+  | Cond_br of value * int * int (* cond, then-block, else-block *)
+  | Ret of value option
+  | Unreachable
+
+(* One arena slot per instruction. [ty] is the result type; instructions
+   that produce no value (stores, terminators) carry [None]. [block] is kept
+   in sync by the builder and the CFG transforms. *)
+type t = {
+  id : int;
+  mutable kind : kind;
+  mutable ty : ty option;
+  mutable block : int;
+}
+
+let is_terminator = function
+  | Br _ | Cond_br _ | Ret _ | Unreachable -> true
+  | Ibinop _ | Fbinop _ | Icmp _ | Fcmp _ | Select _ | Si_to_fp _ | Fp_to_si _
+  | Load _ | Store _ | Alloc _ | Call _ | Phi _ ->
+      false
+
+let has_result = function
+  | Ibinop _ | Fbinop _ | Icmp _ | Fcmp _ | Select _ | Si_to_fp _ | Fp_to_si _
+  | Load _ | Alloc _ | Phi _ ->
+      true
+  | Call _ -> true (* void calls carry ty = None instead *)
+  | Store _ | Br _ | Cond_br _ | Ret _ | Unreachable -> false
+
+(* All value operands, in syntactic order. *)
+let operands = function
+  | Ibinop (_, a, b) | Fbinop (_, a, b) | Icmp (_, a, b) | Fcmp (_, a, b)
+  | Store (a, b) ->
+      [ a; b ]
+  | Select (c, a, b) -> [ c; a; b ]
+  | Si_to_fp a | Fp_to_si a | Load a | Alloc a | Cond_br (a, _, _) -> [ a ]
+  | Call (_, args) -> args
+  | Phi incoming -> Array.to_list (Array.map snd incoming)
+  | Ret (Some a) -> [ a ]
+  | Ret None | Br _ | Unreachable -> []
+
+let map_operands f kind =
+  match kind with
+  | Ibinop (op, a, b) -> Ibinop (op, f a, f b)
+  | Fbinop (op, a, b) -> Fbinop (op, f a, f b)
+  | Icmp (op, a, b) -> Icmp (op, f a, f b)
+  | Fcmp (op, a, b) -> Fcmp (op, f a, f b)
+  | Select (c, a, b) -> Select (f c, f a, f b)
+  | Si_to_fp a -> Si_to_fp (f a)
+  | Fp_to_si a -> Fp_to_si (f a)
+  | Load a -> Load (f a)
+  | Store (a, v) -> Store (f a, f v)
+  | Alloc a -> Alloc (f a)
+  | Call (name, args) -> Call (name, List.map f args)
+  | Phi incoming -> Phi (Array.map (fun (b, v) -> (b, f v)) incoming)
+  | Br l -> Br l
+  | Cond_br (c, l1, l2) -> Cond_br (f c, l1, l2)
+  | Ret (Some a) -> Ret (Some (f a))
+  | Ret None -> Ret None
+  | Unreachable -> Unreachable
+
+(* Successor block ids of a terminator (empty for non-terminators). *)
+let successors = function
+  | Br l -> [ l ]
+  | Cond_br (_, l1, l2) -> if l1 = l2 then [ l1 ] else [ l1; l2 ]
+  | Ret _ | Unreachable -> []
+  | Ibinop _ | Fbinop _ | Icmp _ | Fcmp _ | Select _ | Si_to_fp _ | Fp_to_si _
+  | Load _ | Store _ | Alloc _ | Call _ | Phi _ ->
+      []
+
+let retarget_successor ~from_ ~to_ = function
+  | Br l -> Br (if l = from_ then to_ else l)
+  | Cond_br (c, l1, l2) ->
+      Cond_br (c, (if l1 = from_ then to_ else l1), if l2 = from_ then to_ else l2)
+  | k -> k
+
+let ibinop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Srem -> "srem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Ashr -> "ashr"
+  | Lshr -> "lshr"
+
+let fbinop_name = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let icmp_name = function
+  | Ieq -> "eq"
+  | Ine -> "ne"
+  | Islt -> "slt"
+  | Isle -> "sle"
+  | Isgt -> "sgt"
+  | Isge -> "sge"
+
+let fcmp_name = function
+  | Feq -> "oeq"
+  | Fne -> "one"
+  | Flt -> "olt"
+  | Fle -> "ole"
+  | Fgt -> "ogt"
+  | Fge -> "oge"

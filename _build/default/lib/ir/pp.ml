@@ -1,0 +1,93 @@
+(* Human-readable printer, LLVM-flavoured. Used by tests, the CLI's --dump-ir
+   and error messages. *)
+
+open Types
+
+let pp_value ppf = function
+  | Const c -> pp_const ppf c
+  | Reg id -> Format.fprintf ppf "%%%d" id
+  | Param i -> Format.fprintf ppf "%%arg%d" i
+  | Global g -> Format.fprintf ppf "@%s" g
+
+let value_to_string v = Format.asprintf "%a" pp_value v
+
+let pp_operands ppf vs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_value ppf vs
+
+let pp_kind fn ppf (k : Instr.kind) =
+  let ty_of v =
+    match Func.value_ty fn v with Some t -> ty_to_string t | None -> "?"
+  in
+  match k with
+  | Instr.Ibinop (op, a, b) ->
+      Format.fprintf ppf "%s i64 %a, %a" (Instr.ibinop_name op) pp_value a pp_value b
+  | Instr.Fbinop (op, a, b) ->
+      Format.fprintf ppf "%s f64 %a, %a" (Instr.fbinop_name op) pp_value a pp_value b
+  | Instr.Icmp (op, a, b) ->
+      Format.fprintf ppf "icmp %s %a, %a" (Instr.icmp_name op) pp_value a pp_value b
+  | Instr.Fcmp (op, a, b) ->
+      Format.fprintf ppf "fcmp %s %a, %a" (Instr.fcmp_name op) pp_value a pp_value b
+  | Instr.Select (c, a, b) ->
+      Format.fprintf ppf "select %a, %a, %a" pp_value c pp_value a pp_value b
+  | Instr.Si_to_fp a -> Format.fprintf ppf "sitofp %a" pp_value a
+  | Instr.Fp_to_si a -> Format.fprintf ppf "fptosi %a" pp_value a
+  | Instr.Load a -> Format.fprintf ppf "load %a" pp_value a
+  | Instr.Store (a, v) ->
+      Format.fprintf ppf "store %s %a, %a" (ty_of v) pp_value v pp_value a
+  | Instr.Alloc n -> Format.fprintf ppf "alloc %a" pp_value n
+  | Instr.Call (name, args) -> Format.fprintf ppf "call @%s(%a)" name pp_operands args
+  | Instr.Phi incoming ->
+      Format.fprintf ppf "phi ";
+      Array.iteri
+        (fun i (b, v) ->
+          if i > 0 then Format.pp_print_string ppf ", ";
+          Format.fprintf ppf "[%a, bb%d]" pp_value v b)
+        incoming
+  | Instr.Br l -> Format.fprintf ppf "br bb%d" l
+  | Instr.Cond_br (c, l1, l2) ->
+      Format.fprintf ppf "br %a, bb%d, bb%d" pp_value c l1 l2
+  | Instr.Ret (Some v) -> Format.fprintf ppf "ret %a" pp_value v
+  | Instr.Ret None -> Format.pp_print_string ppf "ret void"
+  | Instr.Unreachable -> Format.pp_print_string ppf "unreachable"
+
+let pp_instr fn ppf (i : Instr.t) =
+  match i.Instr.ty with
+  | Some ty when Instr.has_result i.Instr.kind ->
+      Format.fprintf ppf "%%%d : %s = %a" i.Instr.id (ty_to_string ty) (pp_kind fn)
+        i.Instr.kind
+  | _ -> pp_kind fn ppf i.Instr.kind
+
+let pp_block fn ppf (b : Func.block) =
+  Format.fprintf ppf "@[<v 2>bb%d (%s):" b.Func.bid b.Func.name;
+  List.iter
+    (fun id -> Format.fprintf ppf "@,%a" (pp_instr fn) (Func.instr fn id))
+    b.Func.instr_ids;
+  Format.fprintf ppf "@]"
+
+let pp_func ppf (fn : Func.t) =
+  let pp_param ppf (i, (name, ty)) =
+    Format.fprintf ppf "%%arg%d /*%s*/ : %s" i name (ty_to_string ty)
+  in
+  let params = List.mapi (fun i p -> (i, p)) fn.Func.params in
+  Format.fprintf ppf "@[<v>fn @%s(%a) -> %s {@," fn.Func.fname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_param)
+    params
+    (match fn.Func.ret with Some t -> ty_to_string t | None -> "void");
+  Vec.iter (fun b -> Format.fprintf ppf "%a@," (pp_block fn) b) fn.Func.blocks;
+  Format.fprintf ppf "}@]"
+
+let func_to_string fn = Format.asprintf "%a" pp_func fn
+
+let pp_module ppf (m : Func.modul) =
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "global @%s : %s = %a@." g.Func.gname
+        (ty_to_string g.Func.gty) pp_const g.Func.ginit)
+    m.Func.globals;
+  List.iter (fun fn -> Format.fprintf ppf "%a@.@." pp_func fn) m.Func.funcs
+
+let module_to_string m = Format.asprintf "%a" pp_module m

@@ -1,0 +1,61 @@
+(* Value types of the IR. The machine is word-oriented: integers are 64-bit,
+   floats are IEEE double, booleans are 1-bit predicates (i1). Addresses are
+   plain i64 word indices into the interpreter's flat memory. *)
+
+type ty =
+  | I1
+  | I64
+  | F64
+
+let equal_ty (a : ty) (b : ty) = a = b
+
+let pp_ty ppf = function
+  | I1 -> Format.pp_print_string ppf "i1"
+  | I64 -> Format.pp_print_string ppf "i64"
+  | F64 -> Format.pp_print_string ppf "f64"
+
+let ty_to_string = function I1 -> "i1" | I64 -> "i64" | F64 -> "f64"
+
+(* Compile-time constants. *)
+type const =
+  | Cbool of bool
+  | Cint of int64
+  | Cfloat of float
+
+let const_ty = function Cbool _ -> I1 | Cint _ -> I64 | Cfloat _ -> F64
+
+let equal_const a b =
+  match (a, b) with
+  | Cbool x, Cbool y -> x = y
+  | Cint x, Cint y -> Int64.equal x y
+  | Cfloat x, Cfloat y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | (Cbool _ | Cint _ | Cfloat _), _ -> false
+
+let pp_const ppf = function
+  | Cbool b -> Format.fprintf ppf "%b" b
+  | Cint i -> Format.fprintf ppf "%Ld" i
+  | Cfloat f -> Format.fprintf ppf "%h" f
+
+let const_to_string c = Format.asprintf "%a" pp_const c
+
+(* SSA values: constants, instruction results (by arena id within the
+   enclosing function), function parameters (by position), or the address of
+   a named module global (an i64 word address resolved at load time). *)
+type value =
+  | Const of const
+  | Reg of int
+  | Param of int
+  | Global of string
+
+let equal_value a b =
+  match (a, b) with
+  | Const x, Const y -> equal_const x y
+  | Reg x, Reg y -> x = y
+  | Param x, Param y -> x = y
+  | Global x, Global y -> String.equal x y
+  | (Const _ | Reg _ | Param _ | Global _), _ -> false
+
+let bool_ b = Const (Cbool b)
+let int_ i = Const (Cint (Int64.of_int i))
+let int64_ i = Const (Cint i)
+let float_ f = Const (Cfloat f)

@@ -1,0 +1,106 @@
+(* Growable array. OCaml 5.1's stdlib has no Dynarray (added in 5.2), and the
+   IR arena, profile tables and interpreter memory all need amortized O(1)
+   append with O(1) random access, so we provide a minimal one here. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set: index out of bounds";
+  v.data.(i) <- x
+
+let ensure_capacity v n =
+  if n > Array.length v.data then begin
+    let cap = ref (Array.length v.data) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure_capacity v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+(* Push and return the index the element landed at. *)
+let push_idx v x =
+  push v x;
+  v.len - 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  let x = v.data.(v.len) in
+  v.data.(v.len) <- v.dummy;
+  x
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.len - 1)
+
+let clear v =
+  Array.fill v.data 0 v.len v.dummy;
+  v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.len - 1) []
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_list ~dummy xs =
+  let v = create ~dummy in
+  List.iter (push v) xs;
+  v
+
+let map ~dummy f v =
+  let out = create ~dummy in
+  iter (fun x -> push out (f x)) v;
+  out
+
+let find_opt p v =
+  let rec loop i =
+    if i >= v.len then None
+    else if p v.data.(i) then Some v.data.(i)
+    else loop (i + 1)
+  in
+  loop 0

@@ -1,0 +1,51 @@
+(** Growable array with amortized O(1) append and O(1) random access. The IR
+    arena, interpreter memory and profile tables are built on it (OCaml 5.1's
+    stdlib predates Dynarray). *)
+
+type 'a t
+
+(** [dummy] fills unused capacity; it is never observable. *)
+val create : dummy:'a -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** @raise Invalid_argument when out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** @raise Invalid_argument when out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+(** Push and return the index the element landed at. *)
+val push_idx : 'a t -> 'a -> int
+
+(** @raise Invalid_argument when empty. *)
+val pop : 'a t -> 'a
+
+(** @raise Invalid_argument when empty. *)
+val last : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val of_list : dummy:'a -> 'a list -> 'a t
+
+val map : dummy:'b -> ('a -> 'b) -> 'a t -> 'b t
+
+val find_opt : ('a -> bool) -> 'a t -> 'a option

@@ -1,0 +1,165 @@
+(* Structural and type well-formedness checks. Dominance-based SSA checking
+   (every use dominated by its def) needs the dominator tree and therefore
+   lives in the cfg library (Cfg.Ssa_check); this module covers everything
+   checkable from the function alone. *)
+
+open Types
+
+type error = { where : string; what : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let verify_func (fn : Func.t) : error list =
+  let errs = ref [] in
+  let err where fmt =
+    Format.kasprintf (fun what -> errs := { where; what } :: !errs) fmt
+  in
+  let nblocks = Func.num_blocks fn in
+  let ninstrs = Func.num_instrs fn in
+  if fn.Func.entry < 0 || fn.Func.entry >= nblocks then
+    err fn.Func.fname "entry block %d out of range" fn.Func.entry;
+  (* Each instruction must appear in exactly one block. *)
+  let seen = Array.make (max ninstrs 1) false in
+  Func.iter_blocks
+    (fun b ->
+      let where = Printf.sprintf "%s/bb%d" fn.Func.fname b.Func.bid in
+      (match List.rev b.Func.instr_ids with
+      | [] -> err where "block has no terminator (empty)"
+      | last :: _ ->
+          if not (Instr.is_terminator (Func.kind fn last)) then
+            err where "last instruction %%%d is not a terminator" last);
+      let rec check_order ~phis_done = function
+        | [] -> ()
+        | id :: rest ->
+            if id < 0 || id >= ninstrs then err where "instr id %%%d out of range" id
+            else begin
+              if seen.(id) then err where "instr %%%d appears in multiple blocks" id;
+              seen.(id) <- true;
+              let i = Func.instr fn id in
+              if i.Instr.block <> b.Func.bid then
+                err where "instr %%%d records block %d" id i.Instr.block;
+              (match i.Instr.kind with
+              | Instr.Phi _ when phis_done ->
+                  err where "phi %%%d after non-phi instruction" id
+              | _ -> ());
+              if Instr.is_terminator i.Instr.kind && rest <> [] then
+                err where "terminator %%%d in the middle of the block" id;
+              let phis_done =
+                phis_done || match i.Instr.kind with Instr.Phi _ -> false | _ -> true
+              in
+              check_order ~phis_done rest
+            end
+      in
+      check_order ~phis_done:false b.Func.instr_ids)
+    fn;
+  (* Operand, target and type checks. *)
+  let value_ok v =
+    match v with
+    | Const _ -> true
+    | Reg id ->
+        id >= 0 && id < ninstrs
+        && Instr.has_result (Func.kind fn id)
+        && Option.is_some (Func.instr_ty fn id)
+    | Param i -> i >= 0 && i < List.length fn.Func.params
+    | Global _ -> true
+  in
+  let expect_ty where v want =
+    if value_ok v then
+      match Func.value_ty fn v with
+      | Some t when equal_ty t want -> ()
+      | Some t ->
+          err where "operand %s has type %s, expected %s" (Pp.value_to_string v)
+            (ty_to_string t) (ty_to_string want)
+      | None -> err where "operand %s has no type" (Pp.value_to_string v)
+  in
+  let check_target where l =
+    if l < 0 || l >= nblocks then err where "branch target bb%d out of range" l
+  in
+  Func.iter_instrs
+    (fun i ->
+      let where = Printf.sprintf "%s/%%%d" fn.Func.fname i.Instr.id in
+      List.iter
+        (fun v -> if not (value_ok v) then err where "bad operand %s" (Pp.value_to_string v))
+        (Instr.operands i.Instr.kind);
+      match i.Instr.kind with
+      | Instr.Ibinop (_, a, b) ->
+          expect_ty where a I64;
+          expect_ty where b I64
+      | Instr.Fbinop (_, a, b) ->
+          expect_ty where a F64;
+          expect_ty where b F64
+      | Instr.Icmp (_, a, b) -> (
+          (* icmp compares two i64s or two i1s (bool equality) *)
+          match (Func.value_ty fn a, Func.value_ty fn b) with
+          | Some I64, Some I64 | Some I1, Some I1 -> ()
+          | ta, tb ->
+              err where "icmp operand types %s / %s"
+                (match ta with Some t -> ty_to_string t | None -> "?")
+                (match tb with Some t -> ty_to_string t | None -> "?"))
+      | Instr.Fcmp (_, a, b) ->
+          expect_ty where a F64;
+          expect_ty where b F64
+      | Instr.Select (c, a, b) -> (
+          expect_ty where c I1;
+          match i.Instr.ty with
+          | Some t ->
+              expect_ty where a t;
+              expect_ty where b t
+          | None -> err where "select has no result type")
+      | Instr.Si_to_fp a -> expect_ty where a I64
+      | Instr.Fp_to_si a -> expect_ty where a F64
+      | Instr.Load a -> expect_ty where a I64
+      | Instr.Store (a, _) -> expect_ty where a I64
+      | Instr.Alloc n -> expect_ty where n I64
+      | Instr.Call _ -> ()
+      | Instr.Phi incoming -> (
+          let preds = Array.map fst incoming in
+          Array.iter (fun p -> check_target where p) preds;
+          let sorted = Array.copy preds in
+          Array.sort compare sorted;
+          for k = 1 to Array.length sorted - 1 do
+            if sorted.(k) = sorted.(k - 1) then
+              err where "duplicate phi predecessor bb%d" sorted.(k)
+          done;
+          match i.Instr.ty with
+          | Some t -> Array.iter (fun (_, v) -> expect_ty where v t) incoming
+          | None -> err where "phi has no result type")
+      | Instr.Br l -> check_target where l
+      | Instr.Cond_br (c, l1, l2) ->
+          expect_ty where c I1;
+          check_target where l1;
+          check_target where l2
+      | Instr.Ret v -> (
+          match (v, fn.Func.ret) with
+          | None, None -> ()
+          | Some v, Some t -> expect_ty where v t
+          | Some _, None -> err where "ret with value in void function"
+          | None, Some _ -> err where "ret void in non-void function")
+      | Instr.Unreachable -> ())
+    fn;
+  List.rev !errs
+
+let verify_module (m : Func.modul) : error list =
+  let dup_errs =
+    let names = List.map (fun f -> f.Func.fname) m.Func.funcs in
+    let rec dups = function
+      | [] -> []
+      | n :: rest when List.mem n rest ->
+          { where = n; what = "duplicate function definition" } :: dups rest
+      | _ :: rest -> dups rest
+    in
+    dups names
+  in
+  dup_errs @ List.concat_map verify_func m.Func.funcs
+
+(* Raise on invalid IR; used by the driver before analysis. *)
+exception Invalid_ir of string
+
+let check_module_exn m =
+  match verify_module m with
+  | [] -> ()
+  | errs ->
+      let msg = String.concat "\n" (List.map error_to_string errs) in
+      raise (Invalid_ir msg)

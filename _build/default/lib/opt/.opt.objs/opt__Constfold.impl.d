@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Array Int64 Interp Ir List Seq

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Constfold Dce Ir Licm List Simplify_cfg

@@ -1,0 +1,152 @@
+(* Constant folding over the SSA arena, including branch folding. The paper
+   analyzes IR *after* optimization (-Ofast); this pass (with Dce and
+   Simplify_cfg) is the in-repo stand-in for that cleanup. Folding uses the
+   interpreter's own scalar semantics so optimized and unoptimized programs
+   can never disagree. *)
+
+open Ir.Types
+
+let const_of_value = function Const c -> Some c | Reg _ | Param _ | Global _ -> None
+
+(* Fold one instruction kind to a constant if all inputs are known. Division
+   by zero is NOT folded: it must still trap at run time. *)
+let fold_kind (k : Ir.Instr.kind) : const option =
+  match k with
+  | Ir.Instr.Ibinop (op, a, b) -> (
+      match (const_of_value a, const_of_value b) with
+      | Some (Cint x), Some (Cint y) -> (
+          match op with
+          | (Ir.Instr.Sdiv | Ir.Instr.Srem) when y = 0L -> None
+          | _ -> Some (Cint (Interp.Machine.exec_ibinop op x y)))
+      | _ -> None)
+  | Ir.Instr.Fbinop (op, a, b) -> (
+      match (const_of_value a, const_of_value b) with
+      | Some (Cfloat x), Some (Cfloat y) ->
+          Some (Cfloat (Interp.Machine.exec_fbinop op x y))
+      | _ -> None)
+  | Ir.Instr.Icmp (op, a, b) -> (
+      match (const_of_value a, const_of_value b) with
+      | Some (Cint x), Some (Cint y) ->
+          Some (Cbool (Interp.Machine.exec_icmp op (Interp.Rvalue.Vint x) (Interp.Rvalue.Vint y)))
+      | Some (Cbool x), Some (Cbool y) ->
+          Some
+            (Cbool
+               (Interp.Machine.exec_icmp op (Interp.Rvalue.Vbool x) (Interp.Rvalue.Vbool y)))
+      | _ -> None)
+  | Ir.Instr.Fcmp (op, a, b) -> (
+      match (const_of_value a, const_of_value b) with
+      | Some (Cfloat x), Some (Cfloat y) -> Some (Cbool (Interp.Machine.exec_fcmp op x y))
+      | _ -> None)
+  | Ir.Instr.Select (c, a, b) -> (
+      match const_of_value c with
+      | Some (Cbool true) -> const_of_value a
+      | Some (Cbool false) -> const_of_value b
+      | _ -> None)
+  | Ir.Instr.Si_to_fp a -> (
+      match const_of_value a with
+      | Some (Cint x) -> Some (Cfloat (Int64.to_float x))
+      | _ -> None)
+  | Ir.Instr.Fp_to_si a -> (
+      match const_of_value a with
+      | Some (Cfloat x) -> Some (Cint (Int64.of_float x))
+      | _ -> None)
+  | Ir.Instr.Phi incoming -> (
+      (* all-same-constant phi *)
+      match Array.to_list incoming with
+      | (_, v0) :: rest -> (
+          match const_of_value v0 with
+          | Some c when List.for_all (fun (_, v) -> equal_value v v0) rest -> Some c
+          | _ -> None)
+      | [] -> None)
+  | Ir.Instr.Load _ | Ir.Instr.Store _ | Ir.Instr.Alloc _ | Ir.Instr.Call _
+  | Ir.Instr.Br _ | Ir.Instr.Cond_br _ | Ir.Instr.Ret _ | Ir.Instr.Unreachable ->
+      None
+
+(* Algebraic identities that need no constant result: x+0, x*1, x*0, x-0,
+   x&0, x|0, shifts by 0. Returns the replacement value. *)
+let identity_of (k : Ir.Instr.kind) : value option =
+  match k with
+  | Ir.Instr.Ibinop (Ir.Instr.Add, x, Const (Cint 0L))
+  | Ir.Instr.Ibinop (Ir.Instr.Add, Const (Cint 0L), x)
+  | Ir.Instr.Ibinop (Ir.Instr.Sub, x, Const (Cint 0L))
+  | Ir.Instr.Ibinop (Ir.Instr.Mul, x, Const (Cint 1L))
+  | Ir.Instr.Ibinop (Ir.Instr.Mul, Const (Cint 1L), x)
+  | Ir.Instr.Ibinop (Ir.Instr.Or, x, Const (Cint 0L))
+  | Ir.Instr.Ibinop (Ir.Instr.Or, Const (Cint 0L), x)
+  | Ir.Instr.Ibinop (Ir.Instr.Xor, x, Const (Cint 0L))
+  | Ir.Instr.Ibinop (Ir.Instr.Xor, Const (Cint 0L), x)
+  | Ir.Instr.Ibinop (Ir.Instr.Shl, x, Const (Cint 0L))
+  | Ir.Instr.Ibinop (Ir.Instr.Ashr, x, Const (Cint 0L))
+  | Ir.Instr.Ibinop (Ir.Instr.Lshr, x, Const (Cint 0L)) ->
+      Some x
+  | Ir.Instr.Ibinop (Ir.Instr.Mul, _, Const (Cint 0L))
+  | Ir.Instr.Ibinop (Ir.Instr.Mul, Const (Cint 0L), _)
+  | Ir.Instr.Ibinop (Ir.Instr.And, _, Const (Cint 0L))
+  | Ir.Instr.Ibinop (Ir.Instr.And, Const (Cint 0L), _) ->
+      Some (int_ 0)
+  | Ir.Instr.Select (_, a, b) when equal_value a b -> Some a
+  | Ir.Instr.Select (Const (Cbool true), a, _) -> Some a
+  | Ir.Instr.Select (Const (Cbool false), _, b) -> Some b
+  | _ -> None
+
+(* One folding sweep over a function; returns true if anything changed. *)
+let fold_once (fn : Ir.Func.t) : bool =
+  let changed = ref false in
+  Ir.Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun id ->
+          let i = Ir.Func.instr fn id in
+          if Ir.Instr.has_result i.Ir.Instr.kind then begin
+            match fold_kind i.Ir.Instr.kind with
+            | Some c ->
+                Ir.Func.replace_all_uses fn ~old_id:id ~with_:(Const c);
+                (* neutralize the folded instruction so Dce removes it *)
+                (match i.Ir.Instr.kind with
+                | Ir.Instr.Phi _ | Ir.Instr.Ibinop _ | Ir.Instr.Fbinop _
+                | Ir.Instr.Icmp _ | Ir.Instr.Fcmp _ | Ir.Instr.Select _
+                | Ir.Instr.Si_to_fp _ | Ir.Instr.Fp_to_si _ ->
+                    changed := true
+                | _ -> ())
+            | None -> (
+                match identity_of i.Ir.Instr.kind with
+                | Some v ->
+                    Ir.Func.replace_all_uses fn ~old_id:id ~with_:v;
+                    changed := true
+                | None -> ())
+          end)
+        b.Ir.Func.instr_ids)
+    fn;
+  (* Branch folding: a conditional branch on a constant becomes a plain
+     branch; phi entries from the dead edge are dropped. *)
+  Ir.Func.iter_blocks
+    (fun b ->
+      match Ir.Func.terminator fn b.Ir.Func.bid with
+      | Some ({ Ir.Instr.kind = Ir.Instr.Cond_br (Const (Cbool cond), l1, l2); _ } as t)
+        when l1 <> l2 ->
+          let taken = if cond then l1 else l2 in
+          let dead = if cond then l2 else l1 in
+          t.Ir.Instr.kind <- Ir.Instr.Br taken;
+          List.iter
+            (fun (phi : Ir.Instr.t) ->
+              match phi.Ir.Instr.kind with
+              | Ir.Instr.Phi incoming ->
+                  phi.Ir.Instr.kind <-
+                    Ir.Instr.Phi
+                      (Array.of_seq
+                         (Seq.filter (fun (p, _) -> p <> b.Ir.Func.bid)
+                            (Array.to_seq incoming)))
+              | _ -> ())
+            (Ir.Func.phis fn dead);
+          changed := true
+      | _ -> ())
+    fn;
+  !changed
+
+let run_func fn =
+  let budget = ref 50 in
+  while fold_once fn && !budget > 0 do
+    decr budget
+  done
+
+let run_module (m : Ir.Func.modul) = List.iter run_func m.Ir.Func.funcs

@@ -1,0 +1,14 @@
+(** Constant folding (using the interpreter's own scalar semantics, so
+    optimized code can never disagree with execution), algebraic identities,
+    and branch folding. Division by zero is never folded — the trap must
+    survive. Folded instructions become dead; run {!Dce} afterwards. *)
+
+(** Fold one instruction to a constant if all inputs are known. *)
+val fold_kind : Ir.Instr.kind -> Ir.Types.const option
+
+(** x+0, x*1, x*0, x&0, shifts by 0, trivial selects. *)
+val identity_of : Ir.Instr.kind -> Ir.Types.value option
+
+val run_func : Ir.Func.t -> unit
+
+val run_module : Ir.Func.modul -> unit

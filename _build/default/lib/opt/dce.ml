@@ -1,0 +1,51 @@
+(* Dead code elimination: drop result-producing instructions whose values are
+   never used. Stores, calls and terminators are always live; loads are
+   removable (non-volatile semantics, as in LLVM — a dead load's only
+   possible effect is an out-of-bounds trap, which optimized code may
+   legitimately avoid). Works backwards to a fixpoint so chains of dead
+   computation disappear in one run. *)
+
+let has_side_effect (k : Ir.Instr.kind) =
+  match k with
+  | Ir.Instr.Store _ | Ir.Instr.Call _ | Ir.Instr.Alloc _ | Ir.Instr.Br _
+  | Ir.Instr.Cond_br _ | Ir.Instr.Ret _ | Ir.Instr.Unreachable ->
+      true
+  | Ir.Instr.Ibinop _ | Ir.Instr.Fbinop _ | Ir.Instr.Icmp _ | Ir.Instr.Fcmp _
+  | Ir.Instr.Select _ | Ir.Instr.Si_to_fp _ | Ir.Instr.Fp_to_si _ | Ir.Instr.Load _
+  | Ir.Instr.Phi _ ->
+      false
+
+let run_func (fn : Ir.Func.t) : int =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* use counts over the whole arena *)
+    let uses = Array.make (max 1 (Ir.Func.num_instrs fn)) 0 in
+    Ir.Func.iter_instrs
+      (fun i ->
+        List.iter
+          (fun v ->
+            match v with Ir.Types.Reg r -> uses.(r) <- uses.(r) + 1 | _ -> ())
+          (Ir.Instr.operands i.Ir.Instr.kind))
+      fn;
+    Ir.Func.iter_blocks
+      (fun b ->
+        let dead =
+          List.filter
+            (fun id ->
+              let i = Ir.Func.instr fn id in
+              (not (has_side_effect i.Ir.Instr.kind)) && uses.(id) = 0)
+            b.Ir.Func.instr_ids
+        in
+        if dead <> [] then begin
+          changed := true;
+          removed := !removed + List.length dead;
+          List.iter (fun id -> Ir.Func.remove_instr fn b.Ir.Func.bid id) dead
+        end)
+      fn
+  done;
+  !removed
+
+let run_module (m : Ir.Func.modul) : int =
+  List.fold_left (fun acc fn -> acc + run_func fn) 0 m.Ir.Func.funcs

@@ -1,0 +1,9 @@
+(** Dead code elimination. Stores, calls, allocs and terminators are always
+    live; loads are removable (non-volatile semantics, as in LLVM). Returns
+    the number of instructions removed. *)
+
+val has_side_effect : Ir.Instr.kind -> bool
+
+val run_func : Ir.Func.t -> int
+
+val run_module : Ir.Func.modul -> int

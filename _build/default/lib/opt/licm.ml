@@ -1,0 +1,76 @@
+(* Loop-invariant code motion: hoist side-effect-free, non-trapping
+   computations whose operands are loop-invariant into the loop's preheader.
+   Loops are canonicalized first so a preheader exists. Only speculatable
+   instructions move (integer division/remainder can trap, loads can alias
+   in-loop stores — both stay put), so hoisting is safe even out of
+   conditional paths. Innermost loops are processed first so invariants
+   bubble outward through the nest. *)
+
+let speculatable (k : Ir.Instr.kind) =
+  match k with
+  | Ir.Instr.Ibinop ((Ir.Instr.Sdiv | Ir.Instr.Srem), _, _) -> false
+  | Ir.Instr.Ibinop _ | Ir.Instr.Fbinop _ | Ir.Instr.Icmp _ | Ir.Instr.Fcmp _
+  | Ir.Instr.Select _ | Ir.Instr.Si_to_fp _ | Ir.Instr.Fp_to_si _ ->
+      true
+  | Ir.Instr.Load _ | Ir.Instr.Store _ | Ir.Instr.Alloc _ | Ir.Instr.Call _
+  | Ir.Instr.Phi _ | Ir.Instr.Br _ | Ir.Instr.Cond_br _ | Ir.Instr.Ret _
+  | Ir.Instr.Unreachable ->
+      false
+
+(* Hoist out of one loop; returns the number of instructions moved. *)
+let hoist_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (lid : int) : int =
+  match Cfg.Loopinfo.preheader li lid with
+  | None -> 0
+  | Some pre ->
+      let moved = ref 0 in
+      let invariant_value v =
+        match v with
+        | Ir.Types.Const _ | Ir.Types.Param _ | Ir.Types.Global _ -> true
+        | Ir.Types.Reg r ->
+            not (Cfg.Loopinfo.contains li lid (Ir.Func.instr fn r).Ir.Instr.block)
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Cfg.Loopinfo.Int_set.iter
+          (fun bid ->
+            let hoistable =
+              List.filter
+                (fun id ->
+                  let k = Ir.Func.kind fn id in
+                  speculatable k && List.for_all invariant_value (Ir.Instr.operands k))
+                (Ir.Func.block fn bid).Ir.Func.instr_ids
+            in
+            List.iter
+              (fun id ->
+                Ir.Func.remove_instr fn bid id;
+                (* insert before the preheader's terminator *)
+                let pb = Ir.Func.block fn pre in
+                (match List.rev pb.Ir.Func.instr_ids with
+                | term :: rest ->
+                    pb.Ir.Func.instr_ids <- List.rev rest @ [ id; term ]
+                | [] -> pb.Ir.Func.instr_ids <- [ id ]);
+                (Ir.Func.instr fn id).Ir.Instr.block <- pre;
+                incr moved;
+                changed := true)
+              hoistable)
+          (Cfg.Loopinfo.loop li lid).Cfg.Loopinfo.body
+      done;
+      !moved
+
+let run_func (fn : Ir.Func.t) : int =
+  Cfg.Loop_simplify.run_func fn;
+  let cfg = Cfg.Graph.build fn in
+  let dom = Cfg.Dom.compute cfg in
+  let li = Cfg.Loopinfo.compute cfg dom in
+  (* innermost first: deeper loops hoist into enclosing bodies, which the
+     enclosing loop's pass then sees as its own candidates *)
+  let by_depth =
+    List.sort
+      (fun (a : Cfg.Loopinfo.loop) b -> compare b.Cfg.Loopinfo.depth a.Cfg.Loopinfo.depth)
+      (Cfg.Loopinfo.loops li)
+  in
+  List.fold_left (fun acc l -> acc + hoist_loop fn li l.Cfg.Loopinfo.lid) 0 by_depth
+
+let run_module (m : Ir.Func.modul) : int =
+  List.fold_left (fun acc fn -> acc + run_func fn) 0 m.Ir.Func.funcs

@@ -1,0 +1,10 @@
+(** Loop-invariant code motion: hoist speculatable (side-effect-free,
+    non-trapping) computations with loop-invariant operands into the loop
+    preheader. Canonicalizes loops first; processes innermost loops first so
+    invariants bubble outward. Returns the number of instructions moved. *)
+
+val speculatable : Ir.Instr.kind -> bool
+
+val run_func : Ir.Func.t -> int
+
+val run_module : Ir.Func.modul -> int

@@ -1,0 +1,22 @@
+(* The optimization pipeline run before instrumentation when -O is requested:
+   fold -> clean CFG -> drop dead code, to a fixpoint. The analogue of the
+   paper's "IR after -Ofast" starting point. Every pass is semantics-
+   preserving (checked by test/test_opt.ml against the whole suite corpus). *)
+
+let run_func (fn : Ir.Func.t) =
+  let budget = ref 10 in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    decr budget;
+    Constfold.run_func fn;
+    Simplify_cfg.run_func fn;
+    ignore (Licm.run_func fn);
+    let removed = Dce.run_func fn in
+    (* Constfold/Simplify_cfg reach their own fixpoints internally; iterate
+       only while DCE keeps exposing more folding opportunities. *)
+    continue_ := removed > 0
+  done
+
+let run_module (m : Ir.Func.modul) =
+  List.iter run_func m.Ir.Func.funcs;
+  Ir.Verifier.check_module_exn m

@@ -1,0 +1,9 @@
+(** The pre-instrumentation optimization pipeline (the stand-in for the
+    paper's "-Ofast IR" starting point): constant folding, CFG cleanup,
+    loop-invariant code motion and DCE to a fixpoint. Semantics-preserving —
+    checked against the whole benchmark corpus in test/test_opt.ml. *)
+
+val run_func : Ir.Func.t -> unit
+
+(** @raise Ir.Verifier.Invalid_ir if a pass ever broke the module (a bug). *)
+val run_module : Ir.Func.modul -> unit

@@ -1,0 +1,87 @@
+(* CFG cleanup after folding:
+   - blocks unreachable from the entry are gutted to a lone [unreachable]
+     (block ids must stay stable, so blocks are never physically deleted);
+   - a block whose only successor has it as its only predecessor is merged
+     with that successor (straight-line chains collapse), retargeting phi
+     edges elsewhere accordingly. *)
+
+let gut_unreachable (fn : Ir.Func.t) : bool =
+  let cfg = Cfg.Graph.build fn in
+  let changed = ref false in
+  List.iter
+    (fun bid ->
+      let b = Ir.Func.block fn bid in
+      let already_gutted =
+        match b.Ir.Func.instr_ids with
+        | [ id ] -> Ir.Func.kind fn id = Ir.Instr.Unreachable
+        | _ -> false
+      in
+      if not already_gutted then begin
+        changed := true;
+        b.Ir.Func.instr_ids <- [];
+        ignore (Ir.Func.append_instr fn bid ~ty:None Ir.Instr.Unreachable);
+        (* drop phi edges coming from the unreachable block *)
+        Ir.Func.iter_instrs
+          (fun i ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Phi incoming when Array.exists (fun (p, _) -> p = bid) incoming ->
+                i.Ir.Instr.kind <-
+                  Ir.Instr.Phi
+                    (Array.of_seq
+                       (Seq.filter (fun (p, _) -> p <> bid) (Array.to_seq incoming)))
+            | _ -> ())
+          fn
+      end)
+    (Cfg.Graph.unreachable_blocks cfg);
+  !changed
+
+(* Perform at most one merge per call: every merge invalidates the CFG view,
+   so the caller re-runs until a fixpoint. *)
+let merge_chains (fn : Ir.Func.t) : bool =
+  let cfg = Cfg.Graph.build fn in
+  let candidate = ref None in
+  for a = 0 to Ir.Func.num_blocks fn - 1 do
+    if !candidate = None && Cfg.Graph.is_reachable cfg a then
+      match Cfg.Graph.successors cfg a with
+      | [ b ]
+        when b <> a
+             && Cfg.Graph.predecessors cfg b = [ a ]
+             && Ir.Func.phis fn b = []
+             && b <> fn.Ir.Func.entry ->
+          candidate := Some (a, b)
+      | _ -> ()
+  done;
+  match !candidate with
+  | None -> false
+  | Some (a, b) -> (
+      (* splice b's instructions after a's (dropping a's terminator) *)
+      let ba = Ir.Func.block fn a and bb = Ir.Func.block fn b in
+      match List.rev ba.Ir.Func.instr_ids with
+      | _term :: rest ->
+          ba.Ir.Func.instr_ids <- List.rev rest @ bb.Ir.Func.instr_ids;
+          List.iter
+            (fun id -> (Ir.Func.instr fn id).Ir.Instr.block <- a)
+            bb.Ir.Func.instr_ids;
+          bb.Ir.Func.instr_ids <- [];
+          ignore (Ir.Func.append_instr fn b ~ty:None Ir.Instr.Unreachable);
+          (* phi edges that named b as predecessor now come from a *)
+          Ir.Func.iter_instrs
+            (fun i ->
+              match i.Ir.Instr.kind with
+              | Ir.Instr.Phi incoming ->
+                  i.Ir.Instr.kind <-
+                    Ir.Instr.Phi
+                      (Array.map (fun (p, v) -> ((if p = b then a else p), v)) incoming)
+              | _ -> ())
+            fn;
+          true
+      | [] -> false)
+
+let run_func (fn : Ir.Func.t) =
+  let budget = ref ((2 * Ir.Func.num_blocks fn) + 16) in
+  let step () = gut_unreachable fn || merge_chains fn in
+  while step () && !budget > 0 do
+    decr budget
+  done
+
+let run_module (m : Ir.Func.modul) = List.iter run_func m.Ir.Func.funcs

@@ -1,0 +1,14 @@
+(** CFG cleanup: unreachable blocks are gutted to a lone [unreachable]
+    (block ids stay stable — blocks are never physically deleted), and
+    single-successor/single-predecessor chains are merged. *)
+
+(** One gutting sweep; true if anything changed. *)
+val gut_unreachable : Ir.Func.t -> bool
+
+(** At most one merge per call (each merge invalidates the CFG view); true
+    if a merge happened. *)
+val merge_chains : Ir.Func.t -> bool
+
+val run_func : Ir.Func.t -> unit
+
+val run_module : Ir.Func.modul -> unit

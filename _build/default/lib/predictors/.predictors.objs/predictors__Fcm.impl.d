@@ -1,0 +1,1 @@
+lib/predictors/fcm.ml: Array Int64 List Predictor Printf

@@ -1,0 +1,1 @@
+lib/predictors/hybrid.ml: Fcm Int64 Interp Last_value List Predictor Stride Two_delta

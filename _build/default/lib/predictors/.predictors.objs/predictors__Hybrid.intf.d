@@ -1,0 +1,1 @@
+lib/predictors/hybrid.mli: Interp Predictor

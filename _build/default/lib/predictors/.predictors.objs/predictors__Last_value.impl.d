@@ -1,0 +1,1 @@
+lib/predictors/last_value.ml: Predictor

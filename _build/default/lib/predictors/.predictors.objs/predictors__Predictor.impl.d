@@ -1,0 +1,1 @@
+lib/predictors/predictor.ml: Fun Int64 List

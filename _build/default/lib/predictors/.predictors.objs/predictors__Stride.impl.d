@@ -1,0 +1,1 @@
+lib/predictors/stride.ml: Int64 Predictor

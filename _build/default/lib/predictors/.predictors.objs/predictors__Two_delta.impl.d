@@ -1,0 +1,1 @@
+lib/predictors/two_delta.ml: Int64 Predictor

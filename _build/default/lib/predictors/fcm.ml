@@ -1,0 +1,43 @@
+(* Finite Context Method predictor (Sazeides & Smith, MICRO'97): hashes the
+   last [order] values into a context and predicts the value that followed
+   that context last time. *)
+
+let default_order = 2
+
+let default_table_bits = 12
+
+let create ?(order = default_order) ?(table_bits = default_table_bits) () :
+    Predictor.t =
+  let table_size = 1 lsl table_bits in
+  let table : int64 option array = Array.make table_size None in
+  let history = ref [] in
+  let hash_history () =
+    if List.length !history < order then None
+    else
+      Some
+        (List.fold_left
+           (fun acc v ->
+             let h =
+               Int64.to_int
+                 (Int64.logand
+                    (Int64.mul (Int64.logxor v (Int64.of_int acc)) 0x9E3779B97F4A7C15L)
+                    Int64.max_int)
+             in
+             h land (table_size - 1))
+           5381 !history)
+  in
+  {
+    Predictor.name = Printf.sprintf "fcm-%d" order;
+    predict =
+      (fun () -> match hash_history () with Some h -> table.(h) | None -> None);
+    train =
+      (fun v ->
+        (match hash_history () with Some h -> table.(h) <- Some v | None -> ());
+        history := v :: !history;
+        if List.length !history > order then
+          history := List.filteri (fun i _ -> i < order) !history);
+    reset =
+      (fun () ->
+        Array.fill table 0 table_size None;
+        history := []);
+  }

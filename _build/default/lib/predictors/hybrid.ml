@@ -1,0 +1,38 @@
+(* Perfectly hybridized predictor bank (paper §III-C): an LCD instance counts
+   as predicted if *any* component predictor got it right. The paper argues
+   this upper-bounds realistic hybrids without baking in a particular
+   confidence scheme. *)
+
+type t = { components : Predictor.t list }
+
+let create ?(components = None) () : t =
+  let components =
+    match components with
+    | Some cs -> cs
+    | None ->
+        [ Last_value.create (); Stride.create (); Two_delta.create (); Fcm.create () ]
+  in
+  { components }
+
+let reset t = List.iter (fun (p : Predictor.t) -> p.Predictor.reset ()) t.components
+
+(* Returns whether any component would have predicted [v], then trains all. *)
+let step t (v : int64) : bool =
+  let hit =
+    List.exists
+      (fun (p : Predictor.t) ->
+        match p.Predictor.predict () with Some g -> Int64.equal g v | None -> false)
+      t.components
+  in
+  List.iter (fun (p : Predictor.t) -> p.Predictor.train v) t.components;
+  hit
+
+let hits t stream =
+  reset t;
+  List.map (step t) stream
+
+(* Bit image of a runtime value, the currency predictors work in. *)
+let bits_of_rv : Interp.Rvalue.rv -> int64 = function
+  | Interp.Rvalue.Vint i -> i
+  | Interp.Rvalue.Vfloat f -> Int64.bits_of_float f
+  | Interp.Rvalue.Vbool b -> if b then 1L else 0L

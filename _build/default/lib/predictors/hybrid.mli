@@ -1,0 +1,20 @@
+(** Perfectly hybridized predictor bank (paper §III-C): an LCD instance
+    counts as predicted when {e any} component predicts it — the paper's
+    upper bound on realistic hybrids, avoiding a particular confidence
+    scheme. The default bank is last-value + stride + 2-delta + FCM. *)
+
+type t
+
+(** [components = Some ps] replaces the default bank (ablation studies). *)
+val create : ?components:Predictor.t list option -> unit -> t
+
+val reset : t -> unit
+
+(** Was the next value predicted by any component? Trains all components. *)
+val step : t -> int64 -> bool
+
+(** Per-element hit flags over a whole stream (resets first). *)
+val hits : t -> int64 list -> bool list
+
+(** The 64-bit image predictors work in (floats by bit pattern). *)
+val bits_of_rv : Interp.Rvalue.rv -> int64

@@ -1,0 +1,10 @@
+(* Last-value predictor: predicts the stream repeats its previous element. *)
+
+let create () : Predictor.t =
+  let last = ref None in
+  {
+    Predictor.name = "last-value";
+    predict = (fun () -> !last);
+    train = (fun v -> last := Some v);
+    reset = (fun () -> last := None);
+  }

@@ -1,0 +1,31 @@
+(* Value-predictor interface (paper §III-C). A predictor is queried for its
+   prediction of the *next* value in a stream, then trained with the actual
+   value. Streams here are the per-iteration values of one non-computable
+   register LCD within one loop invocation. Values are the raw 64-bit images
+   of the register (floats by bit pattern). *)
+
+type t = {
+  name : string;
+  (* None when the predictor has no confident prediction yet *)
+  predict : unit -> int64 option;
+  train : int64 -> unit;
+  reset : unit -> unit;
+}
+
+(* Feed a stream; return per-element hit flags. The first element can never
+   be a hit (nothing to predict from); predictors may also decline early
+   elements while warming up. *)
+let hits (p : t) (stream : int64 list) : bool list =
+  p.reset ();
+  List.map
+    (fun v ->
+      let hit = match p.predict () with Some g -> Int64.equal g v | None -> false in
+      p.train v;
+      hit)
+    stream
+
+let accuracy p stream =
+  let h = hits p stream in
+  let total = List.length h in
+  if total = 0 then 0.0
+  else float_of_int (List.length (List.filter Fun.id h)) /. float_of_int total

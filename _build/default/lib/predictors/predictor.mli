@@ -1,0 +1,18 @@
+(** Value-predictor interface (paper §III-C). A predictor is queried for its
+    prediction of the next value, then trained with the actual one. Streams
+    are the per-iteration values of one register LCD within one loop
+    invocation. *)
+
+type t = {
+  name : string;
+  predict : unit -> int64 option;  (** [None]: no confident prediction yet *)
+  train : int64 -> unit;
+  reset : unit -> unit;
+}
+
+(** Per-element hit flags (resets the predictor first). The first element can
+    never hit. *)
+val hits : t -> int64 list -> bool list
+
+(** Fraction of hits over the stream; 0 for the empty stream. *)
+val accuracy : t -> int64 list -> float

@@ -1,0 +1,22 @@
+(* Stride predictor: predicts last + (last - previous). Needs two samples
+   before it ventures a prediction. *)
+
+let create () : Predictor.t =
+  let last = ref None and prev = ref None in
+  {
+    Predictor.name = "stride";
+    predict =
+      (fun () ->
+        match (!last, !prev) with
+        | Some l, Some p -> Some (Int64.add l (Int64.sub l p))
+        | Some l, None -> Some l
+        | None, _ -> None);
+    train =
+      (fun v ->
+        prev := !last;
+        last := Some v);
+    reset =
+      (fun () ->
+        last := None;
+        prev := None);
+  }

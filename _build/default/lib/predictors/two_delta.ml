@@ -1,0 +1,31 @@
+(* 2-delta stride predictor: the predicted stride only updates after the same
+   new stride is observed twice in a row, filtering one-off disturbances. *)
+
+let create () : Predictor.t =
+  let last = ref None in
+  let stride = ref 0L in
+  let candidate = ref None in
+  {
+    Predictor.name = "2-delta";
+    predict =
+      (fun () -> match !last with Some l -> Some (Int64.add l !stride) | None -> None);
+    train =
+      (fun v ->
+        (match !last with
+        | Some l ->
+            let d = Int64.sub v l in
+            if d <> !stride then
+              if !candidate = Some d then begin
+                stride := d;
+                candidate := None
+              end
+              else candidate := Some d
+            else candidate := None
+        | None -> ());
+        last := Some v);
+    reset =
+      (fun () ->
+        last := None;
+        stride := 0L;
+        candidate := None);
+  }

@@ -1,0 +1,63 @@
+(* Aligned text tables and CSV emission for the experiment harness. *)
+
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let rows t = List.rev t.rows
+
+let render t : string =
+  let all = t.headers :: rows t in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc r -> match List.nth_opt r c with Some s -> max acc (String.length s) | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let s = match List.nth_opt r c with Some s -> s | None -> "" in
+           (* left-align the first column, right-align numbers *)
+           if c = 0 then Printf.sprintf "%-*s" w s else Printf.sprintf "%*s" w s)
+         widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" ((render_row t.headers :: sep :: List.map render_row (rows t)) @ [])
+
+let to_csv t : string =
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  String.concat "\n"
+    (List.map (fun r -> String.concat "," (List.map quote r)) (t.headers :: rows t))
+
+(* Horizontal log-scale bar chart, echoing the paper's log-axis figures. *)
+let log_bars ?(width = 48) ?(max_value = None) (entries : (string * float) list) :
+    string =
+  let vmax =
+    match max_value with
+    | Some v -> v
+    | None -> List.fold_left (fun acc (_, v) -> Float.max acc v) 1.0 entries
+  in
+  let lmax = log (Float.max vmax 1.001) in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  String.concat "\n"
+    (List.map
+       (fun (label, v) ->
+         let frac = if lmax <= 0.0 then 0.0 else log (Float.max v 1.0) /. lmax in
+         let n = int_of_float (frac *. float_of_int width) in
+         Printf.sprintf "%-*s |%-*s %8.2fx" label_w label width
+           (String.make (max 0 (min width n)) '#')
+           v)
+       entries)

@@ -1,0 +1,20 @@
+(** Aligned text tables, CSV emission, and the log-scale ASCII bar charts the
+    experiment harness prints (echoing the paper's log-axis figures). *)
+
+type t
+
+val create : string list -> t
+
+val add_row : t -> string list -> unit
+
+(** Rows in insertion order. *)
+val rows : t -> string list list
+
+(** Monospace rendering: first column left-aligned, the rest right-aligned. *)
+val render : t -> string
+
+val to_csv : t -> string
+
+(** Horizontal bars on a logarithmic scale; labels aligned, values appended.
+    [max_value] pins the scale (default: the largest entry). *)
+val log_bars : ?width:int -> ?max_value:float option -> (string * float) list -> string

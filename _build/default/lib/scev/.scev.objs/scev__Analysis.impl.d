@@ -1,0 +1,1 @@
+lib/scev/analysis.ml: Array Cfg Expr Hashtbl Int64 Ir List

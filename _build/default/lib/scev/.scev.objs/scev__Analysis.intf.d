@@ -1,0 +1,1 @@
+lib/scev/analysis.mli: Cfg Expr Ir

@@ -1,0 +1,1 @@
+lib/scev/expr.ml: Format Hashtbl Int Int64 Ir List Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/scev/expr.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/scev/recurrence.ml: Array Cfg Hashtbl Ir List

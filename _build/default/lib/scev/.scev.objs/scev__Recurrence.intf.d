@@ -1,0 +1,1 @@
+lib/scev/recurrence.mli: Cfg Ir

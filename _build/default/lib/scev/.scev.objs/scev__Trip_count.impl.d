@@ -1,0 +1,1 @@
+lib/scev/trip_count.ml: Analysis Cfg Expr Int64 Ir List Option

@@ -1,0 +1,181 @@
+(* Scalar-evolution analysis over a function: assigns each integer SSA value
+   an Expr.t, detecting induction variables (add-recurrences), mutual and
+   polynomial IVs. This is the stand-in for LLVM's ScalarEvolution pass; the
+   limit study uses it to decide which register LCDs are "computable" —
+   reproducible thread-locally from an iteration index (paper §II-A). *)
+
+open Ir.Types
+
+type t = {
+  fn : Ir.Func.t;
+  li : Cfg.Loopinfo.t;
+  memo : (int, Expr.t) Hashtbl.t; (* instruction id -> scev *)
+}
+
+let create fn li = { fn; li; memo = Hashtbl.create 64 }
+
+let def_block t id = (Ir.Func.instr t.fn id).Ir.Instr.block
+
+(* Is [e] invariant with respect to loop [lid]? Constants always; unknowns
+   when their definition lives outside the loop body; add-recurrences only
+   when they belong to a loop that does not contain [lid]'s blocks — for our
+   purposes, when their header is outside [lid]'s body. *)
+let rec is_invariant t e ~lid =
+  match e with
+  | Expr.Const _ -> true
+  | Expr.Cannot | Expr.Self _ -> false
+  | Expr.Unknown (Const _) | Expr.Unknown (Param _) | Expr.Unknown (Global _) -> true
+  | Expr.Unknown (Reg id) -> not (Cfg.Loopinfo.contains t.li lid (def_block t id))
+  | Expr.Add ts | Expr.Mul ts -> List.for_all (fun x -> is_invariant t x ~lid) ts
+  | Expr.Add_rec { loop = header; _ } -> not (Cfg.Loopinfo.contains t.li lid header)
+
+(* Does [e] describe a value computable thread-locally inside loop [lid] from
+   the iteration index alone? Unknown leaves must be loop-invariant;
+   add-recurrences may step with [lid] itself or with enclosing loops. *)
+let rec is_computable_in t e ~lid =
+  match e with
+  | Expr.Const _ -> true
+  | Expr.Cannot | Expr.Self _ -> false
+  | Expr.Unknown (Const _) | Expr.Unknown (Param _) | Expr.Unknown (Global _) -> true
+  | Expr.Unknown (Reg id) -> not (Cfg.Loopinfo.contains t.li lid (def_block t id))
+  | Expr.Add ts | Expr.Mul ts -> List.for_all (fun x -> is_computable_in t x ~lid) ts
+  | Expr.Add_rec { start; step; loop = header } ->
+      let same_loop =
+        match Cfg.Loopinfo.loop_of_header t.li header with
+        | Some l -> l = lid
+        | None -> false
+      in
+      (same_loop || not (Cfg.Loopinfo.contains t.li lid header))
+      && is_computable_in t start ~lid
+      && is_computable_in t step ~lid
+
+let rec scev_of_value t (v : value) : Expr.t =
+  match v with
+  | Const (Cint i) -> Expr.Const i
+  | Const (Cbool b) -> Expr.Const (if b then 1L else 0L)
+  | Const (Cfloat _) -> Expr.Unknown v
+  | Param _ | Global _ -> Expr.Unknown v
+  | Reg id -> scev_of_reg t id
+
+and scev_of_reg t id =
+  match Hashtbl.find_opt t.memo id with
+  | Some e -> e
+  | None ->
+      let i = Ir.Func.instr t.fn id in
+      let e =
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Ibinop (op, a, b) -> scev_of_binop t id op a b
+        | Ir.Instr.Phi _ -> scev_of_phi t id
+        | Ir.Instr.Fbinop _ | Ir.Instr.Icmp _ | Ir.Instr.Fcmp _ | Ir.Instr.Select _
+        | Ir.Instr.Si_to_fp _ | Ir.Instr.Fp_to_si _ | Ir.Instr.Load _
+        | Ir.Instr.Alloc _ | Ir.Instr.Call _ ->
+            Expr.Unknown (Reg id)
+        | Ir.Instr.Store _ | Ir.Instr.Br _ | Ir.Instr.Cond_br _ | Ir.Instr.Ret _
+        | Ir.Instr.Unreachable ->
+            Expr.Cannot
+      in
+      (* A phi solving in progress stores Self; don't overwrite that here. *)
+      if Hashtbl.find_opt t.memo id = None then Hashtbl.replace t.memo id e;
+      Hashtbl.find t.memo id
+
+and scev_of_binop t id op a b =
+  let sa () = scev_of_value t a and sb () = scev_of_value t b in
+  match op with
+  | Ir.Instr.Add -> Expr.add (sa ()) (sb ())
+  | Ir.Instr.Sub -> Expr.sub (sa ()) (sb ())
+  | Ir.Instr.Mul -> Expr.mul (sa ()) (sb ())
+  | Ir.Instr.Shl -> (
+      match b with
+      | Const (Cint c) when c >= 0L && c < 62L ->
+          Expr.mul (sa ()) (Expr.Const (Int64.shift_left 1L (Int64.to_int c)))
+      | _ -> Expr.Unknown (Reg id))
+  | Ir.Instr.Sdiv | Ir.Instr.Srem | Ir.Instr.And | Ir.Instr.Or | Ir.Instr.Xor
+  | Ir.Instr.Ashr | Ir.Instr.Lshr ->
+      Expr.Unknown (Reg id)
+
+(* Solve a loop-header phi as a recurrence: bind the phi to Self, take the
+   SCEV of its latch-incoming value, and match x_{next} = x + step. *)
+and scev_of_phi t id =
+  let i = Ir.Func.instr t.fn id in
+  let header = i.Ir.Instr.block in
+  match Cfg.Loopinfo.loop_of_header t.li header with
+  | None -> Expr.Unknown (Reg id)
+  | Some lid -> (
+      let l = Cfg.Loopinfo.loop t.li lid in
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Phi incoming when Array.length incoming = 2 ->
+          let in_loop b = Cfg.Loopinfo.contains t.li lid b in
+          let entry_edge =
+            Array.to_list incoming |> List.find_opt (fun (p, _) -> not (in_loop p))
+          and latch_edge =
+            Array.to_list incoming |> List.find_opt (fun (p, _) -> in_loop p)
+          in
+          (match (entry_edge, latch_edge) with
+          | Some (_, init), Some (_, next) ->
+              Hashtbl.replace t.memo id (Expr.Self id);
+              let next_scev = Expr.simplify (scev_of_value t next) in
+              Hashtbl.remove t.memo id;
+              let start = scev_of_value t init in
+              let solved =
+                match next_scev with
+                | Expr.Self s when s = id ->
+                    (* x_{k+1} = x_k: loop-invariant phi *)
+                    Some start
+                | Expr.Add terms ->
+                    let selfs, rest =
+                      List.partition (fun e -> Expr.equal e (Expr.Self id)) terms
+                    in
+                    if
+                      List.length selfs = 1
+                      && not (List.exists Expr.contains_self rest)
+                    then
+                      let step = Expr.simplify (Expr.Add rest) in
+                      if is_computable_in t step ~lid && not (Expr.contains_cannot step)
+                      then Some (Expr.Add_rec { start; step; loop = l.Cfg.Loopinfo.header })
+                      else None
+                    else None
+                | _ -> None
+              in
+              (match solved with
+              | Some e when not (Expr.contains_cannot e) -> Expr.simplify e
+              | _ -> Expr.Unknown (Reg id))
+          | _ -> Expr.Unknown (Reg id))
+      | _ -> Expr.Unknown (Reg id))
+
+(* Classification of a loop-header phi for the limit study. *)
+type phi_class =
+  | Computable of Expr.t (* full add-recurrence (IV / MIV / polynomial) *)
+  | Computable_shifted of Expr.t
+    (* x_{k+1} = f(k) with f self-free and computable: reproducible from the
+       iteration index after the first iteration *)
+  | Non_computable
+
+let classify_header_phi t id : phi_class =
+  let i = Ir.Func.instr t.fn id in
+  let header = i.Ir.Instr.block in
+  match (Cfg.Loopinfo.loop_of_header t.li header, i.Ir.Instr.kind) with
+  | Some lid, Ir.Instr.Phi incoming when Array.length incoming = 2 -> (
+      match Expr.simplify (scev_of_reg t id) with
+      | Expr.Add_rec _ as e when is_computable_in t e ~lid -> Computable e
+      | Expr.Const _ as e -> Computable e
+      | e when is_invariant t e ~lid && not (Expr.contains_cannot e) -> Computable e
+      | _ -> (
+          (* Second chance: latch value may be a self-free function of the
+             iteration (a "shifted" computable sequence). *)
+          let in_loop b = Cfg.Loopinfo.contains t.li lid b in
+          let latch_edge =
+            Array.to_list incoming |> List.find_opt (fun (p, _) -> in_loop p)
+          in
+          match latch_edge with
+          | Some (_, next) ->
+              Hashtbl.replace t.memo id (Expr.Self id);
+              let next_scev = Expr.simplify (scev_of_value t next) in
+              Hashtbl.remove t.memo id;
+              if
+                (not (Expr.contains_self next_scev))
+                && (not (Expr.contains_cannot next_scev))
+                && is_computable_in t next_scev ~lid
+              then Computable_shifted next_scev
+              else Non_computable
+          | None -> Non_computable))
+  | _ -> Non_computable

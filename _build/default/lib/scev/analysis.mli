@@ -1,0 +1,29 @@
+(** Scalar-evolution analysis over a function — the ScalarEvolution-pass
+    stand-in. The limit study uses it to decide which register LCDs are
+    "computable": reproducible thread-locally from an iteration index
+    (paper §II-A). *)
+
+type t
+
+val create : Ir.Func.t -> Cfg.Loopinfo.t -> t
+
+(** Is the expression invariant with respect to loop [lid]? *)
+val is_invariant : t -> Expr.t -> lid:int -> bool
+
+(** Computable thread-locally inside loop [lid]: unknown leaves invariant,
+    add-recurrences stepping with [lid] or enclosing loops only. *)
+val is_computable_in : t -> Expr.t -> lid:int -> bool
+
+(** Memoized SCEV of a value; loop-header phis are solved as recurrences. *)
+val scev_of_value : t -> Ir.Types.value -> Expr.t
+
+val scev_of_reg : t -> int -> Expr.t
+
+type phi_class =
+  | Computable of Expr.t  (** IV / MIV / polynomial add-recurrence *)
+  | Computable_shifted of Expr.t
+      (** x_(k+1) = f(k) with f self-free and computable: reproducible from
+          the iteration index after the first iteration *)
+  | Non_computable
+
+val classify_header_phi : t -> int -> phi_class

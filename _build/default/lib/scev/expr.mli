@@ -1,0 +1,46 @@
+(** Scalar-evolution expressions. [Add_rec {start; step; loop}] denotes the
+    sequence x_0 = start, x_(k+1) = x_k + step(k) over iterations of the loop
+    with header block id [loop] — affine when [step] is invariant, polynomial
+    when [step] is itself an add-recurrence of the same loop (mutual
+    induction). [Self] is a transient marker used while solving a phi's own
+    recurrence and never escapes {!Analysis}. *)
+
+type t =
+  | Const of int64
+  | Unknown of Ir.Types.value  (** opaque leaf; invariance judged by def site *)
+  | Self of int
+  | Add of t list
+  | Mul of t list
+  | Add_rec of { start : t; step : t; loop : int }
+  | Cannot
+
+val equal : t -> t -> bool
+
+val contains_self : t -> bool
+
+val contains_cannot : t -> bool
+
+val compare_expr : t -> t -> int
+
+(** Normalization: flattening, constant folding, pointwise merging of
+    same-loop add-recurrences, linear distribution of constants. Sound
+    without invariance knowledge; preserves {!eval} (property-tested). *)
+val simplify : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+val neg : t -> t
+
+(** Ground-truth evaluation: [iters] maps loop headers to iteration indices;
+    [env] resolves unknowns. Add-recurrences are evaluated by literally
+    running the recurrence.
+    @raise Invalid_argument on [Self] or [Cannot] *)
+val eval : env:(Ir.Types.value -> int64) -> iters:(int * int) list -> t -> int64
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

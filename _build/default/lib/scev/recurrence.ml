@@ -1,0 +1,227 @@
+(* Reduction recurrence descriptors, mirroring LLVM's RecurrenceDescriptor:
+   detect loop-header phis whose only in-loop role is an accumulation
+   (sum/product/bitwise/min/max) so the limit study can treat them as
+   decoupled from the loop's critical path under -reduc1 (paper §II-A). *)
+
+open Ir.Types
+
+type kind =
+  | Sum (* integer add / sub-accumulate *)
+  | Prod
+  | Band
+  | Bor
+  | Bxor
+  | Fsum
+  | Fprod
+  | Min
+  | Max
+  | Fmin
+  | Fmax
+
+let kind_name = function
+  | Sum -> "sum"
+  | Prod -> "prod"
+  | Band -> "and"
+  | Bor -> "or"
+  | Bxor -> "xor"
+  | Fsum -> "fsum"
+  | Fprod -> "fprod"
+  | Min -> "min"
+  | Max -> "max"
+  | Fmin -> "fmin"
+  | Fmax -> "fmax"
+
+type descriptor = { phi : int; kind : kind; chain : int list (* instr ids *) }
+
+(* Does value [v] transitively reach instruction [phi_id] through in-loop
+   defs? Used to reject accumulators whose "independent" operand actually
+   feeds back into the accumulator. *)
+let reaches fn li lid ~phi_id v =
+  let seen = Hashtbl.create 16 in
+  let rec go v =
+    match v with
+    | Reg id when id = phi_id -> true
+    | Reg id when not (Hashtbl.mem seen id) ->
+        Hashtbl.replace seen id ();
+        let i = Ir.Func.instr fn id in
+        Cfg.Loopinfo.contains li lid i.Ir.Instr.block
+        && List.exists go (Ir.Instr.operands i.Ir.Instr.kind)
+    | _ -> false
+  in
+  go v
+
+(* Uses of register [r] across the function: (user instr id, in-loop?). *)
+let uses_of fn li lid r =
+  Ir.Func.fold_instrs
+    (fun acc i ->
+      let used =
+        List.exists
+          (fun v -> match v with Reg x -> x = r | _ -> false)
+          (Ir.Instr.operands i.Ir.Instr.kind)
+      in
+      if used then
+        (i.Ir.Instr.id, Cfg.Loopinfo.contains li lid i.Ir.Instr.block) :: acc
+      else acc)
+    [] fn
+
+let binop_kind = function
+  | Ir.Instr.Add -> Some Sum
+  | Ir.Instr.Sub -> Some Sum (* acc = acc - v accumulates a negated sum *)
+  | Ir.Instr.Mul -> Some Prod
+  | Ir.Instr.And -> Some Band
+  | Ir.Instr.Or -> Some Bor
+  | Ir.Instr.Xor -> Some Bxor
+  | Ir.Instr.Sdiv | Ir.Instr.Srem | Ir.Instr.Shl | Ir.Instr.Ashr | Ir.Instr.Lshr ->
+      None
+
+let fbinop_kind = function
+  | Ir.Instr.Fadd -> Some Fsum
+  | Ir.Instr.Fsub -> Some Fsum
+  | Ir.Instr.Fmul -> Some Fprod
+  | Ir.Instr.Fdiv -> None
+
+(* Min/max idiom: select(cmp(a, b), x, y) where {a,b} = {x,y}. Returns the
+   reduction kind and the cmp instruction id. *)
+let minmax_of fn id =
+  match Ir.Func.kind fn id with
+  | Ir.Instr.Select (Reg cid, x, y) -> (
+      match Ir.Func.kind fn cid with
+      | Ir.Instr.Icmp (op, a, b)
+        when (equal_value a x && equal_value b y) || (equal_value a y && equal_value b x)
+        -> (
+          let flipped = equal_value a y in
+          match (op, flipped) with
+          | (Ir.Instr.Islt | Ir.Instr.Isle), false | (Ir.Instr.Isgt | Ir.Instr.Isge), true ->
+              Some (Min, cid, x, y)
+          | (Ir.Instr.Isgt | Ir.Instr.Isge), false | (Ir.Instr.Islt | Ir.Instr.Isle), true ->
+              Some (Max, cid, x, y)
+          | (Ir.Instr.Ieq | Ir.Instr.Ine), _ -> None)
+      | Ir.Instr.Fcmp (op, a, b)
+        when (equal_value a x && equal_value b y) || (equal_value a y && equal_value b x)
+        -> (
+          let flipped = equal_value a y in
+          match (op, flipped) with
+          | (Ir.Instr.Flt | Ir.Instr.Fle), false | (Ir.Instr.Fgt | Ir.Instr.Fge), true ->
+              Some (Fmin, cid, x, y)
+          | (Ir.Instr.Fgt | Ir.Instr.Fge), false | (Ir.Instr.Flt | Ir.Instr.Fle), true ->
+              Some (Fmax, cid, x, y)
+          | (Ir.Instr.Feq | Ir.Instr.Fne), _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Try to see instruction [id] (the latch-incoming def of the phi) as the tip
+   of an accumulation chain over [phi_id]. Returns the chain (instr ids,
+   including cmp instructions of min/max links) if the shape holds. *)
+let collect_chain fn li lid ~phi_id ~tip =
+  let exception Not_reduction in
+  let chain = ref [] in
+  let kind_seen = ref None in
+  let note_kind k =
+    match !kind_seen with
+    | None -> kind_seen := Some k
+    | Some k0 ->
+        (* Sub links report Sum, so mixing add/sub is fine; anything else
+           must be homogeneous. *)
+        if k0 <> k then raise Not_reduction
+  in
+  let rec walk id =
+    if List.mem id !chain then ()
+    else begin
+      chain := id :: !chain;
+      let arm v =
+        (* Each operand is either the phi itself, an inner chain link, or an
+           independent value that must not reach back to the phi. *)
+        match v with
+        | Reg r when r = phi_id -> ()
+        | Reg r
+          when Cfg.Loopinfo.contains li lid (Ir.Func.instr fn r).Ir.Instr.block
+               && reaches fn li lid ~phi_id (Reg r) ->
+            walk r
+        | v -> if reaches fn li lid ~phi_id v then raise Not_reduction
+      in
+      (* A merge arm must carry the running value (be the phi or a chain
+         link); an arm independent of the accumulator would *reset* it, which
+         no decoupled reduction tree can reproduce. *)
+      let carrying_arm v =
+        match v with
+        | Reg r when r = phi_id -> ()
+        | Reg r
+          when Cfg.Loopinfo.contains li lid (Ir.Func.instr fn r).Ir.Instr.block
+               && reaches fn li lid ~phi_id (Reg r) ->
+            walk r
+        | _ -> raise Not_reduction
+      in
+      match minmax_of fn id with
+      | Some (k, cid, x, y) ->
+          note_kind k;
+          chain := cid :: !chain;
+          arm x;
+          arm y
+      | None -> (
+          match Ir.Func.kind fn id with
+          | Ir.Instr.Ibinop (op, a, b) -> (
+              match binop_kind op with
+              | Some k ->
+                  note_kind k;
+                  (* acc - v accumulates only on the left arm *)
+                  if op = Ir.Instr.Sub && reaches fn li lid ~phi_id b then
+                    raise Not_reduction;
+                  arm a;
+                  arm b
+              | None -> raise Not_reduction)
+          | Ir.Instr.Fbinop (op, a, b) -> (
+              match fbinop_kind op with
+              | Some k ->
+                  note_kind k;
+                  if op = Ir.Instr.Fsub && reaches fn li lid ~phi_id b then
+                    raise Not_reduction;
+                  arm a;
+                  arm b
+              | None -> raise Not_reduction)
+          | Ir.Instr.Phi incoming ->
+              (* Conditional accumulation (if-merge) or accumulation carried
+                 through an inner loop's header phi: every incoming edge must
+                 carry the running value. Contributes no operation kind. *)
+              Array.iter (fun (_, v) -> carrying_arm v) incoming
+          | Ir.Instr.Select (c, a, b) ->
+              (* x = cond ? x <op> v : x — conditional accumulation as a
+                 select; the condition must not involve the accumulator. *)
+              if reaches fn li lid ~phi_id c then raise Not_reduction;
+              carrying_arm a;
+              carrying_arm b
+          | _ -> raise Not_reduction)
+    end
+  in
+  try
+    walk tip;
+    match !kind_seen with Some k -> Some (k, !chain) | None -> None
+  with Not_reduction -> None
+
+(* Detect whether header phi [phi_id] is a reduction accumulator. *)
+let detect fn li phi_id : descriptor option =
+  let i = Ir.Func.instr fn phi_id in
+  let header = i.Ir.Instr.block in
+  match (Cfg.Loopinfo.loop_of_header li header, i.Ir.Instr.kind) with
+  | Some lid, Ir.Instr.Phi incoming when Array.length incoming = 2 -> (
+      let in_loop b = Cfg.Loopinfo.contains li lid b in
+      let latch_edge =
+        Array.to_list incoming |> List.find_opt (fun (p, _) -> in_loop p)
+      in
+      match latch_edge with
+      | Some (_, Reg tip) when in_loop (Ir.Func.instr fn tip).Ir.Instr.block -> (
+          match collect_chain fn li lid ~phi_id ~tip with
+          | Some (kind, chain) ->
+              (* Every in-loop use of the phi and of intermediate chain values
+                 must stay inside the chain, or the running value escapes and
+                 the reduction cannot be decoupled. *)
+              let escape r =
+                List.exists
+                  (fun (user, user_in_loop) ->
+                    user_in_loop && (not (List.mem user chain)) && user <> phi_id)
+                  (uses_of fn li lid r)
+              in
+              if escape phi_id || List.exists escape chain then None
+              else Some { phi = phi_id; kind; chain }
+          | None -> None)
+      | _ -> None)
+  | _ -> None

@@ -1,0 +1,35 @@
+(** Reduction recurrence descriptors, mirroring LLVM's RecurrenceDescriptor:
+    loop-header phis whose only in-loop role is an accumulation can be
+    decoupled from the loop's critical path under -reduc1 (paper §II-A).
+
+    Recognized shapes: plain binop chains ([s = s + v]), subtraction
+    accumulators, min/max via the compare+select idiom, conditional
+    accumulation through if-merges or selects, and accumulators threaded
+    through inner-loop header phis (nested reductions). Rejected: value
+    resets, accumulators whose running value feeds other computation
+    (escapes), and mixed operation kinds. *)
+
+type kind =
+  | Sum
+  | Prod
+  | Band
+  | Bor
+  | Bxor
+  | Fsum
+  | Fprod
+  | Min
+  | Max
+  | Fmin
+  | Fmax
+
+val kind_name : kind -> string
+
+type descriptor = {
+  phi : int;  (** the header phi's instruction id *)
+  kind : kind;
+  chain : int list;  (** instruction ids forming the accumulation chain *)
+}
+
+(** [detect fn li phi_id] returns the descriptor if the header phi [phi_id]
+    is a decoupleable reduction of its loop, [None] otherwise. *)
+val detect : Ir.Func.t -> Cfg.Loopinfo.t -> int -> descriptor option

@@ -1,0 +1,92 @@
+(* Exit (trip) count computation — the back-edge-taken-count role of LLVM's
+   ScalarEvolution. For a canonical loop whose header compares an affine IV
+   with constant start and step against a constant bound, the number of
+   header arrivals is known exactly. Conservative: anything else is None. *)
+
+open Ir.Types
+
+(* Count of header arrivals (body executions + the final failing test) for
+   iv = {start,+,step} compared against bound with [op], assuming the loop
+   exits when the comparison fails and runs while it holds. *)
+let count_affine ~start ~step ~bound ~(op : Ir.Instr.icmp) : int64 option =
+  let open Int64 in
+  let ceil_div a b = if rem a b = 0L then div a b else add (div a b) 1L in
+  let body_execs upper =
+    (* iterations with start + k*step < upper, k >= 0 *)
+    if step <= 0L then None
+    else if start >= upper then Some 0L
+    else Some (ceil_div (sub upper start) step)
+  in
+  let body_execs_down lower =
+    if step >= 0L then None
+    else if start <= lower then Some 0L
+    else Some (ceil_div (sub start lower) (neg step))
+  in
+  let bodies =
+    match op with
+    | Ir.Instr.Islt -> body_execs bound
+    | Ir.Instr.Isle -> body_execs (add bound 1L)
+    | Ir.Instr.Isgt -> body_execs_down bound
+    | Ir.Instr.Isge -> body_execs_down (sub bound 1L)
+    | Ir.Instr.Ine ->
+        (* iv != bound: exact only when the stride lands on the bound *)
+        if step <> 0L && rem (sub bound start) step = 0L && div (sub bound start) step >= 0L
+        then Some (div (sub bound start) step)
+        else None
+    | Ir.Instr.Ieq -> None
+  in
+  Option.map (fun b -> add b 1L) bodies
+
+(* Header-arrival count for loop [lid], when its sole exit is governed by an
+   affine IV against a constant bound. *)
+let of_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (scev : Analysis.t) (lid : int) :
+    int64 option =
+  let l = Cfg.Loopinfo.loop li lid in
+  match Ir.Func.terminator fn l.Cfg.Loopinfo.header with
+  | Some { Ir.Instr.kind = Ir.Instr.Cond_br (Reg cid, l1, l2); _ } -> (
+      let in_loop b = Cfg.Loopinfo.contains li lid b in
+      (* the header must be the only exiting block for the count to be the
+         trip count *)
+      let exits_elsewhere =
+        List.exists (fun (b, _) -> b <> l.Cfg.Loopinfo.header) (Cfg.Loopinfo.exit_edges li lid)
+      in
+      if exits_elsewhere then None
+      else
+        match Ir.Func.kind fn cid with
+        | Ir.Instr.Icmp (op, a, b) -> (
+            (* normalize so the loop runs while the comparison holds *)
+            let flip = function
+              | Ir.Instr.Islt -> Ir.Instr.Isge
+              | Ir.Instr.Isle -> Ir.Instr.Isgt
+              | Ir.Instr.Isgt -> Ir.Instr.Isle
+              | Ir.Instr.Isge -> Ir.Instr.Islt
+              | Ir.Instr.Ieq -> Ir.Instr.Ine
+              | Ir.Instr.Ine -> Ir.Instr.Ieq
+            in
+            let op = if in_loop l1 then op else flip op in
+            ignore l2;
+            let sa = Analysis.scev_of_value scev a in
+            let sb = Analysis.scev_of_value scev b in
+            let affine_const = function
+              | Expr.Add_rec { start = Expr.Const s; step = Expr.Const t; loop }
+                when Cfg.Loopinfo.loop_of_header li loop = Some lid ->
+                  Some (s, t)
+              | _ -> None
+            in
+            match (affine_const (Expr.simplify sa), Expr.simplify sb) with
+            | Some (start, step), Expr.Const bound -> count_affine ~start ~step ~bound ~op
+            | _ -> (
+                (* bound on the left: iv on the right, mirror the compare *)
+                let mirror = function
+                  | Ir.Instr.Islt -> Ir.Instr.Isgt
+                  | Ir.Instr.Isle -> Ir.Instr.Isge
+                  | Ir.Instr.Isgt -> Ir.Instr.Islt
+                  | Ir.Instr.Isge -> Ir.Instr.Isle
+                  | (Ir.Instr.Ieq | Ir.Instr.Ine) as o -> o
+                in
+                match (Expr.simplify sa, affine_const (Expr.simplify sb)) with
+                | Expr.Const bound, Some (start, step) ->
+                    count_affine ~start ~step ~bound ~op:(mirror op)
+                | _ -> None))
+        | _ -> None)
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/suites/eembc.ml: Defs

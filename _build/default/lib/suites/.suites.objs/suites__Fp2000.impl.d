@@ -1,0 +1,1 @@
+lib/suites/fp2000.ml: Defs

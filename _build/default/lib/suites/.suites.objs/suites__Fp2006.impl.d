@@ -1,0 +1,1 @@
+lib/suites/fp2006.ml: Defs

@@ -1,0 +1,1 @@
+lib/suites/int2000.ml: Defs

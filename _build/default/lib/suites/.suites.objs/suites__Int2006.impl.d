@@ -1,0 +1,1 @@
+lib/suites/int2006.ml: Defs

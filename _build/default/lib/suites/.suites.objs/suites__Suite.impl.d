@@ -1,0 +1,1 @@
+lib/suites/suite.ml: Defs Eembc Fp2000 Fp2006 Int2000 Int2006 List

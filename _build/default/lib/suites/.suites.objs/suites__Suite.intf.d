@@ -1,0 +1,1 @@
+lib/suites/suite.mli: Defs

@@ -1,0 +1,51 @@
+(* Benchmark registry. Each benchmark is a standalone Looplang program named
+   after — and shaped like — a benchmark from the paper's suites (SPEC
+   CPU2000/2006 INT & FP, EEMBC). SPEC sources and inputs are proprietary;
+   what the limit study measures is the loop-carried-dependency structure, so
+   every kernel here is written to exhibit its namesake's documented
+   character (see DESIGN.md §2). Programs are deterministic and self-checking
+   via a printed checksum. *)
+
+type category = Int2000 | Int2006 | Fp2000 | Fp2006 | Eembc
+
+let category_name = function
+  | Int2000 -> "cint2000"
+  | Int2006 -> "cint2006"
+  | Fp2000 -> "cfp2000"
+  | Fp2006 -> "cfp2006"
+  | Eembc -> "eembc"
+
+let is_numeric = function
+  | Fp2000 | Fp2006 | Eembc -> true
+  | Int2000 | Int2006 -> false
+
+type benchmark = {
+  name : string;
+  category : category;
+  descr : string;
+  source : string;
+  (* expected checksum output, for the self-check tests *)
+  expected : string option;
+}
+
+(* Every program gets the deterministic pseudo-random helpers. [lcg_next] is
+   pure (fn1-parallelizable); benchmarks that want thread-unsafe randomness
+   (the annealers) call the rand() builtin instead. *)
+let prelude =
+  {|
+fn lcg_next(s: int) -> int {
+  return (s * 1103515245 + 12345) & 2147483647;
+}
+fn lcg_float(s: int) -> float {
+  return float((s >> 15) & 65535) / 65536.0;
+}
+fn lcg_pick(s: int, range: int) -> int {
+  // draw from the LCG's high bits: the low bits of a power-of-two LCG are
+  // periodic and must not be used directly
+  return (((s >> 15) & 65535) * range) >> 16;
+}
+|}
+
+let mk ~name ~category ~descr ?expected body =
+  { name; category; descr; source = prelude ^ body; expected }
+

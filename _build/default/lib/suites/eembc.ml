@@ -1,0 +1,349 @@
+(* EEMBC-shaped embedded kernels. Small, regular, mostly integer/fixed-point;
+   the paper groups EEMBC with the numeric suites and notes it benefits more
+   from -fn2 than from -reduc1 — so several kernels here keep their math
+   in helper functions called from loops. pntrch is the deliberately serial
+   pointer-chase outlier. *)
+
+let a2time =
+  Defs.mk ~name:"a2time01" ~category:Defs.Eembc
+    ~descr:"angle-to-time conversion with table interpolation"
+    {src|
+fn interp(tab: float[], idx: int, frac: float) -> float {
+  return tab[idx] + (tab[idx + 1] - tab[idx]) * frac;
+}
+
+fn main() -> int {
+  var tabsize: int = 64;
+  var tab: float[] = new float[tabsize + 1];
+  for (var i: int = 0; i <= tabsize; i = i + 1) {
+    tab[i] = float(i * i) * 0.01;
+  }
+  var samples: int = 4000;
+  var acc: float = 0.0;
+  // per-sample conversion: independent, but calls an instrumented helper
+  // (parallel only from -fn2 up; its reads never conflict)
+  for (var k: int = 0; k < samples; k = k + 1) {
+    var angle: int = (k * 37) % (tabsize * 16);
+    var idx: int = angle / 16;
+    var frac: float = float(angle % 16) * 0.0625;
+    acc = acc + interp(tab, idx, frac);
+  }
+  print_float(acc);
+  return 0;
+}
+|src}
+
+let aifft =
+  Defs.mk ~name:"aifftr01" ~category:Defs.Eembc
+    ~descr:"radix-2 FFT butterflies: parallel within a stage, stages chained"
+    {src|
+fn main() -> int {
+  var n: int = 512;
+  var re: float[] = new float[n];
+  var im: float[] = new float[n];
+  for (var i: int = 0; i < n; i = i + 1) {
+    re[i] = float((i * 13) % 32) * 0.0625 - 1.0;
+    im[i] = 0.0;
+  }
+  var half: int = 1;
+  // log2(n) stages: each stage reads what the previous one wrote (frequent
+  // memory LCD on the stage loop); butterflies within a stage independent
+  while (half < n) {
+    var step: float = 3.14159265 / float(half);
+    for (var base: int = 0; base < n; base = base + 2 * half) {
+      for (var k: int = 0; k < half; k = k + 1) {
+        var ang: float = step * float(k);
+        var wr: float = cos(ang);
+        var wi: float = 0.0 - sin(ang);
+        var a: int = base + k;
+        var b: int = a + half;
+        var tr: float = wr * re[b] - wi * im[b];
+        var ti: float = wr * im[b] + wi * re[b];
+        re[b] = re[a] - tr;
+        im[b] = im[a] - ti;
+        re[a] = re[a] + tr;
+        im[a] = im[a] + ti;
+      }
+    }
+    half = half * 2;
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) { check = check + re[i] * re[i] + im[i] * im[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let aifirf =
+  Defs.mk ~name:"aifirf01" ~category:Defs.Eembc
+    ~descr:"FIR filter: per-output dot-product reductions"
+    {src|
+fn main() -> int {
+  var taps: int = 32;
+  var n: int = 3000;
+  var coef: float[] = new float[taps];
+  var x: float[] = new float[n + taps];
+  var y: float[] = new float[n];
+  for (var i: int = 0; i < taps; i = i + 1) {
+    coef[i] = float(taps - i) * 0.01;
+  }
+  for (var i: int = 0; i < n + taps; i = i + 1) {
+    x[i] = float((i * 29) % 64) * 0.03 - 0.96;
+  }
+  for (var i: int = 0; i < n; i = i + 1) {
+    var acc: float = 0.0;
+    for (var k: int = 0; k < taps; k = k + 1) {
+      acc = acc + coef[k] * x[i + k];
+    }
+    y[i] = acc;
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) { check = check + y[i] * y[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let basefp =
+  Defs.mk ~name:"basefp01" ~category:Defs.Eembc
+    ~descr:"floating-point mix with pure libm calls in the loop"
+    {src|
+fn main() -> int {
+  var n: int = 2500;
+  var acc: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    var t: float = float(i) * 0.002;
+    acc = acc + sin(t) * cos(t) + sqrt(t + 1.0) * 0.1;
+  }
+  print_float(acc);
+  return 0;
+}
+|src}
+
+let bitmnp =
+  Defs.mk ~name:"bitmnp01" ~category:Defs.Eembc
+    ~descr:"bit manipulation: per-word shifts, masks and popcounts"
+    {src|
+fn popcount(x: int) -> int {
+  var c: int = 0;
+  while (x != 0) {
+    c = c + (x & 1);
+    x = x >> 1;
+  }
+  return c;
+}
+
+fn main() -> int {
+  var n: int = 2000;
+  var words: int[] = new int[n];
+  var s: int = 77;
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = lcg_next(s);
+    words[i] = s;
+  }
+  var check: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    var w: int = words[i];
+    w = ((w << 3) | (w >> 13)) & 65535;
+    w = w ^ (w >> 5);
+    check = check + popcount(w);
+  }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let idctrn =
+  Defs.mk ~name:"idctrn01" ~category:Defs.Eembc
+    ~descr:"8x8 inverse DCT over independent blocks"
+    {src|
+fn main() -> int {
+  var blocks: int = 60;
+  var data: float[] = new float[blocks * 64];
+  var outp: float[] = new float[blocks * 64];
+  var basis: float[] = new float[64];
+  for (var u: int = 0; u < 8; u = u + 1) {
+    for (var xx: int = 0; xx < 8; xx = xx + 1) {
+      basis[u * 8 + xx] = cos((2.0 * float(xx) + 1.0) * float(u) * 0.19635);
+    }
+  }
+  var s: int = 83;
+  for (var i: int = 0; i < blocks * 64; i = i + 1) {
+    s = lcg_next(s);
+    data[i] = lcg_float(s) * 16.0 - 8.0;
+  }
+  // blocks fully independent; row and column passes inside each block
+  for (var b: int = 0; b < blocks; b = b + 1) {
+    for (var y: int = 0; y < 8; y = y + 1) {
+      for (var xx: int = 0; xx < 8; xx = xx + 1) {
+        var acc: float = 0.0;
+        for (var u: int = 0; u < 8; u = u + 1) {
+          acc = acc + data[b * 64 + y * 8 + u] * basis[u * 8 + xx];
+        }
+        outp[b * 64 + y * 8 + xx] = acc * 0.5;
+      }
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < blocks * 64; i = i + 1) { check = check + outp[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let matrix =
+  Defs.mk ~name:"matrix01" ~category:Defs.Eembc
+    ~descr:"dense matrix multiply"
+    {src|
+fn main() -> int {
+  var n: int = 40;
+  var a: float[] = new float[n * n];
+  var b: float[] = new float[n * n];
+  var c: float[] = new float[n * n];
+  for (var i: int = 0; i < n * n; i = i + 1) {
+    a[i] = float((i * 7) % 13) * 0.1;
+    b[i] = float((i * 11) % 9) * 0.2;
+  }
+  for (var i: int = 0; i < n; i = i + 1) {
+    for (var j: int = 0; j < n; j = j + 1) {
+      var acc: float = 0.0;
+      for (var k: int = 0; k < n; k = k + 1) {
+        acc = acc + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n * n; i = i + 1) { check = check + c[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let pntrch =
+  Defs.mk ~name:"pntrch01" ~category:Defs.Eembc
+    ~descr:"pointer chase through a shuffled linked ring: inherently serial"
+    {src|
+fn main() -> int {
+  var n: int = 2048;
+  var next: int[] = new int[n];
+  // permutation ring built from a stride walk
+  var stride: int = 1027; // coprime with n
+  var cur: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    var nxt: int = (cur + stride) % n;
+    next[cur] = nxt;
+    cur = nxt;
+  }
+  // the chase: every iteration loads the pointer the previous one stored
+  // into its register — a frequent memory-fed LCD no model overlaps well
+  var p: int = 0;
+  var check: int = 0;
+  for (var i: int = 0; i < 3 * n; i = i + 1) {
+    p = next[p];
+    check = check + (p & 7);
+  }
+  print_int(check + p);
+  return 0;
+}
+|src}
+
+let tblook =
+  Defs.mk ~name:"tblook01" ~category:Defs.Eembc
+    ~descr:"table lookup with per-query binary search"
+    {src|
+fn bsearch_floor(tab: int[], n: int, key: int) -> int {
+  var lo: int = 0;
+  var hi: int = n - 1;
+  while (lo < hi) {
+    var mid: int = (lo + hi + 1) / 2;
+    if (tab[mid] <= key) { lo = mid; } else { hi = mid - 1; }
+  }
+  return lo;
+}
+
+fn main() -> int {
+  var n: int = 256;
+  var tab: int[] = new int[n];
+  for (var i: int = 0; i < n; i = i + 1) { tab[i] = i * 17; }
+  var queries: int = 2500;
+  var check: int = 0;
+  var s: int = 91;
+  // queries independent; each calls the pure search helper
+  for (var q: int = 0; q < queries; q = q + 1) {
+    s = lcg_next(s);
+    var key: int = lcg_pick(s, n * 17);
+    check = check + bsearch_floor(tab, n, key);
+  }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let ttsprk =
+  Defs.mk ~name:"ttsprk01" ~category:Defs.Eembc
+    ~descr:"spark-timing: per-cylinder conditional fixed-point computation"
+    {src|
+fn main() -> int {
+  var events: int = 3000;
+  var advance_tab: int[] = new int[64];
+  for (var i: int = 0; i < 64; i = i + 1) {
+    advance_tab[i] = 10 + ((i * i) % 35);
+  }
+  var check: int = 0;
+  var s: int = 97;
+  for (var e: int = 0; e < events; e = e + 1) {
+    s = lcg_next(s);
+    var pos: int = (s >> 10) & 63;
+    var load: int = (s >> 16) & 63;
+    var adv: int = advance_tab[pos];
+    if (load > 40) {
+      adv = adv - (load - 40) / 2;
+    } else {
+      if (load < 10) { adv = adv + 3; }
+    }
+    var dwell: int = 100 - adv;
+    if (dwell < 20) { dwell = 20; }
+    check = check + adv * 3 + dwell;
+  }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let viterb =
+  Defs.mk ~name:"viterb00" ~category:Defs.Eembc
+    ~descr:"Viterbi decoder: serial trellis stages, parallel states"
+    {src|
+fn main() -> int {
+  var states: int = 32;
+  var steps: int = 150;
+  var metric: int[] = new int[states];
+  var nmetric: int[] = new int[states];
+  var s: int = 101;
+  for (var i: int = 0; i < states; i = i + 1) { metric[i] = i * 3; }
+  for (var t: int = 0; t < steps; t = t + 1) {
+    s = lcg_next(s);
+    var sym: int = (s >> 16) & 3;
+    // states independent within a step; the step loop carries the metrics
+    for (var st: int = 0; st < states; st = st + 1) {
+      var p0: int = (st * 2) % states;
+      var p1: int = (st * 2 + 1) % states;
+      var b0: int = ((st ^ sym) & 3) + metric[p0];
+      var b1: int = ((st ^ sym ^ 1) & 3) + metric[p1];
+      nmetric[st] = imin(b0, b1);
+    }
+    for (var st: int = 0; st < states; st = st + 1) { metric[st] = nmetric[st]; }
+  }
+  var best: int = 1000000000;
+  for (var i: int = 0; i < states; i = i + 1) { best = imin(best, metric[i]); }
+  print_int(best);
+  return 0;
+}
+|src}
+
+let benchmarks () =
+  [
+    a2time; aifft; aifirf; basefp; bitmnp; idctrn; matrix; pntrch; tblook;
+    ttsprk; viterb;
+  ]

@@ -1,0 +1,415 @@
+(* SpecFP2000-shaped numeric kernels. Regular counted loops, affine accesses,
+   float reductions, pure math calls — the dependency character the paper
+   reports for cfp2000: large DOALL/PDOALL gains, reductions mattering
+   (179_art most of all), and a couple of sweep kernels whose outer time loop
+   carries frequent memory LCDs that only HELIX-style synchronization can
+   overlap. *)
+
+let wupwise =
+  Defs.mk ~name:"168_wupwise" ~category:Defs.Fp2000
+    ~descr:"complex matrix-vector products (lattice QCD hopping term)"
+    {src|
+fn main() -> int {
+  var n: int = 96;
+  var mre: float[] = new float[n * n];
+  var mim: float[] = new float[n * n];
+  var vre: float[] = new float[n];
+  var vim: float[] = new float[n];
+  var s: int = 7;
+  for (var i: int = 0; i < n * n; i = i + 1) {
+    s = lcg_next(s);
+    mre[i] = lcg_float(s) - 0.5;
+    s = lcg_next(s);
+    mim[i] = lcg_float(s) - 0.5;
+  }
+  for (var i: int = 0; i < n; i = i + 1) {
+    vre[i] = float(i % 7) * 0.125;
+    vim[i] = float(i % 5) * 0.25;
+  }
+  var outre: float[] = new float[n];
+  var outim: float[] = new float[n];
+  // four sweeps of complex mat-vec: rows independent, per-row reductions
+  for (var sweep: int = 0; sweep < 4; sweep = sweep + 1) {
+    for (var i: int = 0; i < n; i = i + 1) {
+      var accre: float = 0.0;
+      var accim: float = 0.0;
+      for (var j: int = 0; j < n; j = j + 1) {
+        var ar: float = mre[i * n + j];
+        var ai: float = mim[i * n + j];
+        accre = accre + ar * vre[j] - ai * vim[j];
+        accim = accim + ar * vim[j] + ai * vre[j];
+      }
+      outre[i] = accre;
+      outim[i] = accim;
+    }
+    // normalize feeds the next sweep: the time loop carries the vectors
+    for (var i: int = 0; i < n; i = i + 1) {
+      vre[i] = outre[i] * 0.01;
+      vim[i] = outim[i] * 0.01;
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    check = check + vre[i] * vre[i] + vim[i] * vim[i];
+  }
+  print_float(check * 1000000.0);
+  return 0;
+}
+|src}
+
+let swim =
+  Defs.mk ~name:"171_swim" ~category:Defs.Fp2000
+    ~descr:"shallow-water finite-difference stencil sweeps"
+    {src|
+fn main() -> int {
+  var w: int = 64;
+  var h: int = 64;
+  var u: float[] = new float[w * h];
+  var v: float[] = new float[w * h];
+  var p: float[] = new float[w * h];
+  var unew: float[] = new float[w * h];
+  var vnew: float[] = new float[w * h];
+  var pnew: float[] = new float[w * h];
+  for (var i: int = 0; i < w * h; i = i + 1) {
+    u[i] = float((i * 13) % 17) * 0.05;
+    v[i] = float((i * 7) % 11) * 0.04;
+    p[i] = 50.0 + float(i % 23) * 0.1;
+  }
+  // time stepping: each step reads the previous step's fields (outer loop
+  // carries frequent memory LCDs); the spatial sweeps are independent
+  for (var t: int = 0; t < 12; t = t + 1) {
+    for (var y: int = 1; y < h - 1; y = y + 1) {
+      for (var x: int = 1; x < w - 1; x = x + 1) {
+        var c: int = y * w + x;
+        unew[c] = u[c] - 0.1 * (p[c + 1] - p[c - 1]) + 0.01 * v[c];
+        vnew[c] = v[c] - 0.1 * (p[c + w] - p[c - w]) - 0.01 * u[c];
+        pnew[c] = p[c] - 0.2 * (u[c + 1] - u[c - 1] + v[c + w] - v[c - w]);
+      }
+    }
+    for (var i: int = 0; i < w * h; i = i + 1) {
+      u[i] = unew[i];
+      v[i] = vnew[i];
+      p[i] = pnew[i];
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < w * h; i = i + 1) { check = check + p[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let mgrid =
+  Defs.mk ~name:"172_mgrid" ~category:Defs.Fp2000
+    ~descr:"multigrid V-cycle: smooth, restrict, prolongate"
+    {src|
+fn smooth(a: float[], rhs: float[], n: int, sweeps: int) {
+  for (var s: int = 0; s < sweeps; s = s + 1) {
+    for (var i: int = 1; i < n - 1; i = i + 1) {
+      a[i] = 0.5 * (a[i - 1] + a[i + 1] - rhs[i]);
+    }
+  }
+}
+
+fn restrict_grid(fine: float[], coarse: float[], nc: int) {
+  for (var i: int = 1; i < nc - 1; i = i + 1) {
+    coarse[i] = 0.25 * (fine[2 * i - 1] + 2.0 * fine[2 * i] + fine[2 * i + 1]);
+  }
+}
+
+fn prolongate(coarse: float[], fine: float[], nc: int) {
+  for (var i: int = 1; i < nc - 1; i = i + 1) {
+    fine[2 * i] = fine[2 * i] + coarse[i];
+    fine[2 * i + 1] = fine[2 * i + 1] + 0.5 * (coarse[i] + coarse[i + 1]);
+  }
+}
+
+fn main() -> int {
+  var n: int = 1024;
+  var a: float[] = new float[n];
+  var rhs: float[] = new float[n];
+  var coarse: float[] = new float[n / 2];
+  var crhs: float[] = new float[n / 2];
+  for (var i: int = 0; i < n; i = i + 1) {
+    rhs[i] = float((i * 31) % 13) * 0.01 - 0.06;
+    a[i] = 0.0;
+  }
+  for (var cycle: int = 0; cycle < 6; cycle = cycle + 1) {
+    smooth(a, rhs, n, 2);
+    restrict_grid(a, coarse, n / 2);
+    restrict_grid(rhs, crhs, n / 2);
+    smooth(coarse, crhs, n / 2, 4);
+    prolongate(coarse, a, n / 2);
+    smooth(a, rhs, n, 2);
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) { check = check + a[i] * a[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let applu =
+  Defs.mk ~name:"173_applu" ~category:Defs.Fp2000
+    ~descr:"SSOR wavefront sweep: row i depends on row i-1"
+    {src|
+fn main() -> int {
+  var n: int = 200;
+  var m: int = 48;
+  var g: float[] = new float[n * m];
+  var c: float[] = new float[m];
+  for (var j: int = 0; j < m; j = j + 1) { c[j] = 0.3 + float(j % 4) * 0.1; }
+  for (var j: int = 0; j < m; j = j + 1) { g[j] = float(j % 9) * 0.2; }
+  // forward substitution: each row consumes the previous row (frequent
+  // memory LCD on the outer loop) while columns are independent
+  for (var i: int = 1; i < n; i = i + 1) {
+    for (var j: int = 0; j < m; j = j + 1) {
+      var left: float = 0.0;
+      if (j > 0) { left = g[(i - 1) * m + j - 1]; }
+      g[i * m + j] = c[j] * g[(i - 1) * m + j] + 0.1 * left + 0.01;
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n * m; i = i + 1) { check = check + g[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let mesa =
+  Defs.mk ~name:"177_mesa" ~category:Defs.Fp2000
+    ~descr:"vertex transform pipeline with sqrt normalization"
+    {src|
+fn main() -> int {
+  var n: int = 6000;
+  var x: float[] = new float[n];
+  var y: float[] = new float[n];
+  var z: float[] = new float[n];
+  var s: int = 5;
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = lcg_next(s);
+    x[i] = lcg_float(s) * 4.0 - 2.0;
+    s = lcg_next(s);
+    y[i] = lcg_float(s) * 4.0 - 2.0;
+    s = lcg_next(s);
+    z[i] = lcg_float(s) * 4.0 + 1.0;
+  }
+  var ox: float[] = new float[n];
+  var oy: float[] = new float[n];
+  // per-vertex transform + perspective divide + normalize: independent
+  // iterations, but each calls sqrt (pure) — serialized under -fn0 only
+  for (var i: int = 0; i < n; i = i + 1) {
+    var tx: float = 0.866 * x[i] - 0.5 * y[i] + 0.1;
+    var ty: float = 0.5 * x[i] + 0.866 * y[i] - 0.2;
+    var tz: float = z[i] + 3.0;
+    var len: float = sqrt(tx * tx + ty * ty + tz * tz);
+    ox[i] = tx / len * 100.0 / tz;
+    oy[i] = ty / len * 100.0 / tz;
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) { check = check + ox[i] + oy[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let galgel =
+  Defs.mk ~name:"178_galgel" ~category:Defs.Fp2000
+    ~descr:"Gaussian elimination: serial pivot walk, parallel row updates"
+    {src|
+fn main() -> int {
+  var n: int = 72;
+  var a: float[] = new float[n * n];
+  var s: int = 11;
+  for (var i: int = 0; i < n * n; i = i + 1) {
+    s = lcg_next(s);
+    a[i] = lcg_float(s) + 0.01;
+  }
+  for (var i: int = 0; i < n; i = i + 1) {
+    a[i * n + i] = a[i * n + i] + float(n);
+  }
+  // elimination: the pivot loop is serial (each step reads results of the
+  // previous), the row/column updates inside are independent
+  for (var k: int = 0; k < n - 1; k = k + 1) {
+    var piv: float = a[k * n + k];
+    for (var i: int = k + 1; i < n; i = i + 1) {
+      var f: float = a[i * n + k] / piv;
+      for (var j: int = k; j < n; j = j + 1) {
+        a[i * n + j] = a[i * n + j] - f * a[k * n + j];
+      }
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) { check = check + a[i * n + i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let art =
+  Defs.mk ~name:"179_art" ~category:Defs.Fp2000
+    ~descr:"ART neural net: F2 activations (dot-product reductions), winner \
+            search, infrequent weight resets"
+    {src|
+fn main() -> int {
+  var inputs: int = 64;
+  var neurons: int = 60;
+  var w: float[] = new float[neurons * inputs];
+  var pat: float[] = new float[inputs];
+  var act: float[] = new float[neurons];
+  // hash-based init (computable index function): initialization is a tiny,
+  // fully parallel fraction of the run, as in the real benchmark
+  for (var i: int = 0; i < neurons * inputs; i = i + 1) {
+    w[i] = float((i * 2654435761) & 65535) / 65536.0;
+  }
+  var check: float = 0.0;
+  for (var trial: int = 0; trial < 40; trial = trial + 1) {
+    for (var i: int = 0; i < inputs; i = i + 1) {
+      pat[i] = float((trial * 7 + i * 3) % 16) * 0.0625;
+    }
+    // F2 activation: per-neuron dot product — reduction inside, neurons
+    // independent (reduc1 unlocks both levels)
+    for (var j: int = 0; j < neurons; j = j + 1) {
+      var sum: float = 0.0;
+      for (var i: int = 0; i < inputs; i = i + 1) {
+        sum = sum + w[j * inputs + i] * pat[i];
+      }
+      act[j] = sum;
+    }
+    // winner-take-all: max reduction
+    var best: float = 0.0 - 1.0;
+    var winner: int = 0;
+    for (var j: int = 0; j < neurons; j = j + 1) {
+      if (act[j] > best) { best = act[j]; winner = j; }
+    }
+    // resonance test: weights are learned only when the winner matches
+    // poorly, so the trial loop's cross-iteration conflicts are rare —
+    // PDOALL restarts absorb them, HELIX pays its worst-case delta on
+    // every trial (the paper's Figure 4 shows 179_art preferring PDOALL)
+    if ((int(best * 16.0) & 7) == 0) {
+      for (var i: int = 0; i < inputs; i = i + 1) {
+        var idx: int = winner * inputs + i;
+        w[idx] = 0.9 * w[idx] + 0.1 * pat[i];
+      }
+    }
+    check = check + best;
+  }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let equake =
+  Defs.mk ~name:"183_equake" ~category:Defs.Fp2000
+    ~descr:"sparse matrix-vector product (CSR) time stepping"
+    {src|
+fn main() -> int {
+  var n: int = 600;
+  var nnz_per_row: int = 7;
+  var cols: int[] = new int[n * nnz_per_row];
+  var vals: float[] = new float[n * nnz_per_row];
+  var x: float[] = new float[n];
+  var y: float[] = new float[n];
+  var s: int = 19;
+  for (var i: int = 0; i < n; i = i + 1) {
+    for (var k: int = 0; k < nnz_per_row; k = k + 1) {
+      s = lcg_next(s);
+      cols[i * nnz_per_row + k] = lcg_pick(s, n);
+      s = lcg_next(s);
+      vals[i * nnz_per_row + k] = lcg_float(s) - 0.5;
+    }
+    x[i] = float(i % 10) * 0.1;
+  }
+  for (var t: int = 0; t < 8; t = t + 1) {
+    // rows independent; per-row gather + reduction with irregular reads
+    for (var i: int = 0; i < n; i = i + 1) {
+      var sum: float = 0.0;
+      for (var k: int = 0; k < nnz_per_row; k = k + 1) {
+        sum = sum + vals[i * nnz_per_row + k] * x[cols[i * nnz_per_row + k]];
+      }
+      y[i] = sum;
+    }
+    for (var i: int = 0; i < n; i = i + 1) { x[i] = x[i] + 0.05 * y[i]; }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) { check = check + x[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let ammp =
+  Defs.mk ~name:"188_ammp" ~category:Defs.Fp2000
+    ~descr:"molecular dynamics: neighbor-list force accumulation"
+    {src|
+fn main() -> int {
+  var atoms: int = 220;
+  var nbrs: int = 12;
+  var pos: float[] = new float[atoms];
+  var force: float[] = new float[atoms];
+  var nbr: int[] = new int[atoms * nbrs];
+  var s: int = 23;
+  for (var i: int = 0; i < atoms; i = i + 1) {
+    s = lcg_next(s);
+    pos[i] = lcg_float(s) * 10.0;
+    for (var k: int = 0; k < nbrs; k = k + 1) {
+      s = lcg_next(s);
+      nbr[i * nbrs + k] = lcg_pick(s, atoms);
+    }
+  }
+  for (var step: int = 0; step < 14; step = step + 1) {
+    // per-atom force: reduction over own neighbor list, atoms independent
+    for (var i: int = 0; i < atoms; i = i + 1) {
+      var f: float = 0.0;
+      for (var k: int = 0; k < nbrs; k = k + 1) {
+        var j: int = nbr[i * nbrs + k];
+        var d: float = pos[i] - pos[j];
+        var r2: float = d * d + 0.01;
+        f = f + d / (r2 * r2);
+      }
+      force[i] = f;
+    }
+    // integration feeds the next step (time loop carries positions)
+    for (var i: int = 0; i < atoms; i = i + 1) {
+      pos[i] = pos[i] + 0.0001 * force[i];
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < atoms; i = i + 1) { check = check + pos[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let lucas =
+  Defs.mk ~name:"189_lucas" ~category:Defs.Fp2000
+    ~descr:"Lucas-Lehmer-style chain: serial unpredictable register LCD over \
+            parallel digit arithmetic"
+    {src|
+fn main() -> int {
+  var digits: int = 256;
+  var a: int[] = new int[digits];
+  var carrybuf: int[] = new int[digits];
+  for (var i: int = 0; i < digits; i = i + 1) { a[i] = (i * 7 + 3) % 10; }
+  var sacc: int = 4;
+  // the outer chain s <- s*s - 2 (mod m) is a true, frequent, unpredictable
+  // register LCD; the per-digit work inside each step is parallel
+  for (var step: int = 0; step < 160; step = step + 1) {
+    sacc = (sacc * sacc - 2) & 1048575;
+    var mul: int = (sacc & 7) + 1;
+    for (var i: int = 0; i < digits; i = i + 1) {
+      carrybuf[i] = a[i] * mul + (sacc & 3);
+    }
+    for (var i: int = 0; i < digits; i = i + 1) {
+      a[i] = carrybuf[i] % 10;
+    }
+  }
+  var check: int = sacc;
+  for (var i: int = 0; i < digits; i = i + 1) { check = check + a[i] * i; }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let benchmarks () =
+  [ wupwise; swim; mgrid; applu; mesa; galgel; art; equake; ammp; lucas ]

@@ -1,0 +1,480 @@
+(* SpecFP2006-shaped numeric kernels. Same regular character as cfp2000 plus
+   the two benchmarks the paper singles out in Figure 4 as PDOALL-friendly
+   (450_soplex, 482_sphinx3): mostly-independent iterations with *infrequent*
+   dynamic conflicts, which Partial-DOALL restarts absorb more cheaply than
+   HELIX's every-iteration synchronization. *)
+
+let bwaves =
+  Defs.mk ~name:"410_bwaves" ~category:Defs.Fp2006
+    ~descr:"block tridiagonal solve: serial recurrence over parallel blocks"
+    {src|
+fn main() -> int {
+  var n: int = 300;
+  var bs: int = 12;
+  var d: float[] = new float[n * bs];
+  var rhs: float[] = new float[n * bs];
+  var s: int = 31;
+  for (var i: int = 0; i < n * bs; i = i + 1) {
+    s = lcg_next(s);
+    d[i] = lcg_float(s) + 1.5;
+    s = lcg_next(s);
+    rhs[i] = lcg_float(s);
+  }
+  // forward sweep: row i reads row i-1 (frequent memory LCD), the block
+  // lanes inside each row are independent
+  for (var i: int = 1; i < n; i = i + 1) {
+    for (var k: int = 0; k < bs; k = k + 1) {
+      rhs[i * bs + k] = rhs[i * bs + k] - 0.3 * rhs[(i - 1) * bs + k] / d[(i - 1) * bs + k];
+    }
+  }
+  // back substitution
+  for (var i: int = n - 2; i >= 0; i = i - 1) {
+    for (var k: int = 0; k < bs; k = k + 1) {
+      rhs[i * bs + k] = (rhs[i * bs + k] - 0.2 * rhs[(i + 1) * bs + k]) / d[i * bs + k];
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n * bs; i = i + 1) { check = check + rhs[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let milc =
+  Defs.mk ~name:"433_milc" ~category:Defs.Fp2006
+    ~descr:"SU(3)-style 3x3 complex matrix times vector over lattice sites"
+    {src|
+fn main() -> int {
+  var sites: int = 1200;
+  var m: float[] = new float[sites * 18];
+  var vin: float[] = new float[sites * 6];
+  var vout: float[] = new float[sites * 6];
+  var s: int = 41;
+  for (var i: int = 0; i < sites * 18; i = i + 1) {
+    s = lcg_next(s);
+    m[i] = lcg_float(s) - 0.5;
+  }
+  for (var i: int = 0; i < sites * 6; i = i + 1) {
+    vin[i] = float((i * 11) % 9) * 0.11;
+  }
+  // sites fully independent: the paper's big DOALL winner shape
+  for (var site: int = 0; site < sites; site = site + 1) {
+    var mb: int = site * 18;
+    var vb: int = site * 6;
+    for (var row: int = 0; row < 3; row = row + 1) {
+      var re: float = 0.0;
+      var im: float = 0.0;
+      for (var col: int = 0; col < 3; col = col + 1) {
+        var ar: float = m[mb + (row * 3 + col) * 2];
+        var ai: float = m[mb + (row * 3 + col) * 2 + 1];
+        var br: float = vin[vb + col * 2];
+        var bi: float = vin[vb + col * 2 + 1];
+        re = re + ar * br - ai * bi;
+        im = im + ar * bi + ai * br;
+      }
+      vout[vb + row * 2] = re;
+      vout[vb + row * 2 + 1] = im;
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < sites * 6; i = i + 1) { check = check + vout[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let zeusmp =
+  Defs.mk ~name:"434_zeusmp" ~category:Defs.Fp2006
+    ~descr:"advection stencil sweeps with a serial time loop"
+    {src|
+fn main() -> int {
+  var n: int = 4000;
+  var q: float[] = new float[n];
+  var qn: float[] = new float[n];
+  var vel: float[] = new float[n];
+  for (var i: int = 0; i < n; i = i + 1) {
+    q[i] = float((i * 17) % 29) * 0.1;
+    vel[i] = 0.2 + float(i % 3) * 0.05;
+  }
+  for (var t: int = 0; t < 20; t = t + 1) {
+    for (var i: int = 1; i < n - 1; i = i + 1) {
+      var flux: float = vel[i] * (q[i] - q[i - 1]);
+      qn[i] = q[i] - 0.3 * flux + 0.05 * (q[i + 1] - 2.0 * q[i] + q[i - 1]);
+    }
+    for (var i: int = 1; i < n - 1; i = i + 1) { q[i] = qn[i]; }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) { check = check + q[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let gromacs =
+  Defs.mk ~name:"435_gromacs" ~category:Defs.Fp2006
+    ~descr:"Lennard-Jones forces with sqrt in the inner loop"
+    {src|
+fn main() -> int {
+  var atoms: int = 150;
+  var px: float[] = new float[atoms];
+  var py: float[] = new float[atoms];
+  var fx: float[] = new float[atoms];
+  var fy: float[] = new float[atoms];
+  var s: int = 47;
+  for (var i: int = 0; i < atoms; i = i + 1) {
+    s = lcg_next(s);
+    px[i] = lcg_float(s) * 12.0;
+    s = lcg_next(s);
+    py[i] = lcg_float(s) * 12.0;
+  }
+  for (var step: int = 0; step < 4; step = step + 1) {
+    // per-atom accumulation over all others: reductions + pure sqrt calls
+    for (var i: int = 0; i < atoms; i = i + 1) {
+      var accx: float = 0.0;
+      var accy: float = 0.0;
+      for (var j: int = 0; j < atoms; j = j + 1) {
+        if (j != i) {
+          var dx: float = px[i] - px[j];
+          var dy: float = py[i] - py[j];
+          var r2: float = dx * dx + dy * dy + 0.01;
+          var r: float = sqrt(r2);
+          var lj: float = 1.0 / (r2 * r2 * r2) - 0.5 / (r2 * r2);
+          accx = accx + lj * dx / r;
+          accy = accy + lj * dy / r;
+        }
+      }
+      fx[i] = accx;
+      fy[i] = accy;
+    }
+    for (var i: int = 0; i < atoms; i = i + 1) {
+      px[i] = px[i] + 0.001 * fx[i];
+      py[i] = py[i] + 0.001 * fy[i];
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < atoms; i = i + 1) { check = check + px[i] + py[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let leslie3d =
+  Defs.mk ~name:"437_leslie3d" ~category:Defs.Fp2006
+    ~descr:"flux-difference stencil on a 2D slab"
+    {src|
+fn main() -> int {
+  var w: int = 80;
+  var h: int = 60;
+  var rho: float[] = new float[w * h];
+  var e: float[] = new float[w * h];
+  var rnew: float[] = new float[w * h];
+  for (var i: int = 0; i < w * h; i = i + 1) {
+    rho[i] = 1.0 + float((i * 7) % 5) * 0.02;
+    e[i] = 2.0 + float((i * 3) % 7) * 0.03;
+  }
+  for (var t: int = 0; t < 10; t = t + 1) {
+    for (var y: int = 1; y < h - 1; y = y + 1) {
+      for (var x: int = 1; x < w - 1; x = x + 1) {
+        var c: int = y * w + x;
+        var fe: float = 0.25 * (e[c + 1] - e[c - 1]);
+        var fn2: float = 0.25 * (e[c + w] - e[c - w]);
+        rnew[c] = rho[c] - 0.1 * (fe + fn2) + 0.02 * (rho[c + 1] + rho[c - 1] - 2.0 * rho[c]);
+      }
+    }
+    for (var i: int = 0; i < w * h; i = i + 1) { rho[i] = rnew[i]; }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < w * h; i = i + 1) { check = check + rho[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let namd =
+  Defs.mk ~name:"444_namd" ~category:Defs.Fp2006
+    ~descr:"cutoff pair forces: conditional inner work, independent outer"
+    {src|
+fn main() -> int {
+  var atoms: int = 400;
+  var pairs: int = 14;
+  var pos: float[] = new float[atoms];
+  var chg: float[] = new float[atoms];
+  var plist: int[] = new int[atoms * pairs];
+  var energy: float[] = new float[atoms];
+  var s: int = 53;
+  for (var i: int = 0; i < atoms; i = i + 1) {
+    s = lcg_next(s);
+    pos[i] = lcg_float(s) * 20.0;
+    s = lcg_next(s);
+    chg[i] = lcg_float(s) - 0.5;
+    for (var k: int = 0; k < pairs; k = k + 1) {
+      s = lcg_next(s);
+      plist[i * pairs + k] = lcg_pick(s, atoms);
+    }
+  }
+  for (var i: int = 0; i < atoms; i = i + 1) {
+    var acc: float = 0.0;
+    for (var k: int = 0; k < pairs; k = k + 1) {
+      var j: int = plist[i * pairs + k];
+      var d: float = fabs(pos[i] - pos[j]);
+      if (d < 5.0) {
+        acc = acc + chg[i] * chg[j] / (d + 0.1);
+      }
+    }
+    energy[i] = acc;
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < atoms; i = i + 1) { check = check + energy[i]; }
+  print_float(check * 1000.0);
+  return 0;
+}
+|src}
+
+let dealii =
+  Defs.mk ~name:"447_dealII" ~category:Defs.Fp2006
+    ~descr:"FEM assembly: parallel element integrals, scatter-add with \
+            shared-node conflicts"
+    {src|
+fn main() -> int {
+  var elems: int = 500;
+  var nodes: int = 520;
+  var conn: int[] = new int[elems * 4];
+  var globalv: float[] = new float[nodes];
+  var s: int = 61;
+  for (var e: int = 0; e < elems; e = e + 1) {
+    // neighbouring elements share nodes occasionally
+    conn[e * 4] = e % nodes;
+    conn[e * 4 + 1] = (e + 1) % nodes;
+    s = lcg_next(s);
+    conn[e * 4 + 2] = lcg_pick(s, nodes);
+    s = lcg_next(s);
+    conn[e * 4 + 3] = lcg_pick(s, nodes);
+  }
+  for (var e: int = 0; e < elems; e = e + 1) {
+    // local integral: reduction over quadrature points
+    var locv: float = 0.0;
+    for (var qp: int = 0; qp < 8; qp = qp + 1) {
+      locv = locv + float((e * 3 + qp) % 7) * 0.125;
+    }
+    // scatter-add: writes collide when elements share nodes (RAW across
+    // iterations is infrequent)
+    for (var k: int = 0; k < 4; k = k + 1) {
+      var nd: int = conn[e * 4 + k];
+      globalv[nd] = globalv[nd] + locv * 0.25;
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < nodes; i = i + 1) { check = check + globalv[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let soplex =
+  Defs.mk ~name:"450_soplex" ~category:Defs.Fp2006
+    ~descr:"simplex iterations: min-ratio reductions and rank-1 updates with \
+            infrequent degeneracies (PDOALL-friendly in the paper's Fig. 4)"
+    {src|
+fn main() -> int {
+  var rows: int = 90;
+  var cols: int = 120;
+  var a: float[] = new float[rows * cols];
+  var price: float[] = new float[cols];
+  var basis: float[] = new float[rows];
+  var s: int = 67;
+  for (var i: int = 0; i < rows * cols; i = i + 1) {
+    s = lcg_next(s);
+    a[i] = lcg_float(s) - 0.4;
+  }
+  for (var j: int = 0; j < cols; j = j + 1) { price[j] = 1.0; }
+  for (var i: int = 0; i < rows; i = i + 1) { basis[i] = 10.0 + float(i % 7); }
+  var check: float = 0.0;
+  for (var iter: int = 0; iter < 25; iter = iter + 1) {
+    // pricing: independent per column with a min reduction at the end
+    var bestj: int = 0;
+    var bestv: float = 1000000.0;
+    for (var j: int = 0; j < cols; j = j + 1) {
+      var red: float = price[j];
+      for (var i: int = 0; i < rows; i = i + 1) {
+        red = red - a[i * cols + j] * 0.01;
+      }
+      if (red < bestv) { bestv = red; bestj = j; }
+    }
+    // ratio test over rows: min reduction
+    var leave: int = 0;
+    var ratio: float = 1000000.0;
+    for (var i: int = 0; i < rows; i = i + 1) {
+      var coef: float = a[i * cols + bestj];
+      if (coef > 0.05) {
+        var r: float = basis[i] / coef;
+        if (r < ratio) { ratio = r; leave = i; }
+      }
+    }
+    // rank-1 update touches one row + the price of one column: conflicts
+    // across simplex iterations are infrequent
+    for (var j: int = 0; j < cols; j = j + 1) {
+      a[leave * cols + j] = a[leave * cols + j] * 0.98;
+    }
+    basis[leave] = basis[leave] - ratio * 0.1;
+    price[bestj] = price[bestj] + 0.05;
+    check = check + bestv + ratio * 0.001;
+  }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let povray =
+  Defs.mk ~name:"453_povray" ~category:Defs.Fp2006
+    ~descr:"ray-sphere tracing: independent pixels, nearest-hit reductions, \
+            pure sqrt calls"
+    {src|
+fn main() -> int {
+  var w: int = 48;
+  var h: int = 36;
+  var nsph: int = 12;
+  var sx: float[] = new float[nsph];
+  var sy: float[] = new float[nsph];
+  var sz: float[] = new float[nsph];
+  var sr: float[] = new float[nsph];
+  var s: int = 71;
+  for (var i: int = 0; i < nsph; i = i + 1) {
+    s = lcg_next(s);
+    sx[i] = lcg_float(s) * 8.0 - 4.0;
+    s = lcg_next(s);
+    sy[i] = lcg_float(s) * 6.0 - 3.0;
+    s = lcg_next(s);
+    sz[i] = lcg_float(s) * 5.0 + 4.0;
+    s = lcg_next(s);
+    sr[i] = lcg_float(s) * 0.8 + 0.3;
+  }
+  var img: float[] = new float[w * h];
+  for (var y: int = 0; y < h; y = y + 1) {
+    for (var x: int = 0; x < w; x = x + 1) {
+      var dx: float = (float(x) - float(w) * 0.5) * 0.05;
+      var dy: float = (float(y) - float(h) * 0.5) * 0.05;
+      var dz: float = 1.0;
+      var dlen: float = sqrt(dx * dx + dy * dy + 1.0);
+      dx = dx / dlen; dy = dy / dlen; dz = dz / dlen;
+      var nearest: float = 1000000.0;
+      for (var i: int = 0; i < nsph; i = i + 1) {
+        var b: float = dx * sx[i] + dy * sy[i] + dz * sz[i];
+        var c: float = sx[i] * sx[i] + sy[i] * sy[i] + sz[i] * sz[i] - sr[i] * sr[i];
+        var disc: float = b * b - c;
+        if (disc > 0.0) {
+          var t: float = b - sqrt(disc);
+          if (t > 0.0 && t < nearest) { nearest = t; }
+        }
+      }
+      if (nearest < 1000000.0) { img[y * w + x] = 10.0 / nearest; }
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < w * h; i = i + 1) { check = check + img[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let lbm =
+  Defs.mk ~name:"470_lbm" ~category:Defs.Fp2006
+    ~descr:"lattice-Boltzmann stream + collide over a 1D channel"
+    {src|
+fn main() -> int {
+  var n: int = 1500;
+  var f0: float[] = new float[n];
+  var fp: float[] = new float[n];
+  var fm: float[] = new float[n];
+  var nf0: float[] = new float[n];
+  var nfp: float[] = new float[n];
+  var nfm: float[] = new float[n];
+  for (var i: int = 0; i < n; i = i + 1) {
+    f0[i] = 0.6;
+    fp[i] = 0.2 + float(i % 5) * 0.01;
+    fm[i] = 0.2;
+  }
+  for (var t: int = 0; t < 16; t = t + 1) {
+    for (var i: int = 1; i < n - 1; i = i + 1) {
+      // stream from neighbours, collide toward equilibrium
+      var rho: float = f0[i] + fp[i - 1] + fm[i + 1];
+      var u: float = (fp[i - 1] - fm[i + 1]) / rho;
+      var eq0: float = rho * 0.6666 * (1.0 - 1.5 * u * u);
+      var eqp: float = rho * 0.1666 * (1.0 + 3.0 * u + 3.0 * u * u);
+      var eqm: float = rho * 0.1666 * (1.0 - 3.0 * u + 3.0 * u * u);
+      nf0[i] = f0[i] + 0.8 * (eq0 - f0[i]);
+      nfp[i] = fp[i - 1] + 0.8 * (eqp - fp[i - 1]);
+      nfm[i] = fm[i + 1] + 0.8 * (eqm - fm[i + 1]);
+    }
+    for (var i: int = 1; i < n - 1; i = i + 1) {
+      f0[i] = nf0[i]; fp[i] = nfp[i]; fm[i] = nfm[i];
+    }
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) { check = check + f0[i] + fp[i] + fm[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let sphinx3 =
+  Defs.mk ~name:"482_sphinx" ~category:Defs.Fp2006
+    ~descr:"GMM acoustic scoring: dot-product reductions with an infrequent \
+            renormalization conflict (PDOALL-friendly in the paper's Fig. 4)"
+    {src|
+fn main() -> int {
+  var frames: int = 60;
+  var mixtures: int = 32;
+  var dims: int = 24;
+  var mean: float[] = new float[mixtures * dims];
+  var feat: float[] = new float[dims];
+  var score: float[] = new float[mixtures];
+  var s: int = 73;
+  for (var i: int = 0; i < mixtures * dims; i = i + 1) {
+    s = lcg_next(s);
+    mean[i] = lcg_float(s) * 2.0 - 1.0;
+  }
+  var beam: float[] = new float[1];
+  beam[0] = 0.0 - 1000000.0;
+  var check: float = 0.0;
+  for (var fr: int = 0; fr < frames; fr = fr + 1) {
+    // the beam-pruning threshold is read at the very start of the frame;
+    // it was written (rarely) near the end of some earlier frame — the
+    // producer-late/consumer-early shape that taxes HELIX synchronization
+    // every frame while PDOALL restarts only on the rare updates
+    var prune: float = beam[0];
+    for (var d: int = 0; d < dims; d = d + 1) {
+      feat[d] = float(((fr + 1) * (d + 3)) % 11) * 0.18 - 0.9;
+    }
+    // per-mixture Mahalanobis-ish distance: reduction inside, mixtures
+    // independent
+    for (var m: int = 0; m < mixtures; m = m + 1) {
+      var acc: float = 0.0;
+      for (var d: int = 0; d < dims; d = d + 1) {
+        var diff: float = feat[d] - mean[m * dims + d];
+        acc = acc - diff * diff;
+      }
+      score[m] = acc;
+    }
+    var frame_best: float = 0.0 - 1000000.0;
+    for (var m: int = 0; m < mixtures; m = m + 1) {
+      if (score[m] > prune - 50.0 && score[m] > frame_best) {
+        frame_best = score[m];
+      }
+    }
+    // infrequent cross-frame update: only when a new global best appears
+    if (frame_best > beam[0]) {
+      beam[0] = frame_best;
+      check = check + 1.0;
+    }
+    check = check + frame_best * 0.01;
+  }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let benchmarks () =
+  [
+    bwaves; milc; zeusmp; gromacs; leslie3d; namd; dealii; soplex; povray; lbm;
+    sphinx3;
+  ]

@@ -1,0 +1,517 @@
+(* SpecINT2000-shaped non-numeric kernels. The character the paper reports
+   for cint2000: loops serialized by frequent true LCDs through registers
+   (rolling state, cursors) and memory (in-place structures), structural
+   call hazards (helpers invoked every iteration), and occasional
+   thread-unsafe calls (rand in the annealers) — so DOALL/PDOALL gain little
+   and the HELIX dep1-fn2 ladder is what unlocks speedup. *)
+
+let gzip =
+  Defs.mk ~name:"164_gzip" ~category:Defs.Int2000
+    ~descr:"LZ77 sliding-window compression: cursor advances by match length \
+            (non-computable register LCD), hash-head table updated in place"
+    {src|
+global hash_head: int[];
+
+fn match_len(data: int[], a: int, b: int, limit: int) -> int {
+  var len: int = 0;
+  while (len < 16 && b + len < limit && data[a + len] == data[b + len]) {
+    len = len + 1;
+  }
+  return len;
+}
+
+fn main() -> int {
+  var n: int = 4000;
+  var data: int[] = new int[n];
+  var s: int = 7;
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = lcg_next(s);
+    // skewed alphabet so matches actually occur
+    data[i] = (s >> 3) & 7;
+  }
+  hash_head = new int[512];
+  var pos: int = 3;
+  var emitted: int = 0;
+  var literals: int = 0;
+  // the compression cursor: pos advances by a data-dependent amount — a
+  // frequent, unpredictable register LCD; hash_head writes feed later reads
+  while (pos < n - 16) {
+    var h: int = (data[pos] * 64 + data[pos + 1] * 8 + data[pos + 2]) & 511;
+    var cand: int = hash_head[h];
+    hash_head[h] = pos;
+    var len: int = 0;
+    if (cand > 0 && cand < pos) {
+      len = match_len(data, cand, pos, n);
+    }
+    if (len >= 3) {
+      emitted = emitted + 1;
+      pos = pos + len;
+    } else {
+      literals = literals + 1;
+      pos = pos + 1;
+    }
+  }
+  print_int(emitted * 100000 + literals);
+  return 0;
+}
+|src}
+
+let vpr =
+  Defs.mk ~name:"175_vpr" ~category:Defs.Int2000
+    ~descr:"placement annealing: rand() in the move loop (thread-unsafe), \
+            accept/reject state, parallel cost evaluation inside"
+    {src|
+fn main() -> int {
+  var cells: int = 160;
+  var pos: int[] = new int[cells];
+  var netw: int[] = new int[cells];
+  for (var i: int = 0; i < cells; i = i + 1) {
+    pos[i] = (i * 37) % 64;
+    netw[i] = (i * 13 + 5) % cells;
+  }
+  srand(12345);
+  var cost: int = 0;
+  // initial cost: independent per cell
+  for (var i: int = 0; i < cells; i = i + 1) {
+    cost = cost + iabs(pos[i] - pos[netw[i]]);
+  }
+  var accepted: int = 0;
+  // the annealing loop: every iteration calls rand() (global hidden state:
+  // -fn3 territory) and conditionally mutates the placement in place
+  for (var move: int = 0; move < 900; move = move + 1) {
+    var c: int = rand() % cells;
+    var newp: int = rand() % 64;
+    var old: int = pos[c];
+    var delta: int = iabs(newp - pos[netw[c]]) - iabs(old - pos[netw[c]]);
+    if (delta < 0 || (rand() & 7) == 0) {
+      pos[c] = newp;
+      cost = cost + delta;
+      accepted = accepted + 1;
+    }
+  }
+  print_int(cost * 1000 + accepted % 1000);
+  return 0;
+}
+|src}
+
+let gcc =
+  Defs.mk ~name:"176_gcc" ~category:Defs.Int2000
+    ~descr:"constant-propagation worklist over array-encoded instructions: \
+            lattice updated in place, helper calls each iteration"
+    {src|
+global lattice: int[];
+
+fn meet(a: int, b: int) -> int {
+  // 0 = top, 1.. = constants, -1 = bottom
+  if (a == 0) { return b; }
+  if (b == 0) { return a; }
+  if (a == b) { return a; }
+  return -1;
+}
+
+fn main() -> int {
+  var ninsn: int = 900;
+  var op1: int[] = new int[ninsn];
+  var op2: int[] = new int[ninsn];
+  lattice = new int[ninsn];
+  var s: int = 17;
+  for (var i: int = 0; i < ninsn; i = i + 1) {
+    s = lcg_next(s);
+    op1[i] = lcg_pick(s, i + 1);
+    s = lcg_next(s);
+    op2[i] = lcg_pick(s, i + 1);
+    lattice[i] = 0;
+  }
+  lattice[0] = 1;
+  var changed: int = 1;
+  var rounds: int = 0;
+  // fixpoint sweeps: instruction i reads the lattice cells of its operands,
+  // which earlier iterations of the same sweep may have just written —
+  // frequent memory LCDs; meet() is a pure helper call
+  while (changed == 1 && rounds < 8) {
+    changed = 0;
+    for (var i: int = 1; i < ninsn; i = i + 1) {
+      var v: int = meet(lattice[op1[i]], lattice[op2[i]]);
+      if (v == 0) { v = (i % 5) + 1; }
+      if (v != lattice[i]) {
+        lattice[i] = v;
+        changed = 1;
+      }
+    }
+    rounds = rounds + 1;
+  }
+  var check: int = rounds;
+  for (var i: int = 0; i < ninsn; i = i + 1) { check = check + lattice[i] * (i & 7); }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let mcf =
+  Defs.mk ~name:"181_mcf" ~category:Defs.Int2000
+    ~descr:"Bellman-Ford relaxation over an arc list: distance array updated \
+            in place, conflicts when arcs share heads"
+    {src|
+fn main() -> int {
+  var nodes: int = 300;
+  var arcs: int = 1800;
+  var src: int[] = new int[arcs];
+  var dst: int[] = new int[arcs];
+  var w: int[] = new int[arcs];
+  var dist: int[] = new int[nodes];
+  var s: int = 29;
+  for (var a: int = 0; a < arcs; a = a + 1) {
+    s = lcg_next(s);
+    src[a] = lcg_pick(s, nodes);
+    s = lcg_next(s);
+    dst[a] = lcg_pick(s, nodes);
+    s = lcg_next(s);
+    w[a] = 1 + lcg_pick(s, 20);
+  }
+  for (var i: int = 1; i < nodes; i = i + 1) { dist[i] = 1000000; }
+  // relaxation passes: most arcs do not improve anything, so writes (and
+  // hence cross-iteration RAW conflicts) are infrequent — the shape that
+  // makes 429/181 mcf PDOALL-friendly in the paper's Figure 4
+  for (var pass: int = 0; pass < 6; pass = pass + 1) {
+    for (var a: int = 0; a < arcs; a = a + 1) {
+      var nd: int = dist[src[a]] + w[a];
+      if (nd < dist[dst[a]]) {
+        dist[dst[a]] = nd;
+      }
+    }
+  }
+  var check: int = 0;
+  for (var i: int = 0; i < nodes; i = i + 1) { check = check + (dist[i] & 1023); }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let crafty =
+  Defs.mk ~name:"186_crafty" ~category:Defs.Int2000
+    ~descr:"negamax game search: recursion from inside the move loop, \
+            bitboard-ish evaluation"
+    {src|
+global visited: int;
+
+fn evaluate(board: int, side: int) -> int {
+  var v: int = board ^ (side * 2654435761);
+  v = v ^ (v >> 13);
+  v = (v * 1099511627) & 1073741823;
+  return (v & 255) - 128;
+}
+
+fn search(board: int, side: int, depth: int) -> int {
+  visited = visited + 1;
+  if (depth == 0) {
+    return evaluate(board, side);
+  }
+  var best: int = -1000000;
+  // the move loop: each move recurses — structural call hazard inside the
+  // loop; alpha tracking is a max reduction
+  for (var mv: int = 0; mv < 5; mv = mv + 1) {
+    var nb: int = (board * 31 + mv * 7 + side) & 1073741823;
+    var sc: int = 0 - search(nb, 1 - side, depth - 1);
+    best = imax(best, sc);
+  }
+  return best;
+}
+
+fn main() -> int {
+  visited = 0;
+  var total: int = 0;
+  for (var root: int = 0; root < 12; root = root + 1) {
+    total = total + search(root * 104729 + 1, 0, 5);
+  }
+  print_int(total * 1000 + visited % 1000);
+  return 0;
+}
+|src}
+
+let parser =
+  Defs.mk ~name:"197_parser" ~category:Defs.Int2000
+    ~descr:"token-stream state machine with dictionary hashing: rolling \
+            parser state is a frequent register LCD"
+    {src|
+fn hash_word(w: int) -> int {
+  var h: int = w * 2654435761;
+  h = h ^ (h >> 16);
+  return h & 1023;
+}
+
+fn main() -> int {
+  var n: int = 6000;
+  var tokens: int[] = new int[n];
+  var dict: int[] = new int[1024];
+  var s: int = 37;
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = lcg_next(s);
+    tokens[i] = lcg_pick(s, 40);
+  }
+  var state: int = 0;
+  var links: int = 0;
+  var errors: int = 0;
+  // the parse loop: state evolves by a data-dependent table-free automaton
+  // (frequent unpredictable register LCD); dictionary counts update in place
+  for (var i: int = 0; i < n; i = i + 1) {
+    var t: int = tokens[i];
+    var h: int = hash_word(t * 131 + state);
+    dict[h] = dict[h] + 1;
+    if (state == 0) {
+      if (t < 10) { state = 1; } else { state = 2; }
+    } else {
+      if (state == 1) {
+        if (t < 20) { links = links + 1; state = 2; } else { state = 0; }
+      } else {
+        if (t < 30) { state = 1; } else { errors = errors + 1; state = 0; }
+      }
+    }
+  }
+  var check: int = links * 10000 + errors;
+  for (var i: int = 0; i < 1024; i = i + 1) { check = check + dict[i] * (i & 3); }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let eon =
+  Defs.mk ~name:"252_eon" ~category:Defs.Int2000
+    ~descr:"probabilistic ray tracer: Monte-Carlo jitter draws rand() every \
+            pixel, so the pixel loops only parallelize under -fn3"
+    {src|
+fn shade(px: int, py: int, jitter: int) -> int {
+  var fx: float = float(px) * 0.07 + float(jitter & 15) * 0.002;
+  var fy: float = float(py) * 0.05 + float((jitter >> 4) & 15) * 0.002;
+  var v: float = sin(fx) * cos(fy) + sqrt(fx * fy + 1.0);
+  return int(v * 100.0) & 255;
+}
+
+fn main() -> int {
+  var w: int = 80;
+  var h: int = 60;
+  var img: int[] = new int[w * h];
+  srand(99);
+  // pixels independent except for the Monte-Carlo sampler: rand()'s hidden
+  // state serializes the loop under fn0-fn2 (paper Table II: fn3 only)
+  for (var y: int = 0; y < h; y = y + 1) {
+    for (var x: int = 0; x < w; x = x + 1) {
+      img[y * w + x] = shade(x, y, rand());
+    }
+  }
+  var check: int = 0;
+  for (var i: int = 0; i < w * h; i = i + 1) { check = check + img[i]; }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let perlbmk =
+  Defs.mk ~name:"253_perlbmk" ~category:Defs.Int2000
+    ~descr:"hash-table interpreter loop: rolling hash register LCD, bucket \
+            chains updated in place"
+    {src|
+fn main() -> int {
+  var buckets: int = 256;
+  var counts: int[] = new int[buckets];
+  var vals: int[] = new int[buckets];
+  var ops: int = 5000;
+  var s: int = 43;
+  var rollh: int = 5381;
+  // interpreter-style loop: the rolling hash is a frequent unpredictable
+  // register LCD; bucket updates create frequent memory LCDs on hot keys
+  for (var i: int = 0; i < ops; i = i + 1) {
+    s = lcg_next(s);
+    var key: int = lcg_pick(s, 64);
+    rollh = ((rollh * 33) ^ key) & 1048575;
+    var b: int = rollh & 255;
+    counts[b] = counts[b] + 1;
+    vals[b] = vals[b] ^ key;
+  }
+  var check: int = rollh;
+  for (var i: int = 0; i < buckets; i = i + 1) {
+    check = check + counts[i] * 3 + vals[i];
+  }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let gap =
+  Defs.mk ~name:"254_gap" ~category:Defs.Int2000
+    ~descr:"orbit enumeration (BFS over a permutation group): queue cursors \
+            are stride-predictable register LCDs (dep2 territory)"
+    {src|
+fn main() -> int {
+  var n: int = 3000;
+  var gen1: int = 1031;
+  var gen2: int = 1777;
+  var seen: int[] = new int[n];
+  var queue: int[] = new int[n + 8];
+  var head: int = 0;
+  var tail: int = 0;
+  queue[0] = 1;
+  seen[1] = 1;
+  tail = 1;
+  var total: int = 0;
+  // BFS: head almost always advances by exactly 1 (stride-predictable
+  // non-computable LCD); tail advances data-dependently; seen[] writes are
+  // infrequent conflicts once the orbit saturates
+  while (head < tail) {
+    var x: int = queue[head];
+    head = head + 1;
+    total = total + x;
+    var y1: int = (x * gen1) % n;
+    if (seen[y1] == 0) {
+      seen[y1] = 1;
+      queue[tail] = y1;
+      tail = tail + 1;
+    }
+    var y2: int = (x + gen2) % n;
+    if (seen[y2] == 0) {
+      seen[y2] = 1;
+      queue[tail] = y2;
+      tail = tail + 1;
+    }
+  }
+  print_int(total % 1000000 + tail * 1000000);
+  return 0;
+}
+|src}
+
+let vortex =
+  Defs.mk ~name:"255_vortex" ~category:Defs.Int2000
+    ~descr:"object database: insert/lookup transactions through impure \
+            helpers (fn2 needed), index updated in place"
+    {src|
+global db_keys: int[];
+global db_vals: int[];
+global db_size: int;
+
+fn db_insert(key: int, val: int) {
+  var slot: int = key & 511;
+  while (db_keys[slot] != 0 && db_keys[slot] != key) {
+    slot = (slot + 1) & 511;
+  }
+  if (db_keys[slot] == 0) {
+    db_keys[slot] = key;
+    db_size = db_size + 1;
+  }
+  db_vals[slot] = db_vals[slot] + val;
+}
+
+fn db_lookup(key: int) -> int {
+  var slot: int = key & 511;
+  while (db_keys[slot] != 0 && db_keys[slot] != key) {
+    slot = (slot + 1) & 511;
+  }
+  return db_vals[slot];
+}
+
+fn main() -> int {
+  db_keys = new int[512];
+  db_vals = new int[512];
+  db_size = 0;
+  var txns: int = 2500;
+  var s: int = 53;
+  var check: int = 0;
+  // transaction loop: every iteration calls an instrumented, impure helper
+  // (parallel only under fn2+), whose probes conflict on hot slots
+  for (var t: int = 0; t < txns; t = t + 1) {
+    s = lcg_next(s);
+    var key: int = 1 + lcg_pick(s, 200);
+    if (((s >> 16) & 3) == 0) {
+      db_insert(key, t & 15);
+    } else {
+      check = check + db_lookup(key);
+    }
+  }
+  print_int(check + db_size * 1000000);
+  return 0;
+}
+|src}
+
+let bzip2 =
+  Defs.mk ~name:"256_bzip2" ~category:Defs.Int2000
+    ~descr:"move-to-front + run-length coding: the MTF list mutates every \
+            iteration (frequent memory LCDs)"
+    {src|
+fn main() -> int {
+  var alpha: int = 64;
+  var mtf: int[] = new int[alpha];
+  var n: int = 3000;
+  var data: int[] = new int[n];
+  var s: int = 59;
+  for (var i: int = 0; i < alpha; i = i + 1) { mtf[i] = i; }
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = lcg_next(s);
+    data[i] = (s >> 2) & 15; // skewed: only low symbols, runs matter
+  }
+  var out: int = 0;
+  var runlen: int = 0;
+  // MTF: every iteration searches and rotates the list in place — the
+  // paper's frequent-memory-LCD poster child; runlen is a register LCD
+  for (var i: int = 0; i < n; i = i + 1) {
+    var sym: int = data[i];
+    var j: int = 0;
+    while (mtf[j] != sym) { j = j + 1; }
+    var k: int = j;
+    while (k > 0) {
+      mtf[k] = mtf[k - 1];
+      k = k - 1;
+    }
+    mtf[0] = sym;
+    if (j == 0) {
+      runlen = runlen + 1;
+    } else {
+      out = out + runlen * 3 + j;
+      runlen = 0;
+    }
+  }
+  print_int(out + runlen);
+  return 0;
+}
+|src}
+
+let twolf =
+  Defs.mk ~name:"300_twolf" ~category:Defs.Int2000
+    ~descr:"standard-cell annealing: rand() moves (thread-unsafe) around a \
+            parallel wirelength evaluation"
+    {src|
+fn main() -> int {
+  var cells: int = 120;
+  var xpos: int[] = new int[cells];
+  var net: int[] = new int[cells];
+  for (var i: int = 0; i < cells; i = i + 1) {
+    xpos[i] = (i * 29) % 100;
+    net[i] = (i * 7 + 3) % cells;
+  }
+  srand(777);
+  var temperature: int = 100;
+  var check: int = 0;
+  while (temperature > 0) {
+    // wirelength: independent per cell (reduction)
+    var wl: int = 0;
+    for (var i: int = 0; i < cells; i = i + 1) {
+      wl = wl + iabs(xpos[i] - xpos[net[i]]);
+    }
+    // move loop: serialized by the global rand() state under fn0-fn2
+    for (var m: int = 0; m < 40; m = m + 1) {
+      var c: int = rand() % cells;
+      var np: int = rand() % 100;
+      var d: int = iabs(np - xpos[net[c]]) - iabs(xpos[c] - xpos[net[c]]);
+      if (d < 0 || rand() % (temperature + 1) > temperature / 2) {
+        xpos[c] = np;
+      }
+    }
+    check = check + wl;
+    temperature = temperature - 4;
+  }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let benchmarks () =
+  [
+    gzip; vpr; gcc; mcf; crafty; parser; eon; perlbmk; gap; vortex; bzip2; twolf;
+  ]

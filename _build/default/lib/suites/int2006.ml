@@ -1,0 +1,664 @@
+(* SpecINT2006-shaped non-numeric kernels. Same serial character as cint2000
+   with the two shapes the paper calls out: 462_libquantum's massively
+   DOALL-parallel amplitude loops (the tallest bar in Figure 4) and
+   456_hmmer's high-coverage parallel inner DP rows. *)
+
+let perlbench =
+  Defs.mk ~name:"400_perlbench" ~category:Defs.Int2006
+    ~descr:"bytecode interpreter: data-dependent pc and accumulator chains, \
+            variable store updated in place — the serial interpreter shape"
+    {src|
+fn main() -> int {
+  var proglen: int = 256;
+  var opcode: int[] = new int[proglen];
+  var operand: int[] = new int[proglen];
+  var store: int[] = new int[64];
+  var s: int = 11;
+  for (var i: int = 0; i < proglen; i = i + 1) {
+    s = lcg_next(s);
+    opcode[i] = lcg_pick(s, 6);
+    s = lcg_next(s);
+    operand[i] = lcg_pick(s, 64);
+  }
+  var pc: int = 0;
+  var acc: int = 1;
+  var steps: int = 0;
+  var limit: int = 40000;
+  // the dispatch loop: pc and acc are frequent, data-dependent register
+  // LCDs; the variable store carries memory LCDs between ops
+  while (steps < limit) {
+    var op: int = opcode[pc];
+    var arg: int = operand[pc];
+    pc = pc + 1;
+    if (op == 0) {
+      acc = (acc + arg) & 65535;
+    } else { if (op == 1) {
+      acc = (acc ^ store[arg]) & 65535;
+    } else { if (op == 2) {
+      store[arg] = acc;
+    } else { if (op == 3) {
+      store[arg] = (store[arg] + 1) & 65535;
+    } else { if (op == 4) {
+      if ((acc & 1) == 0) { pc = arg % proglen; }
+    } else {
+      acc = (acc * 3 + 1) & 65535;
+    } } } } }
+    if (pc >= proglen) { pc = 0; }
+    steps = steps + 1;
+  }
+  var check: int = acc;
+  for (var i: int = 0; i < 64; i = i + 1) { check = check + store[i] * (i & 3); }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let bzip2 =
+  Defs.mk ~name:"401_bzip2" ~category:Defs.Int2006
+    ~descr:"BWT-style rotation sort: selection pass with comparison helper \
+            calls; rank array written as discovered"
+    {src|
+global buf: int[];
+global buflen: int;
+
+fn rot_compare(a: int, b: int) -> int {
+  // lexicographic compare of rotations a and b, bounded probe
+  for (var k: int = 0; k < 24; k = k + 1) {
+    var ca: int = buf[(a + k) % buflen];
+    var cb: int = buf[(b + k) % buflen];
+    if (ca != cb) { return ca - cb; }
+  }
+  return 0;
+}
+
+fn main() -> int {
+  buflen = 220;
+  buf = new int[buflen];
+  var s: int = 13;
+  for (var i: int = 0; i < buflen; i = i + 1) {
+    s = lcg_next(s);
+    buf[i] = (s >> 4) & 3;
+  }
+  var order: int[] = new int[buflen];
+  var used: int[] = new int[buflen];
+  // selection sort of rotations: the outer loop consumes used[] written by
+  // every earlier iteration; the inner min-scan calls the pure helper
+  for (var r: int = 0; r < buflen; r = r + 1) {
+    var best: int = -1;
+    for (var c: int = 0; c < buflen; c = c + 1) {
+      if (used[c] == 0) {
+        if (best < 0) {
+          best = c;
+        } else {
+          if (rot_compare(c, best) < 0) { best = c; }
+        }
+      }
+    }
+    order[r] = best;
+    used[best] = 1;
+  }
+  var check: int = 0;
+  for (var r: int = 0; r < buflen; r = r + 1) {
+    check = check + buf[(order[r] + buflen - 1) % buflen] * (r & 7);
+  }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let gcc06 =
+  Defs.mk ~name:"403_gcc" ~category:Defs.Int2006
+    ~descr:"dataflow bitvector fixpoint: per-block IN/OUT words, frequent \
+            memory LCDs across the sweep"
+    {src|
+fn main() -> int {
+  var blocks: int = 400;
+  var inw: int[] = new int[blocks];
+  var outw: int[] = new int[blocks];
+  var gen: int[] = new int[blocks];
+  var kill: int[] = new int[blocks];
+  var pred1: int[] = new int[blocks];
+  var pred2: int[] = new int[blocks];
+  var s: int = 19;
+  for (var b: int = 0; b < blocks; b = b + 1) {
+    s = lcg_next(s);
+    gen[b] = (s >> 8) & 65535;
+    s = lcg_next(s);
+    kill[b] = (s >> 8) & 65535;
+    s = lcg_next(s);
+    pred1[b] = lcg_pick(s, blocks);
+    s = lcg_next(s);
+    pred2[b] = lcg_pick(s, blocks);
+  }
+  var changed: int = 1;
+  var sweeps: int = 0;
+  while (changed == 1 && sweeps < 10) {
+    changed = 0;
+    // block b meets its predecessors' OUT, possibly updated this sweep
+    for (var b: int = 0; b < blocks; b = b + 1) {
+      var inn: int = outw[pred1[b]] | outw[pred2[b]];
+      var o: int = (inn & (65535 ^ kill[b])) | gen[b];
+      if (o != outw[b]) {
+        outw[b] = o;
+        inw[b] = inn;
+        changed = 1;
+      }
+    }
+    sweeps = sweeps + 1;
+  }
+  var check: int = sweeps;
+  for (var b: int = 0; b < blocks; b = b + 1) { check = check + (outw[b] & (b | 1)); }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let mcf06 =
+  Defs.mk ~name:"429_mcf" ~category:Defs.Int2006
+    ~descr:"arc pricing over a network: infrequent improving writes \
+            (PDOALL beats HELIX here in the paper's Figure 4)"
+    {src|
+fn main() -> int {
+  var nodes: int = 400;
+  var arcs: int = 2600;
+  var tail: int[] = new int[arcs];
+  var head: int[] = new int[arcs];
+  var cost: int[] = new int[arcs];
+  var potential: int[] = new int[nodes];
+  var s: int = 23;
+  for (var a: int = 0; a < arcs; a = a + 1) {
+    s = lcg_next(s);
+    tail[a] = lcg_pick(s, nodes);
+    s = lcg_next(s);
+    head[a] = lcg_pick(s, nodes);
+    s = lcg_next(s);
+    cost[a] = 1 + lcg_pick(s, 30);
+  }
+  for (var i: int = 0; i < nodes; i = i + 1) { potential[i] = 500 + (i % 50); }
+  var improving: int = 0;
+  // pricing passes: reduced cost mostly non-negative, so potential[] writes
+  // (the cross-iteration conflicts) are rare
+  for (var pass: int = 0; pass < 5; pass = pass + 1) {
+    for (var a: int = 0; a < arcs; a = a + 1) {
+      var red: int = cost[a] + potential[tail[a]] - potential[head[a]];
+      if (red < -35) {
+        potential[head[a]] = potential[head[a]] - 1;
+        improving = improving + 1;
+      }
+    }
+  }
+  var check: int = improving * 7;
+  for (var i: int = 0; i < nodes; i = i + 1) { check = check + potential[i]; }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let gobmk =
+  Defs.mk ~name:"445_gobmk" ~category:Defs.Int2006
+    ~descr:"Go board flood fill: BFS queue cursors (stride-predictable), \
+            board marks with conflicts early in each fill"
+    {src|
+fn main() -> int {
+  var dim: int = 40;
+  var board: int[] = new int[dim * dim];
+  var mark: int[] = new int[dim * dim];
+  var queue: int[] = new int[dim * dim + 8];
+  var s: int = 31;
+  for (var i: int = 0; i < dim * dim; i = i + 1) {
+    s = lcg_next(s);
+    if (((s >> 16) & 7) < 3) { board[i] = 1; }
+  }
+  var filled: int = 0;
+  for (var start: int = 0; start < dim * dim; start = start + 97) {
+    if (board[start] == 0 && mark[start] == 0) {
+      var h: int = 0;
+      var t: int = 0;
+      queue[0] = start;
+      mark[start] = 1;
+      t = 1;
+      while (h < t) {
+        var c: int = queue[h];
+        h = h + 1;
+        filled = filled + 1;
+        var x: int = c % dim;
+        if (x + 1 < dim && board[c + 1] == 0 && mark[c + 1] == 0) {
+          mark[c + 1] = 1; queue[t] = c + 1; t = t + 1;
+        }
+        if (x > 0 && board[c - 1] == 0 && mark[c - 1] == 0) {
+          mark[c - 1] = 1; queue[t] = c - 1; t = t + 1;
+        }
+        if (c + dim < dim * dim && board[c + dim] == 0 && mark[c + dim] == 0) {
+          mark[c + dim] = 1; queue[t] = c + dim; t = t + 1;
+        }
+        if (c >= dim && board[c - dim] == 0 && mark[c - dim] == 0) {
+          mark[c - dim] = 1; queue[t] = c - dim; t = t + 1;
+        }
+      }
+    }
+  }
+  print_int(filled);
+  return 0;
+}
+|src}
+
+let hmmer =
+  Defs.mk ~name:"456_hmmer" ~category:Defs.Int2006
+    ~descr:"profile-HMM Viterbi DP: serial rows, wide parallel inner loop \
+            (the high-coverage inner-loop shape the paper highlights)"
+    {src|
+fn main() -> int {
+  var m: int = 120;  // model length
+  var n: int = 160;  // sequence length
+  var vrow: int[] = new int[m + 1];
+  var vprev: int[] = new int[m + 1];
+  var match_sc: int[] = new int[m * 4];
+  var s: int = 37;
+  for (var i: int = 0; i < m * 4; i = i + 1) {
+    s = lcg_next(s);
+    match_sc[i] = lcg_pick(s, 13) - 4;
+  }
+  var seq: int[] = new int[n];
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = lcg_next(s);
+    seq[i] = (s >> 16) & 3;
+  }
+  var best: int = -1000000;
+  for (var i: int = 0; i < n; i = i + 1) {
+    var c: int = seq[i];
+    // inner DP cells read only the previous row: independent of each other
+    for (var k: int = 1; k <= m; k = k + 1) {
+      var diag: int = vprev[k - 1];
+      var up: int = vprev[k] - 3;
+      var v: int = imax(diag, up) + match_sc[(k - 1) * 4 + c];
+      vrow[k] = v;
+    }
+    for (var k: int = 1; k <= m; k = k + 1) {
+      vprev[k] = vrow[k];
+      best = imax(best, vrow[k]);
+    }
+  }
+  print_int(best);
+  return 0;
+}
+|src}
+
+let sjeng =
+  Defs.mk ~name:"458_sjeng" ~category:Defs.Int2006
+    ~descr:"chess search with transposition table: recursion in the move \
+            loop plus in-place table updates"
+    {src|
+global ttable: int[];
+global tthits: int;
+
+fn probe(key: int) -> int {
+  var slot: int = key & 1023;
+  if (ttable[slot] == key) {
+    tthits = tthits + 1;
+    return 1;
+  }
+  ttable[slot] = key;
+  return 0;
+}
+
+fn search(board: int, depth: int) -> int {
+  if (depth == 0) {
+    return (board ^ (board >> 7)) & 63;
+  }
+  var key: int = (board * 2654435761) & 1073741823;
+  if (probe(key) == 1) {
+    return (key & 31) - 16;
+  }
+  var best: int = -1000000;
+  for (var mv: int = 0; mv < 4; mv = mv + 1) {
+    var nb: int = (board * 13 + mv * 101 + 7) & 1073741823;
+    best = imax(best, 0 - search(nb, depth - 1));
+  }
+  return best;
+}
+
+fn main() -> int {
+  ttable = new int[1024];
+  tthits = 0;
+  var total: int = 0;
+  for (var root: int = 0; root < 16; root = root + 1) {
+    total = total + search(root * 7919 + 3, 6);
+  }
+  print_int(total * 10000 + tthits % 10000);
+  return 0;
+}
+|src}
+
+let libquantum =
+  Defs.mk ~name:"462_libquantum" ~category:Defs.Int2006
+    ~descr:"quantum gate application over the amplitude array: the massively \
+            DOALL-parallel outlier of the paper's Figure 4"
+    {src|
+fn main() -> int {
+  var qubits: int = 12;
+  var n: int = 4096; // 2^qubits amplitudes (fixed-point)
+  var re: int[] = new int[n];
+  var im: int[] = new int[n];
+  var renorm: int[] = new int[1];
+  var thresh: int = 11000000;
+  re[0] = 16777216;
+  // a circuit of NOT / controlled-phase gates: every gate visits all
+  // amplitudes independently
+  for (var gate: int = 0; gate < 24; gate = gate + 1) {
+    var target: int = gate % qubits;
+    var bit: int = 1 << target;
+    thresh = thresh - thresh / 5;
+    if ((gate & 1) == 0) {
+      // Hadamard butterfly on pairs: spreads amplitude across the register
+      for (var i: int = 0; i < n; i = i + 1) {
+        if ((i & bit) == 0) {
+          var j: int = i | bit;
+          var sr: int = (re[i] + re[j]) * 181 / 256;
+          var dr: int = (re[i] - re[j]) * 181 / 256;
+          var si: int = (im[i] + im[j]) * 181 / 256;
+          var di: int = (im[i] - im[j]) * 181 / 256;
+          if (iabs(sr) > thresh) {
+            // rare renormalization: a shared counter bump — the infrequent
+            // cross-iteration conflict that makes DOALL abandon the gate
+            renorm[0] = renorm[0] + 1;
+            sr = sr / 2;
+            si = si / 2;
+          }
+          re[i] = sr; re[j] = dr;
+          im[i] = si; im[j] = di;
+        }
+      }
+    } else {
+      // phase-ish rotation on the set half; amplitudes that overflow bump a
+      // shared renormalization counter — a rare cross-iteration conflict
+      // (DOALL abandons on it, PDOALL restarts absorb it)
+      for (var i: int = 0; i < n; i = i + 1) {
+        if ((i & bit) != 0) {
+          var r: int = re[i];
+          re[i] = (r * 3 - im[i]) / 4;
+          im[i] = (im[i] * 3 + r) / 4;
+          if (iabs(re[i]) > thresh) {
+            renorm[0] = renorm[0] + 1;
+            re[i] = re[i] / 2;
+            im[i] = im[i] / 2;
+          }
+        }
+      }
+    }
+  }
+  var check: int = renorm[0] * 1000000;
+  for (var i: int = 0; i < n; i = i + 1) {
+    check = check + iabs(re[i]) / 64 + iabs(im[i]) / 128;
+  }
+  print_int(check);
+  return 0;
+}
+|src}
+
+let h264ref =
+  Defs.mk ~name:"464_h264ref" ~category:Defs.Int2006
+    ~descr:"motion-estimation SAD search: nested reductions over candidate \
+            displacements"
+    {src|
+fn main() -> int {
+  var w: int = 64;
+  var h: int = 48;
+  var cur: int[] = new int[w * h];
+  var ref: int[] = new int[w * h];
+  var s: int = 41;
+  for (var i: int = 0; i < w * h; i = i + 1) {
+    s = lcg_next(s);
+    cur[i] = (s >> 8) & 255;
+    ref[i] = (s >> 16) & 255;
+  }
+  var total_sad: int = 0;
+  var nbx: int = (w - 8 + 7) / 8;
+  var pmv: int[] = new int[nbx + 1];
+  // per-macroblock: candidates independent and SAD is a reduction, but each
+  // block's search is centered on the predicted motion vector of its left
+  // neighbour (pmv[]), a frequent memory LCD between blocks — the real
+  // encoder's serializing dependence
+  for (var by: int = 0; by < h - 8; by = by + 8) {
+    for (var bx: int = 0; bx < w - 8; bx = bx + 8) {
+      var center: int = pmv[bx / 8];
+      var best: int = 1000000000;
+      var bestd: int = 0;
+      for (var dy: int = 0; dy < 3; dy = dy + 1) {
+        for (var dx: int = 0; dx < 3; dx = dx + 1) {
+          var ox: int = (center + dx) % 3;
+          var sad: int = 0;
+          for (var y: int = 0; y < 8; y = y + 1) {
+            for (var x: int = 0; x < 8; x = x + 1) {
+              var a: int = cur[(by + y) * w + bx + x];
+              var b: int = ref[(by + y + dy) * w + bx + x + ox];
+              sad = sad + iabs(a - b);
+            }
+          }
+          if (sad < best) { best = sad; bestd = ox * 3 + dy; }
+        }
+      }
+      pmv[bx / 8 + 1] = bestd;
+      total_sad = total_sad + best;
+    }
+  }
+  print_int(total_sad);
+  return 0;
+}
+|src}
+
+let omnetpp =
+  Defs.mk ~name:"471_omnetpp" ~category:Defs.Int2006
+    ~descr:"discrete-event simulation: heap-ordered queue mutated every \
+            event — inherently serial"
+    {src|
+fn main() -> int {
+  var cap: int = 256;
+  var heap_t: int[] = new int[cap + 1];
+  var heap_v: int[] = new int[cap + 1];
+  var size: int = 0;
+  var s: int = 43;
+  // seed events
+  for (var i: int = 0; i < 64; i = i + 1) {
+    s = lcg_next(s);
+    size = size + 1;
+    heap_t[size] = lcg_pick(s, 1000);
+    heap_v[size] = i;
+    var c: int = size;
+    while (c > 1 && heap_t[c / 2] > heap_t[c]) {
+      var tt: int = heap_t[c / 2]; heap_t[c / 2] = heap_t[c]; heap_t[c] = tt;
+      var tv: int = heap_v[c / 2]; heap_v[c / 2] = heap_v[c]; heap_v[c] = tv;
+      c = c / 2;
+    }
+  }
+  var processed: int = 0;
+  var clock_now: int = 0;
+  // event loop: every iteration pops the heap and pushes follow-ups — the
+  // heap arrays carry frequent memory LCDs; clock_now is a register LCD
+  while (size > 0 && processed < 3000) {
+    clock_now = heap_t[1];
+    var v: int = heap_v[1];
+    heap_t[1] = heap_t[size];
+    heap_v[1] = heap_v[size];
+    size = size - 1;
+    var c: int = 1;
+    var sifting: bool = true;
+    while (sifting) {
+      var l: int = 2 * c;
+      var r: int = 2 * c + 1;
+      var m: int = c;
+      if (l <= size && heap_t[l] < heap_t[m]) { m = l; }
+      if (r <= size && heap_t[r] < heap_t[m]) { m = r; }
+      if (m == c) {
+        sifting = false;
+      } else {
+        var tt: int = heap_t[m]; heap_t[m] = heap_t[c]; heap_t[c] = tt;
+        var tv: int = heap_v[m]; heap_v[m] = heap_v[c]; heap_v[c] = tv;
+        c = m;
+      }
+    }
+    processed = processed + 1;
+    if (size < cap - 2 && (v & 3) != 3) {
+      s = lcg_next(s);
+      size = size + 1;
+      heap_t[size] = clock_now + 1 + lcg_pick(s, 50);
+      heap_v[size] = v + 1;
+      var c2: int = size;
+      while (c2 > 1 && heap_t[c2 / 2] > heap_t[c2]) {
+        var tt2: int = heap_t[c2 / 2]; heap_t[c2 / 2] = heap_t[c2]; heap_t[c2] = tt2;
+        var tv2: int = heap_v[c2 / 2]; heap_v[c2 / 2] = heap_v[c2]; heap_v[c2] = tv2;
+        c2 = c2 / 2;
+      }
+    }
+  }
+  print_int(processed * 1000000 + clock_now);
+  return 0;
+}
+|src}
+
+let astar =
+  Defs.mk ~name:"473_astar" ~category:Defs.Int2006
+    ~descr:"grid pathfinding: heap-ordered open list popped serially, \
+            neighbor relaxations with infrequent conflicts"
+    {src|
+fn main() -> int {
+  var dim: int = 20;
+  var n: int = dim * dim;
+  var blocked: int[] = new int[n];
+  var g: int[] = new int[n];
+  var state: int[] = new int[n]; // 0 unseen, 1 open, 2 closed
+  var s: int = 47;
+  for (var i: int = 0; i < n; i = i + 1) {
+    s = lcg_next(s);
+    if (((s >> 16) & 15) < 4 && i != 0 && i != n - 1) { blocked[i] = 1; }
+    g[i] = 1000000;
+  }
+  g[0] = 0;
+  state[0] = 1;
+  var heap: int[] = new int[n * 4 + 2];
+  var hkey: int[] = new int[n * 4 + 2];
+  var hsize: int = 0;
+  hsize = 1;
+  heap[1] = 0;
+  hkey[1] = 0;
+  var expansions: int = 0;
+  var found: int = 0;
+  while (found == 0 && expansions < 600) {
+    // pop the best open node from the heap: serial in-place mutation,
+    // exactly the structure that keeps real astar's speedup low
+    var best: int = -1;
+    while (best < 0 && hsize > 0) {
+      var cand: int = heap[1];
+      heap[1] = heap[hsize];
+      hkey[1] = hkey[hsize];
+      hsize = hsize - 1;
+      var c: int = 1;
+      var sift: bool = true;
+      while (sift) {
+        var l: int = 2 * c;
+        var m: int = c;
+        if (l <= hsize && hkey[l] < hkey[m]) { m = l; }
+        if (l + 1 <= hsize && hkey[l + 1] < hkey[m]) { m = l + 1; }
+        if (m == c) {
+          sift = false;
+        } else {
+          var tk: int = hkey[m]; hkey[m] = hkey[c]; hkey[c] = tk;
+          var tv: int = heap[m]; heap[m] = heap[c]; heap[c] = tv;
+          c = m;
+        }
+      }
+      if (state[cand] == 1) { best = cand; }
+    }
+    if (best < 0) {
+      found = -1;
+    } else {
+      if (best == n - 1) {
+        found = 1;
+      } else {
+        state[best] = 2;
+        expansions = expansions + 1;
+        var x: int = best % dim;
+        // relax the four neighbours: writes are infrequent conflicts
+        var gb: int = g[best] + 1;
+        for (var d: int = 0; d < 4; d = d + 1) {
+          var nb: int = best;
+          var ok: int = 0;
+          if (d == 0 && x + 1 < dim) { nb = best + 1; ok = 1; }
+          if (d == 1 && x > 0) { nb = best - 1; ok = 1; }
+          if (d == 2 && best + dim < n) { nb = best + dim; ok = 1; }
+          if (d == 3 && best >= dim) { nb = best - dim; ok = 1; }
+          if (ok == 1 && blocked[nb] == 0 && state[nb] != 2 && gb < g[nb]) {
+            g[nb] = gb;
+            state[nb] = 1;
+            if (hsize < n * 4) {
+              hsize = hsize + 1;
+              heap[hsize] = nb;
+              hkey[hsize] = gb + iabs(nb % dim - (n - 1) % dim) + iabs(nb / dim - (n - 1) / dim);
+              var c2: int = hsize;
+              while (c2 > 1 && hkey[c2 / 2] > hkey[c2]) {
+                var tk2: int = hkey[c2 / 2]; hkey[c2 / 2] = hkey[c2]; hkey[c2] = tk2;
+                var tv2: int = heap[c2 / 2]; heap[c2 / 2] = heap[c2]; heap[c2] = tv2;
+                c2 = c2 / 2;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  print_int(found * 1000000 + g[n - 1] % 1000000 + expansions);
+  return 0;
+}
+|src}
+
+let xalancbmk =
+  Defs.mk ~name:"483_xalancbmk" ~category:Defs.Int2006
+    ~descr:"XML-ish tree transform: explicit-stack DFS (serial cursor) with \
+            per-node attribute loops"
+    {src|
+fn main() -> int {
+  var n: int = 2000;
+  var first_child: int[] = new int[n];
+  var next_sib: int[] = new int[n];
+  var tag: int[] = new int[n];
+  var s: int = 53;
+  // random tree: node i attaches under a previous node
+  for (var i: int = 1; i < n; i = i + 1) {
+    s = lcg_next(s);
+    var parent: int = lcg_pick(s, i);
+    next_sib[i] = first_child[parent];
+    first_child[parent] = i;
+    tag[i] = (s >> 16) & 7;
+  }
+  var stack: int[] = new int[n + 1];
+  var sp: int = 0;
+  stack[0] = 0;
+  sp = 1;
+  var rendered: int = 0;
+  // DFS: the stack pointer is a frequent register LCD; node visits write
+  // the output accumulator
+  while (sp > 0) {
+    sp = sp - 1;
+    var node: int = stack[sp];
+    // per-node attribute rendering: a small independent loop
+    var attr: int = 0;
+    for (var k: int = 0; k < 1 + (tag[node] & 3); k = k + 1) {
+      attr = attr + ((node * 31 + k * 7) & 15);
+    }
+    rendered = rendered + attr;
+    var ch: int = first_child[node];
+    while (ch != 0) {
+      stack[sp] = ch;
+      sp = sp + 1;
+      ch = next_sib[ch];
+    }
+  }
+  print_int(rendered);
+  return 0;
+}
+|src}
+
+let benchmarks () =
+  [
+    perlbench; bzip2; gcc06; mcf06; gobmk; hmmer; sjeng; libquantum; h264ref;
+    omnetpp; astar; xalancbmk;
+  ]

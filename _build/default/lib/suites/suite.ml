@@ -1,0 +1,29 @@
+(* Registry over the per-suite benchmark lists. *)
+
+
+
+type category = Defs.category = Int2000 | Int2006 | Fp2000 | Fp2006 | Eembc
+
+type benchmark = Defs.benchmark = {
+  name : string;
+  category : category;
+  descr : string;
+  source : string;
+  expected : string option;
+}
+
+let category_name = Defs.category_name
+
+let is_numeric = Defs.is_numeric
+
+let all () : benchmark list =
+  Int2000.benchmarks () @ Int2006.benchmarks () @ Fp2000.benchmarks ()
+  @ Fp2006.benchmarks () @ Eembc.benchmarks ()
+
+let by_category cat = List.filter (fun b -> b.category = cat) (all ())
+
+let find name = List.find_opt (fun b -> b.name = name) (all ())
+
+let names () = List.map (fun b -> b.name) (all ())
+
+let categories = [ Int2000; Int2006; Fp2000; Fp2006; Eembc ]

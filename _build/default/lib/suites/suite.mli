@@ -1,0 +1,29 @@
+(** Registry of the benchmark suites. Each benchmark is a standalone Looplang
+    program shaped after a SPEC CPU2000/2006 or EEMBC benchmark (see
+    DESIGN.md §2 for the substitution rationale). *)
+
+type category = Defs.category = Int2000 | Int2006 | Fp2000 | Fp2006 | Eembc
+
+type benchmark = Defs.benchmark = {
+  name : string;  (** e.g. ["181_mcf"] *)
+  category : category;
+  descr : string;  (** one-line dependency character *)
+  source : string;  (** full Looplang program incl. the shared prelude *)
+  expected : string option;  (** reserved for inline golden outputs *)
+}
+
+val category_name : category -> string
+
+(** The paper groups EEMBC with the numeric suites. *)
+val is_numeric : category -> bool
+
+(** All benchmarks, suite order: int2000, int2006, fp2000, fp2006, eembc. *)
+val all : unit -> benchmark list
+
+val by_category : category -> benchmark list
+
+val find : string -> benchmark option
+
+val names : unit -> string list
+
+val categories : category list

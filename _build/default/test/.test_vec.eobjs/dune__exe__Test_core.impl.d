@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Frontend Hashtbl List Loopa Printf Result

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Astring_contains Cfg Frontend Int64 Interp Ir List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Buffer Cfg Frontend Interp List Loopa Opt Printf QCheck Random String

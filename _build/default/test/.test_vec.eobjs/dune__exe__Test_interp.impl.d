@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Astring_contains Cfg Float Frontend Int64 Interp Ir Printf QCheck QCheck_alcotest String

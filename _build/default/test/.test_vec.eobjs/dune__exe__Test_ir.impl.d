@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Astring_contains Float Ir List Option Printf

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Fmt Hashtbl List Loopa QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Astring_contains Cfg Frontend Interp Ir List Loopa Opt Option Printf QCheck QCheck_alcotest String Suites

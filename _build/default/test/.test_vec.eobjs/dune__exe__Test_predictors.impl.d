@@ -1,0 +1,1 @@
+test/test_predictors.ml: Alcotest Fun Int64 Interp List Predictors Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scev.ml: Alcotest Cfg Fmt Frontend Int64 Ir List Option Printf QCheck QCheck_alcotest Scev

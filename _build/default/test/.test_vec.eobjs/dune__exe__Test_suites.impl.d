@@ -1,0 +1,1 @@
+test/test_suites.ml: Alcotest Cfg Frontend Interp Ir List Loopa Option Printf String Suites

@@ -1,0 +1,11 @@
+(* Substring check shared by the test suites (stdlib has none). *)
+
+let contains (haystack : string) (needle : string) : bool =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec scan i =
+      i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1))
+    in
+    scan 0
+  end

@@ -1,0 +1,139 @@
+(* Differential fuzzing: generate random, type-correct, terminating Looplang
+   programs and check the invariants that hold for *every* program:
+   - the front-end produces verifier- and dominance-clean SSA;
+   - the optimization pipeline preserves output and never increases cost;
+   - the limit study runs and reports speedups >= 1 with sane coverage.
+
+   Programs use a fixed skeleton: a handful of int scalars, one 16-element
+   array (indices are masked), bounded for-loops, if/else, and a final
+   checksum print — so every generated program terminates and stays in
+   bounds by construction. *)
+
+let var_names = [| "v0"; "v1"; "v2"; "v3" |]
+
+type gctx = { buf : Buffer.t; mutable indent : int; mutable fresh : int }
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (ctx.indent * 2) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+(* Random int expression over the scalar variables and the array. *)
+let rec gen_expr st depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    (match generate1 ~rand:st (int_range 0 3) with
+    | 0 -> string_of_int (generate1 ~rand:st (int_range (-9) 9))
+    | 1 | 2 -> var_names.(generate1 ~rand:st (int_range 0 3))
+    | _ -> Printf.sprintf "arr[(%s) & 15]" var_names.(generate1 ~rand:st (int_range 0 3)))
+  else
+    let op = generate1 ~rand:st (oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ]) in
+    Printf.sprintf "(%s %s %s)" (gen_expr st (depth - 1)) op (gen_expr st (depth - 1))
+
+let gen_cond st = Printf.sprintf "(%s) < (%s)" (gen_expr st 1) (gen_expr st 1)
+
+let rec gen_stmt st ctx depth =
+  let open QCheck.Gen in
+  match generate1 ~rand:st (int_range 0 5) with
+  | 0 | 1 ->
+      line ctx "%s = %s;" var_names.(generate1 ~rand:st (int_range 0 3)) (gen_expr st 2)
+  | 2 -> line ctx "arr[(%s) & 15] = %s;" (gen_expr st 1) (gen_expr st 2)
+  | 3 when depth > 0 ->
+      line ctx "if (%s) {" (gen_cond st);
+      ctx.indent <- ctx.indent + 1;
+      gen_block st ctx (depth - 1);
+      ctx.indent <- ctx.indent - 1;
+      if generate1 ~rand:st bool then begin
+        line ctx "} else {";
+        ctx.indent <- ctx.indent + 1;
+        gen_block st ctx (depth - 1);
+        ctx.indent <- ctx.indent - 1
+      end;
+      line ctx "}"
+  | 4 when depth > 0 ->
+      let iv = Printf.sprintf "it%d" ctx.fresh in
+      ctx.fresh <- ctx.fresh + 1;
+      let trip = generate1 ~rand:st (int_range 2 12) in
+      line ctx "for (var %s: int = 0; %s < %d; %s = %s + 1) {" iv iv trip iv iv;
+      ctx.indent <- ctx.indent + 1;
+      gen_block st ctx (depth - 1);
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}"
+  | _ -> line ctx "%s = %s + 1;" var_names.(generate1 ~rand:st (int_range 0 3))
+           var_names.(generate1 ~rand:st (int_range 0 3))
+
+and gen_block st ctx depth =
+  let n = QCheck.Gen.generate1 ~rand:st (QCheck.Gen.int_range 1 4) in
+  for _ = 1 to n do
+    gen_stmt st ctx depth
+  done
+
+let gen_program seed : string =
+  let st = Random.State.make [| seed |] in
+  let ctx = { buf = Buffer.create 512; indent = 0; fresh = 0 } in
+  line ctx "fn main() -> int {";
+  ctx.indent <- 1;
+  line ctx "var arr: int[] = new int[16];";
+  Array.iteri (fun i v -> line ctx "var %s: int = %d;" v (i * 3 + 1)) var_names;
+  gen_block st ctx 3;
+  line ctx "var check: int = v0 ^ v1 ^ v2 ^ v3;";
+  line ctx "for (var i: int = 0; i < 16; i = i + 1) { check = check ^ arr[i] ^ i; }";
+  line ctx "print_int(check);";
+  ctx.indent <- 0;
+  line ctx "}";
+  Buffer.contents ctx.buf
+
+let run m = Interp.Machine.run_main (Interp.Machine.create ~fuel:10_000_000 m)
+
+let check_one seed =
+  let src = gen_program seed in
+  let fail fmt = Printf.ksprintf (fun m -> Alcotest.failf "seed %d: %s\n%s" seed m src) fmt in
+  (* front-end invariants *)
+  let m0 =
+    match Frontend.compile src with
+    | Ok m -> m
+    | Error e -> fail "compile error %s" (Frontend.error_to_string e)
+  in
+  (match Cfg.Ssa_check.check_module m0 with
+  | [] -> ()
+  | errs -> fail "ssa: %s" (Cfg.Ssa_check.error_to_string (List.hd errs)));
+  let out0 = run m0 in
+  (* optimization preserves semantics and cost never grows *)
+  let m1 = Frontend.compile_exn src in
+  Opt.Pipeline.run_module m1;
+  let out1 = run m1 in
+  if out0.Interp.Machine.output <> out1.Interp.Machine.output then
+    fail "optimized output differs: %S vs %S" out0.Interp.Machine.output
+      out1.Interp.Machine.output;
+  if out1.Interp.Machine.clock > out0.Interp.Machine.clock then
+    fail "optimization increased cost %d -> %d" out0.Interp.Machine.clock
+      out1.Interp.Machine.clock;
+  (* the limit study accepts it *)
+  let a = Loopa.Driver.analyze_source ~fuel:10_000_000 src in
+  List.iter
+    (fun cfg ->
+      let r = Loopa.Driver.evaluate a cfg in
+      if r.Loopa.Evaluate.speedup < 1.0 -. 1e-9 then
+        fail "%s speedup %f < 1" (Loopa.Config.name cfg) r.Loopa.Evaluate.speedup;
+      if r.Loopa.Evaluate.coverage_pct < -1e-9 || r.Loopa.Evaluate.coverage_pct > 100.0 +. 1e-9
+      then fail "coverage out of range: %f" r.Loopa.Evaluate.coverage_pct)
+    [
+      Loopa.Config.of_string "reduc0-dep0-fn0 DOALL";
+      Loopa.Config.of_string "reduc1-dep2-fn2 PDOALL";
+      Loopa.Config.best_helix;
+    ]
+
+let test_fuzz_corpus () =
+  for seed = 1 to 60 do
+    check_one seed
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [ Alcotest.test_case "60 random programs" `Slow test_fuzz_corpus ] );
+    ]

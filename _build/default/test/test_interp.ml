@@ -1,0 +1,272 @@
+(* Interpreter tests: scalar operation semantics (against OCaml's Int64 /
+   float as ground truth), memory model, builtins, the instruction-count
+   clock, fuel and depth limits, and the instrumentation event stream. *)
+
+open Interp.Rvalue
+
+let run ?hooks ?fuel src =
+  let m = Frontend.compile_exn src in
+  Cfg.Loop_simplify.run_module m;
+  Interp.Machine.run_main (Interp.Machine.create ?hooks ?fuel m)
+
+let output ?fuel src = String.trim (run ?fuel src).Interp.Machine.output
+
+(* ---- scalar op units ---- *)
+
+let test_ibinop_semantics () =
+  let ck got want = Alcotest.(check int64) "ibinop" want got in
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Add 3L 4L) 7L;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Sub 3L 4L) (-1L);
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Mul 3L 4L) 12L;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Sdiv 7L 2L) 3L;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Sdiv (-7L) 2L) (-3L);
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Srem 7L 3L) 1L;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Srem (-7L) 3L) (-1L);
+  (* min_int / -1 must not trap *)
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Sdiv Int64.min_int (-1L)) Int64.min_int;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Srem Int64.min_int (-1L)) 0L;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.And 12L 10L) 8L;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Or 12L 10L) 14L;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Xor 12L 10L) 6L;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Shl 1L 4L) 16L;
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Ashr (-16L) 2L) (-4L);
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Lshr (-1L) 60L) 15L;
+  (* shift amounts are masked to 6 bits *)
+  ck (Interp.Machine.exec_ibinop Ir.Instr.Shl 1L 64L) 1L
+
+let test_div_by_zero () =
+  Alcotest.check_raises "div0" (Runtime_error "division by zero") (fun () ->
+      ignore (Interp.Machine.exec_ibinop Ir.Instr.Sdiv 1L 0L));
+  Alcotest.check_raises "rem0" (Runtime_error "remainder by zero") (fun () ->
+      ignore (Interp.Machine.exec_ibinop Ir.Instr.Srem 1L 0L))
+
+let prop_ibinop_matches_int64 =
+  QCheck.Test.make ~name:"add/sub/mul/and/or/xor match Int64" ~count:500
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      Interp.Machine.exec_ibinop Ir.Instr.Add a b = Int64.add a b
+      && Interp.Machine.exec_ibinop Ir.Instr.Sub a b = Int64.sub a b
+      && Interp.Machine.exec_ibinop Ir.Instr.Mul a b = Int64.mul a b
+      && Interp.Machine.exec_ibinop Ir.Instr.And a b = Int64.logand a b
+      && Interp.Machine.exec_ibinop Ir.Instr.Or a b = Int64.logor a b
+      && Interp.Machine.exec_ibinop Ir.Instr.Xor a b = Int64.logxor a b)
+
+let prop_icmp_total_order =
+  QCheck.Test.make ~name:"icmp consistent with Int64.compare" ~count:500
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let c = Int64.compare a b in
+      Interp.Machine.exec_icmp Ir.Instr.Islt (Vint a) (Vint b) = (c < 0)
+      && Interp.Machine.exec_icmp Ir.Instr.Isle (Vint a) (Vint b) = (c <= 0)
+      && Interp.Machine.exec_icmp Ir.Instr.Ieq (Vint a) (Vint b) = (c = 0))
+
+let test_fcmp_nan () =
+  Alcotest.(check bool) "nan not lt" false
+    (Interp.Machine.exec_fcmp Ir.Instr.Flt Float.nan 1.0);
+  Alcotest.(check bool) "nan ne" true
+    (Interp.Machine.exec_fcmp Ir.Instr.Fne Float.nan Float.nan)
+
+(* ---- memory ---- *)
+
+let test_memory_model () =
+  let mem = Interp.Rvalue.create [] in
+  let base = Interp.Rvalue.alloc mem 4 in
+  Interp.Rvalue.store mem base (Vint 42L);
+  Alcotest.(check bool) "load back" true (Interp.Rvalue.load mem base = Vint 42L);
+  Alcotest.(check bool) "zero init" true (Interp.Rvalue.load mem (base + 3) = Vint 0L);
+  Alcotest.check_raises "null deref"
+    (Runtime_error "memory access out of bounds at address 0") (fun () ->
+      ignore (Interp.Rvalue.load mem 0));
+  Alcotest.check_raises "oob"
+    (Runtime_error
+       (Printf.sprintf "memory access out of bounds at address %d" (base + 4)))
+    (fun () -> ignore (Interp.Rvalue.load mem (base + 4)));
+  Alcotest.(check int) "words in use" (base + 4) (Interp.Rvalue.words_in_use mem)
+
+let test_memory_limit () =
+  let mem = Interp.Rvalue.create ~limit:100 [] in
+  Alcotest.(check bool) "small alloc ok" true (Interp.Rvalue.alloc mem 50 > 0);
+  match Interp.Rvalue.alloc mem 100 with
+  | _ -> Alcotest.fail "expected out of memory"
+  | exception Runtime_error msg ->
+      Alcotest.(check bool) "oom message" true (Astring_contains.contains msg "out of memory")
+
+let test_globals_in_memory () =
+  let mem =
+    Interp.Rvalue.create
+      [ { Ir.Func.gname = "g"; gty = Ir.Types.I64; ginit = Ir.Types.Cint 9L } ]
+  in
+  let a = Interp.Rvalue.global_addr mem "g" in
+  Alcotest.(check bool) "initialized" true (Interp.Rvalue.load mem a = Vint 9L);
+  Alcotest.check_raises "unknown global" (Runtime_error "unknown global @nope")
+    (fun () -> ignore (Interp.Rvalue.global_addr mem "nope"))
+
+(* ---- whole-program behaviour ---- *)
+
+let test_clock_counts_instructions () =
+  (* straight-line: alloc-free program with a known instruction count *)
+  let out = run "fn main() -> int { return 1 + 2; }" in
+  (* add + ret = 2 *)
+  Alcotest.(check int) "tiny program cost" 2 out.Interp.Machine.clock
+
+let test_fuel () =
+  match run ~fuel:100 "fn main() -> int { var x: int = 0; while (true) { x = x + 1; } return x; }" with
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+  | exception Runtime_error msg ->
+      Alcotest.(check bool) "fuel message" true (Astring_contains.contains msg "fuel")
+
+let test_recursion_limit () =
+  match run "fn f(n: int) -> int { return f(n + 1); } fn main() -> int { return f(0); }" with
+  | _ -> Alcotest.fail "expected depth error"
+  | exception Runtime_error msg ->
+      Alcotest.(check bool) "depth message" true (Astring_contains.contains msg "depth")
+
+let test_rand_deterministic () =
+  let src =
+    {|
+fn main() -> int {
+  srand(42);
+  var a: int = rand();
+  var b: int = rand();
+  srand(42);
+  if (rand() == a && rand() == b && a != b) { print_int(1); } else { print_int(0); }
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "rand reseeds deterministically" "1" (output src)
+
+let test_arrcopy_arrfill () =
+  let src =
+    {|
+fn main() -> int {
+  var a: int[] = new int[8];
+  var b: int[] = new int[8];
+  for (var i: int = 0; i < 8; i = i + 1) { a[i] = i * i; }
+  arrcopy(b, a, 8);
+  arrfill(a, 5, 4);
+  print_int(b[7] * 1000 + a[0] * 100 + a[3] * 10 + a[4]);
+  return 0;
+}
+|}
+  in
+  (* b[7]=49; a[0],a[3]=5; a[4]=16: 49*1000 + 500 + 50 + 16 *)
+  Alcotest.(check string) "arrcopy/arrfill" "49566" (output src)
+
+let test_print_builtins () =
+  Alcotest.(check string) "print_char" "Hi"
+    (output "fn main() -> int { print_char(72); print_char(105); return 0; }")
+
+(* ---- instrumentation events ---- *)
+
+type counts = {
+  mutable enters : int;
+  mutable iters : int;
+  mutable exits : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable calls : int;
+  mutable builtins : int;
+}
+
+let test_event_stream () =
+  let c =
+    { enters = 0; iters = 0; exits = 0; reads = 0; writes = 0; calls = 0; builtins = 0 }
+  in
+  let hooks =
+    {
+      Interp.Events.no_hooks with
+      Interp.Events.on_loop_enter = (fun ~lid:_ ~clock:_ -> c.enters <- c.enters + 1);
+      on_loop_iter = (fun ~lid:_ ~clock:_ -> c.iters <- c.iters + 1);
+      on_loop_exit = (fun ~lid:_ ~clock:_ -> c.exits <- c.exits + 1);
+      on_mem_access =
+        (fun ~addr:_ ~is_write ~clock:_ ->
+          if is_write then c.writes <- c.writes + 1 else c.reads <- c.reads + 1);
+      on_call_enter = (fun ~fname:_ ~clock:_ -> c.calls <- c.calls + 1);
+      on_builtin_call = (fun ~name:_ ~clock:_ -> c.builtins <- c.builtins + 1);
+    }
+  in
+  let src =
+    {|
+fn helper(a: int[]) { a[0] = a[0] + 1; }
+fn main() -> int {
+  var a: int[] = new int[4];
+  for (var i: int = 0; i < 5; i = i + 1) {
+    helper(a);
+  }
+  print_int(a[0]);
+  return 0;
+}
+|}
+  in
+  ignore (run ~hooks src);
+  (* one invocation; the header is reached once on entry and then 5 more
+     times (after each body execution, including the final failing test) *)
+  Alcotest.(check int) "enters" 1 c.enters;
+  Alcotest.(check int) "iters" 5 c.iters;
+  Alcotest.(check int) "exits" 1 c.exits;
+  (* helper: 1 read + 1 write per call; new stores length (1 write); the
+     final a[0] read and len read... count exact reads/writes *)
+  Alcotest.(check int) "calls = main + 5 helpers" 6 c.calls;
+  Alcotest.(check int) "builtins = 1 print" 1 c.builtins;
+  Alcotest.(check int) "writes = len + 5 helper stores" 6 c.writes;
+  Alcotest.(check int) "reads = 5 helper loads + final load" 6 c.reads
+
+let test_loop_exit_on_return () =
+  (* returning from inside a loop must still close the loop *)
+  let c =
+    { enters = 0; iters = 0; exits = 0; reads = 0; writes = 0; calls = 0; builtins = 0 }
+  in
+  let hooks =
+    {
+      Interp.Events.no_hooks with
+      Interp.Events.on_loop_enter = (fun ~lid:_ ~clock:_ -> c.enters <- c.enters + 1);
+      on_loop_exit = (fun ~lid:_ ~clock:_ -> c.exits <- c.exits + 1);
+    }
+  in
+  let src =
+    {|
+fn main() -> int {
+  for (var i: int = 0; i < 100; i = i + 1) {
+    if (i == 3) { return i; }
+  }
+  return 0;
+}
+|}
+  in
+  ignore (run ~hooks src);
+  Alcotest.(check int) "enter once" 1 c.enters;
+  Alcotest.(check int) "exit closed on return" 1 c.exits
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "scalars",
+        [
+          Alcotest.test_case "ibinop semantics" `Quick test_ibinop_semantics;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "fcmp nan" `Quick test_fcmp_nan;
+          QCheck_alcotest.to_alcotest prop_ibinop_matches_int64;
+          QCheck_alcotest.to_alcotest prop_icmp_total_order;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "model" `Quick test_memory_model;
+          Alcotest.test_case "limit" `Quick test_memory_limit;
+          Alcotest.test_case "globals" `Quick test_globals_in_memory;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "clock" `Quick test_clock_counts_instructions;
+          Alcotest.test_case "fuel" `Quick test_fuel;
+          Alcotest.test_case "recursion limit" `Quick test_recursion_limit;
+          Alcotest.test_case "rand deterministic" `Quick test_rand_deterministic;
+          Alcotest.test_case "arrcopy/arrfill" `Quick test_arrcopy_arrfill;
+          Alcotest.test_case "print builtins" `Quick test_print_builtins;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "event stream" `Quick test_event_stream;
+          Alcotest.test_case "loop exit on return" `Quick test_loop_exit_on_return;
+        ] );
+    ]

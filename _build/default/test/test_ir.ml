@@ -1,0 +1,206 @@
+(* IR unit tests: types, builder construction, printing, structural/type
+   verification — every verifier check has a test that trips it. *)
+
+open Ir.Types
+
+let build_simple () =
+  (* fn add1(x: i64) -> i64 { return x + 1 } *)
+  let fn = Ir.Func.create ~name:"add1" ~params:[ ("x", I64) ] ~ret:(Some I64) in
+  let entry = Ir.Func.add_block ~name:"entry" fn in
+  fn.Ir.Func.entry <- entry;
+  let b = Ir.Builder.create fn in
+  Ir.Builder.position b entry;
+  let sum = Ir.Builder.add b (Param 0) (int_ 1) in
+  Ir.Builder.ret b (Some sum);
+  fn
+
+let test_types () =
+  Alcotest.(check string) "i64 name" "i64" (ty_to_string I64);
+  Alcotest.(check string) "f64 name" "f64" (ty_to_string F64);
+  Alcotest.(check string) "i1 name" "i1" (ty_to_string I1);
+  Alcotest.(check bool) "const ty int" true (const_ty (Cint 3L) = I64);
+  Alcotest.(check bool) "const ty float" true (const_ty (Cfloat 1.5) = F64);
+  Alcotest.(check bool) "const ty bool" true (const_ty (Cbool true) = I1);
+  Alcotest.(check bool) "value equal" true (equal_value (int_ 5) (int_ 5));
+  Alcotest.(check bool) "value differ" false (equal_value (int_ 5) (float_ 5.0));
+  Alcotest.(check bool) "global equal" true (equal_value (Global "g") (Global "g"));
+  Alcotest.(check bool) "nan const equal by bits" true
+    (equal_const (Cfloat Float.nan) (Cfloat Float.nan))
+
+let test_builder () =
+  let fn = build_simple () in
+  Alcotest.(check int) "one block" 1 (Ir.Func.num_blocks fn);
+  Alcotest.(check int) "two instrs" 2 (Ir.Func.num_instrs fn);
+  Alcotest.(check (list string)) "verifies" []
+    (List.map Ir.Verifier.error_to_string (Ir.Verifier.verify_func fn));
+  (match Ir.Func.terminator fn 0 with
+  | Some t -> (
+      match t.Ir.Instr.kind with
+      | Ir.Instr.Ret (Some _) -> ()
+      | _ -> Alcotest.fail "expected ret")
+  | None -> Alcotest.fail "no terminator");
+  Alcotest.(check bool) "value_ty of param" true
+    (Ir.Func.value_ty fn (Param 0) = Some I64);
+  Alcotest.(check bool) "value_ty of reg" true (Ir.Func.value_ty fn (Reg 0) = Some I64)
+
+let test_instr_helpers () =
+  let k = Ir.Instr.Ibinop (Ir.Instr.Add, Param 0, int_ 1) in
+  Alcotest.(check int) "operands" 2 (List.length (Ir.Instr.operands k));
+  Alcotest.(check bool) "not terminator" false (Ir.Instr.is_terminator k);
+  Alcotest.(check bool) "has result" true (Ir.Instr.has_result k);
+  Alcotest.(check bool) "br is terminator" true (Ir.Instr.is_terminator (Ir.Instr.Br 0));
+  Alcotest.(check (list int)) "br successors" [ 3 ] (Ir.Instr.successors (Ir.Instr.Br 3));
+  Alcotest.(check (list int)) "condbr successors" [ 1; 2 ]
+    (Ir.Instr.successors (Ir.Instr.Cond_br (bool_ true, 1, 2)));
+  Alcotest.(check (list int)) "condbr same target dedup" [ 1 ]
+    (Ir.Instr.successors (Ir.Instr.Cond_br (bool_ true, 1, 1)));
+  (* map_operands rewrites every operand *)
+  let mapped =
+    Ir.Instr.map_operands (fun _ -> int_ 7) (Ir.Instr.Select (bool_ true, int_ 1, int_ 2))
+  in
+  Alcotest.(check bool) "map_operands" true
+    (Ir.Instr.operands mapped = [ int_ 7; int_ 7; int_ 7 ]);
+  let retargeted = Ir.Instr.retarget_successor ~from_:2 ~to_:9 (Ir.Instr.Cond_br (bool_ true, 2, 3)) in
+  Alcotest.(check (list int)) "retarget" [ 9; 3 ] (Ir.Instr.successors retargeted)
+
+let test_printer () =
+  let fn = build_simple () in
+  let s = Ir.Pp.func_to_string fn in
+  Alcotest.(check bool) "mentions fn name" true
+    (Astring_contains.contains s "@add1");
+  Alcotest.(check bool) "mentions add" true (Astring_contains.contains s "add i64");
+  Alcotest.(check bool) "mentions ret" true (Astring_contains.contains s "ret")
+
+let expect_error ~what fn =
+  let errs = Ir.Verifier.verify_func fn in
+  Alcotest.(check bool)
+    (Printf.sprintf "error mentioning %S reported" what)
+    true
+    (List.exists
+       (fun e -> Astring_contains.contains (Ir.Verifier.error_to_string e) what)
+       errs)
+
+let test_verifier_missing_terminator () =
+  let fn = Ir.Func.create ~name:"f" ~params:[] ~ret:None in
+  let entry = Ir.Func.add_block fn in
+  fn.Ir.Func.entry <- entry;
+  ignore (Ir.Func.append_instr fn entry ~ty:(Some I64) (Ir.Instr.Ibinop (Ir.Instr.Add, int_ 1, int_ 2)));
+  expect_error ~what:"not a terminator" fn
+
+let test_verifier_empty_block () =
+  let fn = Ir.Func.create ~name:"f" ~params:[] ~ret:None in
+  let entry = Ir.Func.add_block fn in
+  fn.Ir.Func.entry <- entry;
+  expect_error ~what:"no terminator" fn
+
+let test_verifier_type_mismatch () =
+  let fn = Ir.Func.create ~name:"f" ~params:[] ~ret:None in
+  let entry = Ir.Func.add_block fn in
+  fn.Ir.Func.entry <- entry;
+  ignore
+    (Ir.Func.append_instr fn entry ~ty:(Some I64)
+       (Ir.Instr.Ibinop (Ir.Instr.Add, int_ 1, float_ 2.0)));
+  ignore (Ir.Func.append_instr fn entry ~ty:None (Ir.Instr.Ret None));
+  expect_error ~what:"expected i64" fn
+
+let test_verifier_bad_target () =
+  let fn = Ir.Func.create ~name:"f" ~params:[] ~ret:None in
+  let entry = Ir.Func.add_block fn in
+  fn.Ir.Func.entry <- entry;
+  ignore (Ir.Func.append_instr fn entry ~ty:None (Ir.Instr.Br 42));
+  expect_error ~what:"out of range" fn
+
+let test_verifier_ret_mismatch () =
+  let fn = Ir.Func.create ~name:"f" ~params:[] ~ret:(Some I64) in
+  let entry = Ir.Func.add_block fn in
+  fn.Ir.Func.entry <- entry;
+  ignore (Ir.Func.append_instr fn entry ~ty:None (Ir.Instr.Ret None));
+  expect_error ~what:"ret void in non-void" fn
+
+let test_verifier_phi_after_body () =
+  let fn = Ir.Func.create ~name:"f" ~params:[] ~ret:None in
+  let entry = Ir.Func.add_block fn in
+  fn.Ir.Func.entry <- entry;
+  ignore
+    (Ir.Func.append_instr fn entry ~ty:(Some I64)
+       (Ir.Instr.Ibinop (Ir.Instr.Add, int_ 1, int_ 2)));
+  ignore
+    (Ir.Func.append_instr fn entry ~ty:(Some I64) (Ir.Instr.Phi [| (0, int_ 1) |]));
+  ignore (Ir.Func.append_instr fn entry ~ty:None (Ir.Instr.Ret None));
+  expect_error ~what:"after non-phi" fn
+
+let test_verifier_duplicate_phi_pred () =
+  let fn = Ir.Func.create ~name:"f" ~params:[] ~ret:None in
+  let entry = Ir.Func.add_block fn in
+  fn.Ir.Func.entry <- entry;
+  ignore
+    (Ir.Func.append_instr fn entry ~ty:(Some I64)
+       (Ir.Instr.Phi [| (0, int_ 1); (0, int_ 2) |]));
+  ignore (Ir.Func.append_instr fn entry ~ty:None (Ir.Instr.Ret None));
+  expect_error ~what:"duplicate phi predecessor" fn
+
+let test_verifier_icmp_mixed () =
+  let fn = Ir.Func.create ~name:"f" ~params:[] ~ret:None in
+  let entry = Ir.Func.add_block fn in
+  fn.Ir.Func.entry <- entry;
+  ignore
+    (Ir.Func.append_instr fn entry ~ty:(Some I1)
+       (Ir.Instr.Icmp (Ir.Instr.Ieq, int_ 1, bool_ true)));
+  ignore (Ir.Func.append_instr fn entry ~ty:None (Ir.Instr.Ret None));
+  expect_error ~what:"icmp operand types" fn
+
+let test_verifier_duplicate_function () =
+  let m = Ir.Func.create_module () in
+  Ir.Func.add_func m (build_simple ());
+  Ir.Func.add_func m (build_simple ());
+  Alcotest.(check bool) "dup function flagged" true
+    (List.exists
+       (fun e -> Astring_contains.contains (Ir.Verifier.error_to_string e) "duplicate")
+       (Ir.Verifier.verify_module m))
+
+let test_replace_all_uses () =
+  let fn = build_simple () in
+  (* replace the add result with the constant 9 in the ret *)
+  Ir.Func.replace_all_uses fn ~old_id:0 ~with_:(int_ 9);
+  match Ir.Func.terminator fn 0 with
+  | Some { Ir.Instr.kind = Ir.Instr.Ret (Some v); _ } ->
+      Alcotest.(check bool) "ret now constant" true (equal_value v (int_ 9))
+  | _ -> Alcotest.fail "expected ret"
+
+let test_builtins_metadata () =
+  Alcotest.(check bool) "sqrt pure" true
+    ((Option.get (Ir.Builtins.find "sqrt")).Ir.Builtins.safety = Ir.Builtins.Pure);
+  Alcotest.(check bool) "rand global-state" true
+    ((Option.get (Ir.Builtins.find "rand")).Ir.Builtins.safety = Ir.Builtins.Global_state);
+  Alcotest.(check bool) "print_int io" true
+    ((Option.get (Ir.Builtins.find "print_int")).Ir.Builtins.safety = Ir.Builtins.Io);
+  Alcotest.(check bool) "arrcopy thread-safe" true
+    ((Option.get (Ir.Builtins.find "arrcopy")).Ir.Builtins.safety = Ir.Builtins.Thread_safe);
+  Alcotest.(check bool) "unknown builtin" true (Ir.Builtins.find "nope" = None);
+  Alcotest.(check string) "safety name" "pure" (Ir.Builtins.safety_name Ir.Builtins.Pure)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "construct",
+        [
+          Alcotest.test_case "types" `Quick test_types;
+          Alcotest.test_case "builder" `Quick test_builder;
+          Alcotest.test_case "instr helpers" `Quick test_instr_helpers;
+          Alcotest.test_case "printer" `Quick test_printer;
+          Alcotest.test_case "replace_all_uses" `Quick test_replace_all_uses;
+          Alcotest.test_case "builtins metadata" `Quick test_builtins_metadata;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "missing terminator" `Quick test_verifier_missing_terminator;
+          Alcotest.test_case "empty block" `Quick test_verifier_empty_block;
+          Alcotest.test_case "type mismatch" `Quick test_verifier_type_mismatch;
+          Alcotest.test_case "bad branch target" `Quick test_verifier_bad_target;
+          Alcotest.test_case "ret mismatch" `Quick test_verifier_ret_mismatch;
+          Alcotest.test_case "phi after body" `Quick test_verifier_phi_after_body;
+          Alcotest.test_case "duplicate phi pred" `Quick test_verifier_duplicate_phi_pred;
+          Alcotest.test_case "icmp mixed types" `Quick test_verifier_icmp_mixed;
+          Alcotest.test_case "duplicate function" `Quick test_verifier_duplicate_function;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Cost-model unit tests (paper §III-B): DOALL, Partial-DOALL with the 80%
+   conflict cutoff and phase accounting, the HELIX formula and its serial
+   cutoff — plus cross-model invariants as properties. *)
+
+(* conflicts: (consumer iteration, delta); the producer defaults to the
+   immediately preceding iteration. [far_conflicts] takes explicit
+   producers for the phase-commit tests. *)
+let input ?(conflicts = []) ?(far_conflicts = []) ?(reg_sync_delta = 0.0)
+    ?(serial_static = false) costs =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (k, d) -> Hashtbl.replace tbl k (d, k - 1)) conflicts;
+  List.iter (fun (k, d, prod) -> Hashtbl.replace tbl k (d, prod)) far_conflicts;
+  {
+    Loopa.Model.iter_costs = Array.of_list costs;
+    conflicts = tbl;
+    reg_sync_delta;
+    serial_static;
+  }
+
+let ckf = Alcotest.testable Fmt.float (fun a b -> abs_float (a -. b) < 1e-9)
+
+let check_cost name want got =
+  match (want, got) with
+  | None, None -> ()
+  | Some w, Some g -> Alcotest.check ckf name w g
+  | Some _, None -> Alcotest.failf "%s: expected parallel, got serial" name
+  | None, Some g -> Alcotest.failf "%s: expected serial, got %f" name g
+
+let test_doall () =
+  (* conflict-free: cost = slowest iteration *)
+  check_cost "clean" (Some 5.0) (Loopa.Model.doall_cost (input [ 3.0; 5.0; 2.0 ]));
+  (* any conflict abandons *)
+  check_cost "one conflict" None
+    (Loopa.Model.doall_cost (input ~conflicts:[ (1, 0.0) ] [ 3.0; 5.0; 2.0 ]));
+  (* static serialization *)
+  check_cost "static" None (Loopa.Model.doall_cost (input ~serial_static:true [ 3.0; 5.0 ]));
+  (* a single iteration cannot profit *)
+  check_cost "singleton" None (Loopa.Model.doall_cost (input [ 9.0 ]))
+
+let test_pdoall_phases () =
+  (* Figure 1b: conflict at iteration 2 of [4;4;4;4]: phase 1 = max(4,4)=4,
+     phase 2 = max(4,4)=4 -> 8 *)
+  check_cost "two phases" (Some 8.0)
+    (Loopa.Model.pdoall_cost (input ~conflicts:[ (2, 0.0) ] [ 4.0; 4.0; 4.0; 4.0 ]));
+  (* no conflicts: like DOALL *)
+  check_cost "clean" (Some 4.0) (Loopa.Model.pdoall_cost (input [ 4.0; 1.0; 2.0 ]));
+  (* conflict on iteration 0 opens a phase immediately: cost still max *)
+  check_cost "conflict at 0" (Some 4.0)
+    (Loopa.Model.pdoall_cost (input ~conflicts:[ (0, 0.0) ] [ 4.0; 1.0; 2.0 ]));
+  (* consecutive adjacent conflicts: every iteration restarts, so the raw
+     phase cost equals serial and Model.cost reports it as serial *)
+  check_cost "all conflict raw" (Some 4.0)
+    (Loopa.Model.pdoall_cost
+       (input ~conflicts:[ (1, 0.0); (2, 0.0); (3, 0.0) ] [ 1.0; 1.0; 1.0; 1.0 ]));
+  Alcotest.(check bool) "all conflict not better than serial" true
+    (Loopa.Model.cost Loopa.Config.Pdoall
+       (input ~conflicts:[ (1, 0.0); (2, 0.0); (3, 0.0) ] [ 1.0; 1.0; 1.0; 1.0 ])
+    = None)
+
+let test_pdoall_commit_satisfies () =
+  (* every iteration reads what iteration 0 wrote: one restart commits the
+     producer, after which the remaining reads are satisfied -> 2 phases *)
+  let inp =
+    input
+      ~far_conflicts:(List.init 8 (fun i -> (i + 2, 0.0, 0)))
+      (List.init 10 (fun _ -> 3.0))
+  in
+  check_cost "single producer" (Some 6.0) (Loopa.Model.pdoall_cost inp);
+  (* but a chain (each iteration reads its predecessor) stays serial *)
+  let chain = input ~conflicts:(List.init 9 (fun i -> (i + 1, 0.0))) (List.init 10 (fun _ -> 3.0)) in
+  check_cost "chain serial" None (Loopa.Model.pdoall_cost chain)
+
+let test_pdoall_cutoff () =
+  (* 10 iterations: 8 conflicts = exactly 80% -> still allowed;
+     9 conflicts > 80% -> serial *)
+  let costs = List.init 10 (fun _ -> 2.0) in
+  let conflicts n = List.init n (fun i -> (i + 1, 0.0)) in
+  Alcotest.(check bool) "80% allowed" true
+    (Loopa.Model.pdoall_cost (input ~conflicts:(conflicts 8) costs) <> None);
+  Alcotest.(check bool) "90% serial" true
+    (Loopa.Model.pdoall_cost (input ~conflicts:(conflicts 9) costs) = None)
+
+let test_helix () =
+  (* HELIX_time = slowest + delta * n *)
+  check_cost "formula" (Some (5.0 +. (0.5 *. 4.0)))
+    (Loopa.Model.helix_cost
+       (input ~conflicts:[ (1, 0.5); (3, 0.25) ] [ 5.0; 4.0; 3.0; 2.0 ]));
+  (* register sync contributes to delta_largest *)
+  check_cost "reg sync" (Some (5.0 +. (1.5 *. 2.0)))
+    (Loopa.Model.helix_cost (input ~reg_sync_delta:1.5 [ 5.0; 4.0 ]));
+  (* static serialization still wins *)
+  check_cost "static" None (Loopa.Model.helix_cost (input ~serial_static:true [ 5.0; 4.0 ]))
+
+let test_model_serial_cutoff () =
+  (* Model.cost returns None when the parallel estimate >= serial time.
+     Here: slowest 4 + delta 4*2 = 12 >= serial 8. *)
+  Alcotest.(check bool) "helix worse than serial -> None" true
+    (Loopa.Model.cost Loopa.Config.Helix (input ~conflicts:[ (1, 4.0) ] [ 4.0; 4.0 ])
+    = None);
+  (* and Some when strictly better *)
+  Alcotest.(check bool) "helix better -> Some" true
+    (Loopa.Model.cost Loopa.Config.Helix (input ~conflicts:[ (1, 0.5) ] [ 4.0; 4.0 ])
+    <> None)
+
+(* ---- properties ---- *)
+
+let gen_input =
+  QCheck.Gen.(
+    let* n = int_range 2 30 in
+    let* costs = list_repeat n (map float_of_int (int_range 1 20)) in
+    let* conflict_iters = list_size (int_range 0 n) (int_range 1 (n - 1)) in
+    let* deltas = list_repeat (List.length conflict_iters) (map float_of_int (int_range 0 10)) in
+    let+ prods = list_repeat (List.length conflict_iters) (int_range 0 (n - 1)) in
+    let far =
+      List.map2 (fun (k, d) p -> (k, d, min p (k - 1))) (List.combine conflict_iters deltas) prods
+    in
+    input ~far_conflicts:far costs)
+
+let serial inp = Loopa.Model.serial_cost inp
+
+let prop_pdoall_bounds =
+  QCheck.Test.make ~name:"pdoall between slowest-iter and serial" ~count:300
+    (QCheck.make gen_input) (fun inp ->
+      match Loopa.Model.pdoall_cost inp with
+      | None -> true
+      | Some c -> c >= Loopa.Model.slowest_iter inp -. 1e-9 && c <= serial inp +. 1e-9)
+
+let prop_helix_at_least_slowest =
+  QCheck.Test.make ~name:"helix >= slowest iteration" ~count:300 (QCheck.make gen_input)
+    (fun inp ->
+      match Loopa.Model.helix_cost inp with
+      | None -> true
+      | Some c -> c >= Loopa.Model.slowest_iter inp -. 1e-9)
+
+let prop_model_cost_beats_serial =
+  QCheck.Test.make ~name:"Model.cost only reports beating serial" ~count:300
+    (QCheck.make gen_input) (fun inp ->
+      List.for_all
+        (fun m ->
+          match Loopa.Model.cost m inp with
+          | None -> true
+          | Some c -> c < serial inp)
+        [ Loopa.Config.Doall; Loopa.Config.Pdoall; Loopa.Config.Helix ])
+
+let prop_doall_cleanest =
+  QCheck.Test.make ~name:"doall parallel implies pdoall parallel" ~count:300
+    (QCheck.make gen_input) (fun inp ->
+      match Loopa.Model.doall_cost inp with
+      | None -> true
+      | Some d -> (
+          match Loopa.Model.pdoall_cost inp with
+          | Some p -> p <= d +. 1e-9
+          | None -> false))
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "doall" `Quick test_doall;
+          Alcotest.test_case "pdoall phases" `Quick test_pdoall_phases;
+          Alcotest.test_case "pdoall commit satisfies" `Quick test_pdoall_commit_satisfies;
+          Alcotest.test_case "pdoall 80% cutoff" `Quick test_pdoall_cutoff;
+          Alcotest.test_case "helix formula" `Quick test_helix;
+          Alcotest.test_case "serial cutoff" `Quick test_model_serial_cutoff;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_pdoall_bounds;
+          QCheck_alcotest.to_alcotest prop_helix_at_least_slowest;
+          QCheck_alcotest.to_alcotest prop_model_cost_beats_serial;
+          QCheck_alcotest.to_alcotest prop_doall_cleanest;
+        ] );
+    ]

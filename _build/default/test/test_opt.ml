@@ -1,0 +1,275 @@
+(* Optimization passes: constant folding (incl. branch folding and algebraic
+   identities), DCE, CFG simplification — unit behaviour plus the decisive
+   property that the pipeline preserves semantics on every suite benchmark. *)
+
+let compile src = Frontend.compile_exn src
+
+let run_module m = Interp.Machine.run_main (Interp.Machine.create m)
+
+let optimized_clock src =
+  let m = compile src in
+  Opt.Pipeline.run_module m;
+  let out = run_module m in
+  (out.Interp.Machine.clock, String.trim out.Interp.Machine.output)
+
+let plain_clock src =
+  let out = run_module (compile src) in
+  (out.Interp.Machine.clock, String.trim out.Interp.Machine.output)
+
+let test_constfold_arithmetic () =
+  let src = "fn main() -> int { print_int(2 + 3 * 4 - 1); return 0; }" in
+  let c0, o0 = plain_clock src in
+  let c1, o1 = optimized_clock src in
+  Alcotest.(check string) "same output" o0 o1;
+  Alcotest.(check string) "folded to a constant" "13" o1;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer instructions (%d -> %d)" c0 c1)
+    true (c1 < c0)
+
+let test_constfold_identities () =
+  let src =
+    {|
+fn main() -> int {
+  var x: int = 7;
+  print_int(((x + 0) * 1 | 0) ^ 0);
+  return 0;
+}
+|}
+  in
+  let c0, o0 = plain_clock src in
+  let c1, o1 = optimized_clock src in
+  Alcotest.(check string) "same output" o0 o1;
+  Alcotest.(check bool) "identities removed" true (c1 < c0)
+
+let test_branch_folding () =
+  let src =
+    {|
+fn main() -> int {
+  if (1 < 2) { print_int(10); } else { print_int(20); }
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  Opt.Pipeline.run_module m;
+  let fn = Option.get (Ir.Func.find_func m "main") in
+  let has_cond_br =
+    Ir.Func.fold_instrs
+      (fun acc i ->
+        acc || match i.Ir.Instr.kind with Ir.Instr.Cond_br _ -> true | _ -> false)
+      false fn
+  in
+  Alcotest.(check bool) "conditional branch folded away" false has_cond_br;
+  Alcotest.(check string) "output preserved" "10"
+    (String.trim (run_module m).Interp.Machine.output)
+
+let test_div_by_zero_not_folded () =
+  (* folding must not erase the trap *)
+  let src = "fn main() -> int { return 1 / 0; }" in
+  let m = compile src in
+  Opt.Pipeline.run_module m;
+  match run_module m with
+  | _ -> Alcotest.fail "expected division trap to survive optimization"
+  | exception Interp.Rvalue.Runtime_error msg ->
+      Alcotest.(check bool) "still traps" true
+        (Astring_contains.contains msg "division")
+
+let test_dce_removes_dead_chain () =
+  let src =
+    {|
+fn main() -> int {
+  var dead1: int = 40 * 40;
+  var dead2: int = dead1 + dead1;   // feeds only dead code
+  var dead3: int = dead2 * 3;
+  print_int(5);
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  Opt.Constfold.run_module m;
+  let removed = Opt.Dce.run_module m in
+  Alcotest.(check bool) (Printf.sprintf "removed %d dead instrs" removed) true (removed >= 1);
+  Alcotest.(check string) "output preserved" "5"
+    (String.trim (run_module m).Interp.Machine.output)
+
+let test_dce_keeps_effects () =
+  let src =
+    {|
+global g: int = 0;
+fn bump() -> int { g = g + 1; return g; }
+fn main() -> int {
+  var unused: int = bump();   // call must survive: it has effects
+  print_int(g);
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  ignore (Opt.Dce.run_module m);
+  Alcotest.(check string) "side effect kept" "1"
+    (String.trim (run_module m).Interp.Machine.output)
+
+let test_simplify_cfg_merges () =
+  (* after branch folding, the straight-line chain should collapse *)
+  let src =
+    {|
+fn main() -> int {
+  var t: int = 0;
+  if (true) { t = 1; }
+  if (2 > 3) { t = t + 100; }
+  print_int(t);
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  let fn0 = Option.get (Ir.Func.find_func m "main") in
+  let reachable fnx =
+    let cfg = Cfg.Graph.build fnx in
+    List.length (Cfg.Graph.reachable_blocks cfg)
+  in
+  let before = reachable fn0 in
+  Opt.Pipeline.run_module m;
+  let after = reachable (Option.get (Ir.Func.find_func m "main")) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reachable blocks shrink (%d -> %d)" before after)
+    true (after < before);
+  Alcotest.(check string) "output preserved" "1"
+    (String.trim (run_module m).Interp.Machine.output)
+
+let test_licm_hoists () =
+  let src =
+    {|
+fn main() -> int {
+  var n: int = 200;
+  var k: int = 37;
+  var acc: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    var inv: int = k * k + 5;   // loop-invariant work
+    acc = acc ^ (inv + i);
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  let moved = Opt.Licm.run_module m in
+  Alcotest.(check bool) (Printf.sprintf "hoisted %d instrs" moved) true (moved >= 2);
+  Alcotest.(check int) "ssa still valid" 0 (List.length (Cfg.Ssa_check.check_module m));
+  let c1, o1 = (fun out -> (out.Interp.Machine.clock, String.trim out.Interp.Machine.output)) (run_module m) in
+  let c0, o0 = plain_clock src in
+  Alcotest.(check string) "output preserved" o0 o1;
+  Alcotest.(check bool)
+    (Printf.sprintf "cheaper (%d -> %d)" c0 c1)
+    true (c1 < c0)
+
+let test_licm_keeps_traps_in_place () =
+  (* a division inside a loop that never executes must not be hoisted into
+     the (always executed) preheader *)
+  let src =
+    {|
+fn main() -> int {
+  var zero: int = 0;
+  var acc: int = 0;
+  for (var i: int = 0; i < 10; i = i + 1) {
+    if (i > 100) { acc = acc + 5 / zero; }
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  ignore (Opt.Licm.run_module m);
+  Alcotest.(check string) "no spurious trap" "0"
+    (String.trim (run_module m).Interp.Machine.output)
+
+(* The decisive test: on every suite benchmark, the optimized module produces
+   the same output with no more instructions, and still passes both
+   verifiers and the downstream limit study. *)
+let test_pipeline_preserves_suite_semantics () =
+  List.iter
+    (fun (b : Suites.Suite.benchmark) ->
+      let m0 = compile b.Suites.Suite.source in
+      let out0 =
+        Interp.Machine.run_main (Interp.Machine.create ~fuel:100_000_000 m0)
+      in
+      let m1 = compile b.Suites.Suite.source in
+      Opt.Pipeline.run_module m1;
+      Alcotest.(check int)
+        (b.Suites.Suite.name ^ " ssa valid after opt")
+        0
+        (List.length (Cfg.Ssa_check.check_module m1));
+      let out1 =
+        Interp.Machine.run_main (Interp.Machine.create ~fuel:100_000_000 m1)
+      in
+      Alcotest.(check string)
+        (b.Suites.Suite.name ^ " output preserved")
+        out0.Interp.Machine.output out1.Interp.Machine.output;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s cost not increased (%d -> %d)" b.Suites.Suite.name
+           out0.Interp.Machine.clock out1.Interp.Machine.clock)
+        true
+        (out1.Interp.Machine.clock <= out0.Interp.Machine.clock))
+    (Suites.Suite.all ())
+
+let test_optimized_analysis_runs () =
+  let b = Option.get (Suites.Suite.find "456_hmmer") in
+  let a = Loopa.Driver.analyze_source ~optimize:true b.Suites.Suite.source in
+  let r = Loopa.Driver.evaluate a Loopa.Config.best_helix in
+  Alcotest.(check bool) "speedup sane" true (r.Loopa.Evaluate.speedup >= 1.0)
+
+(* Property: random arithmetic statements fold to the same value the
+   interpreter computes unoptimized. *)
+let gen_expr_src =
+  QCheck.Gen.(
+    let rec expr n =
+      if n = 0 then map string_of_int (int_range (-50) 50)
+      else
+        let* op = oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+        let* l = expr (n / 2) in
+        let+ r = expr (n / 2) in
+        Printf.sprintf "(%s %s %s)" l op r
+    in
+    expr 4)
+
+let prop_fold_agrees_with_interp =
+  QCheck.Test.make ~name:"constant folding agrees with the interpreter" ~count:100
+    (QCheck.make gen_expr_src) (fun e ->
+      let src = Printf.sprintf "fn main() -> int { print_int(%s); return 0; }" e in
+      let _, o0 = plain_clock src in
+      let _, o1 = optimized_clock src in
+      o0 = o1)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "constfold",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_constfold_arithmetic;
+          Alcotest.test_case "identities" `Quick test_constfold_identities;
+          Alcotest.test_case "branch folding" `Quick test_branch_folding;
+          Alcotest.test_case "div-by-zero survives" `Quick test_div_by_zero_not_folded;
+          QCheck_alcotest.to_alcotest prop_fold_agrees_with_interp;
+        ] );
+      ( "dce",
+        [
+          Alcotest.test_case "dead chain" `Quick test_dce_removes_dead_chain;
+          Alcotest.test_case "effects kept" `Quick test_dce_keeps_effects;
+        ] );
+      ( "cfg",
+        [ Alcotest.test_case "merges straight-line" `Quick test_simplify_cfg_merges ] );
+      ( "licm",
+        [
+          Alcotest.test_case "hoists invariants" `Quick test_licm_hoists;
+          Alcotest.test_case "traps stay conditional" `Quick test_licm_keeps_traps_in_place;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "suite semantics preserved" `Slow
+            test_pipeline_preserves_suite_semantics;
+          Alcotest.test_case "optimized analysis" `Quick test_optimized_analysis_runs;
+        ] );
+    ]

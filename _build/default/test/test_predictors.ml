@@ -1,0 +1,131 @@
+(* Value predictors (paper §III-C): each predictor on characteristic streams,
+   the 2-delta hysteresis, FCM periodic patterns, and the perfect-hybrid
+   union property. *)
+
+let hit_count p stream =
+  List.length (List.filter Fun.id (Predictors.Predictor.hits p stream))
+
+let range a b = List.init (b - a) (fun i -> Int64.of_int (a + i))
+
+let test_last_value () =
+  let p = Predictors.Last_value.create () in
+  (* constant stream: everything after the first is a hit *)
+  Alcotest.(check int) "constant stream" 9
+    (hit_count p (List.init 10 (fun _ -> 7L)));
+  (* strided stream: never correct *)
+  Alcotest.(check int) "stride stream" 0 (hit_count p (range 0 10))
+
+let test_stride () =
+  let p = Predictors.Stride.create () in
+  (* after two samples the stride locks on: 8 of 10 hit *)
+  Alcotest.(check int) "stride stream" 8 (hit_count p (range 0 10));
+  Alcotest.(check int) "constant stream" 9
+    (hit_count p (List.init 10 (fun _ -> 3L)))
+
+let test_two_delta_filters_noise () =
+  let p2 = Predictors.Two_delta.create () in
+  let ps = Predictors.Stride.create () in
+  (* a stride-1 stream with a single glitch: 0 1 2 3 99 4 5 6 7 8.
+     Plain stride mispredicts twice after the glitch (stride jumps to 96,
+     then to -95); 2-delta keeps predicting stride 1 and recovers faster. *)
+  let glitchy = [ 0L; 1L; 2L; 3L; 99L; 4L; 5L; 6L; 7L; 8L ] in
+  let h2 = hit_count p2 glitchy and hs = hit_count ps glitchy in
+  Alcotest.(check bool)
+    (Printf.sprintf "2-delta (%d) >= stride (%d) on glitchy stream" h2 hs)
+    true (h2 >= hs);
+  (* but a persistent stride change is adopted after two observations *)
+  let shifted = [ 0L; 1L; 2L; 10L; 18L; 26L; 34L ] in
+  Alcotest.(check bool) "adopts new stride" true (hit_count p2 shifted >= 2)
+
+let test_fcm_periodic () =
+  let p = Predictors.Fcm.create () in
+  (* period-3 pattern: FCM learns it after one period, the others cannot *)
+  let pattern = List.concat (List.init 8 (fun _ -> [ 5L; 9L; 2L ])) in
+  let fcm_hits = hit_count p pattern in
+  Alcotest.(check bool)
+    (Printf.sprintf "fcm learns period-3 (%d hits)" fcm_hits)
+    true (fcm_hits >= 15);
+  let s = Predictors.Stride.create () in
+  Alcotest.(check bool) "stride cannot" true (hit_count s pattern <= 2)
+
+let test_predictor_reset () =
+  let p = Predictors.Last_value.create () in
+  ignore (Predictors.Predictor.hits p [ 1L; 1L ]);
+  p.Predictors.Predictor.reset ();
+  Alcotest.(check (option int64)) "reset clears" None (p.Predictors.Predictor.predict ())
+
+let test_accuracy () =
+  let p = Predictors.Last_value.create () in
+  let acc = Predictors.Predictor.accuracy p (List.init 10 (fun _ -> 4L)) in
+  Alcotest.(check bool) "accuracy 0.9" true (abs_float (acc -. 0.9) < 1e-9)
+
+let test_hybrid_union () =
+  let h = Predictors.Hybrid.create () in
+  (* strided stream: stride component covers it *)
+  Alcotest.(check bool) "hybrid covers stride" true
+    (List.length (List.filter Fun.id (Predictors.Hybrid.hits h (range 0 20))) >= 17);
+  Predictors.Hybrid.reset h;
+  (* constant stream: last-value covers it *)
+  Alcotest.(check bool) "hybrid covers constant" true
+    (List.length
+       (List.filter Fun.id (Predictors.Hybrid.hits h (List.init 20 (fun _ -> 6L))))
+    >= 19)
+
+(* Property: the hybrid hits at least as often as any single component run
+   over the same stream (perfect hybridization = union). *)
+let prop_hybrid_dominates =
+  QCheck.Test.make ~name:"hybrid >= each component" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 40) (int_bound 20))
+    (fun xs ->
+      let stream = List.map Int64.of_int xs in
+      let hybrid_hits =
+        List.length
+          (List.filter Fun.id (Predictors.Hybrid.hits (Predictors.Hybrid.create ()) stream))
+      in
+      List.for_all
+        (fun mk ->
+          let p = mk () in
+          hit_count p stream <= hybrid_hits)
+        [
+          Predictors.Last_value.create;
+          Predictors.Stride.create;
+          Predictors.Two_delta.create;
+          (fun () -> Predictors.Fcm.create ());
+        ])
+
+let prop_perfect_stream_no_misses =
+  QCheck.Test.make ~name:"affine streams: at most 2 initial misses" ~count:100
+    QCheck.(pair (int_range (-50) 50) (int_range (-20) 20))
+    (fun (start, step) ->
+      let stream = List.init 20 (fun i -> Int64.of_int (start + (i * step))) in
+      let h = Predictors.Hybrid.create () in
+      let misses = List.length (List.filter not (Predictors.Hybrid.hits h stream)) in
+      misses <= 2)
+
+let test_bits_of_rv () =
+  Alcotest.(check int64) "int bits" 5L (Predictors.Hybrid.bits_of_rv (Interp.Rvalue.Vint 5L));
+  Alcotest.(check int64) "bool bits" 1L
+    (Predictors.Hybrid.bits_of_rv (Interp.Rvalue.Vbool true));
+  Alcotest.(check int64) "float bits" (Int64.bits_of_float 2.5)
+    (Predictors.Hybrid.bits_of_rv (Interp.Rvalue.Vfloat 2.5))
+
+let () =
+  Alcotest.run "predictors"
+    [
+      ( "components",
+        [
+          Alcotest.test_case "last-value" `Quick test_last_value;
+          Alcotest.test_case "stride" `Quick test_stride;
+          Alcotest.test_case "2-delta" `Quick test_two_delta_filters_noise;
+          Alcotest.test_case "fcm periodic" `Quick test_fcm_periodic;
+          Alcotest.test_case "reset" `Quick test_predictor_reset;
+          Alcotest.test_case "accuracy" `Quick test_accuracy;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "union coverage" `Quick test_hybrid_union;
+          Alcotest.test_case "bits_of_rv" `Quick test_bits_of_rv;
+          QCheck_alcotest.to_alcotest prop_hybrid_dominates;
+          QCheck_alcotest.to_alcotest prop_perfect_stream_no_misses;
+        ] );
+    ]

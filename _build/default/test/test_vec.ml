@@ -1,0 +1,98 @@
+(* Unit + property tests for the growable vector the whole stack builds on. *)
+
+let test_basics () =
+  let v = Ir.Vec.create ~dummy:0 in
+  Alcotest.(check int) "empty length" 0 (Ir.Vec.length v);
+  Alcotest.(check bool) "is_empty" true (Ir.Vec.is_empty v);
+  Ir.Vec.push v 10;
+  Ir.Vec.push v 20;
+  Ir.Vec.push v 30;
+  Alcotest.(check int) "length" 3 (Ir.Vec.length v);
+  Alcotest.(check int) "get 0" 10 (Ir.Vec.get v 0);
+  Alcotest.(check int) "get 2" 30 (Ir.Vec.get v 2);
+  Alcotest.(check int) "last" 30 (Ir.Vec.last v);
+  Ir.Vec.set v 1 99;
+  Alcotest.(check int) "set/get" 99 (Ir.Vec.get v 1);
+  Alcotest.(check int) "pop" 30 (Ir.Vec.pop v);
+  Alcotest.(check int) "length after pop" 2 (Ir.Vec.length v);
+  Ir.Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Ir.Vec.length v)
+
+let test_bounds () =
+  let v = Ir.Vec.create ~dummy:0 in
+  Ir.Vec.push v 1;
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Ir.Vec.get v 1));
+  Alcotest.check_raises "get negative" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Ir.Vec.get v (-1)));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set: index out of bounds")
+    (fun () -> Ir.Vec.set v 5 0);
+  Ir.Vec.clear v;
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Ir.Vec.pop v));
+  Alcotest.check_raises "last empty" (Invalid_argument "Vec.last: empty") (fun () ->
+      ignore (Ir.Vec.last v))
+
+let test_push_idx_and_iter () =
+  let v = Ir.Vec.create ~dummy:(-1) in
+  for i = 0 to 99 do
+    Alcotest.(check int) "push_idx returns slot" i (Ir.Vec.push_idx v (i * 2))
+  done;
+  let sum = ref 0 in
+  Ir.Vec.iter (fun x -> sum := !sum + x) v;
+  Alcotest.(check int) "iter sum" (2 * (99 * 100 / 2)) !sum;
+  let isum = ref 0 in
+  Ir.Vec.iteri (fun i x -> isum := !isum + (x - (2 * i))) v;
+  Alcotest.(check int) "iteri aligned" 0 !isum;
+  Alcotest.(check int) "fold_left" !sum (Ir.Vec.fold_left ( + ) 0 v)
+
+let test_search () =
+  let v = Ir.Vec.of_list ~dummy:0 [ 5; 3; 8; 1 ] in
+  Alcotest.(check bool) "exists" true (Ir.Vec.exists (fun x -> x = 8) v);
+  Alcotest.(check bool) "not exists" false (Ir.Vec.exists (fun x -> x = 9) v);
+  Alcotest.(check bool) "for_all" true (Ir.Vec.for_all (fun x -> x < 10) v);
+  Alcotest.(check (option int)) "find_opt" (Some 8) (Ir.Vec.find_opt (fun x -> x > 5) v);
+  Alcotest.(check (option int)) "find_opt none" None (Ir.Vec.find_opt (fun x -> x > 50) v)
+
+let test_map () =
+  let v = Ir.Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  let w = Ir.Vec.map ~dummy:"" string_of_int v in
+  Alcotest.(check (list string)) "map" [ "1"; "2"; "3" ] (Ir.Vec.to_list w)
+
+(* Property: to_list (of_list xs) = xs, and push preserves prior contents
+   across growth boundaries. *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs -> Ir.Vec.to_list (Ir.Vec.of_list ~dummy:0 xs) = xs)
+
+let prop_array_agrees =
+  QCheck.Test.make ~name:"to_array agrees with to_list" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let v = Ir.Vec.of_list ~dummy:0 xs in
+      Array.to_list (Ir.Vec.to_array v) = Ir.Vec.to_list v)
+
+let prop_push_pop =
+  QCheck.Test.make ~name:"push then pop is identity" ~count:200
+    QCheck.(pair (list small_int) small_int)
+    (fun (xs, x) ->
+      let v = Ir.Vec.of_list ~dummy:0 xs in
+      Ir.Vec.push v x;
+      Ir.Vec.pop v = x && Ir.Vec.to_list v = xs)
+
+let () =
+  Alcotest.run "vec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "push_idx/iter" `Quick test_push_idx_and_iter;
+          Alcotest.test_case "search" `Quick test_search;
+          Alcotest.test_case "map" `Quick test_map;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_array_agrees; prop_push_pop ] );
+    ]
