@@ -111,6 +111,8 @@ let print_report ~show_loops (r : Loopa.Evaluate.report) =
   Printf.printf "limit speedup : %.2fx\n" r.Loopa.Evaluate.speedup;
   Printf.printf "coverage      : %.1f%% of instructions inside parallel loops\n"
     r.Loopa.Evaluate.coverage_pct;
+  Printf.printf "static doall  : %.1f%% of instructions inside statically proven loops\n"
+    r.Loopa.Evaluate.static_coverage_pct;
   if show_loops > 0 then begin
     let t =
       Report.Table.create
@@ -135,17 +137,51 @@ let print_report ~show_loops (r : Loopa.Evaluate.report) =
     print_endline (Report.Table.render t)
   end
 
+let static_dep_arg =
+  Arg.(
+    value & flag
+    & info [ "static-dep" ]
+        ~doc:
+          "Dump the static dependence tester's per-loop verdicts (proven-doall, \
+           proven-lcd with witness, or unknown) before the report.")
+
+let print_static_verdicts (ms : Loopa.Classify.module_static) =
+  let t = Report.Table.create [ "loop"; "depth"; "trip"; "pairs"; "verdict" ] in
+  Hashtbl.fold (fun _ fs acc -> fs :: acc) ms.Loopa.Classify.funcs []
+  |> List.sort (fun a b -> compare a.Loopa.Classify.fname b.Loopa.Classify.fname)
+  |> List.iter (fun (fs : Loopa.Classify.func_static) ->
+         Array.iter
+           (fun (ls : Loopa.Classify.loop_static) ->
+             let d = ls.Loopa.Classify.dep in
+             Report.Table.add_row t
+               [
+                 Printf.sprintf "%s/bb%d" fs.Loopa.Classify.fname ls.Loopa.Classify.header;
+                 string_of_int ls.Loopa.Classify.depth;
+                 (match ls.Loopa.Classify.trip with
+                 | Some n -> Int64.to_string n
+                 | None -> "?");
+                 Printf.sprintf "%d/%d" d.Deptest.Analysis.n_refuted
+                   d.Deptest.Analysis.n_pairs;
+                 Deptest.Analysis.verdict_to_string d.Deptest.Analysis.verdict;
+               ])
+           fs.Loopa.Classify.loops);
+  print_endline (Report.Table.render t);
+  print_newline ()
+
 let analyze_cmd =
-  let run target config fuel loops optimize =
+  let run target config fuel loops optimize static_dep =
     handle_errors (fun () ->
         let cfg = Loopa.Config.of_string config in
         let a = Loopa.Driver.analyze_source ~fuel ~optimize (read_program target) in
+        if static_dep then print_static_verdicts a.Loopa.Driver.ms;
         print_report ~show_loops:loops (Loopa.Driver.evaluate a cfg))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the limit study on a program under one configuration.")
-    Term.(const run $ target_arg $ config_arg $ fuel_arg $ loops_arg $ optimize_arg)
+    Term.(
+      const run $ target_arg $ config_arg $ fuel_arg $ loops_arg $ optimize_arg
+      $ static_dep_arg)
 
 (* ---- sweep ---- *)
 
@@ -153,7 +189,9 @@ let sweep_cmd =
   let run target fuel =
     handle_errors (fun () ->
         let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
-        let t = Report.Table.create [ "configuration"; "speedup"; "coverage %" ] in
+        let t =
+          Report.Table.create [ "configuration"; "speedup"; "coverage %"; "static %" ]
+        in
         List.iter
           (fun cfg ->
             let r = Loopa.Driver.evaluate a cfg in
@@ -162,6 +200,7 @@ let sweep_cmd =
                 Loopa.Config.name cfg;
                 Printf.sprintf "%.2f" r.Loopa.Evaluate.speedup;
                 Printf.sprintf "%.1f" r.Loopa.Evaluate.coverage_pct;
+                Printf.sprintf "%.1f" r.Loopa.Evaluate.static_coverage_pct;
               ])
           Loopa.Config.figure_ladder;
         print_endline (Report.Table.render t))

@@ -36,6 +36,29 @@ let check_func (fn : Ir.Func.t) : error list =
           if Graph.is_reachable cfg b.Ir.Func.bid then
             match i.Ir.Instr.kind with
             | Ir.Instr.Phi incoming ->
+                (* Completeness: every reachable CFG predecessor must have an
+                   incoming entry, or execution along that edge has no value
+                   to pick. (Ir.Verifier checks the converse: every named
+                   predecessor is structurally real.) *)
+                List.iter
+                  (fun pred ->
+                    if
+                      Graph.is_reachable cfg pred
+                      && not (Array.exists (fun (p, _) -> p = pred) incoming)
+                    then
+                      errs :=
+                        {
+                          in_func = fn.Ir.Func.fname;
+                          use_instr = use_id;
+                          operand = use_id;
+                          reason =
+                            Printf.sprintf
+                              "as a phi missing an incoming entry for reachable \
+                               predecessor bb%d"
+                              pred;
+                        }
+                        :: !errs)
+                  (Graph.predecessors cfg b.Ir.Func.bid);
                 Array.iter
                   (fun (pred, v) ->
                     match v with

@@ -28,7 +28,8 @@ type loop_static = {
   depth : int;
   parent : int option;
   phis : phi_info array;
-  trip_bound : unit; (* reserved *)
+  trip : int64 option; (* static header-arrival count (Scev.Trip_count) *)
+  dep : Deptest.Analysis.summary; (* static memory-dependence verdict *)
 }
 
 type func_static = {
@@ -115,7 +116,11 @@ let latch_def_of (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) lid phi_id : int option 
              else None)
   | _ -> None
 
-let analyze_func ~pure (fn : Ir.Func.t) : func_static =
+(* [call_effect] summarises the memory effect of each callee for the static
+   dependence tester; the default trusts builtin safety classes and assumes
+   the worst of user calls. *)
+let analyze_func ?(call_effect = Deptest.Analysis.default_call_effect) ~pure
+    (fn : Ir.Func.t) : func_static =
   let cfg = Cfg.Graph.build fn in
   let dom = Cfg.Dom.compute cfg in
   let li = Cfg.Loopinfo.compute cfg dom in
@@ -134,13 +139,16 @@ let analyze_func ~pure (fn : Ir.Func.t) : func_static =
                  })
           |> Array.of_list
         in
+        let lid = l.Cfg.Loopinfo.lid in
+        let trip = Scev.Trip_count.of_loop fn li scev lid in
         {
-          lid = l.Cfg.Loopinfo.lid;
+          lid;
           header = l.Cfg.Loopinfo.header;
           depth = l.Cfg.Loopinfo.depth;
           parent = l.Cfg.Loopinfo.parent;
           phis;
-          trip_bound = ();
+          trip;
+          dep = Deptest.Analysis.analyze_loop fn li scev ~lid ~trip ~call_effect;
         })
       (Array.of_list (Cfg.Loopinfo.loops li))
   in
@@ -148,11 +156,21 @@ let analyze_func ~pure (fn : Ir.Func.t) : func_static =
 
 let analyze_module (m : Ir.Func.modul) : module_static =
   let purity = compute_purity m in
+  (* Pure user functions never store (their loads still count as reads);
+     everything else may read and write arbitrary memory. *)
+  let call_effect name =
+    match Ir.Builtins.find name with
+    | Some s -> Deptest.Analysis.builtin_effect s
+    | None ->
+        if Option.value ~default:false (Hashtbl.find_opt purity name) then
+          Deptest.Analysis.Reads
+        else Deptest.Analysis.Reads_writes
+  in
   let funcs = Hashtbl.create 16 in
   List.iter
     (fun fn ->
       let pure = Option.value ~default:false (Hashtbl.find_opt purity fn.Ir.Func.fname) in
-      Hashtbl.replace funcs fn.Ir.Func.fname (analyze_func ~pure fn))
+      Hashtbl.replace funcs fn.Ir.Func.fname (analyze_func ~call_effect ~pure fn))
     m.Ir.Func.funcs;
   { modul = m; funcs }
 
@@ -171,11 +189,24 @@ let watched_phis (ls : loop_static) : phi_info list =
          | Reduction _ | Non_computable -> true)
 
 (* Build the interpreter watch plan plus the def->phis reverse map used by
-   the profiler to time producer instructions. *)
-let watch_plan_of (fs : func_static) : Interp.Events.watch_plan * (int, int list) Hashtbl.t
-    =
+   the profiler to time producer instructions. With [prune_proven_doall]
+   (the default), loops statically proven free of cross-iteration memory RAW
+   are dropped from the memory-event stream — they cannot contribute
+   conflicts, so the evaluation is unchanged while the interpreter skips
+   their address tracking entirely. *)
+let watch_plan_of ?(prune_proven_doall = true) (fs : func_static) :
+    Interp.Events.watch_plan * (int, int list) Hashtbl.t =
   let plan = Interp.Events.empty_watch_plan fs.fn in
   let def_to_phis = Hashtbl.create 16 in
+  if prune_proven_doall then
+    Array.iter
+      (fun ls ->
+        match ls.dep.Deptest.Analysis.verdict with
+        | Deptest.Analysis.Proven_doall ->
+            if ls.lid < Array.length plan.Interp.Events.mem_lids then
+              plan.Interp.Events.mem_lids.(ls.lid) <- false
+        | Deptest.Analysis.Proven_lcd _ | Deptest.Analysis.Unknown -> ())
+      fs.loops;
   Array.iter
     (fun ls ->
       List.iter

@@ -1,0 +1,58 @@
+(* Soundness cross-validation of the static dependence tester against the
+   dynamic detector: a loop the static side proved DOALL must never record a
+   cross-iteration memory RAW at run time. Used in debug/test mode (the fuzz
+   suite runs it on every random program).
+
+   The profile must be collected WITHOUT pruning
+   (Driver.profile_module ~static_prune:false); with pruning on, Proven_doall
+   invocations skip address tracking, so an unsound verdict could hide from
+   this check instead of being caught by it. *)
+
+type violation = {
+  fname : string;
+  lid : int;
+  header : int;
+  inv_id : int;
+  n_mem_deps : int; (* dynamic RAW manifestations the static side denied *)
+}
+
+let violation_to_string v =
+  Printf.sprintf
+    "%s/bb%d (loop %d, invocation %d): statically Proven_doall but %d dynamic memory \
+     RAW manifestation(s)"
+    v.fname v.header v.lid v.inv_id v.n_mem_deps
+
+let check (p : Profile.profile) : violation list =
+  let out = ref [] in
+  Array.iter
+    (fun (inv : Profile.inv) ->
+      let fs = Classify.func_static p.Profile.ms inv.Profile.fname in
+      let ls = fs.Classify.loops.(inv.Profile.lid) in
+      match ls.Classify.dep.Deptest.Analysis.verdict with
+      | Deptest.Analysis.Proven_doall
+        when inv.Profile.n_mem_deps > 0 || Hashtbl.length inv.Profile.mem_conflicts > 0
+        ->
+          out :=
+            {
+              fname = inv.Profile.fname;
+              lid = inv.Profile.lid;
+              header = ls.Classify.header;
+              inv_id = inv.Profile.inv_id;
+              n_mem_deps = inv.Profile.n_mem_deps;
+            }
+            :: !out
+      | _ -> ())
+    p.Profile.invs;
+  List.rev !out
+
+exception Unsound of string
+
+(* Fail loudly on the first unsound Proven_doall verdict. *)
+let check_exn (p : Profile.profile) : unit =
+  match check p with
+  | [] -> ()
+  | vs ->
+      raise
+        (Unsound
+           ("static dependence verdicts contradicted by execution:\n"
+           ^ String.concat "\n" (List.map violation_to_string vs)))

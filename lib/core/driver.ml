@@ -17,18 +17,21 @@ let prepare ?(optimize = false) (m : Ir.Func.modul) : Classify.module_static =
   Classify.analyze_module m
 
 (* Execute the instrumented program once, collecting the profile all
-   configurations are evaluated against. *)
-let profile_module ?(fuel = 2_000_000_000) ?make_predictor
+   configurations are evaluated against. [static_prune] (default true) lets
+   statically Proven_doall loops skip dynamic address tracking — sound
+   because such loops cannot record conflicts anyway; pass false to collect
+   the unpruned profile (e.g. for Crosscheck). *)
+let profile_module ?(fuel = 2_000_000_000) ?make_predictor ?(static_prune = true)
     (ms : Classify.module_static) : Profile.profile =
   let def_maps = Hashtbl.create 16 in
   let watch_plans = Hashtbl.create 16 in
   Hashtbl.iter
     (fun fname fs ->
-      let plan, defs = Classify.watch_plan_of fs in
+      let plan, defs = Classify.watch_plan_of ~prune_proven_doall:static_prune fs in
       Hashtbl.replace watch_plans fname plan;
       Hashtbl.replace def_maps fname defs)
     ms.Classify.funcs;
-  let profiler = Profile.create ?make_predictor ms ~def_maps in
+  let profiler = Profile.create ?make_predictor ~static_prune ms ~def_maps in
   let machine =
     Interp.Machine.create ~hooks:(Profile.hooks_of profiler) ~fuel
       ~watch:(fun fname -> Hashtbl.find_opt watch_plans fname)
@@ -42,14 +45,16 @@ let profile_module ?(fuel = 2_000_000_000) ?make_predictor
     outcome;
   }
 
-let analyze_source ?fuel ?make_predictor ?optimize (src : string) : analysis =
+let analyze_source ?fuel ?make_predictor ?optimize ?static_prune (src : string) :
+    analysis =
   let m = Frontend.compile_exn src in
   let ms = prepare ?optimize m in
-  { ms; profile = profile_module ?fuel ?make_predictor ms }
+  { ms; profile = profile_module ?fuel ?make_predictor ?static_prune ms }
 
-let analyze_module ?fuel ?make_predictor ?optimize (m : Ir.Func.modul) : analysis =
+let analyze_module ?fuel ?make_predictor ?optimize ?static_prune (m : Ir.Func.modul) :
+    analysis =
   let ms = prepare ?optimize m in
-  { ms; profile = profile_module ?fuel ?make_predictor ms }
+  { ms; profile = profile_module ?fuel ?make_predictor ?static_prune ms }
 
 let evaluate ?knobs (a : analysis) (config : Config.t) : Evaluate.report =
   (match Config.validate config with

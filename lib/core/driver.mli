@@ -11,10 +11,15 @@ type analysis = { ms : Classify.module_static; profile : Profile.profile }
 val prepare : ?optimize:bool -> Ir.Func.modul -> Classify.module_static
 
 (** Execute the instrumented program once and collect the dynamic profile.
-    [fuel] bounds the interpreted instruction count (default 2e9). *)
+    [fuel] bounds the interpreted instruction count (default 2e9).
+    [static_prune] (default true) drops statically Proven_doall loops from
+    the memory-event stream — sound for evaluation, since such loops never
+    record conflicts; pass false to collect the unpruned profile (what
+    {!Crosscheck} validates against). *)
 val profile_module :
   ?fuel:int ->
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
+  ?static_prune:bool ->
   Classify.module_static ->
   Profile.profile
 
@@ -25,6 +30,7 @@ val analyze_source :
   ?fuel:int ->
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?optimize:bool ->
+  ?static_prune:bool ->
   string ->
   analysis
 
@@ -33,6 +39,7 @@ val analyze_module :
   ?fuel:int ->
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?optimize:bool ->
+  ?static_prune:bool ->
   Ir.Func.modul ->
   analysis
 

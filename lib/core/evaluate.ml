@@ -18,6 +18,7 @@ type loop_result = {
   mem_dep_manifestations : int;
   conflicting_iterations : int;
   total_iterations : int;
+  static_verdict : Deptest.Analysis.verdict; (* the compile-time side's call *)
 }
 
 type report = {
@@ -26,6 +27,10 @@ type report = {
   parallel_cost : float;
   speedup : float;
   coverage_pct : float; (* % of dynamic instructions inside parallel loops *)
+  static_coverage_pct : float;
+      (* % of dynamic instructions inside loops the static dependence tester
+         proved DOALL — the static-vs-dynamic parallelism gap, configuration
+         independent *)
   loops : loop_result list; (* sorted by serial cost, descending *)
 }
 
@@ -66,8 +71,15 @@ let evaluate ?(knobs = default_knobs) (p : Profile.profile) (config : Config.t) 
   let covered = Array.make n 0.0 in
   let child_savings : float array option array = Array.make n None in
   let child_covered = Array.make n 0.0 in
+  let static_covered = Array.make n 0.0 in
+  let child_static = Array.make n 0.0 in
   let is_parallel = Array.make n false in
   let prog_savings = ref 0.0 and prog_covered = ref 0.0 in
+  let prog_static = ref 0.0 in
+  let static_verdict_of (inv : Profile.inv) =
+    let fs = Classify.func_static p.Profile.ms inv.Profile.fname in
+    fs.Classify.loops.(inv.Profile.lid).Classify.dep.Deptest.Analysis.verdict
+  in
   for id = n - 1 downto 0 do
     let inv = p.Profile.invs.(id) in
     let raw = Profile.iter_costs inv in
@@ -158,6 +170,10 @@ let evaluate ?(knobs = default_knobs) (p : Profile.profile) (config : Config.t) 
     final.(id) <- f;
     is_parallel.(id) <- (match model_cost with Some c -> c < serial_reduced | None -> false);
     covered.(id) <- (if is_parallel.(id) then raw_total else child_covered.(id));
+    static_covered.(id) <-
+      (match static_verdict_of inv with
+      | Deptest.Analysis.Proven_doall -> raw_total
+      | Deptest.Analysis.Proven_lcd _ | Deptest.Analysis.Unknown -> child_static.(id));
     (* Propagate savings and coverage to the parent. *)
     let saving = raw_total -. f in
     if inv.Profile.parent >= 0 then begin
@@ -172,11 +188,14 @@ let evaluate ?(knobs = default_knobs) (p : Profile.profile) (config : Config.t) 
       in
       sav.(inv.Profile.parent_iter) <- sav.(inv.Profile.parent_iter) +. saving;
       child_covered.(inv.Profile.parent) <-
-        child_covered.(inv.Profile.parent) +. covered.(id)
+        child_covered.(inv.Profile.parent) +. covered.(id);
+      child_static.(inv.Profile.parent) <-
+        child_static.(inv.Profile.parent) +. static_covered.(id)
     end
     else begin
       prog_savings := !prog_savings +. saving;
-      prog_covered := !prog_covered +. covered.(id)
+      prog_covered := !prog_covered +. covered.(id);
+      prog_static := !prog_static +. static_covered.(id)
     end
   done;
   (* Aggregate per static loop. *)
@@ -202,6 +221,7 @@ let evaluate ?(knobs = default_knobs) (p : Profile.profile) (config : Config.t) 
             mem_dep_manifestations = 0;
             conflicting_iterations = 0;
             total_iterations = 0;
+            static_verdict = ls.Classify.dep.Deptest.Analysis.verdict;
           }
     in
     let raw_total = float_of_int (inv.Profile.end_clock - inv.Profile.start_clock) in
@@ -238,5 +258,7 @@ let evaluate ?(knobs = default_knobs) (p : Profile.profile) (config : Config.t) 
     speedup = float_of_int total /. parallel_cost;
     coverage_pct =
       (if total > 0 then 100.0 *. !prog_covered /. float_of_int total else 0.0);
+    static_coverage_pct =
+      (if total > 0 then 100.0 *. !prog_static /. float_of_int total else 0.0);
     loops;
   }

@@ -16,6 +16,8 @@ type loop_result = {
   mem_dep_manifestations : int;
   conflicting_iterations : int;
   total_iterations : int;
+  static_verdict : Deptest.Analysis.verdict;
+      (** the static dependence tester's call for this loop *)
 }
 
 type report = {
@@ -26,6 +28,9 @@ type report = {
   coverage_pct : float;
       (** % of dynamic instructions executed inside a loop marked parallel
           (paper Figure 5) *)
+  static_coverage_pct : float;
+      (** % of dynamic instructions inside loops statically proven DOALL —
+          the static-vs-dynamic parallelism gap, configuration independent *)
   loops : loop_result list;  (** sorted by serial cost, descending *)
 }
 

@@ -50,6 +50,9 @@ type inv = {
   last_write : (int, int * int) Hashtbl.t; (* addr -> (iter, clock) *)
   mutable call_mask : int;
   mutable n_mem_deps : int; (* count of cross-iteration RAW manifestations *)
+  track_mem : bool;
+      (* false when the loop is statically Proven_doall and pruning is on:
+         this invocation skips address tracking (it cannot conflict) *)
 }
 
 let n_iters inv = Ir.Vec.length inv.iter_starts
@@ -76,6 +79,7 @@ type t = {
   mutable call_stack : string list;
   def_maps : (string, (int, int list) Hashtbl.t) Hashtbl.t; (* fname -> def->phis *)
   make_predictor : unit -> Predictors.Hybrid.t; (* predictor bank (ablation) *)
+  static_prune : bool; (* honor Proven_doall verdicts when tracking memory *)
 }
 
 let dummy_inv =
@@ -93,10 +97,11 @@ let dummy_inv =
     last_write = Hashtbl.create 1;
     call_mask = 0;
     n_mem_deps = 0;
+    track_mem = true;
   }
 
 let create ?(make_predictor = fun () -> Predictors.Hybrid.create ())
-    (ms : Classify.module_static) ~def_maps : t =
+    ?(static_prune = true) (ms : Classify.module_static) ~def_maps : t =
   {
     ms;
     invs = Ir.Vec.create ~dummy:dummy_inv;
@@ -104,6 +109,7 @@ let create ?(make_predictor = fun () -> Predictors.Hybrid.create ())
     call_stack = [];
     def_maps;
     make_predictor;
+    static_prune;
   }
 
 let current_fname t =
@@ -163,6 +169,13 @@ let on_loop_enter t ~lid ~clock =
     | p :: _ -> (p.inv_id, cur_iter p)
     | [] -> (-1, 0)
   in
+  let track_mem =
+    (not t.static_prune)
+    ||
+    match ls.Classify.dep.Deptest.Analysis.verdict with
+    | Deptest.Analysis.Proven_doall -> false
+    | Deptest.Analysis.Proven_lcd _ | Deptest.Analysis.Unknown -> true
+  in
   let inv =
     {
       inv_id = Ir.Vec.length t.invs;
@@ -175,9 +188,10 @@ let on_loop_enter t ~lid ~clock =
       iter_starts = Ir.Vec.create ~dummy:0;
       mem_conflicts = Hashtbl.create 8;
       tracks = Array.of_list (List.map (new_track t) (Classify.watched_phis ls));
-      last_write = Hashtbl.create 64;
+      last_write = Hashtbl.create (if track_mem then 64 else 1);
       call_mask = 0;
       n_mem_deps = 0;
+      track_mem;
     }
   in
   Ir.Vec.push inv.iter_starts clock;
@@ -214,6 +228,7 @@ let on_loop_exit t ~lid ~clock =
 let on_mem_access t ~addr ~is_write ~clock =
   List.iter
     (fun inv ->
+      if inv.track_mem then
       let k = cur_iter inv in
       if is_write then Hashtbl.replace inv.last_write addr (k, clock)
       else

@@ -1,0 +1,107 @@
+(* Access collection: resolve every Load/Store address in a loop body to the
+   affine form  base-invariant + stride * iteration  via SCEV, and attach a
+   base-object classification used for alias partitioning when the symbolic
+   parts of two addresses do not cancel.
+
+   Base objects and the disjointness they license rest on two documented
+   assumptions (DESIGN.md "Static dependence testing"): address arithmetic
+   does not wrap, and every access made through a base stays inside the
+   object that base points to (the Looplang frontend only ever derives
+   addresses as array-base + index, so this is the LLVM inbounds-GEP
+   discipline by construction). Under those assumptions:
+
+   - two distinct allocation sites are disjoint (the allocator never reuses
+     addresses: the heap break only grows);
+   - an allocation site is disjoint from any address already live at
+     function entry (params, global cells) — freshness;
+   - two distinct scalar global cells are disjoint (each is one word).
+
+   Everything else — in particular two different array parameters — may
+   alias and falls through to the conservative [Unknown] verdict unless the
+   symbolic bases cancel exactly. *)
+
+type base =
+  | Alloc_site of int (* instr id of the Alloc the address derives from *)
+  | Global_cell of string (* the one-word cell of a scalar global *)
+  | Sym_param of int (* an address handed in as parameter [i] *)
+  | Sym of Ir.Types.value (* some other loop-invariant SSA value *)
+  | Absolute (* numeric constant address *)
+  | Unknown_base
+
+type t = {
+  instr_id : int;
+  is_write : bool;
+  inv : Scev.Expr.t; (* loop-invariant part of the address *)
+  stride : int64; (* coefficient of this loop's canonical iteration *)
+  base : base;
+}
+
+let base_to_string = function
+  | Alloc_site id -> Printf.sprintf "alloc@%%%d" id
+  | Global_cell g -> Printf.sprintf "global@%s" g
+  | Sym_param i -> Printf.sprintf "param%d" i
+  | Sym v -> Printf.sprintf "sym(%s)" (Ir.Pp.value_to_string v)
+  | Absolute -> "absolute"
+  | Unknown_base -> "?"
+
+(* Classify the base object of an invariant address part. Strong claims only
+   for the shape  [constant +] leaf  — a pointer plus a constant offset; any
+   scaled or multi-leaf combination is Unknown_base. *)
+let base_of_inv (fn : Ir.Func.t) (inv : Scev.Expr.t) : base =
+  let leaf v ~const_off =
+    match v with
+    | Ir.Types.Reg id -> (
+        match Ir.Func.kind fn id with
+        | Ir.Instr.Alloc _ -> Alloc_site id
+        | _ -> Sym v)
+    | Ir.Types.Param i -> Sym_param i
+    | Ir.Types.Global g -> if const_off then Sym v else Global_cell g
+    | Ir.Types.Const _ -> Absolute
+  in
+  match inv with
+  | Scev.Expr.Const _ -> Absolute
+  | Scev.Expr.Unknown v -> leaf v ~const_off:false
+  | Scev.Expr.Add [ Scev.Expr.Const _; Scev.Expr.Unknown v ] -> leaf v ~const_off:true
+  | _ -> Unknown_base
+
+(* Can the objects behind two accesses be proven address-disjoint? Global
+   cells additionally require both accesses to stay on the cell itself
+   (stride 0), since the "object" is a single word. *)
+let provably_disjoint (a : t) (b : t) : bool =
+  match (a.base, b.base) with
+  | Alloc_site x, Alloc_site y -> x <> y
+  | Alloc_site _, (Global_cell _ | Sym_param _) | (Global_cell _ | Sym_param _), Alloc_site _
+    ->
+      true
+  | Global_cell x, Global_cell y -> x <> y && a.stride = 0L && b.stride = 0L
+  | _ -> false
+
+(* Resolve one address value to affine form w.r.t. loop [lid] (header block
+   [header]): split the simplified SCEV into at most one add-recurrence of
+   this loop with a constant step plus a loop-invariant rest. *)
+let resolve (fn : Ir.Func.t) (sa : Scev.Analysis.t) ~(lid : int) ~(header : int)
+    ~instr_id ~is_write (addr : Ir.Types.value) : t option =
+  let e = Scev.Expr.simplify (Scev.Analysis.scev_of_value sa addr) in
+  let terms = match e with Scev.Expr.Add ts -> ts | t -> [ t ] in
+  let ours, rest =
+    List.partition
+      (function Scev.Expr.Add_rec { loop; _ } when loop = header -> true | _ -> false)
+      terms
+  in
+  let stride_start =
+    match ours with
+    | [] -> Some (0L, [])
+    | [ Scev.Expr.Add_rec { start; step = Scev.Expr.Const s; _ } ] -> Some (s, [ start ])
+    | _ -> None (* polynomial step or unmerged recurrences: not affine here *)
+  in
+  match stride_start with
+  | None -> None
+  | Some (stride, start_terms) ->
+      let inv = Scev.Expr.simplify (Scev.Expr.Add (start_terms @ rest)) in
+      if
+        Scev.Expr.contains_cannot inv
+        || Scev.Expr.contains_self inv
+        || not (Scev.Analysis.is_invariant sa inv ~lid)
+      then None
+      else
+        Some { instr_id; is_write; inv; stride; base = base_of_inv fn inv }

@@ -1,0 +1,206 @@
+(* Per-loop static memory-dependence verdicts. A loop is Proven_doall when
+   no store in any iteration can feed a load in a strictly later iteration
+   of the same invocation — i.e. no cross-iteration memory RAW, the only
+   memory ordering constraint the limit study models (lazy versioning with
+   in-order commit absorbs WAR/WAW, paper §II-D). Proven_lcd carries one
+   concrete witness pair. Everything unresolvable is Unknown and stays on
+   the dynamic detector's plate.
+
+   The soundness contract with the run-time component: on any execution, a
+   Proven_doall loop's invocations record zero RAW manifestations
+   (Loopa.Crosscheck enforces this in tests). The proof obligations are
+   discharged per (store, load) pair either by subscript testing when the
+   symbolic base parts cancel to a constant, or by base-object disjointness
+   (Access.provably_disjoint). Calls are summarised by a memory effect; any
+   unresolved effect poisons the pair side it touches. *)
+
+type call_effect =
+  | No_mem (* touches no program-visible memory *)
+  | Reads (* may load, never stores *)
+  | Reads_writes
+
+type witness = {
+  store_id : int;
+  load_id : int; (* -1 when the reader is a call, not a Load *)
+  distance : int64 option;
+  test : string;
+}
+
+type verdict = Proven_doall | Proven_lcd of witness | Unknown
+
+type summary = {
+  verdict : verdict;
+  trip : int64 option; (* static header-arrival count used by the tests *)
+  n_loads : int;
+  n_stores : int;
+  n_call_reads : int; (* calls with Reads or Reads_writes effect *)
+  n_call_writes : int; (* calls with Reads_writes effect *)
+  n_pairs : int; (* (store, load) pairs examined *)
+  n_refuted : int; (* pairs proven independent *)
+}
+
+let verdict_name = function
+  | Proven_doall -> "doall"
+  | Proven_lcd _ -> "lcd"
+  | Unknown -> "unknown"
+
+let verdict_to_string = function
+  | Proven_doall -> "proven-doall"
+  | Proven_lcd { distance = Some d; test; _ } ->
+      Printf.sprintf "proven-lcd(%s, distance=%Ld)" test d
+  | Proven_lcd { test; _ } -> Printf.sprintf "proven-lcd(%s)" test
+  | Unknown -> "unknown"
+
+(* Memory effect of a builtin, from its safety class: only the thread-safe
+   memcpy/memset analogues touch program-visible memory (through their
+   pointer arguments); IO and global-state builtins perturb the output
+   buffer or the RNG seed, which live outside addressable memory. *)
+let builtin_effect (s : Ir.Builtins.signature) : call_effect =
+  match s.Ir.Builtins.safety with
+  | Ir.Builtins.Pure | Ir.Builtins.Io | Ir.Builtins.Global_state -> No_mem
+  | Ir.Builtins.Thread_safe -> Reads_writes
+
+(* Conservative default for user calls when no purity information is
+   available. *)
+let default_call_effect (name : string) : call_effect =
+  match Ir.Builtins.find name with Some s -> builtin_effect s | None -> Reads_writes
+
+(* Split an invariant address expression into its constant offset and the
+   remaining (simplified, sorted) symbolic terms. *)
+let split_const (e : Scev.Expr.t) : int64 * Scev.Expr.t list =
+  match e with
+  | Scev.Expr.Const c -> (c, [])
+  | Scev.Expr.Add ts ->
+      let cs, rest =
+        List.partition (function Scev.Expr.Const _ -> true | _ -> false) ts
+      in
+      let c =
+        List.fold_left
+          (fun acc t ->
+            match t with Scev.Expr.Const c -> Int64.add acc c | _ -> acc)
+          0L cs
+      in
+      (c, rest)
+  | t -> (0L, [ t ])
+
+(* [lb - sb] when the symbolic parts of the two invariant bases are
+   structurally identical (simplify canonicalizes term order, so pairwise
+   equality suffices); the SCEV simplifier does not cancel like terms, so
+   this is how "same base object, constant offset apart" is detected. *)
+let const_delta ~(store : Scev.Expr.t) ~(load : Scev.Expr.t) : int64 option =
+  let cs, ts = split_const store and cl, tl = split_const load in
+  if List.length ts = List.length tl && List.for_all2 Scev.Expr.equal ts tl then
+    Some (Int64.sub cl cs)
+  else None
+
+(* Test one (store, load) pair. [n] is the header-arrival count. *)
+let test_pair ~(n : int64 option) (s : Access.t) (l : Access.t) : Subscript.result =
+  match const_delta ~store:s.Access.inv ~load:l.Access.inv with
+  | Some c -> Subscript.test ~sw:s.Access.stride ~sr:l.Access.stride ~c ~n
+  | None ->
+      if Access.provably_disjoint s l then Subscript.indep "alias"
+      else Subscript.maybe "alias"
+
+(* Analyze loop [lid] of [fn]. [call_effect] summarises the memory effect of
+   a callee by name; [trip] is the loop's static header-arrival count when
+   known (Scev.Trip_count). *)
+let analyze_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (sa : Scev.Analysis.t)
+    ~(lid : int) ~(trip : int64 option)
+    ~(call_effect : string -> call_effect) : summary =
+  let l = Cfg.Loopinfo.loop li lid in
+  let header = l.Cfg.Loopinfo.header in
+  let loads = ref [] and stores = ref [] in
+  let unresolved_loads = ref 0 and unresolved_stores = ref 0 in
+  let n_loads = ref 0 and n_stores = ref 0 in
+  let n_call_reads = ref 0 and n_call_writes = ref 0 in
+  Cfg.Loopinfo.Int_set.iter
+    (fun bid ->
+      List.iter
+        (fun id ->
+          match Ir.Func.kind fn id with
+          | Ir.Instr.Load a -> (
+              incr n_loads;
+              match Access.resolve fn sa ~lid ~header ~instr_id:id ~is_write:false a with
+              | Some acc -> loads := acc :: !loads
+              | None -> incr unresolved_loads)
+          | Ir.Instr.Store (a, _) -> (
+              incr n_stores;
+              match Access.resolve fn sa ~lid ~header ~instr_id:id ~is_write:true a with
+              | Some acc -> stores := acc :: !stores
+              | None -> incr unresolved_stores)
+          | Ir.Instr.Call (callee, _) -> (
+              match call_effect callee with
+              | No_mem -> ()
+              | Reads -> incr n_call_reads
+              | Reads_writes ->
+                  incr n_call_reads;
+                  incr n_call_writes)
+          | _ -> ())
+        (Ir.Func.block fn bid).Ir.Func.instr_ids)
+    l.Cfg.Loopinfo.body;
+  let n_pairs = ref 0 and n_refuted = ref 0 in
+  let mk ~verdict =
+    {
+      verdict;
+      trip;
+      n_loads = !n_loads;
+      n_stores = !n_stores;
+      n_call_reads = !n_call_reads;
+      n_call_writes = !n_call_writes;
+      n_pairs = !n_pairs;
+      n_refuted = !n_refuted;
+    }
+  in
+  let any_write = !n_stores > 0 || !n_call_writes > 0 in
+  let any_read = !n_loads > 0 || !n_call_reads > 0 in
+  (* A RAW needs both a write and a later read; a loop with at most one
+     header arrival has no later iteration at all. *)
+  let single_arrival = match trip with Some n -> n <= 1L | None -> false in
+  if (not any_write) || (not any_read) || single_arrival then mk ~verdict:Proven_doall
+  else if
+    !n_call_writes > 0
+    || (!n_call_reads > 0 && any_write)
+    || !unresolved_loads > 0
+    || !unresolved_stores > 0
+  then mk ~verdict:Unknown
+  else begin
+    (* every access resolved; decide pairwise *)
+    let first_dep = ref None and any_maybe = ref false in
+    List.iter
+      (fun (s : Access.t) ->
+        List.iter
+          (fun (l : Access.t) ->
+            incr n_pairs;
+            let r = test_pair ~n:trip s l in
+            match r.Subscript.verdict with
+            | Subscript.Independent -> incr n_refuted
+            | Subscript.Dependent distance ->
+                if !first_dep = None then
+                  first_dep :=
+                    Some
+                      {
+                        store_id = s.Access.instr_id;
+                        load_id = l.Access.instr_id;
+                        distance;
+                        test = r.Subscript.test;
+                      }
+            | Subscript.Maybe -> any_maybe := true)
+          !loads)
+      !stores;
+    match !first_dep with
+    | Some w -> mk ~verdict:(Proven_lcd w)
+    | None -> if !any_maybe then mk ~verdict:Unknown else mk ~verdict:Proven_doall
+  end
+
+(* A summary for loops that were never analyzed (placeholder). *)
+let unknown_summary : summary =
+  {
+    verdict = Unknown;
+    trip = None;
+    n_loads = 0;
+    n_stores = 0;
+    n_call_reads = 0;
+    n_call_writes = 0;
+    n_pairs = 0;
+    n_refuted = 0;
+  }

@@ -1,0 +1,100 @@
+(* Subscript dependence tests over affine access functions — the classic
+   ZIV / SIV / GCD lattice (Goff, Kennedy & Tseng) specialised to the one
+   question the limit study needs: can a *store* executed in iteration [i]
+   feed a *load* executed in a strictly later iteration [j] of the same
+   loop? (WAR/WAW never matter here: the study assumes lazy versioning with
+   in-order commit, so only cross-iteration RAW constrains parallelism.)
+
+   The store accesses address  sb + sw*i  and the load  lb + sr*j,  with
+   iteration indices counted per header arrival, 0 <= i < j <= n-1 when the
+   header-arrival count [n] is statically known (accesses in the header
+   itself execute on every arrival, including the final failing test, so
+   [n] is the arrival count, not the body-execution count — one iteration
+   of slack, conservative but sound). The tests solve
+
+       sw*i - sr*j = c        where c = lb - sb
+
+   and report Independent only when no integer solution exists in range. *)
+
+type verdict =
+  | Independent
+  | Dependent of int64 option (* RAW distance j - i when the test pins it *)
+  | Maybe
+
+type result = { verdict : verdict; test : string }
+
+let indep test = { verdict = Independent; test }
+let dep ?distance test = { verdict = Dependent distance; test }
+let maybe test = { verdict = Maybe; test }
+
+let rec gcd64 a b = if b = 0L then Int64.abs a else gcd64 b (Int64.rem a b)
+
+(* [test ~sw ~sr ~c ~n]: store stride [sw], load stride [sr], constant
+   address difference [c] = load base - store base, and header-arrival
+   count [n] when known. All arithmetic is exact for the word-sized
+   addresses the interpreter can actually represent; programs indexing
+   near Int64 overflow are out of model (DESIGN.md). *)
+let test ~(sw : int64) ~(sr : int64) ~(c : int64) ~(n : int64 option) : result =
+  let open Int64 in
+  match n with
+  | Some n when n <= 1L -> indep "trip" (* no pair i < j exists at all *)
+  | _ ->
+      if sw = 0L && sr = 0L then
+        (* ZIV: both addresses loop-invariant *)
+        if c = 0L then dep "ziv" else indep "ziv"
+      else
+        let g = gcd64 sw sr in
+        if rem c g <> 0L then indep "gcd"
+        else if sw = sr then begin
+          (* strong SIV: equal strides, constant dependence distance *)
+          let d = neg (div c sw) in
+          if d <= 0L then indep "strong-siv"
+          else
+            match n with
+            | Some n when d >= n -> indep "strong-siv"
+            | _ -> dep ~distance:d "strong-siv"
+        end
+        else if sr = 0L then begin
+          (* weak-zero SIV, invariant load: sw*i = c at a single iteration *)
+          let i0 = div c sw in
+          if rem c sw <> 0L || i0 < 0L then indep "weak-zero-siv"
+          else
+            match n with
+            | Some n when i0 > sub n 2L -> indep "weak-zero-siv"
+            | _ -> dep "weak-zero-siv"
+        end
+        else if sw = 0L then begin
+          (* weak-zero SIV, invariant store: sr*j = -c at a single iteration *)
+          let j0 = neg (div c sr) in
+          if rem c sr <> 0L || j0 < 1L then indep "weak-zero-siv"
+          else
+            match n with
+            | Some n when j0 > sub n 1L -> indep "weak-zero-siv"
+            | _ -> dep "weak-zero-siv"
+        end
+        else if sr = neg sw then begin
+          (* weak-crossing SIV: i + j pinned to c/sw *)
+          let k = div c sw in
+          if rem c sw <> 0L || k < 1L then indep "weak-crossing-siv"
+          else
+            match n with
+            | Some n when k > sub (mul 2L n) 3L -> indep "weak-crossing-siv"
+            | _ -> dep "weak-crossing-siv"
+        end
+        else begin
+          (* general affine pair: GCD was inconclusive; try the Banerjee-style
+             corner box over i, j in [0, n-1] *)
+          match n with
+          | None -> maybe "gcd"
+          | Some n ->
+              let m = sub n 1L in
+              let lo = add (if sw >= 0L then 0L else mul sw m) (if sr >= 0L then mul (neg sr) m else 0L) in
+              let hi = add (if sw >= 0L then mul sw m else 0L) (if sr >= 0L then 0L else mul (neg sr) m) in
+              if c < lo || c > hi then indep "banerjee" else maybe "banerjee"
+        end
+
+let verdict_to_string = function
+  | Independent -> "independent"
+  | Dependent (Some d) -> Printf.sprintf "dependent(distance=%Ld)" d
+  | Dependent None -> "dependent"
+  | Maybe -> "maybe"

@@ -44,13 +44,23 @@ let no_hooks : hooks =
 (* Which instructions of each function the listener wants reported.
    [defs] marks producers (on_watched_def); [phi_uses] maps instruction id ->
    list of watched phi ids it uses (on_watched_use); [phis] marks watched
-   header phis (on_header_phi). *)
+   header phis (on_header_phi). [mem_lids], indexed by Cfg.Loopinfo lid,
+   says whether a loop still needs the memory-event stream: the machine only
+   emits on_mem_access while at least one active loop (anywhere on the call
+   stack) wants it. Loops statically proven free of cross-iteration RAW are
+   dropped here — the watch-plan pruning of the static dependence tester. *)
 type watch_plan = {
   defs : bool array;
   phis : bool array;
   phi_uses : int list array;
+  mem_lids : bool array;
 }
 
 let empty_watch_plan (fn : Ir.Func.t) : watch_plan =
   let n = max 1 (Ir.Func.num_instrs fn) in
-  { defs = Array.make n false; phis = Array.make n false; phi_uses = Array.make n [] }
+  {
+    defs = Array.make n false;
+    phis = Array.make n false;
+    phi_uses = Array.make n [];
+    mem_lids = Array.make (max 1 (Ir.Func.num_blocks fn)) true;
+  }

@@ -29,6 +29,13 @@ type t = {
   mutable rand_state : int64;
   mutable depth : int;
   max_depth : int;
+  (* active loop invocations across the whole call stack, and how many of
+     them still want the memory-event stream; on_mem_access is suppressed
+     only while every active loop's plan pruned it *)
+  mutable active_loops : int;
+  mutable mem_watchers : int;
+  mutable mem_accesses : int; (* word accesses executed *)
+  mutable mem_events : int; (* word accesses reported through hooks *)
 }
 
 type outcome = {
@@ -36,6 +43,8 @@ type outcome = {
   clock : int;
   output : string;
   mem_words : int;
+  mem_accesses : int;
+  mem_events : int;
 }
 
 let make_plan ?watch (fn : Ir.Func.t) : func_plan =
@@ -80,6 +89,10 @@ let create ?(hooks = Events.no_hooks) ?(fuel = 2_000_000_000)
     rand_state = 88172645463325252L;
     depth = 0;
     max_depth;
+    active_loops = 0;
+    mem_watchers = 0;
+    mem_accesses = 0;
+    mem_events = 0;
   }
 
 let plan t fname =
@@ -92,6 +105,15 @@ let loopinfo t fname = (plan t fname).li
 let tick (t : t) =
   t.clock <- t.clock + 1;
   if t.clock > t.fuel then error "fuel exhausted after %d instructions" t.fuel
+
+(* Report a word access to the listener, unless every active loop's plan
+   pruned the memory stream (statically proven RAW-free). *)
+let mem_access (t : t) ~addr ~is_write =
+  t.mem_accesses <- t.mem_accesses + 1;
+  if t.mem_watchers > 0 || t.active_loops = 0 then begin
+    t.mem_events <- t.mem_events + 1;
+    t.hooks.Events.on_mem_access ~addr ~is_write ~clock:t.clock
+  end
 
 (* ---- scalar operations ---- *)
 
@@ -187,8 +209,8 @@ let exec_builtin t name (args : rv list) : rv option =
       and n = Int64.to_int (as_int n) in
       for i = 0 to n - 1 do
         tick t;
-        t.hooks.Events.on_mem_access ~addr:(src + i) ~is_write:false ~clock:t.clock;
-        t.hooks.Events.on_mem_access ~addr:(dst + i) ~is_write:true ~clock:t.clock;
+        mem_access t ~addr:(src + i) ~is_write:false;
+        mem_access t ~addr:(dst + i) ~is_write:true;
         Rvalue.store t.mem (dst + i) (Rvalue.load t.mem (src + i))
       done;
       Some (Vint (Int64.of_int n))
@@ -196,7 +218,7 @@ let exec_builtin t name (args : rv list) : rv option =
       let dst = Int64.to_int (as_int dst) and n = Int64.to_int (as_int n) in
       for i = 0 to n - 1 do
         tick t;
-        t.hooks.Events.on_mem_access ~addr:(dst + i) ~is_write:true ~clock:t.clock;
+        mem_access t ~addr:(dst + i) ~is_write:true;
         Rvalue.store t.mem (dst + i) v
       done;
       Some (Vint (Int64.of_int n))
@@ -220,10 +242,17 @@ let rec exec_func t fname (args : rv array) : rv option =
     | Ir.Types.Param i -> args.(i)
     | Ir.Types.Global g -> Vint (Int64.of_int (Rvalue.global_addr t.mem g))
   in
+  (* Each entry is (lid, wants_mem): whether this loop's plan kept the
+     memory-event stream. [t.mem_watchers] counts the active wanters
+     machine-wide, so pruned inner loops still report to a tracked outer
+     loop of any enclosing invocation. *)
+  let exit_loop (lid, wants_mem) =
+    t.active_loops <- t.active_loops - 1;
+    if wants_mem then t.mem_watchers <- t.mem_watchers - 1;
+    t.hooks.Events.on_loop_exit ~lid ~clock:t.clock
+  in
   let pop_all_loops () =
-    List.iter
-      (fun lid -> t.hooks.Events.on_loop_exit ~lid ~clock:t.clock)
-      !loop_stack;
+    List.iter exit_loop !loop_stack;
     loop_stack := []
   in
   (* Loop enter/iter/exit events for a CFG edge. *)
@@ -231,8 +260,8 @@ let rec exec_func t fname (args : rv array) : rv option =
     if from_ >= 0 then begin
       let rec pop () =
         match !loop_stack with
-        | lid :: rest when not (Cfg.Loopinfo.contains p.li lid to_) ->
-            t.hooks.Events.on_loop_exit ~lid ~clock:t.clock;
+        | ((lid, _) as top) :: rest when not (Cfg.Loopinfo.contains p.li lid to_) ->
+            exit_loop top;
             loop_stack := rest;
             pop ()
         | _ -> ()
@@ -242,9 +271,15 @@ let rec exec_func t fname (args : rv array) : rv option =
     match Cfg.Loopinfo.loop_of_header p.li to_ with
     | Some lid -> (
         match !loop_stack with
-        | top :: _ when top = lid -> t.hooks.Events.on_loop_iter ~lid ~clock:t.clock
+        | (top, _) :: _ when top = lid -> t.hooks.Events.on_loop_iter ~lid ~clock:t.clock
         | _ ->
-            loop_stack := lid :: !loop_stack;
+            let wants_mem =
+              lid >= Array.length p.watch.Events.mem_lids
+              || p.watch.Events.mem_lids.(lid)
+            in
+            t.active_loops <- t.active_loops + 1;
+            if wants_mem then t.mem_watchers <- t.mem_watchers + 1;
+            loop_stack := (lid, wants_mem) :: !loop_stack;
             t.hooks.Events.on_loop_enter ~lid ~clock:t.clock)
     | None -> ()
   in
@@ -323,12 +358,12 @@ let rec exec_func t fname (args : rv array) : rv option =
       | Ir.Instr.Fp_to_si x -> regs.(id) <- Vint (Int64.of_float (as_float (eval x)))
       | Ir.Instr.Load a ->
           let addr = Int64.to_int (as_int (eval a)) in
-          t.hooks.Events.on_mem_access ~addr ~is_write:false ~clock:t.clock;
+          mem_access t ~addr ~is_write:false;
           regs.(id) <- Rvalue.load t.mem addr
       | Ir.Instr.Store (a, v) ->
           let addr = Int64.to_int (as_int (eval a)) in
           let v = eval v in
-          t.hooks.Events.on_mem_access ~addr ~is_write:true ~clock:t.clock;
+          mem_access t ~addr ~is_write:true;
           Rvalue.store t.mem addr v
       | Ir.Instr.Alloc n ->
           let size = Int64.to_int (as_int (eval n)) in
@@ -375,4 +410,6 @@ let run_main ?(args = []) t : outcome =
     clock = t.clock;
     output = Buffer.contents t.out;
     mem_words = Rvalue.words_in_use t.mem;
+    mem_accesses = t.mem_accesses;
+    mem_events = t.mem_events;
   }

@@ -10,6 +10,10 @@ type outcome = {
   clock : int;  (** total dynamic IR instructions *)
   output : string;  (** everything the print builtins emitted *)
   mem_words : int;  (** heap high-water mark *)
+  mem_accesses : int;  (** word accesses executed *)
+  mem_events : int;
+      (** word accesses reported to hooks — lower than [mem_accesses] when
+          watch plans pruned statically proven RAW-free loops *)
 }
 
 (** [watch] supplies per-function watch plans (which instructions report

@@ -11,7 +11,10 @@ let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
-let verify_func (fn : Func.t) : error list =
+(* [funcs] resolves user callees for cross-function signature checking;
+   when absent (standalone use on a single function), user calls are only
+   checked against the builtin table. *)
+let verify_func ?(funcs : (string -> Func.t option) option) (fn : Func.t) : error list =
   let errs = ref [] in
   let err where fmt =
     Format.kasprintf (fun what -> errs := { where; what } :: !errs) fmt
@@ -77,6 +80,50 @@ let verify_func (fn : Func.t) : error list =
   let check_target where l =
     if l < 0 || l >= nblocks then err where "branch target bb%d out of range" l
   in
+  (* Structural CFG predecessors, for phi completeness. *)
+  let preds = Array.make nblocks [] in
+  Func.iter_blocks
+    (fun b ->
+      match Func.terminator fn b.Func.bid with
+      | Some t ->
+          List.iter
+            (fun s ->
+              if s >= 0 && s < nblocks then preds.(s) <- b.Func.bid :: preds.(s))
+            (Instr.successors t.Instr.kind)
+      | None -> ())
+    fn;
+  let check_call where ~result_ty callee args =
+    let check_sig ~what (sig_args : ty list) (sig_ret : ty option) =
+      let nargs = List.length args and nsig = List.length sig_args in
+      if nargs <> nsig then
+        err where "call to %s @%s expects %d argument(s), got %d" what callee nsig nargs
+      else
+        List.iteri
+          (fun k (v, want) ->
+            (* arrfill's fill value is polymorphic (i64 or f64 words) *)
+            if not (callee = "arrfill" && k = 1) then expect_ty where v want)
+          (List.combine args sig_args);
+      match (result_ty, sig_ret) with
+      | None, _ -> () (* unused result is fine *)
+      | Some t, Some r when equal_ty t r -> ()
+      | Some t, Some r ->
+          err where "call result type %s, but @%s returns %s" (ty_to_string t) callee
+            (ty_to_string r)
+      | Some _, None -> err where "call uses the result of void @%s" callee
+    in
+    match Builtins.find callee with
+    | Some s -> check_sig ~what:"builtin" s.Builtins.args s.Builtins.ret
+    | None -> (
+        match funcs with
+        | None -> () (* standalone check: no function table available *)
+        | Some lookup -> (
+            match lookup callee with
+            | Some callee_fn ->
+                check_sig ~what:"function"
+                  (List.map snd callee_fn.Func.params)
+                  callee_fn.Func.ret
+            | None -> err where "call to undefined function @%s" callee))
+  in
   Func.iter_instrs
     (fun i ->
       let where = Printf.sprintf "%s/%%%d" fn.Func.fname i.Instr.id in
@@ -113,16 +160,32 @@ let verify_func (fn : Func.t) : error list =
       | Instr.Load a -> expect_ty where a I64
       | Instr.Store (a, _) -> expect_ty where a I64
       | Instr.Alloc n -> expect_ty where n I64
-      | Instr.Call _ -> ()
+      | Instr.Call (callee, args) ->
+          check_call where ~result_ty:i.Instr.ty callee args
       | Instr.Phi incoming -> (
-          let preds = Array.map fst incoming in
-          Array.iter (fun p -> check_target where p) preds;
-          let sorted = Array.copy preds in
+          let named = Array.map fst incoming in
+          Array.iter (fun p -> check_target where p) named;
+          let sorted = Array.copy named in
           Array.sort compare sorted;
           for k = 1 to Array.length sorted - 1 do
             if sorted.(k) = sorted.(k - 1) then
               err where "duplicate phi predecessor bb%d" sorted.(k)
           done;
+          (* Completeness: the named predecessors must be exactly the
+             structural CFG predecessors of the phi's block. (Ssa_check
+             additionally scopes the missing-edge direction to reachable
+             predecessors, which matters after branch folding.) *)
+          let structural = List.sort_uniq compare preds.(i.Instr.block) in
+          Array.iter
+            (fun p ->
+              if (p >= 0 && p < nblocks) && not (List.mem p structural) then
+                err where "phi names bb%d, which is not a predecessor" p)
+            named;
+          List.iter
+            (fun p ->
+              if not (Array.exists (fun q -> q = p) named) then
+                err where "phi is missing an entry for predecessor bb%d" p)
+            structural;
           match i.Instr.ty with
           | Some t -> Array.iter (fun (_, v) -> expect_ty where v t) incoming
           | None -> err where "phi has no result type")
@@ -152,7 +215,8 @@ let verify_module (m : Func.modul) : error list =
     in
     dups names
   in
-  dup_errs @ List.concat_map verify_func m.Func.funcs
+  let lookup name = Func.find_func m name in
+  dup_errs @ List.concat_map (verify_func ~funcs:lookup) m.Func.funcs
 
 (* Raise on invalid IR; used by the driver before analysis. *)
 exception Invalid_ir of string

@@ -1,0 +1,284 @@
+(* Static memory-dependence analysis: subscript-test math on raw stride
+   equations, end-to-end per-loop verdicts on purpose-built programs, the
+   suite registry's statically provable loops, and the observability of
+   memory-event pruning (Proven_doall loops drop out of the event stream
+   without changing any evaluation result). *)
+
+let verdict_str = Deptest.Analysis.verdict_to_string
+
+(* ---- subscript test math ---- *)
+
+let sub ~sw ~sr ~c ~n = (Deptest.Subscript.test ~sw ~sr ~c ~n).Deptest.Subscript.verdict
+
+let indep = Deptest.Subscript.Independent
+
+let dep d = Deptest.Subscript.Dependent (Some d)
+
+let dep_any = Deptest.Subscript.Dependent None
+
+let check_v msg want got =
+  Alcotest.(check string) msg
+    (Deptest.Subscript.verdict_to_string want)
+    (Deptest.Subscript.verdict_to_string got)
+
+let test_ziv () =
+  (* both strides zero: same cell iff the constant offsets cancel *)
+  check_v "same cell" dep_any (sub ~sw:0L ~sr:0L ~c:0L ~n:(Some 10L));
+  check_v "distinct cells" indep (sub ~sw:0L ~sr:0L ~c:4L ~n:(Some 10L));
+  check_v "no trip needed" indep (sub ~sw:0L ~sr:0L ~c:4L ~n:None)
+
+let test_strong_siv () =
+  (* a[i+d] = .. a[i] ..: distance d, refuted when d falls outside the trip *)
+  check_v "distance 1" (dep 1L) (sub ~sw:1L ~sr:1L ~c:(-1L) ~n:(Some 100L));
+  check_v "distance 3, stride 2" (dep 3L) (sub ~sw:2L ~sr:2L ~c:(-6L) ~n:(Some 100L));
+  check_v "same iteration only" indep (sub ~sw:1L ~sr:1L ~c:0L ~n:(Some 100L));
+  check_v "backward (WAR only)" indep (sub ~sw:1L ~sr:1L ~c:8L ~n:(Some 100L));
+  check_v "distance exceeds trip" indep (sub ~sw:1L ~sr:1L ~c:(-8L) ~n:(Some 5L));
+  check_v "distance within trip" (dep 8L) (sub ~sw:1L ~sr:1L ~c:(-8L) ~n:(Some 9L));
+  check_v "unknown trip keeps it" (dep 8L) (sub ~sw:1L ~sr:1L ~c:(-8L) ~n:None);
+  check_v "non-integral distance" indep (sub ~sw:2L ~sr:2L ~c:(-3L) ~n:(Some 100L))
+
+let test_gcd () =
+  (* a[2i] vs a[2i+1]: evens never meet odds *)
+  check_v "parity split" indep (sub ~sw:2L ~sr:2L ~c:1L ~n:(Some 100L));
+  check_v "gcd divides" (dep 1L) (sub ~sw:2L ~sr:2L ~c:(-2L) ~n:(Some 100L));
+  check_v "mixed strides 4/6, c=3" indep (sub ~sw:4L ~sr:6L ~c:3L ~n:None)
+
+let test_weak_siv () =
+  (* weak-zero: one side pinned to a fixed cell *)
+  check_v "store a[i], load a[0]" dep_any (sub ~sw:1L ~sr:0L ~c:0L ~n:(Some 10L));
+  check_v "store a[0], load a[i]" indep (sub ~sw:0L ~sr:1L ~c:0L ~n:(Some 10L));
+  check_v "store a[0], load a[i-5]" dep_any (sub ~sw:0L ~sr:1L ~c:(-5L) ~n:(Some 10L));
+  check_v "pinned store past trip" indep (sub ~sw:1L ~sr:0L ~c:12L ~n:(Some 10L));
+  (* weak-crossing: a[i] vs a[n-i]-style mirrored accesses *)
+  check_v "crossing meets" dep_any (sub ~sw:1L ~sr:(-1L) ~c:4L ~n:(Some 10L));
+  check_v "crossing out of range" indep (sub ~sw:1L ~sr:(-1L) ~c:40L ~n:(Some 10L))
+
+let test_trip_bounds () =
+  (* a loop body that runs at most once cannot carry anything *)
+  check_v "trip 1" indep (sub ~sw:1L ~sr:1L ~c:(-1L) ~n:(Some 1L));
+  check_v "trip 0" indep (sub ~sw:1L ~sr:1L ~c:0L ~n:(Some 0L))
+
+let test_banerjee () =
+  (* general MIV-style strides: the corner box refutes far-apart regions *)
+  check_v "ranges overlap" Deptest.Subscript.Maybe
+    (sub ~sw:3L ~sr:5L ~c:1L ~n:(Some 100L));
+  check_v "ranges disjoint" indep (sub ~sw:1L ~sr:1L ~c:(-1000L) ~n:(Some 10L));
+  check_v "no trip, no box" Deptest.Subscript.Maybe (sub ~sw:3L ~sr:5L ~c:1L ~n:None)
+
+(* ---- end-to-end loop verdicts ---- *)
+
+let loop_summaries src =
+  let m = Frontend.compile_exn src in
+  let ms = Loopa.Driver.prepare m in
+  let fs = Loopa.Classify.func_static ms "main" in
+  Array.to_list fs.Loopa.Classify.loops
+  |> List.map (fun ls -> ls.Loopa.Classify.dep)
+
+let sole_verdict src =
+  match loop_summaries src with
+  | [ d ] -> d.Deptest.Analysis.verdict
+  | ds -> Alcotest.failf "expected exactly one loop, got %d" (List.length ds)
+
+let check_verdict msg want got = Alcotest.(check string) msg want (verdict_str got)
+
+let wrap body =
+  Printf.sprintf
+    {|
+fn main() -> int {
+  var a: int[] = new int[128];
+  var b: int[] = new int[128];
+  %s
+  print_int(a[0] + b[0]);
+  return 0;
+}
+|}
+    body
+
+let test_verdict_doall () =
+  check_verdict "a[i] = a[i] + 1" "proven-doall"
+    (sole_verdict
+       (wrap "for (var i: int = 0; i < 100; i = i + 1) { a[i] = a[i] + 1; }"))
+
+let test_verdict_lcd_distance_1 () =
+  match
+    sole_verdict
+      (wrap "for (var i: int = 0; i < 100; i = i + 1) { a[i + 1] = a[i]; }")
+  with
+  | Deptest.Analysis.Proven_lcd w ->
+      Alcotest.(check (option int64)) "distance 1" (Some 1L)
+        w.Deptest.Analysis.distance
+  | v -> Alcotest.failf "expected proven-lcd, got %s" (verdict_str v)
+
+let test_verdict_gcd () =
+  check_verdict "a[2i] = a[2i+1]" "proven-doall"
+    (sole_verdict
+       (wrap
+          "for (var i: int = 0; i < 60; i = i + 1) { a[2 * i] = a[2 * i + 1]; }"))
+
+let test_verdict_weak_zero () =
+  (* store sweeps, load pinned: iteration 0's store feeds every later load *)
+  (match
+     sole_verdict
+       (wrap "for (var i: int = 0; i < 100; i = i + 1) { a[i] = a[0] + i; }")
+   with
+  | Deptest.Analysis.Proven_lcd _ -> ()
+  | v -> Alcotest.failf "store-sweeps case: expected proven-lcd, got %s" (verdict_str v));
+  (* store pinned, load sweeps: the load never revisits cell 0 *)
+  check_verdict "a[0] = a[i]" "proven-doall"
+    (sole_verdict
+       (wrap "for (var i: int = 1; i < 100; i = i + 1) { a[0] = a[i]; }"))
+
+let test_verdict_trip_refuted () =
+  (* distance 8 cannot manifest in a 4-iteration loop *)
+  check_verdict "short trip" "proven-doall"
+    (sole_verdict
+       (wrap "for (var i: int = 0; i < 4; i = i + 1) { a[i + 8] = a[i]; }"))
+
+let test_verdict_distinct_bases () =
+  check_verdict "b[i] = a[i]" "proven-doall"
+    (sole_verdict
+       (wrap "for (var i: int = 0; i < 100; i = i + 1) { b[i] = a[i + 1]; }"))
+
+let test_verdict_calls () =
+  (* an impure user call inside a loop with loads poisons the verdict *)
+  let v =
+    match
+      loop_summaries
+        {|
+fn bump(a: int[], i: int) { a[i] = a[i] + 1; }
+fn main() -> int {
+  var a: int[] = new int[64];
+  var s: int = 0;
+  for (var i: int = 0; i < 60; i = i + 1) {
+    bump(a, i);
+    s = s + a[i];
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    with
+    | [ d ] -> d.Deptest.Analysis.verdict
+    | _ -> Alcotest.fail "expected one loop"
+  in
+  check_verdict "impure call" "unknown" v;
+  (* pure builtins and print stay out of the way *)
+  check_verdict "io builtin is no-mem" "proven-doall"
+    (sole_verdict
+       (wrap
+          "for (var i: int = 0; i < 10; i = i + 1) { a[i] = i; print_int(i); }"))
+
+(* every suite family should contain at least one statically proven loop *)
+let test_suite_families_have_doall () =
+  let by_family = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Suites.Suite.benchmark) ->
+      let fam = Suites.Suite.category_name b.Suites.Suite.category in
+      let m = Frontend.compile_exn b.Suites.Suite.source in
+      let ms = Loopa.Driver.prepare m in
+      let has_doall =
+        Hashtbl.fold
+          (fun _ fs acc ->
+            acc
+            || Array.exists
+                 (fun ls ->
+                   ls.Loopa.Classify.dep.Deptest.Analysis.verdict
+                   = Deptest.Analysis.Proven_doall)
+                 fs.Loopa.Classify.loops)
+          ms.Loopa.Classify.funcs false
+      in
+      let prev = Option.value ~default:false (Hashtbl.find_opt by_family fam) in
+      Hashtbl.replace by_family fam (prev || has_doall))
+    (Suites.Suite.all ());
+  Alcotest.(check bool) "several families" true (Hashtbl.length by_family >= 2);
+  Hashtbl.iter
+    (fun fam ok ->
+      Alcotest.(check bool) (fam ^ " has a statically proven doall loop") true ok)
+    by_family
+
+(* ---- pruning: observable and result-preserving ---- *)
+
+let pruning_src =
+  {|
+fn main() -> int {
+  var a: int[] = new int[256];
+  var h: int = 1;
+  for (var i: int = 0; i < 256; i = i + 1) { a[i] = a[i] + i; }  // proven doall
+  for (var i: int = 1; i < 256; i = i + 1) { a[i] = a[i - 1] + 1; }  // real LCD
+  h = a[255];
+  print_int(h);
+  return 0;
+}
+|}
+
+let test_pruning_observable () =
+  let pruned = Loopa.Driver.analyze_source ~static_prune:true pruning_src in
+  let full = Loopa.Driver.analyze_source ~static_prune:false pruning_src in
+  let ev a = a.Loopa.Driver.profile.Loopa.Profile.outcome.Interp.Machine.mem_events in
+  let acc a =
+    a.Loopa.Driver.profile.Loopa.Profile.outcome.Interp.Machine.mem_accesses
+  in
+  Alcotest.(check int) "same accesses executed" (acc full) (acc pruned);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer events when pruned (%d < %d)" (ev pruned) (ev full))
+    true
+    (ev pruned < ev full);
+  (* and the evaluation is identical: pruning only drops provably dead events *)
+  List.iter
+    (fun cfg ->
+      let rp = Loopa.Driver.evaluate pruned cfg in
+      let rf = Loopa.Driver.evaluate full cfg in
+      Alcotest.(check (float 1e-9))
+        ("speedup under " ^ Loopa.Config.name cfg)
+        rf.Loopa.Evaluate.speedup rp.Loopa.Evaluate.speedup;
+      Alcotest.(check (float 1e-9))
+        ("coverage under " ^ Loopa.Config.name cfg)
+        rf.Loopa.Evaluate.coverage_pct rp.Loopa.Evaluate.coverage_pct)
+    Loopa.Config.figure_ladder
+
+(* the cross-validator on an unpruned profile: no Proven_doall loop may show
+   a dynamic RAW manifestation *)
+let test_crosscheck_clean () =
+  List.iter
+    (fun (b : Suites.Suite.benchmark) ->
+      let a =
+        Loopa.Driver.analyze_source ~fuel:50_000_000 ~static_prune:false
+          b.Suites.Suite.source
+      in
+      match Loopa.Crosscheck.check a.Loopa.Driver.profile with
+      | [] -> ()
+      | vs ->
+          Alcotest.failf "%s: unsound static verdicts:\n%s" b.Suites.Suite.name
+            (String.concat "\n" (List.map Loopa.Crosscheck.violation_to_string vs)))
+    (Suites.Suite.all ())
+
+let () =
+  Alcotest.run "deptest"
+    [
+      ( "subscript",
+        [
+          Alcotest.test_case "ziv" `Quick test_ziv;
+          Alcotest.test_case "strong siv" `Quick test_strong_siv;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "weak siv" `Quick test_weak_siv;
+          Alcotest.test_case "trip bounds" `Quick test_trip_bounds;
+          Alcotest.test_case "banerjee box" `Quick test_banerjee;
+        ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "doall" `Quick test_verdict_doall;
+          Alcotest.test_case "lcd distance 1" `Quick test_verdict_lcd_distance_1;
+          Alcotest.test_case "gcd refuted" `Quick test_verdict_gcd;
+          Alcotest.test_case "weak-zero" `Quick test_verdict_weak_zero;
+          Alcotest.test_case "trip refuted" `Quick test_verdict_trip_refuted;
+          Alcotest.test_case "distinct bases" `Quick test_verdict_distinct_bases;
+          Alcotest.test_case "calls" `Quick test_verdict_calls;
+          Alcotest.test_case "suite families" `Quick test_suite_families_have_doall;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "observable and sound" `Quick test_pruning_observable;
+          Alcotest.test_case "crosscheck suites" `Slow test_crosscheck_clean;
+        ] );
+    ]

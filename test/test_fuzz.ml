@@ -2,7 +2,9 @@
    programs and check the invariants that hold for *every* program:
    - the front-end produces verifier- and dominance-clean SSA;
    - the optimization pipeline preserves output and never increases cost;
-   - the limit study runs and reports speedups >= 1 with sane coverage.
+   - the limit study runs and reports speedups >= 1 with sane coverage;
+   - no statically Proven_doall loop exhibits a dynamic memory RAW
+     (Loopa.Crosscheck, on an unpruned profile).
 
    Programs use a fixed skeleton: a handful of int scalars, one 16-element
    array (indices are masked), bounded for-loops, if/else, and a final
@@ -111,8 +113,12 @@ let check_one seed =
   if out1.Interp.Machine.clock > out0.Interp.Machine.clock then
     fail "optimization increased cost %d -> %d" out0.Interp.Machine.clock
       out1.Interp.Machine.clock;
-  (* the limit study accepts it *)
-  let a = Loopa.Driver.analyze_source ~fuel:10_000_000 src in
+  (* the limit study accepts it; collect unpruned so the soundness
+     cross-validator can see every memory event *)
+  let a = Loopa.Driver.analyze_source ~fuel:10_000_000 ~static_prune:false src in
+  (match Loopa.Crosscheck.check a.Loopa.Driver.profile with
+  | [] -> ()
+  | vs -> fail "unsound static verdict: %s" (Loopa.Crosscheck.violation_to_string (List.hd vs)));
   List.iter
     (fun cfg ->
       let r = Loopa.Driver.evaluate a cfg in
