@@ -4,9 +4,14 @@
      loopapalooza run <file|bench>         — execute a Looplang program
      loopapalooza analyze <file|bench>     — limit study under one config
      loopapalooza sweep <file|bench>       — the full Figure-2/3 config ladder
+     loopapalooza campaign <targets..>     — fault-tolerant whole-suite runs
      loopapalooza census <file|bench>      — Table-I census of the program
      loopapalooza dump-ir <file|bench>     — canonicalized SSA dump
-*)
+
+   Exit codes: 0 success; 1 compile/runtime error in the target program;
+   2 usage error (bad configuration, unknown target, bad flags);
+   3 unexpected internal error (classified and printed, never a raw
+   backtrace). *)
 
 open Cmdliner
 
@@ -16,9 +21,14 @@ let read_program target =
   | None ->
       if Sys.file_exists target then In_channel.with_open_text target In_channel.input_all
       else
+        let hint =
+          match Suites.Suite.closest target with
+          | Some name -> Printf.sprintf " (did you mean %S?)" name
+          | None -> ""
+        in
         raise
           (Invalid_argument
-             (Printf.sprintf "%S is neither a benchmark name nor a file" target))
+             (Printf.sprintf "%S is neither a benchmark name nor a file%s" target hint))
 
 let target_arg =
   Arg.(
@@ -35,9 +45,13 @@ let optimize_arg =
 let fuel_arg =
   Arg.(
     value
-    & opt int 500_000_000
-    & info [ "fuel" ] ~docv:"N" ~doc:"Abort after $(docv) interpreted instructions.")
+    & opt int Loopa.Config.default_fuel
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:"Stop (gracefully truncating) after $(docv) interpreted instructions.")
 
+(* Every subcommand body runs under this classifier: expected failures get
+   a one-line message and a documented exit code; anything unexpected is
+   still classified (exit 3) instead of escaping as a raw backtrace. *)
 let handle_errors f =
   try
     f ();
@@ -46,12 +60,32 @@ let handle_errors f =
   | Frontend.Compile_error e ->
       Printf.eprintf "compile error: %s\n" (Frontend.error_to_string e);
       1
+  | Interp.Rvalue.Trap (kind, msg) ->
+      Printf.eprintf "runtime trap (%s): %s\n"
+        (Interp.Rvalue.trap_kind_to_string kind)
+        msg;
+      1
   | Interp.Rvalue.Runtime_error msg ->
       Printf.eprintf "runtime error: %s\n" msg;
       1
   | Invalid_argument msg | Loopa.Config.Bad_config msg ->
       Printf.eprintf "error: %s\n" msg;
       2
+  | Sys_error msg ->
+      Printf.eprintf "system error: %s\n" msg;
+      2
+  | Ir.Verifier.Invalid_ir msg ->
+      Printf.eprintf "internal error: IR verifier rejected the module: %s\n" msg;
+      3
+  | Loopa.Crosscheck.Unsound msg ->
+      Printf.eprintf "internal error: %s\n" msg;
+      3
+  | Stack_overflow ->
+      Printf.eprintf "internal error: stack overflow\n";
+      3
+  | e ->
+      Printf.eprintf "internal error: unexpected exception: %s\n" (Printexc.to_string e);
+      3
 
 (* ---- list ---- *)
 
@@ -81,6 +115,11 @@ let run_cmd =
     handle_errors (fun () ->
         let out = Loopa.Driver.run_source ~fuel (read_program target) in
         print_string out.Interp.Machine.output;
+        (match out.Interp.Machine.stop with
+        | Interp.Machine.Completed -> ()
+        | stop ->
+            Printf.printf "[%s — output above is the executed prefix]\n"
+              (Interp.Machine.stop_reason_to_string stop));
         Printf.printf "[%d dynamic IR instructions, %d heap words]\n"
           out.Interp.Machine.clock out.Interp.Machine.mem_words)
   in
@@ -106,6 +145,8 @@ let loops_arg =
 
 let print_report ~show_loops (r : Loopa.Evaluate.report) =
   Printf.printf "config        : %s\n" (Loopa.Config.name r.Loopa.Evaluate.config);
+  if r.Loopa.Evaluate.truncated then
+    Printf.printf "truncated     : yes — a budget ran out; results cover the executed prefix\n";
   Printf.printf "serial cost   : %d dynamic IR instructions\n" r.Loopa.Evaluate.total_cost;
   Printf.printf "parallel cost : %.0f\n" r.Loopa.Evaluate.parallel_cost;
   Printf.printf "limit speedup : %.2fx\n" r.Loopa.Evaluate.speedup;
@@ -209,6 +250,186 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Evaluate the full Figure-2/3 configuration ladder.")
     Term.(const run $ target_arg $ fuel_arg)
 
+(* ---- campaign ---- *)
+
+(* `--inject NAME=KIND[@CLOCK]` — test-only fault injection used to prove
+   the degradation paths end-to-end. KIND: compile (corrupt the source),
+   div0, oob, fuel, depth (machine fault at the given clock, default 1000). *)
+let parse_inject spec =
+  let fail () =
+    raise
+      (Invalid_argument
+         (Printf.sprintf
+            "bad --inject %S (want NAME=KIND[@CLOCK] with KIND one of compile, div0, \
+             oob, fuel, depth)"
+            spec))
+  in
+  match String.index_opt spec '=' with
+  | None -> fail ()
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let kind, clock =
+        match String.index_opt rest '@' with
+        | None -> (rest, 1_000)
+        | Some j -> (
+            let at = String.sub rest (j + 1) (String.length rest - j - 1) in
+            match int_of_string_opt at with
+            | Some n when n >= 0 -> (String.sub rest 0 j, n)
+            | _ -> fail ())
+      in
+      let fault =
+        match kind with
+        | "compile" -> `Corrupt_source
+        | "div0" -> `Fault Interp.Machine.Inject_div_by_zero
+        | "oob" -> `Fault Interp.Machine.Inject_oob
+        | "fuel" -> `Fault Interp.Machine.Inject_fuel_out
+        | "depth" -> `Fault Interp.Machine.Inject_depth_out
+        | _ -> fail ()
+      in
+      (name, fault, clock)
+
+let print_campaign_summary (s : Campaign.Runner.summary) =
+  let t = Report.Table.create [ "target"; "status"; "attempts"; "instrs"; "wall s" ] in
+  List.iter
+    (fun (r : Campaign.Runner.result) ->
+      Report.Table.add_row t
+        [
+          r.Campaign.Runner.target;
+          Campaign.Runner.status_to_string r.Campaign.Runner.status;
+          string_of_int r.Campaign.Runner.attempts;
+          string_of_int r.Campaign.Runner.clock;
+          Printf.sprintf "%.2f" r.Campaign.Runner.wall_s;
+        ])
+    s.Campaign.Runner.results;
+  print_endline (Report.Table.render t);
+  Printf.printf "\n%d completed, %d truncated, %d failed%s\n" s.Campaign.Runner.n_completed
+    s.Campaign.Runner.n_truncated s.Campaign.Runner.n_errored
+    (if s.Campaign.Runner.n_resumed > 0 then
+       Printf.sprintf " (%d resumed from checkpoint)" s.Campaign.Runner.n_resumed
+     else "");
+  if s.Campaign.Runner.failures <> [] then begin
+    Printf.printf "failure breakdown:\n";
+    List.iter
+      (fun (cls, n) -> Printf.printf "  %-24s %d\n" cls n)
+      s.Campaign.Runner.failures
+  end;
+  if s.Campaign.Runner.geomeans <> [] then begin
+    let gt = Report.Table.create [ "configuration"; "geomean speedup" ] in
+    List.iter
+      (fun (c, g) ->
+        Report.Table.add_row gt [ Loopa.Config.name c; Printf.sprintf "%.2f" g ])
+      s.Campaign.Runner.geomeans;
+    print_newline ();
+    print_endline (Report.Table.render gt)
+  end
+
+let campaign_cmd =
+  let targets_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGETS"
+          ~doc:"Registered benchmark names or Looplang source files.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Run over the whole benchmark registry.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as JSON on stdout.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Append one JSONL line per finished task to $(docv).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Reload $(b,--checkpoint) first and skip targets already recorded.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries at reduced fuel for budget-exhausted tasks.")
+  in
+  let wall_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "wall" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt processor-time budget; exceeding it truncates the task.")
+  in
+  let inject_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "inject" ] ~docv:"NAME=KIND[@CLOCK]"
+          ~doc:
+            "Test-only fault injection for target $(i,NAME): $(b,compile) corrupts \
+             the source, $(b,div0)/$(b,oob)/$(b,fuel)/$(b,depth) fire the fault at \
+             the given clock (default 1000). Repeatable.")
+  in
+  let run targets all json checkpoint resume retries fuel wall injects =
+    handle_errors (fun () ->
+        if (not all) && targets = [] then
+          raise (Invalid_argument "campaign needs TARGETS or --all");
+        if resume && checkpoint = None then
+          raise (Invalid_argument "--resume needs --checkpoint");
+        let injects = List.map parse_inject injects in
+        let named =
+          if all then
+            List.map
+              (fun (b : Suites.Suite.benchmark) -> (b.Suites.Suite.name, b.Suites.Suite.source))
+              (Suites.Suite.all ())
+          else List.map (fun t -> (t, read_program t)) targets
+        in
+        let named =
+          List.map
+            (fun (name, src) ->
+              let corrupted =
+                List.exists (fun (n, f, _) -> n = name && f = `Corrupt_source) injects
+              in
+              (* an unbalanced brace is a guaranteed front-end error *)
+              (name, if corrupted then "} // injected compile fault\n" ^ src else src))
+            named
+        in
+        let faults_of name =
+          List.filter_map
+            (function
+              | n, `Fault f, clock when n = name -> Some (clock, f)
+              | _ -> None)
+            injects
+        in
+        let budgets =
+          {
+            Campaign.Runner.default_budgets with
+            Campaign.Runner.fuel;
+            retries;
+            wall_s = wall;
+          }
+        in
+        let log = if json then fun _ -> () else prerr_endline in
+        let summary =
+          Campaign.Runner.run ~budgets ?checkpoint ~resume ~faults_of ~log named
+        in
+        if json then
+          print_endline (Campaign.Json.to_string (Campaign.Runner.summary_to_json summary))
+        else print_campaign_summary summary)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Fault-tolerant limit-study runs over many targets: per-task isolation and \
+          budgets, graceful truncation, JSONL checkpointing and resumption.")
+    Term.(
+      const run $ targets_arg $ all_arg $ json_arg $ checkpoint_arg $ resume_arg
+      $ retries_arg $ fuel_arg $ wall_arg $ inject_arg)
+
 (* ---- census ---- *)
 
 let census_cmd =
@@ -241,4 +462,4 @@ let dump_ir_cmd =
 let () =
   let doc = "Loopapalooza: a compiler-driven limit study of loop-level parallelism" in
   let info = Cmd.info "loopapalooza" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; analyze_cmd; sweep_cmd; census_cmd; dump_ir_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; analyze_cmd; sweep_cmd; campaign_cmd; census_cmd; dump_ir_cmd ]))

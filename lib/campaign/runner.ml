@@ -1,0 +1,433 @@
+(* Campaign.Runner — fault-tolerant campaign runner: execute a set of targets through the
+   whole limit-study pipeline (compile -> prepare -> profile -> Figure-2/3
+   config ladder) with per-task isolation. One crashed, diverging, or
+   budget-exhausted program must never abort the campaign or throw away the
+   profiles already collected: every failure is captured into a structured
+   error taxonomy, every finished task is checkpointed as a JSONL line, and
+   [resume] skips work a previous (possibly killed) run already paid for. *)
+
+type error =
+  | Compile_error of string
+  | Verifier_error of string
+  | Trap of Interp.Rvalue.trap_kind * string
+  | Budget_exhausted of Interp.Rvalue.budget_kind
+  | Crash of string
+
+type score = { config : Loopa.Config.t; speedup : float; coverage_pct : float }
+
+type status =
+  | Completed of score list
+  | Truncated of Interp.Rvalue.budget_kind * score list
+      (* budget ran out mid-run: scores are over the executed prefix *)
+  | Errored of error
+
+type result = {
+  target : string;
+  status : status;
+  attempts : int;
+  clock : int; (* dynamic IR instructions the profiling run executed *)
+  wall_s : float;
+}
+
+type budgets = {
+  fuel : int;
+  mem_limit : int;
+  max_depth : int;
+  wall_s : float option; (* per-attempt processor-time budget *)
+  retries : int; (* extra attempts at reduced fuel after budget exhaustion *)
+}
+
+let default_budgets =
+  {
+    fuel = Loopa.Config.default_fuel;
+    mem_limit = 1 lsl 26;
+    max_depth = 10_000;
+    wall_s = None;
+    retries = 1;
+  }
+
+type summary = {
+  results : result list; (* target order; resumed results included *)
+  n_completed : int;
+  n_truncated : int;
+  n_errored : int;
+  n_resumed : int; (* subset of the above restored from the checkpoint *)
+  geomeans : (Loopa.Config.t * float) list;
+      (* per config rung, over every task that produced scores *)
+  failures : (string * int) list; (* error class -> count *)
+}
+
+(* ---- classification keys (stable: they name checkpoint fields) ---- *)
+
+let trap_key = function
+  | Interp.Rvalue.Div_by_zero -> "div-by-zero"
+  | Interp.Rvalue.Out_of_bounds -> "out-of-bounds"
+  | Interp.Rvalue.Negative_alloc -> "negative-alloc"
+
+let trap_of_key = function
+  | "div-by-zero" -> Some Interp.Rvalue.Div_by_zero
+  | "out-of-bounds" -> Some Interp.Rvalue.Out_of_bounds
+  | "negative-alloc" -> Some Interp.Rvalue.Negative_alloc
+  | _ -> None
+
+let budget_key = function
+  | Interp.Rvalue.Fuel -> "fuel"
+  | Interp.Rvalue.Call_depth -> "call-depth"
+  | Interp.Rvalue.Heap -> "heap"
+  | Interp.Rvalue.Wall -> "wall"
+
+let budget_of_key = function
+  | "fuel" -> Some Interp.Rvalue.Fuel
+  | "call-depth" -> Some Interp.Rvalue.Call_depth
+  | "heap" -> Some Interp.Rvalue.Heap
+  | "wall" -> Some Interp.Rvalue.Wall
+  | _ -> None
+
+let error_class = function
+  | Compile_error _ -> "compile-error"
+  | Verifier_error _ -> "verifier-error"
+  | Trap (k, _) -> "trap:" ^ trap_key k
+  | Budget_exhausted k -> "budget:" ^ budget_key k
+  | Crash _ -> "crash"
+
+let error_to_string = function
+  | Compile_error m -> "compile error: " ^ m
+  | Verifier_error m -> "verifier error: " ^ m
+  | Trap (k, m) -> Printf.sprintf "trap (%s): %s" (Interp.Rvalue.trap_kind_to_string k) m
+  | Budget_exhausted k ->
+      Printf.sprintf "%s budget exhausted before any useful work"
+        (Interp.Rvalue.budget_kind_to_string k)
+  | Crash m -> "crash: " ^ m
+
+let status_class = function
+  | Completed _ -> "completed"
+  | Truncated _ -> "truncated"
+  | Errored _ -> "error"
+
+let status_to_string = function
+  | Completed _ -> "completed"
+  | Truncated (k, _) ->
+      Printf.sprintf "truncated (%s)" (Interp.Rvalue.budget_kind_to_string k)
+  | Errored e -> error_to_string e
+
+(* ---- checkpoint codec ---- *)
+
+let score_to_json s =
+  Json.Obj
+    [
+      ("config", Json.String (Loopa.Config.name s.config));
+      ("speedup", Json.Float s.speedup);
+      ("coverage", Json.Float s.coverage_pct);
+    ]
+
+let error_to_json e =
+  let base = [ ("class", Json.String (error_class e)) ] in
+  Json.Obj
+    (match e with
+    | Compile_error m | Verifier_error m | Crash m ->
+        base @ [ ("message", Json.String m) ]
+    | Trap (_, m) -> base @ [ ("message", Json.String m) ]
+    | Budget_exhausted _ -> base)
+
+let result_to_json r =
+  let scores s = ("scores", Json.List (List.map score_to_json s)) in
+  Json.Obj
+    ([
+       ("target", Json.String r.target);
+       ("status", Json.String (status_class r.status));
+     ]
+    @ (match r.status with
+      | Completed s -> [ scores s ]
+      | Truncated (k, s) -> [ ("budget", Json.String (budget_key k)); scores s ]
+      | Errored e -> [ ("error", error_to_json e) ])
+    @ [
+        ("attempts", Json.Int r.attempts);
+        ("clock", Json.Int r.clock);
+        ("wall_s", Json.Float r.wall_s);
+      ])
+
+let score_of_json j =
+  match
+    ( Option.bind (Json.member "config" j) Json.to_str,
+      Option.bind (Json.member "speedup" j) Json.to_float,
+      Option.bind (Json.member "coverage" j) Json.to_float )
+  with
+  | Some c, Some s, Some cov -> (
+      match Loopa.Config.of_string c with
+      | config -> Some { config; speedup = s; coverage_pct = cov }
+      | exception Loopa.Config.Bad_config _ -> None)
+  | _ -> None
+
+let error_of_json j =
+  let msg =
+    Option.value ~default:"" (Option.bind (Json.member "message" j) Json.to_str)
+  in
+  match Option.bind (Json.member "class" j) Json.to_str with
+  | Some "compile-error" -> Some (Compile_error msg)
+  | Some "verifier-error" -> Some (Verifier_error msg)
+  | Some "crash" -> Some (Crash msg)
+  | Some cls when String.length cls > 5 && String.sub cls 0 5 = "trap:" ->
+      Option.map
+        (fun k -> Trap (k, msg))
+        (trap_of_key (String.sub cls 5 (String.length cls - 5)))
+  | Some cls when String.length cls > 7 && String.sub cls 0 7 = "budget:" ->
+      Option.map
+        (fun k -> Budget_exhausted k)
+        (budget_of_key (String.sub cls 7 (String.length cls - 7)))
+  | _ -> None
+
+let result_of_json j : (result, string) Stdlib.result =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let scores () =
+    match Option.bind (Json.member "scores" j) Json.to_list with
+    | Some l -> Ok (List.filter_map score_of_json l)
+    | None -> Error "missing scores"
+  in
+  let ( let* ) = Result.bind in
+  let* target = Option.to_result ~none:"missing target" (str "target") in
+  let* status =
+    match str "status" with
+    | Some "completed" ->
+        let* s = scores () in
+        Ok (Completed s)
+    | Some "truncated" ->
+        let* s = scores () in
+        let* k =
+          Option.to_result ~none:"bad budget kind"
+            (Option.bind (str "budget") budget_of_key)
+        in
+        Ok (Truncated (k, s))
+    | Some "error" ->
+        Option.to_result ~none:"bad error"
+          (Option.map
+             (fun e -> Errored e)
+             (Option.bind (Json.member "error" j) error_of_json))
+    | _ -> Error "missing status"
+  in
+  let int_field k d =
+    Option.value ~default:d (Option.bind (Json.member k j) Json.to_int)
+  in
+  let wall_s =
+    Option.value ~default:0.0 (Option.bind (Json.member "wall_s" j) Json.to_float)
+  in
+  Ok { target; status; attempts = int_field "attempts" 1; clock = int_field "clock" 0; wall_s }
+
+(* Load the per-target results of an existing checkpoint; malformed lines
+   (e.g. a line half-written when the previous run was killed) are reported
+   and skipped, never fatal. *)
+let load_checkpoint ~log path : (string, result) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  if Sys.file_exists path then
+    In_channel.with_open_text path (fun ic ->
+        let lineno = ref 0 in
+        let rec go () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line ->
+              incr lineno;
+              (if String.trim line <> "" then
+                 match Json.of_string line with
+                 | Error m ->
+                     log (Printf.sprintf "checkpoint %s:%d unreadable (%s), re-running"
+                            path !lineno m)
+                 | Ok j -> (
+                     match result_of_json j with
+                     | Ok r -> Hashtbl.replace tbl r.target r
+                     | Error m ->
+                         log
+                           (Printf.sprintf "checkpoint %s:%d malformed (%s), re-running"
+                              path !lineno m)));
+              go ()
+        in
+        go ());
+  tbl
+
+(* ---- one isolated task ---- *)
+
+let eval_scores configs (profile : Loopa.Profile.profile) : score list =
+  List.filter_map
+    (fun config ->
+      match Loopa.Config.validate config with
+      | Error _ -> None
+      | Ok _ ->
+          let r = Loopa.Evaluate.evaluate profile config in
+          Some
+            {
+              config;
+              speedup = r.Loopa.Evaluate.speedup;
+              coverage_pct = r.Loopa.Evaluate.coverage_pct;
+            })
+    configs
+
+(* Run the whole pipeline once under the given fuel. Every exception is
+   captured here: nothing a single program does may escape into the
+   campaign loop. *)
+let attempt ~budgets ~configs ~faults ~fuel src : status * int =
+  match Frontend.compile src with
+  | Error e -> (Errored (Compile_error (Frontend.error_to_string e)), 0)
+  | exception e -> (Errored (Crash (Printexc.to_string e)), 0)
+  | Ok m -> (
+      match Loopa.Driver.prepare m with
+      | exception Ir.Verifier.Invalid_ir msg -> (Errored (Verifier_error msg), 0)
+      | exception Stack_overflow -> (Errored (Crash "stack overflow during preparation"), 0)
+      | exception e -> (Errored (Crash (Printexc.to_string e)), 0)
+      | ms -> (
+          let deadline = Option.map (fun w -> Sys.time () +. w) budgets.wall_s in
+          match
+            Loopa.Driver.profile_module ~fuel ~mem_limit:budgets.mem_limit
+              ~max_depth:budgets.max_depth ?deadline ~faults ms
+          with
+          | exception Interp.Rvalue.Trap (k, msg) -> (Errored (Trap (k, msg)), 0)
+          | exception Interp.Rvalue.Runtime_error msg ->
+              (Errored (Crash ("runtime error: " ^ msg)), 0)
+          | exception Stack_overflow -> (Errored (Crash "stack overflow during execution"), 0)
+          | exception e -> (Errored (Crash (Printexc.to_string e)), 0)
+          | profile -> (
+              let clock = profile.Loopa.Profile.total_cost in
+              match eval_scores configs profile with
+              | exception e ->
+                  (Errored (Crash ("evaluation: " ^ Printexc.to_string e)), clock)
+              | scores ->
+                  if not profile.Loopa.Profile.truncated then (Completed scores, clock)
+                  else
+                    let kind =
+                      match profile.Loopa.Profile.outcome.Interp.Machine.stop with
+                      | Interp.Machine.Truncated k -> k
+                      | Interp.Machine.Completed -> Interp.Rvalue.Fuel
+                    in
+                    (* a prefix with zero executed instructions carries no
+                       information: that is genuine budget exhaustion *)
+                    if clock = 0 then (Errored (Budget_exhausted kind), 0)
+                    else (Truncated (kind, scores), clock))))
+
+let run_task ~budgets ~configs ~faults target src : result =
+  let t0 = Sys.time () in
+  let first = attempt ~budgets ~configs ~faults ~fuel:budgets.fuel src in
+  let budget_exhausted =
+    match fst first with
+    | Truncated _ | Errored (Budget_exhausted _) -> true
+    | Completed _ | Errored _ -> false
+  in
+  let status, clock, attempts =
+    if budget_exhausted && budgets.retries > 0 then
+      (* One retry at reduced fuel: if the first attempt died on a
+         nondeterministic budget (wall clock) the program may genuinely fit
+         the smaller deterministic budget and complete; otherwise keep
+         whichever attempt executed the longer prefix. *)
+      let reduced = max 1_000 (budgets.fuel / 4) in
+      match attempt ~budgets ~configs ~faults ~fuel:reduced src with
+      | (Completed _ as st), clock -> (st, clock, 2)
+      | st, clock when clock > snd first -> (st, clock, 2)
+      | _ -> (fst first, snd first, 2)
+    else (fst first, snd first, 1)
+  in
+  { target; status; attempts; clock; wall_s = Sys.time () -. t0 }
+
+(* ---- the campaign ---- *)
+
+let geomeans_of configs results =
+  List.filter_map
+    (fun config ->
+      let speedups =
+        List.filter_map
+          (fun r ->
+            match r.status with
+            | Completed scores | Truncated (_, scores) ->
+                List.find_map
+                  (fun s -> if s.config = config then Some s.speedup else None)
+                  scores
+            | Errored _ -> None)
+          results
+      in
+      match speedups with
+      | [] -> None
+      | l -> Some (config, Report.Stats.geomean l))
+    configs
+
+let failure_breakdown results =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match r.status with
+      | Errored e ->
+          let k = error_class e in
+          Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      | Completed _ | Truncated _ -> ())
+    results;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
+    ?checkpoint ?(resume = false) ?(faults_of = fun _ -> []) ?(log = fun _ -> ())
+    (targets : (string * string) list) : summary =
+  let done_before =
+    match checkpoint with
+    | Some path when resume -> load_checkpoint ~log path
+    | Some _ | None -> Hashtbl.create 1
+  in
+  let oc =
+    Option.map
+      (fun path ->
+        (* append under --resume so completed work is never discarded;
+           otherwise start the checkpoint over *)
+        if resume then
+          open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 path
+        else open_out path)
+      checkpoint
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out oc)
+    (fun () ->
+      let n_resumed = ref 0 in
+      let results =
+        List.map
+          (fun (target, src) ->
+            match Hashtbl.find_opt done_before target with
+            | Some r ->
+                incr n_resumed;
+                log (Printf.sprintf "%-24s resumed: %s" target (status_to_string r.status));
+                r
+            | None ->
+                let r = run_task ~budgets ~configs ~faults:(faults_of target) target src in
+                Option.iter
+                  (fun oc ->
+                    output_string oc (Json.to_string (result_to_json r));
+                    output_char oc '\n';
+                    flush oc)
+                  oc;
+                log (Printf.sprintf "%-24s %s" target (status_to_string r.status));
+                r)
+          targets
+      in
+      let count p = List.length (List.filter p results) in
+      {
+        results;
+        n_completed = count (fun r -> match r.status with Completed _ -> true | _ -> false);
+        n_truncated = count (fun r -> match r.status with Truncated _ -> true | _ -> false);
+        n_errored = count (fun r -> match r.status with Errored _ -> true | _ -> false);
+        n_resumed = !n_resumed;
+        geomeans = geomeans_of configs results;
+        failures = failure_breakdown results;
+      })
+
+let summary_to_json (s : summary) =
+  Json.Obj
+    [
+      ("completed", Json.Int s.n_completed);
+      ("truncated", Json.Int s.n_truncated);
+      ("errored", Json.Int s.n_errored);
+      ("resumed", Json.Int s.n_resumed);
+      ( "geomeans",
+        Json.List
+          (List.map
+             (fun (c, g) ->
+               Json.Obj
+                 [
+                   ("config", Json.String (Loopa.Config.name c));
+                   ("geomean_speedup", Json.Float g);
+                 ])
+             s.geomeans) );
+      ( "failures",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.failures) );
+      ("results", Json.List (List.map result_to_json s.results));
+    ]

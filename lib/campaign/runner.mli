@@ -1,0 +1,90 @@
+(** Fault-tolerant campaign runner: the whole limit-study pipeline over a
+    set of targets with per-task isolation, structured error taxonomy,
+    per-task budgets, one automatic retry at reduced fuel for
+    budget-exhausted tasks, a JSONL checkpoint of finished tasks, and
+    resumption that skips already-checkpointed work. *)
+
+(** Why a task failed. Budget exhaustion normally yields a usable truncated
+    result ({!status}); [Budget_exhausted] marks the degenerate case where
+    the budget ran out before any instruction executed. *)
+type error =
+  | Compile_error of string
+  | Verifier_error of string
+  | Trap of Interp.Rvalue.trap_kind * string
+  | Budget_exhausted of Interp.Rvalue.budget_kind
+  | Crash of string  (** anything else, printed — the catch-all of the taxonomy *)
+
+(** One configuration rung evaluated against a task's profile. *)
+type score = { config : Loopa.Config.t; speedup : float; coverage_pct : float }
+
+type status =
+  | Completed of score list
+  | Truncated of Interp.Rvalue.budget_kind * score list
+      (** a budget ran out mid-run: scores are over the executed prefix *)
+  | Errored of error
+
+type result = {
+  target : string;
+  status : status;
+  attempts : int;
+  clock : int;  (** dynamic IR instructions the profiling run executed *)
+  wall_s : float;
+}
+
+type budgets = {
+  fuel : int;
+  mem_limit : int;
+  max_depth : int;
+  wall_s : float option;  (** per-attempt processor-time budget *)
+  retries : int;  (** extra attempts at reduced fuel after budget exhaustion *)
+}
+
+(** {!Loopa.Config.default_fuel}, 2^26 words, depth 10k, no wall budget,
+    one retry. *)
+val default_budgets : budgets
+
+type summary = {
+  results : result list;  (** target order; resumed results included *)
+  n_completed : int;
+  n_truncated : int;
+  n_errored : int;
+  n_resumed : int;  (** subset of the above restored from the checkpoint *)
+  geomeans : (Loopa.Config.t * float) list;
+      (** per config rung, over every task that produced scores *)
+  failures : (string * int) list;  (** error class -> count *)
+}
+
+val error_class : error -> string
+
+val error_to_string : error -> string
+
+(** ["completed"], ["truncated"] or ["error"] — the checkpoint status tag. *)
+val status_class : status -> string
+
+val status_to_string : status -> string
+
+(** Checkpoint-line codec (JSONL: one result object per line). Decoding
+    tolerates and reports malformed lines rather than failing the run. *)
+val result_to_json : result -> Json.t
+
+val result_of_json : Json.t -> (result, string) Stdlib.result
+
+(** Run a campaign over [(target name, Looplang source)] pairs under the
+    Figure-2/3 configuration ladder (or [configs]). Every task failure is
+    captured into {!error}; nothing a program does can abort the campaign.
+    [checkpoint] appends one JSONL line per finished task (truncated at
+    start unless [resume]); [resume] reloads it first and skips targets
+    already recorded. [faults_of] supplies a test-only injection plan per
+    target ({!Interp.Machine.fault_plan}). [log] receives one progress line
+    per task. *)
+val run :
+  ?budgets:budgets ->
+  ?configs:Loopa.Config.t list ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?faults_of:(string -> Interp.Machine.fault_plan) ->
+  ?log:(string -> unit) ->
+  (string * string) list ->
+  summary
+
+val summary_to_json : summary -> Json.t

@@ -21,6 +21,11 @@ type fn =
 
 type t = { model : model; reduc : reduc; dep : dep; fn : fn }
 
+(* The one interpreter fuel budget every entry point defaults to (paper-scale
+   2e9 dynamic IR instructions); fuel is a cap, not a cost, so the CLI and
+   the library agree on it. *)
+let default_fuel = 2_000_000_000
+
 let model_name = function Doall -> "DOALL" | Pdoall -> "PDOALL" | Helix -> "HELIX"
 
 let flags_name c =

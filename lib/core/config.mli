@@ -28,6 +28,10 @@ type fn =
 
 type t = { model : model; reduc : reduc; dep : dep; fn : fn }
 
+(** The default interpreter fuel budget (dynamic IR instructions) shared by
+    every entry point — the driver, the CLI, and the campaign runner. *)
+val default_fuel : int
+
 val model_name : model -> string
 
 (** ["reducR-depD-fnF"], as the paper prints it. *)

@@ -20,8 +20,11 @@ let prepare ?(optimize = false) (m : Ir.Func.modul) : Classify.module_static =
    configurations are evaluated against. [static_prune] (default true) lets
    statically Proven_doall loops skip dynamic address tracking — sound
    because such loops cannot record conflicts anyway; pass false to collect
-   the unpruned profile (e.g. for Crosscheck). *)
-let profile_module ?(fuel = 2_000_000_000) ?make_predictor ?(static_prune = true)
+   the unpruned profile (e.g. for Crosscheck). Exhausting a budget (fuel,
+   call depth, heap, wall deadline) truncates rather than fails: the machine
+   closes open invocations and the profile is marked [truncated]. *)
+let profile_module ?(fuel = Config.default_fuel) ?mem_limit ?max_depth ?deadline
+    ?faults ?make_predictor ?(static_prune = true)
     (ms : Classify.module_static) : Profile.profile =
   let def_maps = Hashtbl.create 16 in
   let watch_plans = Hashtbl.create 16 in
@@ -33,7 +36,8 @@ let profile_module ?(fuel = 2_000_000_000) ?make_predictor ?(static_prune = true
     ms.Classify.funcs;
   let profiler = Profile.create ?make_predictor ~static_prune ms ~def_maps in
   let machine =
-    Interp.Machine.create ~hooks:(Profile.hooks_of profiler) ~fuel
+    Interp.Machine.create ~hooks:(Profile.hooks_of profiler) ~fuel ?mem_limit
+      ?max_depth ?deadline ?faults
       ~watch:(fun fname -> Hashtbl.find_opt watch_plans fname)
       ms.Classify.modul
   in
@@ -43,18 +47,29 @@ let profile_module ?(fuel = 2_000_000_000) ?make_predictor ?(static_prune = true
     invs = Ir.Vec.to_array profiler.Profile.invs;
     total_cost = outcome.Interp.Machine.clock;
     outcome;
+    truncated = (outcome.Interp.Machine.stop <> Interp.Machine.Completed);
   }
 
-let analyze_source ?fuel ?make_predictor ?optimize ?static_prune (src : string) :
-    analysis =
+let analyze_source ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
+    ?optimize ?static_prune (src : string) : analysis =
   let m = Frontend.compile_exn src in
   let ms = prepare ?optimize m in
-  { ms; profile = profile_module ?fuel ?make_predictor ?static_prune ms }
+  {
+    ms;
+    profile =
+      profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
+        ?make_predictor ?static_prune ms;
+  }
 
-let analyze_module ?fuel ?make_predictor ?optimize ?static_prune (m : Ir.Func.modul) :
-    analysis =
+let analyze_module ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
+    ?optimize ?static_prune (m : Ir.Func.modul) : analysis =
   let ms = prepare ?optimize m in
-  { ms; profile = profile_module ?fuel ?make_predictor ?static_prune ms }
+  {
+    ms;
+    profile =
+      profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
+        ?make_predictor ?static_prune ms;
+  }
 
 let evaluate ?knobs (a : analysis) (config : Config.t) : Evaluate.report =
   (match Config.validate config with
@@ -66,7 +81,7 @@ let evaluate_all (a : analysis) (configs : Config.t list) : Evaluate.report list
   List.map (evaluate a) configs
 
 (* Plain uninstrumented run (e.g. to check program output). *)
-let run_source ?(fuel = 2_000_000_000) (src : string) : Interp.Machine.outcome =
+let run_source ?(fuel = Config.default_fuel) (src : string) : Interp.Machine.outcome =
   let m = Frontend.compile_exn src in
   Cfg.Loop_simplify.run_module m;
   Ir.Verifier.check_module_exn m;

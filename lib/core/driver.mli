@@ -11,13 +11,22 @@ type analysis = { ms : Classify.module_static; profile : Profile.profile }
 val prepare : ?optimize:bool -> Ir.Func.modul -> Classify.module_static
 
 (** Execute the instrumented program once and collect the dynamic profile.
-    [fuel] bounds the interpreted instruction count (default 2e9).
-    [static_prune] (default true) drops statically Proven_doall loops from
-    the memory-event stream — sound for evaluation, since such loops never
-    record conflicts; pass false to collect the unpruned profile (what
-    {!Crosscheck} validates against). *)
+    [fuel] bounds the interpreted instruction count (default
+    {!Config.default_fuel}); [mem_limit], [max_depth], [deadline] and
+    [faults] pass through to {!Interp.Machine.create}. Exhausting any budget
+    truncates gracefully: the machine closes open loop invocations and call
+    frames and the profile comes back with [truncated = true], still
+    scorable by {!Evaluate} over the executed prefix. [static_prune]
+    (default true) drops statically Proven_doall loops from the memory-event
+    stream — sound for evaluation, since such loops never record conflicts;
+    pass false to collect the unpruned profile (what {!Crosscheck} validates
+    against). *)
 val profile_module :
   ?fuel:int ->
+  ?mem_limit:int ->
+  ?max_depth:int ->
+  ?deadline:float ->
+  ?faults:Interp.Machine.fault_plan ->
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?static_prune:bool ->
   Classify.module_static ->
@@ -25,9 +34,14 @@ val profile_module :
 
 (** [compile + prepare + profile_module] from source text.
     @raise Frontend.Compile_error on front-end errors
-    @raise Interp.Rvalue.Runtime_error on execution errors *)
+    @raise Interp.Rvalue.Trap on program faults (division by zero, OOB)
+    @raise Interp.Rvalue.Runtime_error on interpreter-invariant breakage *)
 val analyze_source :
   ?fuel:int ->
+  ?mem_limit:int ->
+  ?max_depth:int ->
+  ?deadline:float ->
+  ?faults:Interp.Machine.fault_plan ->
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?optimize:bool ->
   ?static_prune:bool ->
@@ -37,6 +51,10 @@ val analyze_source :
 (** As {!analyze_source}, starting from an already-built module. *)
 val analyze_module :
   ?fuel:int ->
+  ?mem_limit:int ->
+  ?max_depth:int ->
+  ?deadline:float ->
+  ?faults:Interp.Machine.fault_plan ->
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?optimize:bool ->
   ?static_prune:bool ->

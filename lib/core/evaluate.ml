@@ -31,6 +31,9 @@ type report = {
       (* % of dynamic instructions inside loops the static dependence tester
          proved DOALL — the static-vs-dynamic parallelism gap, configuration
          independent *)
+  truncated : bool;
+      (* the underlying profile covers a budget-truncated prefix of the
+         program: speedups are over the executed prefix only *)
   loops : loop_result list; (* sorted by serial cost, descending *)
 }
 
@@ -256,6 +259,7 @@ let evaluate ?(knobs = default_knobs) (p : Profile.profile) (config : Config.t) 
     total_cost = total;
     parallel_cost;
     speedup = float_of_int total /. parallel_cost;
+    truncated = p.Profile.truncated;
     coverage_pct =
       (if total > 0 then 100.0 *. !prog_covered /. float_of_int total else 0.0);
     static_coverage_pct =

@@ -31,6 +31,9 @@ type report = {
   static_coverage_pct : float;
       (** % of dynamic instructions inside loops statically proven DOALL —
           the static-vs-dynamic parallelism gap, configuration independent *)
+  truncated : bool;
+      (** the profile covers a budget-truncated prefix of the program:
+          speedups are over the executed prefix only *)
   loops : loop_result list;  (** sorted by serial cost, descending *)
 }
 

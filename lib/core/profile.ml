@@ -335,6 +335,10 @@ type profile = {
   invs : inv array; (* creation order: parents before children *)
   total_cost : int;
   outcome : Interp.Machine.outcome;
+  truncated : bool;
+      (* the run stopped at a budget (fuel/depth/heap/wall): the profile
+         covers the executed prefix only — every invocation is still closed,
+         so Evaluate scores the prefix; reports carry the flag through *)
 }
 
 (* Per-iteration raw costs of an invocation: start-to-start deltas, with the

@@ -18,6 +18,17 @@ type func_plan = {
   rest_of : int array array;
 }
 
+(* Test-only fault injection: at the first tick whose clock reaches the
+   given stamp, the corresponding trap or budget stop fires. Used to prove
+   that every error path yields a classified, well-formed result. *)
+type fault =
+  | Inject_div_by_zero
+  | Inject_oob
+  | Inject_fuel_out
+  | Inject_depth_out
+
+type fault_plan = (int * fault) list
+
 type t = {
   modul : Ir.Func.modul;
   plans : (string, func_plan) Hashtbl.t;
@@ -25,6 +36,8 @@ type t = {
   hooks : Events.hooks;
   mutable clock : int;
   fuel : int;
+  deadline : float option; (* Sys.time stamp for the wall budget *)
+  mutable faults : fault_plan; (* sorted by clock, consumed head-first *)
   out : Buffer.t;
   mutable rand_state : int64;
   mutable depth : int;
@@ -38,8 +51,18 @@ type t = {
   mutable mem_events : int; (* word accesses reported through hooks *)
 }
 
+(* Why execution stopped. [Truncated] runs closed every open loop
+   invocation and call frame before returning, so the event stream a
+   listener saw is well-formed over the executed prefix. *)
+type stop_reason = Completed | Truncated of Rvalue.budget_kind
+
+let stop_reason_to_string = function
+  | Completed -> "completed"
+  | Truncated k -> Printf.sprintf "truncated (%s)" (Rvalue.budget_kind_to_string k)
+
 type outcome = {
   ret : rv option;
+  stop : stop_reason;
   clock : int;
   output : string;
   mem_words : int;
@@ -67,7 +90,8 @@ let make_plan ?watch (fn : Ir.Func.t) : func_plan =
   { fn; li; watch; phis_of; rest_of }
 
 let create ?(hooks = Events.no_hooks) ?(fuel = 2_000_000_000)
-    ?(mem_limit = 1 lsl 26) ?(max_depth = 10_000)
+    ?(mem_limit = 1 lsl 26) ?(max_depth = 10_000) ?deadline
+    ?(faults : fault_plan = [])
     ?(watch : (string -> Events.watch_plan option) option)
     (modul : Ir.Func.modul) : t =
   let plans = Hashtbl.create 16 in
@@ -85,6 +109,8 @@ let create ?(hooks = Events.no_hooks) ?(fuel = 2_000_000_000)
     hooks;
     clock = 0;
     fuel;
+    deadline;
+    faults = List.sort (fun (a, _) (b, _) -> compare a b) faults;
     out = Buffer.create 256;
     rand_state = 88172645463325252L;
     depth = 0;
@@ -102,9 +128,28 @@ let plan t fname =
 
 let loopinfo t fname = (plan t fname).li
 
+let apply_fault = function
+  | Inject_div_by_zero -> trap Div_by_zero "injected division by zero"
+  | Inject_oob -> trap Out_of_bounds "injected out-of-bounds access"
+  | Inject_fuel_out -> raise (Budget_stop Fuel)
+  | Inject_depth_out -> raise (Budget_stop Call_depth)
+
 let tick (t : t) =
+  (* faults fire before the instruction is counted, so a stamp-0 fault
+     yields a clock-0 outcome: a prefix with no information at all *)
+  (match t.faults with
+  | (at, f) :: rest when t.clock >= at ->
+      t.faults <- rest;
+      apply_fault f
+  | _ -> ());
   t.clock <- t.clock + 1;
-  if t.clock > t.fuel then error "fuel exhausted after %d instructions" t.fuel
+  if t.clock > t.fuel then raise (Budget_stop Fuel);
+  (* The wall budget is polled coarsely: Sys.time per instruction would
+     dominate the interpreter loop. *)
+  if t.clock land 0xffff = 0 then
+    match t.deadline with
+    | Some d when Sys.time () > d -> raise (Budget_stop Wall)
+    | _ -> ()
 
 (* Report a word access to the listener, unless every active loop's plan
    pruned the memory stream (statically proven RAW-free). *)
@@ -124,11 +169,11 @@ let exec_ibinop op a b =
   | Sub -> Int64.sub a b
   | Mul -> Int64.mul a b
   | Sdiv ->
-      if b = 0L then error "division by zero"
+      if b = 0L then trap Div_by_zero "division by zero"
       else if b = -1L then Int64.neg a
       else Int64.div a b
   | Srem ->
-      if b = 0L then error "remainder by zero"
+      if b = 0L then trap Div_by_zero "remainder by zero"
       else if b = -1L then 0L
       else Int64.rem a b
   | And -> Int64.logand a b
@@ -228,8 +273,10 @@ let exec_builtin t name (args : rv list) : rv option =
 
 let rec exec_func t fname (args : rv array) : rv option =
   let p = plan t fname in
+  (* Checked before the frame opens: no enter event has fired yet, so the
+     unwinding caller frames are the only ones that need closing. *)
+  if t.depth >= t.max_depth then raise (Budget_stop Call_depth);
   t.depth <- t.depth + 1;
-  if t.depth > t.max_depth then error "call depth exceeded in @%s" fname;
   t.hooks.Events.on_call_enter ~fname ~clock:t.clock;
   let regs = Array.make (max 1 (Ir.Func.num_instrs p.fn)) (Vint 0L) in
   let loop_stack = ref [] in
@@ -287,6 +334,7 @@ let rec exec_func t fname (args : rv array) : rv option =
   let finished = ref false in
   let cur = ref p.fn.Ir.Func.entry in
   let from_ = ref (-1) in
+  (try
   while not !finished do
     let b = !cur in
     handle_edge ~from_:!from_ ~to_:b;
@@ -395,7 +443,15 @@ let rec exec_func t fname (args : rv array) : rv option =
       | Ir.Instr.Phi _ -> error "phi %%%d after non-phi instructions in @%s" id fname
       | Ir.Instr.Unreachable -> error "reached 'unreachable' in @%s" fname
     done
-  done;
+  done
+  with Budget_stop _ as stop ->
+    (* A budget ran out mid-frame (here or in a callee): close this frame's
+       open loop invocations and its enter/exit pair so every listener sees
+       a well-formed stream over the executed prefix, then keep unwinding. *)
+    pop_all_loops ();
+    t.hooks.Events.on_call_exit ~fname ~clock:t.clock;
+    t.depth <- t.depth - 1;
+    raise stop);
   t.hooks.Events.on_call_exit ~fname ~clock:t.clock;
   t.depth <- t.depth - 1;
   !result
@@ -404,9 +460,14 @@ let run_main ?(args = []) t : outcome =
   (match Ir.Func.find_func t.modul "main" with
   | None -> error "module has no @main function"
   | Some _ -> ());
-  let ret = exec_func t "main" (Array.of_list args) in
+  let ret, stop =
+    match exec_func t "main" (Array.of_list args) with
+    | r -> (r, Completed)
+    | exception Budget_stop k -> (None, Truncated k)
+  in
   {
     ret;
+    stop;
     clock = t.clock;
     output = Buffer.contents t.out;
     mem_words = Rvalue.words_in_use t.mem;

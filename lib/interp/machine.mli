@@ -5,8 +5,29 @@
 
 type t
 
+(** Test-only fault injection: at the first executed instruction whose clock
+    reaches the stamp, the fault fires (a classified {!Rvalue.Trap} or a
+    graceful {!Rvalue.Budget_stop}). Lets the campaign runner and the fuzz
+    suite prove that every error path yields a classified, well-formed
+    result instead of a crash. *)
+type fault =
+  | Inject_div_by_zero
+  | Inject_oob
+  | Inject_fuel_out
+  | Inject_depth_out
+
+type fault_plan = (int * fault) list
+
+(** Why execution stopped. On [Truncated], the machine closed every open
+    loop invocation and call frame before returning, so listeners saw a
+    well-formed event stream over the executed prefix. *)
+type stop_reason = Completed | Truncated of Rvalue.budget_kind
+
+val stop_reason_to_string : stop_reason -> string
+
 type outcome = {
-  ret : Rvalue.rv option;  (** main's return value *)
+  ret : Rvalue.rv option;  (** main's return value; [None] when truncated *)
+  stop : stop_reason;  (** completed, or which budget truncated the run *)
   clock : int;  (** total dynamic IR instructions *)
   output : string;  (** everything the print builtins emitted *)
   mem_words : int;  (** heap high-water mark *)
@@ -18,12 +39,18 @@ type outcome = {
 
 (** [watch] supplies per-function watch plans (which instructions report
     defs/uses/phi values); [fuel] bounds the instruction count; [mem_limit]
-    bounds memory (words); [max_depth] bounds the call stack. *)
+    bounds memory (words); [max_depth] bounds the call stack; [deadline] is
+    an absolute [Sys.time] stamp bounding processor time (polled every 64k
+    instructions); [faults] is a test-only injection plan. Exhausting any of
+    these budgets stops the run cleanly ({!stop_reason}) rather than
+    raising. *)
 val create :
   ?hooks:Events.hooks ->
   ?fuel:int ->
   ?mem_limit:int ->
   ?max_depth:int ->
+  ?deadline:float ->
+  ?faults:fault_plan ->
   ?watch:(string -> Events.watch_plan option) ->
   Ir.Func.modul ->
   t
@@ -34,7 +61,7 @@ val loopinfo : t -> string -> Cfg.Loopinfo.t
 
 (** Scalar semantics, exposed for tests and the constant folder (optimized
     code can never disagree with execution).
-    @raise Rvalue.Runtime_error on division/remainder by zero *)
+    @raise Rvalue.Trap ([Div_by_zero]) on division/remainder by zero *)
 val exec_ibinop : Ir.Instr.ibinop -> int64 -> int64 -> int64
 
 val exec_fbinop : Ir.Instr.fbinop -> float -> float -> float
@@ -43,6 +70,8 @@ val exec_icmp : Ir.Instr.icmp -> Rvalue.rv -> Rvalue.rv -> bool
 
 val exec_fcmp : Ir.Instr.fcmp -> float -> float -> bool
 
-(** Run [main] (which must exist).
-    @raise Rvalue.Runtime_error on any execution error *)
+(** Run [main] (which must exist). Budget exhaustion (fuel, call depth,
+    heap, wall clock) is reported through [outcome.stop], never raised.
+    @raise Rvalue.Trap on program faults (division by zero, out-of-bounds)
+    @raise Rvalue.Runtime_error on interpreter-invariant breakage *)
 val run_main : ?args:Rvalue.rv list -> t -> outcome

@@ -14,6 +14,33 @@ exception Runtime_error of string
 
 let error fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
 
+(* Program-level faults: the executed program did something undefined. These
+   are classified (the campaign runner maps them into its error taxonomy)
+   as opposed to Runtime_error, which marks interpreter-invariant breakage. *)
+type trap_kind = Div_by_zero | Out_of_bounds | Negative_alloc
+
+let trap_kind_to_string = function
+  | Div_by_zero -> "division by zero"
+  | Out_of_bounds -> "out-of-bounds access"
+  | Negative_alloc -> "negative allocation"
+
+exception Trap of trap_kind * string
+
+let trap kind fmt = Format.kasprintf (fun msg -> raise (Trap (kind, msg))) fmt
+
+(* Resource budgets. Exhausting one is not an error: the machine unwinds
+   cleanly (closing every open loop invocation and call frame in the event
+   stream) and reports a truncated outcome the profile layer can still use. *)
+type budget_kind = Fuel | Call_depth | Heap | Wall
+
+let budget_kind_to_string = function
+  | Fuel -> "fuel"
+  | Call_depth -> "call-depth"
+  | Heap -> "heap"
+  | Wall -> "wall-clock"
+
+exception Budget_stop of budget_kind
+
 let as_int = function
   | Vint i -> i
   | v -> error "expected an int, got %s" (rv_to_string v)
@@ -59,7 +86,7 @@ let global_addr mem name =
 
 let check_addr mem a =
   if a <= 0 || a >= Ir.Vec.length mem.cells then
-    error "memory access out of bounds at address %d" a
+    trap Out_of_bounds "memory access out of bounds at address %d" a
 
 let load mem a =
   check_addr mem a;
@@ -71,10 +98,8 @@ let store mem a v =
 
 (* Allocate [size] zero-initialized words; returns the base address. *)
 let alloc mem size =
-  if size < 0 then error "alloc with negative size %d" size;
-  if mem.brk + size > mem.limit then
-    error "out of memory: heap would reach %d words (limit %d)" (mem.brk + size)
-      mem.limit;
+  if size < 0 then trap Negative_alloc "alloc with negative size %d" size;
+  if mem.brk + size > mem.limit then raise (Budget_stop Heap);
   let base = mem.brk in
   for _ = 1 to size do
     Ir.Vec.push mem.cells (Vint 0L)

@@ -7,10 +7,32 @@ type rv = Vint of int64 | Vfloat of float | Vbool of bool
 
 val rv_to_string : rv -> string
 
+(** Interpreter-invariant breakage (type confusion, malformed IR reaching
+    execution): a library bug, not a property of the executed program. *)
 exception Runtime_error of string
 
 (** Raise {!Runtime_error} with a formatted message. *)
 val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Program-level faults — undefined behaviour of the executed program,
+    classified so error paths stay machine-readable. *)
+type trap_kind = Div_by_zero | Out_of_bounds | Negative_alloc
+
+val trap_kind_to_string : trap_kind -> string
+
+exception Trap of trap_kind * string
+
+(** Raise {!Trap} with a formatted message. *)
+val trap : trap_kind -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Resource budgets. Exhaustion is not an error: the machine unwinds
+    cleanly (closing open loop invocations and call frames in the event
+    stream) and reports a truncated outcome. *)
+type budget_kind = Fuel | Call_depth | Heap | Wall
+
+val budget_kind_to_string : budget_kind -> string
+
+exception Budget_stop of budget_kind
 
 (** @raise Runtime_error unless the value has the expected shape. A
     zero-initialized cell ([Vint 0]) reads as [0.0] through {!as_float}. *)
@@ -29,13 +51,14 @@ val create : ?limit:int -> Ir.Func.global list -> memory
 (** @raise Runtime_error for unknown names. *)
 val global_addr : memory -> string -> int
 
-(** @raise Runtime_error on out-of-bounds (including null). *)
+(** @raise Trap ([Out_of_bounds]) on out-of-bounds (including null). *)
 val load : memory -> int -> rv
 
 val store : memory -> int -> rv -> unit
 
 (** Allocate zero-initialized words; returns the base address.
-    @raise Runtime_error on negative size or memory exhaustion *)
+    @raise Trap ([Negative_alloc]) on negative size
+    @raise Budget_stop ([Heap]) on memory exhaustion *)
 val alloc : memory -> int -> int
 
 val words_in_use : memory -> int

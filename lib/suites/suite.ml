@@ -27,3 +27,30 @@ let find name = List.find_opt (fun b -> b.name = name) (all ())
 let names () = List.map (fun b -> b.name) (all ())
 
 let categories = [ Int2000; Int2006; Fp2000; Fp2006; Eembc ]
+
+(* Levenshtein distance, for "did you mean ...?" suggestions on unknown
+   benchmark names. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id and cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let closest name =
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        let d = edit_distance (String.lowercase_ascii name) cand.name in
+        match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (cand.name, d))
+      None (all ())
+  in
+  match best with
+  | Some (cand, d) when d <= max 3 (String.length name / 2) -> Some cand
+  | _ -> None

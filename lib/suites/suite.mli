@@ -27,3 +27,10 @@ val find : string -> benchmark option
 val names : unit -> string list
 
 val categories : category list
+
+(** Levenshtein distance between two strings. *)
+val edit_distance : string -> string -> int
+
+(** The registered benchmark name closest to [name] in edit distance, when
+    close enough to be a plausible typo. *)
+val closest : string -> string option

@@ -130,7 +130,37 @@ let check_one seed =
       Loopa.Config.of_string "reduc0-dep0-fn0 DOALL";
       Loopa.Config.of_string "reduc1-dep2-fn2 PDOALL";
       Loopa.Config.best_helix;
-    ]
+    ];
+  (* graceful degradation: inject a fuel-out halfway through the same run.
+     The truncated prefix must still profile (flagged), evaluate without
+     raising, and stay sound under the cross-validator. *)
+  let full_clock =
+    a.Loopa.Driver.profile.Loopa.Profile.outcome.Interp.Machine.clock
+  in
+  if full_clock > 8 then begin
+    let cut = full_clock / 2 in
+    let t =
+      Loopa.Driver.analyze_source ~fuel:10_000_000 ~static_prune:false
+        ~faults:[ (cut, Interp.Machine.Inject_fuel_out) ]
+        src
+    in
+    if not t.Loopa.Driver.profile.Loopa.Profile.truncated then
+      fail "expected a truncated profile when cut at clock %d" cut;
+    (match Loopa.Crosscheck.check t.Loopa.Driver.profile with
+    | [] -> ()
+    | vs ->
+        fail "unsound verdict on truncated prefix: %s"
+          (Loopa.Crosscheck.violation_to_string (List.hd vs)));
+    List.iter
+      (fun cfg ->
+        let r = Loopa.Driver.evaluate t cfg in
+        if not r.Loopa.Evaluate.truncated then
+          fail "%s report not flagged truncated" (Loopa.Config.name cfg);
+        if r.Loopa.Evaluate.speedup < 1.0 -. 1e-9 then
+          fail "truncated %s speedup %f < 1" (Loopa.Config.name cfg)
+            r.Loopa.Evaluate.speedup)
+      [ Loopa.Config.of_string "reduc1-dep2-fn2 PDOALL"; Loopa.Config.best_helix ]
+  end
 
 let test_fuzz_corpus () =
   for seed = 1 to 60 do

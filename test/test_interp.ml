@@ -35,9 +35,9 @@ let test_ibinop_semantics () =
   ck (Interp.Machine.exec_ibinop Ir.Instr.Shl 1L 64L) 1L
 
 let test_div_by_zero () =
-  Alcotest.check_raises "div0" (Runtime_error "division by zero") (fun () ->
+  Alcotest.check_raises "div0" (Trap (Div_by_zero, "division by zero")) (fun () ->
       ignore (Interp.Machine.exec_ibinop Ir.Instr.Sdiv 1L 0L));
-  Alcotest.check_raises "rem0" (Runtime_error "remainder by zero") (fun () ->
+  Alcotest.check_raises "rem0" (Trap (Div_by_zero, "remainder by zero")) (fun () ->
       ignore (Interp.Machine.exec_ibinop Ir.Instr.Srem 1L 0L))
 
 let prop_ibinop_matches_int64 =
@@ -75,11 +75,12 @@ let test_memory_model () =
   Alcotest.(check bool) "load back" true (Interp.Rvalue.load mem base = Vint 42L);
   Alcotest.(check bool) "zero init" true (Interp.Rvalue.load mem (base + 3) = Vint 0L);
   Alcotest.check_raises "null deref"
-    (Runtime_error "memory access out of bounds at address 0") (fun () ->
+    (Trap (Out_of_bounds, "memory access out of bounds at address 0")) (fun () ->
       ignore (Interp.Rvalue.load mem 0));
   Alcotest.check_raises "oob"
-    (Runtime_error
-       (Printf.sprintf "memory access out of bounds at address %d" (base + 4)))
+    (Trap
+       ( Out_of_bounds,
+         Printf.sprintf "memory access out of bounds at address %d" (base + 4) ))
     (fun () -> ignore (Interp.Rvalue.load mem (base + 4)));
   Alcotest.(check int) "words in use" (base + 4) (Interp.Rvalue.words_in_use mem)
 
@@ -87,9 +88,8 @@ let test_memory_limit () =
   let mem = Interp.Rvalue.create ~limit:100 [] in
   Alcotest.(check bool) "small alloc ok" true (Interp.Rvalue.alloc mem 50 > 0);
   match Interp.Rvalue.alloc mem 100 with
-  | _ -> Alcotest.fail "expected out of memory"
-  | exception Runtime_error msg ->
-      Alcotest.(check bool) "oom message" true (Astring_contains.contains msg "out of memory")
+  | _ -> Alcotest.fail "expected heap budget stop"
+  | exception Budget_stop Heap -> ()
 
 let test_globals_in_memory () =
   let mem =
@@ -110,16 +110,23 @@ let test_clock_counts_instructions () =
   Alcotest.(check int) "tiny program cost" 2 out.Interp.Machine.clock
 
 let test_fuel () =
-  match run ~fuel:100 "fn main() -> int { var x: int = 0; while (true) { x = x + 1; } return x; }" with
-  | _ -> Alcotest.fail "expected fuel exhaustion"
-  | exception Runtime_error msg ->
-      Alcotest.(check bool) "fuel message" true (Astring_contains.contains msg "fuel")
+  (* running out of fuel is no longer an error: the machine stops cleanly
+     and reports the truncation in the outcome *)
+  let out =
+    run ~fuel:100
+      "fn main() -> int { var x: int = 0; while (true) { x = x + 1; } return x; }"
+  in
+  Alcotest.(check bool) "truncated by fuel" true
+    (out.Interp.Machine.stop = Interp.Machine.Truncated Fuel);
+  Alcotest.(check bool) "no return value" true (out.Interp.Machine.ret = None);
+  Alcotest.(check bool) "stopped at the budget" true (out.Interp.Machine.clock <= 101)
 
 let test_recursion_limit () =
-  match run "fn f(n: int) -> int { return f(n + 1); } fn main() -> int { return f(0); }" with
-  | _ -> Alcotest.fail "expected depth error"
-  | exception Runtime_error msg ->
-      Alcotest.(check bool) "depth message" true (Astring_contains.contains msg "depth")
+  let out =
+    run "fn f(n: int) -> int { return f(n + 1); } fn main() -> int { return f(0); }"
+  in
+  Alcotest.(check bool) "truncated by call depth" true
+    (out.Interp.Machine.stop = Interp.Machine.Truncated Call_depth)
 
 let test_rand_deterministic () =
   let src =
@@ -238,6 +245,99 @@ fn main() -> int {
   Alcotest.(check int) "enter once" 1 c.enters;
   Alcotest.(check int) "exit closed on return" 1 c.exits
 
+(* ---- graceful degradation ---- *)
+
+(* hooks that track enter/exit balance for loops and calls *)
+type balance = {
+  mutable loop_enters : int;
+  mutable loop_exits : int;
+  mutable call_enters : int;
+  mutable call_exits : int;
+}
+
+let balance_hooks b =
+  {
+    Interp.Events.no_hooks with
+    Interp.Events.on_loop_enter =
+      (fun ~lid:_ ~clock:_ -> b.loop_enters <- b.loop_enters + 1);
+    on_loop_exit = (fun ~lid:_ ~clock:_ -> b.loop_exits <- b.loop_exits + 1);
+    on_call_enter = (fun ~fname:_ ~clock:_ -> b.call_enters <- b.call_enters + 1);
+    on_call_exit = (fun ~fname:_ ~clock:_ -> b.call_exits <- b.call_exits + 1);
+  }
+
+(* a loop nest that calls a helper which itself loops: exercises unwinding
+   through both open loops and open call frames *)
+let nested_src =
+  {|
+fn helper(n: int) -> int {
+  var s: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) { s = s + i; }
+  return s;
+}
+fn main() -> int {
+  var acc: int = 0;
+  for (var i: int = 0; i < 1000; i = i + 1) {
+    for (var j: int = 0; j < 10; j = j + 1) {
+      acc = acc + helper(20);
+    }
+  }
+  print_int(acc);
+  return acc;
+}
+|}
+
+let test_truncation_closes_events () =
+  let b = { loop_enters = 0; loop_exits = 0; call_enters = 0; call_exits = 0 } in
+  let out = run ~hooks:(balance_hooks b) ~fuel:5_000 nested_src in
+  Alcotest.(check bool) "truncated by fuel" true
+    (out.Interp.Machine.stop = Interp.Machine.Truncated Fuel);
+  (* even though the machine stopped mid-nest, every enter must have been
+     matched by a synthetic exit so downstream listeners see a well-formed
+     stream *)
+  Alcotest.(check int) "loops balanced" b.loop_enters b.loop_exits;
+  Alcotest.(check int) "calls balanced" b.call_enters b.call_exits;
+  Alcotest.(check bool) "made progress" true (b.loop_enters > 0)
+
+let test_depth_truncation_closes_events () =
+  let b = { loop_enters = 0; loop_exits = 0; call_enters = 0; call_exits = 0 } in
+  let out =
+    run ~hooks:(balance_hooks b)
+      "fn f(n: int) -> int { return f(n + 1); } fn main() -> int { return f(0); }"
+  in
+  Alcotest.(check bool) "truncated by depth" true
+    (out.Interp.Machine.stop = Interp.Machine.Truncated Call_depth);
+  Alcotest.(check int) "calls balanced" b.call_enters b.call_exits
+
+let test_program_div_by_zero_traps () =
+  match run "fn main() -> int { var z: int = 0; return 1 / z; }" with
+  | _ -> Alcotest.fail "expected a div-by-zero trap"
+  | exception Trap (Div_by_zero, _) -> ()
+
+let test_fault_injection () =
+  let m = Frontend.compile_exn nested_src in
+  Cfg.Loop_simplify.run_module m;
+  (* a div-by-zero injected at clock 500 must surface as a Trap *)
+  (match
+     Interp.Machine.run_main
+       (Interp.Machine.create ~faults:[ (500, Interp.Machine.Inject_div_by_zero) ] m)
+   with
+  | _ -> Alcotest.fail "expected injected trap"
+  | exception Trap (Div_by_zero, msg) ->
+      Alcotest.(check bool) "injected message" true
+        (Astring_contains.contains msg "injected"));
+  (* an injected fuel-out behaves exactly like running out of fuel *)
+  let b = { loop_enters = 0; loop_exits = 0; call_enters = 0; call_exits = 0 } in
+  let out =
+    Interp.Machine.run_main
+      (Interp.Machine.create ~hooks:(balance_hooks b)
+         ~faults:[ (500, Interp.Machine.Inject_fuel_out) ]
+         m)
+  in
+  Alcotest.(check bool) "injected fuel stop" true
+    (out.Interp.Machine.stop = Interp.Machine.Truncated Fuel);
+  Alcotest.(check int) "loops balanced" b.loop_enters b.loop_exits;
+  Alcotest.(check int) "calls balanced" b.call_enters b.call_exits
+
 let () =
   Alcotest.run "interp"
     [
@@ -268,5 +368,15 @@ let () =
         [
           Alcotest.test_case "event stream" `Quick test_event_stream;
           Alcotest.test_case "loop exit on return" `Quick test_loop_exit_on_return;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "fuel truncation closes events" `Quick
+            test_truncation_closes_events;
+          Alcotest.test_case "depth truncation closes events" `Quick
+            test_depth_truncation_closes_events;
+          Alcotest.test_case "program div-by-zero traps" `Quick
+            test_program_div_by_zero_traps;
+          Alcotest.test_case "fault injection" `Quick test_fault_injection;
         ] );
     ]

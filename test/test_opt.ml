@@ -70,7 +70,7 @@ let test_div_by_zero_not_folded () =
   Opt.Pipeline.run_module m;
   match run_module m with
   | _ -> Alcotest.fail "expected division trap to survive optimization"
-  | exception Interp.Rvalue.Runtime_error msg ->
+  | exception Interp.Rvalue.Trap (Interp.Rvalue.Div_by_zero, msg) ->
       Alcotest.(check bool) "still traps" true
         (Astring_contains.contains msg "division")
 
