@@ -5,13 +5,15 @@
      loopapalooza analyze <file|bench>     — limit study under one config
      loopapalooza sweep <file|bench>       — the full Figure-2/3 config ladder
      loopapalooza campaign <targets..>     — fault-tolerant whole-suite runs
+     loopapalooza repro show|replay|shrink — crash-repro bundles
      loopapalooza census <file|bench>      — Table-I census of the program
      loopapalooza dump-ir <file|bench>     — canonicalized SSA dump
 
    Exit codes: 0 success; 1 compile/runtime error in the target program;
    2 usage error (bad configuration, unknown target, bad flags);
    3 unexpected internal error (classified and printed, never a raw
-   backtrace). *)
+   backtrace). `repro replay` adds 4 (failure vanished) and 5 (failure
+   changed fingerprint). *)
 
 open Cmdliner
 
@@ -51,12 +53,11 @@ let fuel_arg =
 
 (* Every subcommand body runs under this classifier: expected failures get
    a one-line message and a documented exit code; anything unexpected is
-   still classified (exit 3) instead of escaping as a raw backtrace. *)
-let handle_errors f =
-  try
-    f ();
-    0
-  with
+   still classified (exit 3) instead of escaping as a raw backtrace.
+   [handle_errors_int] is the same classifier for bodies that pick their
+   own success exit code (repro replay's reproduced/vanished/changed). *)
+let handle_errors_int f =
+  try f () with
   | Frontend.Compile_error e ->
       Printf.eprintf "compile error: %s\n" (Frontend.error_to_string e);
       1
@@ -86,6 +87,11 @@ let handle_errors f =
   | e ->
       Printf.eprintf "internal error: unexpected exception: %s\n" (Printexc.to_string e);
       3
+
+let handle_errors f =
+  handle_errors_int (fun () ->
+      f ();
+      0)
 
 (* ---- list ---- *)
 
@@ -374,7 +380,17 @@ let campaign_cmd =
              the source, $(b,div0)/$(b,oob)/$(b,fuel)/$(b,depth) fire the fault at \
              the given clock (default 1000). Repeatable.")
   in
-  let run targets all json checkpoint resume retries fuel wall injects =
+  let repro_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:
+            "Drop a self-contained repro bundle ($(i,target).repro.json) in \
+             $(docv) for every errored task; replay or shrink them with the \
+             $(b,repro) subcommands.")
+  in
+  let run targets all json checkpoint resume retries fuel wall injects repro_dir =
     handle_errors (fun () ->
         if (not all) && targets = [] then
           raise (Invalid_argument "campaign needs TARGETS or --all");
@@ -415,10 +431,11 @@ let campaign_cmd =
         in
         let log = if json then fun _ -> () else prerr_endline in
         let summary =
-          Campaign.Runner.run ~budgets ?checkpoint ~resume ~faults_of ~log named
+          Campaign.Runner.run ~budgets ?checkpoint ~resume ~faults_of ?repro_dir
+            ~log named
         in
         if json then
-          print_endline (Campaign.Json.to_string (Campaign.Runner.summary_to_json summary))
+          print_endline (Util.Json.to_string (Campaign.Runner.summary_to_json summary))
         else print_campaign_summary summary)
   in
   Cmd.v
@@ -428,7 +445,152 @@ let campaign_cmd =
           budgets, graceful truncation, JSONL checkpointing and resumption.")
     Term.(
       const run $ targets_arg $ all_arg $ json_arg $ checkpoint_arg $ resume_arg
-      $ retries_arg $ fuel_arg $ wall_arg $ inject_arg)
+      $ retries_arg $ fuel_arg $ wall_arg $ inject_arg $ repro_dir_arg)
+
+(* ---- repro ---- *)
+
+let bundle_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BUNDLE" ~doc:"A repro bundle file (*.repro.json).")
+
+let load_bundle path =
+  if not (Sys.file_exists path) then
+    raise (Invalid_argument (Printf.sprintf "no such bundle: %s" path));
+  match Repro.Bundle.load path with
+  | Ok b -> b
+  | Error m ->
+      raise (Invalid_argument (Printf.sprintf "cannot load bundle %s: %s" path m))
+
+let count_lines s =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+let print_bundle (b : Repro.Bundle.t) =
+  Printf.printf "target      : %s\n" b.Repro.Bundle.target;
+  Printf.printf "stage       : %s\n" (Loopa.Driver.stage_name b.Repro.Bundle.stage);
+  Printf.printf "fingerprint : %s\n" b.Repro.Bundle.fingerprint;
+  Printf.printf "message     : %s\n" b.Repro.Bundle.message;
+  Printf.printf "source      : %d lines\n" (count_lines b.Repro.Bundle.source);
+  Printf.printf "fuel        : %d\n" b.Repro.Bundle.fuel;
+  Option.iter (Printf.printf "mem limit   : %d words\n") b.Repro.Bundle.mem_limit;
+  Option.iter (Printf.printf "max depth   : %d\n") b.Repro.Bundle.max_depth;
+  if b.Repro.Bundle.configs <> [] then
+    Printf.printf "configs     : %s\n"
+      (String.concat ", " (List.map Loopa.Config.name b.Repro.Bundle.configs));
+  if b.Repro.Bundle.faults <> [] then
+    Printf.printf "faults      : %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (clock, f) ->
+              Printf.sprintf "%s@%d" (Repro.Bundle.fault_key f) clock)
+            b.Repro.Bundle.faults));
+  if b.Repro.Bundle.crosscheck then Printf.printf "crosscheck  : yes\n";
+  if b.Repro.Bundle.check_invariants then Printf.printf "invariants  : yes\n"
+
+let repro_show_cmd =
+  let run path source =
+    handle_errors (fun () ->
+        let b = load_bundle path in
+        if source then print_string b.Repro.Bundle.source else print_bundle b)
+  in
+  let source_arg =
+    Arg.(
+      value & flag
+      & info [ "source" ] ~doc:"Print the embedded Looplang program instead.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a repro bundle's metadata (or its program).")
+    Term.(const run $ bundle_arg $ source_arg)
+
+let repro_replay_cmd =
+  let run path =
+    handle_errors_int (fun () ->
+        let b = load_bundle path in
+        Printf.printf "expected: [%s] %s\n"
+          (Loopa.Driver.stage_name b.Repro.Bundle.stage)
+          b.Repro.Bundle.fingerprint;
+        match Repro.Pipeline.replay b with
+        | Repro.Pipeline.Reproduced ->
+            print_endline "reproduced";
+            0
+        | Repro.Pipeline.Vanished as v ->
+            print_endline (Repro.Pipeline.verdict_to_string v);
+            4
+        | Repro.Pipeline.Changed _ as v ->
+            print_endline (Repro.Pipeline.verdict_to_string v);
+            5)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run a bundle's pipeline deterministically and compare fingerprints. \
+          Exit 0 when the failure reproduces identically, 4 when it vanished, 5 \
+          when it changed.")
+    Term.(const run $ bundle_arg)
+
+let repro_shrink_cmd =
+  let run path out max_candidates =
+    handle_errors_int (fun () ->
+        let b = load_bundle path in
+        match Repro.Shrink.shrink ~max_candidates b with
+        | Error m ->
+            Printf.eprintf "shrink failed: %s\n" m;
+            1
+        | Ok (sb, stats) ->
+            let strip s suffix =
+              if Filename.check_suffix s suffix then Filename.chop_suffix s suffix
+              else s
+            in
+            let base =
+              match out with
+              | Some o -> strip (strip o ".repro.json") ".loop"
+              | None -> strip path ".repro.json" ^ ".min"
+            in
+            let bundle_path = base ^ ".repro.json" in
+            let loop_path = base ^ ".loop" in
+            Repro.Bundle.save bundle_path sb;
+            Out_channel.with_open_text loop_path (fun oc ->
+                output_string oc sb.Repro.Bundle.source);
+            Printf.printf "%d -> %d lines (%d candidates tried, %d kept)\n"
+              (count_lines b.Repro.Bundle.source)
+              (count_lines sb.Repro.Bundle.source)
+              stats.Repro.Shrink.tried stats.Repro.Shrink.accepted;
+            Printf.printf "fingerprint : %s\n" sb.Repro.Bundle.fingerprint;
+            Printf.printf "bundle      : %s\n" bundle_path;
+            Printf.printf "program     : %s\n" loop_path;
+            0)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"BASE"
+          ~doc:
+            "Basename for the minimized artifacts ($(docv).repro.json and \
+             $(docv).loop). Default: the input path with a .min infix.")
+  in
+  let max_candidates_arg =
+    Arg.(
+      value & opt int 5000
+      & info [ "max-candidates" ] ~docv:"N"
+          ~doc:"Give up after re-running the pipeline on $(docv) candidates.")
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Delta-debug a bundle's program to a minimal one that still fails with \
+          the same fingerprint class; writes the minimized bundle and a \
+          standalone .loop file.")
+    Term.(const run $ bundle_arg $ out_arg $ max_candidates_arg)
+
+let repro_cmd =
+  Cmd.group
+    (Cmd.info "repro"
+       ~doc:
+         "Deterministic crash-repro bundles: show, replay and shrink failures \
+          captured by campaign --repro-dir or the fuzz suite.")
+    [ repro_show_cmd; repro_replay_cmd; repro_shrink_cmd ]
 
 (* ---- census ---- *)
 
@@ -462,4 +624,16 @@ let dump_ir_cmd =
 let () =
   let doc = "Loopapalooza: a compiler-driven limit study of loop-level parallelism" in
   let info = Cmd.info "loopapalooza" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; analyze_cmd; sweep_cmd; campaign_cmd; census_cmd; dump_ir_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            analyze_cmd;
+            sweep_cmd;
+            campaign_cmd;
+            repro_cmd;
+            census_cmd;
+            dump_ir_cmd;
+          ]))

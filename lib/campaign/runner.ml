@@ -4,7 +4,11 @@
    budget-exhausted program must never abort the campaign or throw away the
    profiles already collected: every failure is captured into a structured
    error taxonomy, every finished task is checkpointed as a JSONL line, and
-   [resume] skips work a previous (possibly killed) run already paid for. *)
+   [resume] skips work a previous (possibly killed) run already paid for.
+   With [repro_dir] set, every errored task additionally drops a
+   self-contained repro bundle (Repro.Bundle) for offline replay/shrink. *)
+
+module Json = Util.Json
 
 type error =
   | Compile_error of string
@@ -259,36 +263,78 @@ let eval_scores configs (profile : Loopa.Profile.profile) : score list =
             })
     configs
 
+(* Map an Execute-stage classified failure back onto the checkpoint
+   taxonomy: traps keep their kind (parsed from the fingerprint class,
+   which [Driver.trap_failure] built from [Driver.trap_key]); everything
+   else is a crash whose message the failure already carries. *)
+let error_of_exec_failure (f : Loopa.Driver.failure) : error =
+  let cls = Loopa.Driver.fingerprint_class f.Loopa.Driver.fingerprint in
+  let trap =
+    List.find_opt
+      (fun k -> cls = "trap:" ^ Loopa.Driver.trap_key k)
+      [
+        Interp.Rvalue.Div_by_zero;
+        Interp.Rvalue.Out_of_bounds;
+        Interp.Rvalue.Negative_alloc;
+      ]
+  in
+  match trap with
+  | Some k -> Trap (k, f.Loopa.Driver.message)
+  | None -> Crash f.Loopa.Driver.message
+
 (* Run the whole pipeline once under the given fuel. Every exception is
    captured here: nothing a single program does may escape into the
-   campaign loop. *)
-let attempt ~budgets ~configs ~faults ~fuel src : status * int =
+   campaign loop. Alongside the taxonomy status, an errored attempt also
+   yields the classified {!Loopa.Driver.failure} — built with the same
+   constructors Repro.Pipeline uses, so a bundle stamped with this
+   fingerprint replays to an identical one. *)
+let attempt ~budgets ~configs ~faults ~fuel src :
+    status * int * Loopa.Driver.failure option =
+  let errored st f = (Errored st, 0, Some f) in
   match Frontend.compile src with
-  | Error e -> (Errored (Compile_error (Frontend.error_to_string e)), 0)
-  | exception e -> (Errored (Crash (Printexc.to_string e)), 0)
+  | Error e ->
+      errored
+        (Compile_error (Frontend.error_to_string e))
+        (Loopa.Driver.compile_failure e)
+  | exception Ir.Verifier.Invalid_ir msg ->
+      errored (Crash (Printexc.to_string (Ir.Verifier.Invalid_ir msg)))
+        (Loopa.Driver.verifier_failure ~stage:Loopa.Driver.Verify msg)
+  | exception e ->
+      errored (Crash (Printexc.to_string e))
+        (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Compile e)
   | Ok m -> (
       match Loopa.Driver.prepare m with
-      | exception Ir.Verifier.Invalid_ir msg -> (Errored (Verifier_error msg), 0)
-      | exception Stack_overflow -> (Errored (Crash "stack overflow during preparation"), 0)
-      | exception e -> (Errored (Crash (Printexc.to_string e)), 0)
+      | exception Ir.Verifier.Invalid_ir msg ->
+          errored (Verifier_error msg)
+            (Loopa.Driver.verifier_failure ~stage:Loopa.Driver.Prepare msg)
+      | exception Stack_overflow ->
+          errored
+            (Crash "stack overflow during preparation")
+            (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Prepare Stack_overflow)
+      | exception e ->
+          errored (Crash (Printexc.to_string e))
+            (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Prepare e)
       | ms -> (
           let deadline = Option.map (fun w -> Sys.time () +. w) budgets.wall_s in
           match
-            Loopa.Driver.profile_module ~fuel ~mem_limit:budgets.mem_limit
+            Loopa.Driver.profile_result ~fuel ~mem_limit:budgets.mem_limit
               ~max_depth:budgets.max_depth ?deadline ~faults ms
           with
-          | exception Interp.Rvalue.Trap (k, msg) -> (Errored (Trap (k, msg)), 0)
-          | exception Interp.Rvalue.Runtime_error msg ->
-              (Errored (Crash ("runtime error: " ^ msg)), 0)
-          | exception Stack_overflow -> (Errored (Crash "stack overflow during execution"), 0)
-          | exception e -> (Errored (Crash (Printexc.to_string e)), 0)
-          | profile -> (
+          | exception e ->
+              errored (Crash (Printexc.to_string e))
+                (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Execute e)
+          | Error f -> (Errored (error_of_exec_failure f), 0, Some f)
+          | Ok profile -> (
               let clock = profile.Loopa.Profile.total_cost in
               match eval_scores configs profile with
               | exception e ->
-                  (Errored (Crash ("evaluation: " ^ Printexc.to_string e)), clock)
+                  ( Errored (Crash ("evaluation: " ^ Printexc.to_string e)),
+                    clock,
+                    Some (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Evaluate e)
+                  )
               | scores ->
-                  if not profile.Loopa.Profile.truncated then (Completed scores, clock)
+                  if not profile.Loopa.Profile.truncated then
+                    (Completed scores, clock, None)
                   else
                     let kind =
                       match profile.Loopa.Profile.outcome.Interp.Machine.stop with
@@ -297,18 +343,26 @@ let attempt ~budgets ~configs ~faults ~fuel src : status * int =
                     in
                     (* a prefix with zero executed instructions carries no
                        information: that is genuine budget exhaustion *)
-                    if clock = 0 then (Errored (Budget_exhausted kind), 0)
-                    else (Truncated (kind, scores), clock))))
+                    if clock = 0 then
+                      ( Errored (Budget_exhausted kind),
+                        0,
+                        Some (Loopa.Driver.budget_failure kind) )
+                    else (Truncated (kind, scores), clock, None))))
 
-let run_task ~budgets ~configs ~faults target src : result =
+(* The classified failure of the attempt whose status the task kept, paired
+   with the fuel that attempt ran under — exactly what a repro bundle must
+   record to replay deterministically. *)
+let run_task ~budgets ~configs ~faults target src :
+    result * (Loopa.Driver.failure * int) option =
   let t0 = Sys.time () in
-  let first = attempt ~budgets ~configs ~faults ~fuel:budgets.fuel src in
+  let st1, clock1, f1 = attempt ~budgets ~configs ~faults ~fuel:budgets.fuel src in
   let budget_exhausted =
-    match fst first with
+    match st1 with
     | Truncated _ | Errored (Budget_exhausted _) -> true
     | Completed _ | Errored _ -> false
   in
-  let status, clock, attempts =
+  let at_full = Option.map (fun f -> (f, budgets.fuel)) f1 in
+  let status, clock, attempts, failure =
     if budget_exhausted && budgets.retries > 0 then
       (* One retry at reduced fuel: if the first attempt died on a
          nondeterministic budget (wall clock) the program may genuinely fit
@@ -316,12 +370,14 @@ let run_task ~budgets ~configs ~faults target src : result =
          whichever attempt executed the longer prefix. *)
       let reduced = max 1_000 (budgets.fuel / 4) in
       match attempt ~budgets ~configs ~faults ~fuel:reduced src with
-      | (Completed _ as st), clock -> (st, clock, 2)
-      | st, clock when clock > snd first -> (st, clock, 2)
-      | _ -> (fst first, snd first, 2)
-    else (fst first, snd first, 1)
+      | (Completed _ as st), clock, f ->
+          (st, clock, 2, Option.map (fun x -> (x, reduced)) f)
+      | st, clock, f when clock > clock1 ->
+          (st, clock, 2, Option.map (fun x -> (x, reduced)) f)
+      | _ -> (st1, clock1, 2, at_full)
+    else (st1, clock1, 1, at_full)
   in
-  { target; status; attempts; clock; wall_s = Sys.time () -. t0 }
+  ({ target; status; attempts; clock; wall_s = Sys.time () -. t0 }, failure)
 
 (* ---- the campaign ---- *)
 
@@ -357,9 +413,38 @@ let failure_breakdown results =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* ---- repro-bundle emission ---- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let sanitize_name name =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_') as c -> c | _ -> '_')
+    name
+
+(* Drop a self-contained bundle for an errored task: the source, the
+   budgets and fault plan of the exact attempt that failed, and its
+   fingerprint. [repro replay] on the file re-runs this deterministically. *)
+let emit_bundle ~dir ~budgets ~configs ~faults target src
+    ((f : Loopa.Driver.failure), fuel) : string =
+  mkdir_p dir;
+  let b =
+    Repro.Bundle.make ~target ~source:src ~stage:f.Loopa.Driver.stage
+      ~fingerprint:f.Loopa.Driver.fingerprint ~message:f.Loopa.Driver.message
+      ~configs ~fuel ~mem_limit:budgets.mem_limit ~max_depth:budgets.max_depth
+      ~faults ()
+  in
+  let path = Filename.concat dir (sanitize_name target ^ ".repro.json") in
+  Repro.Bundle.save path b;
+  path
+
 let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
-    ?checkpoint ?(resume = false) ?(faults_of = fun _ -> []) ?(log = fun _ -> ())
-    (targets : (string * string) list) : summary =
+    ?checkpoint ?(resume = false) ?(faults_of = fun _ -> []) ?repro_dir
+    ?(log = fun _ -> ()) (targets : (string * string) list) : summary =
   let done_before =
     match checkpoint with
     | Some path when resume -> load_checkpoint ~log path
@@ -388,7 +473,8 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                 log (Printf.sprintf "%-24s resumed: %s" target (status_to_string r.status));
                 r
             | None ->
-                let r = run_task ~budgets ~configs ~faults:(faults_of target) target src in
+                let faults = faults_of target in
+                let r, failure = run_task ~budgets ~configs ~faults target src in
                 Option.iter
                   (fun oc ->
                     output_string oc (Json.to_string (result_to_json r));
@@ -396,6 +482,13 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                     flush oc)
                   oc;
                 log (Printf.sprintf "%-24s %s" target (status_to_string r.status));
+                (match (repro_dir, r.status, failure) with
+                | Some dir, Errored _, Some f -> (
+                    match emit_bundle ~dir ~budgets ~configs ~faults target src f with
+                    | path -> log (Printf.sprintf "%-24s repro bundle: %s" "" path)
+                    | exception Sys_error m ->
+                        log (Printf.sprintf "%-24s repro bundle failed: %s" "" m))
+                | _ -> ());
                 r)
           targets
       in

@@ -65,9 +65,9 @@ val status_to_string : status -> string
 
 (** Checkpoint-line codec (JSONL: one result object per line). Decoding
     tolerates and reports malformed lines rather than failing the run. *)
-val result_to_json : result -> Json.t
+val result_to_json : result -> Util.Json.t
 
-val result_of_json : Json.t -> (result, string) Stdlib.result
+val result_of_json : Util.Json.t -> (result, string) Stdlib.result
 
 (** Run a campaign over [(target name, Looplang source)] pairs under the
     Figure-2/3 configuration ladder (or [configs]). Every task failure is
@@ -75,16 +75,20 @@ val result_of_json : Json.t -> (result, string) Stdlib.result
     [checkpoint] appends one JSONL line per finished task (truncated at
     start unless [resume]); [resume] reloads it first and skips targets
     already recorded. [faults_of] supplies a test-only injection plan per
-    target ({!Interp.Machine.fault_plan}). [log] receives one progress line
-    per task. *)
+    target ({!Interp.Machine.fault_plan}). [repro_dir] makes every errored
+    task drop a self-contained {!Repro.Bundle} (named
+    [<target>.repro.json]) there, replayable and shrinkable offline with
+    the [repro] CLI subcommands. [log] receives one progress line per
+    task. *)
 val run :
   ?budgets:budgets ->
   ?configs:Loopa.Config.t list ->
   ?checkpoint:string ->
   ?resume:bool ->
   ?faults_of:(string -> Interp.Machine.fault_plan) ->
+  ?repro_dir:string ->
   ?log:(string -> unit) ->
   (string * string) list ->
   summary
 
-val summary_to_json : summary -> Json.t
+val summary_to_json : summary -> Util.Json.t

@@ -7,6 +7,117 @@ type analysis = {
   profile : Profile.profile;
 }
 
+(* ---- uniform stage failures ----
+
+   Every way the pipeline can reject or abort a program is classified by the
+   stage that failed plus a *fingerprint*: a short stable identity string
+   such as [compile:syntax@3:7] or [trap:div_by_zero@1234]. Fingerprints
+   have two parts: the class (everything before the first '@'), which names
+   what went wrong, and an optional '@'-suffixed instance qualifier
+   (source position, interpreter clock) pinning where. Replay compares
+   fingerprints strictly — the interpreter is deterministic, so an identical
+   re-run must reproduce the qualifier bit-for-bit — while the shrinker
+   compares classes only, since deleting code legitimately moves positions
+   and clocks. *)
+
+type stage = Compile | Verify | Prepare | Execute | Crosscheck | Evaluate | Fuzz
+
+let stage_name = function
+  | Compile -> "compile"
+  | Verify -> "verify"
+  | Prepare -> "prepare"
+  | Execute -> "execute"
+  | Crosscheck -> "crosscheck"
+  | Evaluate -> "evaluate"
+  | Fuzz -> "fuzz"
+
+let stage_of_name = function
+  | "compile" -> Some Compile
+  | "verify" -> Some Verify
+  | "prepare" -> Some Prepare
+  | "execute" -> Some Execute
+  | "crosscheck" -> Some Crosscheck
+  | "evaluate" -> Some Evaluate
+  | "fuzz" -> Some Fuzz
+  | _ -> None
+
+type failure = { stage : stage; fingerprint : string; message : string }
+
+let failure_to_string f =
+  Printf.sprintf "[%s] %s: %s" (stage_name f.stage) f.fingerprint f.message
+
+(* Class part of a fingerprint: everything before the first '@'. *)
+let fingerprint_class fp =
+  match String.index_opt fp '@' with Some i -> String.sub fp 0 i | None -> fp
+
+let same_fingerprint ?(strict = true) a b =
+  if strict then String.equal a b
+  else String.equal (fingerprint_class a) (fingerprint_class b)
+
+(* Short stable digest for failure classes whose natural identity is free
+   text (verifier/runtime messages): FNV-1a over the message, printed as 8
+   hex digits. Deliberately not [Hashtbl.hash], whose value is not
+   guaranteed stable across OCaml versions — bundles outlive builds. *)
+let hash8 (s : string) =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  Printf.sprintf "%08x" !h
+
+let trap_key = function
+  | Interp.Rvalue.Div_by_zero -> "div_by_zero"
+  | Interp.Rvalue.Out_of_bounds -> "out_of_bounds"
+  | Interp.Rvalue.Negative_alloc -> "negative_alloc"
+
+let budget_key = function
+  | Interp.Rvalue.Fuel -> "fuel"
+  | Interp.Rvalue.Call_depth -> "call_depth"
+  | Interp.Rvalue.Heap -> "heap"
+  | Interp.Rvalue.Wall -> "wall"
+
+let compile_failure (e : Frontend.error) =
+  {
+    stage = Compile;
+    fingerprint =
+      Printf.sprintf "compile:%s@%d:%d"
+        (Frontend.error_kind_name e.Frontend.kind)
+        e.Frontend.pos.Frontend.Ast.line e.Frontend.pos.Frontend.Ast.col;
+    message = Frontend.error_to_string e;
+  }
+
+let verifier_failure ~stage msg =
+  { stage; fingerprint = "verifier:" ^ hash8 msg; message = msg }
+
+let trap_failure ~clock kind msg =
+  {
+    stage = Execute;
+    fingerprint = Printf.sprintf "trap:%s@%d" (trap_key kind) clock;
+    message = msg;
+  }
+
+let budget_failure kind =
+  {
+    stage = Execute;
+    fingerprint = "budget:" ^ budget_key kind;
+    message =
+      Interp.Rvalue.budget_kind_to_string kind
+      ^ " budget exhausted before any useful work";
+  }
+
+(* The catch-all for exceptions no stage claims: still classified, with the
+   exception constructor (stripped of its argument text) as the class. *)
+let crash_failure ~stage exn =
+  let printed = Printexc.to_string exn in
+  let ctor =
+    match String.index_opt printed '(' with
+    | Some i -> String.trim (String.sub printed 0 i)
+    | None -> printed
+  in
+  { stage; fingerprint = Printf.sprintf "crash:%s@%s" ctor (hash8 printed); message = printed }
+
 (* Canonicalize and statically analyze a module (destructive on [m]).
    [optimize] first runs the constant-folding / CFG-cleanup / DCE pipeline —
    the stand-in for the paper's "-Ofast IR" starting point. *)
@@ -23,9 +134,9 @@ let prepare ?(optimize = false) (m : Ir.Func.modul) : Classify.module_static =
    the unpruned profile (e.g. for Crosscheck). Exhausting a budget (fuel,
    call depth, heap, wall deadline) truncates rather than fails: the machine
    closes open invocations and the profile is marked [truncated]. *)
-let profile_module ?(fuel = Config.default_fuel) ?mem_limit ?max_depth ?deadline
-    ?faults ?make_predictor ?(static_prune = true)
-    (ms : Classify.module_static) : Profile.profile =
+let profiling_machine ?(fuel = Config.default_fuel) ?mem_limit ?max_depth
+    ?deadline ?faults ?make_predictor ?(static_prune = true)
+    (ms : Classify.module_static) : Profile.t * Interp.Machine.t =
   let def_maps = Hashtbl.create 16 in
   let watch_plans = Hashtbl.create 16 in
   Hashtbl.iter
@@ -41,7 +152,10 @@ let profile_module ?(fuel = Config.default_fuel) ?mem_limit ?max_depth ?deadline
       ~watch:(fun fname -> Hashtbl.find_opt watch_plans fname)
       ms.Classify.modul
   in
-  let outcome = Interp.Machine.run_main machine in
+  (profiler, machine)
+
+let finish_profile (ms : Classify.module_static) (profiler : Profile.t)
+    (outcome : Interp.Machine.outcome) : Profile.profile =
   {
     Profile.ms;
     invs = Ir.Vec.to_array profiler.Profile.invs;
@@ -49,6 +163,46 @@ let profile_module ?(fuel = Config.default_fuel) ?mem_limit ?max_depth ?deadline
     outcome;
     truncated = (outcome.Interp.Machine.stop <> Interp.Machine.Completed);
   }
+
+let profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
+    ?make_predictor ?static_prune (ms : Classify.module_static) :
+    Profile.profile =
+  let profiler, machine =
+    profiling_machine ?fuel ?mem_limit ?max_depth ?deadline ?faults
+      ?make_predictor ?static_prune ms
+  in
+  finish_profile ms profiler (Interp.Machine.run_main machine)
+
+(* As [profile_module], but every way the run can fail comes back as a
+   classified {!failure} instead of an exception — with the machine clock at
+   the moment a trap fired baked into the fingerprint, which an exception
+   cannot carry. Budget exhaustion is still a success (a truncated
+   profile), matching [profile_module]. *)
+let profile_result ?fuel ?mem_limit ?max_depth ?deadline ?faults
+    ?make_predictor ?static_prune (ms : Classify.module_static) :
+    (Profile.profile, failure) result =
+  let profiler, machine =
+    profiling_machine ?fuel ?mem_limit ?max_depth ?deadline ?faults
+      ?make_predictor ?static_prune ms
+  in
+  match Interp.Machine.run_main machine with
+  | outcome -> Ok (finish_profile ms profiler outcome)
+  | exception Interp.Rvalue.Trap (kind, msg) ->
+      Error (trap_failure ~clock:(Interp.Machine.clock machine) kind msg)
+  | exception Interp.Rvalue.Runtime_error msg ->
+      Error
+        {
+          stage = Execute;
+          fingerprint = "runtime:" ^ hash8 msg;
+          message = "runtime error: " ^ msg;
+        }
+  | exception Stack_overflow ->
+      Error
+        {
+          stage = Execute;
+          fingerprint = "crash:Stack_overflow";
+          message = "stack overflow during execution";
+        }
 
 let analyze_source ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
     ?optimize ?static_prune (src : string) : analysis =

@@ -4,6 +4,50 @@
 
 type analysis = { ms : Classify.module_static; profile : Profile.profile }
 
+(** Which pipeline stage a classified failure came from. *)
+type stage = Compile | Verify | Prepare | Execute | Crosscheck | Evaluate | Fuzz
+
+val stage_name : stage -> string
+
+val stage_of_name : string -> stage option
+
+(** A classified pipeline failure. The fingerprint is a short stable
+    identity such as [compile:syntax@3:7] or [trap:div_by_zero@1234]: the
+    part before the first ['@'] is the {e class} (what went wrong), the
+    optional suffix an {e instance qualifier} (source position, interpreter
+    clock) pinning where. Replay compares fingerprints strictly — the
+    interpreter is deterministic — while the shrinker compares classes only,
+    since deleting code legitimately moves positions and clocks. *)
+type failure = { stage : stage; fingerprint : string; message : string }
+
+val failure_to_string : failure -> string
+
+(** Class part of a fingerprint: everything before the first ['@']. *)
+val fingerprint_class : string -> string
+
+(** [same_fingerprint ~strict a b]: exact equality when [strict] (default),
+    class-only equality otherwise. *)
+val same_fingerprint : ?strict:bool -> string -> string -> bool
+
+(** FNV-1a 32-bit digest as 8 hex digits — stable across OCaml versions
+    (unlike [Hashtbl.hash]); used for free-text failure classes. *)
+val hash8 : string -> string
+
+val trap_key : Interp.Rvalue.trap_kind -> string
+
+val budget_key : Interp.Rvalue.budget_kind -> string
+
+val compile_failure : Frontend.error -> failure
+
+val verifier_failure : stage:stage -> string -> failure
+
+val trap_failure : clock:int -> Interp.Rvalue.trap_kind -> string -> failure
+
+val budget_failure : Interp.Rvalue.budget_kind -> failure
+
+(** Catch-all: fingerprint [crash:<Ctor>@<hash8 of printed exn>]. *)
+val crash_failure : stage:stage -> exn -> failure
+
 (** Canonicalize loops (loop-simplify), re-verify, and classify every loop's
     register LCDs and every function's purity. Mutates [m]. [optimize]
     (default false) first runs the Opt pipeline (constant folding, CFG
@@ -31,6 +75,21 @@ val profile_module :
   ?static_prune:bool ->
   Classify.module_static ->
   Profile.profile
+
+(** As {!profile_module}, but every execution failure comes back as a
+    classified {!failure} — traps carry the machine clock in their
+    fingerprint, which an exception cannot. Budget exhaustion is still a
+    success (a truncated profile). *)
+val profile_result :
+  ?fuel:int ->
+  ?mem_limit:int ->
+  ?max_depth:int ->
+  ?deadline:float ->
+  ?faults:Interp.Machine.fault_plan ->
+  ?make_predictor:(unit -> Predictors.Hybrid.t) ->
+  ?static_prune:bool ->
+  Classify.module_static ->
+  (Profile.profile, failure) result
 
 (** [compile + prepare + profile_module] from source text.
     @raise Frontend.Compile_error on front-end errors

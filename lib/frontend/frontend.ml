@@ -7,10 +7,32 @@ module Lexer = Lexer
 module Parser = Parser
 module Sema = Sema
 module Lower = Lower
+module Pp_ast = Pp_ast
 
-type error = { msg : string; pos : Ast.pos }
+(* Which front-end stage rejected the program. Kept machine-readable so
+   downstream consumers (the campaign error taxonomy, repro fingerprints)
+   classify without parsing message text. *)
+type error_kind = Lex | Syntax | Type | Lowering
 
-let pp_error ppf e = Format.fprintf ppf "%a: %s" Ast.pp_pos e.pos e.msg
+(* Short stable tag used in repro fingerprints: [compile:syntax@3:7]. *)
+let error_kind_name = function
+  | Lex -> "lex"
+  | Syntax -> "syntax"
+  | Type -> "type"
+  | Lowering -> "lowering"
+
+(* Human label matching the historical message prefixes. *)
+let error_kind_label = function
+  | Lex -> "lexical"
+  | Syntax -> "syntax"
+  | Type -> "type"
+  | Lowering -> "lowering"
+
+type error = { kind : error_kind; msg : string; pos : Ast.pos }
+
+let pp_error ppf e =
+  Format.fprintf ppf "%a: %s error: %s" Ast.pp_pos e.pos
+    (error_kind_label e.kind) e.msg
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
@@ -20,17 +42,17 @@ exception Compile_error of error
    any front-end failure, and Ir.Verifier.Invalid_ir if lowering ever emits
    ill-formed IR (that would be a bug in this library, not in user code). *)
 let compile_exn (src : string) : Ir.Func.modul =
-  let wrap msg pos = raise (Compile_error { msg; pos }) in
+  let wrap kind msg pos = raise (Compile_error { kind; msg; pos }) in
   let prog =
     try Parser.parse_program src with
-    | Lexer.Lex_error (msg, pos) -> wrap ("lexical error: " ^ msg) pos
-    | Parser.Parse_error (msg, pos) -> wrap ("syntax error: " ^ msg) pos
+    | Lexer.Lex_error (msg, pos) -> wrap Lex msg pos
+    | Parser.Parse_error (msg, pos) -> wrap Syntax msg pos
   in
   (try Sema.check_program prog
-   with Sema.Sema_error (msg, pos) -> wrap ("type error: " ^ msg) pos);
+   with Sema.Sema_error (msg, pos) -> wrap Type msg pos);
   let m =
     try Lower.lower_program prog
-    with Lower.Lower_error (msg, pos) -> wrap ("lowering error: " ^ msg) pos
+    with Lower.Lower_error (msg, pos) -> wrap Lowering msg pos
   in
   Ir.Verifier.check_module_exn m;
   (match Cfg.Ssa_check.check_module m with
@@ -48,12 +70,12 @@ let compile (src : string) : (Ir.Func.modul, error) result =
 
 (* Parse and typecheck only; useful for tooling and tests. *)
 let parse_and_check_exn (src : string) : Ast.program =
-  let wrap msg pos = raise (Compile_error { msg; pos }) in
+  let wrap kind msg pos = raise (Compile_error { kind; msg; pos }) in
   let prog =
     try Parser.parse_program src with
-    | Lexer.Lex_error (msg, pos) -> wrap ("lexical error: " ^ msg) pos
-    | Parser.Parse_error (msg, pos) -> wrap ("syntax error: " ^ msg) pos
+    | Lexer.Lex_error (msg, pos) -> wrap Lex msg pos
+    | Parser.Parse_error (msg, pos) -> wrap Syntax msg pos
   in
   (try Sema.check_program prog
-   with Sema.Sema_error (msg, pos) -> wrap ("type error: " ^ msg) pos);
+   with Sema.Sema_error (msg, pos) -> wrap Type msg pos);
   prog

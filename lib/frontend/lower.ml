@@ -45,6 +45,9 @@ type ctx = {
   mutable name_counter : int;
   (* (continue target, break target) stack *)
   mutable loop_stack : (int * int) list;
+  (* source position of the statement/expression being lowered: internal
+     invariant breakage is reported as a located diagnostic, not a crash *)
+  mutable cur_pos : pos;
 }
 
 let fresh_name ctx base =
@@ -60,7 +63,10 @@ let declare_var ctx name ty =
   let unique = fresh_name ctx name in
   (match ctx.scopes with
   | scope :: _ -> Hashtbl.replace scope name unique
-  | [] -> invalid_arg "declare_var: no scope");
+  | [] ->
+      raise
+        (Lower_error
+           ("internal: declaration of " ^ name ^ " outside any scope", ctx.cur_pos)));
   Hashtbl.replace ctx.var_ty unique (ir_ty ty);
   unique
 
@@ -113,7 +119,8 @@ let write_variable ctx var block value =
 let var_ir_ty ctx var =
   match Hashtbl.find_opt ctx.var_ty var with
   | Some t -> t
-  | None -> invalid_arg ("var_ir_ty: unknown variable " ^ var)
+  | None ->
+      raise (Lower_error ("internal: variable " ^ var ^ " has no type", ctx.cur_pos))
 
 let rec read_variable ctx var block : Ir.Types.value =
   match Hashtbl.find_opt ctx.current_def (block, var) with
@@ -230,6 +237,7 @@ let ety e =
 
 let rec lower_expr ctx (e : expr) : Ir.Types.value =
   let b = ctx.bld in
+  if e.pos <> no_pos then ctx.cur_pos <- e.pos;
   match e.e with
   | Eint v -> Ir.Types.int64_ v
   | Efloat v -> Ir.Types.float_ v
@@ -237,9 +245,11 @@ let rec lower_expr ctx (e : expr) : Ir.Types.value =
   | Evar name -> (
       match resolve_var ctx e.pos name with
       | Local unique -> read_variable ctx unique (Ir.Builder.current b)
-      | Glob g ->
-          let gty = List.assoc g ctx.global_tys in
-          Ir.Builder.load b ~ty:(ir_ty gty) (Ir.Types.Global g))
+      | Glob g -> (
+          match List.assoc_opt g ctx.global_tys with
+          | Some gty -> Ir.Builder.load b ~ty:(ir_ty gty) (Ir.Types.Global g)
+          | None ->
+              raise (Lower_error ("internal: unresolved global " ^ g, e.pos))))
   | Eun (Uneg, x) ->
       let v = lower_expr ctx x in
       if ety x = Tfloat then Ir.Builder.fsub b (Ir.Types.float_ 0.0) v
@@ -393,6 +403,7 @@ and raise_void_use pos name result_ty =
 
 let rec lower_stmt ctx (s : stmt) : unit =
   let b = ctx.bld in
+  if s.spos <> no_pos then ctx.cur_pos <- s.spos;
   match s.s with
   | Svar (name, ty, init) ->
       let v =
@@ -554,6 +565,7 @@ let lower_func ~func_rets ~global_tys (f : func) : Ir.Func.t =
       scopes = [];
       name_counter = 0;
       loop_stack = [];
+      cur_pos = f.fpos;
     }
   in
   Ir.Builder.position ctx.bld entry;
@@ -584,7 +596,13 @@ let const_of_global (g : Ast.global) : Ir.Types.const =
   | Tfloat, None -> Ir.Types.Cfloat 0.0
   | Tbool, None -> Ir.Types.Cbool false
   | Tarr _, _ -> Ir.Types.Cint 0L (* null array; must be assigned before use *)
-  | _, Some _ -> Ir.Types.Cint 0L (* rejected by sema *)
+  | _, Some init ->
+      (* sema rejects non-literal initializers; reaching here means a caller
+         bypassed it — diagnose with the location instead of silently
+         folding to zero *)
+      raise
+        (Lower_error
+           ("global " ^ g.gname ^ " has a non-literal initializer", init.pos))
 
 let lower_program (p : program) : Ir.Func.modul =
   let m = Ir.Func.create_module () in

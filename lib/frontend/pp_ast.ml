@@ -1,0 +1,258 @@
+(* Source printer for the checked (or shrunk) AST: emits Looplang text that
+   re-lexes and re-parses to the same tree. The repro shrinker lowers every
+   candidate through [parse . print], so this printer is the load-bearing
+   half of AST-level delta debugging; the test suite checks the round trip
+   on every registered benchmark.
+
+   Parenthesization is precedence-aware (levels mirror Parser.prec_of plus
+   the &&/|| layering) rather than fully parenthesized, so shrunk repro
+   programs stay readable. *)
+
+open Ast
+
+(* Printer precedence levels. Higher binds tighter; a child whose level is
+   below the context's minimum gets parentheses. *)
+let lvl_or = 3
+
+let lvl_and = 5
+
+(* Parser.prec_of ranges over 3..10; offset keeps every binop above &&/||. *)
+let lvl_bin op =
+  10
+  + (match op with
+    | Bmul | Bdiv | Bmod -> 10
+    | Badd | Bsub -> 9
+    | Bshl | Bshr -> 8
+    | Blt | Ble | Bgt | Bge -> 7
+    | Beq | Bne -> 6
+    | Band -> 5
+    | Bxor -> 4
+    | Bor -> 3)
+
+let lvl_unary = 90
+
+let lvl_atom = 100
+
+let binop_to_string = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Bmod -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Bshl -> "<<"
+  | Bshr -> ">>"
+  | Beq -> "=="
+  | Bne -> "!="
+  | Blt -> "<"
+  | Ble -> "<="
+  | Bgt -> ">"
+  | Bge -> ">="
+
+(* A float literal the lexer accepts: digit-led, with a '.' or exponent so
+   it does not re-lex as an int. Prefer the short %g form when it
+   round-trips exactly. *)
+let float_lit f =
+  let ensure_floaty s =
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  in
+  let short = Printf.sprintf "%g" f in
+  if float_of_string_opt short = Some f then ensure_floaty short
+  else ensure_floaty (Printf.sprintf "%.17g" f)
+
+let rec expr_level (e : expr) =
+  match e.e with
+  | Eint v -> if v < 0L then lvl_unary else lvl_atom
+  | Efloat v -> if v < 0.0 then lvl_unary else lvl_atom
+  | Ebool _ | Evar _ | Ecall _ | Eindex _ | Enew _ | Elen _ -> lvl_atom
+  | Eun _ -> lvl_unary
+  | Eand _ -> lvl_and
+  | Eor _ -> lvl_or
+  | Ebin (op, _, _) -> lvl_bin op
+
+and pp_expr buf min_lvl (e : expr) =
+  let lvl = expr_level e in
+  let parens = lvl < min_lvl in
+  if parens then Buffer.add_char buf '(';
+  (match e.e with
+  | Eint v -> Buffer.add_string buf (Int64.to_string v)
+  | Efloat v -> Buffer.add_string buf (float_lit v)
+  | Ebool v -> Buffer.add_string buf (if v then "true" else "false")
+  | Evar name -> Buffer.add_string buf name
+  | Eun (Uneg, x) ->
+      Buffer.add_char buf '-';
+      pp_expr buf lvl_unary x
+  | Eun (Unot, x) ->
+      Buffer.add_char buf '!';
+      pp_expr buf lvl_unary x
+  | Eand (l, r) ->
+      pp_expr buf lvl_and l;
+      Buffer.add_string buf " && ";
+      pp_expr buf (lvl_and + 1) r
+  | Eor (l, r) ->
+      pp_expr buf lvl_or l;
+      Buffer.add_string buf " || ";
+      pp_expr buf (lvl_or + 1) r
+  | Ebin (op, l, r) ->
+      (* binops are left-associative: the right child needs one level more *)
+      pp_expr buf lvl l;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_to_string op);
+      Buffer.add_char buf ' ';
+      pp_expr buf (lvl + 1) r
+  | Ecall (name, args) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          pp_expr buf 0 a)
+        args;
+      Buffer.add_char buf ')'
+  | Eindex (arr, idx) ->
+      pp_expr buf lvl_atom arr;
+      Buffer.add_char buf '[';
+      pp_expr buf 0 idx;
+      Buffer.add_char buf ']'
+  | Enew (elem, size) ->
+      Buffer.add_string buf "new ";
+      Buffer.add_string buf (ty_to_string elem);
+      Buffer.add_char buf '[';
+      pp_expr buf 0 size;
+      Buffer.add_char buf ']'
+  | Elen arr ->
+      Buffer.add_string buf "len(";
+      pp_expr buf 0 arr;
+      Buffer.add_char buf ')');
+  if parens then Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  pp_expr buf 0 e;
+  Buffer.contents buf
+
+(* A "simple" statement as allowed in for-headers: no semicolon, no block. *)
+let pp_simple_stmt buf (s : stmt) =
+  match s.s with
+  | Svar (name, ty, init) ->
+      Buffer.add_string buf (Printf.sprintf "var %s: %s" name (ty_to_string ty));
+      Option.iter
+        (fun e ->
+          Buffer.add_string buf " = ";
+          pp_expr buf 0 e)
+        init
+  | Sassign (name, e) ->
+      Buffer.add_string buf name;
+      Buffer.add_string buf " = ";
+      pp_expr buf 0 e
+  | Sstore (arr, idx, v) ->
+      pp_expr buf lvl_atom arr;
+      Buffer.add_char buf '[';
+      pp_expr buf 0 idx;
+      Buffer.add_string buf "] = ";
+      pp_expr buf 0 v
+  | Sexpr e -> pp_expr buf 0 e
+  | Sif _ | Swhile _ | Sfor _ | Sbreak | Scontinue | Sreturn _ ->
+      (* the parser cannot produce these in a for-header; a transform that
+         does has built an unprintable tree *)
+      invalid_arg "Pp_ast: structured statement in a for-header"
+
+let indent buf n = Buffer.add_string buf (String.make (2 * n) ' ')
+
+let rec pp_stmt buf depth (s : stmt) =
+  indent buf depth;
+  match s.s with
+  | Svar _ | Sassign _ | Sstore _ | Sexpr _ ->
+      pp_simple_stmt buf s;
+      Buffer.add_string buf ";\n"
+  | Sbreak -> Buffer.add_string buf "break;\n"
+  | Scontinue -> Buffer.add_string buf "continue;\n"
+  | Sreturn None -> Buffer.add_string buf "return;\n"
+  | Sreturn (Some e) ->
+      Buffer.add_string buf "return ";
+      pp_expr buf 0 e;
+      Buffer.add_string buf ";\n"
+  | Sif (cond, then_, else_) ->
+      Buffer.add_string buf "if (";
+      pp_expr buf 0 cond;
+      Buffer.add_string buf ") {\n";
+      pp_block buf depth then_;
+      indent buf depth;
+      Buffer.add_char buf '}';
+      pp_else buf depth else_;
+      Buffer.add_char buf '\n'
+  | Swhile (cond, body) ->
+      Buffer.add_string buf "while (";
+      pp_expr buf 0 cond;
+      Buffer.add_string buf ") {\n";
+      pp_block buf depth body;
+      indent buf depth;
+      Buffer.add_string buf "}\n"
+  | Sfor (init, cond, step, body) ->
+      Buffer.add_string buf "for (";
+      Option.iter (pp_simple_stmt buf) init;
+      Buffer.add_string buf "; ";
+      Option.iter (pp_expr buf 0) cond;
+      Buffer.add_string buf "; ";
+      Option.iter (pp_simple_stmt buf) step;
+      Buffer.add_string buf ") {\n";
+      pp_block buf depth body;
+      indent buf depth;
+      Buffer.add_string buf "}\n"
+
+(* [else if] chains print flat; [else { if }] parses to the same tree. *)
+and pp_else buf depth = function
+  | [] -> ()
+  | [ ({ s = Sif (cond, then_, else_); _ } : stmt) ] ->
+      Buffer.add_string buf " else if (";
+      pp_expr buf 0 cond;
+      Buffer.add_string buf ") {\n";
+      pp_block buf depth then_;
+      indent buf depth;
+      Buffer.add_char buf '}';
+      pp_else buf depth else_
+  | else_ ->
+      Buffer.add_string buf " else {\n";
+      pp_block buf depth else_;
+      indent buf depth;
+      Buffer.add_char buf '}'
+
+and pp_block buf depth stmts = List.iter (pp_stmt buf (depth + 1)) stmts
+
+let pp_func buf (f : func) =
+  Buffer.add_string buf "fn ";
+  Buffer.add_string buf f.fname;
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i (name, ty) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "%s: %s" name (ty_to_string ty)))
+    f.params;
+  Buffer.add_char buf ')';
+  Option.iter (fun t -> Buffer.add_string buf (" -> " ^ ty_to_string t)) f.ret;
+  Buffer.add_string buf " {\n";
+  pp_block buf 0 f.body;
+  Buffer.add_string buf "}\n"
+
+let pp_global buf (g : global) =
+  Buffer.add_string buf (Printf.sprintf "global %s: %s" g.gname (ty_to_string g.gty));
+  Option.iter
+    (fun e ->
+      Buffer.add_string buf " = ";
+      pp_expr buf 0 e)
+    g.ginit;
+  Buffer.add_string buf ";\n"
+
+let program_to_string (p : program) =
+  let buf = Buffer.create 1024 in
+  List.iter (pp_global buf) p.globals;
+  if p.globals <> [] && p.funcs <> [] then Buffer.add_char buf '\n';
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf '\n';
+      pp_func buf f)
+    p.funcs;
+  Buffer.contents buf

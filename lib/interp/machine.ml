@@ -121,6 +121,8 @@ let create ?(hooks = Events.no_hooks) ?(fuel = 2_000_000_000)
     mem_events = 0;
   }
 
+let clock (t : t) = t.clock
+
 let plan t fname =
   match Hashtbl.find_opt t.plans fname with
   | Some p -> p

@@ -59,6 +59,11 @@ val create :
     loop events report). *)
 val loopinfo : t -> string -> Cfg.Loopinfo.t
 
+(** Dynamic IR instructions executed so far. Deterministic across re-runs,
+    and readable after {!run_main} raised a trap — when no {!outcome} record
+    exists — so failure fingerprints can carry the trap's clock. *)
+val clock : t -> int
+
 (** Scalar semantics, exposed for tests and the constant folder (optimized
     code can never disagree with execution).
     @raise Rvalue.Trap ([Div_by_zero]) on division/remainder by zero *)

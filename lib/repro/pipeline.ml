@@ -1,0 +1,183 @@
+(* Deterministic re-execution of the pipeline a bundle describes. One entry
+   point, [run], drives exactly the stages the bundle's flags select —
+   compile, (fuzz-only) optimization differential, prepare, execute,
+   crosscheck, evaluate — and turns every way they can fail into a
+   classified Loopa.Driver.failure. Replay compares the resulting
+   fingerprint strictly against the recorded one; the shrinker compares
+   classes only. *)
+
+let crosscheck_failure (v : Loopa.Crosscheck.violation) : Loopa.Driver.failure =
+  {
+    Loopa.Driver.stage = Loopa.Driver.Crosscheck;
+    fingerprint =
+      Printf.sprintf "crosscheck:%s:bb%d" v.Loopa.Crosscheck.fname
+        v.Loopa.Crosscheck.header;
+    message = Loopa.Crosscheck.violation_to_string v;
+  }
+
+(* Fingerprint class [fuzz:<invariant>]; the qualifier (when present) names
+   the configuration, spaces flattened so the fingerprint stays one token. *)
+let fuzz_failure ?config name message : Loopa.Driver.failure =
+  let qualifier =
+    match config with
+    | None -> ""
+    | Some c ->
+        "@" ^ String.map (fun ch -> if ch = ' ' then '-' else ch) (Loopa.Config.name c)
+  in
+  {
+    Loopa.Driver.stage = Loopa.Driver.Fuzz;
+    fingerprint = Printf.sprintf "fuzz:%s%s" name qualifier;
+    message;
+  }
+
+let ( let* ) = Result.bind
+
+let compile (b : Bundle.t) : (Ir.Func.modul, Loopa.Driver.failure) result =
+  match Frontend.compile b.Bundle.source with
+  | Ok m -> Ok m
+  | Error e -> Error (Loopa.Driver.compile_failure e)
+  | exception Ir.Verifier.Invalid_ir msg ->
+      Error (Loopa.Driver.verifier_failure ~stage:Loopa.Driver.Verify msg)
+  | exception exn ->
+      Error (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Compile exn)
+
+(* The fuzz differential: optimizing must preserve output and never increase
+   cost. Compiles its own copies ([Driver.prepare] mutates modules). *)
+let opt_differential ?deadline (b : Bundle.t) :
+    (unit, Loopa.Driver.failure) result =
+  let plain_run m =
+    let machine = Interp.Machine.create ~fuel:b.Bundle.fuel ?deadline m in
+    match Interp.Machine.run_main machine with
+    | out -> Ok out
+    | exception Interp.Rvalue.Trap (kind, msg) ->
+        Error
+          (Loopa.Driver.trap_failure ~clock:(Interp.Machine.clock machine) kind
+             msg)
+    | exception exn ->
+        Error (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Execute exn)
+  in
+  let* m0 = compile b in
+  let* out0 = plain_run m0 in
+  let* m1 = compile b in
+  let* () =
+    match Opt.Pipeline.run_module m1 with
+    | () -> Ok ()
+    | exception exn ->
+        Error (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Prepare exn)
+  in
+  let* out1 = plain_run m1 in
+  if out0.Interp.Machine.output <> out1.Interp.Machine.output then
+    Error
+      (fuzz_failure "opt_output"
+         (Printf.sprintf "optimized output differs: %S vs %S"
+            out0.Interp.Machine.output out1.Interp.Machine.output))
+  else if out1.Interp.Machine.clock > out0.Interp.Machine.clock then
+    Error
+      (fuzz_failure "opt_cost"
+         (Printf.sprintf "optimization increased cost %d -> %d"
+            out0.Interp.Machine.clock out1.Interp.Machine.clock))
+  else Ok ()
+
+let evaluate_config ~check_invariants profile config :
+    (unit, Loopa.Driver.failure) result =
+  match Loopa.Evaluate.evaluate profile config with
+  | exception exn ->
+      Error (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Evaluate exn)
+  | r ->
+      if not check_invariants then Ok ()
+      else if r.Loopa.Evaluate.speedup < 1.0 -. 1e-9 then
+        Error
+          (fuzz_failure ~config "speedup_lt_1"
+             (Printf.sprintf "%s speedup %f < 1" (Loopa.Config.name config)
+                r.Loopa.Evaluate.speedup))
+      else if
+        r.Loopa.Evaluate.coverage_pct < -1e-9
+        || r.Loopa.Evaluate.coverage_pct > 100.0 +. 1e-9
+      then
+        Error
+          (fuzz_failure ~config "coverage_range"
+             (Printf.sprintf "%s coverage out of range: %f"
+                (Loopa.Config.name config) r.Loopa.Evaluate.coverage_pct))
+      else Ok ()
+
+(* [deadline] (absolute [Sys.time] stamp) bounds each execution inside the
+   run — the shrinker uses it so one pathological candidate cannot stall
+   the reduction; replay omits it so runs stay fully deterministic. *)
+let run ?deadline (b : Bundle.t) : (unit, Loopa.Driver.failure) result =
+  let* m = compile b in
+  let* () =
+    if b.Bundle.check_invariants then opt_differential ?deadline b else Ok ()
+  in
+  let* ms =
+    match Loopa.Driver.prepare m with
+    | ms -> Ok ms
+    | exception Ir.Verifier.Invalid_ir msg ->
+        Error (Loopa.Driver.verifier_failure ~stage:Loopa.Driver.Prepare msg)
+    | exception exn ->
+        Error (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Prepare exn)
+  in
+  (* the soundness cross-validator is only meaningful over an unpruned
+     profile: pruning hides exactly the events it checks *)
+  let static_prune = b.Bundle.static_prune && not b.Bundle.crosscheck in
+  let* profile =
+    Loopa.Driver.profile_result ~fuel:b.Bundle.fuel ?mem_limit:b.Bundle.mem_limit
+      ?max_depth:b.Bundle.max_depth ?deadline ~faults:b.Bundle.faults
+      ~static_prune ms
+  in
+  let* () =
+    match profile.Loopa.Profile.outcome.Interp.Machine.stop with
+    | Interp.Machine.Truncated kind
+      when profile.Loopa.Profile.total_cost = 0 ->
+        (* a prefix with zero executed instructions carries no information:
+           genuine budget exhaustion, same classification as the campaign *)
+        Error (Loopa.Driver.budget_failure kind)
+    | _ -> Ok ()
+  in
+  let* () =
+    if not b.Bundle.crosscheck then Ok ()
+    else
+      match Loopa.Crosscheck.check profile with
+      | [] -> Ok ()
+      | v :: _ -> Error (crosscheck_failure v)
+  in
+  List.fold_left
+    (fun acc config ->
+      let* () = acc in
+      evaluate_config ~check_invariants:b.Bundle.check_invariants profile config)
+    (Ok ()) b.Bundle.configs
+
+(* ---- replay ---- *)
+
+type verdict =
+  | Reproduced  (** identical fingerprint *)
+  | Vanished  (** the pipeline now succeeds *)
+  | Changed of Loopa.Driver.failure  (** fails, but with another fingerprint *)
+
+let verdict_to_string = function
+  | Reproduced -> "reproduced"
+  | Vanished -> "vanished: the pipeline now succeeds"
+  | Changed f ->
+      Printf.sprintf "changed: now fails as %s" (Loopa.Driver.failure_to_string f)
+
+let replay (b : Bundle.t) : verdict =
+  match run b with
+  | Ok () -> Vanished
+  | Error f ->
+      if Loopa.Driver.same_fingerprint f.Loopa.Driver.fingerprint b.Bundle.fingerprint
+      then Reproduced
+      else Changed f
+
+(* Classify a source the way a bundle for it would: run the full pipeline
+   and return the failure, if any. Used by bundle producers (fuzz, tests)
+   to stamp a fresh bundle with its fingerprint. *)
+let classify (b : Bundle.t) : Bundle.t option =
+  match run b with
+  | Ok () -> None
+  | Error f ->
+      Some
+        {
+          b with
+          Bundle.stage = f.Loopa.Driver.stage;
+          fingerprint = f.Loopa.Driver.fingerprint;
+          message = f.Loopa.Driver.message;
+        }

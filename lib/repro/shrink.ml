@@ -1,0 +1,250 @@
+(* Automatic test-case reduction: given a bundle that reproduces, find a
+   smaller program with the same failure *class* (fingerprint up to the
+   first '@' — positions and clocks legitimately move when code is
+   deleted).
+
+   The main path is AST-level delta debugging: parse the source, enumerate
+   single-step reductions (drop a function/global/statement, splice an
+   if/loop body in place of the construct, drop an else branch or an
+   initializer, hoist a subexpression, simplify a constant), print each
+   candidate back to Looplang, re-run the whole pipeline on it, and keep
+   the first candidate that still fails the same way — greedy first-fit,
+   restarted from each accepted candidate. Every enumerated reduction is
+   strictly smaller under (node count, constant magnitude), so the greedy
+   loop is a terminating fixpoint.
+
+   When the source does not parse (compile-error bundles), falls back to
+   line-level reduction: repeatedly delete any single line whose removal
+   preserves the failure class. *)
+
+open Frontend.Ast
+
+(* ---- single-step AST reductions ---- *)
+
+(* Every way to rewrite one element of a list (keeping the rest). *)
+let rec edits (f : 'a -> 'a list) = function
+  | [] -> []
+  | x :: rest ->
+      List.map (fun x' -> x' :: rest) (f x)
+      @ List.map (fun rest' -> x :: rest') (edits f rest)
+
+(* Every way to drop one element of a list. *)
+let rec drops = function
+  | [] -> []
+  | x :: rest -> rest :: List.map (fun rest' -> x :: rest') (drops rest)
+
+let rec expr_variants (x : expr) : expr list =
+  let mk k = { x with e = k } in
+  (* hoist a subexpression over its parent: always fewer nodes; type
+     mismatches are rejected by the re-compile in the keep predicate *)
+  let hoists =
+    match x.e with
+    | Eint _ | Efloat _ | Ebool _ | Evar _ -> []
+    | Ebin (_, a, b) | Eand (a, b) | Eor (a, b) | Eindex (a, b) -> [ a; b ]
+    | Eun (_, a) | Elen a | Enew (_, a) -> [ a ]
+    | Ecall (_, args) -> args
+  in
+  let consts =
+    match x.e with
+    | Eint 0L -> []
+    | Eint v ->
+        mk (Eint 0L)
+        ::
+        (if v = Int64.min_int || Int64.abs v > 1L then
+           [ mk (Eint 1L); mk (Eint (Int64.div v 2L)) ]
+         else [])
+    | Efloat v when v <> 0.0 -> [ mk (Efloat 0.0) ]
+    | _ -> []
+  in
+  let in_children =
+    match x.e with
+    | Eint _ | Efloat _ | Ebool _ | Evar _ -> []
+    | Ebin (op, a, b) ->
+        List.map (fun a' -> mk (Ebin (op, a', b))) (expr_variants a)
+        @ List.map (fun b' -> mk (Ebin (op, a, b'))) (expr_variants b)
+    | Eand (a, b) ->
+        List.map (fun a' -> mk (Eand (a', b))) (expr_variants a)
+        @ List.map (fun b' -> mk (Eand (a, b'))) (expr_variants b)
+    | Eor (a, b) ->
+        List.map (fun a' -> mk (Eor (a', b))) (expr_variants a)
+        @ List.map (fun b' -> mk (Eor (a, b'))) (expr_variants b)
+    | Eun (op, a) -> List.map (fun a' -> mk (Eun (op, a'))) (expr_variants a)
+    | Ecall (name, args) ->
+        List.map (fun args' -> mk (Ecall (name, args'))) (edits expr_variants args)
+    | Eindex (a, i) ->
+        List.map (fun a' -> mk (Eindex (a', i))) (expr_variants a)
+        @ List.map (fun i' -> mk (Eindex (a, i'))) (expr_variants i)
+    | Enew (t, n) -> List.map (fun n' -> mk (Enew (t, n'))) (expr_variants n)
+    | Elen a -> List.map (fun a' -> mk (Elen a')) (expr_variants a)
+  in
+  hoists @ consts @ in_children
+
+let rec stmt_variants (st : stmt) : stmt list =
+  let mk k = { st with s = k } in
+  let on_expr wrap e = List.map (fun e' -> mk (wrap e')) (expr_variants e) in
+  match st.s with
+  | Svar (n, t, Some init) ->
+      mk (Svar (n, t, None)) :: on_expr (fun i -> Svar (n, t, Some i)) init
+  | Svar (_, _, None) | Sbreak | Scontinue | Sreturn None -> []
+  | Sassign (n, v) -> on_expr (fun v' -> Sassign (n, v')) v
+  | Sstore (a, i, v) ->
+      on_expr (fun a' -> Sstore (a', i, v)) a
+      @ on_expr (fun i' -> Sstore (a, i', v)) i
+      @ on_expr (fun v' -> Sstore (a, i, v')) v
+  | Sexpr v -> on_expr (fun v' -> Sexpr v') v
+  | Sreturn (Some v) ->
+      mk (Sreturn None) :: on_expr (fun v' -> Sreturn (Some v')) v
+  | Sif (c, t, e) ->
+      (if e <> [] then [ mk (Sif (c, t, [])) ] else [])
+      @ on_expr (fun c' -> Sif (c', t, e)) c
+      @ List.map (fun t' -> mk (Sif (c, t', e))) (block_variants t)
+      @ List.map (fun e' -> mk (Sif (c, t, e'))) (block_variants e)
+  | Swhile (c, body) ->
+      on_expr (fun c' -> Swhile (c', body)) c
+      @ List.map (fun b' -> mk (Swhile (c, b'))) (block_variants body)
+  | Sfor (init, cond, step, body) ->
+      (* never drop the condition or the step: that manufactures infinite
+         loops, which only waste the candidate's fuel budget *)
+      (match init with
+      | Some i ->
+          mk (Sfor (None, cond, step, body))
+          :: List.map (fun i' -> mk (Sfor (Some i', cond, step, body))) (stmt_variants i)
+      | None -> [])
+      @ (match cond with
+        | Some c -> on_expr (fun c' -> Sfor (init, Some c', step, body)) c
+        | None -> [])
+      @ (match step with
+        | Some s -> List.map (fun s' -> mk (Sfor (init, cond, Some s', body))) (stmt_variants s)
+        | None -> [])
+      @ List.map (fun b' -> mk (Sfor (init, cond, step, b'))) (block_variants body)
+
+(* Block reductions lead with the big wins (drop a whole statement, splice
+   a branch or loop body in place of its construct) before in-place
+   rewrites, so the greedy scan removes code fastest. *)
+and block_variants (stmts : stmt list) : stmt list list =
+  match stmts with
+  | [] -> []
+  | s :: rest ->
+      (rest
+       :: (match s.s with
+          | Sif (_, t, e) -> [ t @ rest; e @ rest ]
+          | Swhile (_, body) | Sfor (_, _, _, body) -> [ body @ rest ]
+          | _ -> []))
+      @ List.map (fun s' -> s' :: rest) (stmt_variants s)
+      @ List.map (fun rest' -> s :: rest') (block_variants rest)
+
+let func_variants (f : func) : func list =
+  List.map (fun body' -> { f with body = body' }) (block_variants f.body)
+
+let global_variants (g : global) : global list =
+  match g.ginit with
+  | None -> []
+  | Some init ->
+      { g with ginit = None }
+      :: List.map (fun i' -> { g with ginit = Some i' }) (expr_variants init)
+
+let program_variants (p : program) : program list =
+  List.map (fun fs -> { p with funcs = fs }) (drops p.funcs)
+  @ List.map (fun gs -> { p with globals = gs }) (drops p.globals)
+  @ List.map (fun fs -> { p with funcs = fs }) (edits func_variants p.funcs)
+  @ List.map (fun gs -> { p with globals = gs }) (edits global_variants p.globals)
+
+(* Greedy first-fit to fixpoint: restart from the first kept candidate. *)
+let shrink_ast ~(keep : program -> bool) (p0 : program) : program * bool =
+  let changed = ref false in
+  let rec go p =
+    match List.find_opt keep (program_variants p) with
+    | Some p' ->
+        changed := true;
+        go p'
+    | None -> p
+  in
+  let p = go p0 in
+  (p, !changed)
+
+(* ---- line-level fallback (source that does not parse) ---- *)
+
+let shrink_lines ~(keep : string -> bool) (src : string) : string =
+  let join lines = String.concat "\n" lines ^ "\n" in
+  let rec go lines =
+    let arr = Array.of_list lines in
+    let candidate i =
+      Array.to_list arr |> List.filteri (fun j _ -> j <> i)
+    in
+    let rec try_at i =
+      if i >= Array.length arr then None
+      else
+        let cand = candidate i in
+        if keep (join cand) then Some cand else try_at (i + 1)
+    in
+    match try_at 0 with Some lines' -> go lines' | None -> lines
+  in
+  let lines = String.split_on_char '\n' (String.trim src) in
+  join (go lines)
+
+(* ---- entry point ---- *)
+
+type stats = {
+  tried : int; (* pipeline re-runs spent on candidates *)
+  accepted : int; (* candidates that kept the failure class *)
+}
+
+(* Shrink the bundle's program, preserving the failure class. Returns the
+   minimized bundle — source replaced, stage/fingerprint/message refreshed
+   from the last reproducing run — or an error when the bundle does not
+   reproduce in the first place. Candidates execute under a per-candidate
+   processor-time deadline so a reduction that manufactures a slow program
+   cannot stall the whole shrink. *)
+let shrink ?(max_candidates = 5000) ?(candidate_wall_s = 2.0) (b : Bundle.t) :
+    (Bundle.t * stats, string) result =
+  match Pipeline.run b with
+  | Ok () -> Error "bundle does not reproduce: the pipeline now succeeds"
+  | Error f0
+    when not
+           (Loopa.Driver.same_fingerprint ~strict:false
+              f0.Loopa.Driver.fingerprint b.Bundle.fingerprint) ->
+      Error
+        (Printf.sprintf "bundle does not reproduce: expected class %s, got %s"
+           (Loopa.Driver.fingerprint_class b.Bundle.fingerprint)
+           (Loopa.Driver.fingerprint_class f0.Loopa.Driver.fingerprint))
+  | Error f0 ->
+      let tried = ref 0 and accepted = ref 0 in
+      let last = ref f0 in
+      let keep_src src =
+        !tried < max_candidates
+        && begin
+             incr tried;
+             let deadline = Sys.time () +. candidate_wall_s in
+             match Pipeline.run ~deadline { b with Bundle.source = src } with
+             | Ok () -> false
+             | Error f ->
+                 Loopa.Driver.same_fingerprint ~strict:false
+                   f.Loopa.Driver.fingerprint b.Bundle.fingerprint
+                 && begin
+                      incr accepted;
+                      last := f;
+                      true
+                    end
+           end
+      in
+      let source =
+        match Frontend.Parser.parse_program b.Bundle.source with
+        | p ->
+            let keep cand = keep_src (Frontend.Pp_ast.program_to_string cand) in
+            let p', changed = shrink_ast ~keep p in
+            if changed then Frontend.Pp_ast.program_to_string p'
+            else b.Bundle.source
+        | exception (Frontend.Parser.Parse_error _ | Frontend.Lexer.Lex_error _)
+          ->
+            shrink_lines ~keep:keep_src b.Bundle.source
+      in
+      let f = !last in
+      Ok
+        ( {
+            b with
+            Bundle.source;
+            stage = f.Loopa.Driver.stage;
+            fingerprint = f.Loopa.Driver.fingerprint;
+            message = f.Loopa.Driver.message;
+          },
+          { tried = !tried; accepted = !accepted } )

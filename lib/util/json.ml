@@ -1,7 +1,8 @@
-(* Minimal JSON for the campaign checkpoint format (JSONL: one value per
-   line). Self-contained on purpose: the container has no JSON library and
-   the checkpoint schema is small and fully under our control. Numbers are
-   parsed as Float unless they are exact integers. *)
+(* Minimal JSON shared by every serialized artifact in the tree — campaign
+   checkpoints (JSONL: one value per line) and repro bundles. Self-contained
+   on purpose: the container has no JSON library and both schemas are small
+   and fully under our control. Numbers are parsed as Float unless they are
+   exact integers. *)
 
 type t =
   | Null

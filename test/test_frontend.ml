@@ -319,6 +319,147 @@ fn main() -> int {
       Alcotest.(check int) "ssa ok" 0 (List.length (Cfg.Ssa_check.check_module m)))
     corpus
 
+(* ---- located diagnostics ---- *)
+
+let expect_error_at name kind line col src =
+  match Frontend.compile src with
+  | Ok _ -> Alcotest.failf "%s: expected a compile error" name
+  | Error e ->
+      Alcotest.(check string)
+        (name ^ " kind")
+        kind
+        (Frontend.error_kind_name e.Frontend.kind);
+      Alcotest.(check string)
+        (name ^ " position")
+        (Printf.sprintf "%d:%d" line col)
+        (Printf.sprintf "%d:%d" e.Frontend.pos.Frontend.Ast.line
+           e.Frontend.pos.Frontend.Ast.col)
+
+let test_error_locations () =
+  expect_error_at "lex error" "lex" 2 3 "fn main() -> int {\n  # return 0;\n}";
+  expect_error_at "syntax error" "syntax" 2 16
+    "fn main() -> int {\n  var a: int = ;\n  return 0;\n}";
+  expect_error_at "type error" "type" 3 10
+    "fn main() -> int {\n  var a: int = 1;\n  return x;\n}";
+  expect_error_at "type error on later line" "type" 4 3
+    "fn main() -> int {\n  var ok: int = 1;\n  var b: bool = true;\n  if (1) { }\n  return ok;\n}"
+
+(* Sema rejects non-literal global initializers, so the lowering-stage
+   diagnostic only fires on a hand-built (unchecked) AST — which is exactly
+   the contract: an internal invariant that reports a source location
+   instead of crashing. *)
+let test_lowering_error_located () =
+  let open Frontend.Ast in
+  let bad_init =
+    mk_expr ~pos:{ line = 7; col = 5 }
+      (Ebin (Badd, mk_expr (Eint 1L), mk_expr (Eint 2L)))
+  in
+  let prog =
+    {
+      globals =
+        [
+          {
+            gname = "g";
+            gty = Tint;
+            ginit = Some bad_init;
+            gpos = { line = 7; col = 1 };
+          };
+        ];
+      funcs =
+        [
+          {
+            fname = "main";
+            params = [];
+            ret = Some Tint;
+            body = [ mk_stmt (Sreturn (Some (mk_expr (Eint 0L)))) ];
+            fpos = no_pos;
+          };
+        ];
+    }
+  in
+  match Frontend.Lower.lower_program prog with
+  | _ -> Alcotest.fail "expected a lowering error"
+  | exception Frontend.Lower.Lower_error (msg, pos) ->
+      Alcotest.(check bool)
+        "message names the global" true
+        (Astring_contains.contains msg "non-literal");
+      Alcotest.(check string) "position points at the initializer" "7:5"
+        (Printf.sprintf "%d:%d" pos.line pos.col)
+
+(* ---- AST pretty-printer round trip ---- *)
+
+(* print . parse . print must be a fixpoint: the first print normalizes
+   formatting, after which printing is the identity on what parses. Checked
+   on every registered benchmark, so each new suite program exercises the
+   printer automatically. *)
+let test_pp_roundtrip_benchmarks () =
+  List.iter
+    (fun (b : Suites.Suite.benchmark) ->
+      let p1 = Frontend.parse_and_check_exn b.Suites.Suite.source in
+      let s1 = Frontend.Pp_ast.program_to_string p1 in
+      let p2 =
+        try Frontend.parse_and_check_exn s1
+        with Frontend.Compile_error e ->
+          Alcotest.failf "%s: printed program does not compile: %s\n%s"
+            b.Suites.Suite.name (Frontend.error_to_string e) s1
+      in
+      let s2 = Frontend.Pp_ast.program_to_string p2 in
+      Alcotest.(check string) (b.Suites.Suite.name ^ " round-trips") s1 s2)
+    (Suites.Suite.all ())
+
+(* The printed program must also mean the same thing: equal output and cost
+   on a spot-checked benchmark (full semantic equality over the registry is
+   the interpreter suite's job). *)
+let test_pp_preserves_semantics () =
+  let check_src src =
+    let out0 = run src in
+    let printed =
+      Frontend.Pp_ast.program_to_string (Frontend.parse_and_check_exn src)
+    in
+    Alcotest.(check string) "printed program behaves identically" out0 (run printed)
+  in
+  check_src
+    {|
+global counter: int = 10;
+fn bump(by: int) { counter = counter + by; }
+fn main() -> int {
+  var acc: float = 0.5;
+  for (var i: int = 0; i < 10; i = i + 1) {
+    if (i % 3 == 0 && i != 6 || i == 1) { bump(i); } else { bump(-1); }
+    acc = acc + float(i) * 1.5;
+  }
+  var a: int[] = new int[8];
+  a[counter & 7] = -42;
+  while (counter > 0) { counter = counter - (1 << 1) + 1; }
+  print_int(counter + a[2] + int(acc) + len(a));
+  return 0;
+}
+|}
+
+let test_pp_precedence_edge_cases () =
+  (* shapes where a naive printer would drop or misplace parentheses *)
+  List.iter
+    (fun expr ->
+      let src = main_print_int expr in
+      let printed =
+        Frontend.Pp_ast.program_to_string (Frontend.parse_and_check_exn src)
+      in
+      Alcotest.(check string) (expr ^ " same value") (run src) (run printed))
+    [
+      "2 + 3 * 4";
+      "(2 + 3) * 4";
+      "1 << 4 + 1";
+      "(1 << 4) + 1";
+      "10 - (3 - 2)";
+      "10 - 3 - 2";
+      "100 / (5 / 2)";
+      "-(2 + 3)";
+      "- - 5";
+      "(12 & 7) ^ 2 | 1";
+      "12 & (7 ^ 2)";
+      "-2 * 3";
+    ]
+
 (* Property: random arithmetic expressions evaluate identically in Looplang
    and OCaml (Int64 semantics). *)
 let gen_arith =
@@ -359,6 +500,21 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
         ] );
       ("sema", [ Alcotest.test_case "errors" `Quick test_sema_errors ]);
+      ( "diagnostics",
+        [
+          Alcotest.test_case "error locations" `Quick test_error_locations;
+          Alcotest.test_case "lowering error located" `Quick
+            test_lowering_error_located;
+        ] );
+      ( "pretty-printer",
+        [
+          Alcotest.test_case "benchmark round-trips" `Quick
+            test_pp_roundtrip_benchmarks;
+          Alcotest.test_case "preserves semantics" `Quick
+            test_pp_preserves_semantics;
+          Alcotest.test_case "precedence edge cases" `Quick
+            test_pp_precedence_edge_cases;
+        ] );
       ( "lowering",
         [
           Alcotest.test_case "factorial (recursion)" `Quick test_factorial;

@@ -162,9 +162,63 @@ let check_one seed =
       [ Loopa.Config.of_string "reduc1-dep2-fn2 PDOALL"; Loopa.Config.best_helix ]
   end
 
+(* On failure, capture the seed's program as a repro bundle (classified by
+   re-running the same invariants through Repro.Pipeline), shrink it, and
+   report the minimized program alongside the original failure — so a fuzz
+   regression arrives pre-reduced. With FUZZ_REPRO_DIR set (the CI fuzz job
+   sets it), the bundle is also written there as an artifact. *)
+let fuzz_configs =
+  [
+    Loopa.Config.of_string "reduc0-dep0-fn0 DOALL";
+    Loopa.Config.of_string "reduc1-dep2-fn2 PDOALL";
+    Loopa.Config.best_helix;
+  ]
+
+let emit_bundle seed (b : Repro.Bundle.t) =
+  match Sys.getenv_opt "FUZZ_REPRO_DIR" with
+  | None -> None
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (Printf.sprintf "fuzz-seed-%d.repro.json" seed) in
+      Repro.Bundle.save path b;
+      Some path
+
+let check_one_with_repro seed =
+  try check_one seed
+  with original ->
+    let src = gen_program seed in
+    let b =
+      Repro.Bundle.make
+        ~target:(Printf.sprintf "fuzz-seed-%d" seed)
+        ~source:src ~stage:Loopa.Driver.Fuzz ~fingerprint:"fuzz:unclassified"
+        ~message:"fuzz invariant violation (not classified by the pipeline)"
+        ~configs:fuzz_configs ~fuel:10_000_000 ~static_prune:false
+        ~crosscheck:true ~check_invariants:true ()
+    in
+    (* stamp the bundle with the pipeline's own classification, then reduce *)
+    let b = Option.value ~default:b (Repro.Pipeline.classify b) in
+    let b, shrunk =
+      match Repro.Shrink.shrink ~max_candidates:1_000 b with
+      | Ok (sb, _) -> (sb, true)
+      | Error _ -> (b, false)
+    in
+    let saved =
+      match emit_bundle seed b with
+      | Some path -> Printf.sprintf "\nrepro bundle: %s" path
+      | None -> ""
+    in
+    if shrunk then
+      Alcotest.failf "seed %d: %s [%s]%s\nminimized repro:\n%s"
+        seed (Printexc.to_string original) b.Repro.Bundle.fingerprint saved
+        b.Repro.Bundle.source
+    else begin
+      (match saved with "" -> () | s -> print_string s);
+      raise original
+    end
+
 let test_fuzz_corpus () =
   for seed = 1 to 60 do
-    check_one seed
+    check_one_with_repro seed
   done
 
 let () =
