@@ -10,6 +10,11 @@ let quick = Array.exists (( = ) "--quick") Sys.argv
 
 let skip_bechamel = Array.exists (( = ) "--skip-bechamel") Sys.argv
 
+(* Record pipeline telemetry for the whole harness run (must happen before
+   [analyses] below profiles everything): the BENCH snapshot written at exit
+   carries the aggregated per-stage span timings and counters. *)
+let () = Obs.Telemetry.enable ()
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -425,6 +430,30 @@ let ablations () =
   ablation_helix_delta ();
   ablation_predictors ()
 
+(* ---- perf snapshot: per-stage timings from the telemetry spans ---- *)
+
+let write_bench_snapshot () =
+  let spans = Obs.Telemetry.spans () in
+  let counters = Obs.Telemetry.counters () in
+  let harness =
+    Util.Json.Obj
+      [
+        ("quick", Util.Json.Bool quick);
+        ("cpu_s", Util.Json.Float (Sys.time ()));
+        ("n_benchmarks", Util.Json.Int (List.length analyses));
+      ]
+  in
+  let j =
+    match Obs.Export.snapshot_json ~spans ~counters with
+    | Util.Json.Obj fields -> Util.Json.Obj (("harness", harness) :: fields)
+    | j -> j
+  in
+  let path = if quick then "BENCH_quick.json" else "BENCH_full.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Util.Json.to_string j);
+      output_char oc '\n');
+  Printf.printf "\nper-stage perf snapshot (spans + counters): %s\n" path
+
 let () =
   table1 ();
   table2 ();
@@ -439,4 +468,5 @@ let () =
     with e ->
       Printf.printf "bechamel probes skipped: %s\n" (Printexc.to_string e)
   end;
+  write_bench_snapshot ();
   print_endline "\ndone."

@@ -93,6 +93,49 @@ let handle_errors f =
       f ();
       0)
 
+(* ---- telemetry flags (analyze / sweep / campaign) ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record pipeline telemetry and write a Chrome trace-event JSON of \
+           every span to $(docv); load it in chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Record pipeline telemetry and print the metrics dump (span tree, \
+           counters, histograms) after the run.")
+
+let prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:
+          "Record pipeline telemetry and write a Prometheus-style text dump \
+           of counters, histograms and span aggregates to $(docv).")
+
+(* Enable recording iff any exporter was requested, and export on the way
+   out even when the body fails — the trace of a failed pipeline is exactly
+   the thing worth looking at. *)
+let with_telemetry ~trace ~metrics ~prom f =
+  if trace = None && (not metrics) && prom = None then f ()
+  else begin
+    Obs.Telemetry.enable ();
+    let export () =
+      Option.iter Obs.Export.write_chrome_trace trace;
+      Option.iter Obs.Export.write_prometheus prom;
+      if metrics then print_string (Report.Metrics.render ())
+    in
+    Fun.protect ~finally:export f
+  end
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -216,45 +259,47 @@ let print_static_verdicts (ms : Loopa.Classify.module_static) =
   print_newline ()
 
 let analyze_cmd =
-  let run target config fuel loops optimize static_dep =
+  let run target config fuel loops optimize static_dep trace metrics prom =
     handle_errors (fun () ->
-        let cfg = Loopa.Config.of_string config in
-        let a = Loopa.Driver.analyze_source ~fuel ~optimize (read_program target) in
-        if static_dep then print_static_verdicts a.Loopa.Driver.ms;
-        print_report ~show_loops:loops (Loopa.Driver.evaluate a cfg))
+        with_telemetry ~trace ~metrics ~prom (fun () ->
+            let cfg = Loopa.Config.of_string config in
+            let a = Loopa.Driver.analyze_source ~fuel ~optimize (read_program target) in
+            if static_dep then print_static_verdicts a.Loopa.Driver.ms;
+            print_report ~show_loops:loops (Loopa.Driver.evaluate a cfg)))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the limit study on a program under one configuration.")
     Term.(
       const run $ target_arg $ config_arg $ fuel_arg $ loops_arg $ optimize_arg
-      $ static_dep_arg)
+      $ static_dep_arg $ trace_arg $ metrics_arg $ prom_arg)
 
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run target fuel =
+  let run target fuel trace metrics prom =
     handle_errors (fun () ->
-        let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
-        let t =
-          Report.Table.create [ "configuration"; "speedup"; "coverage %"; "static %" ]
-        in
-        List.iter
-          (fun cfg ->
-            let r = Loopa.Driver.evaluate a cfg in
-            Report.Table.add_row t
-              [
-                Loopa.Config.name cfg;
-                Printf.sprintf "%.2f" r.Loopa.Evaluate.speedup;
-                Printf.sprintf "%.1f" r.Loopa.Evaluate.coverage_pct;
-                Printf.sprintf "%.1f" r.Loopa.Evaluate.static_coverage_pct;
-              ])
-          Loopa.Config.figure_ladder;
-        print_endline (Report.Table.render t))
+        with_telemetry ~trace ~metrics ~prom (fun () ->
+            let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
+            let t =
+              Report.Table.create [ "configuration"; "speedup"; "coverage %"; "static %" ]
+            in
+            List.iter
+              (fun cfg ->
+                let r = Loopa.Driver.evaluate a cfg in
+                Report.Table.add_row t
+                  [
+                    Loopa.Config.name cfg;
+                    Printf.sprintf "%.2f" r.Loopa.Evaluate.speedup;
+                    Printf.sprintf "%.1f" r.Loopa.Evaluate.coverage_pct;
+                    Printf.sprintf "%.1f" r.Loopa.Evaluate.static_coverage_pct;
+                  ])
+              Loopa.Config.figure_ladder;
+            print_endline (Report.Table.render t)))
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Evaluate the full Figure-2/3 configuration ladder.")
-    Term.(const run $ target_arg $ fuel_arg)
+    Term.(const run $ target_arg $ fuel_arg $ trace_arg $ metrics_arg $ prom_arg)
 
 (* ---- campaign ---- *)
 
@@ -390,7 +435,8 @@ let campaign_cmd =
              $(docv) for every errored task; replay or shrink them with the \
              $(b,repro) subcommands.")
   in
-  let run targets all json checkpoint resume retries fuel wall injects repro_dir =
+  let run targets all json checkpoint resume retries fuel wall injects repro_dir
+      trace metrics prom =
     handle_errors (fun () ->
         if (not all) && targets = [] then
           raise (Invalid_argument "campaign needs TARGETS or --all");
@@ -430,13 +476,23 @@ let campaign_cmd =
           }
         in
         let log = if json then fun _ -> () else prerr_endline in
-        let summary =
-          Campaign.Runner.run ~budgets ?checkpoint ~resume ~faults_of ?repro_dir
-            ~log named
-        in
-        if json then
-          print_endline (Util.Json.to_string (Campaign.Runner.summary_to_json summary))
-        else print_campaign_summary summary)
+        with_telemetry ~trace ~metrics ~prom (fun () ->
+            (* a live progress line rides along whenever telemetry is on
+               (and the summary is not being parsed off stdout as JSON) *)
+            let heartbeat =
+              if (not json) && Obs.Telemetry.enabled () then
+                Some
+                  (fun hb -> prerr_endline (Campaign.Runner.heartbeat_line hb))
+              else None
+            in
+            let summary =
+              Campaign.Runner.run ~budgets ?checkpoint ~resume ~faults_of
+                ?repro_dir ~log ?heartbeat named
+            in
+            if json then
+              print_endline
+                (Util.Json.to_string (Campaign.Runner.summary_to_json summary))
+            else print_campaign_summary summary))
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -445,7 +501,8 @@ let campaign_cmd =
           budgets, graceful truncation, JSONL checkpointing and resumption.")
     Term.(
       const run $ targets_arg $ all_arg $ json_arg $ checkpoint_arg $ resume_arg
-      $ retries_arg $ fuel_arg $ wall_arg $ inject_arg $ repro_dir_arg)
+      $ retries_arg $ fuel_arg $ wall_arg $ inject_arg $ repro_dir_arg
+      $ trace_arg $ metrics_arg $ prom_arg)
 
 (* ---- repro ---- *)
 

@@ -50,6 +50,33 @@ let default_budgets =
     retries = 1;
   }
 
+(* One campaign progress beat, emitted after every finished task. Counter
+   deltas are since the previous beat (empty unless telemetry is enabled). *)
+type heartbeat = {
+  hb_done : int;
+  hb_total : int;
+  hb_elapsed_s : float;
+  hb_tasks_per_s : float;
+  hb_eta_s : float;
+  hb_counters : (string * int) list;
+}
+
+let heartbeat_line hb =
+  let base =
+    Printf.sprintf "[%d/%d] %.2f tasks/s, eta %.1fs" hb.hb_done hb.hb_total
+      hb.hb_tasks_per_s hb.hb_eta_s
+  in
+  (* keep the line readable: only the three largest counter movements *)
+  let top =
+    List.sort (fun (_, a) (_, b) -> compare (abs b) (abs a)) hb.hb_counters
+    |> List.filteri (fun i _ -> i < 3)
+  in
+  match top with
+  | [] -> base
+  | l ->
+      base ^ " | "
+      ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s +%d" k v) l)
+
 type summary = {
   results : result list; (* target order; resumed results included *)
   n_completed : int;
@@ -133,7 +160,10 @@ let error_to_json e =
     | Trap (_, m) -> base @ [ ("message", Json.String m) ]
     | Budget_exhausted _ -> base)
 
-let result_to_json r =
+(* [telemetry] embeds a per-task span/counter snapshot
+   (Obs.Export.snapshot_json) in the checkpoint line. The decoder ignores
+   unknown fields, so lines with and without it mix freely under resume. *)
+let result_to_json ?telemetry r =
   let scores s = ("scores", Json.List (List.map score_to_json s)) in
   Json.Obj
     ([
@@ -148,7 +178,8 @@ let result_to_json r =
         ("attempts", Json.Int r.attempts);
         ("clock", Json.Int r.clock);
         ("wall_s", Json.Float r.wall_s);
-      ])
+      ]
+    @ match telemetry with Some t -> [ ("telemetry", t) ] | None -> [])
 
 let score_of_json j =
   match
@@ -444,7 +475,8 @@ let emit_bundle ~dir ~budgets ~configs ~faults target src
 
 let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
     ?checkpoint ?(resume = false) ?(faults_of = fun _ -> []) ?repro_dir
-    ?(log = fun _ -> ()) (targets : (string * string) list) : summary =
+    ?(log = fun _ -> ()) ?heartbeat (targets : (string * string) list) :
+    summary =
   let done_before =
     match checkpoint with
     | Some path when resume -> load_checkpoint ~log path
@@ -464,6 +496,31 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
     ~finally:(fun () -> Option.iter close_out oc)
     (fun () ->
       let n_resumed = ref 0 in
+      let t0 = Sys.time () in
+      let total = List.length targets in
+      let n_done = ref 0 in
+      let beat_mark = ref (Obs.Telemetry.mark ()) in
+      let beat () =
+        incr n_done;
+        match heartbeat with
+        | None -> ()
+        | Some emit ->
+            let elapsed = Sys.time () -. t0 in
+            let rate = if elapsed > 0.0 then float_of_int !n_done /. elapsed else 0.0 in
+            let _, deltas = Obs.Telemetry.since !beat_mark in
+            beat_mark := Obs.Telemetry.mark ();
+            emit
+              {
+                hb_done = !n_done;
+                hb_total = total;
+                hb_elapsed_s = elapsed;
+                hb_tasks_per_s = rate;
+                hb_eta_s =
+                  (if rate > 0.0 then float_of_int (total - !n_done) /. rate
+                   else 0.0);
+                hb_counters = deltas;
+              }
+      in
       let results =
         List.map
           (fun (target, src) ->
@@ -471,13 +528,25 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
             | Some r ->
                 incr n_resumed;
                 log (Printf.sprintf "%-24s resumed: %s" target (status_to_string r.status));
+                beat ();
                 r
             | None ->
                 let faults = faults_of target in
-                let r, failure = run_task ~budgets ~configs ~faults target src in
+                let tmark = Obs.Telemetry.mark () in
+                let r, failure =
+                  Obs.Telemetry.with_span "campaign.task"
+                    ~attrs:[ ("target", target) ]
+                    (fun () -> run_task ~budgets ~configs ~faults target src)
+                in
+                let telemetry =
+                  if Obs.Telemetry.enabled () then
+                    let spans, counters = Obs.Telemetry.since tmark in
+                    Some (Obs.Export.snapshot_json ~spans ~counters)
+                  else None
+                in
                 Option.iter
                   (fun oc ->
-                    output_string oc (Json.to_string (result_to_json r));
+                    output_string oc (Json.to_string (result_to_json ?telemetry r));
                     output_char oc '\n';
                     flush oc)
                   oc;
@@ -489,6 +558,7 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                     | exception Sys_error m ->
                         log (Printf.sprintf "%-24s repro bundle failed: %s" "" m))
                 | _ -> ());
+                beat ();
                 r)
           targets
       in

@@ -43,6 +43,23 @@ type budgets = {
     one retry. *)
 val default_budgets : budgets
 
+(** One campaign progress beat, emitted after every finished (or resumed)
+    task. [hb_counters] holds the Obs.Telemetry counter deltas since the
+    previous beat — empty unless telemetry is enabled. *)
+type heartbeat = {
+  hb_done : int;
+  hb_total : int;
+  hb_elapsed_s : float;
+  hb_tasks_per_s : float;
+  hb_eta_s : float;
+  hb_counters : (string * int) list;
+}
+
+(** Render a beat as a one-line progress report:
+    ["[3/10] 1.25 tasks/s, eta 5.6s | interp.instructions +1234, ..."]
+    (the three largest counter movements only). *)
+val heartbeat_line : heartbeat -> string
+
 type summary = {
   results : result list;  (** target order; resumed results included *)
   n_completed : int;
@@ -64,8 +81,11 @@ val status_class : status -> string
 val status_to_string : status -> string
 
 (** Checkpoint-line codec (JSONL: one result object per line). Decoding
-    tolerates and reports malformed lines rather than failing the run. *)
-val result_to_json : result -> Util.Json.t
+    tolerates and reports malformed lines rather than failing the run;
+    unknown fields are ignored, which is what lets [telemetry] (a per-task
+    {!Obs.Export.snapshot_json} span/counter snapshot) ride along in
+    checkpoint lines without breaking older readers. *)
+val result_to_json : ?telemetry:Util.Json.t -> result -> Util.Json.t
 
 val result_of_json : Util.Json.t -> (result, string) Stdlib.result
 
@@ -79,7 +99,10 @@ val result_of_json : Util.Json.t -> (result, string) Stdlib.result
     task drop a self-contained {!Repro.Bundle} (named
     [<target>.repro.json]) there, replayable and shrinkable offline with
     the [repro] CLI subcommands. [log] receives one progress line per
-    task. *)
+    task. [heartbeat] receives one {!heartbeat} beat per finished task;
+    with telemetry enabled, every task also runs inside a
+    ["campaign.task"] span and its span/counter snapshot is embedded in
+    the checkpoint line. *)
 val run :
   ?budgets:budgets ->
   ?configs:Loopa.Config.t list ->
@@ -88,6 +111,7 @@ val run :
   ?faults_of:(string -> Interp.Machine.fault_plan) ->
   ?repro_dir:string ->
   ?log:(string -> unit) ->
+  ?heartbeat:(heartbeat -> unit) ->
   (string * string) list ->
   summary
 

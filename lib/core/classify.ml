@@ -116,45 +116,97 @@ let latch_def_of (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) lid phi_id : int option 
              else None)
   | _ -> None
 
+(* Classification telemetry: loop totals, per-phi-class counts and static
+   dependence verdicts (no-ops unless Obs.Telemetry is enabled). *)
+let c_loops = Obs.Telemetry.counter "classify.loops"
+
+let c_phi_computable = Obs.Telemetry.counter "classify.phi.computable"
+
+let c_phi_reduction = Obs.Telemetry.counter "classify.phi.reduction"
+
+let c_phi_non_computable = Obs.Telemetry.counter "classify.phi.non_computable"
+
+let c_dep_doall = Obs.Telemetry.counter "deptest.proven_doall"
+
+let c_dep_lcd = Obs.Telemetry.counter "deptest.proven_lcd"
+
+let c_dep_unknown = Obs.Telemetry.counter "deptest.unknown"
+
 (* [call_effect] summarises the memory effect of each callee for the static
    dependence tester; the default trusts builtin safety classes and assumes
-   the worst of user calls. *)
+   the worst of user calls. Two passes over the loop forest so the register
+   side (SCEV: phi classes, trip counts) and the memory side (deptest) are
+   separately attributable in traces. *)
 let analyze_func ?(call_effect = Deptest.Analysis.default_call_effect) ~pure
     (fn : Ir.Func.t) : func_static =
+  Obs.Telemetry.with_span "classify.func" ~attrs:[ ("fn", fn.Ir.Func.fname) ]
+  @@ fun () ->
   let cfg = Cfg.Graph.build fn in
   let dom = Cfg.Dom.compute cfg in
   let li = Cfg.Loopinfo.compute cfg dom in
   let scev = Scev.Analysis.create fn li in
-  let loops =
+  let loop_arr = Array.of_list (Cfg.Loopinfo.loops li) in
+  Obs.Telemetry.add c_loops (Array.length loop_arr);
+  (* Pass 1 — SCEV: classify header phis, compute static trip counts. *)
+  let reg_side =
+    Obs.Telemetry.with_span "scev" @@ fun () ->
     Array.map
       (fun (l : Cfg.Loopinfo.loop) ->
         let phis =
           Ir.Func.phis fn l.Cfg.Loopinfo.header
           |> List.map (fun (i : Ir.Instr.t) ->
                  let phi_id = i.Ir.Instr.id in
+                 let cls = classify_phi fn li scev phi_id in
+                 Obs.Telemetry.incr
+                   (match cls with
+                   | Computable -> c_phi_computable
+                   | Reduction _ -> c_phi_reduction
+                   | Non_computable -> c_phi_non_computable);
                  {
                    phi_id;
-                   cls = classify_phi fn li scev phi_id;
+                   cls;
                    latch_def = latch_def_of fn li l.Cfg.Loopinfo.lid phi_id;
                  })
           |> Array.of_list
         in
-        let lid = l.Cfg.Loopinfo.lid in
-        let trip = Scev.Trip_count.of_loop fn li scev lid in
+        (phis, Scev.Trip_count.of_loop fn li scev l.Cfg.Loopinfo.lid))
+      loop_arr
+  in
+  (* Pass 2 — deptest: the static memory-dependence verdict per loop. *)
+  let deps =
+    Obs.Telemetry.with_span "deptest" @@ fun () ->
+    Array.map2
+      (fun (l : Cfg.Loopinfo.loop) (_, trip) ->
+        let dep =
+          Deptest.Analysis.analyze_loop fn li scev ~lid:l.Cfg.Loopinfo.lid ~trip
+            ~call_effect
+        in
+        Obs.Telemetry.incr
+          (match dep.Deptest.Analysis.verdict with
+          | Deptest.Analysis.Proven_doall -> c_dep_doall
+          | Deptest.Analysis.Proven_lcd _ -> c_dep_lcd
+          | Deptest.Analysis.Unknown -> c_dep_unknown);
+        dep)
+      loop_arr reg_side
+  in
+  let loops =
+    Array.init (Array.length loop_arr) (fun i ->
+        let l = loop_arr.(i) in
+        let phis, trip = reg_side.(i) in
         {
-          lid;
+          lid = l.Cfg.Loopinfo.lid;
           header = l.Cfg.Loopinfo.header;
           depth = l.Cfg.Loopinfo.depth;
           parent = l.Cfg.Loopinfo.parent;
           phis;
           trip;
-          dep = Deptest.Analysis.analyze_loop fn li scev ~lid ~trip ~call_effect;
+          dep = deps.(i);
         })
-      (Array.of_list (Cfg.Loopinfo.loops li))
   in
   { fname = fn.Ir.Func.fname; fn; li; loops; pure }
 
 let analyze_module (m : Ir.Func.modul) : module_static =
+  Obs.Telemetry.with_span "classify" @@ fun () ->
   let purity = compute_purity m in
   (* Pure user functions never store (their loads still count as reads);
      everything else may read and write arbitrary memory. *)

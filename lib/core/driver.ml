@@ -118,13 +118,44 @@ let crash_failure ~stage exn =
   in
   { stage; fingerprint = Printf.sprintf "crash:%s@%s" ctor (hash8 printed); message = printed }
 
+(* ---- telemetry ----
+
+   Run-level interpreter counters, fed once per profiling run from the
+   machine's own tallies. The interpreter's per-instruction hot loop carries
+   no instrumentation calls at all (see Obs.Telemetry): the machine counts
+   for itself and the driver publishes on every exit path — normal
+   completion, budget truncation, and traps alike. *)
+
+let c_runs = Obs.Telemetry.counter "interp.runs"
+
+let c_instrs = Obs.Telemetry.counter "interp.instructions"
+
+let c_mem_accesses = Obs.Telemetry.counter "interp.mem.accesses"
+
+let c_mem_events = Obs.Telemetry.counter "interp.mem.events"
+
+let c_mem_pruned = Obs.Telemetry.counter "interp.mem.pruned"
+
+let c_traps = Obs.Telemetry.counter "interp.traps"
+
+let c_truncations = Obs.Telemetry.counter "interp.truncations"
+
+let record_run (machine : Interp.Machine.t) =
+  Obs.Telemetry.incr c_runs;
+  Obs.Telemetry.add c_instrs (Interp.Machine.instructions_retired machine);
+  Obs.Telemetry.add c_mem_accesses (Interp.Machine.mem_accesses machine);
+  Obs.Telemetry.add c_mem_events (Interp.Machine.mem_events machine);
+  Obs.Telemetry.add c_mem_pruned (Interp.Machine.mem_events_pruned machine)
+
 (* Canonicalize and statically analyze a module (destructive on [m]).
    [optimize] first runs the constant-folding / CFG-cleanup / DCE pipeline —
    the stand-in for the paper's "-Ofast IR" starting point. *)
 let prepare ?(optimize = false) (m : Ir.Func.modul) : Classify.module_static =
+  Obs.Telemetry.with_span "prepare" @@ fun () ->
   if optimize then Opt.Pipeline.run_module m;
-  Cfg.Loop_simplify.run_module m;
-  Ir.Verifier.check_module_exn m;
+  Obs.Telemetry.with_span "loop-simplify" (fun () ->
+      Cfg.Loop_simplify.run_module m);
+  Obs.Telemetry.with_span "verify" (fun () -> Ir.Verifier.check_module_exn m);
   Classify.analyze_module m
 
 (* Execute the instrumented program once, collecting the profile all
@@ -171,7 +202,14 @@ let profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
     profiling_machine ?fuel ?mem_limit ?max_depth ?deadline ?faults
       ?make_predictor ?static_prune ms
   in
-  finish_profile ms profiler (Interp.Machine.run_main machine)
+  let outcome =
+    Obs.Telemetry.with_span "profile.interp" (fun () ->
+        Interp.Machine.run_main machine)
+  in
+  record_run machine;
+  if outcome.Interp.Machine.stop <> Interp.Machine.Completed then
+    Obs.Telemetry.incr c_truncations;
+  finish_profile ms profiler outcome
 
 (* As [profile_module], but every way the run can fail comes back as a
    classified {!failure} instead of an exception — with the machine clock at
@@ -185,11 +223,21 @@ let profile_result ?fuel ?mem_limit ?max_depth ?deadline ?faults
     profiling_machine ?fuel ?mem_limit ?max_depth ?deadline ?faults
       ?make_predictor ?static_prune ms
   in
-  match Interp.Machine.run_main machine with
-  | outcome -> Ok (finish_profile ms profiler outcome)
+  match
+    Obs.Telemetry.with_span "profile.interp" (fun () ->
+        Interp.Machine.run_main machine)
+  with
+  | outcome ->
+      record_run machine;
+      if outcome.Interp.Machine.stop <> Interp.Machine.Completed then
+        Obs.Telemetry.incr c_truncations;
+      Ok (finish_profile ms profiler outcome)
   | exception Interp.Rvalue.Trap (kind, msg) ->
+      record_run machine;
+      Obs.Telemetry.incr c_traps;
       Error (trap_failure ~clock:(Interp.Machine.clock machine) kind msg)
   | exception Interp.Rvalue.Runtime_error msg ->
+      record_run machine;
       Error
         {
           stage = Execute;
@@ -197,6 +245,7 @@ let profile_result ?fuel ?mem_limit ?max_depth ?deadline ?faults
           message = "runtime error: " ^ msg;
         }
   | exception Stack_overflow ->
+      record_run machine;
       Error
         {
           stage = Execute;
@@ -206,6 +255,7 @@ let profile_result ?fuel ?mem_limit ?max_depth ?deadline ?faults
 
 let analyze_source ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
     ?optimize ?static_prune (src : string) : analysis =
+  Obs.Telemetry.with_span "analyze" @@ fun () ->
   let m = Frontend.compile_exn src in
   let ms = prepare ?optimize m in
   {
@@ -217,6 +267,7 @@ let analyze_source ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
 
 let analyze_module ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
     ?optimize ?static_prune (m : Ir.Func.modul) : analysis =
+  Obs.Telemetry.with_span "analyze" @@ fun () ->
   let ms = prepare ?optimize m in
   {
     ms;

@@ -67,8 +67,25 @@ type knobs = {
 let default_knobs =
   { pdoall_cutoff = Model.pdoall_conflict_cutoff; helix_distance_normalized = false }
 
+(* Model-evaluation telemetry: invocations scored per execution model,
+   invocations the model actually parallelized, conflicting-iteration totals,
+   and the speedup distribution across configurations. *)
+let c_doall_scored = Obs.Telemetry.counter "model.doall.scored"
+
+let c_pdoall_scored = Obs.Telemetry.counter "model.pdoall.scored"
+
+let c_helix_scored = Obs.Telemetry.counter "model.helix.scored"
+
+let c_parallel_invs = Obs.Telemetry.counter "model.parallel_invocations"
+
+let c_conflict_iters = Obs.Telemetry.counter "model.conflicting_iterations"
+
+let h_speedup = Obs.Telemetry.histogram "evaluate.speedup"
+
 let evaluate ?(knobs = default_knobs) (p : Profile.profile) (config : Config.t) :
     report =
+  Obs.Telemetry.with_span "evaluate" ~attrs:[ ("config", Config.name config) ]
+  @@ fun () ->
   let n = Array.length p.Profile.invs in
   let final = Array.make n 0.0 in
   let covered = Array.make n 0.0 in
@@ -167,11 +184,18 @@ let evaluate ?(knobs = default_knobs) (p : Profile.profile) (config : Config.t) 
     let model_cost =
       Model.cost ~pdoall_cutoff:knobs.pdoall_cutoff config.Config.model inp
     in
+    Obs.Telemetry.incr
+      (match config.Config.model with
+      | Config.Doall -> c_doall_scored
+      | Config.Pdoall -> c_pdoall_scored
+      | Config.Helix -> c_helix_scored);
+    Obs.Telemetry.add c_conflict_iters (Hashtbl.length conflicts);
     let f =
       match model_cost with Some c -> Float.min c serial_reduced | None -> serial_reduced
     in
     final.(id) <- f;
     is_parallel.(id) <- (match model_cost with Some c -> c < serial_reduced | None -> false);
+    if is_parallel.(id) then Obs.Telemetry.incr c_parallel_invs;
     covered.(id) <- (if is_parallel.(id) then raw_total else child_covered.(id));
     static_covered.(id) <-
       (match static_verdict_of inv with
@@ -254,11 +278,13 @@ let evaluate ?(knobs = default_knobs) (p : Profile.profile) (config : Config.t) 
   in
   let total = p.Profile.total_cost in
   let parallel_cost = Float.max 1.0 (float_of_int total -. !prog_savings) in
+  let speedup = float_of_int total /. parallel_cost in
+  Obs.Telemetry.observe h_speedup speedup;
   {
     config;
     total_cost = total;
     parallel_cost;
-    speedup = float_of_int total /. parallel_cost;
+    speedup;
     truncated = p.Profile.truncated;
     coverage_pct =
       (if total > 0 then 100.0 *. !prog_covered /. float_of_int total else 0.0);

@@ -132,7 +132,15 @@ let new_track t (pi : Classify.phi_info) : reg_track =
     mispredict_iters = Ir.Vec.create ~dummy:0;
   }
 
-(* ---- event handlers ---- *)
+(* ---- event handlers ----
+
+   Per-invocation telemetry only: loop enter/exit fire once per dynamic
+   invocation, so a counter bump and an iteration-count observation here cost
+   nothing per instruction (and are no-ops while telemetry is disabled). *)
+
+let c_invocations = Obs.Telemetry.counter "profile.loop.invocations"
+
+let h_loop_iters = Obs.Telemetry.histogram "profile.loop.iterations"
 
 let on_call_enter t ~fname ~clock:_ =
   t.call_stack <- fname :: t.call_stack;
@@ -196,6 +204,7 @@ let on_loop_enter t ~lid ~clock =
   in
   Ir.Vec.push inv.iter_starts clock;
   Ir.Vec.push t.invs inv;
+  Obs.Telemetry.incr c_invocations;
   t.stack <- inv :: t.stack
 
 (* Close out per-track pending state for the iteration that just ended: a
@@ -222,6 +231,7 @@ let on_loop_exit t ~lid ~clock =
   | inv :: rest when inv.lid = lid ->
       finish_iteration_tracks inv;
       inv.end_clock <- clock;
+      Obs.Telemetry.observe h_loop_iters (float_of_int (n_iters inv));
       t.stack <- rest
   | _ -> invalid_arg "loop_exit without matching invocation"
 

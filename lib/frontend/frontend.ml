@@ -42,25 +42,30 @@ exception Compile_error of error
    any front-end failure, and Ir.Verifier.Invalid_ir if lowering ever emits
    ill-formed IR (that would be a bug in this library, not in user code). *)
 let compile_exn (src : string) : Ir.Func.modul =
+  Obs.Telemetry.with_span "compile" @@ fun () ->
   let wrap kind msg pos = raise (Compile_error { kind; msg; pos }) in
   let prog =
+    Obs.Telemetry.with_span "parse" @@ fun () ->
     try Parser.parse_program src with
     | Lexer.Lex_error (msg, pos) -> wrap Lex msg pos
     | Parser.Parse_error (msg, pos) -> wrap Syntax msg pos
   in
-  (try Sema.check_program prog
+  (Obs.Telemetry.with_span "sema" @@ fun () ->
+   try Sema.check_program prog
    with Sema.Sema_error (msg, pos) -> wrap Type msg pos);
   let m =
+    Obs.Telemetry.with_span "lower" @@ fun () ->
     try Lower.lower_program prog
     with Lower.Lower_error (msg, pos) -> wrap Lowering msg pos
   in
-  Ir.Verifier.check_module_exn m;
-  (match Cfg.Ssa_check.check_module m with
-  | [] -> ()
-  | errs ->
-      raise
-        (Ir.Verifier.Invalid_ir
-           (String.concat "\n" (List.map Cfg.Ssa_check.error_to_string errs))));
+  (Obs.Telemetry.with_span "verify" @@ fun () ->
+   Ir.Verifier.check_module_exn m;
+   match Cfg.Ssa_check.check_module m with
+   | [] -> ()
+   | errs ->
+       raise
+         (Ir.Verifier.Invalid_ir
+            (String.concat "\n" (List.map Cfg.Ssa_check.error_to_string errs))));
   m
 
 let compile (src : string) : (Ir.Func.modul, error) result =

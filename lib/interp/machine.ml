@@ -123,6 +123,17 @@ let create ?(hooks = Events.no_hooks) ?(fuel = 2_000_000_000)
 
 let clock (t : t) = t.clock
 
+(* Run counters, readable on every exit path (the outcome record only
+   exists when the run ends cleanly). The clock advances one per executed
+   instruction, so it doubles as the instructions-retired tally. *)
+let instructions_retired (t : t) = t.clock
+
+let mem_accesses (t : t) = t.mem_accesses
+
+let mem_events (t : t) = t.mem_events
+
+let mem_events_pruned (t : t) = t.mem_accesses - t.mem_events
+
 let plan t fname =
   match Hashtbl.find_opt t.plans fname with
   | Some p -> p

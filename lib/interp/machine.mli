@@ -64,6 +64,23 @@ val loopinfo : t -> string -> Cfg.Loopinfo.t
     exists — so failure fingerprints can carry the trap's clock. *)
 val clock : t -> int
 
+(** {!clock} under its counter name: dynamic IR instructions executed so
+    far. Like [clock], readable on every exit path — including after a
+    trap — which is what lets the driver publish run counters even for
+    failed runs. *)
+val instructions_retired : t -> int
+
+(** Word accesses executed so far. *)
+val mem_accesses : t -> int
+
+(** Word accesses reported through hooks so far — lower than
+    {!mem_accesses} when watch plans pruned statically proven RAW-free
+    loops. *)
+val mem_events : t -> int
+
+(** Accesses the watch plans pruned: [mem_accesses - mem_events]. *)
+val mem_events_pruned : t -> int
+
 (** Scalar semantics, exposed for tests and the constant folder (optimized
     code can never disagree with execution).
     @raise Rvalue.Trap ([Div_by_zero]) on division/remainder by zero *)

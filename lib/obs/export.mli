@@ -1,0 +1,32 @@
+(** Telemetry exporters: Chrome trace-event JSON (loadable in
+    [chrome://tracing] / Perfetto), a Prometheus-style text dump, and the
+    compact JSON snapshot embedded per task in campaign JSONL checkpoints.
+    All read the process-wide {!Telemetry} state; all emission goes through
+    the shared [Util.Json] codec — no second JSON printer. *)
+
+(** The recorded spans as a Chrome trace: one complete ("X") event per span
+    (microsecond timestamps on the telemetry clock), plus one instant event
+    carrying the final counter values. *)
+val chrome_trace : unit -> Util.Json.t
+
+val chrome_trace_string : unit -> string
+
+val write_chrome_trace : string -> unit
+
+(** Counters as [loopa_<name>_total], histograms as [_bucket]/[_sum]/
+    [_count] families, and per-span-name duration aggregates as
+    [loopa_span_seconds{span="..."}] sum/count pairs — one sample per line,
+    [# TYPE] comments included. *)
+val prometheus : unit -> string
+
+val write_prometheus : string -> unit
+
+(** [(span name, (count, total seconds))] over a span list, sorted by
+    total descending — the aggregate the snapshot and BENCH emitters use. *)
+val aggregate_spans :
+  Telemetry.span list -> (string * (int * float)) list
+
+(** Compact per-task snapshot: [{"spans":{name:{"n":..,"s":..}..},
+    "counters":{name:delta..}}]. *)
+val snapshot_json :
+  spans:Telemetry.span list -> counters:(string * int) list -> Util.Json.t

@@ -3,20 +3,23 @@
    paper's "IR after -Ofast" starting point. Every pass is semantics-
    preserving (checked by test/test_opt.ml against the whole suite corpus). *)
 
+let span name f = Obs.Telemetry.with_span name f
+
 let run_func (fn : Ir.Func.t) =
   let budget = ref 10 in
   let continue_ = ref true in
   while !continue_ && !budget > 0 do
     decr budget;
-    Constfold.run_func fn;
-    Simplify_cfg.run_func fn;
-    ignore (Licm.run_func fn);
-    let removed = Dce.run_func fn in
+    span "opt.constfold" (fun () -> Constfold.run_func fn);
+    span "opt.simplify-cfg" (fun () -> Simplify_cfg.run_func fn);
+    span "opt.licm" (fun () -> ignore (Licm.run_func fn));
+    let removed = span "opt.dce" (fun () -> Dce.run_func fn) in
     (* Constfold/Simplify_cfg reach their own fixpoints internally; iterate
        only while DCE keeps exposing more folding opportunities. *)
     continue_ := removed > 0
   done
 
 let run_module (m : Ir.Func.modul) =
+  span "opt" @@ fun () ->
   List.iter run_func m.Ir.Func.funcs;
-  Ir.Verifier.check_module_exn m
+  span "opt.verify" (fun () -> Ir.Verifier.check_module_exn m)

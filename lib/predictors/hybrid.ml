@@ -3,7 +3,27 @@
    this upper-bounds realistic hybrids without baking in a particular
    confidence scheme. *)
 
-type t = { components : Predictor.t list }
+(* Each component carries interned hit/miss counters so the per-instance
+   telemetry bump never hashes a name; every counter op is a no-op while
+   telemetry is disabled. *)
+type slot = {
+  p : Predictor.t;
+  hits_c : Obs.Telemetry.counter;
+  misses_c : Obs.Telemetry.counter;
+}
+
+type t = { slots : slot list }
+
+let c_hybrid_hits = Obs.Telemetry.counter "predictor.hybrid.hits"
+
+let c_hybrid_misses = Obs.Telemetry.counter "predictor.hybrid.misses"
+
+let slot_of (p : Predictor.t) =
+  {
+    p;
+    hits_c = Obs.Telemetry.counter ("predictor." ^ p.Predictor.name ^ ".hits");
+    misses_c = Obs.Telemetry.counter ("predictor." ^ p.Predictor.name ^ ".misses");
+  }
 
 let create ?(components = None) () : t =
   let components =
@@ -12,19 +32,29 @@ let create ?(components = None) () : t =
     | None ->
         [ Last_value.create (); Stride.create (); Two_delta.create (); Fcm.create () ]
   in
-  { components }
+  { slots = List.map slot_of components }
 
-let reset t = List.iter (fun (p : Predictor.t) -> p.Predictor.reset ()) t.components
+let reset t = List.iter (fun s -> s.p.Predictor.reset ()) t.slots
 
-(* Returns whether any component would have predicted [v], then trains all. *)
+(* Returns whether any component would have predicted [v], then trains all.
+   Every component is consulted (no short-circuit) so per-component accuracy
+   counters stay meaningful; [predict] never mutates, so this is free of
+   semantic effect. *)
 let step t (v : int64) : bool =
   let hit =
-    List.exists
-      (fun (p : Predictor.t) ->
-        match p.Predictor.predict () with Some g -> Int64.equal g v | None -> false)
-      t.components
+    List.fold_left
+      (fun acc s ->
+        let h =
+          match s.p.Predictor.predict () with
+          | Some g -> Int64.equal g v
+          | None -> false
+        in
+        Obs.Telemetry.incr (if h then s.hits_c else s.misses_c);
+        acc || h)
+      false t.slots
   in
-  List.iter (fun (p : Predictor.t) -> p.Predictor.train v) t.components;
+  List.iter (fun s -> s.p.Predictor.train v) t.slots;
+  Obs.Telemetry.incr (if hit then c_hybrid_hits else c_hybrid_misses);
   hit
 
 let hits t stream =

@@ -1,0 +1,90 @@
+(* Human rendering of the telemetry state (--metrics). The span tree is
+   aggregated: sibling spans with the same name merge into one line carrying
+   an invocation count and a summed duration, so a campaign over hundreds of
+   tasks still renders a page, not a transcript. Children keep first-seen
+   order, which follows pipeline order (parse before sema before lower). *)
+
+type node = {
+  mutable n : int;
+  mutable total_s : float;
+  mutable order : string list; (* child names, first-seen, reversed *)
+  children : (string, node) Hashtbl.t;
+}
+
+let new_node () = { n = 0; total_s = 0.0; order = []; children = Hashtbl.create 4 }
+
+let span_tree (spans : Obs.Telemetry.span list) : node =
+  let root = new_node () in
+  (* ids increase in start order, so a parent is always seen before its
+     children; [by_id] maps a span to the aggregate node it merged into *)
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Obs.Telemetry.span) ->
+      let parent =
+        match Hashtbl.find_opt by_id s.Obs.Telemetry.parent with
+        | Some p -> p
+        | None -> root
+      in
+      let name = s.Obs.Telemetry.name in
+      let nd =
+        match Hashtbl.find_opt parent.children name with
+        | Some nd -> nd
+        | None ->
+            let nd = new_node () in
+            Hashtbl.replace parent.children name nd;
+            parent.order <- name :: parent.order;
+            nd
+      in
+      nd.n <- nd.n + 1;
+      nd.total_s <- nd.total_s +. s.Obs.Telemetry.dur_s;
+      Hashtbl.replace by_id s.Obs.Telemetry.id nd)
+    spans;
+  root
+
+let render () =
+  let spans = Obs.Telemetry.spans () in
+  let counters = Obs.Telemetry.counters () in
+  let hists = Obs.Telemetry.histograms () in
+  if spans = [] && counters = [] && hists = [] then ""
+  else begin
+    let buf = Buffer.create 1024 in
+    let line fmt =
+      Printf.ksprintf
+        (fun s ->
+          Buffer.add_string buf s;
+          Buffer.add_char buf '\n')
+        fmt
+    in
+    if spans <> [] then begin
+      line "spans (name, count, total seconds)";
+      let rec emit depth order (children : (string, node) Hashtbl.t) =
+        List.iter
+          (fun name ->
+            let nd = Hashtbl.find children name in
+            let label = String.make (2 + (2 * depth)) ' ' ^ name in
+            line "%-44s %8d %12.6f" label nd.n nd.total_s;
+            emit (depth + 1) (List.rev nd.order) nd.children)
+          order
+      in
+      let root = span_tree spans in
+      emit 0 (List.rev root.order) root.children
+    end;
+    if counters <> [] then begin
+      if Buffer.length buf > 0 then line "";
+      line "counters";
+      List.iter (fun (name, v) -> line "  %-42s %12d" name v) counters
+    end;
+    if hists <> [] then begin
+      if Buffer.length buf > 0 then line "";
+      line "histograms";
+      List.iter
+        (fun (name, (h : Obs.Telemetry.hist_snapshot)) ->
+          line "  %-42s count=%d sum=%g min=%g max=%g" name
+            h.Obs.Telemetry.count h.Obs.Telemetry.sum h.Obs.Telemetry.minimum
+            h.Obs.Telemetry.maximum)
+        hists
+    end;
+    Buffer.contents buf
+  end
+
+let pp ppf () = Format.pp_print_string ppf (render ())

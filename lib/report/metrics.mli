@@ -1,0 +1,11 @@
+(** Human-readable rendering of the process-wide Obs.Telemetry state (the
+    [--metrics] dump): an aggregated span tree (spans sharing the same name
+    under the same parent are merged into one line with a count), then every
+    registered counter, then every histogram. *)
+
+(** Render the current telemetry state. Returns [""] when nothing was ever
+    recorded or registered (telemetry never enabled and no registrations). *)
+val render : unit -> string
+
+(** [render] written to a formatter — what the CLI prints on [--metrics]. *)
+val pp : Format.formatter -> unit -> unit

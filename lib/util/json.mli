@@ -1,0 +1,49 @@
+(** Minimal JSON codec shared by every serialized artifact in the tree —
+    campaign JSONL checkpoints, repro bundles, Chrome traces, Prometheus-
+    adjacent telemetry snapshots and bench snapshots. Self-contained on
+    purpose: the container has no JSON library and all schemas are small and
+    fully under our control.
+
+    This module is the ONLY place that knows how to escape or print JSON.
+    New serializers must build a {!t} and call {!to_string} rather than
+    hand-rolling string escaping. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Strings are escaped per RFC 8259;
+    non-finite floats are emitted as [null] so output always re-parses. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value. Numbers parse as [Int] when they are exact
+    integers, [Float] otherwise. Trailing non-whitespace is an error. *)
+
+exception Parse_error of string
+(** Raised internally by the parser; {!of_string} catches it and returns
+    [Error]. Exposed only so callers can pattern-match if they drive the
+    parser through a future streaming entry point. *)
+
+(** {2 Accessors}
+
+    Total accessors returning [option]; decoders use these so unknown or
+    missing fields degrade to [None] instead of raising (this is what keeps
+    checkpoint formats forward-compatible). *)
+
+val member : string -> t -> t option
+(** [member k j] is the value bound to [k] when [j] is an [Obj]. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+(** [Float] values are truncated to [int]. *)
+
+val to_float : t -> float option
+(** [Int] values are converted to [float]. *)
+
+val to_list : t -> t list option

@@ -308,6 +308,34 @@ let test_depth_truncation_closes_events () =
     (out.Interp.Machine.stop = Interp.Machine.Truncated Call_depth);
   Alcotest.(check int) "calls balanced" b.call_enters b.call_exits
 
+let test_counter_accessors () =
+  let m = Frontend.compile_exn nested_src in
+  Cfg.Loop_simplify.run_module m;
+  let machine = Interp.Machine.create m in
+  let out = Interp.Machine.run_main machine in
+  (* the live accessors and the outcome record must agree *)
+  Alcotest.(check int) "instructions = clock" out.Interp.Machine.clock
+    (Interp.Machine.instructions_retired machine);
+  Alcotest.(check int) "mem accesses" out.Interp.Machine.mem_accesses
+    (Interp.Machine.mem_accesses machine);
+  Alcotest.(check int) "mem events" out.Interp.Machine.mem_events
+    (Interp.Machine.mem_events machine);
+  Alcotest.(check int) "pruned = accesses - events"
+    (out.Interp.Machine.mem_accesses - out.Interp.Machine.mem_events)
+    (Interp.Machine.mem_events_pruned machine);
+  (* and stay readable when the run ends in a trap, where no outcome record
+     exists — the path the driver's counter publication depends on *)
+  let faulty =
+    Interp.Machine.create ~faults:[ (500, Interp.Machine.Inject_div_by_zero) ] m
+  in
+  (match Interp.Machine.run_main faulty with
+  | _ -> Alcotest.fail "expected injected trap"
+  | exception Trap (Div_by_zero, _) -> ());
+  Alcotest.(check bool) "instructions readable after trap" true
+    (Interp.Machine.instructions_retired faulty >= 500);
+  Alcotest.(check bool) "accesses readable after trap" true
+    (Interp.Machine.mem_accesses faulty >= Interp.Machine.mem_events faulty)
+
 let test_program_div_by_zero_traps () =
   match run "fn main() -> int { var z: int = 0; return 1 / z; }" with
   | _ -> Alcotest.fail "expected a div-by-zero trap"
@@ -378,5 +406,6 @@ let () =
           Alcotest.test_case "program div-by-zero traps" `Quick
             test_program_div_by_zero_traps;
           Alcotest.test_case "fault injection" `Quick test_fault_injection;
+          Alcotest.test_case "counter accessors" `Quick test_counter_accessors;
         ] );
     ]
