@@ -18,6 +18,55 @@ let () = Obs.Telemetry.enable ()
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* ---- parallel scaling: campaign wall time vs --jobs ----
+
+   Measured FIRST, before [analyses] below fills the heap with every
+   benchmark's profile: forked campaign workers inherit the parent image,
+   and a child GC against a multi-hundred-MB copy-on-write heap would
+   charge the pool for page copying that has nothing to do with it. *)
+
+(* (jobs, wall seconds, speedup vs serial); recorded in the BENCH
+   snapshot at exit *)
+let scaling_results : (int * float * float) list ref = ref []
+
+let () =
+  section "Parallel scaling — cfp2000 campaign under the fork pool";
+  let targets =
+    List.filter
+      (fun (b : Suites.Suite.benchmark) -> b.Suites.Suite.category = Suites.Suite.Fp2000)
+      (Suites.Suite.all ())
+    |> List.map (fun (b : Suites.Suite.benchmark) -> (b.Suites.Suite.name, b.Suites.Suite.source))
+  in
+  let budgets =
+    { Campaign.Runner.default_budgets with Campaign.Runner.fuel = 2_000_000 }
+  in
+  let time jobs =
+    let executor =
+      if jobs > 1 then Campaign.Runner.Forked jobs else Campaign.Runner.Serial
+    in
+    let t0 = Unix.gettimeofday () in
+    let s = Campaign.Runner.run ~budgets ~executor ~log:(fun _ -> ()) targets in
+    assert (s.Campaign.Runner.n_errored = 0);
+    Unix.gettimeofday () -. t0
+  in
+  let serial = time 1 in
+  scaling_results := [ (1, serial, 1.0) ];
+  List.iter
+    (fun jobs ->
+      let w = time jobs in
+      scaling_results := (jobs, w, serial /. w) :: !scaling_results)
+    [ 2; 4 ];
+  let t = Report.Table.create [ "jobs"; "wall s"; "speedup" ] in
+  List.iter
+    (fun (jobs, w, sp) ->
+      Report.Table.add_row t
+        [ string_of_int jobs; Printf.sprintf "%.2f" w; Printf.sprintf "%.2fx" sp ])
+    (List.rev !scaling_results);
+  print_endline (Report.Table.render t);
+  Printf.printf
+    "(%d detected cores on this machine — speedups flatten once jobs exceed them)\n%!"
+    (Exec.Pool.detect_jobs ())
+
 (* ---- shared: profile every benchmark once ---- *)
 
 let analyses : (Suites.Suite.benchmark * Loopa.Driver.analysis) list =
@@ -441,6 +490,17 @@ let write_bench_snapshot () =
         ("quick", Util.Json.Bool quick);
         ("cpu_s", Util.Json.Float (Sys.time ()));
         ("n_benchmarks", Util.Json.Int (List.length analyses));
+        ( "parallel_scaling",
+          Util.Json.List
+            (List.rev_map
+               (fun (jobs, wall, sp) ->
+                 Util.Json.Obj
+                   [
+                     ("jobs", Util.Json.Int jobs);
+                     ("wall_s", Util.Json.Float wall);
+                     ("speedup", Util.Json.Float sp);
+                   ])
+               !scaling_results) );
       ]
   in
   let j =

@@ -13,7 +13,8 @@
    2 usage error (bad configuration, unknown target, bad flags);
    3 unexpected internal error (classified and printed, never a raw
    backtrace). `repro replay` adds 4 (failure vanished) and 5 (failure
-   changed fingerprint). *)
+   changed fingerprint). `campaign` and `sweep` add 6 (interrupted by
+   SIGINT/SIGTERM — checkpointed work is flushed and resumable). *)
 
 open Cmdliner
 
@@ -81,6 +82,9 @@ let handle_errors_int f =
   | Loopa.Crosscheck.Unsound msg ->
       Printf.eprintf "internal error: %s\n" msg;
       3
+  | Campaign.Runner.Interrupted ->
+      Printf.eprintf "interrupted — checkpointed results flushed; rerun with --resume\n";
+      6
   | Stack_overflow ->
       Printf.eprintf "internal error: stack overflow\n";
       3
@@ -120,6 +124,23 @@ let prom_arg =
         ~doc:
           "Record pipeline telemetry and write a Prometheus-style text dump \
            of counters, histograms and span aggregates to $(docv).")
+
+(* ---- parallelism (sweep / campaign) ---- *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run tasks across $(docv) forked worker processes with dynamic \
+           work-stealing; 0 means one per detected core. Results (and the \
+           campaign checkpoint) are identical to a serial run.")
+
+let resolve_jobs jobs =
+  if jobs < 0 then
+    raise (Invalid_argument (Printf.sprintf "--jobs %d: want 0 or a positive count" jobs))
+  else if jobs = 0 then Exec.Pool.detect_jobs ()
+  else jobs
 
 (* Enable recording iff any exporter was requested, and export on the way
    out even when the body fails — the trace of a failed pipeline is exactly
@@ -277,29 +298,63 @@ let analyze_cmd =
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run target fuel trace metrics prom =
+  let run target fuel jobs trace metrics prom =
     handle_errors (fun () ->
         with_telemetry ~trace ~metrics ~prom (fun () ->
             let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
+            let configs = Array.of_list Loopa.Config.figure_ladder in
+            let row_of (r : Loopa.Evaluate.report) =
+              [
+                Loopa.Config.name r.Loopa.Evaluate.config;
+                Printf.sprintf "%.2f" r.Loopa.Evaluate.speedup;
+                Printf.sprintf "%.1f" r.Loopa.Evaluate.coverage_pct;
+                Printf.sprintf "%.1f" r.Loopa.Evaluate.static_coverage_pct;
+              ]
+            in
+            let jobs = resolve_jobs jobs in
+            let rows =
+              if jobs <= 1 then
+                Array.to_list
+                  (Array.map (fun cfg -> row_of (Loopa.Driver.evaluate a cfg)) configs)
+              else begin
+                (* each rung is one pool task; the analysis rides into the
+                   workers through the fork image, only the four rendered
+                   cells come back over the wire *)
+                let work payload =
+                  let k = Option.value ~default:0 (Util.Json.to_int payload) in
+                  Util.Json.List
+                    (List.map
+                       (fun s -> Util.Json.String s)
+                       (row_of (Loopa.Driver.evaluate a configs.(k))))
+                in
+                let outcomes, _stats =
+                  Exec.Pool.run ~jobs ~work
+                    (Array.init (Array.length configs) (fun i -> Util.Json.Int i))
+                in
+                Array.to_list
+                  (Array.mapi
+                     (fun i outcome ->
+                       match outcome with
+                       | Some (Exec.Pool.Done (Util.Json.List cells)) ->
+                           List.map
+                             (fun c -> Option.value ~default:"?" (Util.Json.to_str c))
+                             cells
+                       | Some (Exec.Pool.Lost cause) ->
+                           [ Loopa.Config.name configs.(i); "lost: " ^ cause; "-"; "-" ]
+                       | _ -> [ Loopa.Config.name configs.(i); "?"; "-"; "-" ])
+                     outcomes)
+              end
+            in
             let t =
               Report.Table.create [ "configuration"; "speedup"; "coverage %"; "static %" ]
             in
-            List.iter
-              (fun cfg ->
-                let r = Loopa.Driver.evaluate a cfg in
-                Report.Table.add_row t
-                  [
-                    Loopa.Config.name cfg;
-                    Printf.sprintf "%.2f" r.Loopa.Evaluate.speedup;
-                    Printf.sprintf "%.1f" r.Loopa.Evaluate.coverage_pct;
-                    Printf.sprintf "%.1f" r.Loopa.Evaluate.static_coverage_pct;
-                  ])
-              Loopa.Config.figure_ladder;
+            List.iter (Report.Table.add_row t) rows;
             print_endline (Report.Table.render t)))
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Evaluate the full Figure-2/3 configuration ladder.")
-    Term.(const run $ target_arg $ fuel_arg $ trace_arg $ metrics_arg $ prom_arg)
+    Term.(
+      const run $ target_arg $ fuel_arg $ jobs_arg $ trace_arg $ metrics_arg $ prom_arg)
 
 (* ---- campaign ---- *)
 
@@ -436,7 +491,7 @@ let campaign_cmd =
              $(b,repro) subcommands.")
   in
   let run targets all json checkpoint resume retries fuel wall injects repro_dir
-      trace metrics prom =
+      jobs trace metrics prom =
     handle_errors (fun () ->
         if (not all) && targets = [] then
           raise (Invalid_argument "campaign needs TARGETS or --all");
@@ -485,9 +540,13 @@ let campaign_cmd =
                   (fun hb -> prerr_endline (Campaign.Runner.heartbeat_line hb))
               else None
             in
+            let jobs = resolve_jobs jobs in
+            let executor =
+              if jobs > 1 then Campaign.Runner.Forked jobs else Campaign.Runner.Serial
+            in
             let summary =
               Campaign.Runner.run ~budgets ?checkpoint ~resume ~faults_of
-                ?repro_dir ~log ?heartbeat named
+                ?repro_dir ~log ?heartbeat ~executor named
             in
             if json then
               print_endline
@@ -502,7 +561,7 @@ let campaign_cmd =
     Term.(
       const run $ targets_arg $ all_arg $ json_arg $ checkpoint_arg $ resume_arg
       $ retries_arg $ fuel_arg $ wall_arg $ inject_arg $ repro_dir_arg
-      $ trace_arg $ metrics_arg $ prom_arg)
+      $ jobs_arg $ trace_arg $ metrics_arg $ prom_arg)
 
 (* ---- repro ---- *)
 

@@ -16,6 +16,12 @@ type error =
   | Trap of Interp.Rvalue.trap_kind * string
   | Budget_exhausted of Interp.Rvalue.budget_kind
   | Crash of string
+  | Worker_lost of string
+      (* the forked worker executing the task died (signal, OOM kill, ...) *)
+
+type executor = Serial | Forked of int
+
+exception Interrupted
 
 type score = { config : Loopa.Config.t; speedup : float; coverage_pct : float }
 
@@ -120,6 +126,7 @@ let error_class = function
   | Trap (k, _) -> "trap:" ^ trap_key k
   | Budget_exhausted k -> "budget:" ^ budget_key k
   | Crash _ -> "crash"
+  | Worker_lost _ -> "worker-lost"
 
 let error_to_string = function
   | Compile_error m -> "compile error: " ^ m
@@ -129,6 +136,7 @@ let error_to_string = function
       Printf.sprintf "%s budget exhausted before any useful work"
         (Interp.Rvalue.budget_kind_to_string k)
   | Crash m -> "crash: " ^ m
+  | Worker_lost m -> "worker lost: " ^ m
 
 let status_class = function
   | Completed _ -> "completed"
@@ -155,7 +163,7 @@ let error_to_json e =
   let base = [ ("class", Json.String (error_class e)) ] in
   Json.Obj
     (match e with
-    | Compile_error m | Verifier_error m | Crash m ->
+    | Compile_error m | Verifier_error m | Crash m | Worker_lost m ->
         base @ [ ("message", Json.String m) ]
     | Trap (_, m) -> base @ [ ("message", Json.String m) ]
     | Budget_exhausted _ -> base)
@@ -201,6 +209,7 @@ let error_of_json j =
   | Some "compile-error" -> Some (Compile_error msg)
   | Some "verifier-error" -> Some (Verifier_error msg)
   | Some "crash" -> Some (Crash msg)
+  | Some "worker-lost" -> Some (Worker_lost msg)
   | Some cls when String.length cls > 5 && String.sub cls 0 5 = "trap:" ->
       Option.map
         (fun k -> Trap (k, msg))
@@ -473,10 +482,58 @@ let emit_bundle ~dir ~budgets ~configs ~faults target src
   Repro.Bundle.save path b;
   path
 
+(* ---- worker wire codec (Forked executor) ----
+
+   A worker ships back its full task outcome in one frame: the checkpoint
+   result object ("r", written by the parent byte-for-byte so parallel
+   checkpoints match serial ones), the classified failure for repro-bundle
+   emission ("f"), and — when telemetry is on — the raw spans and counter
+   deltas of the task ("spans"/"ctr") for the parent to absorb. *)
+
+let failure_to_wire ((f : Loopa.Driver.failure), fuel) =
+  Json.Obj
+    [
+      ("stage", Json.String (Loopa.Driver.stage_name f.Loopa.Driver.stage));
+      ("fp", Json.String f.Loopa.Driver.fingerprint);
+      ("msg", Json.String f.Loopa.Driver.message);
+      ("fuel", Json.Int fuel);
+    ]
+
+let failure_of_wire j : (Loopa.Driver.failure * int) option =
+  match
+    ( Option.bind
+        (Option.bind (Json.member "stage" j) Json.to_str)
+        Loopa.Driver.stage_of_name,
+      Option.bind (Json.member "fp" j) Json.to_str,
+      Option.bind (Json.member "msg" j) Json.to_str )
+  with
+  | Some stage, Some fingerprint, Some message ->
+      Some
+        ( { Loopa.Driver.stage; fingerprint; message },
+          Option.value ~default:0
+            (Option.bind (Json.member "fuel" j) Json.to_int) )
+  | _ -> None
+
+(* One checkpoint line, built whole and written with a single buffered
+   [output_string] + flush: a crash or interrupt between fragments can
+   never leave an unparseable JSONL tail for --resume to trip on. *)
+let write_line oc j =
+  output_string oc (Json.to_string j ^ "\n");
+  flush oc
+
+(* What the parent remembers about a finished parallel task until its turn
+   in the re-sequenced checkpoint comes up. *)
+type entry = {
+  er : result;
+  eline : Json.t; (* the full checkpoint line, telemetry included *)
+  efail : (Loopa.Driver.failure * int) option;
+}
+
 let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
     ?checkpoint ?(resume = false) ?(faults_of = fun _ -> []) ?repro_dir
-    ?(log = fun _ -> ()) ?heartbeat (targets : (string * string) list) :
-    summary =
+    ?(log = fun _ -> ()) ?heartbeat ?(executor = Serial)
+    ?(on_task_start = fun (_ : string) -> ())
+    (targets : (string * string) list) : summary =
   let done_before =
     match checkpoint with
     | Some path when resume -> load_checkpoint ~log path
@@ -492,8 +549,18 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
         else open_out path)
       checkpoint
   in
+  (* A SIGINT/SIGTERM only raises a flag; both executors poll it at task
+     granularity, flush what is already decided, and raise {!Interrupted}
+     — the checkpoint is always left whole-line-parseable. *)
+  let interrupted = ref false in
+  let note _ = interrupted := true in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle note) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle note) in
   Fun.protect
-    ~finally:(fun () -> Option.iter close_out oc)
+    ~finally:(fun () ->
+      ignore (Sys.signal Sys.sigint old_int);
+      ignore (Sys.signal Sys.sigterm old_term);
+      Option.iter close_out oc)
     (fun () ->
       let n_resumed = ref 0 in
       let t0 = Sys.time () in
@@ -521,7 +588,16 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                 hb_counters = deltas;
               }
       in
-      let results =
+      let emit_repro target src faults failure =
+        match (repro_dir, failure) with
+        | Some dir, Some f -> (
+            match emit_bundle ~dir ~budgets ~configs ~faults target src f with
+            | path -> log (Printf.sprintf "%-24s repro bundle: %s" "" path)
+            | exception Sys_error m ->
+                log (Printf.sprintf "%-24s repro bundle failed: %s" "" m))
+        | _ -> ()
+      in
+      let run_serial () =
         List.map
           (fun (target, src) ->
             match Hashtbl.find_opt done_before target with
@@ -531,6 +607,8 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                 beat ();
                 r
             | None ->
+                if !interrupted then raise Interrupted;
+                on_task_start target;
                 let faults = faults_of target in
                 let tmark = Obs.Telemetry.mark () in
                 let r, failure =
@@ -544,24 +622,175 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                     Some (Obs.Export.snapshot_json ~spans ~counters)
                   else None
                 in
-                Option.iter
-                  (fun oc ->
-                    output_string oc (Json.to_string (result_to_json ?telemetry r));
-                    output_char oc '\n';
-                    flush oc)
-                  oc;
+                Option.iter (fun oc -> write_line oc (result_to_json ?telemetry r)) oc;
                 log (Printf.sprintf "%-24s %s" target (status_to_string r.status));
-                (match (repro_dir, r.status, failure) with
-                | Some dir, Errored _, Some f -> (
-                    match emit_bundle ~dir ~budgets ~configs ~faults target src f with
-                    | path -> log (Printf.sprintf "%-24s repro bundle: %s" "" path)
-                    | exception Sys_error m ->
-                        log (Printf.sprintf "%-24s repro bundle failed: %s" "" m))
-                | _ -> ());
+                (match r.status with
+                | Errored _ -> emit_repro target src faults failure
+                | Completed _ | Truncated _ -> ());
                 beat ();
                 r)
           targets
       in
+      let run_forked jobs =
+        (* resumed results surface first (they cost nothing), then the
+           fresh targets fan out over the pool in target order *)
+        List.iter
+          (fun (target, _) ->
+            match Hashtbl.find_opt done_before target with
+            | Some r ->
+                incr n_resumed;
+                log
+                  (Printf.sprintf "%-24s resumed: %s" target
+                     (status_to_string r.status));
+                beat ()
+            | None -> ())
+          targets;
+        let fresh_arr =
+          Array.of_list
+            (List.filter (fun (t, _) -> not (Hashtbl.mem done_before t)) targets)
+        in
+        let n = Array.length fresh_arr in
+        let entries : entry option array = Array.make n None in
+        let written = Array.make n false in
+        (* the worker body: the whole isolated task, exactly as serial *)
+        let work payload =
+          let k = Option.value ~default:0 (Json.to_int payload) in
+          let target, src = fresh_arr.(k) in
+          on_task_start target;
+          let faults = faults_of target in
+          let tmark = Obs.Telemetry.mark () in
+          let r, failure =
+            Obs.Telemetry.with_span "campaign.task"
+              ~attrs:[ ("target", target) ]
+              (fun () -> run_task ~budgets ~configs ~faults target src)
+          in
+          let tele =
+            if Obs.Telemetry.enabled () then
+              let spans, ctrs = Obs.Telemetry.since tmark in
+              [
+                ("spans", Json.List (List.map Obs.Export.span_to_json spans));
+                ("ctr", Json.Obj (List.map (fun (c, v) -> (c, Json.Int v)) ctrs));
+              ]
+            else []
+          in
+          Json.Obj
+            ([ ("r", result_to_json r) ]
+            @ (match failure with
+              | Some fw -> [ ("f", failure_to_wire fw) ]
+              | None -> [])
+            @ tele)
+        in
+        let lost_result target cause =
+          {
+            target;
+            status = Errored (Worker_lost cause);
+            attempts = 1;
+            clock = 0;
+            wall_s = 0.0;
+          }
+        in
+        let on_complete k outcome =
+          let target, _ = fresh_arr.(k) in
+          let entry =
+            match outcome with
+            | Exec.Pool.Lost cause ->
+                let r = lost_result target cause in
+                { er = r; eline = result_to_json r; efail = None }
+            | Exec.Pool.Done wire ->
+                let r_json =
+                  Option.value ~default:Json.Null (Json.member "r" wire)
+                in
+                let spans =
+                  match Json.member "spans" wire with
+                  | Some (Json.List l) -> List.filter_map Obs.Export.span_of_json l
+                  | _ -> []
+                in
+                let counters =
+                  match Json.member "ctr" wire with
+                  | Some (Json.Obj kvs) ->
+                      List.filter_map
+                        (fun (c, v) -> Option.map (fun i -> (c, i)) (Json.to_int v))
+                        kvs
+                  | _ -> []
+                in
+                Obs.Telemetry.absorb ~spans ~counters;
+                let telemetry =
+                  if Obs.Telemetry.enabled () then
+                    Some (Obs.Export.snapshot_json ~spans ~counters)
+                  else None
+                in
+                let eline =
+                  match (r_json, telemetry) with
+                  | Json.Obj fields, Some t ->
+                      Json.Obj (fields @ [ ("telemetry", t) ])
+                  | j, _ -> j
+                in
+                let er =
+                  match result_of_json r_json with
+                  | Ok r -> r
+                  | Error m ->
+                      lost_result target ("undecodable worker result: " ^ m)
+                in
+                { er; eline; efail = Option.bind (Json.member "f" wire) failure_of_wire }
+          in
+          entries.(k) <- Some entry;
+          log (Printf.sprintf "%-24s %s" target (status_to_string entry.er.status));
+          beat ()
+        in
+        let on_ordered k _ =
+          match entries.(k) with
+          | None -> ()
+          | Some e ->
+              Option.iter (fun oc -> write_line oc e.eline) oc;
+              written.(k) <- true;
+              let target, src = fresh_arr.(k) in
+              (match e.er.status with
+              | Errored _ -> emit_repro target src (faults_of target) e.efail
+              | Completed _ | Truncated _ -> ())
+        in
+        let _outcomes, _stats =
+          Exec.Pool.run ~jobs
+            ~worker_init:(fun () -> Obs.Telemetry.reset ())
+            ~epilogue:(fun () ->
+              if Obs.Telemetry.enabled () then Obs.Telemetry.wire_histograms ()
+              else Json.Null)
+            ~on_epilogue:Obs.Telemetry.absorb_histograms ~on_complete
+            ~on_ordered
+            ~should_stop:(fun () -> !interrupted)
+            ~work
+            (Array.init n (fun i -> Json.Int i))
+        in
+        if !interrupted then begin
+          (* salvage every decided-but-unwritten result: resume can then
+             skip it even though the strict checkpoint order was cut short *)
+          Array.iteri
+            (fun k e ->
+              match e with
+              | Some e when not written.(k) ->
+                  Option.iter (fun oc -> write_line oc e.eline) oc
+              | _ -> ())
+            entries;
+          raise Interrupted
+        end;
+        let cursor = ref 0 in
+        List.map
+          (fun (target, _) ->
+            match Hashtbl.find_opt done_before target with
+            | Some r -> r
+            | None -> (
+                let e = entries.(!cursor) in
+                incr cursor;
+                match e with
+                | Some e -> e.er
+                | None -> lost_result target "task never ran"))
+          targets
+      in
+      let results =
+        match executor with
+        | Forked jobs when jobs > 1 && targets <> [] -> run_forked jobs
+        | Serial | Forked _ -> run_serial ()
+      in
+      if !interrupted then raise Interrupted;
       let count p = List.length (List.filter p results) in
       {
         results;

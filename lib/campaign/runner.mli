@@ -13,6 +13,20 @@ type error =
   | Trap of Interp.Rvalue.trap_kind * string
   | Budget_exhausted of Interp.Rvalue.budget_kind
   | Crash of string  (** anything else, printed — the catch-all of the taxonomy *)
+  | Worker_lost of string
+      (** under [Forked _]: the forked worker executing the task died
+          (killed by a signal, OOM, ...) — the task is recorded, never
+          retried, and resume skips it *)
+
+(** How tasks are executed: [Serial] in-process (the reference semantics),
+    or [Forked jobs] across a {!Exec.Pool} of forked workers with dynamic
+    work-stealing. [Forked j] with [j <= 1] degrades to [Serial]. *)
+type executor = Serial | Forked of int
+
+(** Raised by {!run} after a SIGINT/SIGTERM: every already-decided result
+    has been flushed to the checkpoint (whole lines only), so a later
+    [~resume:true] run continues where the interrupt landed. *)
+exception Interrupted
 
 (** One configuration rung evaluated against a task's profile. *)
 type score = { config : Loopa.Config.t; speedup : float; coverage_pct : float }
@@ -102,7 +116,23 @@ val result_of_json : Util.Json.t -> (result, string) Stdlib.result
     task. [heartbeat] receives one {!heartbeat} beat per finished task;
     with telemetry enabled, every task also runs inside a
     ["campaign.task"] span and its span/counter snapshot is embedded in
-    the checkpoint line. *)
+    the checkpoint line.
+
+    [executor] selects serial or forked-pool execution. Under
+    [Forked jobs], tasks run across [jobs] worker processes but the
+    checkpoint stays byte-identical to a serial run (modulo wall-clock and
+    telemetry timing fields): results are re-sequenced into task order and
+    written by the parent alone. Worker telemetry (spans, counter deltas,
+    histograms) is absorbed into the parent registry so fleet-wide exports
+    and heartbeats see one registry. A worker death costs exactly its
+    in-flight task ({!Worker_lost}); the worker is respawned and the
+    campaign continues.
+
+    [on_task_start] runs in the executing process just before a task
+    begins — a test hook (e.g. to kill the worker mid-task).
+
+    While running, SIGINT/SIGTERM are caught: the runner finishes flushing
+    decided results to the checkpoint and raises {!Interrupted}. *)
 val run :
   ?budgets:budgets ->
   ?configs:Loopa.Config.t list ->
@@ -112,6 +142,8 @@ val run :
   ?repro_dir:string ->
   ?log:(string -> unit) ->
   ?heartbeat:(heartbeat -> unit) ->
+  ?executor:executor ->
+  ?on_task_start:(string -> unit) ->
   (string * string) list ->
   summary
 

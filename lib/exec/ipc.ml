@@ -1,0 +1,71 @@
+(* Length-prefixed JSON frames over file descriptors (see the .mli). The
+   pool's messages are small (task payloads, per-task results with span
+   snapshots), so blocking exact reads after the parent's select are fine:
+   the writer always emits whole frames promptly. *)
+
+let max_message = 64 * 1024 * 1024
+
+type read_result = Msg of Util.Json.t | Eof
+
+exception Protocol_error of string
+
+let rec restart_on_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+let write_all fd buf pos len =
+  let written = ref pos in
+  let stop = pos + len in
+  while !written < stop do
+    let n =
+      restart_on_eintr (fun () -> Unix.write fd buf !written (stop - !written))
+    in
+    written := !written + n
+  done
+
+(* [read_all] returns how many bytes actually arrived: [len] normally,
+   less only when EOF hit first (the caller decides whether a short count
+   is a clean close or a torn frame). *)
+let read_all fd buf len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = restart_on_eintr (fun () -> Unix.read fd buf !got (len - !got)) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  !got
+
+let write fd (j : Util.Json.t) =
+  let payload = Bytes.unsafe_of_string (Util.Json.to_string j) in
+  let len = Bytes.length payload in
+  if len > max_message then
+    raise (Protocol_error (Printf.sprintf "message too large (%d bytes)" len));
+  let header = Bytes.create 4 in
+  Bytes.set_uint8 header 0 (len lsr 24 land 0xff);
+  Bytes.set_uint8 header 1 (len lsr 16 land 0xff);
+  Bytes.set_uint8 header 2 (len lsr 8 land 0xff);
+  Bytes.set_uint8 header 3 (len land 0xff);
+  write_all fd header 0 4;
+  write_all fd payload 0 len
+
+let read fd =
+  let header = Bytes.create 4 in
+  match read_all fd header 4 with
+  | 0 -> Eof
+  | n when n < 4 -> raise (Protocol_error "EOF inside a frame header")
+  | _ ->
+      let len =
+        (Bytes.get_uint8 header 0 lsl 24)
+        lor (Bytes.get_uint8 header 1 lsl 16)
+        lor (Bytes.get_uint8 header 2 lsl 8)
+        lor Bytes.get_uint8 header 3
+      in
+      if len > max_message then
+        raise
+          (Protocol_error (Printf.sprintf "frame length %d exceeds limit" len));
+      let payload = Bytes.create len in
+      if read_all fd payload len < len then
+        raise (Protocol_error "EOF inside a frame payload");
+      let s = Bytes.unsafe_to_string payload in
+      (match Util.Json.of_string s with
+      | Ok j -> Msg j
+      | Error m -> raise (Protocol_error ("unparseable frame: " ^ m)))

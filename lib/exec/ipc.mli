@@ -1,0 +1,29 @@
+(** Exec.Ipc — length-prefixed JSON message framing over raw file
+    descriptors: the wire format of the worker pool ({!Pool}).
+
+    One message = a 4-byte big-endian payload length followed by that many
+    bytes of compact JSON ({!Util.Json.to_string}). Framing is carried by
+    the length prefix alone, so payloads may contain newlines or any other
+    byte; the codec never scans for delimiters. All reads and writes retry
+    on [EINTR] — a campaign's SIGINT handler must not corrupt a frame. *)
+
+(** Refuse to allocate for a length prefix above this (64 MiB): a larger
+    prefix means the stream is corrupt, not that the message is big. *)
+val max_message : int
+
+type read_result =
+  | Msg of Util.Json.t
+  | Eof  (** clean close, or a peer that died between messages *)
+
+exception
+  Protocol_error of string
+        (** short read mid-message, oversized prefix, or unparseable
+            payload — the stream is unusable after this *)
+
+(** Write one framed message. The caller handles [Unix.EPIPE] (peer
+    died); partial writes are completed internally. *)
+val write : Unix.file_descr -> Util.Json.t -> unit
+
+(** Blocking read of one framed message. [Eof] only at a frame boundary;
+    EOF mid-frame raises {!Protocol_error}. *)
+val read : Unix.file_descr -> read_result

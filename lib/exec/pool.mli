@@ -1,0 +1,81 @@
+(** Exec.Pool — a fork-based multi-process worker pool with a chunked task
+    queue and dynamic work-stealing.
+
+    The pool is generic and dependency-free: tasks and results are opaque
+    {!Util.Json.t} payloads, the worker body is an ordinary closure (the
+    fork inherits the parent image, so the closure may capture arbitrary
+    in-memory state — source arrays, analysis results — with no
+    serialization), and all IPC is length-prefixed JSON frames
+    ({!Ipc}) over per-worker pipe pairs.
+
+    {b Scheduling.} The parent keeps the queue. Idle workers receive
+    chunks of [max 1 (min max_chunk (remaining / (2 * jobs)))] tasks —
+    large early chunks amortize IPC, shrinking ones avoid stragglers.
+    When the queue drains while a worker still sits on unstarted chunk
+    tasks, the parent sends it a steal request; the worker hands back
+    everything it has not started (keeping one task to stay busy) and the
+    parent re-dispatches the reclaimed tasks to idle workers. A slow task
+    can therefore delay at most itself.
+
+    {b Fault isolation.} A worker that exits, is killed by a signal, or
+    raises out of [work] is reaped ([waitpid]) and its in-flight task is
+    reported as {!Lost} with a human-readable cause; unstarted tasks of
+    its chunk are re-queued undamaged and a replacement worker is forked
+    (bounded by a respawn budget, after which remaining queued tasks are
+    marked lost rather than risking a fork storm). Lost tasks are never
+    retried by the pool — a task that reliably kills its worker must cost
+    one task, not the run.
+
+    {b Determinism.} Results complete in any order; [on_ordered] replays
+    them to the caller in task-index order as the contiguous completed
+    prefix grows, which is what lets a caller with an append-only output
+    (the campaign's JSONL checkpoint) stay byte-deterministic regardless
+    of scheduling. *)
+
+type outcome =
+  | Done of Util.Json.t  (** the worker's result payload *)
+  | Lost of string
+      (** the worker died (signal, exit, OOM kill) or [work] raised;
+          the string is the classified cause *)
+
+type stats = {
+  forked : int;  (** workers forked, including respawns *)
+  respawned : int;
+  steals : int;  (** steal requests that reclaimed at least one task *)
+  tasks_lost : int;
+}
+
+(** Number of usable cores ([Domain.recommended_domain_count]); what
+    [--jobs 0] resolves to. Always >= 1. *)
+val detect_jobs : unit -> int
+
+(** [run ~jobs ~work tasks] executes [work tasks.(i)] for every [i] across
+    [jobs] forked workers and returns one outcome per task ([None] only
+    when [should_stop] ended the run before the task was dispatched or
+    finished), plus scheduling statistics.
+
+    [work] runs in the worker process; it should be total — an escaping
+    exception costs the task ({!Lost}). [worker_init] runs once in each
+    fresh worker before any task (e.g. to reset inherited telemetry).
+    [epilogue] runs in the worker at clean shutdown and its payload is
+    delivered to [on_epilogue] in the parent — the channel for end-of-life
+    aggregates like histogram state. [on_complete] fires in completion
+    order (live progress); [on_ordered] fires in task order over the
+    contiguous completed prefix. [should_stop] is polled between
+    scheduling steps; when it turns true the pool kills its workers and
+    returns with the undecided outcomes still [None].
+
+    The pool temporarily ignores [SIGPIPE] (restored on exit) so a dying
+    worker surfaces as [EPIPE]/EOF, never as a fatal signal. *)
+val run :
+  jobs:int ->
+  ?max_chunk:int ->
+  ?worker_init:(unit -> unit) ->
+  ?epilogue:(unit -> Util.Json.t) ->
+  ?on_epilogue:(Util.Json.t -> unit) ->
+  ?on_complete:(int -> outcome -> unit) ->
+  ?on_ordered:(int -> outcome -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  work:(Util.Json.t -> Util.Json.t) ->
+  Util.Json.t array ->
+  outcome option array * stats

@@ -293,6 +293,106 @@ let histograms () =
   Hashtbl.fold (fun name h acc -> (name, snapshot_of h) :: acc) state.histograms []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* ---- absorption: merging a forked worker's telemetry ----
+
+   A pool worker (Exec.Pool) inherits this registry at fork, resets it,
+   records its own spans/counters/histograms, and ships them back over the
+   IPC channel. The parent splices them in here so fleet-wide exports
+   (--trace/--prom, heartbeat deltas) see one registry. Absorbed spans are
+   re-identified against the parent's id counter; parent links that point
+   inside the absorbed batch are preserved, anything else becomes a root. *)
+
+let absorb ~(spans : span list) ~(counters : (string * int) list) =
+  if state.recording then begin
+    (match spans with
+    | [] -> ()
+    | _ ->
+        let base =
+          List.fold_left (fun m (s : span) -> min m s.id) max_int spans
+        in
+        let ids = List.map (fun (s : span) -> s.id) spans in
+        let shift = state.next_id - base in
+        let top = List.fold_left max 0 (List.map (fun i -> i + shift) ids) in
+        List.iter
+          (fun (s : span) ->
+            state.finished <-
+              {
+                s with
+                id = s.id + shift;
+                parent =
+                  (if List.mem s.parent ids then s.parent + shift else -1);
+              }
+              :: state.finished;
+            state.n_finished <- state.n_finished + 1)
+          spans;
+        state.next_id <- top + 1);
+    List.iter (fun (name, d) -> if d <> 0 then (counter name).total <- (counter name).total + d) counters
+  end
+
+let wire_histograms () : Util.Json.t =
+  let hists =
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) state.histograms []
+    |> List.filter (fun (_, (h : histogram)) -> h.count > 0)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Util.Json.Obj
+    (List.map
+       (fun (name, (h : histogram)) ->
+         ( name,
+           Util.Json.Obj
+             [
+               ("count", Util.Json.Int h.count);
+               ("sum", Util.Json.Float h.sum);
+               ("min", Util.Json.Float h.lo);
+               ("max", Util.Json.Float h.hi);
+               ( "buckets",
+                 Util.Json.List
+                   (Array.to_list
+                      (Array.map (fun b -> Util.Json.Int b) h.buckets)) );
+             ] ))
+       hists)
+
+let absorb_histograms (j : Util.Json.t) =
+  if state.recording then
+    match j with
+    | Util.Json.Obj fields ->
+        List.iter
+          (fun (name, hj) ->
+            let geti k =
+              Option.value ~default:0 (Option.bind (Util.Json.member k hj) Util.Json.to_int)
+            in
+            let getf k =
+              Option.value ~default:0.0
+                (Option.bind (Util.Json.member k hj) Util.Json.to_float)
+            in
+            let count = geti "count" in
+            if count > 0 then begin
+              let h = histogram name in
+              let lo = getf "min" and hi = getf "max" in
+              if h.count = 0 then begin
+                h.lo <- lo;
+                h.hi <- hi
+              end
+              else begin
+                h.lo <- Float.min h.lo lo;
+                h.hi <- Float.max h.hi hi
+              end;
+              h.count <- h.count + count;
+              h.sum <- h.sum +. getf "sum";
+              (match Option.bind (Util.Json.member "buckets" hj) Util.Json.to_list with
+              | Some bs ->
+                  List.iteri
+                    (fun i b ->
+                      if i < n_buckets then
+                        h.buckets.(i) <-
+                          h.buckets.(i)
+                          + Option.value ~default:0 (Util.Json.to_int b))
+                    bs
+              | None -> ())
+            end)
+          fields
+    | _ -> ()
+
 (* ---- marks ---- *)
 
 type mark = { m_spans : int; m_counters : (string * int) list }

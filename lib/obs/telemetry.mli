@@ -124,6 +124,24 @@ val counters : unit -> (string * int) list
 
 val histograms : unit -> (string * hist_snapshot) list
 
+(* ---- absorption (multi-process campaigns) ---- *)
+
+(** Splice a forked worker's finished spans and counter deltas into this
+    process's registry, so fleet-wide exports and heartbeat deltas see one
+    registry. Spans are re-identified against the local id counter;
+    parent links that point inside the absorbed batch are preserved and
+    everything else becomes a root. No-op while disabled. *)
+val absorb : spans:span list -> counters:(string * int) list -> unit
+
+(** Raw histogram state (per-bucket counts, not cumulative) as JSON — the
+    worker→parent wire format. Only histograms with observations. *)
+val wire_histograms : unit -> Util.Json.t
+
+(** Merge a {!wire_histograms} payload into the local registry: counts,
+    sums and buckets add; min/max widen. No-op while disabled; unknown or
+    malformed fields are ignored. *)
+val absorb_histograms : Util.Json.t -> unit
+
 (** A position in the telemetry stream; see {!since}. *)
 type mark
 

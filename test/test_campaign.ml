@@ -206,6 +206,147 @@ let test_resume_tolerates_garbage () =
       Alcotest.(check int) "garbage ignored, task ran" 0 s.Runner.n_resumed;
       Alcotest.(check int) "completed" 1 s.Runner.n_completed)
 
+(* ---- parallel executor ---- *)
+
+(* A checkpoint file as comparable lines, with the per-process timing
+   fields dropped: wall_s is measured in whichever process ran the task
+   and telemetry carries clock readings — everything else must be
+   byte-identical between serial and forked runs. *)
+let normalized_lines path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l ->
+         match Util.Json.of_string l with
+         | Ok (Util.Json.Obj fields) ->
+             Util.Json.to_string
+               (Util.Json.Obj
+                  (List.filter
+                     (fun (k, _) -> k <> "wall_s" && k <> "telemetry")
+                     fields))
+         | Ok j -> Util.Json.to_string j
+         | Error e -> Alcotest.failf "unparseable checkpoint line %S: %s" l e)
+
+let mixed_targets =
+  [
+    ("good", good_src);
+    ("broken", "} fn main(");
+    ("endless", endless_src);
+    ("good2", good_src);
+    ("trapped", good_src);
+  ]
+
+let mixed_faults = function
+  | "trapped" -> [ (50, Interp.Machine.Inject_div_by_zero) ]
+  | _ -> []
+
+let test_forked_checkpoint_matches_serial () =
+  with_tmp (fun ck_serial ->
+      with_tmp (fun ck_forked ->
+          let b = budgets ~fuel:10_000 () in
+          let s1 =
+            Runner.run ~budgets:b ~faults_of:mixed_faults ~checkpoint:ck_serial
+              ~log:quiet mixed_targets
+          in
+          let s4 =
+            Runner.run ~budgets:b ~faults_of:mixed_faults ~checkpoint:ck_forked
+              ~log:quiet ~executor:(Runner.Forked 4) mixed_targets
+          in
+          Alcotest.(check (list string))
+            "checkpoints identical modulo timing"
+            (normalized_lines ck_serial) (normalized_lines ck_forked);
+          Alcotest.(check int) "completed" s1.Runner.n_completed s4.Runner.n_completed;
+          Alcotest.(check int) "truncated" s1.Runner.n_truncated s4.Runner.n_truncated;
+          Alcotest.(check int) "errored" s1.Runner.n_errored s4.Runner.n_errored;
+          List.iter2
+            (fun (a : Runner.result) (b : Runner.result) ->
+              Alcotest.(check string) "target order" a.Runner.target b.Runner.target;
+              Alcotest.(check string) "status"
+                (Runner.status_to_string a.Runner.status)
+                (Runner.status_to_string b.Runner.status))
+            s1.Runner.results s4.Runner.results))
+
+let test_worker_lost_then_resume () =
+  (* the hook runs in the worker process: killing there must cost exactly
+     that task, be recorded as Worker_lost, and leave a checkpoint a later
+     serial --resume completes without re-running the poison task *)
+  let kill_target target =
+    if target = "kill" then Unix.kill (Unix.getpid ()) Sys.sigkill
+  in
+  let targets =
+    [ ("a", good_src); ("kill", good_src); ("b", good_src); ("c", good_src) ]
+  in
+  with_tmp (fun ck ->
+      let s =
+        Runner.run ~budgets:(budgets ()) ~checkpoint:ck ~log:quiet
+          ~executor:(Runner.Forked 2) ~on_task_start:kill_target targets
+      in
+      Alcotest.(check int) "three completed" 3 s.Runner.n_completed;
+      Alcotest.(check int) "one errored" 1 s.Runner.n_errored;
+      (match
+         List.find (fun r -> r.Runner.target = "kill") s.Runner.results
+       with
+      | { Runner.status = Runner.Errored (Runner.Worker_lost cause); _ } ->
+          Alcotest.(check bool) "cause names the signal" true
+            (Astring_contains.contains cause "SIGKILL")
+      | r ->
+          Alcotest.failf "expected worker-lost, got %s"
+            (Runner.status_to_string r.Runner.status));
+      Alcotest.(check bool) "breakdown has worker-lost" true
+        (List.mem_assoc "worker-lost" s.Runner.failures);
+      (* serial resume with the same murderous hook: every target including
+         the poison one is restored, so the hook never fires again *)
+      let s2 =
+        Runner.run ~budgets:(budgets ()) ~checkpoint:ck ~resume:true
+          ~log:quiet ~on_task_start:kill_target targets
+      in
+      Alcotest.(check int) "all resumed" 4 s2.Runner.n_resumed)
+
+let test_worker_lost_codec () =
+  let r =
+    {
+      Runner.target = "x";
+      status = Runner.Errored (Runner.Worker_lost "worker killed by SIGKILL");
+      attempts = 1;
+      clock = 0;
+      wall_s = 0.0;
+    }
+  in
+  match Runner.result_of_json (Runner.result_to_json r) with
+  | Ok { Runner.status = Runner.Errored (Runner.Worker_lost m); _ } ->
+      Alcotest.(check string) "message survives" "worker killed by SIGKILL" m
+  | Ok r' ->
+      Alcotest.failf "wrong status: %s" (Runner.status_to_string r'.Runner.status)
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_interrupt_flushes_and_resumes () =
+  (* a SIGINT mid-campaign: the runner finishes nothing new, flushes the
+     decided prefix as whole JSONL lines and raises Interrupted; a resumed
+     run completes the remainder *)
+  let signal_at target =
+    if target = "second" then Unix.kill (Unix.getpid ()) Sys.sigint
+  in
+  let targets =
+    [ ("first", good_src); ("second", good_src); ("third", good_src) ]
+  in
+  with_tmp (fun ck ->
+      (match
+         Runner.run ~budgets:(budgets ()) ~checkpoint:ck ~log:quiet
+           ~on_task_start:signal_at targets
+       with
+      | _ -> Alcotest.fail "expected Interrupted"
+      | exception Runner.Interrupted -> ());
+      (* every flushed line parses (atomic line writes), and the prefix
+         decided before the signal is all there *)
+      let lines = normalized_lines ck in
+      Alcotest.(check int) "first and second checkpointed" 2 (List.length lines);
+      let s =
+        Runner.run ~budgets:(budgets ()) ~checkpoint:ck ~resume:true ~log:quiet
+          targets
+      in
+      Alcotest.(check int) "two resumed" 2 s.Runner.n_resumed;
+      Alcotest.(check int) "all completed" 3 s.Runner.n_completed)
+
 (* ---- acceptance: truncated profiles stay scorable and sound ---- *)
 
 let test_truncated_profile_scorable () =
@@ -246,6 +387,16 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "resume skips" `Quick test_resume_skips_checkpointed;
           Alcotest.test_case "garbage tolerated" `Quick test_resume_tolerates_garbage;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "forked checkpoint matches serial" `Quick
+            test_forked_checkpoint_matches_serial;
+          Alcotest.test_case "worker lost, respawn, resume" `Quick
+            test_worker_lost_then_resume;
+          Alcotest.test_case "worker-lost codec" `Quick test_worker_lost_codec;
+          Alcotest.test_case "interrupt flushes and resumes" `Quick
+            test_interrupt_flushes_and_resumes;
         ] );
       ( "degradation",
         [

@@ -1,0 +1,280 @@
+(* The exec subsystem: IPC framing over real pipes (roundtrip, messages
+   larger than the pipe buffer, clean EOF vs torn frames) and the worker
+   pool's contract — index-ordered outcomes, contiguous on_ordered replay,
+   work-stealing when the queue dries up, fault isolation (a killed worker
+   costs exactly its in-flight task and is respawned), worker epilogues,
+   and prompt shutdown under should_stop. *)
+
+module J = Util.Json
+module Ipc = Exec.Ipc
+module Pool = Exec.Pool
+
+let contains = Astring_contains.contains
+
+let json =
+  Alcotest.testable
+    (fun fmt j -> Format.pp_print_string fmt (J.to_string j))
+    (fun a b -> J.to_string a = J.to_string b)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+(* ---- IPC framing ---- *)
+
+let test_ipc_roundtrip () =
+  with_pipe (fun r w ->
+      let msgs =
+        [
+          J.Obj [ ("op", J.String "chunk"); ("tasks", J.List [ J.Int 1; J.Int 2 ]) ];
+          J.Null;
+          J.List [ J.Float 1.5; J.Bool true; J.String "x\"y\n" ];
+        ]
+      in
+      List.iter (Ipc.write w) msgs;
+      List.iter
+        (fun m ->
+          match Ipc.read r with
+          | Ipc.Msg got -> Alcotest.check json "frame" m got
+          | Ipc.Eof -> Alcotest.fail "unexpected EOF")
+        msgs)
+
+(* A frame bigger than any pipe buffer must cross intact — this is what a
+   worker's result-with-span-snapshot payload looks like. The writer must
+   be a separate process (a single process would deadlock on the full
+   pipe). *)
+let test_ipc_large_message () =
+  with_pipe (fun r w ->
+      let big = J.Obj [ ("blob", J.String (String.make 300_000 'x')) ] in
+      match Unix.fork () with
+      | 0 ->
+          Unix.close r;
+          (try Ipc.write w big with _ -> ());
+          Unix._exit 0
+      | pid ->
+          Unix.close w;
+          (match Ipc.read r with
+          | Ipc.Msg got -> Alcotest.check json "large frame" big got
+          | Ipc.Eof -> Alcotest.fail "unexpected EOF");
+          ignore (Unix.waitpid [] pid))
+
+let test_ipc_eof_at_boundary () =
+  with_pipe (fun r w ->
+      Ipc.write w (J.Int 7);
+      Unix.close w;
+      (match Ipc.read r with
+      | Ipc.Msg got -> Alcotest.check json "last frame" (J.Int 7) got
+      | Ipc.Eof -> Alcotest.fail "early EOF");
+      match Ipc.read r with
+      | Ipc.Eof -> ()
+      | Ipc.Msg _ -> Alcotest.fail "expected EOF at frame boundary")
+
+let test_ipc_torn_frame () =
+  (* a header promising more bytes than ever arrive is a protocol error,
+     not a silent truncation *)
+  with_pipe (fun r w ->
+      let header = Bytes.of_string "\x00\x00\x00\x10" (* 16-byte payload *) in
+      ignore (Unix.write w header 0 4);
+      ignore (Unix.write_substring w "{\"a\"" 0 4);
+      Unix.close w;
+      match Ipc.read r with
+      | exception Ipc.Protocol_error m ->
+          Alcotest.(check bool) "names the payload" true (contains m "payload")
+      | Ipc.Msg _ | Ipc.Eof -> Alcotest.fail "torn frame not detected")
+
+let test_ipc_oversized_frame () =
+  with_pipe (fun r w ->
+      (* header claiming 128 MiB, over the 64 MiB cap *)
+      let header = Bytes.of_string "\x08\x00\x00\x00" in
+      ignore (Unix.write w header 0 4);
+      match Ipc.read r with
+      | exception Ipc.Protocol_error m ->
+          Alcotest.(check bool) "names the limit" true (contains m "limit")
+      | Ipc.Msg _ | Ipc.Eof -> Alcotest.fail "oversized frame not rejected")
+
+(* ---- pool: ordering ---- *)
+
+let task_index payload = Option.value ~default:(-1) (J.to_int payload)
+
+let test_pool_outcomes_in_index_order () =
+  let n = 12 in
+  let ordered = ref [] in
+  let completions = ref 0 in
+  let work payload =
+    let i = task_index payload in
+    (* stagger completions so they genuinely arrive out of index order *)
+    if i mod 3 = 0 then Unix.sleepf 0.05;
+    J.Int (i * 10)
+  in
+  let outcomes, stats =
+    Pool.run ~jobs:4 ~work
+      ~on_complete:(fun _ _ -> incr completions)
+      ~on_ordered:(fun i _ -> ordered := i :: !ordered)
+      (Array.init n (fun i -> J.Int i))
+  in
+  Alcotest.(check int) "every task completed once" n !completions;
+  Alcotest.(check (list int))
+    "on_ordered replays in task order"
+    (List.init n (fun i -> i))
+    (List.rev !ordered);
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some (Pool.Done r) -> Alcotest.check json "result" (J.Int (i * 10)) r
+      | Some (Pool.Lost c) -> Alcotest.fail ("task lost: " ^ c)
+      | None -> Alcotest.fail "undecided task")
+    outcomes;
+  Alcotest.(check int) "no losses" 0 stats.Pool.tasks_lost;
+  Alcotest.(check int) "initial fleet only" 4 stats.Pool.forked
+
+(* ---- pool: work-stealing ---- *)
+
+let test_pool_steals_from_straggler () =
+  (* jobs=2, max_chunk=8, 12 tasks: the first chunks are 3 tasks each, and
+     task 0 sleeps — so one worker finishes the whole tail while the other
+     still sits on unstarted chunk-mates, which the parent must steal back. *)
+  let work payload =
+    let i = task_index payload in
+    if i = 0 then Unix.sleepf 0.5;
+    J.Int i
+  in
+  let outcomes, stats =
+    Pool.run ~jobs:2 ~max_chunk:8 ~work (Array.init 12 (fun i -> J.Int i))
+  in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some (Pool.Done r) -> Alcotest.check json "result" (J.Int i) r
+      | _ -> Alcotest.fail "task lost or undecided")
+    outcomes;
+  Alcotest.(check bool)
+    ("at least one steal, got " ^ string_of_int stats.Pool.steals)
+    true (stats.Pool.steals >= 1)
+
+(* ---- pool: fault isolation ---- *)
+
+let test_pool_killed_worker_costs_one_task () =
+  let victim = 3 in
+  let work payload =
+    let i = task_index payload in
+    if i = victim then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    J.Int i
+  in
+  let outcomes, stats =
+    Pool.run ~jobs:2 ~max_chunk:1 ~work (Array.init 8 (fun i -> J.Int i))
+  in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some (Pool.Lost cause) ->
+          Alcotest.(check int) "only the victim is lost" victim i;
+          Alcotest.(check bool) "cause names the signal" true
+            (contains cause "SIGKILL")
+      | Some (Pool.Done r) -> Alcotest.check json "survivor result" (J.Int i) r
+      | None -> Alcotest.fail "undecided task")
+    outcomes;
+  Alcotest.(check int) "exactly one task lost" 1 stats.Pool.tasks_lost;
+  Alcotest.(check bool) "the dead worker was respawned" true
+    (stats.Pool.respawned >= 1);
+  Alcotest.(check int) "forked = fleet + respawns"
+    (2 + stats.Pool.respawned) stats.Pool.forked
+
+let test_pool_worker_exception_is_lost_not_fatal () =
+  let work payload =
+    let i = task_index payload in
+    if i = 2 then failwith "boom";
+    J.Int i
+  in
+  let outcomes, stats =
+    Pool.run ~jobs:2 ~work (Array.init 6 (fun i -> J.Int i))
+  in
+  (match outcomes.(2) with
+  | Some (Pool.Lost cause) ->
+      Alcotest.(check bool) "cause carries the exception" true
+        (contains cause "boom")
+  | _ -> Alcotest.fail "raising task should be Lost");
+  Array.iteri
+    (fun i o ->
+      if i <> 2 then
+        match o with
+        | Some (Pool.Done r) -> Alcotest.check json "survivor" (J.Int i) r
+        | _ -> Alcotest.fail "non-raising task damaged")
+    outcomes;
+  (* the worker survived its exception: no respawn was needed *)
+  Alcotest.(check int) "no respawn" 0 stats.Pool.respawned
+
+(* ---- pool: worker lifecycle hooks ---- *)
+
+let test_pool_epilogues_collected () =
+  let inits = ref 0 in
+  let epilogues = ref [] in
+  let work payload = payload in
+  let outcomes, _ =
+    Pool.run ~jobs:2
+      ~worker_init:(fun () -> incr inits)
+      ~epilogue:(fun () -> J.Obj [ ("pid", J.Int (Unix.getpid ())) ])
+      ~on_epilogue:(fun e -> epilogues := e :: !epilogues)
+      ~work
+      (Array.init 6 (fun i -> J.Int i))
+  in
+  Alcotest.(check int) "all tasks done" 6
+    (Array.fold_left
+       (fun n o -> match o with Some (Pool.Done _) -> n + 1 | _ -> n)
+       0 outcomes);
+  (* worker_init runs in the children, not here *)
+  Alcotest.(check int) "parent inits untouched" 0 !inits;
+  Alcotest.(check int) "one epilogue per surviving worker" 2
+    (List.length !epilogues);
+  List.iter
+    (fun e ->
+      match Option.bind (J.member "pid" e) J.to_int with
+      | Some pid -> Alcotest.(check bool) "a child pid" true (pid <> Unix.getpid ())
+      | None -> Alcotest.fail "malformed epilogue")
+    !epilogues
+
+let test_pool_should_stop_returns_promptly () =
+  let work payload = payload in
+  let outcomes, _ =
+    Pool.run ~jobs:2
+      ~should_stop:(fun () -> true)
+      ~work
+      (Array.init 4 (fun i -> J.Int i))
+  in
+  Alcotest.(check bool) "nothing decided after an immediate stop" true
+    (Array.for_all (fun o -> o = None) outcomes)
+
+let test_detect_jobs_positive () =
+  Alcotest.(check bool) "at least one core" true (Pool.detect_jobs () >= 1)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "ipc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ipc_roundtrip;
+          Alcotest.test_case "large message" `Quick test_ipc_large_message;
+          Alcotest.test_case "EOF at frame boundary" `Quick test_ipc_eof_at_boundary;
+          Alcotest.test_case "torn frame" `Quick test_ipc_torn_frame;
+          Alcotest.test_case "oversized frame" `Quick test_ipc_oversized_frame;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "outcomes in index order" `Quick
+            test_pool_outcomes_in_index_order;
+          Alcotest.test_case "steals from a straggler" `Quick
+            test_pool_steals_from_straggler;
+          Alcotest.test_case "killed worker costs one task" `Quick
+            test_pool_killed_worker_costs_one_task;
+          Alcotest.test_case "worker exception is Lost" `Quick
+            test_pool_worker_exception_is_lost_not_fatal;
+          Alcotest.test_case "epilogues collected" `Quick
+            test_pool_epilogues_collected;
+          Alcotest.test_case "should_stop returns promptly" `Quick
+            test_pool_should_stop_returns_promptly;
+          Alcotest.test_case "detect_jobs" `Quick test_detect_jobs_positive;
+        ] );
+    ]

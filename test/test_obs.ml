@@ -296,6 +296,137 @@ let test_heartbeat_line () =
   (* only the three largest movements ride along *)
   Alcotest.(check bool) "fourth delta dropped" false (contains line "deptest.unknown")
 
+(* ---- absorption: merging forked-worker telemetry ---- *)
+
+let test_absorb_reidentifies_spans () =
+  teardown ();
+  T.enable ();
+  install_tick_clock ();
+  (* a local span first, so absorbed ids must shift past it *)
+  T.with_span "parent.local" (fun () -> ());
+  let worker_spans =
+    [
+      {
+        T.id = 5;
+        parent = -1;
+        depth = 0;
+        name = "w.root";
+        start_s = 0.1;
+        dur_s = 0.2;
+        attrs = [];
+      };
+      {
+        T.id = 6;
+        parent = 5;
+        depth = 1;
+        name = "w.child";
+        start_s = 0.15;
+        dur_s = 0.05;
+        attrs = [ ("k", "v") ];
+      };
+      {
+        T.id = 7;
+        parent = 3;
+        (* its parent was not shipped: must become a root *)
+        depth = 1;
+        name = "w.orphan";
+        start_s = 0.3;
+        dur_s = 0.01;
+        attrs = [];
+      };
+    ]
+  in
+  T.absorb ~spans:worker_spans ~counters:[ ("w.ctr", 4); ("w.zero", 0) ];
+  let spans = T.spans () in
+  Alcotest.(check int) "local + three absorbed" 4 (List.length spans);
+  let ids = List.map (fun (s : T.span) -> s.T.id) spans in
+  Alcotest.(check bool) "ids unique" true
+    (List.length (List.sort_uniq compare ids) = List.length ids);
+  let find name = List.find (fun (s : T.span) -> s.T.name = name) spans in
+  let root = find "w.root" and child = find "w.child" and orphan = find "w.orphan" in
+  Alcotest.(check int) "in-batch parent link preserved" root.T.id child.T.parent;
+  Alcotest.(check int) "out-of-batch parent cut to root" (-1) orphan.T.parent;
+  Alcotest.(check (option string)) "attrs survive" (Some "v")
+    (List.assoc_opt "k" child.T.attrs);
+  Alcotest.(check int) "counter delta added" 4 (T.value (T.counter "w.ctr"));
+  (* a span recorded after absorption must not collide with absorbed ids *)
+  T.with_span "parent.after" (fun () -> ());
+  let ids' = List.map (fun (s : T.span) -> s.T.id) (T.spans ()) in
+  Alcotest.(check bool) "still unique after more recording" true
+    (List.length (List.sort_uniq compare ids') = List.length ids');
+  teardown ()
+
+let test_absorb_disabled_is_noop () =
+  teardown ();
+  T.absorb
+    ~spans:
+      [
+        {
+          T.id = 0;
+          parent = -1;
+          depth = 0;
+          name = "w";
+          start_s = 0.0;
+          dur_s = 1.0;
+          attrs = [];
+        };
+      ]
+    ~counters:[ ("w.ctr", 9) ];
+  Alcotest.(check int) "no spans" 0 (List.length (T.spans ()));
+  Alcotest.(check int) "counter untouched" 0 (T.value (T.counter "w.ctr"))
+
+let test_histogram_wire_merge () =
+  teardown ();
+  T.enable ();
+  (* "worker": observe, snapshot the wire payload, then start over as the
+     "parent" with different observations and merge the worker's in *)
+  let h = T.histogram "t.merge" in
+  T.observe h 2.0;
+  T.observe h 8.0;
+  let wire = T.wire_histograms () in
+  T.reset ();
+  T.observe h 1.0;
+  T.absorb_histograms wire;
+  (match List.assoc_opt "t.merge" (T.histograms ()) with
+  | Some s ->
+      Alcotest.(check int) "counts add" 3 s.T.count;
+      Alcotest.(check (float 1e-9)) "sums add" 11.0 s.T.sum;
+      Alcotest.(check (float 1e-9)) "min widens" 1.0 s.T.minimum;
+      Alcotest.(check (float 1e-9)) "max widens" 8.0 s.T.maximum;
+      (* cumulative buckets: everything <= 8 *)
+      Alcotest.(check bool) "buckets add" true
+        (List.exists (fun (le, c) -> le = 8.0 && c = 3) s.T.buckets)
+  | None -> Alcotest.fail "histogram vanished");
+  (* exporters must render the merged registry without raising *)
+  let prom = E.prometheus () in
+  Alcotest.(check bool) "merged histogram exported" true
+    (contains prom "t_merge");
+  teardown ()
+
+let test_span_json_roundtrip () =
+  let s =
+    {
+      T.id = 12;
+      parent = 3;
+      depth = 2;
+      name = "campaign.task";
+      start_s = 1.5;
+      dur_s = 0.25;
+      attrs = [ ("target", "164_gzip") ];
+    }
+  in
+  match E.span_of_json (E.span_to_json s) with
+  | Some s' ->
+      Alcotest.(check int) "id" s.T.id s'.T.id;
+      Alcotest.(check int) "parent" s.T.parent s'.T.parent;
+      Alcotest.(check int) "depth" s.T.depth s'.T.depth;
+      Alcotest.(check string) "name" s.T.name s'.T.name;
+      Alcotest.(check (float 1e-9)) "start" s.T.start_s s'.T.start_s;
+      Alcotest.(check (float 1e-9)) "dur" s.T.dur_s s'.T.dur_s;
+      Alcotest.(check (option string)) "attr" (Some "164_gzip")
+        (List.assoc_opt "target" s'.T.attrs)
+  | None -> Alcotest.fail "span did not roundtrip"
+
 let () =
   Alcotest.run "obs"
     [
@@ -321,5 +452,16 @@ let () =
           Alcotest.test_case "snapshot in checkpoint line" `Quick
             test_snapshot_rides_checkpoint_line;
           Alcotest.test_case "heartbeat line" `Quick test_heartbeat_line;
+        ] );
+      ( "absorb",
+        [
+          Alcotest.test_case "spans re-identified" `Quick
+            test_absorb_reidentifies_spans;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_absorb_disabled_is_noop;
+          Alcotest.test_case "histogram wire merge" `Quick
+            test_histogram_wire_merge;
+          Alcotest.test_case "span json roundtrip" `Quick
+            test_span_json_roundtrip;
         ] );
     ]
