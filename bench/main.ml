@@ -479,6 +479,32 @@ let ablations () =
   ablation_helix_delta ();
   ablation_predictors ()
 
+(* ---- lint throughput: the full rule set over every suite program ---- *)
+
+(* (programs, diagnostics, wall seconds); recorded in the BENCH snapshot *)
+let lint_results : (int * int * float) ref = ref (0, 0, 0.0)
+
+let lint_throughput () =
+  section "Lint — full rule set over every suite program";
+  let benches = Suites.Suite.all () in
+  let t0 = Unix.gettimeofday () in
+  let n_diags =
+    List.fold_left
+      (fun acc (b : Suites.Suite.benchmark) ->
+        let m = Frontend.compile_exn b.Suites.Suite.source in
+        acc + List.length (Loopa.Lint.run m))
+      0 benches
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let n = List.length benches in
+  lint_results := (n, n_diags, wall);
+  Printf.printf
+    "%d programs, %d diagnostics in %.2fs (%.1f programs/s)\n\
+     (each program runs verifier + SSA + range/structure/loop rules; the\n\
+     dataflow.range and dataflow.audit spans in the snapshot break the cost down)\n"
+    n n_diags wall
+    (float_of_int n /. Float.max 1e-9 wall)
+
 (* ---- perf snapshot: per-stage timings from the telemetry spans ---- *)
 
 let write_bench_snapshot () =
@@ -501,6 +527,16 @@ let write_bench_snapshot () =
                      ("speedup", Util.Json.Float sp);
                    ])
                !scaling_results) );
+        ( "lint",
+          let files, diags, wall = !lint_results in
+          Util.Json.Obj
+            [
+              ("programs", Util.Json.Int files);
+              ("diagnostics", Util.Json.Int diags);
+              ("wall_s", Util.Json.Float wall);
+              ( "programs_per_s",
+                Util.Json.Float (float_of_int files /. Float.max 1e-9 wall) );
+            ] );
       ]
   in
   let j =
@@ -522,6 +558,7 @@ let () =
   figure3 ();
   figure4 ();
   figure5 ();
+  lint_throughput ();
   if Array.exists (( = ) "--ablation") Sys.argv then ablations ();
   if not skip_bechamel then begin
     try bechamel_probes ()

@@ -8,8 +8,10 @@
      loopapalooza repro show|replay|shrink — crash-repro bundles
      loopapalooza census <file|bench>      — Table-I census of the program
      loopapalooza dump-ir <file|bench>     — canonicalized SSA dump
+     loopapalooza lint <files|bench..>     — static diagnostics (text or JSON)
 
-   Exit codes: 0 success; 1 compile/runtime error in the target program;
+   Exit codes: 0 success; 1 compile/runtime error in the target program
+   (for `lint`: any error-severity diagnostic);
    2 usage error (bad configuration, unknown target, bad flags);
    3 unexpected internal error (classified and printed, never a raw
    backtrace). `repro replay` adds 4 (failure vanished) and 5 (failure
@@ -257,7 +259,10 @@ let static_dep_arg =
            proven-lcd with witness, or unknown) before the report.")
 
 let print_static_verdicts (ms : Loopa.Classify.module_static) =
-  let t = Report.Table.create [ "loop"; "depth"; "trip"; "pairs"; "verdict" ] in
+  let t =
+    Report.Table.create
+      [ "loop"; "depth"; "trip"; "pairs"; "verdict"; "range-resolved"; "audit" ]
+  in
   Hashtbl.fold (fun _ fs acc -> fs :: acc) ms.Loopa.Classify.funcs []
   |> List.sort (fun a b -> compare a.Loopa.Classify.fname b.Loopa.Classify.fname)
   |> List.iter (fun (fs : Loopa.Classify.func_static) ->
@@ -268,16 +273,44 @@ let print_static_verdicts (ms : Loopa.Classify.module_static) =
                [
                  Printf.sprintf "%s/bb%d" fs.Loopa.Classify.fname ls.Loopa.Classify.header;
                  string_of_int ls.Loopa.Classify.depth;
-                 (match ls.Loopa.Classify.trip with
-                 | Some n -> Int64.to_string n
-                 | None -> "?");
+                 (match (ls.Loopa.Classify.trip, ls.Loopa.Classify.trip_bound) with
+                 | Some n, _ -> Int64.to_string n
+                 | None, Some b -> Printf.sprintf "<=%Ld" b
+                 | None, None -> "?");
                  Printf.sprintf "%d/%d" d.Deptest.Analysis.n_refuted
                    d.Deptest.Analysis.n_pairs;
                  Deptest.Analysis.verdict_to_string d.Deptest.Analysis.verdict;
+                 (if Loopa.Classify.range_resolved ls then "yes" else "");
+                 (match ls.Loopa.Classify.audit with
+                 | Some Dataflow.Audit.Certified -> "certified"
+                 | Some (Dataflow.Audit.Refuted _) -> "downgraded"
+                 | None -> "-");
                ])
            fs.Loopa.Classify.loops);
   print_endline (Report.Table.render t);
   print_newline ()
+
+(* The headline before/after delta the dataflow layer buys: how many loops
+   the range-strengthened tests resolved out of the baseline Unknowns, and
+   how many Proven_doall verdicts the safety audit took back. *)
+let print_dep_delta (ms : Loopa.Classify.module_static) =
+  let loops, resolved, downgraded =
+    Hashtbl.fold
+      (fun _ fs (l, r, d) ->
+        Array.fold_left
+          (fun (l, r, d) ls ->
+            ( l + 1,
+              (if Loopa.Classify.range_resolved ls then r + 1 else r),
+              match ls.Loopa.Classify.audit with
+              | Some (Dataflow.Audit.Refuted _) -> d + 1
+              | _ -> d ))
+          (l, r, d) fs.Loopa.Classify.loops)
+      ms.Loopa.Classify.funcs (0, 0, 0)
+  in
+  let before, after = Loopa.Classify.unknown_delta ms in
+  Printf.printf
+    "static dep   : %d loops, unknown %d -> %d (range-resolved %d, audit-downgraded %d)\n"
+    loops before after resolved downgraded
 
 let analyze_cmd =
   let run target config fuel loops optimize static_dep trace metrics prom =
@@ -302,6 +335,8 @@ let sweep_cmd =
     handle_errors (fun () ->
         with_telemetry ~trace ~metrics ~prom (fun () ->
             let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
+            print_dep_delta a.Loopa.Driver.ms;
+            print_newline ();
             let configs = Array.of_list Loopa.Config.figure_ladder in
             let row_of (r : Loopa.Evaluate.report) =
               [
@@ -722,6 +757,82 @@ let census_cmd =
        ~doc:"Print the Table-I census of ordering constraints for a program.")
     Term.(const run $ target_arg $ fuel_arg)
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let targets_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGETS"
+          ~doc:"Registered benchmark names or Looplang source files.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag & info [ "all" ] ~doc:"Lint the whole benchmark registry.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print one machine-readable report object (version, per-file \
+             diagnostics with stable fingerprints) instead of text.")
+  in
+  let run targets all json optimize =
+    handle_errors_int (fun () ->
+        if (not all) && targets = [] then
+          raise (Invalid_argument "lint needs TARGETS or --all");
+        let named =
+          if all then
+            List.map
+              (fun (b : Suites.Suite.benchmark) ->
+                (b.Suites.Suite.name, b.Suites.Suite.source))
+              (Suites.Suite.all ())
+          else List.map (fun t -> (t, read_program t)) targets
+        in
+        let reports =
+          named
+          |> List.map (fun (name, src) ->
+                 let m = Frontend.compile_exn src in
+                 if optimize then Opt.Pipeline.run_module m;
+                 (name, Loopa.Lint.run m))
+          |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+        in
+        if json then
+          print_endline
+            (Util.Json.to_string
+               (Util.Json.Obj
+                  [
+                    ("version", Util.Json.Int 1);
+                    ( "reports",
+                      Util.Json.List
+                        (List.map
+                           (fun (file, ds) -> Loopa.Lint.report_to_json ~file ds)
+                           reports) );
+                  ]))
+        else
+          List.iter
+            (fun (file, ds) ->
+              Printf.printf "%s: %d error(s), %d warning(s), %d info(s)\n" file
+                (Loopa.Lint.count Loopa.Lint.Error ds)
+                (Loopa.Lint.count Loopa.Lint.Warning ds)
+                (Loopa.Lint.count Loopa.Lint.Info ds);
+              List.iter
+                (fun d -> print_endline ("  " ^ Loopa.Lint.diag_to_string d))
+                ds)
+            reports;
+        if List.exists (fun (_, ds) -> Loopa.Lint.has_errors ds) reports then 1
+        else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run every static analysis as a lint rule (IR verifier, SSA \
+          dominance, value-range hazards, dead code, parallel-safety audit \
+          downgrades) and report diagnostics with stable fingerprints. Exit \
+          1 when any error-severity diagnostic fires.")
+    Term.(const run $ targets_arg $ all_arg $ json_arg $ optimize_arg)
+
 (* ---- dump-ir ---- *)
 
 let dump_ir_cmd =
@@ -752,4 +863,5 @@ let () =
             repro_cmd;
             census_cmd;
             dump_ir_cmd;
+            lint_cmd;
           ]))

@@ -20,6 +20,7 @@ type phi_info = {
   phi_id : int;
   cls : phi_class;
   latch_def : int option; (* instr id producing the next-iteration value *)
+  range : Util.Interval.t; (* proven interval of the phi's value *)
 }
 
 type loop_static = {
@@ -29,7 +30,17 @@ type loop_static = {
   parent : int option;
   phis : phi_info array;
   trip : int64 option; (* static header-arrival count (Scev.Trip_count) *)
-  dep : Deptest.Analysis.summary; (* static memory-dependence verdict *)
+  trip_bound : int64 option;
+      (* proven upper bound on arrivals when the exact trip is unknown:
+         range analysis evaluates the symbolic exit bound *)
+  dep : Deptest.Analysis.summary;
+      (* final static memory-dependence verdict: range-strengthened, then
+         audited (a failed audit downgrades Proven_doall to Unknown) *)
+  dep_baseline : Deptest.Analysis.verdict;
+      (* the verdict without range facts — the before/after delta *)
+  audit : Dataflow.Audit.certificate option;
+      (* independent safety certificate; [Some] iff the strengthened verdict
+         was Proven_doall *)
 }
 
 type func_static = {
@@ -38,6 +49,7 @@ type func_static = {
   li : Cfg.Loopinfo.t;
   loops : loop_static array; (* indexed by lid *)
   pure : bool; (* read-only, no observable side effects *)
+  ranges : Dataflow.Range.result; (* interval facts for every SSA value *)
 }
 
 type module_static = {
@@ -132,6 +144,12 @@ let c_dep_lcd = Obs.Telemetry.counter "deptest.proven_lcd"
 
 let c_dep_unknown = Obs.Telemetry.counter "deptest.unknown"
 
+let c_range_resolved = Obs.Telemetry.counter "dataflow.range.resolved"
+
+let c_audit_certified = Obs.Telemetry.counter "dataflow.audit.certified"
+
+let c_audit_downgraded = Obs.Telemetry.counter "dataflow.audit.downgraded"
+
 (* [call_effect] summarises the memory effect of each callee for the static
    dependence tester; the default trusts builtin safety classes and assumes
    the worst of user calls. Two passes over the loop forest so the register
@@ -147,7 +165,15 @@ let analyze_func ?(call_effect = Deptest.Analysis.default_call_effect) ~pure
   let scev = Scev.Analysis.create fn li in
   let loop_arr = Array.of_list (Cfg.Loopinfo.loops li) in
   Obs.Telemetry.add c_loops (Array.length loop_arr);
-  (* Pass 1 — SCEV: classify header phis, compute static trip counts. *)
+  (* Pass 0 — dataflow: interval ranges for every SSA value. Everything
+     downstream (trip bounds, subscript refutation, the audit) reads them
+     through [itv_of]. *)
+  let ranges =
+    Obs.Telemetry.with_span "dataflow.range" (fun () -> Dataflow.Range.analyze fn)
+  in
+  let itv_of = Dataflow.Range.itv_of_value ranges in
+  (* Pass 1 — SCEV: classify header phis, compute static trip counts; range
+     analysis supplies a trip *bound* where the exact count stays symbolic. *)
   let reg_side =
     Obs.Telemetry.with_span "scev" @@ fun () ->
     Array.map
@@ -166,33 +192,81 @@ let analyze_func ?(call_effect = Deptest.Analysis.default_call_effect) ~pure
                    phi_id;
                    cls;
                    latch_def = latch_def_of fn li l.Cfg.Loopinfo.lid phi_id;
+                   range = Dataflow.Range.itv_of_instr ranges phi_id;
                  })
           |> Array.of_list
         in
-        (phis, Scev.Trip_count.of_loop fn li scev l.Cfg.Loopinfo.lid))
+        let lid = l.Cfg.Loopinfo.lid in
+        let trip = Scev.Trip_count.of_loop fn li scev lid in
+        let trip_bound =
+          match trip with
+          | Some _ -> trip
+          | None -> Scev.Trip_count.bound_of_loop fn li scev ~lid ~itv_of
+        in
+        (phis, trip, trip_bound))
       loop_arr
   in
-  (* Pass 2 — deptest: the static memory-dependence verdict per loop. *)
+  (* Pass 2 — deptest, twice per loop: once without range facts (the
+     baseline the sweep reports deltas against) and once strengthened with
+     intervals and trip bounds. *)
   let deps =
     Obs.Telemetry.with_span "deptest" @@ fun () ->
     Array.map2
-      (fun (l : Cfg.Loopinfo.loop) (_, trip) ->
+      (fun (l : Cfg.Loopinfo.loop) (_, trip, trip_bound) ->
+        let lid = l.Cfg.Loopinfo.lid in
+        let baseline =
+          Deptest.Analysis.analyze_loop fn li scev ~lid ~trip ~call_effect
+        in
         let dep =
-          Deptest.Analysis.analyze_loop fn li scev ~lid:l.Cfg.Loopinfo.lid ~trip
-            ~call_effect
+          Deptest.Analysis.analyze_loop fn li scev ~lid ~trip ~call_effect
+            ~range:{ Deptest.Analysis.trip_bound; itv_of }
+        in
+        (match (baseline.Deptest.Analysis.verdict, dep.Deptest.Analysis.verdict) with
+        | ( Deptest.Analysis.Unknown,
+            (Deptest.Analysis.Proven_doall | Deptest.Analysis.Proven_lcd _) )
+        | Deptest.Analysis.Proven_lcd _, Deptest.Analysis.Proven_doall ->
+            Obs.Telemetry.incr c_range_resolved
+        | _ -> ());
+        (baseline.Deptest.Analysis.verdict, dep))
+      loop_arr reg_side
+  in
+  (* Pass 3 — audit: independently certify every strengthened Proven_doall
+     verdict; a refutation downgrades the loop to Unknown (the conservative
+     side of the disagreement) and keeps the structured reasons for lint. *)
+  let audited =
+    Obs.Telemetry.with_span "dataflow.audit" @@ fun () ->
+    Array.map2
+      (fun (l : Cfg.Loopinfo.loop) (dep_baseline, dep) ->
+        let audit, dep =
+          match dep.Deptest.Analysis.verdict with
+          | Deptest.Analysis.Proven_doall -> (
+              let cert =
+                Dataflow.Audit.audit_loop fn li scev ~lid:l.Cfg.Loopinfo.lid
+                  ~n:dep.Deptest.Analysis.trip ~call_effect ~itv_of
+              in
+              match cert with
+              | Dataflow.Audit.Certified ->
+                  Obs.Telemetry.incr c_audit_certified;
+                  (Some cert, dep)
+              | Dataflow.Audit.Refuted _ ->
+                  Obs.Telemetry.incr c_audit_downgraded;
+                  ( Some cert,
+                    { dep with Deptest.Analysis.verdict = Deptest.Analysis.Unknown } ))
+          | Deptest.Analysis.Proven_lcd _ | Deptest.Analysis.Unknown -> (None, dep)
         in
         Obs.Telemetry.incr
           (match dep.Deptest.Analysis.verdict with
           | Deptest.Analysis.Proven_doall -> c_dep_doall
           | Deptest.Analysis.Proven_lcd _ -> c_dep_lcd
           | Deptest.Analysis.Unknown -> c_dep_unknown);
-        dep)
-      loop_arr reg_side
+        (dep_baseline, dep, audit))
+      loop_arr deps
   in
   let loops =
     Array.init (Array.length loop_arr) (fun i ->
         let l = loop_arr.(i) in
-        let phis, trip = reg_side.(i) in
+        let phis, trip, trip_bound = reg_side.(i) in
+        let dep_baseline, dep, audit = audited.(i) in
         {
           lid = l.Cfg.Loopinfo.lid;
           header = l.Cfg.Loopinfo.header;
@@ -200,10 +274,13 @@ let analyze_func ?(call_effect = Deptest.Analysis.default_call_effect) ~pure
           parent = l.Cfg.Loopinfo.parent;
           phis;
           trip;
-          dep = deps.(i);
+          trip_bound;
+          dep;
+          dep_baseline;
+          audit;
         })
   in
-  { fname = fn.Ir.Func.fname; fn; li; loops; pure }
+  { fname = fn.Ir.Func.fname; fn; li; loops; pure; ranges }
 
 let analyze_module (m : Ir.Func.modul) : module_static =
   Obs.Telemetry.with_span "classify" @@ fun () ->
@@ -231,6 +308,29 @@ let func_static ms fname =
   | Some fs -> fs
   | None -> invalid_arg ("Classify.func_static: unknown function " ^ fname)
 
+(* Did range facts strengthen this loop's verdict (Unknown to proven, or
+   Proven_lcd to Proven_doall)? The sweep's "range-resolved" column and the
+   before/after delta read this. *)
+let range_resolved (ls : loop_static) : bool =
+  match (ls.dep_baseline, ls.dep.Deptest.Analysis.verdict) with
+  | Deptest.Analysis.Unknown, (Deptest.Analysis.Proven_doall | Deptest.Analysis.Proven_lcd _)
+  | Deptest.Analysis.Proven_lcd _, Deptest.Analysis.Proven_doall ->
+      true
+  | _ -> false
+
+(* (baseline, final) Unknown-verdict counts over every loop of the module —
+   the headline delta the dataflow layer buys. *)
+let unknown_delta (ms : module_static) : int * int =
+  Hashtbl.fold
+    (fun _ fs (b, f) ->
+      Array.fold_left
+        (fun (b, f) ls ->
+          ( (if ls.dep_baseline = Deptest.Analysis.Unknown then b + 1 else b),
+            if ls.dep.Deptest.Analysis.verdict = Deptest.Analysis.Unknown then f + 1
+            else f ))
+        (b, f) fs.loops)
+    ms.funcs (0, 0)
+
 (* Phis the run-time must track: reductions (non-computable under -reduc0)
    and non-computable LCDs. Computable phis never constrain parallelism. *)
 let watched_phis (ls : loop_static) : phi_info list =
@@ -245,8 +345,13 @@ let watched_phis (ls : loop_static) : phi_info list =
    (the default), loops statically proven free of cross-iteration memory RAW
    are dropped from the memory-event stream — they cannot contribute
    conflicts, so the evaluation is unchanged while the interpreter skips
-   their address tracking entirely. *)
-let watch_plan_of ?(prune_proven_doall = true) (fs : func_static) :
+   their address tracking entirely. With [observe_all_phis], EVERY header
+   phi additionally reports its per-arrival value (on_header_phi) so the
+   range-soundness crosscheck can compare observed values against proven
+   intervals; defs/uses instrumentation still covers only the watched set,
+   so predictor statistics are unchanged. *)
+let watch_plan_of ?(prune_proven_doall = true) ?(observe_all_phis = false)
+    (fs : func_static) :
     Interp.Events.watch_plan * (int, int list) Hashtbl.t =
   let plan = Interp.Events.empty_watch_plan fs.fn in
   let def_to_phis = Hashtbl.create 16 in
@@ -286,4 +391,10 @@ let watch_plan_of ?(prune_proven_doall = true) (fs : func_static) :
       if used <> [] then
         plan.Interp.Events.phi_uses.(i.Ir.Instr.id) <- List.sort_uniq compare used)
     fs.fn;
+  (* After the use scan, so phi_uses keeps reflecting the watched set only. *)
+  if observe_all_phis then
+    Array.iter
+      (fun ls ->
+        Array.iter (fun pi -> plan.Interp.Events.phis.(pi.phi_id) <- true) ls.phis)
+      fs.loops;
   (plan, def_to_phis)

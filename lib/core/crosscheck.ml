@@ -56,3 +56,46 @@ let check_exn (p : Profile.profile) : unit =
         (Unsound
            ("static dependence verdicts contradicted by execution:\n"
            ^ String.concat "\n" (List.map violation_to_string vs)))
+
+(* ---- range soundness ----
+
+   Every value a header phi takes at run time must lie inside the interval
+   the dataflow range analysis proved for it. The profile must be collected
+   with Driver ~observe_ranges:true so every header phi (not just the
+   watched LCD set) reports its per-arrival values. *)
+
+type range_violation = {
+  fname : string;
+  phi_id : int;
+  observed : int64; (* a dynamic value outside the proven interval *)
+  proven : Util.Interval.t;
+}
+
+let range_violation_to_string v =
+  Printf.sprintf "%s/%%%d: observed value %Ld outside proven range %s" v.fname
+    v.phi_id v.observed
+    (Util.Interval.to_string v.proven)
+
+let check_ranges (p : Profile.profile) : range_violation list =
+  let out = ref [] in
+  Hashtbl.iter
+    (fun (fname, phi_id) (lo, hi) ->
+      let fs = Classify.func_static p.Profile.ms fname in
+      let proven = Dataflow.Range.itv_of_instr fs.Classify.ranges phi_id in
+      let bad v =
+        if not (Util.Interval.mem v proven) then
+          out := { fname; phi_id; observed = v; proven } :: !out
+      in
+      bad lo;
+      if hi <> lo then bad hi)
+    p.Profile.phi_obs;
+  !out
+
+let check_ranges_exn (p : Profile.profile) : unit =
+  match check_ranges p with
+  | [] -> ()
+  | vs ->
+      raise
+        (Unsound
+           ("proven value ranges contradicted by execution:\n"
+           ^ String.concat "\n" (List.map range_violation_to_string vs)))

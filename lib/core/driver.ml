@@ -167,12 +167,16 @@ let prepare ?(optimize = false) (m : Ir.Func.modul) : Classify.module_static =
    closes open invocations and the profile is marked [truncated]. *)
 let profiling_machine ?(fuel = Config.default_fuel) ?mem_limit ?max_depth
     ?deadline ?faults ?make_predictor ?(static_prune = true)
-    (ms : Classify.module_static) : Profile.t * Interp.Machine.t =
+    ?(observe_ranges = false) (ms : Classify.module_static) :
+    Profile.t * Interp.Machine.t =
   let def_maps = Hashtbl.create 16 in
   let watch_plans = Hashtbl.create 16 in
   Hashtbl.iter
     (fun fname fs ->
-      let plan, defs = Classify.watch_plan_of ~prune_proven_doall:static_prune fs in
+      let plan, defs =
+        Classify.watch_plan_of ~prune_proven_doall:static_prune
+          ~observe_all_phis:observe_ranges fs
+      in
       Hashtbl.replace watch_plans fname plan;
       Hashtbl.replace def_maps fname defs)
     ms.Classify.funcs;
@@ -190,17 +194,18 @@ let finish_profile (ms : Classify.module_static) (profiler : Profile.t)
   {
     Profile.ms;
     invs = Ir.Vec.to_array profiler.Profile.invs;
+    phi_obs = profiler.Profile.phi_obs;
     total_cost = outcome.Interp.Machine.clock;
     outcome;
     truncated = (outcome.Interp.Machine.stop <> Interp.Machine.Completed);
   }
 
 let profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
-    ?make_predictor ?static_prune (ms : Classify.module_static) :
+    ?make_predictor ?static_prune ?observe_ranges (ms : Classify.module_static) :
     Profile.profile =
   let profiler, machine =
     profiling_machine ?fuel ?mem_limit ?max_depth ?deadline ?faults
-      ?make_predictor ?static_prune ms
+      ?make_predictor ?static_prune ?observe_ranges ms
   in
   let outcome =
     Obs.Telemetry.with_span "profile.interp" (fun () ->
@@ -217,11 +222,11 @@ let profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
    cannot carry. Budget exhaustion is still a success (a truncated
    profile), matching [profile_module]. *)
 let profile_result ?fuel ?mem_limit ?max_depth ?deadline ?faults
-    ?make_predictor ?static_prune (ms : Classify.module_static) :
+    ?make_predictor ?static_prune ?observe_ranges (ms : Classify.module_static) :
     (Profile.profile, failure) result =
   let profiler, machine =
     profiling_machine ?fuel ?mem_limit ?max_depth ?deadline ?faults
-      ?make_predictor ?static_prune ms
+      ?make_predictor ?static_prune ?observe_ranges ms
   in
   match
     Obs.Telemetry.with_span "profile.interp" (fun () ->
@@ -254,7 +259,7 @@ let profile_result ?fuel ?mem_limit ?max_depth ?deadline ?faults
         }
 
 let analyze_source ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
-    ?optimize ?static_prune (src : string) : analysis =
+    ?optimize ?static_prune ?observe_ranges (src : string) : analysis =
   Obs.Telemetry.with_span "analyze" @@ fun () ->
   let m = Frontend.compile_exn src in
   let ms = prepare ?optimize m in
@@ -262,18 +267,18 @@ let analyze_source ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
     ms;
     profile =
       profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
-        ?make_predictor ?static_prune ms;
+        ?make_predictor ?static_prune ?observe_ranges ms;
   }
 
 let analyze_module ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
-    ?optimize ?static_prune (m : Ir.Func.modul) : analysis =
+    ?optimize ?static_prune ?observe_ranges (m : Ir.Func.modul) : analysis =
   Obs.Telemetry.with_span "analyze" @@ fun () ->
   let ms = prepare ?optimize m in
   {
     ms;
     profile =
       profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
-        ?make_predictor ?static_prune ms;
+        ?make_predictor ?static_prune ?observe_ranges ms;
   }
 
 let evaluate ?knobs (a : analysis) (config : Config.t) : Evaluate.report =

@@ -64,7 +64,9 @@ val prepare : ?optimize:bool -> Ir.Func.modul -> Classify.module_static
     (default true) drops statically Proven_doall loops from the memory-event
     stream — sound for evaluation, since such loops never record conflicts;
     pass false to collect the unpruned profile (what {!Crosscheck} validates
-    against). *)
+    against). [observe_ranges] (default false) makes EVERY header phi report
+    its per-arrival value so {!Crosscheck.check_ranges} can compare dynamic
+    values against the statically proven intervals. *)
 val profile_module :
   ?fuel:int ->
   ?mem_limit:int ->
@@ -73,6 +75,7 @@ val profile_module :
   ?faults:Interp.Machine.fault_plan ->
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?static_prune:bool ->
+  ?observe_ranges:bool ->
   Classify.module_static ->
   Profile.profile
 
@@ -88,6 +91,7 @@ val profile_result :
   ?faults:Interp.Machine.fault_plan ->
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?static_prune:bool ->
+  ?observe_ranges:bool ->
   Classify.module_static ->
   (Profile.profile, failure) result
 
@@ -104,6 +108,7 @@ val analyze_source :
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?optimize:bool ->
   ?static_prune:bool ->
+  ?observe_ranges:bool ->
   string ->
   analysis
 
@@ -117,6 +122,7 @@ val analyze_module :
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?optimize:bool ->
   ?static_prune:bool ->
+  ?observe_ranges:bool ->
   Ir.Func.modul ->
   analysis
 

@@ -1,0 +1,287 @@
+(* The lint driver: every static analysis in the tree repackaged as a rule
+   producing machine-readable diagnostics. A diagnostic carries a stable
+   rule id, a severity, a location (function / loop / instruction) and a
+   fingerprint — [rule:hash8(location key)] — that stays identical across
+   runs on the same input, so CI can diff lint output against a committed
+   golden file and fingerprints can key suppression lists.
+
+   Rule inventory:
+     verifier              structural/type IR breakage        (error)
+     ssa                   use not dominated by its def       (error)
+     range-div-by-zero     divisor interval contains zero     (warning;
+                           error when provably always zero)
+     range-shift-overflow  shift amount may exceed 63         (warning;
+                           error when provably always out of range)
+     range-dead-branch     branch condition provably constant (info)
+     unreachable-block     CFG block no path reaches          (info)
+     dead-value            result never used by any instr     (info)
+     audit-downgrade       Proven_doall failed the parallel-
+                           safety audit                       (warning)
+     dep-unknown           dependence verdict stayed Unknown  (info)
+
+   The structural rules (verifier, ssa) gate the semantic ones: when either
+   reports, classification cannot be trusted and the run stops there. *)
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type diag = {
+  rule : string;
+  severity : severity;
+  fname : string option;
+  lid : int option; (* loop id, for loop-scoped rules *)
+  instr : int option;
+  message : string;
+  fingerprint : string; (* rule:hash8(stable location key) *)
+}
+
+(* The fingerprint hashes the *identity* of the finding, not its message
+   text: rule + location (+ a discriminator for rules that can fire twice at
+   one location). Messages can be reworded without churning golden files. *)
+let mk ?fname ?lid ?instr ?(key = "") rule severity message =
+  let ident =
+    Printf.sprintf "%s|%s|%d|%d|%s"
+      (Option.value ~default:"" fname)
+      key
+      (Option.value ~default:(-1) lid)
+      (Option.value ~default:(-1) instr)
+      ""
+  in
+  {
+    rule;
+    severity;
+    fname;
+    lid;
+    instr;
+    message;
+    fingerprint = rule ^ ":" ^ Driver.hash8 ident;
+  }
+
+let diag_to_string d =
+  let where =
+    String.concat ""
+      [
+        (match d.fname with Some f -> f | None -> "<module>");
+        (match d.lid with Some l -> Printf.sprintf "/loop%d" l | None -> "");
+        (match d.instr with Some i -> Printf.sprintf "/%%%d" i | None -> "");
+      ]
+  in
+  Printf.sprintf "%s: %s [%s] %s" (severity_name d.severity) where d.fingerprint
+    d.message
+
+let diag_to_json (d : diag) : Util.Json.t =
+  Util.Json.Obj
+    [
+      ("rule", Util.Json.String d.rule);
+      ("severity", Util.Json.String (severity_name d.severity));
+      ("fingerprint", Util.Json.String d.fingerprint);
+      ( "function",
+        match d.fname with Some f -> Util.Json.String f | None -> Util.Json.Null );
+      ("loop", match d.lid with Some l -> Util.Json.Int l | None -> Util.Json.Null);
+      ( "instr",
+        match d.instr with Some i -> Util.Json.Int i | None -> Util.Json.Null );
+      ("message", Util.Json.String d.message);
+    ]
+
+(* Reports sort by location then rule so output order never depends on
+   hashtable iteration. *)
+let compare_diag a b =
+  compare
+    (a.fname, a.lid, a.instr, a.rule, a.fingerprint)
+    (b.fname, b.lid, b.instr, b.rule, b.fingerprint)
+
+let count sev diags = List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+let report_to_json ~(file : string) (diags : diag list) : Util.Json.t =
+  Util.Json.Obj
+    [
+      ("version", Util.Json.Int 1);
+      ("file", Util.Json.String file);
+      ("errors", Util.Json.Int (count Error diags));
+      ("warnings", Util.Json.Int (count Warning diags));
+      ("infos", Util.Json.Int (count Info diags));
+      ("diagnostics", Util.Json.List (List.map diag_to_json diags));
+    ]
+
+(* ---- structural rules ---- *)
+
+let rule_verifier (m : Ir.Func.modul) : diag list =
+  List.map
+    (fun (e : Ir.Verifier.error) ->
+      mk "verifier" Error ~key:e.Ir.Verifier.where
+        (e.Ir.Verifier.where ^ ": " ^ e.Ir.Verifier.what))
+    (Ir.Verifier.verify_module m)
+
+let rule_ssa (m : Ir.Func.modul) : diag list =
+  List.map
+    (fun (e : Cfg.Ssa_check.error) ->
+      mk "ssa" Error ~fname:e.Cfg.Ssa_check.in_func
+        ~instr:e.Cfg.Ssa_check.use_instr
+        ~key:(string_of_int e.Cfg.Ssa_check.operand)
+        (Cfg.Ssa_check.error_to_string e))
+    (Cfg.Ssa_check.check_module m)
+
+(* ---- semantic rules (per classified function) ---- *)
+
+let shift_range = Util.Interval.of_bounds 0L 63L
+
+let range_rules (fs : Classify.func_static) : diag list =
+  let fn = fs.Classify.fn in
+  let fname = fn.Ir.Func.fname in
+  let itv_of = Dataflow.Range.itv_of_value fs.Classify.ranges in
+  let bits = Dataflow.Bits.analyze fn in
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  Ir.Func.iter_instrs
+    (fun (i : Ir.Instr.t) ->
+      let id = i.Ir.Instr.id in
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Ibinop ((Ir.Instr.Sdiv | Ir.Instr.Srem), _, d) -> (
+          let itv = itv_of d in
+          if Util.Interval.is_bot itv then () (* unreachable: never executes *)
+          else
+            match Util.Interval.singleton itv with
+            | Some 0L ->
+                emit
+                  (mk "range-div-by-zero" Error ~fname ~instr:id
+                     "divisor is provably always zero: this instruction traps \
+                      whenever it executes")
+            | _ ->
+                if
+                  Util.Interval.contains_zero itv
+                  && not (Dataflow.Bits.known_nonzero bits d)
+                then
+                  emit
+                    (mk "range-div-by-zero" Warning ~fname ~instr:id
+                       (Printf.sprintf
+                          "divisor range %s contains zero: division may trap"
+                          (Util.Interval.to_string itv))))
+      | Ir.Instr.Ibinop
+          ((Ir.Instr.Shl | Ir.Instr.Ashr | Ir.Instr.Lshr), _, amt) ->
+          let itv = itv_of amt in
+          if Util.Interval.is_bot itv || Util.Interval.subset itv shift_range
+          then ()
+          else if Util.Interval.is_bot (Util.Interval.meet itv shift_range) then
+            emit
+              (mk "range-shift-overflow" Error ~fname ~instr:id
+                 (Printf.sprintf
+                    "shift amount range %s is provably outside [0, 63]"
+                    (Util.Interval.to_string itv)))
+          else
+            emit
+              (mk "range-shift-overflow" Warning ~fname ~instr:id
+                 (Printf.sprintf
+                    "shift amount range %s may fall outside [0, 63]"
+                    (Util.Interval.to_string itv)))
+      | Ir.Instr.Cond_br (c, t, e) when t <> e -> (
+          match Util.Interval.singleton (itv_of c) with
+          | Some 1L ->
+              emit
+                (mk "range-dead-branch" Info ~fname ~instr:id
+                   (Printf.sprintf
+                      "condition is provably true: edge to bb%d is dead" e))
+          | Some 0L ->
+              emit
+                (mk "range-dead-branch" Info ~fname ~instr:id
+                   (Printf.sprintf
+                      "condition is provably false: edge to bb%d is dead" t))
+          | _ -> ())
+      | _ -> ())
+    fn;
+  !out
+
+let structure_rules (fs : Classify.func_static) : diag list =
+  let fn = fs.Classify.fn in
+  let fname = fn.Ir.Func.fname in
+  let cfg = Cfg.Graph.build fn in
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  List.iter
+    (fun bid ->
+      emit
+        (mk "unreachable-block" Info ~fname ~key:(string_of_int bid)
+           (Printf.sprintf "block bb%d is unreachable from the entry" bid)))
+    (Cfg.Graph.unreachable_blocks cfg);
+  (* dead values: an SSA result no instruction ever reads. Calls are exempt
+     (their effects justify them); unreachable code is already reported. *)
+  let used = Array.make (max 1 (Ir.Func.num_instrs fn)) false in
+  Ir.Func.iter_instrs
+    (fun (i : Ir.Instr.t) ->
+      List.iter
+        (fun v -> match v with Ir.Types.Reg r -> used.(r) <- true | _ -> ())
+        (Ir.Instr.operands i.Ir.Instr.kind))
+    fn;
+  Ir.Func.iter_instrs
+    (fun (i : Ir.Instr.t) ->
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Call _ -> ()
+      | k ->
+          if
+            Ir.Instr.has_result k
+            && (not used.(i.Ir.Instr.id))
+            && Cfg.Graph.is_reachable cfg i.Ir.Instr.block
+          then
+            emit
+              (mk "dead-value" Info ~fname ~instr:i.Ir.Instr.id
+                 "result is never used"))
+    fn;
+  !out
+
+let loop_rules (fs : Classify.func_static) : diag list =
+  let fname = fs.Classify.fname in
+  let out = ref [] in
+  Array.iter
+    (fun (ls : Classify.loop_static) ->
+      match ls.Classify.audit with
+      | Some (Dataflow.Audit.Refuted reasons) ->
+          out :=
+            mk "audit-downgrade" Warning ~fname ~lid:ls.Classify.lid
+              ("dependence analysis proved this loop DOALL but the \
+                parallel-safety audit refuted it (downgraded to Unknown): "
+              ^ String.concat "; "
+                  (List.map Dataflow.Audit.reason_to_string reasons))
+            :: !out
+      | Some Dataflow.Audit.Certified | None ->
+          if ls.Classify.dep.Deptest.Analysis.verdict = Deptest.Analysis.Unknown
+          then
+            out :=
+              mk "dep-unknown" Info ~fname ~lid:ls.Classify.lid
+                (Printf.sprintf
+                   "loop-carried dependence verdict is Unknown (%d of %d \
+                    store/load pairs refuted)"
+                   ls.Classify.dep.Deptest.Analysis.n_refuted
+                   ls.Classify.dep.Deptest.Analysis.n_pairs)
+              :: !out)
+    fs.Classify.loops;
+  !out
+
+(* Lint a module the frontend already produced. The structural rules run
+   FIRST, on the raw module, and in dependency order: the verifier (which
+   assumes nothing), then the SSA checker (which assumes a well-formed CFG),
+   then — only when both are clean — the canonicalizer (the same
+   loop-simplify the real pipeline runs, so loop-scoped diagnostics refer
+   to the loops every other subcommand reports) and the semantic rules. A
+   malformed module must surface as diagnostics, not crash a later stage. *)
+let run (m : Ir.Func.modul) : diag list =
+  Obs.Telemetry.with_span "lint" @@ fun () ->
+  let verifier = rule_verifier m in
+  let structural = if verifier <> [] then verifier else rule_ssa m in
+  let diags =
+    if structural <> [] then structural
+    else
+      let () = Cfg.Loop_simplify.run_module m in
+      let ms = Classify.analyze_module m in
+      let per_fn =
+        Hashtbl.fold (fun _ fs acc -> fs :: acc) ms.Classify.funcs []
+      in
+      List.concat_map
+        (fun fs -> range_rules fs @ structure_rules fs @ loop_rules fs)
+        per_fn
+  in
+  List.sort compare_diag diags

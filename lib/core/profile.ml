@@ -80,6 +80,10 @@ type t = {
   def_maps : (string, (int, int list) Hashtbl.t) Hashtbl.t; (* fname -> def->phis *)
   make_predictor : unit -> Predictors.Hybrid.t; (* predictor bank (ablation) *)
   static_prune : bool; (* honor Proven_doall verdicts when tracking memory *)
+  phi_obs : (string * int, int64 * int64) Hashtbl.t;
+      (* (fname, phi_id) -> (min, max) integer value observed at any header
+         arrival; fed by on_header_phi, validated by Crosscheck.check_ranges
+         against the proven static interval *)
 }
 
 let dummy_inv =
@@ -110,6 +114,7 @@ let create ?(make_predictor = fun () -> Predictors.Hybrid.create ())
     def_maps;
     make_predictor;
     static_prune;
+    phi_obs = Hashtbl.create 64;
   }
 
 let current_fname t =
@@ -276,7 +281,27 @@ let find_track t phi_id : (inv * reg_track) option =
   in
   go t.stack
 
+(* Observed dynamic envelope per header phi. Floats are skipped: the range
+   analysis proves nothing about them (their interval is top anyway). Bools
+   use the interpreter's own 0/1 integer encoding. *)
+let record_phi_obs t ~phi_id ~value =
+  let recorded =
+    match value with
+    | Interp.Rvalue.Vint v -> Some v
+    | Interp.Rvalue.Vbool b -> Some (if b then 1L else 0L)
+    | Interp.Rvalue.Vfloat _ -> None
+  in
+  match recorded with
+  | None -> ()
+  | Some v -> (
+      let key = (current_fname t, phi_id) in
+      match Hashtbl.find_opt t.phi_obs key with
+      | None -> Hashtbl.replace t.phi_obs key (v, v)
+      | Some (lo, hi) ->
+          if v < lo || v > hi then Hashtbl.replace t.phi_obs key (min v lo, max v hi))
+
 let on_header_phi t ~phi_id ~value ~clock:_ =
+  record_phi_obs t ~phi_id ~value;
   match find_track t phi_id with
   | Some (inv, tr) ->
       let k = cur_iter inv in
@@ -343,6 +368,9 @@ let hooks_of t : Interp.Events.hooks =
 type profile = {
   ms : Classify.module_static;
   invs : inv array; (* creation order: parents before children *)
+  phi_obs : (string * int, int64 * int64) Hashtbl.t;
+      (* observed (min, max) per header phi; populated only for phis the
+         watch plan reported (all of them under Driver ~observe_ranges) *)
   total_cost : int;
   outcome : Interp.Machine.outcome;
   truncated : bool;

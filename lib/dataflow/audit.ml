@@ -1,0 +1,252 @@
+(* The parallel-safety auditor: an independent certification pass over
+   loops the dependence analysis already proved DOALL. Where deptest works
+   pairwise through the ZIV/SIV/GCD lattice, the auditor re-derives safety
+   from first principles on a different decision procedure — the vertex
+   hull of the dependence polyhedron — so a bug in either implementation
+   surfaces as a disagreement instead of a silently unsound verdict, and
+   every failure comes back as a structured reason the lint layer can
+   report.
+
+   Certification obligations for loop L (trip/arrival bound n):
+     1. no call in the body with a write effect, and no call with a read
+        effect while the body stores (call accesses have no subscripts to
+        test);
+     2. every Load/Store resolves to the affine form base + stride*i;
+     3. for every (store, load) pair: base objects provably disjoint, or
+        the per-iteration index windows provably miss each other — no
+        integer solution of  store_addr(i) = load_addr(j),  0 <= i < j <= n-1;
+     4. no store in the body whose *stored value* derives from the address
+        of an array some access touches (escaping address arithmetic: once
+        a base pointer is written to memory, later loads could forge
+        aliases the base classification cannot see).
+
+   Obligation 3 substitutes j = i + d (d >= 1):  A*i + B*d = c  with
+   A = sw - sr, B = -sr, c in a proven interval (range analysis evaluates
+   the non-cancelling base terms). The solution-value hull of the linear
+   form over the triangle {i >= 0, d >= 1, i + d <= n-1} is spanned by the
+   triangle's vertices; if the hull misses c's interval — or a gcd
+   divisibility argument excludes it — the pair cannot collide. All
+   arithmetic is overflow-checked: a wrap widens the hull and the audit
+   refuses to certify (never the unsound direction). *)
+
+type reason =
+  | Call_writes of { instr_id : int; callee : string }
+  | Call_reads_while_stores of { instr_id : int; callee : string }
+  | Unresolved_access of { instr_id : int; is_write : bool }
+  | May_overlap of { store_id : int; load_id : int }
+  | Escaping_base of { store_id : int; base_instr : int }
+
+type certificate = Certified | Refuted of reason list
+
+let reason_to_string = function
+  | Call_writes { instr_id; callee } ->
+      Printf.sprintf "call %%%d to %s may write memory" instr_id callee
+  | Call_reads_while_stores { instr_id; callee } ->
+      Printf.sprintf "call %%%d to %s may read memory the loop stores" instr_id callee
+  | Unresolved_access { instr_id; is_write } ->
+      Printf.sprintf "%s %%%d does not resolve to an affine access"
+        (if is_write then "store" else "load")
+        instr_id
+  | May_overlap { store_id; load_id } ->
+      Printf.sprintf "store %%%d and load %%%d may touch the same word across iterations"
+        store_id load_id
+  | Escaping_base { store_id; base_instr } ->
+      Printf.sprintf "store %%%d writes a value derived from array base %%%d (address escapes)"
+        store_id base_instr
+
+let certificate_to_string = function
+  | Certified -> "certified"
+  | Refuted rs ->
+      Printf.sprintf "refuted(%s)" (String.concat "; " (List.map reason_to_string rs))
+
+let rec gcd64 a b = if b = 0L then Int64.abs a else gcd64 b (Int64.rem a b)
+
+(* No integer solution of A*i + B*d = c for i >= 0, d in [1, m], i + d <= m
+   (m = n-1, m >= 1). [c] is an interval; [m = None] means the trip is
+   unbounded and only the ray argument from the minimal corner applies. *)
+let pair_excluded ~(a : int64) ~(b : int64) ~(c : Util.Interval.t)
+    ~(m : int64 option) : bool =
+  if Util.Interval.is_bot c then true (* base difference computed from dead values *)
+  else
+    (* gcd divisibility: any solution value of A*i + B*d is a multiple of
+       gcd(A, B); exact only for a singleton c *)
+    let by_gcd =
+      match Util.Interval.singleton c with
+      | Some c when a <> 0L || b <> 0L ->
+          let g = gcd64 a b in
+          g <> 0L && Int64.rem c g <> 0L
+      | _ -> false
+    in
+    by_gcd
+    ||
+    let hull =
+      if a = 0L && b = 0L then Util.Interval.const 0L
+      else
+        match m with
+        | Some m when m < 1L -> Util.Interval.bot (* no (i, d) points at all *)
+        | Some m -> (
+            (* vertices (i, d) = (0, 1), (0, m), (m-1, 1) *)
+            let v1 = Some b in
+            let v2 = Util.Interval.mul64 b m in
+            let v3 =
+              match Util.Interval.mul64 a (Int64.sub m 1L) with
+              | Some am -> Util.Interval.add64 am b
+              | None -> None
+            in
+            match (v1, v2, v3) with
+            | Some v1, Some v2, Some v3 ->
+                Util.Interval.of_bounds (min v1 (min v2 v3)) (max v1 (max v2 v3))
+            | _ -> Util.Interval.top)
+        | None ->
+            Util.Interval.of_bounds
+              (if a < 0L || b < 0L then Int64.min_int else b)
+              (if a > 0L || b > 0L then Int64.max_int else b)
+    in
+    (* exact single-solution check when i's coefficient vanishes: B*d = c
+       has at most one d *)
+    let exact_b =
+      match (a, Util.Interval.singleton c) with
+      | 0L, Some c when b <> 0L && Int64.rem c b = 0L ->
+          let d0 = Int64.div c b in
+          d0 < 1L || (match m with Some m -> d0 > m | None -> false)
+      | _ -> false
+    in
+    exact_b || Util.Interval.is_bot (Util.Interval.meet hull c)
+
+let store_load_safe ~(n : int64 option)
+    ~(itv_of : Ir.Types.value -> Util.Interval.t) (s : Deptest.Access.t)
+    (l : Deptest.Access.t) : bool =
+  Deptest.Access.provably_disjoint s l
+  ||
+  let sw = s.Deptest.Access.stride and sr = l.Deptest.Access.stride in
+  match (Util.Interval.sub64 sw sr, Util.Interval.neg64 sr) with
+  | Some a, Some b ->
+      let c =
+        match
+          Deptest.Analysis.const_delta ~store:s.Deptest.Access.inv
+            ~load:l.Deptest.Access.inv
+        with
+        | Some c -> Util.Interval.const c
+        | None ->
+            Deptest.Analysis.diff_interval ~itv_of ~store:s.Deptest.Access.inv
+              ~load:l.Deptest.Access.inv
+      in
+      let m = Option.map (fun k -> Int64.sub k 1L) n in
+      pair_excluded ~a ~b ~c ~m
+  | _ -> false
+
+(* Does expression [e] mention the address of one of [bases] (instr ids of
+   Alloc sites) at any depth? *)
+let rec mentions_base (bases : Cfg.Loopinfo.Int_set.t) (e : Scev.Expr.t) : int option =
+  match e with
+  | Scev.Expr.Unknown (Ir.Types.Reg r) when Cfg.Loopinfo.Int_set.mem r bases -> Some r
+  | Scev.Expr.Add ts | Scev.Expr.Mul ts ->
+      List.find_map (mentions_base bases) ts
+  | Scev.Expr.Add_rec { start; step; _ } -> (
+      match mentions_base bases start with
+      | Some r -> Some r
+      | None -> mentions_base bases step)
+  | _ -> None
+
+let audit_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (sa : Scev.Analysis.t)
+    ~(lid : int) ~(n : int64 option)
+    ~(call_effect : string -> Deptest.Analysis.call_effect)
+    ~(itv_of : Ir.Types.value -> Util.Interval.t) : certificate =
+  let l = Cfg.Loopinfo.loop li lid in
+  let header = l.Cfg.Loopinfo.header in
+  let loads = ref [] and stores = ref [] in
+  let unresolved = ref [] in
+  let call_writes = ref [] and call_reads = ref [] in
+  let store_values = ref [] in
+  Cfg.Loopinfo.Int_set.iter
+    (fun bid ->
+      List.iter
+        (fun id ->
+          match Ir.Func.kind fn id with
+          | Ir.Instr.Load addr -> (
+              match
+                Deptest.Access.resolve fn sa ~lid ~header ~instr_id:id
+                  ~is_write:false addr
+              with
+              | Some acc -> loads := acc :: !loads
+              | None -> unresolved := (id, false) :: !unresolved)
+          | Ir.Instr.Store (addr, v) -> (
+              store_values := (id, v) :: !store_values;
+              match
+                Deptest.Access.resolve fn sa ~lid ~header ~instr_id:id
+                  ~is_write:true addr
+              with
+              | Some acc -> stores := acc :: !stores
+              | None -> unresolved := (id, true) :: !unresolved)
+          | Ir.Instr.Call (callee, _) -> (
+              match call_effect callee with
+              | Deptest.Analysis.No_mem -> ()
+              | Deptest.Analysis.Reads -> call_reads := (id, callee) :: !call_reads
+              | Deptest.Analysis.Reads_writes ->
+                  call_reads := (id, callee) :: !call_reads;
+                  call_writes := (id, callee) :: !call_writes)
+          | _ -> ())
+        (Ir.Func.block fn bid).Ir.Func.instr_ids)
+    l.Cfg.Loopinfo.body;
+  let any_store =
+    !stores <> [] || !call_writes <> []
+    || List.exists (fun (_, w) -> w) !unresolved
+  in
+  let any_load =
+    !loads <> [] || !call_reads <> []
+    || List.exists (fun (_, w) -> not w) !unresolved
+  in
+  let single_arrival = match n with Some k -> k <= 1L | None -> false in
+  (* no cross-iteration RAW is possible without both sides, or without a
+     second iteration *)
+  if (not any_store) || (not any_load) || single_arrival then Certified
+  else begin
+    let reasons = ref [] in
+    let refute r = reasons := r :: !reasons in
+    List.iter
+      (fun (id, callee) -> refute (Call_writes { instr_id = id; callee }))
+      (List.rev !call_writes);
+    if !stores <> [] || !call_writes <> [] || List.exists (fun (_, w) -> w) !unresolved
+    then
+      List.iter
+        (fun (id, callee) ->
+          if not (List.mem_assoc id !call_writes) then
+            refute (Call_reads_while_stores { instr_id = id; callee }))
+        (List.rev !call_reads);
+    List.iter
+      (fun (id, is_write) -> refute (Unresolved_access { instr_id = id; is_write }))
+      (List.rev !unresolved);
+    (* escaping address arithmetic: a stored value must not carry the base
+       address of any array the loop accesses *)
+    let bases =
+      List.fold_left
+        (fun acc (a : Deptest.Access.t) ->
+          match a.Deptest.Access.base with
+          | Deptest.Access.Alloc_site b -> Cfg.Loopinfo.Int_set.add b acc
+          | _ -> acc)
+        Cfg.Loopinfo.Int_set.empty
+        (!loads @ !stores)
+    in
+    if not (Cfg.Loopinfo.Int_set.is_empty bases) then
+      List.iter
+        (fun (id, v) ->
+          let e = Scev.Expr.simplify (Scev.Analysis.scev_of_value sa v) in
+          match mentions_base bases e with
+          | Some base_instr -> refute (Escaping_base { store_id = id; base_instr })
+          | None -> ())
+        (List.rev !store_values);
+    List.iter
+      (fun (s : Deptest.Access.t) ->
+        List.iter
+          (fun (ld : Deptest.Access.t) ->
+            if not (store_load_safe ~n ~itv_of s ld) then
+              refute
+                (May_overlap
+                   {
+                     store_id = s.Deptest.Access.instr_id;
+                     load_id = ld.Deptest.Access.instr_id;
+                   }))
+          (List.rev !loads))
+      (List.rev !stores);
+    match List.rev !reasons with [] -> Certified | rs -> Refuted rs
+  end

@@ -1,0 +1,43 @@
+(** Parallel-safety auditor: independent certification of [Proven_doall]
+    loops on a different decision procedure than the dependence tests (the
+    vertex hull of the dependence polyhedron, fed by range analysis), so an
+    implementation bug in either surfaces as a disagreement instead of a
+    silently unsound verdict. A failed audit downgrades the loop with
+    structured reasons the lint layer reports.
+
+    Soundness contract: [Certified] is only returned when every
+    (store, load) pair is proven collision-free across iterations, no call
+    can write (or read against loop stores), every access resolved to
+    affine form, and no stored value carries the address of an accessed
+    array base. All internal arithmetic is overflow-checked; a wrap always
+    fails toward [Refuted]. *)
+
+type reason =
+  | Call_writes of { instr_id : int; callee : string }
+  | Call_reads_while_stores of { instr_id : int; callee : string }
+  | Unresolved_access of { instr_id : int; is_write : bool }
+  | May_overlap of { store_id : int; load_id : int }
+  | Escaping_base of { store_id : int; base_instr : int }
+
+type certificate = Certified | Refuted of reason list
+
+val reason_to_string : reason -> string
+val certificate_to_string : certificate -> string
+
+val pair_excluded :
+  a:int64 -> b:int64 -> c:Util.Interval.t -> m:int64 option -> bool
+(** No integer solution of [a*i + b*d = c] with [i >= 0], [d in [1, m]],
+    [i + d <= m] ([m = None]: unbounded). Exposed for direct testing. *)
+
+val audit_loop :
+  Ir.Func.t ->
+  Cfg.Loopinfo.t ->
+  Scev.Analysis.t ->
+  lid:int ->
+  n:int64 option ->
+  call_effect:(string -> Deptest.Analysis.call_effect) ->
+  itv_of:(Ir.Types.value -> Util.Interval.t) ->
+  certificate
+(** Audit loop [lid]; [n] is the proven header-arrival count or upper
+    bound. Reasons are exhaustive (all failures reported, not just the
+    first). *)

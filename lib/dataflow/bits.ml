@@ -1,0 +1,159 @@
+(* Known-bits analysis: for every SSA value, masks of bits proven 0 and
+   bits proven 1. The headline client is the nonzero-divisor fact the lint
+   divide-by-zero rule combines with ranges (a value with any known-one bit
+   cannot be zero even when its interval straddles zero, e.g. [x | 1]).
+
+   Deliberately not an Engine client: knowledge is initialized to "nothing
+   known" (both masks empty), which is already sound through cycles, and
+   transfers only ever *add* known bits — a monotone ascent on a lattice of
+   height 128 per value, so a simple RPO sweep iterated to a fixpoint
+   converges without widening. Phi/select intersect operand knowledge,
+   which is the meet the SSA cycle needs. *)
+
+type fact = { zero : int64; one : int64 }
+
+let unknown = { zero = 0L; one = 0L }
+
+let of_const c = { zero = Int64.lognot c; one = c }
+
+let equal_fact a b = a.zero = b.zero && a.one = b.one
+
+(* bits known on both sides (mask of positions where the value is fully
+   determined) *)
+let determined f = Int64.logor f.zero f.one
+
+let meet_fact a b =
+  { zero = Int64.logand a.zero b.zero; one = Int64.logand a.one b.one }
+
+let and_fact a b =
+  { zero = Int64.logor a.zero b.zero; one = Int64.logand a.one b.one }
+
+let or_fact a b =
+  { zero = Int64.logand a.zero b.zero; one = Int64.logor a.one b.one }
+
+let xor_fact a b =
+  let known = Int64.logand (determined a) (determined b) in
+  let v = Int64.logxor a.one b.one in
+  { zero = Int64.logand known (Int64.lognot v); one = Int64.logand known v }
+
+let low_mask k = if k >= 64 then -1L else Int64.sub (Int64.shift_left 1L k) 1L
+
+(* carries propagate left only: if the low [t] bits of both operands are
+   fully determined, the low [t] bits of a sum/difference/product are the
+   corresponding bits of the arithmetic on the known parts *)
+let low_bits_arith op a b =
+  let known = Int64.logand (determined a) (determined b) in
+  let rec trailing t =
+    if t >= 64 then 64
+    else if Int64.logand (Int64.shift_right_logical known t) 1L = 1L then
+      trailing (t + 1)
+    else t
+  in
+  let t = trailing 0 in
+  if t = 0 then unknown
+  else
+    let v = op a.one b.one in
+    let m = low_mask t in
+    {
+      zero = Int64.logand m (Int64.lognot v);
+      one = Int64.logand m v;
+    }
+
+let shift_fact op a b =
+  (* only by fully-determined in-range amounts *)
+  if determined b = -1L && b.one >= 0L && b.one <= 63L then
+    let k = Int64.to_int b.one in
+    match op with
+    | Ir.Instr.Shl ->
+        {
+          zero = Int64.logor (Int64.shift_left a.zero k) (low_mask k);
+          one = Int64.shift_left a.one k;
+        }
+    | Ir.Instr.Lshr ->
+        let high = if k = 0 then 0L else Int64.shift_left (low_mask k) (64 - k) in
+        {
+          zero = Int64.logor (Int64.shift_right_logical a.zero k) high;
+          one = Int64.shift_right_logical a.one k;
+        }
+    | Ir.Instr.Ashr ->
+        (* sign bit must be known for the filled bits to be known *)
+        if Int64.logand a.zero Int64.min_int <> 0L || Int64.logand a.one Int64.min_int <> 0L
+        then { zero = Int64.shift_right a.zero k; one = Int64.shift_right a.one k }
+        else
+          let keep = Int64.shift_right_logical (-1L) k in
+          {
+            zero = Int64.logand (Int64.shift_right_logical a.zero k) keep;
+            one = Int64.logand (Int64.shift_right_logical a.one k) keep;
+          }
+    | _ -> unknown
+  else unknown
+
+type result = { fn : Ir.Func.t; table : fact array }
+
+let eval_value (table : fact array) (v : Ir.Types.value) : fact =
+  match v with
+  | Ir.Types.Const (Ir.Types.Cint i) -> of_const i
+  | Ir.Types.Const (Ir.Types.Cbool b) -> of_const (if b then 1L else 0L)
+  | Ir.Types.Reg r when r >= 0 && r < Array.length table -> table.(r)
+  | _ -> unknown
+
+let transfer (table : fact array) (kind : Ir.Instr.kind) : fact =
+  let ev = eval_value table in
+  match kind with
+  | Ir.Instr.Ibinop (op, a, b) -> (
+      let fa = ev a and fb = ev b in
+      match op with
+      | Ir.Instr.And -> and_fact fa fb
+      | Ir.Instr.Or -> or_fact fa fb
+      | Ir.Instr.Xor -> xor_fact fa fb
+      | Ir.Instr.Add -> low_bits_arith Int64.add fa fb
+      | Ir.Instr.Sub -> low_bits_arith Int64.sub fa fb
+      | Ir.Instr.Mul -> low_bits_arith Int64.mul fa fb
+      | Ir.Instr.Shl | Ir.Instr.Lshr | Ir.Instr.Ashr -> shift_fact op fa fb
+      | Ir.Instr.Sdiv | Ir.Instr.Srem -> unknown)
+  | Ir.Instr.Icmp _ | Ir.Instr.Fcmp _ ->
+      (* bool 0/1 encoding: bits 1..63 are zero *)
+      { zero = Int64.lognot 1L; one = 0L }
+  | Ir.Instr.Select (_, a, b) -> meet_fact (ev a) (ev b)
+  | Ir.Instr.Phi incoming ->
+      if Array.length incoming = 0 then unknown
+      else
+        Array.fold_left
+          (fun acc (_, v) -> meet_fact acc (ev v))
+          (ev (snd incoming.(0)))
+          incoming
+  | _ -> unknown
+
+let analyze (fn : Ir.Func.t) : result =
+  let cfg = Cfg.Graph.build fn in
+  let order = Cfg.Graph.reachable_blocks cfg in
+  let table = Array.make (max 1 (Ir.Func.num_instrs fn)) unknown in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes < 16 do
+    changed := false;
+    incr passes;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun id ->
+            let kind = Ir.Func.kind fn id in
+            if Ir.Instr.has_result kind then begin
+              let f = transfer table kind in
+              if not (equal_fact f table.(id)) then begin
+                table.(id) <- f;
+                changed := true
+              end
+            end)
+          (Ir.Func.block fn b).Ir.Func.instr_ids)
+      order
+  done;
+  { fn; table }
+
+let fact_of_instr (r : result) (id : int) : fact =
+  if id >= 0 && id < Array.length r.table then r.table.(id) else unknown
+
+let fact_of_value (r : result) (v : Ir.Types.value) : fact = eval_value r.table v
+
+let known_nonzero (r : result) (v : Ir.Types.value) : bool =
+  (fact_of_value r v).one <> 0L

@@ -1,0 +1,20 @@
+(** Known-bits facts for SSA values: masks of bits proven 0 and proven 1.
+    Pessimistic (starts from "nothing known", sound through SSA cycles) and
+    iterated over RPO to a fixpoint — knowledge only ever grows, so no
+    widening is needed. Primary client: the nonzero-divisor fact that
+    complements interval ranges (e.g. [x | 1] is nonzero even when its
+    interval straddles zero). *)
+
+type fact = { zero : int64; one : int64 }
+
+val unknown : fact
+val of_const : int64 -> fact
+
+type result
+
+val analyze : Ir.Func.t -> result
+val fact_of_instr : result -> int -> fact
+val fact_of_value : result -> Ir.Types.value -> fact
+
+val known_nonzero : result -> Ir.Types.value -> bool
+(** True when some bit is proven 1 (so the value cannot be zero). *)

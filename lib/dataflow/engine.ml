@@ -1,0 +1,155 @@
+(* The fixpoint core. Direction is handled by one level of indirection:
+   [dpreds]/[dsuccs] are predecessors/successors in *analysis* direction,
+   and the iteration order is reverse-postorder of the direction (RPO
+   forward, reverse-RPO backward), so acyclic stretches converge in one
+   sweep and retreating edges — ord(dst) <= ord(src) — are exactly the
+   widening points. The worklist always pops the dirty block earliest in
+   the order, which makes iteration deterministic and keeps inner loops
+   converging before their enclosing context is re-examined. *)
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type state
+
+  val equal : state -> state -> bool
+  val join : state -> state -> state
+  val widen : prev:state -> next:state -> state
+  val transfer : int -> state -> state
+  val transfer_edge : src:int -> dst:int -> state -> state
+end
+
+exception Diverged of int
+
+module Make (D : DOMAIN) = struct
+  type result = {
+    inp : D.state option array;
+    out : D.state option array;
+    visits : int;
+  }
+
+  let run ?(direction = Forward) ?(widen_delay = 2) ?(narrow_passes = 1)
+      ?(max_visits = 1000) (cfg : Cfg.Graph.t) ~(init : D.state) : result =
+    let nb = Cfg.Graph.num_blocks cfg in
+    let order =
+      match direction with
+      | Forward -> Cfg.Graph.reachable_blocks cfg
+      | Backward -> List.rev (Cfg.Graph.reachable_blocks cfg)
+    in
+    let ord = Array.make nb (-1) in
+    List.iteri (fun i b -> ord.(b) <- i) order;
+    let dsuccs b =
+      match direction with
+      | Forward -> Cfg.Graph.successors cfg b
+      | Backward -> Cfg.Graph.predecessors cfg b
+    in
+    let dpreds b =
+      match direction with
+      | Forward -> Cfg.Graph.predecessors cfg b
+      | Backward -> Cfg.Graph.successors cfg b
+    in
+    (* edge in original orientation: direction-predecessor [p] of [b] is the
+       edge p->b forward, b->p backward *)
+    let edge ~dpred ~dnode st =
+      match direction with
+      | Forward -> D.transfer_edge ~src:dpred ~dst:dnode st
+      | Backward -> D.transfer_edge ~src:dnode ~dst:dpred st
+    in
+    let boundary b =
+      match direction with
+      | Forward -> b = Cfg.Graph.entry cfg
+      | Backward -> Cfg.Graph.successors cfg b = []
+    in
+    let widen_at = Array.make nb false in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun s -> if ord.(s) >= 0 && ord.(s) <= ord.(b) then widen_at.(s) <- true)
+          (dsuccs b))
+      order;
+    let inp = Array.make nb None and out = Array.make nb None in
+    let visits = ref 0 in
+    let updates = Array.make nb 0 in
+    let dirty = Array.make nb false in
+    let n_dirty = ref 0 in
+    let mark b =
+      if ord.(b) >= 0 && not dirty.(b) then begin
+        dirty.(b) <- true;
+        incr n_dirty
+      end
+    in
+    (* None when no direction-predecessor has produced a state yet (and the
+       block is not the boundary) — the block is not yet known reachable in
+       the current approximation. *)
+    let compute_input b =
+      let acc = if boundary b then Some init else None in
+      List.fold_left
+        (fun acc p ->
+          match out.(p) with
+          | None -> acc
+          | Some s -> (
+              let s = edge ~dpred:p ~dnode:b s in
+              match acc with None -> Some s | Some a -> Some (D.join a s)))
+        acc (dpreds b)
+    in
+    let process b =
+      incr visits;
+      updates.(b) <- updates.(b) + 1;
+      if updates.(b) > max_visits then raise (Diverged b);
+      match compute_input b with
+      | None -> ()
+      | Some fresh ->
+          let next =
+            match inp.(b) with
+            | None -> fresh
+            | Some old ->
+                let j = D.join old fresh in
+                if widen_at.(b) && updates.(b) > widen_delay then
+                  D.widen ~prev:old ~next:j
+                else j
+          in
+          let in_changed =
+            match inp.(b) with None -> true | Some old -> not (D.equal old next)
+          in
+          if in_changed || out.(b) = None then begin
+            inp.(b) <- Some next;
+            let o = D.transfer b next in
+            let out_changed =
+              match out.(b) with
+              | None -> true
+              | Some old -> not (D.equal old o)
+            in
+            out.(b) <- Some o;
+            if out_changed then List.iter mark (dsuccs b)
+          end
+    in
+    List.iter mark order;
+    while !n_dirty > 0 do
+      match List.find_opt (fun b -> dirty.(b)) order with
+      | None -> n_dirty := 0 (* defensive: counter drift cannot occur *)
+      | Some b ->
+          dirty.(b) <- false;
+          decr n_dirty;
+          process b
+    done;
+    (* Narrowing: recompute each block's input purely from its edges (no
+       join with the old state) and push it through the transfer. Sound
+       because every assignment stays above the least fixpoint: x >= lfp
+       implies F(x) >= F(lfp) = lfp for monotone F, pointwise. *)
+    for _ = 1 to narrow_passes do
+      List.iter
+        (fun b ->
+          match compute_input b with
+          | None -> ()
+          | Some fresh ->
+              inp.(b) <- Some fresh;
+              out.(b) <- Some (D.transfer b fresh))
+        order
+    done;
+    { inp; out; visits = !visits }
+
+  let get arr b = if b < 0 || b >= Array.length arr then None else arr.(b)
+  let input r b = get r.inp b
+  let output r b = get r.out b
+  let visits r = r.visits
+end

@@ -1,0 +1,68 @@
+(** Generic direction-parameterized dataflow fixpoint engine over
+    [Cfg.Graph].
+
+    Worklist iteration seeded in reverse-postorder (or its reverse for
+    backward problems), per-block in/out states, widening at the targets of
+    retreating edges after a configurable delay, and optional narrowing
+    passes once the ascending phase stabilizes. Clients supply a join
+    semilattice with a widening operator and two transfer functions: one
+    over a block's instruction list and one over a CFG edge (branch-guard
+    refinement forward, phi-operand selection backward). *)
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type state
+
+  val equal : state -> state -> bool
+  val join : state -> state -> state
+
+  val widen : prev:state -> next:state -> state
+  (** Extrapolate an unstable chain. Domains satisfying the ascending chain
+      condition can use [fun ~prev:_ ~next -> next]. *)
+
+  val transfer : int -> state -> state
+  (** [transfer block state]: flow [state] through the block's body. *)
+
+  val transfer_edge : src:int -> dst:int -> state -> state
+  (** Flow a state across CFG edge [src -> dst]. Always receives the
+      original edge orientation, regardless of analysis direction. *)
+end
+
+exception Diverged of int
+(** Raised with the offending block id when a block is processed more than
+    [max_visits] times — a domain whose widening fails to enforce finite
+    ascent. *)
+
+module Make (D : DOMAIN) : sig
+  type result
+
+  val run :
+    ?direction:direction ->
+    ?widen_delay:int ->
+    ?narrow_passes:int ->
+    ?max_visits:int ->
+    Cfg.Graph.t ->
+    init:D.state ->
+    result
+  (** Solve the dataflow problem. [init] is the boundary state (entry block
+      forward; exit blocks backward). Defaults: [Forward], [widen_delay] 2
+      (joins before widening kicks in at loop heads), [narrow_passes] 1,
+      [max_visits] 1000.
+
+      Narrowing re-applies the (monotone) transfer functions from the
+      post-fixpoint without joining the previous state; every intermediate
+      assignment stays above the least fixpoint, so the result remains a
+      sound over-approximation while recovering precision the widening
+      threw away. *)
+
+  val input : result -> int -> D.state option
+  (** State on entry to a block in analysis direction (live-out for a
+      backward problem). [None] for blocks unreachable in the direction
+      order. *)
+
+  val output : result -> int -> D.state option
+  val visits : result -> int
+  (** Total block processings of the ascending phase — the termination
+      budget adversarial-CFG tests assert against. *)
+end

@@ -1,0 +1,80 @@
+(* Register liveness — the canonical backward Engine client, and the proof
+   that the direction parameterization actually works (the adversarial-CFG
+   tests drive it). State: the set of instruction ids live at a program
+   point. Phi semantics follow SSA: a phi's operands are live on the
+   incoming edge they flow along (handled in the edge transfer, which sees
+   the original src->dst orientation), and its definition kills liveness at
+   the head of the destination block. *)
+
+module ISet = Set.Make (Int)
+
+let block_phis (fn : Ir.Func.t) (b : int) : int list =
+  List.filter
+    (fun id -> match Ir.Func.kind fn id with Ir.Instr.Phi _ -> true | _ -> false)
+    (Ir.Func.block fn b).Ir.Func.instr_ids
+
+let add_reg_operands kind live =
+  List.fold_left
+    (fun live v -> match v with Ir.Types.Reg r -> ISet.add r live | _ -> live)
+    live
+    (Ir.Instr.operands kind)
+
+type result = {
+  live_in : ISet.t option array;
+  live_out : ISet.t option array;
+}
+
+let analyze (fn : Ir.Func.t) : result =
+  let cfg = Cfg.Graph.build fn in
+  let module D = struct
+    type state = ISet.t
+
+    let equal = ISet.equal
+    let join = ISet.union
+    let widen ~prev:_ ~next = next (* finite lattice: ACC holds *)
+
+    (* backward through the block body: kill defs, gen uses; phis are
+       edge-handled, so skip both their defs and their uses here *)
+    let transfer b live =
+      List.fold_left
+        (fun live id ->
+          let kind = Ir.Func.kind fn id in
+          match kind with
+          | Ir.Instr.Phi _ -> live
+          | _ ->
+              let live = if Ir.Instr.has_result kind then ISet.remove id live else live in
+              add_reg_operands kind live)
+        live
+        (List.rev (Ir.Func.block fn b).Ir.Func.instr_ids)
+
+    (* live over edge src->dst, given liveness at dst's head: dst's phi
+       defs die, and the phi operands flowing in from src become live *)
+    let transfer_edge ~src ~dst live =
+      List.fold_left
+        (fun live id ->
+          let live = ISet.remove id live in
+          match Ir.Func.kind fn id with
+          | Ir.Instr.Phi incoming ->
+              Array.fold_left
+                (fun live (p, v) ->
+                  match v with
+                  | Ir.Types.Reg r when p = src -> ISet.add r live
+                  | _ -> live)
+                live incoming
+          | _ -> live)
+        live (block_phis fn dst)
+  end in
+  let module E = Engine.Make (D) in
+  let r = E.run ~direction:Engine.Backward ~narrow_passes:0 cfg ~init:ISet.empty in
+  let nb = Cfg.Graph.num_blocks cfg in
+  (* Backward problem: the engine's direction-input is the join over
+     direction-predecessors (= CFG successors), i.e. live-out; its output is
+     the block transfer of that, i.e. live-in. *)
+  {
+    live_in = Array.init nb (fun b -> E.output r b);
+    live_out = Array.init nb (fun b -> E.input r b);
+  }
+
+let get arr b = if b >= 0 && b < Array.length arr then arr.(b) else None
+let live_in (r : result) (b : int) : ISet.t option = get r.live_in b
+let live_out (r : result) (b : int) : ISet.t option = get r.live_out b

@@ -1,0 +1,14 @@
+(** Register liveness — the canonical backward {!Engine} client. SSA phi
+    semantics: phi operands are live on their incoming edge; phi
+    definitions kill at the head of their block. *)
+
+module ISet : Set.S with type elt = int
+
+type result
+
+val analyze : Ir.Func.t -> result
+
+val live_in : result -> int -> ISet.t option
+(** Instruction ids live at block entry; [None] for unreachable blocks. *)
+
+val live_out : result -> int -> ISet.t option

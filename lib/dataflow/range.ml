@@ -1,0 +1,383 @@
+(* Interval value-range analysis over SSA values, as an Engine client.
+
+   State: a map from instruction (result) id to Util.Interval.t; a missing
+   binding means top. Every transfer is sound w.r.t. the interpreter's
+   *wrapping* int64 semantics: Util.Interval's checked arithmetic widens to
+   top whenever a mathematical bound would overflow, and the handful of
+   op-specific transfers below (division, remainder, shifts, bitwise ops)
+   each encode exactly what Interp.Machine.exec_ibinop computes — division
+   by -1 wraps min_int, shift amounts are masked [land 63], division and
+   remainder by zero trap (so zero is excluded from a divisor's interval
+   downstream of the instruction). Comparison results use the interpreter's
+   0/1 bool encoding, which makes branch-guard refinement on i1 values the
+   same integer interval arithmetic as on i64.
+
+   Widening at loop headers extrapolates unstable phi bounds to the int64
+   extremes; the narrowing pass of the engine then pulls the exit-guarded
+   bound back (a counter phi widened to [0, +inf) narrows to [0, N] when
+   the header compare is i < N). *)
+
+module IMap = Map.Make (Int)
+
+type env = Util.Interval.t IMap.t
+
+let find r (env : env) =
+  match IMap.find_opt r env with Some i -> i | None -> Util.Interval.top
+
+(* Bindings store any non-top interval (including Bot: a value computed on
+   an infeasible path); top bindings are dropped to keep maps small. *)
+let set r itv (env : env) : env =
+  if Util.Interval.is_top itv then IMap.remove r env else IMap.add r itv env
+
+let eval (env : env) (v : Ir.Types.value) : Util.Interval.t =
+  match v with
+  | Ir.Types.Const (Ir.Types.Cint i) -> Util.Interval.const i
+  | Ir.Types.Const (Ir.Types.Cbool b) -> Util.Interval.const (if b then 1L else 0L)
+  | Ir.Types.Const (Ir.Types.Cfloat _) -> Util.Interval.top
+  | Ir.Types.Reg r -> find r env
+  | Ir.Types.Param _ | Ir.Types.Global _ -> Util.Interval.top
+
+(* ---- integer binop transfers ---- *)
+
+let bool_itv = Util.Interval.of_bounds 0L 1L
+
+(* quotient magnitude never exceeds the dividend's: a/b for |b| >= 1 lies in
+   the 0-hull of a (negative divisors also flip the sign, hence the checked
+   negation which widens on min_int exactly like the wrapping division) *)
+let sdiv_itv a b =
+  if Util.Interval.is_bot a || Util.Interval.is_bot b then Util.Interval.bot
+  else
+    let pos = Util.Interval.meet b (Util.Interval.of_bounds 1L Int64.max_int) in
+    let neg = Util.Interval.meet b (Util.Interval.of_bounds Int64.min_int (-1L)) in
+    let from_pos =
+      if Util.Interval.is_bot pos then Util.Interval.bot else Util.Interval.hull0 a
+    in
+    let from_neg =
+      if Util.Interval.is_bot neg then Util.Interval.bot
+      else Util.Interval.hull0 (Util.Interval.neg a)
+    in
+    (* divisor exactly zero on every path: the instruction always traps and
+       never produces a value *)
+    Util.Interval.join from_pos from_neg
+
+let srem_itv a b =
+  match (Util.Interval.bounds a, Util.Interval.bounds b) with
+  | None, _ | _, None -> Util.Interval.bot
+  | Some (alo, ahi), Some (blo, bhi) ->
+      if blo = 0L && bhi = 0L then Util.Interval.bot (* always traps *)
+      else
+        (* |rem| < |divisor| and rem has the dividend's sign (or is 0) *)
+        let abs_minus_1 v =
+          if v = Int64.min_int then Int64.max_int else Int64.sub (Int64.abs v) 1L
+        in
+        let bound = max (abs_minus_1 blo) (abs_minus_1 bhi) in
+        let lo = if alo >= 0L then 0L else max alo (Int64.neg bound) in
+        let hi = if ahi <= 0L then 0L else min ahi bound in
+        Util.Interval.of_bounds lo hi
+
+(* bitwise: useful facts only when signs are known *)
+let and_itv a b =
+  match (Util.Interval.bounds a, Util.Interval.bounds b) with
+  | None, _ | _, None -> Util.Interval.bot
+  | Some (alo, ahi), Some (blo, bhi) ->
+      if alo >= 0L && blo >= 0L then Util.Interval.of_bounds 0L (min ahi bhi)
+      else if alo >= 0L then Util.Interval.of_bounds 0L ahi
+      else if blo >= 0L then Util.Interval.of_bounds 0L bhi
+      else Util.Interval.top
+
+let or_itv a b =
+  match (Util.Interval.bounds a, Util.Interval.bounds b) with
+  | None, _ | _, None -> Util.Interval.bot
+  | Some (alo, ahi), Some (blo, bhi) ->
+      if alo >= 0L && blo >= 0L then
+        (* x lor y < 2^k when both x, y < 2^k; x+y is a cheap such power
+           bound and is overflow-checked *)
+        match Util.Interval.add64 ahi bhi with
+        | Some hi -> Util.Interval.of_bounds (max alo blo) hi
+        | None -> Util.Interval.of_bounds (max alo blo) Int64.max_int
+      else Util.Interval.top
+
+let xor_itv a b =
+  match (Util.Interval.bounds a, Util.Interval.bounds b) with
+  | None, _ | _, None -> Util.Interval.bot
+  | Some (alo, ahi), Some (blo, bhi) ->
+      if alo >= 0L && blo >= 0L then
+        match Util.Interval.add64 ahi bhi with
+        | Some hi -> Util.Interval.of_bounds 0L hi
+        | None -> Util.Interval.of_bounds 0L Int64.max_int
+      else Util.Interval.top
+
+(* the interpreter masks shift amounts with [land 63] *)
+let shift_itv op a b =
+  match (Util.Interval.bounds a, Util.Interval.bounds b) with
+  | None, _ | _, None -> Util.Interval.bot
+  | Some (alo, ahi), Some (blo, bhi) -> (
+      match op with
+      | Ir.Instr.Shl ->
+          (* a * 2^k, checked (wrap -> top), only when the mask is identity
+             and 2^k itself cannot wrap *)
+          if blo >= 0L && bhi <= 62L then
+            Util.Interval.mul a
+              (Util.Interval.of_bounds
+                 (Int64.shift_left 1L (Int64.to_int blo))
+                 (Int64.shift_left 1L (Int64.to_int bhi)))
+          else Util.Interval.top
+      | Ir.Instr.Ashr ->
+          if blo >= 0L && bhi <= 63L then begin
+            let k1 = Int64.to_int blo and k2 = Int64.to_int bhi in
+            let c1 = Int64.shift_right alo k1
+            and c2 = Int64.shift_right alo k2
+            and c3 = Int64.shift_right ahi k1
+            and c4 = Int64.shift_right ahi k2 in
+            Util.Interval.of_bounds (min (min c1 c2) (min c3 c4))
+              (max (max c1 c2) (max c3 c4))
+          end
+          else Util.Interval.top
+      | Ir.Instr.Lshr ->
+          if blo >= 0L && bhi <= 63L && alo >= 0L then
+            (* nonneg dividend: logical = arithmetic shift, antitone in k *)
+            Util.Interval.of_bounds
+              (Int64.shift_right alo (Int64.to_int bhi))
+              (Int64.shift_right ahi (Int64.to_int blo))
+          else if blo >= 1L && bhi <= 63L then
+            (* any shift by >= 1 clears the sign bit *)
+            Util.Interval.of_bounds 0L Int64.max_int
+          else Util.Interval.top
+      | _ -> Util.Interval.top)
+
+let ibinop_itv (op : Ir.Instr.ibinop) a b =
+  match op with
+  | Ir.Instr.Add -> Util.Interval.add a b
+  | Ir.Instr.Sub -> Util.Interval.sub a b
+  | Ir.Instr.Mul -> Util.Interval.mul a b
+  | Ir.Instr.Sdiv -> sdiv_itv a b
+  | Ir.Instr.Srem -> srem_itv a b
+  | Ir.Instr.And -> and_itv a b
+  | Ir.Instr.Or -> or_itv a b
+  | Ir.Instr.Xor -> xor_itv a b
+  | Ir.Instr.Shl | Ir.Instr.Ashr | Ir.Instr.Lshr -> shift_itv op a b
+
+(* Decide an integer comparison from the operand intervals when possible;
+   the 0/1 encoding matches the interpreter's bool representation. *)
+let icmp_itv (op : Ir.Instr.icmp) a b =
+  match (Util.Interval.bounds a, Util.Interval.bounds b) with
+  | None, _ | _, None -> Util.Interval.bot
+  | Some (alo, ahi), Some (blo, bhi) -> (
+      let yes = Util.Interval.const 1L and no = Util.Interval.const 0L in
+      match op with
+      | Ir.Instr.Islt ->
+          if ahi < blo then yes else if alo >= bhi then no else bool_itv
+      | Ir.Instr.Isle ->
+          if ahi <= blo then yes else if alo > bhi then no else bool_itv
+      | Ir.Instr.Isgt ->
+          if alo > bhi then yes else if ahi <= blo then no else bool_itv
+      | Ir.Instr.Isge ->
+          if alo >= bhi then yes else if ahi < blo then no else bool_itv
+      | Ir.Instr.Ieq ->
+          if alo = ahi && blo = bhi && alo = blo then yes
+          else if ahi < blo || alo > bhi then no
+          else bool_itv
+      | Ir.Instr.Ine ->
+          if ahi < blo || alo > bhi then yes
+          else if alo = ahi && blo = bhi && alo = blo then no
+          else bool_itv)
+
+(* Result interval of one instruction in [env]; None when it produces no
+   value. *)
+let result_itv (env : env) (kind : Ir.Instr.kind) : Util.Interval.t option =
+  match kind with
+  | Ir.Instr.Ibinop (op, a, b) -> Some (ibinop_itv op (eval env a) (eval env b))
+  | Ir.Instr.Icmp (op, a, b) -> Some (icmp_itv op (eval env a) (eval env b))
+  | Ir.Instr.Fcmp _ -> Some bool_itv
+  | Ir.Instr.Select (c, a, b) -> (
+      match Util.Interval.singleton (eval env c) with
+      | Some 1L -> Some (eval env a)
+      | Some 0L -> Some (eval env b)
+      | _ -> Some (Util.Interval.join (eval env a) (eval env b)))
+  | Ir.Instr.Phi incoming ->
+      (* fallback only: phis are normally bound per incoming edge (see
+         [bind_phis]), where the predecessor's env — including defs local
+         to that edge, like the latch increment — is still visible. At
+         block entry those defs have been joined away (missing = top), so
+         this operand join is the sound but coarse approximation used when
+         no edge binding survived. *)
+      Some
+        (Array.fold_left
+           (fun acc (_, v) -> Util.Interval.join acc (eval env v))
+           Util.Interval.bot incoming)
+  | Ir.Instr.Fbinop _ | Ir.Instr.Si_to_fp _ | Ir.Instr.Fp_to_si _
+  | Ir.Instr.Load _ | Ir.Instr.Alloc _ | Ir.Instr.Call _ ->
+      Some Util.Interval.top
+  | Ir.Instr.Store _ | Ir.Instr.Br _ | Ir.Instr.Cond_br _ | Ir.Instr.Ret _
+  | Ir.Instr.Unreachable ->
+      None
+
+let transfer_block ?record (fn : Ir.Func.t) (b : int) (env : env) : env =
+  List.fold_left
+    (fun env id ->
+      match Ir.Func.kind fn id with
+      | Ir.Instr.Phi _ when IMap.mem id env ->
+          (* keep the edge-computed binding: it saw each predecessor's
+             local defs and the branch-guard refinements on that edge *)
+          (match record with Some f -> f id (IMap.find id env) | None -> ());
+          env
+      | kind -> (
+          match result_itv env kind with
+          | None -> env
+          | Some itv ->
+              (match record with Some f -> f id itv | None -> ());
+              set id itv env))
+    env (Ir.Func.block fn b).Ir.Func.instr_ids
+
+(* ---- branch-guard refinement on edges ---- *)
+
+let negate_icmp = function
+  | Ir.Instr.Ieq -> Ir.Instr.Ine
+  | Ir.Instr.Ine -> Ir.Instr.Ieq
+  | Ir.Instr.Islt -> Ir.Instr.Isge
+  | Ir.Instr.Isge -> Ir.Instr.Islt
+  | Ir.Instr.Isle -> Ir.Instr.Isgt
+  | Ir.Instr.Isgt -> Ir.Instr.Isle
+
+let mirror_icmp = function
+  | Ir.Instr.Islt -> Ir.Instr.Isgt
+  | Ir.Instr.Isgt -> Ir.Instr.Islt
+  | Ir.Instr.Isle -> Ir.Instr.Isge
+  | Ir.Instr.Isge -> Ir.Instr.Isle
+  | (Ir.Instr.Ieq | Ir.Instr.Ine) as o -> o
+
+(* interval for x given that [x `op` y] holds and y is in [yi] *)
+let restrict (op : Ir.Instr.icmp) (xi : Util.Interval.t) (yi : Util.Interval.t) :
+    Util.Interval.t =
+  match Util.Interval.bounds yi with
+  | None -> Util.Interval.bot (* the guard compares against an unreachable value *)
+  | Some (ylo, yhi) -> (
+      match op with
+      | Ir.Instr.Ieq -> Util.Interval.meet xi yi
+      | Ir.Instr.Ine -> (
+          match Util.Interval.singleton yi with
+          | Some p -> Util.Interval.remove_point xi p
+          | None -> xi)
+      | Ir.Instr.Islt ->
+          if yhi = Int64.min_int then Util.Interval.bot
+          else Util.Interval.meet xi
+              (Util.Interval.of_bounds Int64.min_int (Int64.sub yhi 1L))
+      | Ir.Instr.Isle ->
+          Util.Interval.meet xi (Util.Interval.of_bounds Int64.min_int yhi)
+      | Ir.Instr.Isgt ->
+          if ylo = Int64.max_int then Util.Interval.bot
+          else Util.Interval.meet xi
+              (Util.Interval.of_bounds (Int64.add ylo 1L) Int64.max_int)
+      | Ir.Instr.Isge ->
+          Util.Interval.meet xi (Util.Interval.of_bounds ylo Int64.max_int))
+
+let refine_value (v : Ir.Types.value) itv (env : env) : env =
+  match v with Ir.Types.Reg r -> set r itv env | _ -> env
+
+(* Refine [env] knowing the comparison [x `op` y] evaluated to [taken]. *)
+let refine_cmp (op : Ir.Instr.icmp) (x : Ir.Types.value) (y : Ir.Types.value)
+    ~(taken : bool) (env : env) : env =
+  let op = if taken then op else negate_icmp op in
+  let xi = eval env x and yi = eval env y in
+  let env = refine_value x (restrict op xi yi) env in
+  refine_value y (restrict (mirror_icmp op) yi xi) env
+
+(* Bind every phi of [dst] to its operand on the [src] edge, evaluated in
+   the predecessor's (guard-refined) env, where defs local to that edge —
+   a latch increment, say — are still bound. Phi semantics are parallel:
+   all operands are read in the pre-binding env before any is written (the
+   swap idiom [phi a <- b; phi b <- a] must not see this round's values). *)
+let bind_phis (fn : Ir.Func.t) ~(src : int) ~(dst : int) (env : env) : env =
+  let bindings =
+    List.filter_map
+      (fun id ->
+        match Ir.Func.kind fn id with
+        | Ir.Instr.Phi incoming ->
+            Array.find_opt (fun (p, _) -> p = src) incoming
+            |> Option.map (fun (_, v) -> (id, eval env v))
+        | _ -> None)
+      (Ir.Func.block fn dst).Ir.Func.instr_ids
+  in
+  List.fold_left (fun env (id, itv) -> set id itv env) env bindings
+
+let transfer_edge (fn : Ir.Func.t) ~(src : int) ~(dst : int) (env : env) : env =
+  let env =
+    match Ir.Func.terminator fn src with
+    | Some { Ir.Instr.kind = Ir.Instr.Cond_br (cond, l1, l2); _ } when l1 <> l2
+      -> (
+        let taken = dst = l1 in
+        match cond with
+        | Ir.Types.Reg cid -> (
+            let env =
+              set cid (Util.Interval.const (if taken then 1L else 0L)) env
+            in
+            match Ir.Func.kind fn cid with
+            | Ir.Instr.Icmp (op, x, y) -> refine_cmp op x y ~taken env
+            | _ -> env)
+        | _ -> env)
+    | _ -> env
+  in
+  bind_phis fn ~src ~dst env
+
+(* ---- the analysis ---- *)
+
+type result = { fn : Ir.Func.t; table : Util.Interval.t array; visits : int }
+
+let analyze ?(widen_delay = 2) ?(narrow_passes = 2) (fn : Ir.Func.t) : result =
+  let cfg = Cfg.Graph.build fn in
+  let module D = struct
+    type state = env
+
+    let equal = IMap.equal Util.Interval.equal
+    let join a b =
+      IMap.merge
+        (fun _ x y ->
+          match (x, y) with
+          | Some x, Some y ->
+              let j = Util.Interval.join x y in
+              if Util.Interval.is_top j then None else Some j
+          | _ -> None (* missing on either side = top *))
+        a b
+
+    let widen ~prev ~next =
+      (* keys missing from [next] stay missing (top); keys missing from
+         [prev] were top before, so they stay top — widening never tightens *)
+      IMap.merge
+        (fun _ p n ->
+          match (p, n) with
+          | Some p, Some n ->
+              let w = Util.Interval.widen ~prev:p ~next:n in
+              if Util.Interval.is_top w then None else Some w
+          | _ -> None)
+        prev next
+
+    let transfer b env = transfer_block fn b env
+    let transfer_edge ~src ~dst env = transfer_edge fn ~src ~dst env
+  end in
+  let module E = Engine.Make (D) in
+  let r = E.run ~widen_delay ~narrow_passes cfg ~init:IMap.empty in
+  (* Recording sweep: re-run the block transfers once from the solved
+     block-entry states, writing every instruction's interval. Instructions
+     of unreachable blocks keep Bot (they never execute). *)
+  let table = Array.make (max 1 (Ir.Func.num_instrs fn)) Util.Interval.bot in
+  List.iter
+    (fun b ->
+      match E.input r b with
+      | None -> ()
+      | Some env ->
+          ignore (transfer_block ~record:(fun id itv -> table.(id) <- itv) fn b env))
+    (Cfg.Graph.reachable_blocks cfg);
+  { fn; table; visits = E.visits r }
+
+let itv_of_instr (r : result) (id : int) : Util.Interval.t =
+  if id >= 0 && id < Array.length r.table then r.table.(id) else Util.Interval.top
+
+let itv_of_value (r : result) (v : Ir.Types.value) : Util.Interval.t =
+  match v with
+  | Ir.Types.Const (Ir.Types.Cint i) -> Util.Interval.const i
+  | Ir.Types.Const (Ir.Types.Cbool b) -> Util.Interval.const (if b then 1L else 0L)
+  | Ir.Types.Const (Ir.Types.Cfloat _) -> Util.Interval.top
+  | Ir.Types.Reg reg -> itv_of_instr r reg
+  | Ir.Types.Param _ | Ir.Types.Global _ -> Util.Interval.top
+
+let visits (r : result) = r.visits

@@ -1,0 +1,32 @@
+(** Interval value-range analysis over SSA values.
+
+    Forward dataflow on the {!Engine} with per-instruction interval
+    results: constants, phi-joins with widening at loop headers (then
+    narrowing back through exit guards), checked arithmetic transfer, and
+    comparison-guarded branch refinement on CFG edges. Sound w.r.t. the
+    interpreter's wrapping int64 semantics: any transfer whose mathematical
+    bounds could overflow widens to top. *)
+
+type result
+
+val analyze : ?widen_delay:int -> ?narrow_passes:int -> Ir.Func.t -> result
+(** Solve ranges for one function (builds its CFG internally). *)
+
+val itv_of_instr : result -> int -> Util.Interval.t
+(** Proven interval of an instruction result. {!Util.Interval.bot} for
+    instructions in unreachable blocks (they never execute). *)
+
+val itv_of_value : result -> Ir.Types.value -> Util.Interval.t
+(** Interval of any IR value: exact for int/bool constants, the table entry
+    for registers, top for params/globals/floats. *)
+
+val visits : result -> int
+(** Ascending-phase block processings — a termination budget for tests. *)
+
+(** {2 Exposed transfer pieces} (reused by the lint rules and tests) *)
+
+val icmp_itv :
+  Ir.Instr.icmp -> Util.Interval.t -> Util.Interval.t -> Util.Interval.t
+
+val ibinop_itv :
+  Ir.Instr.ibinop -> Util.Interval.t -> Util.Interval.t -> Util.Interval.t

@@ -1,0 +1,48 @@
+(** Access collection: resolve Load/Store addresses in a loop body to the
+    affine form [base-invariant + stride * iteration] via SCEV, with a
+    base-object classification used for alias partitioning when symbolic
+    address parts do not cancel. Disjointness claims rest on the documented
+    no-wrap / inbounds assumptions (DESIGN.md "Static dependence testing"). *)
+
+type base =
+  | Alloc_site of int  (** instr id of the Alloc the address derives from *)
+  | Global_cell of string  (** the one-word cell of a scalar global *)
+  | Sym_param of int  (** an address handed in as parameter [i] *)
+  | Sym of Ir.Types.value  (** some other loop-invariant SSA value *)
+  | Absolute  (** numeric constant address *)
+  | Unknown_base
+
+type t = {
+  instr_id : int;
+  is_write : bool;
+  inv : Scev.Expr.t;  (** loop-invariant part of the address *)
+  stride : int64;  (** coefficient of this loop's canonical iteration *)
+  base : base;
+}
+
+val base_to_string : base -> string
+
+val base_of_inv : Ir.Func.t -> Scev.Expr.t -> base
+(** Classify the base object of an invariant address part. Strong claims
+    only for [[constant +] leaf]; anything scaled or multi-leaf is
+    [Unknown_base]. *)
+
+val provably_disjoint : t -> t -> bool
+(** Can the objects behind two accesses be proven address-disjoint?
+    Distinct allocation sites; an allocation site vs. any entry-live
+    address; distinct scalar global cells when both accesses have stride
+    0. *)
+
+val resolve :
+  Ir.Func.t ->
+  Scev.Analysis.t ->
+  lid:int ->
+  header:int ->
+  instr_id:int ->
+  is_write:bool ->
+  Ir.Types.value ->
+  t option
+(** Resolve one address value to affine form w.r.t. loop [lid] (header
+    block [header]): at most one add-recurrence of this loop with a
+    constant step plus a loop-invariant rest. [None] when the address does
+    not fit that shape. *)

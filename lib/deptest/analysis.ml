@@ -14,7 +14,10 @@
    (Access.provably_disjoint). Calls are summarised by a memory effect; any
    unresolved effect poisons the pair side it touches. *)
 
-type call_effect =
+(* Re-exported from the one shared spec in lib/ir: the interpreter enforces
+   the same table at builtin-dispatch time, so the analysis and the runtime
+   cannot drift apart. *)
+type call_effect = Ir.Builtins.mem_effect =
   | No_mem (* touches no program-visible memory *)
   | Reads (* may load, never stores *)
   | Reads_writes
@@ -51,14 +54,9 @@ let verdict_to_string = function
   | Proven_lcd { test; _ } -> Printf.sprintf "proven-lcd(%s)" test
   | Unknown -> "unknown"
 
-(* Memory effect of a builtin, from its safety class: only the thread-safe
-   memcpy/memset analogues touch program-visible memory (through their
-   pointer arguments); IO and global-state builtins perturb the output
-   buffer or the RNG seed, which live outside addressable memory. *)
-let builtin_effect (s : Ir.Builtins.signature) : call_effect =
-  match s.Ir.Builtins.safety with
-  | Ir.Builtins.Pure | Ir.Builtins.Io | Ir.Builtins.Global_state -> No_mem
-  | Ir.Builtins.Thread_safe -> Reads_writes
+(* Memory effect of a builtin: straight from the shared signature table
+   (lib/ir/builtins.ml), where the interpreter enforces it. *)
+let builtin_effect (s : Ir.Builtins.signature) : call_effect = s.Ir.Builtins.mem
 
 (* Conservative default for user calls when no purity information is
    available. *)
@@ -93,20 +91,80 @@ let const_delta ~(store : Scev.Expr.t) ~(load : Scev.Expr.t) : int64 option =
     Some (Int64.sub cl cs)
   else None
 
-(* Test one (store, load) pair. [n] is the header-arrival count. *)
-let test_pair ~(n : int64 option) (s : Access.t) (l : Access.t) : Subscript.result =
+(* Range facts handed down from the dataflow layer: a proven upper bound on
+   header arrivals (when the exact trip count is unknown) and a proven
+   interval for any SSA value. Both over-approximate, so every refutation
+   they enable remains sound. *)
+type range_facts = {
+  trip_bound : int64 option;
+  itv_of : Ir.Types.value -> Util.Interval.t;
+}
+
+(* Interval for [load base - store base] when the symbolic terms do not
+   cancel exactly: cancel the structurally-equal terms (multiset
+   difference), then evaluate what remains with checked interval
+   arithmetic. *)
+let diff_interval ~(itv_of : Ir.Types.value -> Util.Interval.t)
+    ~(store : Scev.Expr.t) ~(load : Scev.Expr.t) : Util.Interval.t =
+  let cs, ts = split_const store and cl, tl = split_const load in
+  let rec remove x = function
+    | [] -> None
+    | y :: rest ->
+        if Scev.Expr.equal x y then Some rest
+        else Option.map (List.cons y) (remove x rest)
+  in
+  let load_only, store_only =
+    List.fold_left
+      (fun (extra, ts) x ->
+        match remove x ts with
+        | Some ts' -> (extra, ts')
+        | None -> (x :: extra, ts))
+      ([], ts) tl
+  in
+  let base =
+    match Util.Interval.sub64 cl cs with
+    | Some d -> Util.Interval.const d
+    | None -> Util.Interval.top
+  in
+  let ev = Scev.Expr_range.itv_of_expr ~itv_of in
+  let acc =
+    List.fold_left (fun acc e -> Util.Interval.add acc (ev e)) base load_only
+  in
+  List.fold_left (fun acc e -> Util.Interval.sub acc (ev e)) acc store_only
+
+(* Test one (store, load) pair. [n] is the header-arrival count (or a proven
+   upper bound on it, which keeps every refutation sound). *)
+let test_pair ?(range : range_facts option) ~(n : int64 option) (s : Access.t)
+    (l : Access.t) : Subscript.result =
   match const_delta ~store:s.Access.inv ~load:l.Access.inv with
   | Some c -> Subscript.test ~sw:s.Access.stride ~sr:l.Access.stride ~c ~n
-  | None ->
+  | None -> (
       if Access.provably_disjoint s l then Subscript.indep "alias"
-      else Subscript.maybe "alias"
+      else
+        match range with
+        | None -> Subscript.maybe "alias"
+        | Some r ->
+            let c =
+              diff_interval ~itv_of:r.itv_of ~store:s.Access.inv
+                ~load:l.Access.inv
+            in
+            if Util.Interval.is_top c then Subscript.maybe "alias"
+            else Subscript.test_range ~sw:s.Access.stride ~sr:l.Access.stride ~c ~n)
 
 (* Analyze loop [lid] of [fn]. [call_effect] summarises the memory effect of
    a callee by name; [trip] is the loop's static header-arrival count when
-   known (Scev.Trip_count). *)
-let analyze_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (sa : Scev.Analysis.t)
-    ~(lid : int) ~(trip : int64 option)
-    ~(call_effect : string -> call_effect) : summary =
+   known (Scev.Trip_count). [range] optionally strengthens the analysis:
+   its trip bound substitutes for an unknown trip count and its value
+   intervals let subscript pairs with non-cancelling symbolic bases still
+   be refuted. *)
+let analyze_loop ?(range : range_facts option) (fn : Ir.Func.t)
+    (li : Cfg.Loopinfo.t) (sa : Scev.Analysis.t) ~(lid : int)
+    ~(trip : int64 option) ~(call_effect : string -> call_effect) : summary =
+  let trip =
+    match trip with
+    | Some _ -> trip
+    | None -> Option.bind range (fun r -> r.trip_bound)
+  in
   let l = Cfg.Loopinfo.loop li lid in
   let header = l.Cfg.Loopinfo.header in
   let loads = ref [] and stores = ref [] in
@@ -171,7 +229,7 @@ let analyze_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (sa : Scev.Analysis.t)
         List.iter
           (fun (l : Access.t) ->
             incr n_pairs;
-            let r = test_pair ~n:trip s l in
+            let r = test_pair ?range ~n:trip s l in
             match r.Subscript.verdict with
             | Subscript.Independent -> incr n_refuted
             | Subscript.Dependent distance ->

@@ -1,0 +1,94 @@
+(** Per-loop static memory-dependence verdicts. A loop is [Proven_doall]
+    when no store in any iteration can feed a load in a strictly later
+    iteration of the same invocation — no cross-iteration memory RAW, the
+    only memory ordering constraint the limit study models. [Proven_lcd]
+    carries one concrete witness pair; everything unresolvable is [Unknown]
+    and stays on the dynamic detector's plate.
+
+    Soundness contract with the run-time component: on any execution, a
+    [Proven_doall] loop's invocations record zero RAW manifestations
+    (Loopa.Crosscheck enforces this in tests). *)
+
+type call_effect = Ir.Builtins.mem_effect =
+  | No_mem  (** touches no program-visible memory *)
+  | Reads  (** may load, never stores *)
+  | Reads_writes
+
+type witness = {
+  store_id : int;
+  load_id : int;  (** -1 when the reader is a call, not a Load *)
+  distance : int64 option;
+  test : string;
+}
+
+type verdict = Proven_doall | Proven_lcd of witness | Unknown
+
+type summary = {
+  verdict : verdict;
+  trip : int64 option;
+      (** static header-arrival count (or proven upper bound) the tests used *)
+  n_loads : int;
+  n_stores : int;
+  n_call_reads : int;  (** calls with Reads or Reads_writes effect *)
+  n_call_writes : int;  (** calls with Reads_writes effect *)
+  n_pairs : int;  (** (store, load) pairs examined *)
+  n_refuted : int;  (** pairs proven independent *)
+}
+
+val verdict_name : verdict -> string
+val verdict_to_string : verdict -> string
+
+val builtin_effect : Ir.Builtins.signature -> call_effect
+(** The shared [mem] field of the builtin signature table; the interpreter
+    enforces the same spec at dispatch time. *)
+
+val default_call_effect : string -> call_effect
+(** Builtins from the shared table; unknown (user) callees are
+    conservatively [Reads_writes]. *)
+
+val split_const : Scev.Expr.t -> int64 * Scev.Expr.t list
+(** Split an invariant address expression into its constant offset and the
+    remaining (simplified, sorted) symbolic terms. *)
+
+val const_delta : store:Scev.Expr.t -> load:Scev.Expr.t -> int64 option
+(** [load base - store base] when the symbolic parts are structurally
+    identical. *)
+
+type range_facts = {
+  trip_bound : int64 option;
+      (** proven upper bound on header arrivals, used when the exact trip
+          count is unknown *)
+  itv_of : Ir.Types.value -> Util.Interval.t;
+      (** proven interval for an SSA value ({!Util.Interval.top} when
+          nothing is known) *)
+}
+(** Facts handed down from the dataflow layer. Both components
+    over-approximate, so every refutation they enable remains sound. *)
+
+val diff_interval :
+  itv_of:(Ir.Types.value -> Util.Interval.t) ->
+  store:Scev.Expr.t ->
+  load:Scev.Expr.t ->
+  Util.Interval.t
+(** Interval for [load base - store base]: structurally-equal terms cancel
+    (multiset difference), the rest evaluates with checked interval
+    arithmetic. *)
+
+val test_pair :
+  ?range:range_facts -> n:int64 option -> Access.t -> Access.t ->
+  Subscript.result
+(** Test one (store, load) pair; [n] is the header-arrival count or a
+    proven upper bound. *)
+
+val analyze_loop :
+  ?range:range_facts ->
+  Ir.Func.t ->
+  Cfg.Loopinfo.t ->
+  Scev.Analysis.t ->
+  lid:int ->
+  trip:int64 option ->
+  call_effect:(string -> call_effect) ->
+  summary
+
+val unknown_summary : summary
+(** Placeholder for loops that were never analyzed. *)

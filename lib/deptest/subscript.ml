@@ -93,6 +93,59 @@ let test ~(sw : int64) ~(sr : int64) ~(c : int64) ~(n : int64 option) : result =
               if c < lo || c > hi then indep "banerjee" else maybe "banerjee"
         end
 
+(* Interval-c Banerjee: the constant address difference is only known to lie
+   inside [c] (range analysis evaluated the non-cancelling symbolic base
+   terms). Solve  sw*i - sr*j = c  over 0 <= i < j <= n-1 by substituting
+   j = i + d:  f(i, d) = (sw - sr)*i - sr*d  with i >= 0, d >= 1,
+   i + d <= m, m = n-1. f is linear, so its extrema over the triangle are
+   attained at the vertices (0,1), (0,m), (m-1,1); when the vertex hull
+   misses the c-interval entirely, no in-range solution exists. All
+   arithmetic is overflow-checked — any wrap widens the hull to top and the
+   pair stays unresolved (never a spurious refutation). *)
+let test_range ~(sw : int64) ~(sr : int64) ~(c : Util.Interval.t)
+    ~(n : int64 option) : result =
+  match Util.Interval.singleton c with
+  | Some c -> test ~sw ~sr ~c ~n (* exact difference: full SIV lattice *)
+  | None -> (
+      if Util.Interval.is_bot c then
+        (* the base difference is computed from values proven unreachable *)
+        indep "range"
+      else
+        match n with
+        | Some n when n <= 1L -> indep "trip"
+        | _ -> (
+            match (Util.Interval.sub64 sw sr, Util.Interval.neg64 sr) with
+            | Some a, Some b -> (
+                let hull =
+                  match n with
+                  | Some n -> (
+                      let m = Int64.sub n 1L in
+                      (* vertices of the (i, d) triangle *)
+                      let v1 = Some b (* f(0, 1) *) in
+                      let v2 = Util.Interval.mul64 b m (* f(0, m) *) in
+                      let v3 =
+                        (* f(m-1, 1) *)
+                        match Util.Interval.mul64 a (Int64.sub m 1L) with
+                        | Some am -> Util.Interval.add64 am b
+                        | None -> None
+                      in
+                      match (v1, v2, v3) with
+                      | Some v1, Some v2, Some v3 ->
+                          Util.Interval.of_bounds
+                            (min v1 (min v2 v3))
+                            (max v1 (max v2 v3))
+                      | _ -> Util.Interval.top)
+                  | None ->
+                      (* unbounded triangle: a ray from f(0,1) = b *)
+                      Util.Interval.of_bounds
+                        (if a < 0L || b < 0L then Int64.min_int else b)
+                        (if a > 0L || b > 0L then Int64.max_int else b)
+                in
+                match Util.Interval.meet hull c with
+                | Util.Interval.Bot -> indep "range-banerjee"
+                | _ -> maybe "range-banerjee")
+            | _ -> maybe "range"))
+
 let verdict_to_string = function
   | Independent -> "independent"
   | Dependent (Some d) -> Printf.sprintf "dependent(distance=%Ld)" d

@@ -1,0 +1,34 @@
+(** Subscript dependence tests over affine access functions — the classic
+    ZIV / SIV / GCD lattice (Goff, Kennedy & Tseng) specialised to one
+    question: can a store executed in iteration [i] feed a load executed in
+    a strictly later iteration [j] of the same loop? The store accesses
+    address [sb + sw*i], the load [lb + sr*j], with 0 <= i < j <= n-1 when
+    the header-arrival count [n] is known. *)
+
+type verdict =
+  | Independent
+  | Dependent of int64 option  (** RAW distance j - i when the test pins it *)
+  | Maybe
+
+type result = { verdict : verdict; test : string }
+
+val indep : string -> result
+val dep : ?distance:int64 -> string -> result
+val maybe : string -> result
+
+val gcd64 : int64 -> int64 -> int64
+
+val test : sw:int64 -> sr:int64 -> c:int64 -> n:int64 option -> result
+(** [test ~sw ~sr ~c ~n]: store stride [sw], load stride [sr], constant
+    address difference [c = lb - sb], header-arrival count [n] when known.
+    Arithmetic is exact for the word-sized addresses the interpreter can
+    represent; programs indexing near Int64 overflow are out of model. *)
+
+val test_range :
+  sw:int64 -> sr:int64 -> c:Util.Interval.t -> n:int64 option -> result
+(** Like {!test}, but the address difference is only known to lie in an
+    interval. A singleton interval delegates to {!test}; otherwise an
+    interval Banerjee test over the iteration triangle applies, with all
+    arithmetic overflow-checked (a wrap widens, never refutes). *)
+
+val verdict_to_string : verdict -> string

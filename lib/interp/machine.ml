@@ -237,6 +237,21 @@ let lcg_next s = Int64.add (Int64.mul s 6364136223846793005L) 144269504088896340
 
 let exec_builtin t name (args : rv list) : rv option =
   t.hooks.Events.on_builtin_call ~name ~clock:t.clock;
+  (* Enforce the declared memory effect: the dependence analysis trusts
+     [Ir.Builtins.mem], so a builtin that touches tracked memory without
+     declaring it would silently break doall proofs. *)
+  let accesses_before = t.mem_accesses in
+  let check_mem_spec (result : rv option) =
+    (match Ir.Builtins.find name with
+    | Some { Ir.Builtins.mem = Ir.Builtins.No_mem; _ }
+      when t.mem_accesses > accesses_before ->
+        error "builtin %s declared no-mem but performed %d memory accesses"
+          name (t.mem_accesses - accesses_before)
+    | _ -> ());
+    result
+  in
+  check_mem_spec
+  @@
   match (name, args) with
   | "print_int", [ v ] ->
       Buffer.add_string t.out (Int64.to_string (as_int v));

@@ -1,0 +1,21 @@
+(* Interval evaluation of SCEV expressions: maps a symbolic expression to a
+   checked int64 interval given a valuation for its leaf values. Shared by
+   the dependence tests (distance intervals when bases do not cancel to a
+   constant), the parallel-safety auditor, and trip-count refinement — all
+   of which must refuse to reason across an int64 overflow, which
+   Util.Interval's checked arithmetic guarantees. *)
+
+let rec itv_of_expr ~(itv_of : Ir.Types.value -> Util.Interval.t) (e : Expr.t) :
+    Util.Interval.t =
+  match e with
+  | Expr.Const c -> Util.Interval.const c
+  | Expr.Unknown v -> itv_of v
+  | Expr.Add ts ->
+      List.fold_left
+        (fun acc t -> Util.Interval.add acc (itv_of_expr ~itv_of t))
+        (Util.Interval.const 0L) ts
+  | Expr.Mul ts ->
+      List.fold_left
+        (fun acc t -> Util.Interval.mul acc (itv_of_expr ~itv_of t))
+        (Util.Interval.const 1L) ts
+  | Expr.Add_rec _ | Expr.Self _ | Expr.Cannot -> Util.Interval.top

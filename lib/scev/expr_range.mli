@@ -1,0 +1,8 @@
+(** Interval evaluation of SCEV expressions over a leaf valuation. *)
+
+val itv_of_expr :
+  itv_of:(Ir.Types.value -> Util.Interval.t) -> Expr.t -> Util.Interval.t
+(** Evaluate [e] with checked interval arithmetic; [itv_of] supplies ranges
+    for [Unknown] leaves (return {!Util.Interval.top} when nothing is
+    known). [Add_rec]/[Self]/[Cannot] evaluate to top — callers that need
+    per-iteration precision must strip recurrences first. *)

@@ -1,7 +1,10 @@
 (* Exit (trip) count computation — the back-edge-taken-count role of LLVM's
    ScalarEvolution. For a canonical loop whose header compares an affine IV
    with constant start and step against a constant bound, the number of
-   header arrivals is known exactly. Conservative: anything else is None. *)
+   header arrivals is known exactly ([of_loop]). When the bound is symbolic
+   but loop-invariant, an upper bound on the arrivals can still be derived
+   from a proven interval for the bound value ([bound_of_loop]).
+   Conservative: anything else is None. *)
 
 open Ir.Types
 
@@ -37,10 +40,13 @@ let count_affine ~start ~step ~bound ~(op : Ir.Instr.icmp) : int64 option =
   in
   Option.map (fun b -> add b 1L) bodies
 
-(* Header-arrival count for loop [lid], when its sole exit is governed by an
-   affine IV against a constant bound. *)
-let of_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (scev : Analysis.t) (lid : int) :
-    int64 option =
+(* Normalized sole-exit header comparison of loop [lid]:
+   (op, (start, step), bound-expression) such that the loop runs while
+   [iv `op` bound] holds, with iv = {start,+,step} an affine recurrence of
+   this loop with constant start and step. The bound side is simplified but
+   may be symbolic. *)
+let header_compare (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (scev : Analysis.t)
+    (lid : int) : (Ir.Instr.icmp * (int64 * int64) * Expr.t) option =
   let l = Cfg.Loopinfo.loop li lid in
   match Ir.Func.terminator fn l.Cfg.Loopinfo.header with
   | Some { Ir.Instr.kind = Ir.Instr.Cond_br (Reg cid, l1, l2); _ } -> (
@@ -65,17 +71,17 @@ let of_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (scev : Analysis.t) (lid : in
             in
             let op = if in_loop l1 then op else flip op in
             ignore l2;
-            let sa = Analysis.scev_of_value scev a in
-            let sb = Analysis.scev_of_value scev b in
+            let sa = Expr.simplify (Analysis.scev_of_value scev a) in
+            let sb = Expr.simplify (Analysis.scev_of_value scev b) in
             let affine_const = function
               | Expr.Add_rec { start = Expr.Const s; step = Expr.Const t; loop }
                 when Cfg.Loopinfo.loop_of_header li loop = Some lid ->
                   Some (s, t)
               | _ -> None
             in
-            match (affine_const (Expr.simplify sa), Expr.simplify sb) with
-            | Some (start, step), Expr.Const bound -> count_affine ~start ~step ~bound ~op
-            | _ -> (
+            match affine_const sa with
+            | Some iv -> Some (op, iv, sb)
+            | None -> (
                 (* bound on the left: iv on the right, mirror the compare *)
                 let mirror = function
                   | Ir.Instr.Islt -> Ir.Instr.Isgt
@@ -84,9 +90,57 @@ let of_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (scev : Analysis.t) (lid : in
                   | Ir.Instr.Isge -> Ir.Instr.Isle
                   | (Ir.Instr.Ieq | Ir.Instr.Ine) as o -> o
                 in
-                match (Expr.simplify sa, affine_const (Expr.simplify sb)) with
-                | Expr.Const bound, Some (start, step) ->
-                    count_affine ~start ~step ~bound ~op:(mirror op)
-                | _ -> None))
+                match affine_const sb with
+                | Some iv -> Some (mirror op, iv, sa)
+                | None -> None))
         | _ -> None)
+  | _ -> None
+
+(* Header-arrival count for loop [lid], when its sole exit is governed by an
+   affine IV against a constant bound. *)
+let of_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (scev : Analysis.t) (lid : int) :
+    int64 option =
+  match header_compare fn li scev lid with
+  | Some (op, (start, step), Expr.Const bound) -> count_affine ~start ~step ~bound ~op
+  | _ -> None
+
+(* Bound-of-arrivals refinement when the bound is symbolic but invariant and
+   range analysis proves an interval for it. Capped: a derived count above
+   2^32 is discarded — downstream subscript tests multiply trip counts by
+   strides with plain int64 arithmetic, which DESIGN.md's in-model address
+   assumption only licenses for word-sized magnitudes. *)
+let bound_cap = 0xFFFF_FFFFL
+
+let bound_of_loop (fn : Ir.Func.t) (li : Cfg.Loopinfo.t) (scev : Analysis.t)
+    ~(lid : int) ~(itv_of : Ir.Types.value -> Util.Interval.t) : int64 option =
+  match header_compare fn li scev lid with
+  | Some (op, (start, step), bound_expr) when not (Expr.contains_cannot bound_expr) ->
+      if not (Analysis.is_invariant scev bound_expr ~lid) then None
+      else begin
+        (* worst-case bound value: the largest (counting up) or smallest
+           (counting down) the bound can be; count_affine is monotone in the
+           bound for the corresponding direction *)
+        let bitv = Expr_range.itv_of_expr ~itv_of bound_expr in
+        (* count_affine is monotone in the bound only for the relational
+           compares; Ine/Ieq count an exact landing and admit no worst-case
+           argument. The checked distance computation below re-derives the
+           exact normalized subtraction count_affine performs, so a count is
+           only believed when none of its internal arithmetic wrapped. *)
+        let worst_and_distance =
+          match (op, Util.Interval.bounds bitv) with
+          | (Ir.Instr.Islt | Ir.Instr.Isle), Some (_, hi) when hi < Int64.max_int ->
+              let upper = if op = Ir.Instr.Islt then Some hi else Util.Interval.add64 hi 1L in
+              Option.map (fun u -> (hi, Util.Interval.sub64 u start)) upper
+          | (Ir.Instr.Isgt | Ir.Instr.Isge), Some (lo, _) when lo > Int64.min_int ->
+              let lower = if op = Ir.Instr.Isgt then Some lo else Util.Interval.sub64 lo 1L in
+              Option.map (fun l -> (lo, Util.Interval.sub64 start l)) lower
+          | _ -> None
+        in
+        match worst_and_distance with
+        | Some (bound, Some _) -> (
+            match count_affine ~start ~step ~bound ~op with
+            | Some n when n >= 0L && n <= bound_cap -> Some n
+            | _ -> None)
+        | _ -> None
+      end
   | _ -> None

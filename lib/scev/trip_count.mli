@@ -1,0 +1,29 @@
+(** Exit (trip) count computation — the back-edge-taken-count role of LLVM's
+    ScalarEvolution. Counts are header arrivals: body executions plus the
+    final failing test. *)
+
+val count_affine :
+  start:int64 -> step:int64 -> bound:int64 -> op:Ir.Instr.icmp -> int64 option
+(** Arrival count for iv = [{start,+,step}] compared against [bound] with
+    [op], assuming the loop runs while the comparison holds. *)
+
+val header_compare :
+  Ir.Func.t -> Cfg.Loopinfo.t -> Analysis.t -> int ->
+  (Ir.Instr.icmp * (int64 * int64) * Expr.t) option
+(** Normalized sole-exit header comparison of a loop:
+    [(op, (start, step), bound)] such that the loop runs while
+    [iv `op` bound] holds, for an affine IV with constant start/step. The
+    bound expression may be symbolic. *)
+
+val of_loop : Ir.Func.t -> Cfg.Loopinfo.t -> Analysis.t -> int -> int64 option
+(** Exact arrival count when the normalized bound is a constant. *)
+
+val bound_of_loop :
+  Ir.Func.t -> Cfg.Loopinfo.t -> Analysis.t -> lid:int ->
+  itv_of:(Ir.Types.value -> Util.Interval.t) -> int64 option
+(** Upper bound on arrivals when the bound is symbolic but loop-invariant
+    and [itv_of] proves an interval for it (range analysis). Sound: the
+    worst-case bound value is used, all internal arithmetic is
+    overflow-checked, and counts above 2^32 are discarded (downstream
+    dependence tests assume word-sized magnitudes). None when no finite
+    refinement exists. *)

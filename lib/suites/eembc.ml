@@ -342,8 +342,72 @@ fn main() -> int {
 }
 |src}
 
+let rspeed =
+  Defs.mk ~name:"rspeed01" ~category:Defs.Eembc
+    ~descr:"road-speed window filter: range-proven forward gather offset"
+    {src|
+fn smooth_window(buf: float[], n: int) {
+  // the gather offset is opaque to constant folding, but interval analysis
+  // proves off in [1, 15]: every load lands strictly ahead of the store of
+  // any later iteration, so the loop carries no memory RAW
+  var off: int = n % 8 + 8;
+  for (var i: int = 0; i < 64; i = i + 1) {
+    buf[i] = buf[i] + 0.5 * buf[i + off];
+  }
+}
+
+fn main() -> int {
+  var buf: float[] = new float[96];
+  var s: int = 12345;
+  for (var i: int = 0; i < 96; i = i + 1) {
+    s = lcg_next(s);
+    buf[i] = lcg_float(s);
+  }
+  for (var pass: int = 0; pass < 4; pass = pass + 1) {
+    s = lcg_next(s);
+    smooth_window(buf, s & 1023);
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < 64; i = i + 1) { check = check + buf[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
+let puwmod =
+  Defs.mk ~name:"puwmod01" ~category:Defs.Eembc
+    ~descr:"pulse-width modulation: duty update with trip-bounded feedback"
+    {src|
+fn decay_tail(duty: float[], cnt: int) {
+  // the feedback distance (48) is a real dependence, but interval analysis
+  // bounds the header-arrival count by 48: the producing iteration never
+  // runs in the same invocation, so the loop is a provable DOALL
+  var m: int = cnt % 32 + 16;
+  for (var i: int = 48; i < 48 + m; i = i + 1) {
+    duty[i] = duty[i - 48] * 0.75 + 0.125;
+  }
+}
+
+fn main() -> int {
+  var duty: float[] = new float[96];
+  var s: int = 777;
+  for (var i: int = 0; i < 96; i = i + 1) {
+    s = lcg_next(s);
+    duty[i] = lcg_float(s);
+  }
+  for (var pass: int = 0; pass < 6; pass = pass + 1) {
+    s = lcg_next(s);
+    decay_tail(duty, s & 4095);
+  }
+  var check: float = 0.0;
+  for (var i: int = 0; i < 96; i = i + 1) { check = check + duty[i]; }
+  print_float(check);
+  return 0;
+}
+|src}
+
 let benchmarks () =
   [
     a2time; aifft; aifirf; basefp; bitmnp; idctrn; matrix; pntrch; tblook;
-    ttsprk; viterb;
+    ttsprk; viterb; rspeed; puwmod;
   ]

@@ -1,0 +1,130 @@
+type t = Bot | Itv of { lo : int64; hi : int64 }
+
+let top = Itv { lo = Int64.min_int; hi = Int64.max_int }
+
+let bot = Bot
+
+let const c = Itv { lo = c; hi = c }
+
+let of_bounds lo hi = if lo > hi then Bot else Itv { lo; hi }
+
+let bounds = function Bot -> None | Itv { lo; hi } -> Some (lo, hi)
+
+let is_bot t = t = Bot
+
+let is_top = function
+  | Bot -> false
+  | Itv { lo; hi } -> lo = Int64.min_int && hi = Int64.max_int
+
+let singleton = function Itv { lo; hi } when lo = hi -> Some lo | _ -> None
+
+let mem v = function Bot -> false | Itv { lo; hi } -> lo <= v && v <= hi
+
+let contains_zero t = mem 0L t
+
+let equal a b = a = b
+
+let subset a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | Itv a, Itv b -> b.lo <= a.lo && a.hi <= b.hi
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Itv a, Itv b -> Itv { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a, Itv b -> of_bounds (max a.lo b.lo) (min a.hi b.hi)
+
+let widen ~prev ~next =
+  match (prev, next) with
+  | Bot, x -> x
+  | x, Bot -> x
+  | Itv p, Itv n ->
+      Itv
+        {
+          lo = (if n.lo < p.lo then Int64.min_int else p.lo);
+          hi = (if n.hi > p.hi then Int64.max_int else p.hi);
+        }
+
+let remove_point t v =
+  match t with
+  | Bot -> Bot
+  | Itv { lo; hi } when lo = v && hi = v -> Bot
+  | Itv { lo; hi } when lo = v -> Itv { lo = Int64.add lo 1L; hi }
+  | Itv { lo; hi } when hi = v -> Itv { lo; hi = Int64.sub hi 1L }
+  | t -> t
+
+(* checked scalar arithmetic: overflow iff the two's-complement result's
+   sign contradicts what the operand signs require *)
+
+let add64 a b =
+  let s = Int64.add a b in
+  if a >= 0L = (b >= 0L) && s >= 0L <> (a >= 0L) then None else Some s
+
+let sub64 a b =
+  let s = Int64.sub a b in
+  if a >= 0L <> (b >= 0L) && s >= 0L <> (a >= 0L) then None else Some s
+
+let neg64 a = if a = Int64.min_int then None else Some (Int64.neg a)
+
+let mul64 a b =
+  if a = 0L || b = 0L then Some 0L
+  else if a = -1L then neg64 b
+  else if b = -1L then neg64 a
+  else
+    let p = Int64.mul a b in
+    if Int64.div p b = a then Some p else None
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a, Itv b -> (
+      match (add64 a.lo b.lo, add64 a.hi b.hi) with
+      | Some lo, Some hi -> Itv { lo; hi }
+      | _ -> top)
+
+let sub a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a, Itv b -> (
+      match (sub64 a.lo b.hi, sub64 a.hi b.lo) with
+      | Some lo, Some hi -> Itv { lo; hi }
+      | _ -> top)
+
+let neg t =
+  match t with
+  | Bot -> Bot
+  | Itv { lo; hi } -> (
+      match (neg64 hi, neg64 lo) with
+      | Some lo, Some hi -> Itv { lo; hi }
+      | _ -> top)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv a, Itv b -> (
+      match
+        (mul64 a.lo b.lo, mul64 a.lo b.hi, mul64 a.hi b.lo, mul64 a.hi b.hi)
+      with
+      | Some p1, Some p2, Some p3, Some p4 ->
+          Itv { lo = min (min p1 p2) (min p3 p4); hi = max (max p1 p2) (max p3 p4) }
+      | _ -> top)
+
+let hull0 t = join t (const 0L)
+
+let to_string = function
+  | Bot -> "bot"
+  | Itv { lo; hi } ->
+      let b v extreme s =
+        if v = extreme then s else Int64.to_string v
+      in
+      if lo = hi then Printf.sprintf "[%Ld]" lo
+      else
+        Printf.sprintf "[%s, %s]"
+          (b lo Int64.min_int "-inf")
+          (b hi Int64.max_int "+inf")

@@ -1,0 +1,70 @@
+(** Checked int64 interval arithmetic.
+
+    The domain of every dataflow and dependence fact in the tree: a value is
+    known to lie in [lo, hi] (inclusive), or is [Bot] (no value reaches the
+    program point). [top] is the full int64 range.
+
+    Soundness contract: the interpreter's integer arithmetic wraps
+    (two's-complement [Int64.add]/[sub]/[mul]), so whenever a bound
+    computation would overflow mathematically the operation returns {!top} —
+    a wrapped machine value can land anywhere, and a partially-widened
+    result like [1, +inf) would silently exclude it. The scalar helpers
+    {!add64} etc. expose the same checked arithmetic to clients (trip-count
+    refinement, dependence-distance math) that must refuse to reason across
+    an overflow rather than approximate it. *)
+
+type t =
+  | Bot  (** unreachable / no value *)
+  | Itv of { lo : int64; hi : int64 }  (** lo <= hi always holds *)
+
+val top : t
+val bot : t
+val const : int64 -> t
+
+val of_bounds : int64 -> int64 -> t
+(** [of_bounds lo hi] is [Bot] when [lo > hi]. *)
+
+val bounds : t -> (int64 * int64) option
+val is_bot : t -> bool
+val is_top : t -> bool
+
+val singleton : t -> int64 option
+(** [Some c] when the interval is exactly [c, c]. *)
+
+val mem : int64 -> t -> bool
+val contains_zero : t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val join : t -> t -> t
+val meet : t -> t -> t
+
+val widen : prev:t -> next:t -> t
+(** Any unstable bound jumps straight to the int64 extreme; [prev = Bot]
+    yields [next] (first visit is not a widening point). *)
+
+val remove_point : t -> int64 -> t
+(** Shrink the interval by one value, but only when it is an endpoint
+    (intervals cannot represent holes). Used by [x <> c] branch
+    refinement. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** All four return {!top} whenever any mathematical corner overflows
+    int64 (see the module soundness contract) and [Bot] if either input
+    is [Bot]. *)
+
+val hull0 : t -> t
+(** Smallest interval containing the input and 0 — the range of a quotient
+    [a / b] whose divisor is at least 1. *)
+
+val to_string : t -> string
+
+(** {2 Checked scalars} — [None] on overflow. *)
+
+val add64 : int64 -> int64 -> int64 option
+val sub64 : int64 -> int64 -> int64 option
+val mul64 : int64 -> int64 -> int64 option
+val neg64 : int64 -> int64 option

@@ -1,0 +1,607 @@
+(* The dataflow layer: interval arithmetic soundness (overflow always widens
+   to top), the generic fixpoint engine on adversarial CFGs (nested loops,
+   multiple back-edges into one header, unreachable blocks, a chain that
+   diverges without widening), value-range precision end-to-end through the
+   front-end, known-bits nonzero facts, the parallel-safety auditor's
+   exclusion procedure, liveness as the backward engine client, the
+   range-driven verdict upgrades on the registry benchmarks, and the lint
+   driver's diagnostics (rules, severities, JSON shape, fingerprint
+   stability). *)
+
+open Ir.Types
+
+module I = Util.Interval
+
+let itv = Alcotest.testable (Fmt.of_to_string I.to_string) I.equal
+
+(* ---- interval arithmetic: any overflow must produce top ---- *)
+
+let test_interval_overflow () =
+  let near_max = I.of_bounds (Int64.sub Int64.max_int 1L) Int64.max_int in
+  Alcotest.check itv "add wraps to top" I.top (I.add near_max (I.const 5L));
+  Alcotest.check itv "mul wraps to top" I.top
+    (I.mul (I.const 0x4000_0000_0000_0000L) (I.const 2L));
+  Alcotest.check itv "neg min_int wraps to top" I.top (I.neg (I.const Int64.min_int));
+  Alcotest.check itv "sub wraps to top" I.top
+    (I.sub (I.const Int64.min_int) (I.const 1L));
+  (* the checked scalar helpers report the same overflows *)
+  Alcotest.(check bool) "add64 overflow" true (I.add64 Int64.max_int 1L = None);
+  Alcotest.(check bool) "mul64 overflow" true (I.mul64 Int64.min_int (-1L) = None);
+  Alcotest.(check bool) "neg64 overflow" true (I.neg64 Int64.min_int = None);
+  Alcotest.(check bool) "add64 fine" true (I.add64 3L 4L = Some 7L)
+
+let test_interval_lattice () =
+  Alcotest.check itv "join" (I.of_bounds 1L 9L)
+    (I.join (I.of_bounds 1L 4L) (I.of_bounds 7L 9L));
+  Alcotest.check itv "meet" (I.of_bounds 3L 4L)
+    (I.meet (I.of_bounds 1L 4L) (I.of_bounds 3L 9L));
+  Alcotest.check itv "disjoint meet is bot" I.bot
+    (I.meet (I.of_bounds 1L 2L) (I.of_bounds 5L 9L));
+  Alcotest.(check bool) "bot absorbs join" true
+    (I.equal (I.join I.bot (I.const 3L)) (I.const 3L));
+  (* widening only moves unstable bounds, and only outward *)
+  Alcotest.check itv "widen grows hi"
+    (I.of_bounds 0L Int64.max_int)
+    (I.widen ~prev:(I.of_bounds 0L 10L) ~next:(I.of_bounds 0L 11L));
+  Alcotest.check itv "widen stable is identity" (I.of_bounds 0L 10L)
+    (I.widen ~prev:(I.of_bounds 0L 10L) ~next:(I.of_bounds 0L 10L));
+  Alcotest.check itv "remove endpoint" (I.of_bounds 1L 10L)
+    (I.remove_point (I.of_bounds 0L 10L) 0L);
+  Alcotest.check itv "remove interior is identity" (I.of_bounds 0L 10L)
+    (I.remove_point (I.of_bounds 0L 10L) 5L);
+  Alcotest.check itv "hull0 spans to zero" (I.of_bounds 0L 7L) (I.hull0 (I.of_bounds 3L 7L))
+
+(* ---- exposed transfer pieces ---- *)
+
+let test_transfer_pieces () =
+  let open Dataflow.Range in
+  Alcotest.check itv "3 < 10 is true" (I.const 1L)
+    (icmp_itv Ir.Instr.Islt (I.const 3L) (I.const 10L));
+  Alcotest.check itv "10 < 3 is false" (I.const 0L)
+    (icmp_itv Ir.Instr.Islt (I.const 10L) (I.const 3L));
+  Alcotest.check itv "overlap is unknown bool" (I.of_bounds 0L 1L)
+    (icmp_itv Ir.Instr.Islt (I.of_bounds 0L 9L) (I.of_bounds 5L 6L));
+  Alcotest.check itv "srem by 8, top dividend" (I.of_bounds (-7L) 7L)
+    (ibinop_itv Ir.Instr.Srem I.top (I.const 8L));
+  Alcotest.check itv "srem by 8, nonneg dividend" (I.of_bounds 0L 7L)
+    (ibinop_itv Ir.Instr.Srem (I.of_bounds 0L 1000L) (I.const 8L));
+  Alcotest.check itv "mul" (I.of_bounds 8L 15L)
+    (ibinop_itv Ir.Instr.Mul (I.of_bounds 2L 3L) (I.of_bounds 4L 5L));
+  Alcotest.check itv "shl overflow is top" I.top
+    (ibinop_itv Ir.Instr.Shl (I.const 1L) (I.const 63L))
+
+(* ---- engine on adversarial CFGs ----
+
+   Hand-built CFGs (same helper as test_cfg): each block gets a trivial
+   terminator realizing the given successor lists. *)
+
+let func_of_edges ~entry (succs : int list array) : Ir.Func.t =
+  let fn = Ir.Func.create ~name:"g" ~params:[] ~ret:None in
+  Array.iteri (fun _ _ -> ignore (Ir.Func.add_block fn)) succs;
+  fn.Ir.Func.entry <- entry;
+  Array.iteri
+    (fun b ss ->
+      match ss with
+      | [] -> ignore (Ir.Func.append_instr fn b ~ty:None (Ir.Instr.Ret None))
+      | [ t ] -> ignore (Ir.Func.append_instr fn b ~ty:None (Ir.Instr.Br t))
+      | [ t1; t2 ] ->
+          ignore
+            (Ir.Func.append_instr fn b ~ty:None
+               (Ir.Instr.Cond_br (bool_ true, t1, t2)))
+      | _ -> invalid_arg "func_of_edges: at most 2 successors")
+    succs;
+  fn
+
+module IS = Set.Make (Int)
+
+(* Reachability domain: the state at a block is the set of blocks on some
+   path to it. Finite lattice (set union over block ids), so no widening is
+   needed — the adversarial-CFG tests assert the engine still terminates
+   within its visit budget and computes the exact fixpoint. *)
+module Reach = Dataflow.Engine.Make (struct
+  type state = IS.t
+
+  let equal = IS.equal
+  let join = IS.union
+  let widen ~prev:_ ~next = next
+  let transfer b s = IS.add b s
+  let transfer_edge ~src:_ ~dst:_ s = s
+end)
+
+let reach_of fn =
+  Reach.run (Cfg.Graph.build fn) ~init:IS.empty
+
+let blocks res b =
+  match Reach.output res b with
+  | Some s -> List.sort compare (IS.elements s)
+  | None -> [ -1 ]
+
+let test_engine_nested_loops () =
+  (* 0 -> 1(outer hdr) -> {2(inner hdr), 5(exit)}; 2 -> {3(inner body), 4};
+     3 -> 2 (inner back-edge); 4 -> 1 (outer back-edge) *)
+  let fn = func_of_edges ~entry:0 [| [ 1 ]; [ 2; 5 ]; [ 3; 4 ]; [ 2 ]; [ 1 ]; [] |] in
+  let res = reach_of fn in
+  Alcotest.(check (list int)) "outer header sees both latches"
+    [ 0; 1; 2; 3; 4 ] (blocks res 1);
+  Alcotest.(check (list int)) "inner header sees inner latch"
+    [ 0; 1; 2; 3; 4 ] (blocks res 2);
+  Alcotest.(check (list int)) "exit" [ 0; 1; 2; 3; 4; 5 ] (blocks res 5);
+  Alcotest.(check bool) "terminates inside budget" true (Reach.visits res <= 6 * 6)
+
+let test_engine_multiple_backedges () =
+  (* two distinct back-edges into the same header: 2 -> 1 and 3 -> 1 *)
+  let fn = func_of_edges ~entry:0 [| [ 1 ]; [ 2; 4 ]; [ 1; 3 ]; [ 1 ]; [] |] in
+  let res = reach_of fn in
+  Alcotest.(check (list int)) "header joins both back-edges"
+    [ 0; 1; 2; 3 ] (blocks res 1);
+  Alcotest.(check (list int)) "exit" [ 0; 1; 2; 3; 4 ] (blocks res 4)
+
+let test_engine_unreachable () =
+  (* block 2 points into the live CFG but nothing reaches it *)
+  let fn = func_of_edges ~entry:0 [| [ 1 ]; []; [ 1 ] |] in
+  let res = reach_of fn in
+  Alcotest.(check bool) "unreachable input is None" true (Reach.input res 2 = None);
+  Alcotest.(check bool) "unreachable output is None" true (Reach.output res 2 = None);
+  Alcotest.(check (list int)) "reachable unaffected" [ 0; 1 ] (blocks res 1)
+
+(* Counter domain with an infinite ascending chain: the loop body adds
+   [1,1] every trip, so a fixpoint only exists through widening. *)
+module Counter (W : sig
+  val widen : prev:I.t -> next:I.t -> I.t
+end) =
+Dataflow.Engine.Make (struct
+  type state = I.t
+
+  let equal = I.equal
+  let join = I.join
+  let widen = W.widen
+  let transfer b s = if b = 2 then I.add s (I.const 1L) else s
+  let transfer_edge ~src:_ ~dst:_ s = s
+end)
+
+module Counter_widened = Counter (struct
+  let widen = I.widen
+end)
+
+module Counter_naive = Counter (struct
+  let widen ~prev:_ ~next = next
+end)
+
+let test_engine_widening_required () =
+  (* 0 -> 1(header) -> {2(body), 3(exit)}; 2 -> 1 *)
+  let fn = func_of_edges ~entry:0 [| [ 1 ]; [ 2; 3 ]; [ 1 ]; [] |] in
+  let cfg = Cfg.Graph.build fn in
+  let res = Counter_widened.run cfg ~init:(I.const 0L) in
+  (match Counter_widened.output res 1 with
+  | Some s ->
+      Alcotest.(check bool) "0 stays in the widened range" true (I.mem 0L s);
+      Alcotest.(check bool) "large counts covered" true (I.mem 1_000_000L s)
+  | None -> Alcotest.fail "header unreachable?");
+  Alcotest.(check bool) "few visits with widening" true
+    (Counter_widened.visits res <= 4 * 8);
+  Alcotest.check_raises "diverges without widening"
+    (Dataflow.Engine.Diverged 1)
+    (fun () -> ignore (Counter_naive.run ~max_visits:40 cfg ~init:(I.const 0L)))
+
+(* ---- range analysis end-to-end ---- *)
+
+let compile src = Frontend.compile_exn src
+
+let classify src =
+  let m = compile src in
+  Cfg.Loop_simplify.run_module m;
+  Loopa.Classify.analyze_module m
+
+let func_static ms name = Loopa.Classify.func_static ms name
+
+let test_range_phi_bounds () =
+  (* the canonical counter loop: i's header phi must be bounded by the
+     widen/narrow pair, not stuck at top *)
+  let ms =
+    classify
+      "fn main() -> int {\n\
+      \  var s: int = 0;\n\
+      \  for (var i: int = 0; i < 10; i = i + 1) { s = s + 2; }\n\
+      \  print_int(s);\n\
+       }\n"
+  in
+  let fs = func_static ms "main" in
+  let bounded = ref 0 in
+  Array.iter
+    (fun (ls : Loopa.Classify.loop_static) ->
+      Array.iter
+        (fun (pi : Loopa.Classify.phi_info) ->
+          let r = pi.Loopa.Classify.range in
+          if (not (I.is_top r)) && not (I.is_bot r) then incr bounded;
+          (* the IV phi must stay within [0, 10] *)
+          if I.subset r (I.of_bounds 0L 10L) then
+            Alcotest.(check bool) "iv range plausible" true (I.mem 0L r))
+        ls.Loopa.Classify.phis)
+    fs.Loopa.Classify.loops;
+  Alcotest.(check bool) "at least one header phi proven bounded" true (!bounded >= 1)
+
+let test_range_visits_bounded () =
+  (* nested counters converge in few ascending visits *)
+  let m =
+    compile
+      "fn main() -> int {\n\
+      \  var s: int = 0;\n\
+      \  for (var i: int = 0; i < 100; i = i + 1) {\n\
+      \    for (var j: int = 0; j < 100; j = j + 1) { s = s + i + j; }\n\
+      \  }\n\
+      \  print_int(s);\n\
+       }\n"
+  in
+  Cfg.Loop_simplify.run_module m;
+  List.iter
+    (fun fn ->
+      let r = Dataflow.Range.analyze fn in
+      let n_blocks = Ir.Func.num_blocks fn in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s visits %d within budget" fn.Ir.Func.fname
+           (Dataflow.Range.visits r))
+        true
+        (Dataflow.Range.visits r <= 16 * (n_blocks + 1)))
+    m.Ir.Func.funcs
+
+(* ---- known bits ---- *)
+
+let test_bits_nonzero () =
+  let m =
+    compile
+      "fn f(x: int) -> int {\n\
+      \  var y: int = (x | 1);\n\
+      \  return y;\n\
+       }\n\
+       fn main() -> int { print_int(f(6)); }\n"
+  in
+  let fn = List.find (fun f -> f.Ir.Func.fname = "f") m.Ir.Func.funcs in
+  let bits = Dataflow.Bits.analyze fn in
+  let found = ref false in
+  Ir.Func.iter_instrs
+    (fun (i : Ir.Instr.t) ->
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Ibinop (Ir.Instr.Or, _, _) ->
+          found := true;
+          Alcotest.(check bool) "x|1 proven nonzero" true
+            (Dataflow.Bits.known_nonzero bits (Reg i.Ir.Instr.id))
+      | _ -> ())
+    fn;
+  Alcotest.(check bool) "or instr present" true !found;
+  Alcotest.(check bool) "const 0 not nonzero" false
+    (Dataflow.Bits.known_nonzero bits (int_ 0));
+  Alcotest.(check bool) "const 5 nonzero" true
+    (Dataflow.Bits.known_nonzero bits (int_ 5))
+
+(* ---- auditor exclusion procedure ---- *)
+
+let test_pair_excluded () =
+  let ex = Dataflow.Audit.pair_excluded in
+  (* strong SIV (a=0, b=1): distance d = c must land in [1, m] *)
+  Alcotest.(check bool) "distance beyond window" true
+    (ex ~a:0L ~b:1L ~c:(I.const 48L) ~m:(Some 47L));
+  Alcotest.(check bool) "distance inside window" false
+    (ex ~a:0L ~b:1L ~c:(I.const 10L) ~m:(Some 47L));
+  Alcotest.(check bool) "negative distance impossible" true
+    (ex ~a:0L ~b:1L ~c:(I.const (-3L)) ~m:None);
+  Alcotest.(check bool) "unbounded window keeps it" false
+    (ex ~a:0L ~b:1L ~c:(I.const 5L) ~m:None);
+  (* interval c: the rspeed01 shape, c in [1,15] vs attainable [-m,-1] *)
+  Alcotest.(check bool) "positive offset vs negative hull" true
+    (ex ~a:0L ~b:(-1L) ~c:(I.of_bounds 1L 15L) ~m:(Some 63L));
+  Alcotest.(check bool) "straddling zero not excluded" false
+    (ex ~a:0L ~b:(-1L) ~c:(I.of_bounds (-2L) 2L) ~m:(Some 63L));
+  (* gcd filter: 2i + 2d = odd has no integer solution *)
+  Alcotest.(check bool) "gcd refutes odd constant" true
+    (ex ~a:2L ~b:2L ~c:(I.const 7L) ~m:(Some 100L));
+  Alcotest.(check bool) "gcd divides, solution exists" false
+    (ex ~a:2L ~b:2L ~c:(I.const 6L) ~m:(Some 100L))
+
+(* ---- liveness: the backward engine client ---- *)
+
+let test_liveness_invariant () =
+  (* universal SSA invariant: a non-phi use of a register defined in another
+     block implies the register is live-in at the use's block *)
+  let m =
+    compile
+      "fn main() -> int {\n\
+      \  var a: int = 3;\n\
+      \  var s: int = 0;\n\
+      \  for (var i: int = 0; i < 8; i = i + 1) {\n\
+      \    if (i < 4) { s = s + a; } else { s = s - a; }\n\
+      \  }\n\
+      \  print_int(s);\n\
+       }\n"
+  in
+  Cfg.Loop_simplify.run_module m;
+  List.iter
+    (fun fn ->
+      let live = Dataflow.Liveness.analyze fn in
+      Ir.Func.iter_instrs
+        (fun (i : Ir.Instr.t) ->
+          match i.Ir.Instr.kind with
+          | Ir.Instr.Phi _ -> ()
+          | k ->
+              List.iter
+                (fun v ->
+                  match v with
+                  | Reg r when (Ir.Func.instr fn r).Ir.Instr.block <> i.Ir.Instr.block
+                    -> (
+                      match Dataflow.Liveness.live_in live i.Ir.Instr.block with
+                      | Some s ->
+                          Alcotest.(check bool)
+                            (Printf.sprintf "%%%d live into bb%d" r i.Ir.Instr.block)
+                            true
+                            (Dataflow.Liveness.ISet.mem r s)
+                      | None -> Alcotest.fail "use in unreachable block")
+                  | _ -> ())
+                (Ir.Instr.operands k))
+        fn)
+    m.Ir.Func.funcs
+
+(* ---- benchmark verdict upgrades (the acceptance delta) ---- *)
+
+let bench_source name =
+  match Suites.Suite.find name with
+  | Some b -> b.Suites.Suite.source
+  | None -> Alcotest.failf "benchmark %s not registered" name
+
+let test_rspeed_upgrade () =
+  let ms = classify (bench_source "rspeed01") in
+  let base, fin = Loopa.Classify.unknown_delta ms in
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly fewer unknowns (%d -> %d)" base fin)
+    true (fin < base);
+  let fs = func_static ms "smooth_window" in
+  let ls = fs.Loopa.Classify.loops.(0) in
+  Alcotest.(check bool) "baseline unknown" true
+    (ls.Loopa.Classify.dep_baseline = Deptest.Analysis.Unknown);
+  Alcotest.(check string) "strengthened to doall" "proven-doall"
+    (Deptest.Analysis.verdict_to_string ls.Loopa.Classify.dep.Deptest.Analysis.verdict);
+  Alcotest.(check bool) "flagged range-resolved" true
+    (Loopa.Classify.range_resolved ls);
+  Alcotest.(check bool) "audit certified" true
+    (ls.Loopa.Classify.audit = Some Dataflow.Audit.Certified)
+
+let test_puwmod_upgrade () =
+  let ms = classify (bench_source "puwmod01") in
+  let fs = func_static ms "decay_tail" in
+  let ls = fs.Loopa.Classify.loops.(0) in
+  (match ls.Loopa.Classify.dep_baseline with
+  | Deptest.Analysis.Proven_lcd _ -> ()
+  | v ->
+      Alcotest.failf "expected lcd baseline, got %s"
+        (Deptest.Analysis.verdict_to_string v));
+  Alcotest.(check bool) "trip bound proven" true
+    (ls.Loopa.Classify.trip_bound = Some 48L);
+  Alcotest.(check string) "strengthened to doall" "proven-doall"
+    (Deptest.Analysis.verdict_to_string ls.Loopa.Classify.dep.Deptest.Analysis.verdict);
+  Alcotest.(check bool) "flagged range-resolved" true
+    (Loopa.Classify.range_resolved ls);
+  Alcotest.(check bool) "audit certified" true
+    (ls.Loopa.Classify.audit = Some Dataflow.Audit.Certified)
+
+let test_bench_range_soundness () =
+  (* execute both benchmarks with every header phi observed: no dynamic
+     value may escape its proven interval, and no Proven_doall loop may
+     show a dynamic RAW *)
+  List.iter
+    (fun name ->
+      let a =
+        Loopa.Driver.analyze_source ~fuel:50_000_000 ~static_prune:false
+          ~observe_ranges:true (bench_source name)
+      in
+      (match Loopa.Crosscheck.check a.Loopa.Driver.profile with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s: %s" name (Loopa.Crosscheck.violation_to_string v));
+      match Loopa.Crosscheck.check_ranges a.Loopa.Driver.profile with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s: %s" name
+            (Loopa.Crosscheck.range_violation_to_string v))
+    [ "rspeed01"; "puwmod01" ]
+
+(* ---- builtin effect table (shared spec) ---- *)
+
+let test_builtin_table () =
+  let sig_of name =
+    match Ir.Builtins.find name with
+    | Some s -> s
+    | None -> Alcotest.failf "builtin %s missing" name
+  in
+  Alcotest.(check bool) "sqrt pure" true ((sig_of "sqrt").Ir.Builtins.safety = Ir.Builtins.Pure);
+  Alcotest.(check bool) "sqrt no mem" true ((sig_of "sqrt").Ir.Builtins.mem = Ir.Builtins.No_mem);
+  Alcotest.(check bool) "rand hidden state" true
+    ((sig_of "rand").Ir.Builtins.safety = Ir.Builtins.Global_state);
+  Alcotest.(check bool) "arrcopy reads+writes" true
+    ((sig_of "arrcopy").Ir.Builtins.mem = Ir.Builtins.Reads_writes);
+  Alcotest.(check bool) "arrcopy thread-safe" true
+    ((sig_of "arrcopy").Ir.Builtins.safety = Ir.Builtins.Thread_safe);
+  Alcotest.(check bool) "print_int is io" true
+    ((sig_of "print_int").Ir.Builtins.safety = Ir.Builtins.Io);
+  Alcotest.(check bool) "unknown name rejected" false (Ir.Builtins.is_builtin "nope")
+
+(* ---- lint driver ---- *)
+
+let lint src = Loopa.Lint.run (compile src)
+
+let rules ds = List.map (fun d -> d.Loopa.Lint.rule) ds
+
+let test_lint_div_by_zero () =
+  let ds =
+    lint
+      "fn f(a: int) -> int {\n\
+      \  var z: int = 0;\n\
+      \  return a / z;\n\
+       }\n\
+       fn main() -> int { print_int(f(7)); }\n"
+  in
+  let hits =
+    List.filter (fun d -> d.Loopa.Lint.rule = "range-div-by-zero") ds
+  in
+  (match hits with
+  | [ d ] ->
+      Alcotest.(check bool) "always-zero divisor is an error" true
+        (d.Loopa.Lint.severity = Loopa.Lint.Error);
+      Alcotest.(check bool) "located in f" true (d.Loopa.Lint.fname = Some "f")
+  | _ -> Alcotest.failf "expected 1 div-by-zero, got %d" (List.length hits));
+  Alcotest.(check bool) "report has errors" true (Loopa.Lint.has_errors ds)
+
+let test_lint_nonzero_suppression () =
+  (* known-bits proves (x|1) nonzero even though its interval straddles 0 *)
+  let ds =
+    lint
+      "fn f(a: int, x: int) -> int {\n\
+      \  var y: int = (x | 1);\n\
+      \  return a / y;\n\
+       }\n\
+       fn main() -> int { print_int(f(7, 2)); }\n"
+  in
+  Alcotest.(check bool) "no div-by-zero diagnostic" false
+    (List.mem "range-div-by-zero" (rules ds))
+
+let test_lint_shift_and_branch () =
+  let ds =
+    lint
+      "fn f(a: int, s: int) -> int {\n\
+      \  var z: int = 3;\n\
+      \  var r: int = 0;\n\
+      \  if (z < 10) { r = (a << s); }\n\
+      \  return r;\n\
+       }\n\
+       fn main() -> int { print_int(f(7, 2)); }\n"
+  in
+  Alcotest.(check bool) "unbounded shift amount warns" true
+    (List.exists
+       (fun d ->
+         d.Loopa.Lint.rule = "range-shift-overflow"
+         && d.Loopa.Lint.severity = Loopa.Lint.Warning)
+       ds);
+  Alcotest.(check bool) "constant guard reported dead" true
+    (List.exists
+       (fun d ->
+         d.Loopa.Lint.rule = "range-dead-branch"
+         && d.Loopa.Lint.severity = Loopa.Lint.Info)
+       ds);
+  Alcotest.(check bool) "infos are not errors" false (Loopa.Lint.has_errors ds)
+
+let test_lint_fingerprint_stability () =
+  let src =
+    "fn f(a: int) -> int {\n\
+    \  var z: int = 0;\n\
+    \  return a / z;\n\
+     }\n\
+     fn main() -> int { print_int(f(7)); }\n"
+  in
+  let fp ds = List.map (fun d -> d.Loopa.Lint.fingerprint) ds in
+  let d1 = lint src and d2 = lint src in
+  Alcotest.(check (list string)) "fingerprints stable across runs" (fp d1) (fp d2);
+  List.iter
+    (fun d ->
+      let f = d.Loopa.Lint.fingerprint in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has rule:hash8 shape" f)
+        true
+        (String.length f = String.length d.Loopa.Lint.rule + 9
+        && String.sub f 0 (String.length d.Loopa.Lint.rule) = d.Loopa.Lint.rule
+        && f.[String.length d.Loopa.Lint.rule] = ':'))
+    d1
+
+let test_lint_json_shape () =
+  let ds =
+    lint
+      "fn f(a: int) -> int {\n\
+      \  var z: int = 0;\n\
+      \  return a / z;\n\
+       }\n\
+       fn main() -> int { print_int(f(7)); }\n"
+  in
+  let j = Loopa.Lint.report_to_json ~file:"t.loop" ds in
+  (* must round-trip through the serializer *)
+  let j =
+    match Util.Json.of_string (Util.Json.to_string j) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "report JSON does not parse: %s" e
+  in
+  let int_member k =
+    match Util.Json.member k j with
+    | Some (Util.Json.Int n) -> n
+    | _ -> Alcotest.failf "member %s missing or not an int" k
+  in
+  Alcotest.(check int) "version" 1 (int_member "version");
+  Alcotest.(check bool) "errors counted" true (int_member "errors" >= 1);
+  (match Util.Json.member "diagnostics" j with
+  | Some (Util.Json.List l) ->
+      Alcotest.(check int) "all diagnostics serialized" (List.length ds) (List.length l);
+      List.iter
+        (fun dj ->
+          List.iter
+            (fun k ->
+              if Util.Json.member k dj = None then
+                Alcotest.failf "diagnostic missing key %s" k)
+            [ "rule"; "severity"; "fingerprint"; "function"; "loop"; "instr"; "message" ])
+        l
+  | _ -> Alcotest.fail "diagnostics list missing");
+  match Util.Json.member "file" j with
+  | Some (Util.Json.String "t.loop") -> ()
+  | _ -> Alcotest.fail "file member wrong"
+
+let test_lint_structural_gate () =
+  (* a module that fails the verifier must report only structural errors:
+     classification is skipped, not trusted *)
+  let fn = func_of_edges ~entry:0 [| [ 1 ]; [] |] in
+  (* break it: a branch to a block that does not exist *)
+  Ir.Func.set_kind fn 0 (Ir.Instr.Br 7);
+  let m = Ir.Func.create_module () in
+  Ir.Func.add_func m fn;
+  let ds = Loopa.Lint.run m in
+  Alcotest.(check bool) "verifier rule fires" true
+    (List.exists (fun d -> d.Loopa.Lint.rule = "verifier") ds);
+  Alcotest.(check bool) "all structural" true
+    (List.for_all (fun d -> d.Loopa.Lint.rule = "verifier" || d.Loopa.Lint.rule = "ssa") ds)
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "overflow widens to top" `Quick test_interval_overflow;
+          Alcotest.test_case "lattice operations" `Quick test_interval_lattice;
+          Alcotest.test_case "transfer pieces" `Quick test_transfer_pieces;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "nested loops" `Quick test_engine_nested_loops;
+          Alcotest.test_case "multiple back-edges" `Quick test_engine_multiple_backedges;
+          Alcotest.test_case "unreachable blocks" `Quick test_engine_unreachable;
+          Alcotest.test_case "widening required" `Quick test_engine_widening_required;
+        ] );
+      ( "range",
+        [
+          Alcotest.test_case "header phi bounds" `Quick test_range_phi_bounds;
+          Alcotest.test_case "visit budget" `Quick test_range_visits_bounded;
+        ] );
+      ( "facts",
+        [
+          Alcotest.test_case "known-bits nonzero" `Quick test_bits_nonzero;
+          Alcotest.test_case "auditor pair exclusion" `Quick test_pair_excluded;
+          Alcotest.test_case "liveness invariant" `Quick test_liveness_invariant;
+          Alcotest.test_case "builtin effect table" `Quick test_builtin_table;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "rspeed01 range upgrade" `Quick test_rspeed_upgrade;
+          Alcotest.test_case "puwmod01 trip-bound upgrade" `Quick test_puwmod_upgrade;
+          Alcotest.test_case "dynamic range soundness" `Slow test_bench_range_soundness;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "div-by-zero error" `Quick test_lint_div_by_zero;
+          Alcotest.test_case "nonzero suppression" `Quick test_lint_nonzero_suppression;
+          Alcotest.test_case "shift + dead branch" `Quick test_lint_shift_and_branch;
+          Alcotest.test_case "fingerprint stability" `Quick test_lint_fingerprint_stability;
+          Alcotest.test_case "json shape" `Quick test_lint_json_shape;
+          Alcotest.test_case "structural gate" `Quick test_lint_structural_gate;
+        ] );
+    ]

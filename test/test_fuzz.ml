@@ -114,11 +114,20 @@ let check_one seed =
     fail "optimization increased cost %d -> %d" out0.Interp.Machine.clock
       out1.Interp.Machine.clock;
   (* the limit study accepts it; collect unpruned so the soundness
-     cross-validator can see every memory event *)
-  let a = Loopa.Driver.analyze_source ~fuel:10_000_000 ~static_prune:false src in
+     cross-validator can see every memory event, and with range observation
+     on so every header-phi value is checked against its proven interval *)
+  let a =
+    Loopa.Driver.analyze_source ~fuel:10_000_000 ~static_prune:false
+      ~observe_ranges:true src
+  in
   (match Loopa.Crosscheck.check a.Loopa.Driver.profile with
   | [] -> ()
   | vs -> fail "unsound static verdict: %s" (Loopa.Crosscheck.violation_to_string (List.hd vs)));
+  (match Loopa.Crosscheck.check_ranges a.Loopa.Driver.profile with
+  | [] -> ()
+  | vs ->
+      fail "unsound value range: %s"
+        (Loopa.Crosscheck.range_violation_to_string (List.hd vs)));
   List.iter
     (fun cfg ->
       let r = Loopa.Driver.evaluate a cfg in
@@ -216,8 +225,14 @@ let check_one_with_repro seed =
       raise original
     end
 
+(* Corpus size defaults to 60; the CI acceptance fuzz job sets FUZZ_COUNT=500. *)
+let fuzz_count =
+  match Sys.getenv_opt "FUZZ_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 60)
+  | None -> 60
+
 let test_fuzz_corpus () =
-  for seed = 1 to 60 do
+  for seed = 1 to fuzz_count do
     check_one_with_repro seed
   done
 
@@ -225,5 +240,9 @@ let () =
   Alcotest.run "fuzz"
     [
       ( "differential",
-        [ Alcotest.test_case "60 random programs" `Slow test_fuzz_corpus ] );
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d random programs" fuzz_count)
+            `Slow test_fuzz_corpus;
+        ] );
     ]

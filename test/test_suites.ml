@@ -59,6 +59,8 @@ let golden =
     ("idctrn01", "-514.156");
     ("matrix01", "30680.9");
     ("pntrch01", "21504");
+    ("puwmod01", "48.2025");
+    ("rspeed01", "140.353");
     ("tblook01", "317052");
     ("ttsprk01", "438184");
     ("viterb00", "81");
@@ -85,7 +87,7 @@ let test_categories () =
   Alcotest.(check int) "int2006 size" 12 (count Suites.Suite.Int2006);
   Alcotest.(check int) "fp2000 size" 10 (count Suites.Suite.Fp2000);
   Alcotest.(check int) "fp2006 size" 11 (count Suites.Suite.Fp2006);
-  Alcotest.(check int) "eembc size" 11 (count Suites.Suite.Eembc);
+  Alcotest.(check int) "eembc size" 13 (count Suites.Suite.Eembc);
   Alcotest.(check bool) "eembc numeric" true (Suites.Suite.is_numeric Suites.Suite.Eembc);
   Alcotest.(check bool)
     "int2000 non-numeric" false
