@@ -67,6 +67,87 @@ let () =
     "(%d detected cores on this machine — speedups flatten once jobs exceed them)\n%!"
     (Exec.Pool.detect_jobs ())
 
+(* ---- chaos supervision: seeded fault injection under the fork pool ----
+
+   Also before [analyses], for the same copy-on-write reason. Runs the
+   cfp2000 campaign under a fixed fault seed and records planned-vs-
+   observed fault counts plus the supervision counters (watchdog
+   timeouts, backoff waits, breaker trips) in the BENCH snapshot. *)
+
+let chaos_results : Util.Json.t ref = ref Util.Json.Null
+
+let () =
+  let seed = 29 and watchdog = 3.0 in
+  section
+    (Printf.sprintf "Chaos — cfp2000 campaign under seeded fault injection (seed %d)"
+       seed);
+  let targets =
+    List.filter
+      (fun (b : Suites.Suite.benchmark) -> b.Suites.Suite.category = Suites.Suite.Fp2000)
+      (Suites.Suite.all ())
+    |> List.map (fun (b : Suites.Suite.benchmark) -> (b.Suites.Suite.name, b.Suites.Suite.source))
+  in
+  let n = List.length targets in
+  let plan = Exec.Chaos.seeded seed in
+  let counters =
+    List.map
+      (fun name -> (name, Obs.Telemetry.counter ("pool." ^ name)))
+      [ "respawns"; "timeouts"; "backoff_waits"; "breaker_trips" ]
+  in
+  let baseline = List.map (fun (k, c) -> (k, Obs.Telemetry.value c)) counters in
+  let budgets =
+    {
+      Campaign.Runner.default_budgets with
+      Campaign.Runner.fuel = 2_000_000;
+      watchdog_s = Some watchdog;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let s =
+    Campaign.Runner.run ~budgets ~executor:(Campaign.Runner.Forked 2) ~chaos:plan
+      ~log:(fun _ -> ()) targets
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  assert (List.length s.Campaign.Runner.results = n);
+  let lost, timed_out =
+    List.fold_left
+      (fun (l, t) (r : Campaign.Runner.result) ->
+        match r.Campaign.Runner.status with
+        | Campaign.Runner.Errored (Campaign.Runner.Worker_lost _) -> (l + 1, t)
+        | Campaign.Runner.Errored (Campaign.Runner.Task_timeout _) -> (l, t + 1)
+        | _ -> (l, t))
+      (0, 0) s.Campaign.Runner.results
+  in
+  let deltas =
+    List.map
+      (fun (k, c) -> (k, Obs.Telemetry.value c - List.assoc k baseline))
+      counters
+  in
+  Printf.printf "planned: %s\n" (Exec.Chaos.summary plan ~n);
+  Printf.printf
+    "observed: %d completed, %d lost, %d timed out, %d degraded in %.2fs\n"
+    s.Campaign.Runner.n_completed lost timed_out s.Campaign.Runner.n_degraded wall;
+  Printf.printf "supervision: %s\n%!"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) deltas));
+  chaos_results :=
+    Util.Json.Obj
+      ([
+         ("seed", Util.Json.Int seed);
+         ("targets", Util.Json.Int n);
+         ("watchdog_s", Util.Json.Float watchdog);
+         ("wall_s", Util.Json.Float wall);
+         ( "planned",
+           Util.Json.Obj
+             (List.map
+                (fun (k, v) -> (k, Util.Json.Int v))
+                (Exec.Chaos.planned_counts plan ~n)) );
+         ("lost", Util.Json.Int lost);
+         ("timed_out", Util.Json.Int timed_out);
+         ("degraded", Util.Json.Int s.Campaign.Runner.n_degraded);
+       ]
+      @ List.map (fun (k, v) -> (k, Util.Json.Int v)) deltas)
+
 (* ---- shared: profile every benchmark once ---- *)
 
 let analyses : (Suites.Suite.benchmark * Loopa.Driver.analysis) list =
@@ -527,6 +608,7 @@ let write_bench_snapshot () =
                      ("speedup", Util.Json.Float sp);
                    ])
                !scaling_results) );
+        ("chaos", !chaos_results);
         ( "lint",
           let files, diags, wall = !lint_results in
           Util.Json.Obj

@@ -5,6 +5,7 @@
      loopapalooza analyze <file|bench>     — limit study under one config
      loopapalooza sweep <file|bench>       — the full Figure-2/3 config ladder
      loopapalooza campaign <targets..>     — fault-tolerant whole-suite runs
+     loopapalooza chaos [targets..]        — seeded fault-injection soak
      loopapalooza repro show|replay|shrink — crash-repro bundles
      loopapalooza census <file|bench>      — Table-I census of the program
      loopapalooza dump-ir <file|bench>     — canonicalized SSA dump
@@ -16,7 +17,8 @@
    3 unexpected internal error (classified and printed, never a raw
    backtrace). `repro replay` adds 4 (failure vanished) and 5 (failure
    changed fingerprint). `campaign` and `sweep` add 6 (interrupted by
-   SIGINT/SIGTERM — checkpointed work is flushed and resumable). *)
+   SIGINT/SIGTERM — checkpointed work is flushed and resumable). For
+   `chaos`, 1 means a supervision invariant was violated. *)
 
 open Cmdliner
 
@@ -504,7 +506,20 @@ let campaign_cmd =
       value
       & opt (some float) None
       & info [ "wall" ] ~docv:"SECONDS"
-          ~doc:"Per-attempt processor-time budget; exceeding it truncates the task.")
+          ~doc:
+            "Per-attempt wall-clock budget, polled cooperatively by the \
+             interpreter; exceeding it truncates the task.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watchdog" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-task wall deadline enforced from the parent under $(b,--jobs): \
+             a worker still on the same task past the deadline is SIGKILLed and \
+             the task recorded as task-timeout (catches hangs the cooperative \
+             $(b,--wall) budget cannot).")
   in
   let inject_arg =
     Arg.(
@@ -525,8 +540,8 @@ let campaign_cmd =
              $(docv) for every errored task; replay or shrink them with the \
              $(b,repro) subcommands.")
   in
-  let run targets all json checkpoint resume retries fuel wall injects repro_dir
-      jobs trace metrics prom =
+  let run targets all json checkpoint resume retries fuel wall watchdog injects
+      repro_dir jobs trace metrics prom =
     handle_errors (fun () ->
         if (not all) && targets = [] then
           raise (Invalid_argument "campaign needs TARGETS or --all");
@@ -563,6 +578,7 @@ let campaign_cmd =
             Campaign.Runner.fuel;
             retries;
             wall_s = wall;
+            watchdog_s = watchdog;
           }
         in
         let log = if json then fun _ -> () else prerr_endline in
@@ -595,8 +611,211 @@ let campaign_cmd =
           budgets, graceful truncation, JSONL checkpointing and resumption.")
     Term.(
       const run $ targets_arg $ all_arg $ json_arg $ checkpoint_arg $ resume_arg
-      $ retries_arg $ fuel_arg $ wall_arg $ inject_arg $ repro_dir_arg
-      $ jobs_arg $ trace_arg $ metrics_arg $ prom_arg)
+      $ retries_arg $ fuel_arg $ wall_arg $ watchdog_arg $ inject_arg
+      $ repro_dir_arg $ jobs_arg $ trace_arg $ metrics_arg $ prom_arg)
+
+(* ---- chaos ---- *)
+
+(* Checkpoint lines with the nondeterministic fields (wall-clock durations,
+   telemetry snapshots) stripped, for byte comparison across same-seed
+   runs. Non-object or unparseable lines pass through untouched so a codec
+   regression shows up as a diff instead of being normalized away. *)
+let normalized_checkpoint path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun line ->
+         match Util.Json.of_string line with
+         | Ok (Util.Json.Obj fields) ->
+             Util.Json.to_string
+               (Util.Json.Obj
+                  (List.filter
+                     (fun (k, _) -> k <> "wall_s" && k <> "telemetry")
+                     fields))
+         | _ -> line)
+
+(* The self-checking soak harness behind `loopapalooza chaos`: two
+   campaigns under the same seeded fault schedule, then a chaos-free
+   resume of the first checkpoint. Asserts the supervision invariants —
+   every task classified, losses exactly the planned lethal faults,
+   byte-identical normalized checkpoints, resume runs the file to
+   completion — and exits 1 when any is violated. *)
+let chaos_cmd =
+  let targets_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGETS"
+          ~doc:
+            "Registered benchmark names or Looplang source files (default: the \
+             fp2000 suite).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Fault-schedule seed. Placement is a pure function of the seed and \
+             the task index, so a failing run is replayable from this one \
+             integer.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "watchdog" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-task wall deadline; injected SIGSTOP stalls are reaped as \
+             task-timeouts after $(docv).")
+  in
+  let keep_checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write the harness checkpoints to $(docv) (second pass adds .2) and \
+             keep them; default temp files, removed when the invariants hold.")
+  in
+  let run targets seed jobs watchdog checkpoint =
+    handle_errors_int (fun () ->
+        let named =
+          if targets = [] then
+            List.map
+              (fun (b : Suites.Suite.benchmark) ->
+                (b.Suites.Suite.name, b.Suites.Suite.source))
+              (Suites.Suite.by_category Suites.Suite.Fp2000)
+          else List.map (fun t -> (t, read_program t)) targets
+        in
+        let n = List.length named in
+        if n = 0 then raise (Invalid_argument "chaos needs at least one target");
+        let jobs = resolve_jobs jobs in
+        let executor =
+          if jobs > 1 then Campaign.Runner.Forked jobs else Campaign.Runner.Serial
+        in
+        let plan = Exec.Chaos.seeded seed in
+        let budgets =
+          {
+            Campaign.Runner.default_budgets with
+            Campaign.Runner.watchdog_s = Some watchdog;
+          }
+        in
+        let base =
+          match checkpoint with
+          | Some p -> p
+          | None -> Filename.temp_file "loopa-chaos-" ".jsonl"
+        in
+        let second = base ^ ".2" in
+        let log = prerr_endline in
+        Printf.printf "chaos: seed %d over %d task(s), jobs %d, watchdog %gs\n"
+          seed n jobs watchdog;
+        Printf.printf "planned: %s\n%!" (Exec.Chaos.summary plan ~n);
+        let pass ckpt =
+          Campaign.Runner.run ~budgets ~checkpoint:ckpt ~log ~executor
+            ~chaos:plan named
+        in
+        let s1 = pass base in
+        let s2 = pass second in
+        let violations = ref [] in
+        let fail fmt =
+          Printf.ksprintf (fun m -> violations := m :: !violations) fmt
+        in
+        (* 1. every task classified, both passes *)
+        List.iteri
+          (fun pi (s : Campaign.Runner.summary) ->
+            let got = List.length s.Campaign.Runner.results in
+            if got <> n then
+              fail "pass %d classified %d of %d tasks" (pi + 1) got n)
+          [ s1; s2 ];
+        (* 2. losses are exactly the planned lethal faults: nothing is lost
+           beyond what chaos injected, and every injected loss surfaces *)
+        let lost = ref 0 and timed_out = ref 0 in
+        List.iteri
+          (fun i (r : Campaign.Runner.result) ->
+            let planned = Exec.Chaos.task_fault plan i in
+            let planned_lethal =
+              match planned with Some f -> Exec.Chaos.lethal f | None -> false
+            in
+            let observed_loss =
+              match r.Campaign.Runner.status with
+              | Campaign.Runner.Errored (Campaign.Runner.Worker_lost _) ->
+                  incr lost;
+                  true
+              | Campaign.Runner.Errored (Campaign.Runner.Task_timeout _) ->
+                  incr timed_out;
+                  true
+              | _ -> false
+            in
+            if planned_lethal && not observed_loss then
+              fail "task %d (%s): planned %s but the task survived as %s" i
+                r.Campaign.Runner.target
+                (match planned with
+                | Some f -> Exec.Chaos.fault_name f
+                | None -> "?")
+                (Campaign.Runner.status_class r.Campaign.Runner.status);
+            if observed_loss && not planned_lethal then
+              fail "task %d (%s): lost with no planned fault (%s)" i
+                r.Campaign.Runner.target
+                (Campaign.Runner.status_to_string r.Campaign.Runner.status))
+          s1.Campaign.Runner.results;
+        (* 3. same seed, same bytes (modulo wall-clock/telemetry fields) *)
+        let n1 = normalized_checkpoint base and n2 = normalized_checkpoint second in
+        if n1 <> n2 then begin
+          fail "same-seed runs diverged: %d vs %d normalized checkpoint lines"
+            (List.length n1) (List.length n2);
+          List.iteri
+            (fun i l1 ->
+              match List.nth_opt n2 i with
+              | Some l2 when l1 <> l2 ->
+                  fail "  first divergence, line %d:\n    pass 1: %s\n    pass 2: %s"
+                    (i + 1) l1 l2
+              | _ -> ())
+            n1
+        end;
+        let kept = List.length n1 in
+        Printf.printf
+          "pass 1: %d completed, %d truncated, %d lost, %d timed out, %d \
+           degraded; checkpoint kept %d of %d line(s)\n"
+          s1.Campaign.Runner.n_completed s1.Campaign.Runner.n_truncated !lost
+          !timed_out s1.Campaign.Runner.n_degraded kept n;
+        Printf.printf "determinism: %s\n%!"
+          (if n1 = n2 then "normalized checkpoints byte-identical" else "DIVERGED");
+        (* 4. the survivor checkpoint resumes to completion with chaos off:
+           only ckpt-fault-dropped lines are re-run, and they now succeed *)
+        let s3 =
+          Campaign.Runner.run ~budgets ~checkpoint:base ~resume:true ~log
+            ~executor:Campaign.Runner.Serial named
+        in
+        if List.length s3.Campaign.Runner.results <> n then
+          fail "resume classified %d of %d tasks"
+            (List.length s3.Campaign.Runner.results)
+            n;
+        if s3.Campaign.Runner.n_resumed <> kept then
+          fail "resume restored %d of %d checkpointed line(s)"
+            s3.Campaign.Runner.n_resumed kept;
+        Printf.printf "resume: re-ran %d dropped task(s), %d restored\n" (n - kept)
+          s3.Campaign.Runner.n_resumed;
+        match List.rev !violations with
+        | [] ->
+            if checkpoint = None then begin
+              (try Sys.remove base with Sys_error _ -> ());
+              try Sys.remove second with Sys_error _ -> ()
+            end;
+            Printf.printf "chaos invariants hold (seed %d)\n" seed;
+            0
+        | vs ->
+            List.iter (Printf.eprintf "violation: %s\n") vs;
+            Printf.eprintf "chaos invariants VIOLATED (seed %d) — checkpoints kept at %s\n"
+              seed base;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak the executor under a seeded deterministic fault schedule — worker \
+          kills, SIGSTOP stalls, torn/corrupt/delayed result frames, checkpoint \
+          write failures — and assert the supervision invariants (exit 1 on \
+          violation).")
+    Term.(const run $ targets_arg $ seed_arg $ jobs_arg $ watchdog_arg
+          $ keep_checkpoint_arg)
 
 (* ---- repro ---- *)
 
@@ -860,6 +1079,7 @@ let () =
             analyze_cmd;
             sweep_cmd;
             campaign_cmd;
+            chaos_cmd;
             repro_cmd;
             census_cmd;
             dump_ir_cmd;

@@ -10,6 +10,14 @@
 
 module Json = Util.Json
 
+(* supervision/chaos counters; the pool.* handles are the same registry
+   entries Exec.Pool bumps — interned here for heartbeat reads *)
+let c_ckpt_drops = Obs.Telemetry.counter "campaign.checkpoint_drops"
+let c_degraded = Obs.Telemetry.counter "campaign.degraded_tasks"
+let c_pool_timeouts = Obs.Telemetry.counter "pool.timeouts"
+let c_pool_backoff_waits = Obs.Telemetry.counter "pool.backoff_waits"
+let c_pool_breaker_trips = Obs.Telemetry.counter "pool.breaker_trips"
+
 type error =
   | Compile_error of string
   | Verifier_error of string
@@ -18,6 +26,9 @@ type error =
   | Crash of string
   | Worker_lost of string
       (* the forked worker executing the task died (signal, OOM kill, ...) *)
+  | Task_timeout of string
+      (* the pool's watchdog SIGKILLed the worker after the task outlived
+         its per-task wall deadline *)
 
 type executor = Serial | Forked of int
 
@@ -39,12 +50,22 @@ type result = {
   wall_s : float;
 }
 
+(* Clock taxonomy: [fuel]/[mem_limit]/[max_depth] are deterministic
+   machine budgets; [wall_s] and [watchdog_s] are wall-clock
+   (Unix.gettimeofday) — real elapsed time, not processor time.
+   [wall_s] is cooperative (Interp.Machine polls its own deadline, so it
+   cannot fire in a stalled process); [watchdog_s] is enforced from the
+   parent by the pool's watchdog and works even on a SIGSTOP'd worker.
+   Telemetry span durations, by contrast, stay on Sys.time (processor
+   time) — see Obs.Telemetry. *)
 type budgets = {
   fuel : int;
   mem_limit : int;
   max_depth : int;
-  wall_s : float option; (* per-attempt processor-time budget *)
+  wall_s : float option; (* per-attempt wall-clock budget (cooperative) *)
   retries : int; (* extra attempts at reduced fuel after budget exhaustion *)
+  watchdog_s : float option;
+      (* per-task wall deadline enforced by the pool watchdog (Forked) *)
 }
 
 let default_budgets =
@@ -54,7 +75,18 @@ let default_budgets =
     max_depth = 10_000;
     wall_s = None;
     retries = 1;
+    watchdog_s = None;
   }
+
+(* a chaos plan containing stalls would hang a watchdog-less pool, so
+   chaos runs get a deadline even when the caller did not set one *)
+let chaos_default_watchdog_s = 5.0
+
+(* deterministic: names the configured deadline, never the measured
+   elapsed — identical across runs and across the Forked/Serial
+   boundary *)
+let timeout_cause deadline =
+  Printf.sprintf "exceeded %gs per-task watchdog deadline" deadline
 
 (* One campaign progress beat, emitted after every finished task. Counter
    deltas are since the previous beat (empty unless telemetry is enabled). *)
@@ -65,12 +97,35 @@ type heartbeat = {
   hb_tasks_per_s : float;
   hb_eta_s : float;
   hb_counters : (string * int) list;
+  (* supervision visibility: cumulative over this campaign (from the
+     pool.* telemetry counters, so populated only while telemetry is
+     enabled) — a degraded run shows its distress while it happens *)
+  hb_timeouts : int;
+  hb_backoff_waits : int;
+  hb_breaker_trips : int;
 }
 
 let heartbeat_line hb =
   let base =
     Printf.sprintf "[%d/%d] %.2f tasks/s, eta %.1fs" hb.hb_done hb.hb_total
       hb.hb_tasks_per_s hb.hb_eta_s
+  in
+  let supervision =
+    List.filter
+      (fun (_, v) -> v > 0)
+      [
+        ("timeouts", hb.hb_timeouts);
+        ("backoff", hb.hb_backoff_waits);
+        ("breaker", hb.hb_breaker_trips);
+      ]
+  in
+  let base =
+    match supervision with
+    | [] -> base
+    | l ->
+        base ^ " | "
+        ^ String.concat ", "
+            (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) l)
   in
   (* keep the line readable: only the three largest counter movements *)
   let top =
@@ -89,6 +144,9 @@ type summary = {
   n_truncated : int;
   n_errored : int;
   n_resumed : int; (* subset of the above restored from the checkpoint *)
+  n_degraded : int;
+      (* tasks finished serially in the parent after the pool gave up
+         (circuit breaker open or respawn capacity exhausted) *)
   geomeans : (Loopa.Config.t * float) list;
       (* per config rung, over every task that produced scores *)
   failures : (string * int) list; (* error class -> count *)
@@ -127,6 +185,7 @@ let error_class = function
   | Budget_exhausted k -> "budget:" ^ budget_key k
   | Crash _ -> "crash"
   | Worker_lost _ -> "worker-lost"
+  | Task_timeout _ -> "task-timeout"
 
 let error_to_string = function
   | Compile_error m -> "compile error: " ^ m
@@ -137,6 +196,7 @@ let error_to_string = function
         (Interp.Rvalue.budget_kind_to_string k)
   | Crash m -> "crash: " ^ m
   | Worker_lost m -> "worker lost: " ^ m
+  | Task_timeout m -> "task timeout: " ^ m
 
 let status_class = function
   | Completed _ -> "completed"
@@ -163,7 +223,8 @@ let error_to_json e =
   let base = [ ("class", Json.String (error_class e)) ] in
   Json.Obj
     (match e with
-    | Compile_error m | Verifier_error m | Crash m | Worker_lost m ->
+    | Compile_error m | Verifier_error m | Crash m | Worker_lost m
+    | Task_timeout m ->
         base @ [ ("message", Json.String m) ]
     | Trap (_, m) -> base @ [ ("message", Json.String m) ]
     | Budget_exhausted _ -> base)
@@ -210,6 +271,7 @@ let error_of_json j =
   | Some "verifier-error" -> Some (Verifier_error msg)
   | Some "crash" -> Some (Crash msg)
   | Some "worker-lost" -> Some (Worker_lost msg)
+  | Some "task-timeout" -> Some (Task_timeout msg)
   | Some cls when String.length cls > 5 && String.sub cls 0 5 = "trap:" ->
       Option.map
         (fun k -> Trap (k, msg))
@@ -256,34 +318,43 @@ let result_of_json j : (result, string) Stdlib.result =
   in
   Ok { target; status; attempts = int_field "attempts" 1; clock = int_field "clock" 0; wall_s }
 
-(* Load the per-target results of an existing checkpoint; malformed lines
-   (e.g. a line half-written when the previous run was killed) are reported
-   and skipped, never fatal. *)
+(* Load the per-target results of an existing checkpoint; damage is never
+   fatal. Instead of per-line log spam, one salvage summary is reported:
+   lines kept, malformed lines skipped, and whether a torn tail (a final
+   fragment without its newline — the signature of a hard kill mid-write)
+   was dropped, so a resume after a crash is auditable at a glance. *)
 let load_checkpoint ~log path : (string, result) Hashtbl.t =
   let tbl = Hashtbl.create 64 in
-  if Sys.file_exists path then
-    In_channel.with_open_text path (fun ic ->
-        let lineno = ref 0 in
-        let rec go () =
-          match In_channel.input_line ic with
-          | None -> ()
-          | Some line ->
-              incr lineno;
-              (if String.trim line <> "" then
-                 match Json.of_string line with
-                 | Error m ->
-                     log (Printf.sprintf "checkpoint %s:%d unreadable (%s), re-running"
-                            path !lineno m)
-                 | Ok j -> (
-                     match result_of_json j with
-                     | Ok r -> Hashtbl.replace tbl r.target r
-                     | Error m ->
-                         log
-                           (Printf.sprintf "checkpoint %s:%d malformed (%s), re-running"
-                              path !lineno m)));
-              go ()
-        in
-        go ());
+  if Sys.file_exists path then begin
+    let raw = In_channel.with_open_bin path In_channel.input_all in
+    let len = String.length raw in
+    let complete_tail = len = 0 || raw.[len - 1] = '\n' in
+    let segments = String.split_on_char '\n' raw in
+    let last_idx = List.length segments - 1 in
+    let kept = ref 0 and malformed = ref 0 and torn = ref false in
+    List.iteri
+      (fun idx line ->
+        (* the segment after the last newline is the torn tail candidate;
+           with a complete tail it is the empty string and is skipped *)
+        let is_tail = idx = last_idx && not complete_tail in
+        if String.trim line <> "" then
+          match Option.bind (Result.to_option (Json.of_string line))
+                  (fun j -> Result.to_option (result_of_json j))
+          with
+          | Some r ->
+              incr kept;
+              Hashtbl.replace tbl r.target r
+          | None -> if is_tail then torn := true else incr malformed)
+      segments;
+    if !malformed > 0 || !torn then
+      log
+        (Printf.sprintf "checkpoint %s salvage: %d line(s) kept%s%s" path !kept
+           (if !malformed > 0 then
+              Printf.sprintf ", %d malformed skipped" !malformed
+            else "")
+           (if !torn then ", torn tail dropped" else ""))
+    else log (Printf.sprintf "checkpoint %s: %d line(s) kept" path !kept)
+  end;
   tbl
 
 (* ---- one isolated task ---- *)
@@ -355,7 +426,11 @@ let attempt ~budgets ~configs ~faults ~fuel src :
           errored (Crash (Printexc.to_string e))
             (Loopa.Driver.crash_failure ~stage:Loopa.Driver.Prepare e)
       | ms -> (
-          let deadline = Option.map (fun w -> Sys.time () +. w) budgets.wall_s in
+          (* wall_s is a wall-clock budget: the deadline stamp must be on
+             the same clock Interp.Machine polls (Unix.gettimeofday) *)
+          let deadline =
+            Option.map (fun w -> Unix.gettimeofday () +. w) budgets.wall_s
+          in
           match
             Loopa.Driver.profile_result ~fuel ~mem_limit:budgets.mem_limit
               ~max_depth:budgets.max_depth ?deadline ~faults ms
@@ -394,7 +469,7 @@ let attempt ~budgets ~configs ~faults ~fuel src :
    record to replay deterministically. *)
 let run_task ~budgets ~configs ~faults target src :
     result * (Loopa.Driver.failure * int) option =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let st1, clock1, f1 = attempt ~budgets ~configs ~faults ~fuel:budgets.fuel src in
   let budget_exhausted =
     match st1 with
@@ -417,7 +492,7 @@ let run_task ~budgets ~configs ~faults target src :
       | _ -> (st1, clock1, 2, at_full)
     else (st1, clock1, 1, at_full)
   in
-  ({ target; status; attempts; clock; wall_s = Sys.time () -. t0 }, failure)
+  ({ target; status; attempts; clock; wall_s = Unix.gettimeofday () -. t0 }, failure)
 
 (* ---- the campaign ---- *)
 
@@ -532,7 +607,7 @@ type entry = {
 let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
     ?checkpoint ?(resume = false) ?(faults_of = fun _ -> []) ?repro_dir
     ?(log = fun _ -> ()) ?heartbeat ?(executor = Serial)
-    ?(on_task_start = fun (_ : string) -> ())
+    ?(on_task_start = fun (_ : string) -> ()) ?chaos ?(breaker_threshold = 5)
     (targets : (string * string) list) : summary =
   let done_before =
     match checkpoint with
@@ -544,8 +619,23 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
       (fun path ->
         (* append under --resume so completed work is never discarded;
            otherwise start the checkpoint over *)
-        if resume then
+        if resume then begin
+          (* a hard kill mid-write can leave a torn final fragment with no
+             newline; cut it back to the last whole line, or the first
+             appended line would concatenate onto the fragment and be
+             unreadable on the next resume *)
+          (if Sys.file_exists path then
+             let raw = In_channel.with_open_bin path In_channel.input_all in
+             let len = String.length raw in
+             if len > 0 && raw.[len - 1] <> '\n' then
+               let keep =
+                 match String.rindex_opt raw '\n' with
+                 | Some i -> i + 1
+                 | None -> 0
+               in
+               try Unix.truncate path keep with Unix.Unix_error _ -> ());
           open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 path
+        end
         else open_out path)
       checkpoint
   in
@@ -560,19 +650,34 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
     ~finally:(fun () ->
       ignore (Sys.signal Sys.sigint old_int);
       ignore (Sys.signal Sys.sigterm old_term);
+      (* crash-safe finalization: force the checkpoint to stable storage
+         before closing — campaign end, interrupt-flush, and exception
+         unwinds all funnel through here *)
+      Option.iter
+        (fun oc ->
+          flush oc;
+          try Unix.fsync (Unix.descr_of_out_channel oc)
+          with Unix.Unix_error _ | Sys_error _ -> ())
+        oc;
       Option.iter close_out oc)
     (fun () ->
       let n_resumed = ref 0 in
-      let t0 = Sys.time () in
+      let n_degraded = ref 0 in
+      let t0 = Unix.gettimeofday () in
       let total = List.length targets in
       let n_done = ref 0 in
       let beat_mark = ref (Obs.Telemetry.mark ()) in
+      (* pool.* counters are process-cumulative; baseline them so the
+         heartbeat reports this campaign's supervision activity only *)
+      let base_timeouts = Obs.Telemetry.value c_pool_timeouts in
+      let base_backoff = Obs.Telemetry.value c_pool_backoff_waits in
+      let base_breaker = Obs.Telemetry.value c_pool_breaker_trips in
       let beat () =
         incr n_done;
         match heartbeat with
         | None -> ()
         | Some emit ->
-            let elapsed = Sys.time () -. t0 in
+            let elapsed = Unix.gettimeofday () -. t0 in
             let rate = if elapsed > 0.0 then float_of_int !n_done /. elapsed else 0.0 in
             let _, deltas = Obs.Telemetry.since !beat_mark in
             beat_mark := Obs.Telemetry.mark ();
@@ -586,7 +691,76 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                   (if rate > 0.0 then float_of_int (total - !n_done) /. rate
                    else 0.0);
                 hb_counters = deltas;
+                hb_timeouts = Obs.Telemetry.value c_pool_timeouts - base_timeouts;
+                hb_backoff_waits =
+                  Obs.Telemetry.value c_pool_backoff_waits - base_backoff;
+                hb_breaker_trips =
+                  Obs.Telemetry.value c_pool_breaker_trips - base_breaker;
               }
+      in
+      (* a chaos plan with Stall_self faults hangs a watchdog-less pool,
+         so chaos runs always get a deadline *)
+      let watchdog_s =
+        match budgets.watchdog_s with
+        | Some _ as w -> w
+        | None ->
+            if Option.is_some chaos then Some chaos_default_watchdog_s else None
+      in
+      (* Chaos injection point for the checkpoint stream: the k-th write
+         attempt may fail with a simulated EIO/ENOSPC. The response is
+         supervision, not death: drop the line, log it, count it — the
+         task's result stays in the summary and --resume re-runs it. *)
+      let write_attempt = ref 0 in
+      let write_line_checked oc j =
+        let k = !write_attempt in
+        incr write_attempt;
+        match Option.bind chaos (fun p -> Exec.Chaos.ckpt_fault p k) with
+        | Some f ->
+            Obs.Telemetry.incr c_ckpt_drops;
+            log
+              (Printf.sprintf
+                 "checkpoint write #%d failed (injected %s): line dropped, \
+                  resume will re-run its task"
+                 k
+                 (Exec.Chaos.ckpt_fault_name f))
+        | None -> write_line oc j
+      in
+      let lost_result target cause =
+        {
+          target;
+          status = Errored (Worker_lost cause);
+          attempts = 1;
+          clock = 0;
+          wall_s = 0.0;
+        }
+      in
+      (* A scheduled lethal chaos fault, realized without forking: when a
+         task with a planned kill/stall/torn/corrupt runs outside the
+         pool (Serial executor, or the degraded tail after the pool gave
+         up), record the outcome the pool would have delivered — same
+         class, byte-identical cause — so checkpoints are deterministic
+         across the Forked/Serial boundary. [k] is the task's index in
+         the fresh (non-resumed) task order, the pool's task array. *)
+      let simulated_result target k =
+        match Option.bind chaos (fun p -> Exec.Chaos.task_fault p k) with
+        | None -> None
+        | Some fault -> (
+            let status =
+              match fault with
+              | Exec.Chaos.Stall_self ->
+                  let d =
+                    Option.value ~default:chaos_default_watchdog_s watchdog_s
+                  in
+                  Some (Errored (Task_timeout (timeout_cause d)))
+              | _ ->
+                  Option.map
+                    (fun cause -> Errored (Worker_lost cause))
+                    (Exec.Chaos.simulated_lost_cause fault)
+            in
+            match status with
+            | None -> None
+            | Some status ->
+                Some { target; status; attempts = 1; clock = 0; wall_s = 0.0 })
       in
       let emit_repro target src faults failure =
         match (repro_dir, failure) with
@@ -598,6 +772,7 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
         | _ -> ()
       in
       let run_serial () =
+        let fresh_idx = ref 0 in
         List.map
           (fun (target, src) ->
             match Hashtbl.find_opt done_before target with
@@ -606,29 +781,44 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                 log (Printf.sprintf "%-24s resumed: %s" target (status_to_string r.status));
                 beat ();
                 r
-            | None ->
+            | None -> (
                 if !interrupted then raise Interrupted;
-                on_task_start target;
-                let faults = faults_of target in
-                let tmark = Obs.Telemetry.mark () in
-                let r, failure =
-                  Obs.Telemetry.with_span "campaign.task"
-                    ~attrs:[ ("target", target) ]
-                    (fun () -> run_task ~budgets ~configs ~faults target src)
-                in
-                let telemetry =
-                  if Obs.Telemetry.enabled () then
-                    let spans, counters = Obs.Telemetry.since tmark in
-                    Some (Obs.Export.snapshot_json ~spans ~counters)
-                  else None
-                in
-                Option.iter (fun oc -> write_line oc (result_to_json ?telemetry r)) oc;
-                log (Printf.sprintf "%-24s %s" target (status_to_string r.status));
-                (match r.status with
-                | Errored _ -> emit_repro target src faults failure
-                | Completed _ | Truncated _ -> ());
-                beat ();
-                r)
+                let k = !fresh_idx in
+                incr fresh_idx;
+                match simulated_result target k with
+                | Some r ->
+                    Option.iter
+                      (fun oc -> write_line_checked oc (result_to_json r))
+                      oc;
+                    log
+                      (Printf.sprintf "%-24s %s" target
+                         (status_to_string r.status));
+                    beat ();
+                    r
+                | None ->
+                    on_task_start target;
+                    let faults = faults_of target in
+                    let tmark = Obs.Telemetry.mark () in
+                    let r, failure =
+                      Obs.Telemetry.with_span "campaign.task"
+                        ~attrs:[ ("target", target) ]
+                        (fun () -> run_task ~budgets ~configs ~faults target src)
+                    in
+                    let telemetry =
+                      if Obs.Telemetry.enabled () then
+                        let spans, counters = Obs.Telemetry.since tmark in
+                        Some (Obs.Export.snapshot_json ~spans ~counters)
+                      else None
+                    in
+                    Option.iter
+                      (fun oc -> write_line_checked oc (result_to_json ?telemetry r))
+                      oc;
+                    log (Printf.sprintf "%-24s %s" target (status_to_string r.status));
+                    (match r.status with
+                    | Errored _ -> emit_repro target src faults failure
+                    | Completed _ | Truncated _ -> ());
+                    beat ();
+                    r))
           targets
       in
       let run_forked jobs =
@@ -680,21 +870,23 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
               | None -> [])
             @ tele)
         in
-        let lost_result target cause =
-          {
-            target;
-            status = Errored (Worker_lost cause);
-            attempts = 1;
-            clock = 0;
-            wall_s = 0.0;
-          }
-        in
         let on_complete k outcome =
           let target, _ = fresh_arr.(k) in
           let entry =
             match outcome with
             | Exec.Pool.Lost cause ->
                 let r = lost_result target cause in
+                { er = r; eline = result_to_json r; efail = None }
+            | Exec.Pool.Timed_out d ->
+                let r =
+                  {
+                    target;
+                    status = Errored (Task_timeout (timeout_cause d));
+                    attempts = 1;
+                    clock = 0;
+                    wall_s = 0.0;
+                  }
+                in
                 { er = r; eline = result_to_json r; efail = None }
             | Exec.Pool.Done wire ->
                 let r_json =
@@ -741,14 +933,35 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
           match entries.(k) with
           | None -> ()
           | Some e ->
-              Option.iter (fun oc -> write_line oc e.eline) oc;
+              Option.iter (fun oc -> write_line_checked oc e.eline) oc;
               written.(k) <- true;
               let target, src = fresh_arr.(k) in
               (match e.er.status with
               | Errored _ -> emit_repro target src (faults_of target) e.efail
               | Completed _ | Truncated _ -> ())
         in
-        let _outcomes, _stats =
+        (* salvage every decided-but-unwritten result (ascending task
+           order): resume can then skip it even though the strict
+           checkpoint order was cut short *)
+        let flush_unwritten () =
+          Array.iteri
+            (fun k e ->
+              match e with
+              | Some e when not written.(k) ->
+                  Option.iter (fun oc -> write_line_checked oc e.eline) oc;
+                  written.(k) <- true
+              | _ -> ())
+            entries
+        in
+        let breaker = Exec.Breaker.create ~threshold:breaker_threshold () in
+        let backoff =
+          (* seeded from the chaos plan when there is one so the whole
+             supervised schedule replays from the campaign's single seed *)
+          Exec.Backoff.create
+            ~seed:(Option.value ~default:0 (Option.bind chaos Exec.Chaos.seed))
+            ()
+        in
+        let _outcomes, stats =
           Exec.Pool.run ~jobs
             ~worker_init:(fun () -> Obs.Telemetry.reset ())
             ~epilogue:(fun () ->
@@ -757,20 +970,88 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
             ~on_epilogue:Obs.Telemetry.absorb_histograms ~on_complete
             ~on_ordered
             ~should_stop:(fun () -> !interrupted)
-            ~work
+            ?task_deadline_s:watchdog_s ~backoff ~breaker ?chaos ~work
             (Array.init n (fun i -> Json.Int i))
         in
         if !interrupted then begin
-          (* salvage every decided-but-unwritten result: resume can then
-             skip it even though the strict checkpoint order was cut short *)
+          flush_unwritten ();
+          raise Interrupted
+        end;
+        (* Degraded completion: the pool returned early (circuit breaker
+           open, or respawn capacity exhausted) with undecided tasks —
+           the old behavior was to drain them as Lost. Instead, flip
+           Forked -> Serial mid-run: finish every hole in the parent,
+           realizing scheduled chaos losses deterministically, then
+           extend the checkpoint in task order. *)
+        let holes =
+          Array.fold_left
+            (fun acc e -> if Option.is_none e then acc + 1 else acc)
+            0 entries
+        in
+        if holes > 0 then begin
+          (match stats.Exec.Pool.gave_up with
+          | Some cause ->
+              log
+                (Printf.sprintf
+                   "pool gave up (%s): degrading Forked -> Serial for %d \
+                    remaining task(s)"
+                   cause holes)
+          | None ->
+              log
+                (Printf.sprintf
+                   "pool left %d task(s) undecided: finishing serially" holes));
+          Array.iteri
+            (fun k e ->
+              if Option.is_none e then begin
+                if !interrupted then begin
+                  flush_unwritten ();
+                  raise Interrupted
+                end;
+                let target, src = fresh_arr.(k) in
+                incr n_degraded;
+                Obs.Telemetry.incr c_degraded;
+                let entry =
+                  match simulated_result target k with
+                  | Some r -> { er = r; eline = result_to_json r; efail = None }
+                  | None ->
+                      on_task_start target;
+                      let faults = faults_of target in
+                      let tmark = Obs.Telemetry.mark () in
+                      let r, failure =
+                        Obs.Telemetry.with_span "campaign.task"
+                          ~attrs:[ ("target", target) ]
+                          (fun () ->
+                            run_task ~budgets ~configs ~faults target src)
+                      in
+                      let telemetry =
+                        if Obs.Telemetry.enabled () then
+                          let spans, counters = Obs.Telemetry.since tmark in
+                          Some (Obs.Export.snapshot_json ~spans ~counters)
+                        else None
+                      in
+                      { er = r; eline = result_to_json ?telemetry r; efail = failure }
+                in
+                entries.(k) <- Some entry;
+                log
+                  (Printf.sprintf "%-24s %s (degraded)" target
+                     (status_to_string entry.er.status));
+                beat ()
+              end)
+            entries;
+          (* extend the checkpoint in task order past where on_ordered
+             stopped, with repro bundles for the errored stragglers *)
           Array.iteri
             (fun k e ->
               match e with
               | Some e when not written.(k) ->
-                  Option.iter (fun oc -> write_line oc e.eline) oc
+                  Option.iter (fun oc -> write_line_checked oc e.eline) oc;
+                  written.(k) <- true;
+                  let target, src = fresh_arr.(k) in
+                  (match e.er.status with
+                  | Errored _ -> emit_repro target src (faults_of target) e.efail
+                  | Completed _ | Truncated _ -> ())
               | _ -> ())
-            entries;
-          raise Interrupted
+            entries
         end;
         let cursor = ref 0 in
         List.map
@@ -798,6 +1079,7 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
         n_truncated = count (fun r -> match r.status with Truncated _ -> true | _ -> false);
         n_errored = count (fun r -> match r.status with Errored _ -> true | _ -> false);
         n_resumed = !n_resumed;
+        n_degraded = !n_degraded;
         geomeans = geomeans_of configs results;
         failures = failure_breakdown results;
       })
@@ -809,6 +1091,7 @@ let summary_to_json (s : summary) =
       ("truncated", Json.Int s.n_truncated);
       ("errored", Json.Int s.n_errored);
       ("resumed", Json.Int s.n_resumed);
+      ("degraded", Json.Int s.n_degraded);
       ( "geomeans",
         Json.List
           (List.map

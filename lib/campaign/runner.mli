@@ -17,6 +17,12 @@ type error =
       (** under [Forked _]: the forked worker executing the task died
           (killed by a signal, OOM, ...) — the task is recorded, never
           retried, and resume skips it *)
+  | Task_timeout of string
+      (** under [Forked _] with a watchdog ([budgets.watchdog_s]): the
+          task outlived its per-task wall deadline and the pool SIGKILLed
+          its worker (the only remedy for a stalled — e.g. SIGSTOP'd —
+          process). Rides the checkpoint codec like {!Worker_lost}, so
+          resume skips it rather than re-running a known-hung task *)
 
 (** How tasks are executed: [Serial] in-process (the reference semantics),
     or [Forked jobs] across a {!Exec.Pool} of forked workers with dynamic
@@ -45,16 +51,31 @@ type result = {
   wall_s : float;
 }
 
+(** Clock taxonomy: [fuel], [mem_limit] and [max_depth] are deterministic
+    machine budgets. [wall_s] and [watchdog_s] are {e wall-clock}
+    ([Unix.gettimeofday]) budgets — real elapsed time, not processor
+    time. [wall_s] is cooperative: {!Interp.Machine} polls the deadline
+    between instructions, so it cannot fire in a worker that is stalled
+    outside the interpreter (or SIGSTOP'd). [watchdog_s] is enforced
+    from the parent by the pool's watchdog and therefore works on any
+    hang, at the cost of killing the worker ({!Task_timeout}).
+    Telemetry span durations remain on [Sys.time] (processor time) —
+    see {!Obs.Telemetry.set_clock}. *)
 type budgets = {
   fuel : int;
   mem_limit : int;
   max_depth : int;
-  wall_s : float option;  (** per-attempt processor-time budget *)
+  wall_s : float option;  (** per-attempt wall-clock budget (cooperative) *)
   retries : int;  (** extra attempts at reduced fuel after budget exhaustion *)
+  watchdog_s : float option;
+      (** per-task wall deadline enforced by the pool watchdog under
+          [Forked _]; [None] disables the watchdog (unless a chaos plan
+          forces a default — a stall fault without a watchdog would hang
+          the pool) *)
 }
 
 (** {!Loopa.Config.default_fuel}, 2^26 words, depth 10k, no wall budget,
-    one retry. *)
+    one retry, no watchdog. *)
 val default_budgets : budgets
 
 (** One campaign progress beat, emitted after every finished (or resumed)
@@ -67,11 +88,18 @@ type heartbeat = {
   hb_tasks_per_s : float;
   hb_eta_s : float;
   hb_counters : (string * int) list;
+  hb_timeouts : int;
+      (** watchdog kills so far this campaign (from [pool.timeouts];
+          populated while telemetry is enabled) *)
+  hb_backoff_waits : int;  (** respawns delayed by the backoff ladder *)
+  hb_breaker_trips : int;  (** circuit-breaker closed→open transitions *)
 }
 
 (** Render a beat as a one-line progress report:
     ["[3/10] 1.25 tasks/s, eta 5.6s | interp.instructions +1234, ..."]
-    (the three largest counter movements only). *)
+    (the three largest counter movements only). Supervision activity —
+    timeouts, backoff waits, breaker trips — is appended when non-zero,
+    so a degraded run is visible while it happens. *)
 val heartbeat_line : heartbeat -> string
 
 type summary = {
@@ -80,6 +108,9 @@ type summary = {
   n_truncated : int;
   n_errored : int;
   n_resumed : int;  (** subset of the above restored from the checkpoint *)
+  n_degraded : int;
+      (** tasks finished serially in the parent after the pool gave up
+          (circuit breaker open or respawn capacity exhausted) *)
   geomeans : (Loopa.Config.t * float) list;
       (** per config rung, over every task that produced scores *)
   failures : (string * int) list;  (** error class -> count *)
@@ -131,6 +162,35 @@ val result_of_json : Util.Json.t -> (result, string) Stdlib.result
     [on_task_start] runs in the executing process just before a task
     begins — a test hook (e.g. to kill the worker mid-task).
 
+    Supervision. With [budgets.watchdog_s] set, the pool watchdog
+    SIGKILLs any worker whose task outlives the deadline and records
+    {!Task_timeout}. Worker respawns go through an exponential-backoff
+    ladder, and [breaker_threshold] consecutive task failures
+    (lost/timed-out) trip a circuit breaker: instead of burning the
+    respawn budget, the pool returns early and the runner degrades
+    Forked -> Serial {e mid-run}, finishing every remaining task
+    in-process and extending the same checkpoint in task order
+    ([summary.n_degraded] counts them). The same degradation handles
+    respawn-capacity exhaustion, which previously drained pending tasks
+    as [Worker_lost].
+
+    [chaos] injects a deterministic fault schedule ({!Exec.Chaos.plan}):
+    worker-side faults (self-kill, SIGSTOP stall, torn/corrupt/delayed
+    result frames) keyed by campaign task index, and simulated
+    EIO/ENOSPC on checkpoint writes keyed by write-attempt index (a
+    dropped line is logged and re-run on resume). A chaos plan with no
+    watchdog configured forces a default deadline so stall faults cannot
+    hang the run. Under [Serial] (including degraded completion),
+    scheduled lethal faults are {e simulated} — recorded with
+    byte-identical cause strings — so checkpoints stay deterministic
+    across executors and across same-seed runs.
+
+    Checkpoint durability: on completion or interrupt the checkpoint is
+    flushed and [fsync]ed before close; [resume] loading salvages a
+    partially-written file, logging one summary line (lines kept /
+    malformed skipped / torn tail dropped) and truncating a torn tail on
+    disk so appended lines start on a whole-line boundary.
+
     While running, SIGINT/SIGTERM are caught: the runner finishes flushing
     decided results to the checkpoint and raises {!Interrupted}. *)
 val run :
@@ -144,6 +204,8 @@ val run :
   ?heartbeat:(heartbeat -> unit) ->
   ?executor:executor ->
   ?on_task_start:(string -> unit) ->
+  ?chaos:Exec.Chaos.plan ->
+  ?breaker_threshold:int ->
   (string * string) list ->
   summary
 

@@ -1,0 +1,59 @@
+(* Deterministic exponential backoff with jitter (see the .mli). The
+   jitter stream is a splitmix64 walk from the seed, so a fixed seed
+   yields a fixed delay sequence — replayable in tests and under the
+   chaos harness. *)
+
+type t = {
+  base_s : float;
+  factor : float;
+  max_s : float;
+  jitter : float;
+  mutable state : int64; (* splitmix64 walk position *)
+  mutable attempt : int; (* consecutive failures since the last reset *)
+  mutable attempts : int; (* lifetime total, for stats *)
+}
+
+(* splitmix64: one 64-bit step + finalizer. Good enough dispersion for
+   jitter and fault placement; crucially, stateless given the walk
+   position, so the sequence is a pure function of the seed. *)
+let splitmix64 (state : int64) : int64 * int64 =
+  let open Int64 in
+  let state = add state 0x9E3779B97F4A7C15L in
+  let z = state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  (z, state)
+
+(* uniform float in [0,1) from the top 53 bits *)
+let to_unit (z : int64) : float =
+  let bits = Int64.shift_right_logical z 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let create ?(base_s = 0.05) ?(factor = 2.0) ?(max_s = 2.0) ?(jitter = 0.25)
+    ~seed () =
+  {
+    base_s;
+    factor;
+    max_s;
+    jitter;
+    state = Int64.of_int seed;
+    attempt = 0;
+    attempts = 0;
+  }
+
+let next t =
+  let z, state = splitmix64 t.state in
+  t.state <- state;
+  let raw = t.base_s *. (t.factor ** float_of_int t.attempt) in
+  let capped = Float.min raw t.max_s in
+  t.attempt <- t.attempt + 1;
+  t.attempts <- t.attempts + 1;
+  (* jitter scales the delay into [1-j, 1+j) — full-random jitter would
+     make the *expected* delay depend on the jitter knob *)
+  let scale = 1.0 -. t.jitter +. (2.0 *. t.jitter *. to_unit z) in
+  Float.max 0.0 (capped *. scale)
+
+let reset t = t.attempt <- 0
+
+let attempts t = t.attempts

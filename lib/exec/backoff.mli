@@ -1,0 +1,36 @@
+(** Exec.Backoff — deterministic exponential backoff with jitter.
+
+    Replaces instant worker respawn in {!Pool}: each consecutive failure
+    doubles (by [factor]) the delay before the next respawn, capped at
+    [max_s], with multiplicative jitter in [1-jitter, 1+jitter) drawn
+    from a seeded splitmix64 stream. Because the jitter source is the
+    seed alone, the full delay sequence is replayable — a fixed seed
+    yields byte-identical schedules run-to-run, which is what lets the
+    chaos harness assert determinism across supervised restarts. *)
+
+type t
+
+(** [create ~seed ()] builds a backoff ladder. Defaults: [base_s] 0.05,
+    [factor] 2.0, [max_s] 2.0, [jitter] 0.25. [jitter] must be in
+    [0, 1]; 0 disables it. *)
+val create :
+  ?base_s:float ->
+  ?factor:float ->
+  ?max_s:float ->
+  ?jitter:float ->
+  seed:int ->
+  unit ->
+  t
+
+(** Delay in seconds to wait before the next attempt, advancing the
+    ladder: [base_s * factor^k] for the [k]th consecutive failure,
+    capped at [max_s], then jittered. Never negative. *)
+val next : t -> float
+
+(** Declare the streak over (a success happened): the next failure
+    starts again at [base_s]. The jitter stream does {i not} rewind —
+    determinism is over the whole run, not per-streak. *)
+val reset : t -> unit
+
+(** Lifetime number of [next] calls (for stats/telemetry). *)
+val attempts : t -> int

@@ -1,0 +1,24 @@
+(* Consecutive-failure circuit breaker (see the .mli). Deliberately
+   tiny: the pool records outcomes, the caller polls [tripped] and
+   decides what "open" means (the campaign degrades Forked -> Serial). *)
+
+type t = {
+  threshold : int;
+  mutable consecutive : int;
+  mutable trips : int;
+}
+
+let create ?(threshold = 5) () =
+  { threshold = max 1 threshold; consecutive = 0; trips = 0 }
+
+let record_success t = t.consecutive <- 0
+
+let record_failure t =
+  t.consecutive <- t.consecutive + 1;
+  if t.consecutive = t.threshold then t.trips <- t.trips + 1
+
+let tripped t = t.consecutive >= t.threshold
+
+let trips t = t.trips
+
+let reset t = t.consecutive <- 0

@@ -1,0 +1,29 @@
+(** Exec.Breaker — a consecutive-failure circuit breaker.
+
+    The pool records one success/failure per delivered task outcome;
+    once [threshold] failures arrive with no success in between the
+    breaker {i trips} and stays open until {!reset}. {!Pool.run} polls
+    {!tripped} between scheduling steps and, when open, stops early with
+    the undecided outcomes left [None] — the caller (the campaign
+    runner) then finishes the remaining work serially instead of feeding
+    more tasks to a collapsing pool. *)
+
+type t
+
+(** [create ()] — trips after [threshold] (default 5, clamped to >= 1)
+    consecutive failures. *)
+val create : ?threshold:int -> unit -> t
+
+val record_success : t -> unit
+
+val record_failure : t -> unit
+
+(** Open right now: [threshold] or more consecutive failures. *)
+val tripped : t -> bool
+
+(** Times the breaker transitioned closed -> open (for telemetry). *)
+val trips : t -> int
+
+(** Close the breaker (the caller changed strategy, e.g. degraded to
+    serial execution, or wants to probe the pool again). *)
+val reset : t -> unit

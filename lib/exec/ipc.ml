@@ -34,18 +34,44 @@ let read_all fd buf len =
   done;
   !got
 
-let write fd (j : Util.Json.t) =
-  let payload = Bytes.unsafe_of_string (Util.Json.to_string j) in
-  let len = Bytes.length payload in
-  if len > max_message then
-    raise (Protocol_error (Printf.sprintf "message too large (%d bytes)" len));
+let header_for len =
   let header = Bytes.create 4 in
   Bytes.set_uint8 header 0 (len lsr 24 land 0xff);
   Bytes.set_uint8 header 1 (len lsr 16 land 0xff);
   Bytes.set_uint8 header 2 (len lsr 8 land 0xff);
   Bytes.set_uint8 header 3 (len land 0xff);
-  write_all fd header 0 4;
+  header
+
+let write fd (j : Util.Json.t) =
+  let payload = Bytes.unsafe_of_string (Util.Json.to_string j) in
+  let len = Bytes.length payload in
+  if len > max_message then
+    raise (Protocol_error (Printf.sprintf "message too large (%d bytes)" len));
+  write_all fd (header_for len) 0 4;
   write_all fd payload 0 len
+
+type frame_fault = Torn | Corrupt | Delay of float
+
+let sleepf d = ignore (Unix.select [] [] [] d)
+
+let write_faulty fault fd (j : Util.Json.t) =
+  match fault with
+  | Delay d ->
+      if d > 0.0 then sleepf d;
+      write fd j
+  | Torn ->
+      (* header promises the whole payload; deliver only half of it —
+         the reader blocks until our close, then sees EOF mid-frame *)
+      let payload = Bytes.unsafe_of_string (Util.Json.to_string j) in
+      let len = Bytes.length payload in
+      write_all fd (header_for len) 0 4;
+      write_all fd payload 0 (len / 2)
+  | Corrupt ->
+      (* full-length frame whose payload can never parse as JSON *)
+      let len = Bytes.length (Bytes.unsafe_of_string (Util.Json.to_string j)) in
+      let garbage = Bytes.make len '\xff' in
+      write_all fd (header_for len) 0 4;
+      write_all fd garbage 0 len
 
 let read fd =
   let header = Bytes.create 4 in

@@ -27,3 +27,18 @@ val write : Unix.file_descr -> Util.Json.t -> unit
 (** Blocking read of one framed message. [Eof] only at a frame boundary;
     EOF mid-frame raises {!Protocol_error}. *)
 val read : Unix.file_descr -> read_result
+
+(** Deliberate frame damage, for {!Chaos} injection. *)
+type frame_fault =
+  | Torn
+      (** header promises the full payload, only half is written — the
+          peer's read raises {!Protocol_error} once the stream closes *)
+  | Corrupt
+      (** correct length, unparseable payload — {!Protocol_error} at
+          parse time *)
+  | Delay of float  (** sleep that many seconds, then write normally *)
+
+(** [write_faulty fault fd j] writes [j]'s frame damaged per [fault].
+    After [Torn] the stream is unusable; the caller is expected to close
+    it (chaos workers [_exit] right after). *)
+val write_faulty : frame_fault -> Unix.file_descr -> Util.Json.t -> unit

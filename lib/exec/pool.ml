@@ -1,17 +1,60 @@
-(* Fork-based worker pool with chunked dispatch, work-stealing, reaping and
-   respawn (see the .mli for the contract). The parent owns the queue and
-   all bookkeeping; workers are a dumb loop: read a chunk, announce each
-   task ("start"), run it, report ("done"/"fail"), hand unstarted tasks
-   back when asked ("steal" -> "stolen"), and send an epilogue ("bye") on
-   "quit". One pipe pair per worker; frames via Exec.Ipc. *)
+(* Fork-based worker pool with chunked dispatch, work-stealing, reaping
+   and supervised respawn (see the .mli for the contract). The parent
+   owns the queue and all bookkeeping; workers are a dumb loop: read a
+   chunk, announce each task ("start"), run it, report ("done"/"fail"),
+   hand unstarted tasks back when asked ("steal" -> "stolen"), and send
+   an epilogue ("bye") on "quit". One pipe pair per worker; frames via
+   Exec.Ipc.
+
+   Supervision: a watchdog SIGKILLs any worker whose announced task
+   outlives the per-task wall deadline (the task is delivered as
+   Timed_out, never Lost); respawns are scheduled through an
+   exponential-backoff ladder instead of happening instantly; and a
+   circuit breaker — or exhausted respawn capacity — makes the pool
+   return early with the undecided outcomes still None, so the caller
+   can finish the work another way instead of the pool draining the
+   queue as Lost. *)
 
 module Json = Util.Json
 
-type outcome = Done of Json.t | Lost of string
+type outcome =
+  | Done of Json.t
+  | Lost of string
+  | Timed_out of float (* the configured per-task deadline that expired *)
 
-type stats = { forked : int; respawned : int; steals : int; tasks_lost : int }
+type stats = {
+  forked : int;
+  respawned : int;
+  steals : int;
+  tasks_lost : int;
+  timeouts : int;
+  backoff_waits : int;
+  backoff_wait_s : float;
+  breaker_trips : int;
+  gave_up : string option;
+}
+
+let zero_stats =
+  {
+    forked = 0;
+    respawned = 0;
+    steals = 0;
+    tasks_lost = 0;
+    timeouts = 0;
+    backoff_waits = 0;
+    backoff_wait_s = 0.0;
+    breaker_trips = 0;
+    gave_up = None;
+  }
 
 let detect_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* supervision counters; visible in heartbeats and Prometheus export
+   when telemetry is enabled, free single-branch no-ops otherwise *)
+let c_respawns = Obs.Telemetry.counter "pool.respawns"
+let c_timeouts = Obs.Telemetry.counter "pool.timeouts"
+let c_backoff_waits = Obs.Telemetry.counter "pool.backoff_waits"
+let c_breaker_trips = Obs.Telemetry.counter "pool.breaker_trips"
 
 (* ---- small wire helpers ---- *)
 
@@ -81,7 +124,7 @@ let fd_readable ?(timeout = 0.0) fd =
 
 (* ---- the worker process ---- *)
 
-let worker_loop rd wr ~work ~epilogue =
+let worker_loop rd wr ~work ~epilogue ~chaos =
   let pending : (int * Json.t) Queue.t = Queue.create () in
   let send j =
     try Ipc.write wr j
@@ -122,6 +165,29 @@ let worker_loop rd wr ~work ~epilogue =
     | Ipc.Msg j -> handle j
     | exception Ipc.Protocol_error _ -> Unix._exit 1
   in
+  (* Chaos injection, after the "start" announcement so the parent knows
+     which task the sabotage lands on (and the watchdog can see a
+     stall). Lethal faults never return. Returns a completion delay. *)
+  let sabotage i =
+    match Option.bind chaos (fun plan -> Chaos.task_fault plan i) with
+    | None -> 0.0
+    | Some Chaos.Kill_self ->
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        0.0
+    | Some Chaos.Stall_self ->
+        Unix.kill (Unix.getpid ()) Sys.sigstop;
+        (* only reachable if someone SIGCONTs us: die rather than emit
+           results the parent already classified as timed out *)
+        Unix._exit 1
+    | Some Chaos.Torn_result ->
+        Ipc.write_faulty Ipc.Torn wr (msg_done i (Json.String "chaos-torn"));
+        Unix._exit 1
+    | Some Chaos.Corrupt_result ->
+        Ipc.write_faulty Ipc.Corrupt wr
+          (msg_done i (Json.String "chaos-corrupt"));
+        Unix._exit 1
+    | Some (Chaos.Delay_result d) -> d
+  in
   while true do
     if Queue.is_empty pending then read_one ()
     else begin
@@ -133,8 +199,11 @@ let worker_loop rd wr ~work ~epilogue =
       | None -> ()
       | Some (i, payload) -> (
           send (msg_start i);
+          let delay = sabotage i in
           match work payload with
-          | r -> send (msg_done i r)
+          | r ->
+              if delay > 0.0 then Unix.sleepf delay;
+              send (msg_done i r)
           | exception e -> send (msg_fail i (Printexc.to_string e)))
     end
   done
@@ -147,13 +216,15 @@ type worker = {
   mutable rd : Unix.file_descr;
   mutable assigned : int list; (* dispatched, not yet started *)
   mutable running : int option;
+  mutable started_at : float; (* gettimeofday when [running] was set *)
   mutable steal_pending : bool;
   mutable alive : bool;
+  mutable respawn_at : float option; (* dead slot scheduled for revival *)
 }
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let fork_worker ~other_fds ~worker_init ~work ~epilogue =
+let fork_worker ~other_fds ~worker_init ~work ~epilogue ~chaos =
   (* nothing buffered may cross the fork twice *)
   flush stdout;
   flush stderr;
@@ -172,7 +243,7 @@ let fork_worker ~other_fds ~worker_init ~work ~epilogue =
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       (try
          Option.iter (fun f -> f ()) worker_init;
-         worker_loop p2c_r c2p_w ~work ~epilogue
+         worker_loop p2c_r c2p_w ~work ~epilogue ~chaos
        with _ -> ());
       Unix._exit 1
   | pid ->
@@ -184,18 +255,24 @@ let fork_worker ~other_fds ~worker_init ~work ~epilogue =
         rd = c2p_r;
         assigned = [];
         running = None;
+        started_at = 0.0;
         steal_pending = false;
         alive = true;
+        respawn_at = None;
       }
 
 let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
-    ?on_ordered ?(should_stop = fun () -> false) ~work
-    (tasks : Json.t array) : outcome option array * stats =
+    ?on_ordered ?(should_stop = fun () -> false) ?task_deadline_s ?backoff
+    ?breaker ?chaos ~work (tasks : Json.t array) :
+    outcome option array * stats =
   let n = Array.length tasks in
   let outcomes : outcome option array = Array.make n None in
-  if n = 0 then (outcomes, { forked = 0; respawned = 0; steals = 0; tasks_lost = 0 })
+  if n = 0 then (outcomes, zero_stats)
   else begin
     let jobs = max 1 (min jobs n) in
+    let backoff =
+      match backoff with Some b -> b | None -> Backoff.create ~seed:0 ()
+    in
     let pending : int Queue.t = Queue.create () in
     for i = 0 to n - 1 do
       Queue.add i pending
@@ -206,6 +283,10 @@ let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
     let respawned = ref 0 in
     let steals = ref 0 in
     let tasks_lost = ref 0 in
+    let timeouts = ref 0 in
+    let backoff_waits = ref 0 in
+    let backoff_wait_s = ref 0.0 in
+    let gave_up : string option ref = ref None in
     let respawn_budget = ref (n + (2 * jobs)) in
     let workers : worker array ref = ref [||] in
     let other_fds () =
@@ -214,13 +295,35 @@ let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
     in
     let spawn () =
       incr forked;
-      fork_worker ~other_fds:(other_fds ()) ~worker_init ~work ~epilogue
+      fork_worker ~other_fds:(other_fds ()) ~worker_init ~work ~epilogue ~chaos
     in
     let deliver i o =
       if outcomes.(i) = None then begin
         outcomes.(i) <- Some o;
         incr decided;
-        (match o with Lost _ -> incr tasks_lost | Done _ -> ());
+        (match o with
+        | Lost _ ->
+            incr tasks_lost;
+            Option.iter
+              (fun b ->
+                let was = Breaker.tripped b in
+                Breaker.record_failure b;
+                if (not was) && Breaker.tripped b then
+                  Obs.Telemetry.incr c_breaker_trips)
+              breaker
+        | Timed_out _ ->
+            incr timeouts;
+            Obs.Telemetry.incr c_timeouts;
+            Option.iter
+              (fun b ->
+                let was = Breaker.tripped b in
+                Breaker.record_failure b;
+                if (not was) && Breaker.tripped b then
+                  Obs.Telemetry.incr c_breaker_trips)
+              breaker
+        | Done _ ->
+            Backoff.reset backoff;
+            Option.iter Breaker.record_success breaker);
         Option.iter (fun f -> f i o) on_complete;
         match on_ordered with
         | None -> ()
@@ -238,6 +341,17 @@ let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
             flush_prefix ()
       end
     in
+    let respawn_now (w : worker) =
+      incr respawned;
+      Obs.Telemetry.incr c_respawns;
+      let fresh = spawn () in
+      w.pid <- fresh.pid;
+      w.wr <- fresh.wr;
+      w.rd <- fresh.rd;
+      w.started_at <- 0.0;
+      w.respawn_at <- None;
+      w.alive <- true
+    in
     (* forward declaration to let dispatch and the death path recurse *)
     let rec on_death (w : worker) ~stopping =
       if w.alive then begin
@@ -247,7 +361,9 @@ let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
         let cause = reap w.pid in
         if stopping then begin
           (* interrupted run: in-flight work is simply not decided *)
-          Option.iter (fun i -> if outcomes.(i) = None then Queue.add i pending) w.running;
+          Option.iter
+            (fun i -> if outcomes.(i) = None then Queue.add i pending)
+            w.running;
           List.iter (fun i -> Queue.add i pending) w.assigned
         end
         else begin
@@ -257,19 +373,24 @@ let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
         w.running <- None;
         w.assigned <- [];
         w.steal_pending <- false;
-        if (not stopping) && not (Queue.is_empty pending) then
-          if !respawn_budget > 0 then begin
-            decr respawn_budget;
-            incr respawned;
-            let fresh = spawn () in
-            w.pid <- fresh.pid;
-            w.wr <- fresh.wr;
-            w.rd <- fresh.rd;
-            w.alive <- true
+        (* Supervised respawn: never instant — each consecutive failure
+           climbs the backoff ladder (a Done resets it), so a poison
+           workload can't turn the parent into a fork storm. A slot with
+           no budget just stays dead; if that was the last capacity the
+           main loop notices and gives up rather than draining the queue
+           as Lost. *)
+        if (not stopping) && (not (Queue.is_empty pending)) && !respawn_budget > 0
+        then begin
+          decr respawn_budget;
+          let delay = Backoff.next backoff in
+          if delay <= 0.0 then respawn_now w
+          else begin
+            incr backoff_waits;
+            Obs.Telemetry.incr c_backoff_waits;
+            backoff_wait_s := !backoff_wait_s +. delay;
+            w.respawn_at <- Some (Unix.gettimeofday () +. delay)
           end
-          else if not (Array.exists (fun w -> w.alive) !workers) then
-            (* no capacity left at all: fail the queue rather than hang *)
-            Queue.iter (fun i -> deliver i (Lost "worker respawn budget exhausted")) pending
+        end
       end
     and send_to w j =
       try Ipc.write w.wr j
@@ -336,12 +457,37 @@ let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
               send_to v msg_steal
           | None -> ()
     in
+    (* Watchdog: any announced task older than the deadline costs its
+       worker a SIGKILL (which also terminates a SIGSTOP-stalled
+       process) and is delivered as Timed_out — with the configured
+       deadline, not the measured elapsed, so the outcome is
+       deterministic. The death surfaces as EOF on the next select and
+       takes the normal requeue/respawn path; running is cleared here so
+       the reaper does not re-deliver the task as Lost. *)
+    let check_watchdog () =
+      match task_deadline_s with
+      | None -> ()
+      | Some deadline ->
+          let now = Unix.gettimeofday () in
+          Array.iter
+            (fun w ->
+              if w.alive then
+                match w.running with
+                | Some i when now -. w.started_at > deadline ->
+                    deliver i (Timed_out deadline);
+                    w.running <- None;
+                    (try Unix.kill w.pid Sys.sigkill
+                     with Unix.Unix_error _ -> ())
+                | _ -> ())
+            !workers
+    in
     let handle_msg (w : worker) j =
       match obj_op j with
       | Some "start" ->
           Option.iter
             (fun i ->
               w.running <- Some i;
+              w.started_at <- Unix.gettimeofday ();
               w.assigned <- List.filter (fun a -> a <> i) w.assigned)
             (obj_int "i" j)
       | Some "done" -> (
@@ -394,18 +540,35 @@ let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
         Option.iter (fun b -> ignore (Sys.signal Sys.sigpipe b)) old_sigpipe)
       (fun () ->
         workers := Array.init jobs (fun _ -> spawn ());
-        while !decided < n && not !stopped do
+        while !decided < n && (not !stopped) && !gave_up = None do
           if should_stop () then stopped := true
+          else if
+            match breaker with Some b -> Breaker.tripped b | None -> false
+          then gave_up := Some "circuit breaker open"
           else begin
+            (* revive dead slots whose backoff delay has elapsed (only
+               if there is still queued work for them to pick up) *)
+            let now = Unix.gettimeofday () in
+            Array.iter
+              (fun w ->
+                match w.respawn_at with
+                | Some t when (not w.alive) && now >= t ->
+                    w.respawn_at <- None;
+                    if not (Queue.is_empty pending) then respawn_now w
+                | _ -> ())
+              !workers;
             dispatch ();
             let rds =
               Array.to_list !workers
               |> List.filter_map (fun w -> if w.alive then Some w.rd else None)
             in
             if rds = [] then begin
-              (* every worker dead and nothing respawnable: the death path
-                 has already failed the queue; avoid a busy loop *)
-              if Queue.is_empty pending && !decided < n then stopped := true
+              if Array.exists (fun w -> w.respawn_at <> None) !workers then
+                (* every worker is dead but respawns are scheduled: wait
+                   out the shortest backoff instead of busy-looping *)
+                Unix.sleepf 0.02
+              else if !decided < n then
+                gave_up := Some "worker respawn capacity exhausted"
             end
             else begin
               let ready =
@@ -426,11 +589,12 @@ let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
                       | exception Ipc.Protocol_error _ ->
                           on_death w ~stopping:(should_stop ())))
                 ready
-            end
+            end;
+            check_watchdog ()
           end
         done;
         (* clean shutdown: collect epilogues from the survivors *)
-        if not !stopped then
+        if (not !stopped) && !gave_up = None then
           Array.iter
             (fun w ->
               if w.alive then begin
@@ -461,5 +625,11 @@ let run ~jobs ?(max_chunk = 8) ?worker_init ?epilogue ?on_epilogue ?on_complete
         respawned = !respawned;
         steals = !steals;
         tasks_lost = !tasks_lost;
+        timeouts = !timeouts;
+        backoff_waits = !backoff_waits;
+        backoff_wait_s = !backoff_wait_s;
+        breaker_trips =
+          (match breaker with Some b -> Breaker.trips b | None -> 0);
+        gave_up = !gave_up;
       } )
   end

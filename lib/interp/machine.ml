@@ -36,7 +36,7 @@ type t = {
   hooks : Events.hooks;
   mutable clock : int;
   fuel : int;
-  deadline : float option; (* Sys.time stamp for the wall budget *)
+  deadline : float option; (* Unix.gettimeofday stamp for the wall budget *)
   mutable faults : fault_plan; (* sorted by clock, consumed head-first *)
   out : Buffer.t;
   mutable rand_state : int64;
@@ -157,11 +157,12 @@ let tick (t : t) =
   | _ -> ());
   t.clock <- t.clock + 1;
   if t.clock > t.fuel then raise (Budget_stop Fuel);
-  (* The wall budget is polled coarsely: Sys.time per instruction would
-     dominate the interpreter loop. *)
+  (* The wall budget is real wall-clock time (a stalled or descheduled
+     run must still hit it), polled coarsely: a gettimeofday syscall per
+     instruction would dominate the interpreter loop. *)
   if t.clock land 0xffff = 0 then
     match t.deadline with
-    | Some d when Sys.time () > d -> raise (Budget_stop Wall)
+    | Some d when Unix.gettimeofday () > d -> raise (Budget_stop Wall)
     | _ -> ()
 
 (* Report a word access to the listener, unless every active loop's plan

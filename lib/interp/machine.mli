@@ -40,10 +40,11 @@ type outcome = {
 (** [watch] supplies per-function watch plans (which instructions report
     defs/uses/phi values); [fuel] bounds the instruction count; [mem_limit]
     bounds memory (words); [max_depth] bounds the call stack; [deadline] is
-    an absolute [Sys.time] stamp bounding processor time (polled every 64k
-    instructions); [faults] is a test-only injection plan. Exhausting any of
-    these budgets stops the run cleanly ({!stop_reason}) rather than
-    raising. *)
+    an absolute {e wall-clock} stamp ([Unix.gettimeofday], polled every 64k
+    instructions) — real elapsed time, not processor time, so a deadline
+    computed by the caller holds even if the process is descheduled;
+    [faults] is a test-only injection plan. Exhausting any of these budgets
+    stops the run cleanly ({!stop_reason}) rather than raising. *)
 val create :
   ?hooks:Events.hooks ->
   ?fuel:int ->

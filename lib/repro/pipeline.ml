@@ -100,7 +100,7 @@ let evaluate_config ~check_invariants profile config :
                 (Loopa.Config.name config) r.Loopa.Evaluate.coverage_pct))
       else Ok ()
 
-(* [deadline] (absolute [Sys.time] stamp) bounds each execution inside the
+(* [deadline] (absolute [Unix.gettimeofday] stamp) bounds each execution inside the
    run — the shrinker uses it so one pathological candidate cannot stall
    the reduction; replay omits it so runs stay fully deterministic. *)
 let run ?deadline (b : Bundle.t) : (unit, Loopa.Driver.failure) result =

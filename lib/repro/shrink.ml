@@ -193,7 +193,7 @@ type stats = {
    minimized bundle — source replaced, stage/fingerprint/message refreshed
    from the last reproducing run — or an error when the bundle does not
    reproduce in the first place. Candidates execute under a per-candidate
-   processor-time deadline so a reduction that manufactures a slow program
+   wall-clock deadline so a reduction that manufactures a slow program
    cannot stall the whole shrink. *)
 let shrink ?(max_candidates = 5000) ?(candidate_wall_s = 2.0) (b : Bundle.t) :
     (Bundle.t * stats, string) result =
@@ -214,7 +214,7 @@ let shrink ?(max_candidates = 5000) ?(candidate_wall_s = 2.0) (b : Bundle.t) :
         !tried < max_candidates
         && begin
              incr tried;
-             let deadline = Sys.time () +. candidate_wall_s in
+             let deadline = Unix.gettimeofday () +. candidate_wall_s in
              match Pipeline.run ~deadline { b with Bundle.source = src } with
              | Ok () -> false
              | Error f ->

@@ -1,0 +1,309 @@
+(* Chaos-hardened supervision at the campaign level: deterministic fault
+   schedules driven through the full runner — watchdog timeouts recorded
+   and resumable, circuit-breaker degradation Forked -> Serial with a
+   complete checkpoint, injected checkpoint-write failures healed by
+   resume, byte-identical outcomes across same-seed runs, and salvage of
+   torn checkpoint tails. The pool-level mechanics live in test_exec.ml;
+   this file asserts the end-to-end invariants the `chaos` subcommand
+   enforces. *)
+
+open Campaign
+module Chaos = Exec.Chaos
+module J = Util.Json
+
+let contains = Astring_contains.contains
+let quiet _ = ()
+
+(* small and well-behaved, with a loop worth profiling *)
+let good_src =
+  {|
+fn main() -> int {
+  var a: int[] = new int[32];
+  for (var i: int = 0; i < 32; i = i + 1) { a[i] = i * 3; }
+  var s: int = 0;
+  for (var i: int = 0; i < 32; i = i + 1) { s = s + a[i]; }
+  print_int(s);
+  return 0;
+}
+|}
+
+let named n = List.init n (fun i -> (Printf.sprintf "t%02d" i, good_src))
+
+let budgets ?watchdog () =
+  { Runner.default_budgets with Runner.fuel = 1_000_000; watchdog_s = watchdog }
+
+let with_tmp f =
+  let path = Filename.temp_file "chaos-test-" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let checkpoint_lines path =
+  In_channel.with_open_bin path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+
+(* wall_s and telemetry are the only legitimately nondeterministic fields *)
+let normalize line =
+  match J.of_string line with
+  | Ok (J.Obj fields) ->
+      J.to_string
+        (J.Obj
+           (List.filter (fun (k, _) -> k <> "wall_s" && k <> "telemetry") fields))
+  | _ -> line
+
+let status_of (s : Runner.summary) name =
+  match
+    List.find_opt (fun (r : Runner.result) -> r.Runner.target = name) s.Runner.results
+  with
+  | Some r -> r.Runner.status
+  | None -> Alcotest.failf "no result for %s" name
+
+(* ---- watchdog: a SIGSTOP-stalled worker is reaped within the deadline ---- *)
+
+let test_watchdog_reaps_stall_as_task_timeout () =
+  let t0 = Unix.gettimeofday () in
+  let s =
+    Runner.run
+      ~budgets:(budgets ~watchdog:1.0 ())
+      ~log:quiet ~executor:(Runner.Forked 2)
+      ~chaos:(Chaos.explicit [ (1, Chaos.Stall_self) ])
+      (named 4)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match status_of s "t01" with
+  | Runner.Errored (Runner.Task_timeout m) ->
+      Alcotest.(check bool) "message names the watchdog" true
+        (contains m "watchdog")
+  | st ->
+      Alcotest.failf "stalled task should be a task-timeout, got %s"
+        (Runner.status_to_string st));
+  List.iter
+    (fun t ->
+      match status_of s t with
+      | Runner.Completed _ -> ()
+      | st ->
+          Alcotest.failf "%s should have completed, got %s" t
+            (Runner.status_to_string st))
+    [ "t00"; "t02"; "t03" ];
+  Alcotest.(check bool)
+    (Printf.sprintf "reaped within the deadline's order (%.2fs)" elapsed)
+    true (elapsed < 10.0);
+  Alcotest.(check (list (pair string int)))
+    "failure breakdown" [ ("task-timeout", 1) ] s.Runner.failures
+
+let test_task_timeout_codec_roundtrip () =
+  let r =
+    {
+      Runner.target = "t";
+      status = Runner.Errored (Runner.Task_timeout "exceeded 1s per-task watchdog deadline");
+      attempts = 1;
+      clock = 0;
+      wall_s = 0.0;
+    }
+  in
+  match Runner.result_of_json (Runner.result_to_json r) with
+  | Ok r' -> (
+      match r'.Runner.status with
+      | Runner.Errored (Runner.Task_timeout m) ->
+          Alcotest.(check bool) "message survives" true (contains m "watchdog")
+      | st ->
+          Alcotest.failf "class lost in the codec: %s" (Runner.status_to_string st))
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+(* ---- breaker: Forked degrades to Serial mid-run, checkpoint complete ---- *)
+
+let test_breaker_degrades_forked_to_serial () =
+  let n = 8 in
+  with_tmp (fun ckpt ->
+      let plan =
+        Chaos.explicit (List.init n (fun i -> (i, Chaos.Kill_self)))
+      in
+      let s =
+        Runner.run ~budgets:(budgets ()) ~checkpoint:ckpt ~log:quiet
+          ~executor:(Runner.Forked 2) ~chaos:plan ~breaker_threshold:2 (named n)
+      in
+      Alcotest.(check int) "every task classified" n (List.length s.Runner.results);
+      Alcotest.(check bool) "some tasks finished after degradation" true
+        (s.Runner.n_degraded >= 1);
+      List.iter
+        (fun (r : Runner.result) ->
+          match r.Runner.status with
+          | Runner.Errored (Runner.Worker_lost cause) ->
+              (* degraded-serial simulation must report the exact cause the
+                 pool's reaper would have *)
+              Alcotest.(check string) "deterministic cause"
+                "worker killed by SIGKILL" cause
+          | st ->
+              Alcotest.failf "%s: expected worker-lost, got %s" r.Runner.target
+                (Runner.status_to_string st))
+        s.Runner.results;
+      Alcotest.(check int) "checkpoint is complete" n
+        (List.length (checkpoint_lines ckpt)))
+
+(* ---- same seed, same bytes ---- *)
+
+let test_same_seed_byte_identical_checkpoints () =
+  let n = 6 in
+  (* pick the first seed whose schedule actually injects a lethal fault
+     (and no stall: keep the test fast) — the probe is itself deterministic *)
+  let seed =
+    let rec find s =
+      if s > 500 then Alcotest.fail "no suitable seed in range"
+      else
+        let c name = List.assoc name (Chaos.planned_counts (Chaos.seeded s) ~n) in
+        if c "kill" + c "torn" + c "corrupt" >= 1 && c "stall" = 0 then s
+        else find (s + 1)
+    in
+    find 0
+  in
+  let pass ckpt =
+    ignore
+      (Runner.run ~budgets:(budgets ()) ~checkpoint:ckpt ~log:quiet
+         ~executor:(Runner.Forked 2) ~chaos:(Chaos.seeded seed) (named n))
+  in
+  with_tmp (fun a ->
+      with_tmp (fun b ->
+          pass a;
+          pass b;
+          let la = List.map normalize (checkpoint_lines a) in
+          let lb = List.map normalize (checkpoint_lines b) in
+          Alcotest.(check (list string)) "normalized checkpoints identical" la lb))
+
+(* ---- injected checkpoint-write failures heal on resume ---- *)
+
+let test_ckpt_fault_drops_line_and_resume_heals_it () =
+  let n = 3 in
+  with_tmp (fun ckpt ->
+      (* write #0 (t00's line) fails with EIO; t01's worker is killed *)
+      let plan =
+        Chaos.explicit
+          ~ckpt_faults:[ (0, Chaos.Eio) ]
+          [ (1, Chaos.Kill_self) ]
+      in
+      let logs = ref [] in
+      let s1 =
+        Runner.run ~budgets:(budgets ()) ~checkpoint:ckpt
+          ~log:(fun m -> logs := m :: !logs)
+          ~executor:(Runner.Forked 2) ~chaos:plan (named n)
+      in
+      Alcotest.(check int) "all classified despite the drop" n
+        (List.length s1.Runner.results);
+      Alcotest.(check int) "one line dropped" (n - 1)
+        (List.length (checkpoint_lines ckpt));
+      Alcotest.(check bool) "the drop is logged" true
+        (List.exists (fun m -> contains m "EIO") !logs);
+      (* resume without chaos: only the dropped task re-runs, the recorded
+         loss is skipped, and the file ends complete *)
+      let s2 =
+        Runner.run ~budgets:(budgets ()) ~checkpoint:ckpt ~resume:true
+          ~log:quiet (named n)
+      in
+      Alcotest.(check int) "resume restores the surviving lines" (n - 1)
+        s2.Runner.n_resumed;
+      Alcotest.(check int) "resume classifies everything" n
+        (List.length s2.Runner.results);
+      (match status_of s2 "t00" with
+      | Runner.Completed _ -> ()
+      | st ->
+          Alcotest.failf "dropped task should re-run to completion, got %s"
+            (Runner.status_to_string st));
+      (match status_of s2 "t01" with
+      | Runner.Errored (Runner.Worker_lost _) -> ()
+      | st ->
+          Alcotest.failf "recorded loss should be skipped, got %s"
+            (Runner.status_to_string st));
+      Alcotest.(check int) "checkpoint now complete" n
+        (List.length (checkpoint_lines ckpt)))
+
+(* ---- chaos under resume converges ---- *)
+
+let test_chaos_under_resume_converges () =
+  let n = 3 in
+  with_tmp (fun ckpt ->
+      (* pass 1 drops write #1 (t01's loss entry) *)
+      let plan =
+        Chaos.explicit
+          ~ckpt_faults:[ (1, Chaos.Eio) ]
+          [ (1, Chaos.Kill_self) ]
+      in
+      ignore
+        (Runner.run ~budgets:(budgets ()) ~checkpoint:ckpt ~log:quiet
+           ~executor:(Runner.Forked 2) ~chaos:plan (named n));
+      Alcotest.(check int) "pass 1 dropped one line" (n - 1)
+        (List.length (checkpoint_lines ckpt));
+      (* resume under the SAME plan: the only fresh task is t01, which now
+         sits at fresh index 0 — out of the schedule's blast radius — so
+         the campaign converges even with chaos still on *)
+      let s2 =
+        Runner.run ~budgets:(budgets ()) ~checkpoint:ckpt ~resume:true
+          ~log:quiet ~executor:(Runner.Forked 2) ~chaos:plan (named n)
+      in
+      Alcotest.(check int) "resume classifies everything" n
+        (List.length s2.Runner.results);
+      Alcotest.(check int) "checkpoint now complete" n
+        (List.length (checkpoint_lines ckpt)))
+
+(* ---- torn checkpoint tails are salvaged and truncated ---- *)
+
+let test_torn_tail_salvage_on_resume () =
+  let n = 3 in
+  with_tmp (fun ckpt ->
+      ignore
+        (Runner.run ~budgets:(budgets ()) ~checkpoint:ckpt ~log:quiet (named 2));
+      (* simulate a hard kill mid-write: a final fragment with no newline *)
+      let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 ckpt in
+      output_string oc "{\"target\":\"t9";
+      close_out oc;
+      let logs = ref [] in
+      let s =
+        Runner.run ~budgets:(budgets ()) ~checkpoint:ckpt ~resume:true
+          ~log:(fun m -> logs := m :: !logs)
+          (named n)
+      in
+      Alcotest.(check bool) "salvage is reported" true
+        (List.exists (fun m -> contains m "torn tail dropped") !logs);
+      Alcotest.(check int) "whole lines restored" 2 s.Runner.n_resumed;
+      Alcotest.(check int) "everything classified" n
+        (List.length s.Runner.results);
+      (* the torn fragment must not have corrupted the appended line *)
+      let lines = checkpoint_lines ckpt in
+      Alcotest.(check int) "checkpoint complete and parseable" n
+        (List.length lines);
+      List.iter
+        (fun l ->
+          match J.of_string l with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "unparseable checkpoint line (%s): %s" e l)
+        lines)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "watchdog",
+        [
+          Alcotest.test_case "SIGSTOP stall becomes task-timeout" `Quick
+            test_watchdog_reaps_stall_as_task_timeout;
+          Alcotest.test_case "task-timeout codec roundtrip" `Quick
+            test_task_timeout_codec_roundtrip;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "Forked degrades to Serial mid-run" `Quick
+            test_breaker_degrades_forked_to_serial;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same checkpoint bytes" `Quick
+            test_same_seed_byte_identical_checkpoints;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "dropped line heals on resume" `Quick
+            test_ckpt_fault_drops_line_and_resume_heals_it;
+          Alcotest.test_case "chaos under resume converges" `Quick
+            test_chaos_under_resume_converges;
+          Alcotest.test_case "torn tail salvaged and truncated" `Quick
+            test_torn_tail_salvage_on_resume;
+        ] );
+    ]

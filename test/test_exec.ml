@@ -96,6 +96,39 @@ let test_ipc_oversized_frame () =
           Alcotest.(check bool) "names the limit" true (contains m "limit")
       | Ipc.Msg _ | Ipc.Eof -> Alcotest.fail "oversized frame not rejected")
 
+(* ---- IPC fault injection (the chaos writer) ---- *)
+
+let test_ipc_write_faulty_torn () =
+  with_pipe (fun r w ->
+      Ipc.write_faulty Ipc.Torn w (J.Obj [ ("op", J.String "done") ]);
+      Unix.close w;
+      match Ipc.read r with
+      | exception Ipc.Protocol_error m ->
+          Alcotest.(check bool) "reads as a torn payload" true
+            (contains m "payload")
+      | _ -> Alcotest.fail "torn frame should be a protocol error")
+
+let test_ipc_write_faulty_corrupt () =
+  with_pipe (fun r w ->
+      Ipc.write_faulty Ipc.Corrupt w (J.Obj [ ("op", J.String "done") ]);
+      Unix.close w;
+      match Ipc.read r with
+      | exception Ipc.Protocol_error m ->
+          Alcotest.(check bool) "reads as garbage" true
+            (contains m "unparseable")
+      | _ -> Alcotest.fail "corrupt frame should be a protocol error")
+
+let test_ipc_write_faulty_delay_is_lossless () =
+  with_pipe (fun r w ->
+      let msg = J.Obj [ ("op", J.String "done"); ("i", J.Int 3) ] in
+      let t0 = Unix.gettimeofday () in
+      Ipc.write_faulty (Ipc.Delay 0.05) w msg;
+      Alcotest.(check bool) "the delay actually happened" true
+        (Unix.gettimeofday () -. t0 >= 0.045);
+      match Ipc.read r with
+      | Ipc.Msg got -> Alcotest.check json "frame intact" msg got
+      | Ipc.Eof -> Alcotest.fail "unexpected EOF")
+
 (* ---- pool: ordering ---- *)
 
 let task_index payload = Option.value ~default:(-1) (J.to_int payload)
@@ -126,6 +159,7 @@ let test_pool_outcomes_in_index_order () =
       match o with
       | Some (Pool.Done r) -> Alcotest.check json "result" (J.Int (i * 10)) r
       | Some (Pool.Lost c) -> Alcotest.fail ("task lost: " ^ c)
+      | Some (Pool.Timed_out _) -> Alcotest.fail "spurious timeout"
       | None -> Alcotest.fail "undecided task")
     outcomes;
   Alcotest.(check int) "no losses" 0 stats.Pool.tasks_lost;
@@ -162,6 +196,9 @@ let test_pool_killed_worker_costs_one_task () =
   let work payload =
     let i = task_index payload in
     if i = victim then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    (* keep the queue non-empty past the backoff delay so the respawn
+       actually happens (an empty queue makes respawning pointless) *)
+    Unix.sleepf 0.03;
     J.Int i
   in
   let outcomes, stats =
@@ -175,6 +212,7 @@ let test_pool_killed_worker_costs_one_task () =
           Alcotest.(check bool) "cause names the signal" true
             (contains cause "SIGKILL")
       | Some (Pool.Done r) -> Alcotest.check json "survivor result" (J.Int i) r
+      | Some (Pool.Timed_out _) -> Alcotest.fail "spurious timeout"
       | None -> Alcotest.fail "undecided task")
     outcomes;
   Alcotest.(check int) "exactly one task lost" 1 stats.Pool.tasks_lost;
@@ -250,6 +288,180 @@ let test_pool_should_stop_returns_promptly () =
 let test_detect_jobs_positive () =
   Alcotest.(check bool) "at least one core" true (Pool.detect_jobs () >= 1)
 
+(* ---- backoff ---- *)
+
+module Backoff = Exec.Backoff
+module Breaker = Exec.Breaker
+module Chaos = Exec.Chaos
+
+let test_backoff_ladder_and_reset () =
+  (* jitter off: the ladder is exactly base * factor^k, capped *)
+  let t =
+    Backoff.create ~base_s:0.1 ~factor:2.0 ~max_s:0.5 ~jitter:0.0 ~seed:0 ()
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "exponential ladder, capped"
+    [ 0.1; 0.2; 0.4; 0.5; 0.5 ]
+    (List.init 5 (fun _ -> Backoff.next t));
+  Backoff.reset t;
+  Alcotest.(check (float 1e-9)) "reset restarts the ladder" 0.1 (Backoff.next t);
+  Alcotest.(check int) "attempts counted across resets" 6 (Backoff.attempts t)
+
+let test_backoff_same_seed_same_delays () =
+  let seq seed =
+    let t = Backoff.create ~seed () in
+    List.init 8 (fun _ -> Backoff.next t)
+  in
+  Alcotest.(check (list (float 0.0))) "same seed, same jittered delays"
+    (seq 42) (seq 42);
+  Alcotest.(check bool) "different seed, different jitter" true
+    (seq 42 <> seq 43)
+
+(* ---- breaker ---- *)
+
+let test_breaker_trips_and_resets () =
+  let b = Breaker.create ~threshold:3 () in
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Alcotest.(check bool) "below threshold" false (Breaker.tripped b);
+  Breaker.record_success b;
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Alcotest.(check bool) "a success resets the streak" false (Breaker.tripped b);
+  Breaker.record_failure b;
+  Alcotest.(check bool) "trips at threshold" true (Breaker.tripped b);
+  Alcotest.(check int) "one closed->open transition" 1 (Breaker.trips b);
+  Breaker.reset b;
+  Alcotest.(check bool) "reset closes it" false (Breaker.tripped b)
+
+(* ---- pool: supervision ---- *)
+
+let test_pool_watchdog_reaps_stalled_task () =
+  let victim = 1 in
+  let work payload =
+    let i = task_index payload in
+    if i = victim then Unix.sleepf 30.0;
+    J.Int i
+  in
+  let outcomes, stats =
+    Pool.run ~jobs:2 ~max_chunk:1 ~task_deadline_s:0.5 ~work
+      (Array.init 4 (fun i -> J.Int i))
+  in
+  (match outcomes.(victim) with
+  | Some (Pool.Timed_out d) ->
+      Alcotest.(check (float 1e-9)) "carries the configured deadline" 0.5 d
+  | _ -> Alcotest.fail "stalled task should be Timed_out");
+  Array.iteri
+    (fun i o ->
+      if i <> victim then
+        match o with
+        | Some (Pool.Done r) -> Alcotest.check json "survivor" (J.Int i) r
+        | _ -> Alcotest.fail "non-stalled task damaged")
+    outcomes;
+  Alcotest.(check int) "one timeout" 1 stats.Pool.timeouts
+
+let test_pool_watchdog_reaps_sigstopped_worker () =
+  (* the hard case: a SIGSTOP'd worker makes no syscalls and holds its
+     pipes open — only the parent-side SIGKILL can resolve it *)
+  let chaos = Chaos.explicit [ (2, Chaos.Stall_self) ] in
+  let work payload = J.Int (task_index payload) in
+  let t0 = Unix.gettimeofday () in
+  let outcomes, stats =
+    Pool.run ~jobs:2 ~max_chunk:1 ~task_deadline_s:0.5 ~chaos ~work
+      (Array.init 5 (fun i -> J.Int i))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match outcomes.(2) with
+  | Some (Pool.Timed_out _) -> ()
+  | _ -> Alcotest.fail "SIGSTOP-stalled task should be Timed_out");
+  Alcotest.(check bool)
+    (Printf.sprintf "reaped promptly (%.2fs), not hung" elapsed)
+    true (elapsed < 5.0);
+  Alcotest.(check int) "one timeout" 1 stats.Pool.timeouts;
+  Array.iteri
+    (fun i o ->
+      if i <> 2 then
+        match o with
+        | Some (Pool.Done r) -> Alcotest.check json "survivor" (J.Int i) r
+        | _ -> Alcotest.fail "non-stalled task damaged")
+    outcomes
+
+let test_pool_breaker_gives_up_early () =
+  (* every dispatched task kills its worker: after [threshold] consecutive
+     losses the pool must stop feeding the collapse and return early with
+     the tail undecided, not drain it as Lost *)
+  let work payload =
+    let i = task_index payload in
+    if i < 6 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    J.Int i
+  in
+  let breaker = Breaker.create ~threshold:2 () in
+  let backoff = Backoff.create ~base_s:0.01 ~max_s:0.02 ~seed:0 () in
+  let outcomes, stats =
+    Pool.run ~jobs:2 ~max_chunk:1 ~breaker ~backoff ~work
+      (Array.init 12 (fun i -> J.Int i))
+  in
+  (match stats.Pool.gave_up with
+  | Some cause ->
+      Alcotest.(check bool) "names the breaker" true (contains cause "breaker")
+  | None -> Alcotest.fail "pool should give up once the breaker trips");
+  Alcotest.(check bool) "breaker tripped" true (stats.Pool.breaker_trips >= 1);
+  Alcotest.(check bool) "at least threshold losses" true
+    (stats.Pool.tasks_lost >= 2);
+  Alcotest.(check bool) "undecided work remains (not drained as Lost)" true
+    (Array.exists (fun o -> o = None) outcomes)
+
+(* ---- pool: chaos faults surface as the right outcomes ---- *)
+
+let test_pool_chaos_lethal_faults_cost_their_task () =
+  let chaos =
+    Chaos.explicit
+      [ (1, Chaos.Kill_self); (3, Chaos.Torn_result); (4, Chaos.Corrupt_result) ]
+  in
+  let work payload = J.Int (task_index payload * 2) in
+  let backoff = Backoff.create ~base_s:0.01 ~max_s:0.02 ~seed:0 () in
+  let outcomes, stats =
+    Pool.run ~jobs:2 ~max_chunk:1 ~backoff ~chaos ~work
+      (Array.init 6 (fun i -> J.Int i))
+  in
+  let lethal = [ 1; 3; 4 ] in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some (Pool.Lost cause) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d planned lethal" i)
+            true (List.mem i lethal);
+          (* kill reaps as a signal; torn/corrupt workers _exit 1 *)
+          let expected = if i = 1 then "SIGKILL" else "exited with code 1" in
+          Alcotest.(check bool)
+            (Printf.sprintf "cause %S matches the fault" cause)
+            true (contains cause expected)
+      | Some (Pool.Done r) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d planned survivor" i)
+            true
+            (not (List.mem i lethal));
+          Alcotest.check json "survivor result" (J.Int (i * 2)) r
+      | Some (Pool.Timed_out _) -> Alcotest.fail "no stall was planned"
+      | None -> Alcotest.fail "undecided task")
+    outcomes;
+  Alcotest.(check int) "three losses" 3 stats.Pool.tasks_lost
+
+let test_pool_chaos_delay_is_lossless () =
+  let chaos = Chaos.explicit [ (0, Chaos.Delay_result 0.1) ] in
+  let work payload = J.Int (task_index payload) in
+  let outcomes, stats =
+    Pool.run ~jobs:2 ~chaos ~work (Array.init 4 (fun i -> J.Int i))
+  in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some (Pool.Done r) -> Alcotest.check json "result" (J.Int i) r
+      | _ -> Alcotest.fail "delay must not lose the task")
+    outcomes;
+  Alcotest.(check int) "no losses" 0 stats.Pool.tasks_lost
+
 let () =
   Alcotest.run "exec"
     [
@@ -260,6 +472,12 @@ let () =
           Alcotest.test_case "EOF at frame boundary" `Quick test_ipc_eof_at_boundary;
           Alcotest.test_case "torn frame" `Quick test_ipc_torn_frame;
           Alcotest.test_case "oversized frame" `Quick test_ipc_oversized_frame;
+          Alcotest.test_case "faulty writer: torn" `Quick
+            test_ipc_write_faulty_torn;
+          Alcotest.test_case "faulty writer: corrupt" `Quick
+            test_ipc_write_faulty_corrupt;
+          Alcotest.test_case "faulty writer: delay is lossless" `Quick
+            test_ipc_write_faulty_delay_is_lossless;
         ] );
       ( "pool",
         [
@@ -276,5 +494,24 @@ let () =
           Alcotest.test_case "should_stop returns promptly" `Quick
             test_pool_should_stop_returns_promptly;
           Alcotest.test_case "detect_jobs" `Quick test_detect_jobs_positive;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "backoff ladder and reset" `Quick
+            test_backoff_ladder_and_reset;
+          Alcotest.test_case "backoff determinism" `Quick
+            test_backoff_same_seed_same_delays;
+          Alcotest.test_case "breaker trips and resets" `Quick
+            test_breaker_trips_and_resets;
+          Alcotest.test_case "watchdog reaps a stalled task" `Quick
+            test_pool_watchdog_reaps_stalled_task;
+          Alcotest.test_case "watchdog reaps a SIGSTOP'd worker" `Quick
+            test_pool_watchdog_reaps_sigstopped_worker;
+          Alcotest.test_case "breaker gives up early" `Quick
+            test_pool_breaker_gives_up_early;
+          Alcotest.test_case "chaos lethal faults cost one task each" `Quick
+            test_pool_chaos_lethal_faults_cost_their_task;
+          Alcotest.test_case "chaos delay is lossless" `Quick
+            test_pool_chaos_delay_is_lossless;
         ] );
     ]

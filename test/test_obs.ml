@@ -286,6 +286,9 @@ let test_heartbeat_line () =
       hb_eta_s = 5.6;
       hb_counters =
         [ ("interp.instructions", 1234); ("classify.loops", 2); ("interp.runs", 1); ("deptest.unknown", 1) ];
+      hb_timeouts = 0;
+      hb_backoff_waits = 0;
+      hb_breaker_trips = 0;
     }
   in
   let line = Campaign.Runner.heartbeat_line hb in
@@ -294,7 +297,15 @@ let test_heartbeat_line () =
   Alcotest.(check bool) "largest delta shown" true
     (contains line "interp.instructions +1234");
   (* only the three largest movements ride along *)
-  Alcotest.(check bool) "fourth delta dropped" false (contains line "deptest.unknown")
+  Alcotest.(check bool) "fourth delta dropped" false (contains line "deptest.unknown");
+  (* supervision stays out of the line while nothing went wrong *)
+  Alcotest.(check bool) "quiet supervision omitted" false (contains line "timeouts");
+  let line2 =
+    Campaign.Runner.heartbeat_line
+      { hb with Campaign.Runner.hb_timeouts = 2; hb_breaker_trips = 1 }
+  in
+  Alcotest.(check bool) "timeouts surface" true (contains line2 "timeouts 2");
+  Alcotest.(check bool) "breaker trips surface" true (contains line2 "breaker 1")
 
 (* ---- absorption: merging forked-worker telemetry ---- *)
 
