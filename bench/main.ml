@@ -148,6 +148,134 @@ let () =
        ]
       @ List.map (fun (k, v) -> (k, Util.Json.Int v)) deltas)
 
+(* ---- guarded parallel DOALL execution: measured vs predicted ----
+
+   Still before [analyses]: shard workers fork the parent image, so the
+   heap must stay small while the pool runs. Two synthetic kernels sized
+   so the loop body dwarfs the fork+IPC overhead (the regime the guarded
+   runtime is for), plus two real suites — the DOALL outlier and a
+   conflict-prone one — to keep the calibration honest. *)
+
+let parrun_results : Util.Json.t ref = ref Util.Json.Null
+
+let () =
+  section "Guarded parallel execution — measured vs predicted DOALL speedup";
+  (* a big integer reduction: no write set to ship, near-ideal sharding *)
+  let synthetic_reduce =
+    {|
+fn main() -> int {
+  var n: int = 300000;
+  var a: int[] = new int[n];
+  for (var i: int = 0; i < n; i = i + 1) { a[i] = i * 2654435761 + 17; }
+  var s: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) { s = s + a[i] * a[i]; }
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  (* a big map: every shard ships its write set back to the parent, so the
+     commit cost is part of the measured number *)
+  let synthetic_map =
+    {|
+fn main() -> int {
+  var n: int = 200000;
+  var a: int[] = new int[n];
+  var b: int[] = new int[n];
+  for (var i: int = 0; i < n; i = i + 1) { a[i] = i * 31 + 7; }
+  for (var i: int = 0; i < n; i = i + 1) { b[i] = a[i] * a[i] + a[i] / 3; }
+  print_int(b[n - 1]);
+  return 0;
+}
+|}
+  in
+  let real name =
+    match Suites.Suite.find name with
+    | Some b -> [ (name, b.Suites.Suite.source) ]
+    | None -> []
+  in
+  let targets =
+    [ ("synthetic_reduce", synthetic_reduce); ("synthetic_map", synthetic_map) ]
+    @ real "462_libquantum" @ real "181_mcf"
+  in
+  let knobs = { Parrun.Runner.default_knobs with Parrun.Runner.jobs = 2 } in
+  let t =
+    Report.Table.create
+      [ "target"; "loop"; "commit"; "rollbk"; "serial_s"; "par_s"; "measured"; "predicted" ]
+  in
+  let series = ref [] in
+  List.iter
+    (fun (name, src) ->
+      match Parrun.Guard.run ~knobs ~target:name src with
+      | Error f ->
+          Printf.printf "%s: %s\n" name (Loopa.Driver.failure_to_string f)
+      | Ok r ->
+          assert r.Parrun.Guard.identical;
+          List.iter
+            (fun (row : Parrun.Guard.calib_row) ->
+              if row.Parrun.Guard.cb_invocations > 0 then begin
+                let fopt = function
+                  | None -> "-"
+                  | Some f -> Printf.sprintf "%.2fx" f
+                in
+                Report.Table.add_row t
+                  [
+                    name;
+                    Printf.sprintf "%s:bb%d" row.Parrun.Guard.cb_fname
+                      row.Parrun.Guard.cb_header;
+                    string_of_int row.Parrun.Guard.cb_committed;
+                    string_of_int row.Parrun.Guard.cb_rollbacks;
+                    Printf.sprintf "%.4f" row.Parrun.Guard.cb_serial_s;
+                    Printf.sprintf "%.4f" row.Parrun.Guard.cb_parallel_s;
+                    fopt row.Parrun.Guard.cb_measured;
+                    fopt row.Parrun.Guard.cb_predicted;
+                  ];
+                let jf = function
+                  | None -> Util.Json.Null
+                  | Some f -> Util.Json.Float f
+                in
+                series :=
+                  Util.Json.Obj
+                    [
+                      ("target", Util.Json.String name);
+                      ( "loop",
+                        Util.Json.String
+                          (Printf.sprintf "%s:bb%d" row.Parrun.Guard.cb_fname
+                             row.Parrun.Guard.cb_header) );
+                      ("committed", Util.Json.Int row.Parrun.Guard.cb_committed);
+                      ("rollbacks", Util.Json.Int row.Parrun.Guard.cb_rollbacks);
+                      ("conflicts", Util.Json.Int row.Parrun.Guard.cb_conflicts);
+                      ("serial_s", Util.Json.Float row.Parrun.Guard.cb_serial_s);
+                      ("parallel_s", Util.Json.Float row.Parrun.Guard.cb_parallel_s);
+                      ("measured", jf row.Parrun.Guard.cb_measured);
+                      ("predicted", jf row.Parrun.Guard.cb_predicted);
+                    ]
+                  :: !series
+              end)
+            r.Parrun.Guard.rows)
+    targets;
+  print_endline (Report.Table.render t);
+  print_endline
+    "(reduction shards ship one accumulator back; map shards ship their whole\n\
+    \ write set — the gap between the two measured columns is the commit cost)";
+  (* record the host core count next to the measurements: on a 1-core
+     container the shards timeshare the CPU, so measured speedup is capped
+     below 1 by construction — the series is only comparable PR-over-PR
+     alongside this field *)
+  let cores = Exec.Pool.detect_jobs () in
+  if cores < 2 then
+    Printf.printf
+      "note: %d core(s) online — shards timeshare the CPU, measured speedup \
+       is capped below 1x on this host\n"
+      cores;
+  parrun_results :=
+    Util.Json.Obj
+      [
+        ("jobs", Util.Json.Int knobs.Parrun.Runner.jobs);
+        ("cores", Util.Json.Int cores);
+        ("parallel_loop_speedup", Util.Json.List (List.rev !series));
+      ]
+
 (* ---- shared: profile every benchmark once ---- *)
 
 let analyses : (Suites.Suite.benchmark * Loopa.Driver.analysis) list =
@@ -609,6 +737,7 @@ let write_bench_snapshot () =
                    ])
                !scaling_results) );
         ("chaos", !chaos_results);
+        ("parrun", !parrun_results);
         ( "lint",
           let files, diags, wall = !lint_results in
           Util.Json.Obj

@@ -4,6 +4,7 @@
      loopapalooza run <file|bench>         — execute a Looplang program
      loopapalooza analyze <file|bench>     — limit study under one config
      loopapalooza sweep <file|bench>       — the full Figure-2/3 config ladder
+     loopapalooza parrun <targets..>       — guarded parallel DOALL execution
      loopapalooza campaign <targets..>     — fault-tolerant whole-suite runs
      loopapalooza chaos [targets..]        — seeded fault-injection soak
      loopapalooza repro show|replay|shrink — crash-repro bundles
@@ -332,8 +333,32 @@ let analyze_cmd =
 
 (* ---- sweep ---- *)
 
+(* guarded parallel execution speaks Parrun.Guard rows; the report layer
+   renders its own plain record — bridge the two *)
+let calib_report_rows rows =
+  List.map
+    (fun (r : Parrun.Guard.calib_row) ->
+      {
+        Report.Calibration.fname = r.Parrun.Guard.cb_fname;
+        lid = r.Parrun.Guard.cb_lid;
+        header = r.Parrun.Guard.cb_header;
+        eligible = r.Parrun.Guard.cb_eligible;
+        why = r.Parrun.Guard.cb_why;
+        invocations = r.Parrun.Guard.cb_invocations;
+        sharded = r.Parrun.Guard.cb_sharded;
+        committed = r.Parrun.Guard.cb_committed;
+        rollbacks = r.Parrun.Guard.cb_rollbacks;
+        conflicts = r.Parrun.Guard.cb_conflicts;
+        quarantined = r.Parrun.Guard.cb_quarantined;
+        serial_s = r.Parrun.Guard.cb_serial_s;
+        parallel_s = r.Parrun.Guard.cb_parallel_s;
+        measured = r.Parrun.Guard.cb_measured;
+        predicted = r.Parrun.Guard.cb_predicted;
+      })
+    rows
+
 let sweep_cmd =
-  let run target fuel jobs trace metrics prom =
+  let run target fuel jobs parallel_loops trace metrics prom =
     handle_errors (fun () ->
         with_telemetry ~trace ~metrics ~prom (fun () ->
             let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
@@ -386,12 +411,267 @@ let sweep_cmd =
               Report.Table.create [ "configuration"; "speedup"; "coverage %"; "static %" ]
             in
             List.iter (Report.Table.add_row t) rows;
-            print_endline (Report.Table.render t)))
+            print_endline (Report.Table.render t);
+            (* ---- guarded parallel execution: predicted vs measured ---- *)
+            if parallel_loops then begin
+              let knobs =
+                {
+                  Parrun.Runner.default_knobs with
+                  Parrun.Runner.jobs = max 2 jobs;
+                }
+              in
+              print_newline ();
+              print_endline "guarded parallel execution (measured vs predicted):";
+              match
+                Parrun.Guard.run ~knobs ~fuel ~target (read_program target)
+              with
+              | Error f -> print_endline (Loopa.Driver.failure_to_string f)
+              | Ok r ->
+                  print_endline
+                    (Report.Calibration.render (calib_report_rows r.Parrun.Guard.rows));
+                  Printf.printf "serial %.4fs  parallel %.4fs  %s\n"
+                    r.Parrun.Guard.serial_wall r.Parrun.Guard.parallel_wall
+                    (if r.Parrun.Guard.identical then "byte-identical"
+                     else "DIVERGED")
+            end))
+  in
+  let parallel_loops_arg =
+    Arg.(
+      value & flag
+      & info [ "parallel-loops" ]
+          ~doc:
+            "Additionally execute the program under the guarded parallel \
+             runtime and append a calibration table: measured parallel \
+             speedup per proven-DOALL loop against the cost model's \
+             prediction.")
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Evaluate the full Figure-2/3 configuration ladder.")
     Term.(
-      const run $ target_arg $ fuel_arg $ jobs_arg $ trace_arg $ metrics_arg $ prom_arg)
+      const run $ target_arg $ fuel_arg $ jobs_arg $ parallel_loops_arg
+      $ trace_arg $ metrics_arg $ prom_arg)
+
+(* ---- parrun ---- *)
+
+let print_parrun_result target (r : Parrun.Guard.result) =
+  Printf.printf "== %s ==\n" target;
+  let rows = calib_report_rows r.Parrun.Guard.rows in
+  if rows = [] then print_endline "no Proven_doall loops"
+  else begin
+    print_endline (Report.Calibration.render rows);
+    let chart = Report.Calibration.chart rows in
+    if chart <> "" then begin
+      print_newline ();
+      print_endline chart
+    end
+  end;
+  Printf.printf "serial %.4fs  parallel %.4fs  %s\n" r.Parrun.Guard.serial_wall
+    r.Parrun.Guard.parallel_wall
+    (if r.Parrun.Guard.identical then "byte-identical"
+     else "DIVERGED (guarded execution is unsound — this is a bug)");
+  if Exec.Pool.detect_jobs () < 2 then
+    print_endline
+      "note: 1 core online — shards timeshare the CPU, so measured speedup \
+       is capped below 1x on this host";
+  if not r.Parrun.Guard.identical then
+    List.iter (fun d -> Printf.printf "  diff: %s\n" d) r.Parrun.Guard.diffs;
+  List.iter
+    (fun (c : Parrun.Runner.conflict_record) ->
+      Printf.printf "conflict: %s — %s%s\n" c.Parrun.Runner.cf_fingerprint
+        c.Parrun.Runner.cf_message
+        (match c.Parrun.Runner.cf_bundle with
+        | Some p -> Printf.sprintf " (bundle: %s)" p
+        | None -> ""))
+    (Parrun.Runner.conflicts r.Parrun.Guard.runner)
+
+let parrun_result_json target (r : Parrun.Guard.result) : Util.Json.t =
+  Util.Json.Obj
+    [
+      ("target", Util.Json.String target);
+      ("identical", Util.Json.Bool r.Parrun.Guard.identical);
+      ( "diffs",
+        Util.Json.List
+          (List.map (fun d -> Util.Json.String d) r.Parrun.Guard.diffs) );
+      ("serial_wall_s", Util.Json.Float r.Parrun.Guard.serial_wall);
+      ("parallel_wall_s", Util.Json.Float r.Parrun.Guard.parallel_wall);
+      ( "loops",
+        Util.Json.List
+          (List.map Report.Calibration.row_to_json
+             (calib_report_rows r.Parrun.Guard.rows)) );
+      ( "conflicts",
+        Util.Json.List
+          (List.map
+             (fun (c : Parrun.Runner.conflict_record) ->
+               Util.Json.Obj
+                 [
+                   ("fingerprint", Util.Json.String c.Parrun.Runner.cf_fingerprint);
+                   ("message", Util.Json.String c.Parrun.Runner.cf_message);
+                   ( "bundle",
+                     match c.Parrun.Runner.cf_bundle with
+                     | Some p -> Util.Json.String p
+                     | None -> Util.Json.Null );
+                 ])
+             (Parrun.Runner.conflicts r.Parrun.Guard.runner)) );
+    ]
+
+let parrun_cmd =
+  let run targets all fuel jobs min_trip quarantine_path repro_dir watchdog
+      chaos_seed no_predict fail_on_quarantine json trace metrics prom =
+    handle_errors_int (fun () ->
+        with_telemetry ~trace ~metrics ~prom (fun () ->
+            let targets =
+              if all then Suites.Suite.names ()
+              else if targets = [] then
+                raise (Invalid_argument "no targets (name some, or pass --all)")
+              else targets
+            in
+            let jobs = resolve_jobs jobs in
+            let knobs =
+              {
+                Parrun.Runner.default_knobs with
+                Parrun.Runner.jobs;
+                min_trip;
+                watchdog_s = watchdog;
+                chaos = Option.map Exec.Chaos.shard_seeded chaos_seed;
+              }
+            in
+            let quarantine =
+              match quarantine_path with
+              | Some p -> Parrun.Quarantine.load p
+              | None -> Parrun.Quarantine.create ()
+            in
+            let pre_quarantined = Parrun.Quarantine.size quarantine in
+            let diverged = ref [] and failed = ref [] and docs = ref [] in
+            List.iter
+              (fun target ->
+                match
+                  Parrun.Guard.run ~knobs ~quarantine ?repro_dir ~fuel
+                    ~predict:(not no_predict) ~target (read_program target)
+                with
+                | Error f ->
+                    failed := target :: !failed;
+                    Printf.eprintf "%s: %s\n" target
+                      (Loopa.Driver.failure_to_string f)
+                | Ok r ->
+                    if json then docs := parrun_result_json target r :: !docs
+                    else begin
+                      print_parrun_result target r;
+                      print_newline ()
+                    end;
+                    if not r.Parrun.Guard.identical then
+                      diverged := target :: !diverged)
+              targets;
+            Option.iter (Parrun.Quarantine.save quarantine) quarantine_path;
+            if json then
+              print_endline
+                (Util.Json.to_string (Util.Json.List (List.rev !docs)));
+            let newly = Parrun.Quarantine.size quarantine - pre_quarantined in
+            if newly > 0 then
+              Printf.eprintf "%d verdict(s) newly quarantined\n" newly;
+            if !diverged <> [] then begin
+              Printf.eprintf "DIVERGENCE on: %s\n"
+                (String.concat ", " (List.rev !diverged));
+              1
+            end
+            else if !failed <> [] then 1
+            else if fail_on_quarantine && newly > 0 then 1
+            else 0))
+  in
+  let targets_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PROGRAM"
+          ~doc:"Registered benchmark names or Looplang source files.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Run every benchmark in the registry.")
+  in
+  let par_jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Shards per eligible loop invocation; 0 means one per detected \
+             core, 1 disables sharding (everything runs serially).")
+  in
+  let min_trip_arg =
+    Arg.(
+      value & opt int Parrun.Runner.default_knobs.Parrun.Runner.min_trip
+      & info [ "min-trip" ] ~docv:"N"
+          ~doc:"Smallest known iteration count worth forking a pool for.")
+  in
+  let quarantine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"FILE"
+          ~doc:
+            "Load previously quarantined verdicts from $(docv) before running \
+             and save the (possibly grown) set back afterwards.")
+  in
+  let repro_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write a deterministic repro bundle into $(docv) for every \
+             detected conflict; replay with $(b,repro replay).")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watchdog" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-shard wall deadline: a stalled shard is reaped and the \
+             invocation rolls back to serial execution.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:
+            "Inject seeded shard faults (kill/stall/torn/corrupt) to soak the \
+             rollback path; results must still be byte-identical.")
+  in
+  let no_predict_arg =
+    Arg.(
+      value & flag
+      & info [ "no-predict" ]
+          ~doc:
+            "Skip the cost-model profiling pass (the predicted-speedup column \
+             reads as '-').")
+  in
+  let fail_on_quarantine_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-on-quarantine" ]
+          ~doc:
+            "Exit non-zero when a run quarantines a verdict that was not \
+             already quarantined (CI soak mode: every conflict is news).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON document per target instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "parrun"
+       ~doc:
+         "Guarded parallel DOALL execution: shard proven-parallel loops across \
+          forked workers, detect cross-shard conflicts, roll back to serial on \
+          any doubt, quarantine lying verdicts, and report measured vs \
+          predicted speedup. Exit 1 on divergence (or, with \
+          --fail-on-quarantine, on any new quarantine entry).")
+    Term.(
+      const run $ targets_arg $ all_arg $ fuel_arg $ par_jobs_arg $ min_trip_arg
+      $ quarantine_arg $ repro_dir_arg $ watchdog_arg $ chaos_seed_arg
+      $ no_predict_arg $ fail_on_quarantine_arg $ json_arg $ trace_arg
+      $ metrics_arg $ prom_arg)
 
 (* ---- campaign ---- *)
 
@@ -880,7 +1160,14 @@ let repro_replay_cmd =
         Printf.printf "expected: [%s] %s\n"
           (Loopa.Driver.stage_name b.Repro.Bundle.stage)
           b.Repro.Bundle.fingerprint;
-        match Repro.Pipeline.replay b with
+        (* Parrun bundles replay through the guarded runtime (repro can't
+           depend on parrun — the dependency points the other way) *)
+        let verdict =
+          match b.Repro.Bundle.stage with
+          | Loopa.Driver.Parrun -> Parrun.Guard.replay b
+          | _ -> Repro.Pipeline.replay b
+        in
+        match verdict with
         | Repro.Pipeline.Reproduced ->
             print_endline "reproduced";
             0
@@ -1078,6 +1365,7 @@ let () =
             run_cmd;
             analyze_cmd;
             sweep_cmd;
+            parrun_cmd;
             campaign_cmd;
             chaos_cmd;
             repro_cmd;

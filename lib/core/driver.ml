@@ -20,7 +20,15 @@ type analysis = {
    compares classes only, since deleting code legitimately moves positions
    and clocks. *)
 
-type stage = Compile | Verify | Prepare | Execute | Crosscheck | Evaluate | Fuzz
+type stage =
+  | Compile
+  | Verify
+  | Prepare
+  | Execute
+  | Crosscheck
+  | Evaluate
+  | Fuzz
+  | Parrun  (* guarded parallel loop execution (lib/parrun) *)
 
 let stage_name = function
   | Compile -> "compile"
@@ -30,6 +38,7 @@ let stage_name = function
   | Crosscheck -> "crosscheck"
   | Evaluate -> "evaluate"
   | Fuzz -> "fuzz"
+  | Parrun -> "parrun"
 
 let stage_of_name = function
   | "compile" -> Some Compile
@@ -39,6 +48,7 @@ let stage_of_name = function
   | "crosscheck" -> Some Crosscheck
   | "evaluate" -> Some Evaluate
   | "fuzz" -> Some Fuzz
+  | "parrun" -> Some Parrun
   | _ -> None
 
 type failure = { stage : stage; fingerprint : string; message : string }

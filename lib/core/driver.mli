@@ -5,7 +5,15 @@
 type analysis = { ms : Classify.module_static; profile : Profile.profile }
 
 (** Which pipeline stage a classified failure came from. *)
-type stage = Compile | Verify | Prepare | Execute | Crosscheck | Evaluate | Fuzz
+type stage =
+  | Compile
+  | Verify
+  | Prepare
+  | Execute
+  | Crosscheck
+  | Evaluate
+  | Fuzz
+  | Parrun  (** guarded parallel loop execution (lib/parrun) *)
 
 val stage_name : stage -> string
 

@@ -62,25 +62,31 @@ let unit_of seed lane i =
   let bits = Int64.shift_right_logical (hash seed lane i) 11 in
   Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
 
+(* The rate ladder, shared by per-task and per-shard placement; the lane
+   pair keeps the two schedules (and each schedule's fault-vs-delay
+   decisions) independent for the same index. *)
+let pick_fault ~seed ~rates ~lane_fault ~lane_delay i =
+  let u = unit_of seed lane_fault i in
+  let k = rates.kill in
+  let s = k +. rates.stall in
+  let t = s +. rates.torn in
+  let c = t +. rates.corrupt in
+  let d = c +. rates.delay in
+  if u < k then Some Kill_self
+  else if u < s then Some Stall_self
+  else if u < t then Some Torn_result
+  else if u < c then Some Corrupt_result
+  else if u < d then
+    (* short delays only: long enough to shuffle completion order,
+       far below any sane watchdog deadline (no injected timeouts) *)
+    Some (Delay_result (0.02 +. (0.2 *. unit_of seed lane_delay i)))
+  else None
+
 let task_fault plan i =
   match plan with
   | Explicit { tasks; _ } -> List.assoc_opt i tasks
   | Seeded { seed; rates } ->
-      let u = unit_of seed 0 i in
-      let k = rates.kill in
-      let s = k +. rates.stall in
-      let t = s +. rates.torn in
-      let c = t +. rates.corrupt in
-      let d = c +. rates.delay in
-      if u < k then Some Kill_self
-      else if u < s then Some Stall_self
-      else if u < t then Some Torn_result
-      else if u < c then Some Corrupt_result
-      else if u < d then
-        (* short delays only: long enough to shuffle completion order,
-           far below any sane watchdog deadline (no injected timeouts) *)
-        Some (Delay_result (0.02 +. (0.2 *. unit_of seed 1 i)))
-      else None
+      pick_fault ~seed ~rates ~lane_fault:0 ~lane_delay:1 i
 
 let ckpt_fault plan k =
   match plan with
@@ -89,6 +95,58 @@ let ckpt_fault plan k =
       if unit_of seed 2 k < rates.ckpt then
         if Int64.rem (hash seed 3 k) 2L = 0L then Some Eio else Some Enospc
       else None
+
+(* ---- shard-scoped faults (guarded parallel loop execution) ----
+
+   A shard fault sabotages one shard of one sharded loop invocation:
+   the guarded runner translates the (invocation, shard) decision into a
+   per-round explicit task plan for the pool, so the usual worker-side
+   injection point fires mid-loop. Keyed independently of the task
+   schedule (lanes 4/5 vs 0/1) so chaosing a campaign and chaosing its
+   parallel loops never alias. *)
+
+type shard_plan =
+  | Shard_seeded of { seed : int; rates : rates }
+  | Shard_explicit of ((int * int) * task_fault) list
+
+let shard_seeded ?(rates = default_rates) seed = Shard_seeded { seed; rates }
+
+let shard_explicit faults = Shard_explicit faults
+
+(* One index per (invocation, shard) pair: shards per invocation are
+   bounded by the pool's job count, far below the mixing factor, so the
+   mapping is injective in practice and deterministic regardless. *)
+let shard_index ~invocation ~shard = (invocation * 8191) + shard
+
+let shard_fault plan ~invocation ~shard =
+  match plan with
+  | Shard_explicit faults -> List.assoc_opt (invocation, shard) faults
+  | Shard_seeded { seed; rates } ->
+      pick_fault ~seed ~rates ~lane_fault:4 ~lane_delay:5
+        (shard_index ~invocation ~shard)
+
+let shard_summary plan ~invocations ~shards =
+  let tbl = Hashtbl.create 8 in
+  for inv = 0 to invocations - 1 do
+    for s = 0 to shards - 1 do
+      match shard_fault plan ~invocation:inv ~shard:s with
+      | None -> ()
+      | Some f ->
+          let k =
+            match f with
+            | Kill_self -> "kill"
+            | Stall_self -> "stall"
+            | Torn_result -> "torn"
+            | Corrupt_result -> "corrupt"
+            | Delay_result _ -> "delay"
+          in
+          Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+    done
+  done;
+  [ "kill"; "stall"; "torn"; "corrupt"; "delay" ]
+  |> List.map (fun k ->
+         Printf.sprintf "%s %d" k (Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+  |> String.concat ", "
 
 let lethal = function
   | Kill_self | Stall_self | Torn_result | Corrupt_result -> true

@@ -72,6 +72,34 @@ val task_fault : plan -> int -> task_fault option
 (** The fault scheduled for the [k]th checkpoint-write attempt. Pure. *)
 val ckpt_fault : plan -> int -> ckpt_fault option
 
+(** {2 Shard-scoped faults}
+
+    A shard fault sabotages one shard of one sharded loop invocation in
+    the guarded parallel runner — kill/stall/corrupt a shard {e mid-loop}.
+    The runner translates the decision into a per-round {!explicit} task
+    plan for the pool (task index = shard index), so the usual worker-side
+    injection point fires while the shard executes its iteration range.
+    Placement is keyed on hash lanes disjoint from the task/ckpt schedules:
+    chaosing a campaign and chaosing its parallel loops never alias. *)
+
+type shard_plan
+
+(** Seeded placement over [(invocation, shard)] pairs, same rate ladder as
+    {!seeded} (the [ckpt] rate is unused). *)
+val shard_seeded : ?rates:rates -> int -> shard_plan
+
+(** Exact placement for tests: [(invocation, shard)] — the runner's global
+    sharded-invocation counter and the shard's index — to fault. *)
+val shard_explicit : ((int * int) * task_fault) list -> shard_plan
+
+(** The fault scheduled for shard [shard] of sharded invocation
+    [invocation], if any. Pure. *)
+val shard_fault : shard_plan -> invocation:int -> shard:int -> task_fault option
+
+(** Planned shard-fault counts over invocations [0 .. invocations-1] and
+    shards [0 .. shards-1], rendered as ["kill 2, stall 1, ..."]. *)
+val shard_summary : shard_plan -> invocations:int -> shards:int -> string
+
 (** True for faults that cost the task (kill, stall, torn, corrupt);
     [Delay_result] completes normally. *)
 val lethal : task_fault -> bool

@@ -1,0 +1,57 @@
+(** Instrumentation hooks — the run-time callback surface the paper's
+    compile-time component inserts into the program (§III-A). The machine
+    invokes these during execution; [Loopa.Profile] implements them for
+    profiling, and the guarded parallel runner's shard workers implement
+    [on_mem_access] as a per-shard access log. All hooks receive the
+    dynamic IR instruction count ("clock") as the time-stamp.
+
+    Loop ids are the [Cfg.Loopinfo] lids of the {e current} function; the
+    listener tracks which function is current via call_enter/call_exit. *)
+
+type hooks = {
+  on_call_enter : fname:string -> clock:int -> unit;
+  on_call_exit : fname:string -> clock:int -> unit;
+  on_loop_enter : lid:int -> clock:int -> unit;
+  on_loop_iter : lid:int -> clock:int -> unit;
+      (** arrival at the header via the latch: a new iteration begins *)
+  on_loop_exit : lid:int -> clock:int -> unit;
+  on_mem_access : addr:int -> is_write:bool -> clock:int -> unit;
+      (** every tracked word access; fires {e before} the store lands, so
+          a logger can snapshot the overwritten value *)
+  on_watched_def : instr_id:int -> clock:int -> unit;
+      (** execution of an instruction the listener registered interest in
+          (producers of register LCD values) *)
+  on_watched_use : phi_id:int -> clock:int -> unit;
+      (** use of a watched header phi's value by any instruction *)
+  on_header_phi : phi_id:int -> value:Rvalue.rv -> clock:int -> unit;
+      (** value flowing into a watched header phi at each header arrival;
+          for the entry edge this is the initial value, for latch edges the
+          value the previous iteration produced *)
+  on_builtin_call : name:string -> clock:int -> unit;
+      (** a builtin ("library") call; user calls report via on_call_enter *)
+}
+
+(** Every callback a no-op. Start from this and override the fields you
+    need. *)
+val no_hooks : hooks
+
+(** Which instructions of each function the listener wants reported.
+    [defs] marks producers (on_watched_def); [phi_uses] maps instruction
+    id -> list of watched phi ids it uses (on_watched_use); [phis] marks
+    watched header phis (on_header_phi). [mem_lids], indexed by
+    [Cfg.Loopinfo] lid, says whether a loop still needs the memory-event
+    stream: the machine only emits on_mem_access while at least one active
+    loop (anywhere on the call stack) wants it. Loops statically proven
+    free of cross-iteration RAW are dropped here — the watch-plan pruning
+    of the static dependence tester. *)
+type watch_plan = {
+  defs : bool array;
+  phis : bool array;
+  phi_uses : int list array;
+  mem_lids : bool array;
+}
+
+(** Watch nothing, prune nothing: all [mem_lids] true, so the memory-event
+    stream is complete. The guarded runner requires plans like this — its
+    commit accounting assumes events = accesses. *)
+val empty_watch_plan : Ir.Func.t -> watch_plan

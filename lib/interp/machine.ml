@@ -29,11 +29,43 @@ type fault =
 
 type fault_plan = (int * fault) list
 
+(* A fresh arrival at a loop header from outside the loop, offered to the
+   delegate (the guarded parallel runner) before the machine executes the
+   loop itself. The register and argument arrays are the live frame state:
+   a delegate that declines must leave them untouched. *)
+type loop_entry = {
+  le_fname : string;
+  le_lid : int;
+  le_header : int;
+  le_pred : int;
+  le_regs : Rvalue.rv array;
+  le_args : Rvalue.rv array;
+}
+
+(* The whole-loop effect a delegate commits in place of serial execution:
+   exactly the clock ticks, register updates, memory writes, access counts
+   and program output the serial loop would have produced, plus the exit
+   edge to resume from. Byte-equivalence with serial execution is the
+   delegate's contract, not the machine's. *)
+type loop_commit = {
+  lc_exit_pred : int;
+  lc_exit_target : int;
+  lc_clock : int;
+  lc_accesses : int;
+  lc_regs : (int * Rvalue.rv) list;
+  lc_writes : (int * Rvalue.rv) list;
+  lc_output : string;
+}
+
 type t = {
   modul : Ir.Func.modul;
   plans : (string, func_plan) Hashtbl.t;
   mem : memory;
-  hooks : Events.hooks;
+  mutable hooks : Events.hooks;
+  (* Consulted on every fresh loop entry; [None] (the default) means every
+     loop executes serially. Only meaningful with unpruned watch plans:
+     a commit counts every shard access as both executed and reported. *)
+  mutable delegate : (t -> loop_entry -> loop_commit option) option;
   mutable clock : int;
   fuel : int;
   deadline : float option; (* Unix.gettimeofday stamp for the wall budget *)
@@ -107,6 +139,7 @@ let create ?(hooks = Events.no_hooks) ?(fuel = 2_000_000_000)
     plans;
     mem = Rvalue.create ~limit:mem_limit modul.Ir.Func.globals;
     hooks;
+    delegate = None;
     clock = 0;
     fuel;
     deadline;
@@ -133,6 +166,41 @@ let mem_accesses (t : t) = t.mem_accesses
 let mem_events (t : t) = t.mem_events
 
 let mem_events_pruned (t : t) = t.mem_accesses - t.mem_events
+
+let fuel (t : t) = t.fuel
+
+let set_hooks (t : t) hooks = t.hooks <- hooks
+
+let set_delegate (t : t) d = t.delegate <- d
+
+(* Raw word access, no tick and no access counting: the guarded runner's
+   shard workers use these to snapshot final written values and to undo a
+   shard's writes before reporting, and the parent uses them to apply a
+   committed write set. Bounds-checked like any program access. *)
+let read_word (t : t) addr = Rvalue.load t.mem addr
+
+let write_word (t : t) addr v = Rvalue.store t.mem addr v
+
+(* Program-output splicing for shard isolation: a worker records the length
+   before running its iteration range, ships the delta, and truncates back
+   so its buffer never leaks shard output into a later task. *)
+let output_length (t : t) = Buffer.length t.out
+
+let output_since (t : t) pos = Buffer.sub t.out pos (Buffer.length t.out - pos)
+
+let truncate_output (t : t) pos = Buffer.truncate t.out pos
+
+(* Evaluate an instruction operand against an explicit frame (the guarded
+   runner resolves loop-entry values and symbolic trip bounds this way). *)
+let eval_operand (t : t) ~(regs : rv array) ~(args : rv array)
+    (v : Ir.Types.value) : rv =
+  match v with
+  | Ir.Types.Const (Ir.Types.Cint i) -> Vint i
+  | Ir.Types.Const (Ir.Types.Cfloat f) -> Vfloat f
+  | Ir.Types.Const (Ir.Types.Cbool b) -> Vbool b
+  | Ir.Types.Reg id -> regs.(id)
+  | Ir.Types.Param i -> args.(i)
+  | Ir.Types.Global g -> Vint (Int64.of_int (Rvalue.global_addr t.mem g))
 
 let plan t fname =
   match Hashtbl.find_opt t.plans fname with
@@ -300,7 +368,171 @@ let exec_builtin t name (args : rv list) : rv option =
 
 (* ---- execution ---- *)
 
-let rec exec_func t fname (args : rv array) : rv option =
+(* One live activation. The block engine below executes against a frame so
+   whole-function execution ([exec_func]) and the guarded runner's
+   iteration-range entry point ([run_loop_range]) share one interpreter. *)
+type frame = {
+  p : func_plan;
+  fname : string;
+  regs : rv array;
+  args : rv array;
+}
+
+(* How a block's straight-line body ended. *)
+type block_exit = Jumped of int | Returned of rv option
+
+(* Each loop-stack entry is (lid, wants_mem): whether this loop's plan kept
+   the memory-event stream. [t.mem_watchers] counts the active wanters
+   machine-wide, so pruned inner loops still report to a tracked outer
+   loop of any enclosing invocation. *)
+let exit_loop t (lid, wants_mem) =
+  t.active_loops <- t.active_loops - 1;
+  if wants_mem then t.mem_watchers <- t.mem_watchers - 1;
+  t.hooks.Events.on_loop_exit ~lid ~clock:t.clock
+
+let pop_all_loops t loop_stack =
+  List.iter (exit_loop t) !loop_stack;
+  loop_stack := []
+
+(* Loop enter/iter/exit events for a CFG edge. *)
+let handle_edge t (p : func_plan) loop_stack ~from_ ~to_ =
+  if from_ >= 0 then begin
+    let rec pop () =
+      match !loop_stack with
+      | ((lid, _) as top) :: rest when not (Cfg.Loopinfo.contains p.li lid to_) ->
+          exit_loop t top;
+          loop_stack := rest;
+          pop ()
+      | _ -> ()
+    in
+    pop ()
+  end;
+  match Cfg.Loopinfo.loop_of_header p.li to_ with
+  | Some lid -> (
+      match !loop_stack with
+      | (top, _) :: _ when top = lid -> t.hooks.Events.on_loop_iter ~lid ~clock:t.clock
+      | _ ->
+          let wants_mem =
+            lid >= Array.length p.watch.Events.mem_lids
+            || p.watch.Events.mem_lids.(lid)
+          in
+          t.active_loops <- t.active_loops + 1;
+          if wants_mem then t.mem_watchers <- t.mem_watchers + 1;
+          loop_stack := (lid, wants_mem) :: !loop_stack;
+          t.hooks.Events.on_loop_enter ~lid ~clock:t.clock)
+  | None -> ()
+
+(* Phis evaluate in parallel with respect to the incoming edge. [seed]
+   overrides chosen values by phi id — the guarded runner starts a shard
+   mid-iteration-space by seeding the header phis of its first arrival. *)
+let exec_phis t (fr : frame) ~pred ~seed b =
+  let p = fr.p in
+  let phis = p.phis_of.(b) in
+  if Array.length phis > 0 then begin
+    let staged =
+      Array.map
+        (fun id ->
+          tick t;
+          if p.watch.Events.defs.(id) then
+            t.hooks.Events.on_watched_def ~instr_id:id ~clock:t.clock;
+          (match p.watch.Events.phi_uses.(id) with
+          | [] -> ()
+          | used ->
+              List.iter
+                (fun phi_id -> t.hooks.Events.on_watched_use ~phi_id ~clock:t.clock)
+                used);
+          match Ir.Func.kind p.fn id with
+          | Ir.Instr.Phi incoming ->
+              let v =
+                match List.assoc_opt id seed with
+                | Some v -> v
+                | None -> (
+                    let chosen = ref None in
+                    Array.iter
+                      (fun (pr, v) -> if pr = pred then chosen := Some v)
+                      incoming;
+                    match !chosen with
+                    | Some v -> eval_operand t ~regs:fr.regs ~args:fr.args v
+                    | None ->
+                        error "phi %%%d in @%s has no entry for predecessor bb%d"
+                          id fr.fname pred)
+              in
+              if p.watch.Events.phis.(id) then
+                t.hooks.Events.on_header_phi ~phi_id:id ~value:v ~clock:t.clock;
+              (id, v)
+          | _ -> assert false)
+        phis
+    in
+    Array.iter (fun (id, v) -> fr.regs.(id) <- v) staged
+  end
+
+(* Straight-line body and terminator of one block. *)
+let rec exec_rest t (fr : frame) b : block_exit =
+  let p = fr.p in
+  let regs = fr.regs in
+  let eval v = eval_operand t ~regs ~args:fr.args v in
+  let insns = p.rest_of.(b) in
+  let n = Array.length insns in
+  let i = ref 0 in
+  let exit_ = ref None in
+  while !exit_ = None do
+    if !i >= n then error "block bb%d in @%s fell through" b fr.fname;
+    let id = insns.(!i) in
+    incr i;
+    tick t;
+    if p.watch.Events.defs.(id) then
+      t.hooks.Events.on_watched_def ~instr_id:id ~clock:t.clock;
+    (match p.watch.Events.phi_uses.(id) with
+    | [] -> ()
+    | phis ->
+        List.iter
+          (fun phi_id -> t.hooks.Events.on_watched_use ~phi_id ~clock:t.clock)
+          phis);
+    match Ir.Func.kind p.fn id with
+    | Ir.Instr.Ibinop (op, a, bb) ->
+        regs.(id) <- Vint (exec_ibinop op (as_int (eval a)) (as_int (eval bb)))
+    | Ir.Instr.Fbinop (op, a, bb) ->
+        regs.(id) <- Vfloat (exec_fbinop op (as_float (eval a)) (as_float (eval bb)))
+    | Ir.Instr.Icmp (op, a, bb) -> regs.(id) <- Vbool (exec_icmp op (eval a) (eval bb))
+    | Ir.Instr.Fcmp (op, a, bb) ->
+        regs.(id) <- Vbool (exec_fcmp op (as_float (eval a)) (as_float (eval bb)))
+    | Ir.Instr.Select (c, x, y) ->
+        regs.(id) <- (if as_bool (eval c) then eval x else eval y)
+    | Ir.Instr.Si_to_fp x -> regs.(id) <- Vfloat (Int64.to_float (as_int (eval x)))
+    | Ir.Instr.Fp_to_si x -> regs.(id) <- Vint (Int64.of_float (as_float (eval x)))
+    | Ir.Instr.Load a ->
+        let addr = Int64.to_int (as_int (eval a)) in
+        mem_access t ~addr ~is_write:false;
+        regs.(id) <- Rvalue.load t.mem addr
+    | Ir.Instr.Store (a, v) ->
+        let addr = Int64.to_int (as_int (eval a)) in
+        let v = eval v in
+        mem_access t ~addr ~is_write:true;
+        Rvalue.store t.mem addr v
+    | Ir.Instr.Alloc n ->
+        let size = Int64.to_int (as_int (eval n)) in
+        regs.(id) <- Vint (Int64.of_int (Rvalue.alloc t.mem size))
+    | Ir.Instr.Call (callee, cargs) -> (
+        let vals = Array.of_list (List.map eval cargs) in
+        let res =
+          if Ir.Builtins.is_builtin callee then
+            exec_builtin t callee (Array.to_list vals)
+          else exec_func t callee vals
+        in
+        match ((Ir.Func.instr p.fn id).Ir.Instr.ty, res) with
+        | Some _, Some v -> regs.(id) <- v
+        | Some _, None -> error "void result from @%s used as a value" callee
+        | None, _ -> ())
+    | Ir.Instr.Br l -> exit_ := Some (Jumped l)
+    | Ir.Instr.Cond_br (c, l1, l2) ->
+        exit_ := Some (Jumped (if as_bool (eval c) then l1 else l2))
+    | Ir.Instr.Ret v -> exit_ := Some (Returned (Option.map eval v))
+    | Ir.Instr.Phi _ -> error "phi %%%d after non-phi instructions in @%s" id fr.fname
+    | Ir.Instr.Unreachable -> error "reached 'unreachable' in @%s" fr.fname
+  done;
+  Option.get !exit_
+
+and exec_func t fname (args : rv array) : rv option =
   let p = plan t fname in
   (* Checked before the frame opens: no enter event has fired yet, so the
      unwinding caller frames are the only ones that need closing. *)
@@ -308,57 +540,8 @@ let rec exec_func t fname (args : rv array) : rv option =
   t.depth <- t.depth + 1;
   t.hooks.Events.on_call_enter ~fname ~clock:t.clock;
   let regs = Array.make (max 1 (Ir.Func.num_instrs p.fn)) (Vint 0L) in
+  let fr = { p; fname; regs; args } in
   let loop_stack = ref [] in
-  let eval v =
-    match v with
-    | Ir.Types.Const (Ir.Types.Cint i) -> Vint i
-    | Ir.Types.Const (Ir.Types.Cfloat f) -> Vfloat f
-    | Ir.Types.Const (Ir.Types.Cbool b) -> Vbool b
-    | Ir.Types.Reg id -> regs.(id)
-    | Ir.Types.Param i -> args.(i)
-    | Ir.Types.Global g -> Vint (Int64.of_int (Rvalue.global_addr t.mem g))
-  in
-  (* Each entry is (lid, wants_mem): whether this loop's plan kept the
-     memory-event stream. [t.mem_watchers] counts the active wanters
-     machine-wide, so pruned inner loops still report to a tracked outer
-     loop of any enclosing invocation. *)
-  let exit_loop (lid, wants_mem) =
-    t.active_loops <- t.active_loops - 1;
-    if wants_mem then t.mem_watchers <- t.mem_watchers - 1;
-    t.hooks.Events.on_loop_exit ~lid ~clock:t.clock
-  in
-  let pop_all_loops () =
-    List.iter exit_loop !loop_stack;
-    loop_stack := []
-  in
-  (* Loop enter/iter/exit events for a CFG edge. *)
-  let handle_edge ~from_ ~to_ =
-    if from_ >= 0 then begin
-      let rec pop () =
-        match !loop_stack with
-        | ((lid, _) as top) :: rest when not (Cfg.Loopinfo.contains p.li lid to_) ->
-            exit_loop top;
-            loop_stack := rest;
-            pop ()
-        | _ -> ()
-      in
-      pop ()
-    end;
-    match Cfg.Loopinfo.loop_of_header p.li to_ with
-    | Some lid -> (
-        match !loop_stack with
-        | (top, _) :: _ when top = lid -> t.hooks.Events.on_loop_iter ~lid ~clock:t.clock
-        | _ ->
-            let wants_mem =
-              lid >= Array.length p.watch.Events.mem_lids
-              || p.watch.Events.mem_lids.(lid)
-            in
-            t.active_loops <- t.active_loops + 1;
-            if wants_mem then t.mem_watchers <- t.mem_watchers + 1;
-            loop_stack := (lid, wants_mem) :: !loop_stack;
-            t.hooks.Events.on_loop_enter ~lid ~clock:t.clock)
-    | None -> ()
-  in
   let result = ref None in
   let finished = ref false in
   let cur = ref p.fn.Ir.Func.entry in
@@ -366,124 +549,137 @@ let rec exec_func t fname (args : rv array) : rv option =
   (try
   while not !finished do
     let b = !cur in
-    handle_edge ~from_:!from_ ~to_:b;
-    (* Phis evaluate in parallel with respect to the incoming edge. *)
-    let phis = p.phis_of.(b) in
-    if Array.length phis > 0 then begin
-      let staged =
-        Array.map
-          (fun id ->
-            tick t;
-            if p.watch.Events.defs.(id) then
-              t.hooks.Events.on_watched_def ~instr_id:id ~clock:t.clock;
-            (match p.watch.Events.phi_uses.(id) with
-            | [] -> ()
-            | used ->
-                List.iter
-                  (fun phi_id -> t.hooks.Events.on_watched_use ~phi_id ~clock:t.clock)
-                  used);
-            match Ir.Func.kind p.fn id with
-            | Ir.Instr.Phi incoming ->
-                let chosen = ref None in
-                Array.iter
-                  (fun (pred, v) -> if pred = !from_ then chosen := Some v)
-                  incoming;
-                let v =
-                  match !chosen with
-                  | Some v -> eval v
-                  | None ->
-                      error "phi %%%d in @%s has no entry for predecessor bb%d" id
-                        fname !from_
-                in
-                if p.watch.Events.phis.(id) then
-                  t.hooks.Events.on_header_phi ~phi_id:id ~value:v ~clock:t.clock;
-                (id, v)
-            | _ -> assert false)
-          phis
-      in
-      Array.iter (fun (id, v) -> regs.(id) <- v) staged
-    end;
-    (* Straight-line body and terminator. *)
-    let insns = p.rest_of.(b) in
-    let n = Array.length insns in
-    let i = ref 0 in
-    let advanced = ref false in
-    while not !advanced do
-      if !i >= n then error "block bb%d in @%s fell through" b fname;
-      let id = insns.(!i) in
-      incr i;
-      tick t;
-      if p.watch.Events.defs.(id) then
-        t.hooks.Events.on_watched_def ~instr_id:id ~clock:t.clock;
-      (match p.watch.Events.phi_uses.(id) with
-      | [] -> ()
-      | phis ->
-          List.iter
-            (fun phi_id -> t.hooks.Events.on_watched_use ~phi_id ~clock:t.clock)
-            phis);
-      match Ir.Func.kind p.fn id with
-      | Ir.Instr.Ibinop (op, a, bb) ->
-          regs.(id) <- Vint (exec_ibinop op (as_int (eval a)) (as_int (eval bb)))
-      | Ir.Instr.Fbinop (op, a, bb) ->
-          regs.(id) <- Vfloat (exec_fbinop op (as_float (eval a)) (as_float (eval bb)))
-      | Ir.Instr.Icmp (op, a, bb) -> regs.(id) <- Vbool (exec_icmp op (eval a) (eval bb))
-      | Ir.Instr.Fcmp (op, a, bb) ->
-          regs.(id) <- Vbool (exec_fcmp op (as_float (eval a)) (as_float (eval bb)))
-      | Ir.Instr.Select (c, x, y) ->
-          regs.(id) <- (if as_bool (eval c) then eval x else eval y)
-      | Ir.Instr.Si_to_fp x -> regs.(id) <- Vfloat (Int64.to_float (as_int (eval x)))
-      | Ir.Instr.Fp_to_si x -> regs.(id) <- Vint (Int64.of_float (as_float (eval x)))
-      | Ir.Instr.Load a ->
-          let addr = Int64.to_int (as_int (eval a)) in
-          mem_access t ~addr ~is_write:false;
-          regs.(id) <- Rvalue.load t.mem addr
-      | Ir.Instr.Store (a, v) ->
-          let addr = Int64.to_int (as_int (eval a)) in
-          let v = eval v in
-          mem_access t ~addr ~is_write:true;
-          Rvalue.store t.mem addr v
-      | Ir.Instr.Alloc n ->
-          let size = Int64.to_int (as_int (eval n)) in
-          regs.(id) <- Vint (Int64.of_int (Rvalue.alloc t.mem size))
-      | Ir.Instr.Call (callee, cargs) -> (
-          let vals = Array.of_list (List.map eval cargs) in
-          let res =
-            if Ir.Builtins.is_builtin callee then
-              exec_builtin t callee (Array.to_list vals)
-            else exec_func t callee vals
-          in
-          match ((Ir.Func.instr p.fn id).Ir.Instr.ty, res) with
-          | Some _, Some v -> regs.(id) <- v
-          | Some _, None -> error "void result from @%s used as a value" callee
-          | None, _ -> ())
-      | Ir.Instr.Br l ->
+    (* A fresh arrival at a loop header from outside the loop is first
+       offered to the delegate; a commit replaces the whole invocation
+       (ticks, registers, memory, output) and resumes at the exit edge,
+       so no loop events fire for it. A decline falls through to the
+       ordinary serial path with the frame untouched. *)
+    let committed =
+      match t.delegate with
+      | Some d when !from_ >= 0 -> (
+          match Cfg.Loopinfo.loop_of_header p.li b with
+          | Some lid when not (Cfg.Loopinfo.contains p.li lid !from_) -> (
+              match
+                d t
+                  {
+                    le_fname = fname;
+                    le_lid = lid;
+                    le_header = b;
+                    le_pred = !from_;
+                    le_regs = regs;
+                    le_args = args;
+                  }
+              with
+              | Some c ->
+                  apply_commit t c regs;
+                  from_ := c.lc_exit_pred;
+                  cur := c.lc_exit_target;
+                  true
+              | None -> false)
+          | _ -> false)
+      | _ -> false
+    in
+    if not committed then begin
+      handle_edge t p loop_stack ~from_:!from_ ~to_:b;
+      exec_phis t fr ~pred:!from_ ~seed:[] b;
+      match exec_rest t fr b with
+      | Jumped l ->
           from_ := b;
-          cur := l;
-          advanced := true
-      | Ir.Instr.Cond_br (c, l1, l2) ->
-          from_ := b;
-          cur := (if as_bool (eval c) then l1 else l2);
-          advanced := true
-      | Ir.Instr.Ret v ->
-          result := Option.map eval v;
-          pop_all_loops ();
-          advanced := true;
+          cur := l
+      | Returned v ->
+          result := v;
+          pop_all_loops t loop_stack;
           finished := true
-      | Ir.Instr.Phi _ -> error "phi %%%d after non-phi instructions in @%s" id fname
-      | Ir.Instr.Unreachable -> error "reached 'unreachable' in @%s" fname
-    done
+    end
   done
   with Budget_stop _ as stop ->
     (* A budget ran out mid-frame (here or in a callee): close this frame's
        open loop invocations and its enter/exit pair so every listener sees
        a well-formed stream over the executed prefix, then keep unwinding. *)
-    pop_all_loops ();
+    pop_all_loops t loop_stack;
     t.hooks.Events.on_call_exit ~fname ~clock:t.clock;
     t.depth <- t.depth - 1;
     raise stop);
   t.hooks.Events.on_call_exit ~fname ~clock:t.clock;
   t.depth <- t.depth - 1;
   !result
+
+(* Apply a delegate's whole-loop commit to the live frame. The runner
+   pre-checks remaining fuel, so the guard here only defends the budget
+   invariant (a commit must never push the clock past the fuel). *)
+and apply_commit t (c : loop_commit) (regs : rv array) =
+  if c.lc_clock > t.fuel - t.clock then raise (Budget_stop Fuel);
+  t.clock <- t.clock + c.lc_clock;
+  List.iter (fun (id, v) -> regs.(id) <- v) c.lc_regs;
+  List.iter (fun (addr, v) -> Rvalue.store t.mem addr v) c.lc_writes;
+  t.mem_accesses <- t.mem_accesses + c.lc_accesses;
+  t.mem_events <- t.mem_events + c.lc_accesses;
+  Buffer.add_string t.out c.lc_output
+
+(* ---- iteration-range execution (the guarded runner's shard entry) ---- *)
+
+type range_result = {
+  rr_iters : int;  (** completed loop bodies *)
+  rr_exit : (int * int) option;
+      (** [Some (pred, target)] when the loop exited on its own; [None]
+          when [max_iters] bodies completed and the range was cut *)
+}
+
+(* Execute up to [max_iters] bodies of the loop headed at [header] against
+   an explicit frame, starting as if arriving from [pred] with the header
+   phis of the first arrival overridden by [seed]. Stops *before* the
+   arrival that would begin body [max_iters + 1] — that arrival's phi
+   evaluations belong to the next shard, whose seed reproduces them. Used
+   by shard workers on a forked image: loop events fire as usual, and any
+   trap or budget stop unwinds with the loop bookkeeping rebalanced. *)
+let run_loop_range t ~fname ~(regs : rv array) ~(args : rv array) ~header
+    ~pred ~seed ~max_iters : range_result =
+  let p = plan t fname in
+  let lid =
+    match Cfg.Loopinfo.loop_of_header p.li header with
+    | Some l -> l
+    | None -> error "run_loop_range: bb%d in @%s is not a loop header" header fname
+  in
+  let fr = { p; fname; regs; args } in
+  let loop_stack = ref [] in
+  let cur = ref header in
+  let from_ = ref pred in
+  let arrivals = ref 0 in
+  let result = ref None in
+  (try
+     while !result = None do
+       let b = !cur in
+       if b = header && !arrivals >= max_iters then
+         result := Some { rr_iters = !arrivals; rr_exit = None }
+       else begin
+         handle_edge t p loop_stack ~from_:!from_ ~to_:b;
+         let sd =
+           if b = header then begin
+             incr arrivals;
+             if !arrivals = 1 then seed else []
+           end
+           else []
+         in
+         exec_phis t fr ~pred:!from_ ~seed:sd b;
+         match exec_rest t fr b with
+         | Returned _ ->
+             error "return while executing loop bb%d of @%s as a range" header
+               fname
+         | Jumped l ->
+             if Cfg.Loopinfo.contains p.li lid l then begin
+               from_ := b;
+               cur := l
+             end
+             else
+               result :=
+                 Some { rr_iters = max 0 (!arrivals - 1); rr_exit = Some (b, l) }
+       end
+     done
+   with e ->
+     pop_all_loops t loop_stack;
+     raise e);
+  pop_all_loops t loop_stack;
+  Option.get !result
 
 let run_main ?(args = []) t : outcome =
   (match Ir.Func.find_func t.modul "main" with

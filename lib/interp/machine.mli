@@ -18,6 +18,35 @@ type fault =
 
 type fault_plan = (int * fault) list
 
+(** A fresh arrival at a loop header from outside the loop, offered to the
+    {!set_delegate} hook before the machine executes the loop serially.
+    [le_regs]/[le_args] are the live frame state; a delegate that declines
+    must leave them untouched. *)
+type loop_entry = {
+  le_fname : string;
+  le_lid : int;  (** Cfg.Loopinfo lid within [le_fname] *)
+  le_header : int;  (** header block id *)
+  le_pred : int;  (** the out-of-loop predecessor block (preheader) *)
+  le_regs : Rvalue.rv array;
+  le_args : Rvalue.rv array;
+}
+
+(** The whole-loop effect a delegate commits in place of serial execution:
+    exactly the clock ticks, register updates, memory writes, access counts
+    and program output the serial loop would have produced, plus the exit
+    edge to resume from. Byte-equivalence with serial execution is the
+    delegate's contract — the machine applies the commit verbatim and fires
+    no loop events for the committed invocation. *)
+type loop_commit = {
+  lc_exit_pred : int;
+  lc_exit_target : int;
+  lc_clock : int;
+  lc_accesses : int;
+  lc_regs : (int * Rvalue.rv) list;
+  lc_writes : (int * Rvalue.rv) list;
+  lc_output : string;
+}
+
 (** Why execution stopped. On [Truncated], the machine closed every open
     loop invocation and call frame before returning, so listeners saw a
     well-formed event stream over the executed prefix. *)
@@ -82,6 +111,43 @@ val mem_events : t -> int
 (** Accesses the watch plans pruned: [mem_accesses - mem_events]. *)
 val mem_events_pruned : t -> int
 
+(** The machine's fuel budget (total, not remaining — pair with {!clock}).
+    The guarded runner pre-checks a commit's lump of ticks against it. *)
+val fuel : t -> int
+
+(** Swap the instrumentation hooks. Shard workers install their access
+    loggers per task on the forked machine image. *)
+val set_hooks : t -> Events.hooks -> unit
+
+(** Install (or clear) the guarded-execution delegate, consulted on every
+    fresh loop entry. [None] — the default — means every loop executes
+    serially. Only meaningful with default (unpruned) watch plans: a commit
+    counts every shard access as both executed and reported. *)
+val set_delegate : t -> (t -> loop_entry -> loop_commit option) option -> unit
+
+(** Raw word read/write: no tick, no access counting, bounds-checked.
+    Shard workers snapshot final written values and undo their writes with
+    these; the parent applies a committed write set through
+    {!loop_commit.lc_writes} instead. *)
+val read_word : t -> int -> Rvalue.rv
+
+val write_word : t -> int -> Rvalue.rv -> unit
+
+(** Program-output splicing for shard isolation: record {!output_length}
+    before a range, ship {!output_since} that position, then
+    {!truncate_output} back so a worker never leaks shard output into a
+    later task. *)
+val output_length : t -> int
+
+val output_since : t -> int -> string
+
+val truncate_output : t -> int -> unit
+
+(** Evaluate an instruction operand against an explicit register/argument
+    frame (resolves globals through the machine's memory layout). *)
+val eval_operand :
+  t -> regs:Rvalue.rv array -> args:Rvalue.rv array -> Ir.Types.value -> Rvalue.rv
+
 (** Scalar semantics, exposed for tests and the constant folder (optimized
     code can never disagree with execution).
     @raise Rvalue.Trap ([Div_by_zero]) on division/remainder by zero *)
@@ -98,3 +164,34 @@ val exec_fcmp : Ir.Instr.fcmp -> float -> float -> bool
     @raise Rvalue.Trap on program faults (division by zero, out-of-bounds)
     @raise Rvalue.Runtime_error on interpreter-invariant breakage *)
 val run_main : ?args:Rvalue.rv list -> t -> outcome
+
+(** Result of {!run_loop_range}: how many loop bodies completed, and the
+    exit edge if the loop left its region on its own. *)
+type range_result = {
+  rr_iters : int;  (** completed loop bodies *)
+  rr_exit : (int * int) option;
+      (** [Some (pred, target)] when the loop exited; [None] when
+          [max_iters] bodies completed and the range was cut *)
+}
+
+(** Execute up to [max_iters] bodies of the loop headed at [header]
+    against an explicit frame, starting as if arriving from [pred] with
+    the first arrival's header phis overridden by [seed] (phi id ->
+    value). Stops {e before} the arrival that would begin body
+    [max_iters + 1]: that arrival's phi evaluations belong to the next
+    shard, whose seed reproduces them. Loop events fire as usual; traps
+    and budget stops unwind with the loop bookkeeping rebalanced.
+    @raise Rvalue.Trap on program faults
+    @raise Rvalue.Budget_stop on budget exhaustion
+    @raise Rvalue.Runtime_error if [header] is not a loop header or the
+    range returns out of the function *)
+val run_loop_range :
+  t ->
+  fname:string ->
+  regs:Rvalue.rv array ->
+  args:Rvalue.rv array ->
+  header:int ->
+  pred:int ->
+  seed:(int * Rvalue.rv) list ->
+  max_iters:int ->
+  range_result

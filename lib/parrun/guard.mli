@@ -1,0 +1,75 @@
+(** The guarded-execution driver: run a program twice — serial reference,
+    then parallel with the {!Runner} delegate installed — and prove the
+    outcomes byte-identical. The serial pass times every eligible loop, so
+    the comparison doubles as a calibration measurement: measured parallel
+    speedup per loop against the cost model's predicted DOALL speedup. *)
+
+(** How a pass ended. Budget truncation is a normal {!Interp.Machine.outcome};
+    a program trap is captured (not re-raised) so the two passes can be
+    compared on the trapping prefix too. *)
+type run_outcome =
+  | Finished of Interp.Machine.outcome
+  | Trapped of { msg : string; clock : int; output : string }
+
+(** One calibration line per [Proven_doall] loop (eligible or not). *)
+type calib_row = {
+  cb_fname : string;
+  cb_lid : int;
+  cb_header : int;
+  cb_eligible : bool;
+  cb_why : string;  (** ineligibility reason, [""] when eligible *)
+  cb_invocations : int;
+  cb_sharded : int;
+  cb_committed : int;
+  cb_rollbacks : int;
+  cb_conflicts : int;
+  cb_quarantined : bool;
+  cb_serial_s : float;  (** wall seconds in the serial pass *)
+  cb_parallel_s : float;
+      (** wall seconds in the parallel pass: delegate time (sharding,
+          commit, failed attempts) plus serial fallback time *)
+  cb_measured : float option;
+      (** serial/parallel wall ratio, only when at least one invocation
+          committed and both walls are positive *)
+  cb_predicted : float option;
+      (** the cost model's DOALL speedup for this loop
+          ([reduc1-dep0-fn1 DOALL] serial/final cost ratio) *)
+}
+
+type result = {
+  target : string;
+  serial : run_outcome;
+  parallel : run_outcome;
+  identical : bool;  (** byte-identical outcomes (floats compared bitwise) *)
+  diffs : string list;  (** human-readable divergence descriptions *)
+  rows : calib_row list;  (** sorted by (fname, lid) *)
+  runner : Runner.t;
+      (** the parallel pass's runner: conflicts, quarantine, loop stats *)
+  serial_wall : float;  (** whole-program wall seconds, serial pass *)
+  parallel_wall : float;
+}
+
+(** A classified failure for a diverging guarded run
+    ([parrun:divergence@<target>:<hash8>]). *)
+val divergence_failure :
+  target:string -> source:string -> string list -> Loopa.Driver.failure
+
+(** Compile, prepare, and run the guarded comparison. [predict] (default
+    true) additionally profiles the program once more to score the
+    [DOALL] cost model per loop; pass false to skip that third pass.
+    Compile/prepare/internal errors come back as classified failures;
+    divergence does {e not} — inspect [identical]/[diffs]. *)
+val run :
+  ?knobs:Runner.knobs ->
+  ?quarantine:Quarantine.t ->
+  ?repro_dir:string ->
+  ?fuel:int ->
+  ?predict:bool ->
+  target:string ->
+  string ->
+  (result, Loopa.Driver.failure) Stdlib.result
+
+(** Replay a [Parrun]-stage bundle: re-run the guarded comparison with an
+    empty quarantine and aggressive sharding (jobs 2, min_trip 1) and
+    check the recorded conflict re-manifests under the same fingerprint. *)
+val replay : Repro.Bundle.t -> Repro.Pipeline.verdict

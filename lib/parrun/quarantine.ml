@@ -1,0 +1,100 @@
+(* Persistent set of quarantined verdicts, keyed by fingerprint (see the
+   .mli). Format: {"version": 1, "entries": [...]}, one small file. *)
+
+type entry = {
+  fingerprint : string;
+  target : string;
+  fname : string;
+  lid : int;
+  header : int;
+  reason : string;
+}
+
+type t = { tbl : (string, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 16 }
+
+let fingerprint ~fname ~header ~source =
+  Printf.sprintf "parrun:conflict@%s:bb%d:%s" fname header
+    (Loopa.Driver.hash8 source)
+
+let entry_to_json (e : entry) : Util.Json.t =
+  Util.Json.Obj
+    [
+      ("fingerprint", Util.Json.String e.fingerprint);
+      ("target", Util.Json.String e.target);
+      ("fname", Util.Json.String e.fname);
+      ("lid", Util.Json.Int e.lid);
+      ("header", Util.Json.Int e.header);
+      ("reason", Util.Json.String e.reason);
+    ]
+
+let entry_of_json (j : Util.Json.t) : entry option =
+  let str k = Option.bind (Util.Json.member k j) Util.Json.to_str in
+  let int k = Option.bind (Util.Json.member k j) Util.Json.to_int in
+  match (str "fingerprint", str "target", str "fname", int "lid", int "header") with
+  | Some fingerprint, Some target, Some fname, Some lid, Some header ->
+      Some
+        {
+          fingerprint;
+          target;
+          fname;
+          lid;
+          header;
+          reason = Option.value ~default:"" (str "reason");
+        }
+  | _ -> None
+
+let entries q =
+  Hashtbl.fold (fun _ e acc -> e :: acc) q.tbl []
+  |> List.sort (fun a b -> compare a.fingerprint b.fingerprint)
+
+let size q = Hashtbl.length q.tbl
+
+let mem q fp = Hashtbl.mem q.tbl fp
+
+let add q e =
+  if Hashtbl.mem q.tbl e.fingerprint then false
+  else begin
+    Hashtbl.replace q.tbl e.fingerprint e;
+    true
+  end
+
+let to_json q : Util.Json.t =
+  Util.Json.Obj
+    [
+      ("version", Util.Json.Int 1);
+      ("entries", Util.Json.List (List.map entry_to_json (entries q)));
+    ]
+
+let save q path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Util.Json.to_string (to_json q));
+      output_char oc '\n')
+
+let load path : t =
+  let q = create () in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Util.Json.of_string text with
+    | Error _ -> ()
+    | Ok j -> (
+        match Util.Json.member "entries" j with
+        | Some (Util.Json.List es) ->
+            List.iter
+              (fun ej ->
+                match entry_of_json ej with
+                | Some e -> ignore (add q e)
+                | None -> ())
+              es
+        | _ -> ())
+  end;
+  q

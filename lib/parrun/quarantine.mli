@@ -1,0 +1,45 @@
+(** Persistent quarantine for unsound Proven_doall verdicts.
+
+    When guarded parallel execution detects a cross-shard conflict in a
+    loop the static analysis proved DOALL, the verdict's fingerprint —
+    built with the PR-3 fingerprint machinery
+    ([parrun:conflict@<fname>:bb<header>:<hash8 source>]) — lands here.
+    The runner consults the quarantine before sharding, so a verdict that
+    lied once is never trusted again, across runs: the set round-trips
+    through a small JSON file. *)
+
+type entry = {
+  fingerprint : string;  (** the key; [Loopa.Driver.same_fingerprint] compatible *)
+  target : string;  (** benchmark name the conflict was observed on *)
+  fname : string;
+  lid : int;
+  header : int;
+  reason : string;  (** human-readable conflict description *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Load from a JSON file. A missing file is an empty quarantine;
+    malformed entries are skipped. *)
+val load : string -> t
+
+(** Atomically-ish rewrite the whole set (write then rename is overkill
+    for this artifact; a plain rewrite keeps it greppable). *)
+val save : t -> string -> unit
+
+val mem : t -> string -> bool
+
+(** [add q e] returns [true] if the fingerprint was new. *)
+val add : t -> entry -> bool
+
+(** All entries, sorted by fingerprint (deterministic output order). *)
+val entries : t -> entry list
+
+val size : t -> int
+
+(** The quarantine fingerprint for a loop's verdict. *)
+val fingerprint : fname:string -> header:int -> source:string -> string
+
+val to_json : t -> Util.Json.t

@@ -1,0 +1,109 @@
+type row = {
+  fname : string;
+  lid : int;
+  header : int;
+  eligible : bool;
+  why : string;
+  invocations : int;
+  sharded : int;
+  committed : int;
+  rollbacks : int;
+  conflicts : int;
+  quarantined : bool;
+  serial_s : float;
+  parallel_s : float;
+  measured : float option;
+  predicted : float option;
+}
+
+let fopt = function None -> "-" | Some f -> Printf.sprintf "%.2f" f
+
+let ratio r =
+  match (r.measured, r.predicted) with
+  | Some m, Some p when p > 0. -> Some (m /. p)
+  | _ -> None
+
+let status r =
+  if r.quarantined then "QUARANTINED"
+  else if not r.eligible then Printf.sprintf "ineligible: %s" r.why
+  else if r.conflicts > 0 then "conflict"
+  else if r.committed > 0 then "ok"
+  else if r.invocations > 0 then "declined"
+  else "idle"
+
+let headers =
+  [
+    "loop";
+    "inv";
+    "shard";
+    "commit";
+    "rollbk";
+    "confl";
+    "serial_s";
+    "par_s";
+    "measured";
+    "predicted";
+    "meas/pred";
+    "status";
+  ]
+
+let row_cells r =
+  [
+    Printf.sprintf "%s:bb%d" r.fname r.header;
+    string_of_int r.invocations;
+    string_of_int r.sharded;
+    string_of_int r.committed;
+    string_of_int r.rollbacks;
+    string_of_int r.conflicts;
+    Printf.sprintf "%.4f" r.serial_s;
+    Printf.sprintf "%.4f" r.parallel_s;
+    fopt r.measured;
+    fopt r.predicted;
+    fopt (ratio r);
+    status r;
+  ]
+
+let table rows =
+  let t = Table.create headers in
+  List.iter (fun r -> Table.add_row t (row_cells r)) rows;
+  t
+
+let render rows = Table.render (table rows)
+let to_csv rows = Table.to_csv (table rows)
+
+let chart ?width rows =
+  let bars =
+    List.concat_map
+      (fun r ->
+        match (r.measured, r.predicted) with
+        | Some m, Some p ->
+            let label = Printf.sprintf "%s:bb%d" r.fname r.header in
+            [ (label ^ " pred", p); (label ^ " meas", m) ]
+        | _ -> [])
+      rows
+  in
+  if bars = [] then "" else Table.log_bars ?width bars
+
+let row_to_json r : Util.Json.t =
+  let j_fopt = function
+    | None -> Util.Json.Null
+    | Some f -> Util.Json.Float f
+  in
+  Util.Json.Obj
+    [
+      ("fname", Util.Json.String r.fname);
+      ("lid", Util.Json.Int r.lid);
+      ("header", Util.Json.Int r.header);
+      ("eligible", Util.Json.Bool r.eligible);
+      ("why", Util.Json.String r.why);
+      ("invocations", Util.Json.Int r.invocations);
+      ("sharded", Util.Json.Int r.sharded);
+      ("committed", Util.Json.Int r.committed);
+      ("rollbacks", Util.Json.Int r.rollbacks);
+      ("conflicts", Util.Json.Int r.conflicts);
+      ("quarantined", Util.Json.Bool r.quarantined);
+      ("serial_s", Util.Json.Float r.serial_s);
+      ("parallel_s", Util.Json.Float r.parallel_s);
+      ("measured", j_fopt r.measured);
+      ("predicted", j_fopt r.predicted);
+    ]

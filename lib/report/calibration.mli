@@ -1,0 +1,35 @@
+(** Rendering for guarded-execution calibration reports: one line per
+    [Proven_doall] loop comparing the speedup the cost model predicted for
+    DOALL parallelisation against the speedup the guarded parallel runtime
+    actually measured. The parrun layer fills in the rows; this module only
+    formats them, so the report library stays independent of the runtime. *)
+
+type row = {
+  fname : string;
+  lid : int;
+  header : int;
+  eligible : bool;
+  why : string;  (** ineligibility reason, [""] when eligible *)
+  invocations : int;
+  sharded : int;
+  committed : int;
+  rollbacks : int;
+  conflicts : int;
+  quarantined : bool;
+  serial_s : float;
+  parallel_s : float;
+  measured : float option;  (** measured parallel speedup *)
+  predicted : float option;  (** cost-model DOALL speedup *)
+}
+
+(** Aligned text table, one row per loop, with a trailing ratio column
+    (measured / predicted) when both are present. *)
+val render : row list -> string
+
+val to_csv : row list -> string
+
+(** Side-by-side log-scale bars of predicted vs measured speedup for the
+    loops where both exist; empty string when none qualify. *)
+val chart : ?width:int -> row list -> string
+
+val row_to_json : row -> Util.Json.t

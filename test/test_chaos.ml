@@ -277,6 +277,80 @@ let test_torn_tail_salvage_on_resume () =
           | Error e -> Alcotest.failf "unparseable checkpoint line (%s): %s" e l)
         lines)
 
+(* ---- shard-scoped fault plans (guarded parallel loop execution) ---- *)
+
+let test_shard_plan_lookup_and_summary () =
+  let plan =
+    Chaos.shard_explicit
+      [ ((0, 1), Chaos.Kill_self); ((3, 0), Chaos.Corrupt_result) ]
+  in
+  (match Chaos.shard_fault plan ~invocation:0 ~shard:1 with
+  | Some Chaos.Kill_self -> ()
+  | _ -> Alcotest.fail "explicit shard fault not found");
+  Alcotest.(check bool) "unfaulted pair clean" true
+    (Chaos.shard_fault plan ~invocation:0 ~shard:0 = None);
+  let s = Chaos.shard_summary plan ~invocations:4 ~shards:2 in
+  Alcotest.(check bool) "summary names kill" true (contains s "kill");
+  Alcotest.(check bool) "summary names corrupt" true (contains s "corrupt")
+
+(* heavy fault pressure, but no stalls (each stall costs a watchdog wait)
+   and no delays (pure noise for these assertions) *)
+let soak_rates =
+  { Chaos.kill = 0.4; stall = 0.0; torn = 0.25; corrupt = 0.25; delay = 0.0; ckpt = 0.0 }
+
+let soak_seed = 11
+
+let test_shard_seeded_deterministic () =
+  let grid plan =
+    List.concat_map
+      (fun inv ->
+        List.map
+          (fun s -> Chaos.shard_fault plan ~invocation:inv ~shard:s)
+          [ 0; 1; 2; 3 ])
+      (List.init 64 Fun.id)
+  in
+  let a = grid (Chaos.shard_seeded ~rates:soak_rates soak_seed) in
+  Alcotest.(check bool) "same seed, same schedule" true
+    (a = grid (Chaos.shard_seeded ~rates:soak_rates soak_seed));
+  Alcotest.(check bool) "soak rates actually fault" true
+    (List.exists Option.is_some a);
+  (* shard lanes are keyed independently of task lanes: the same seed
+     must not replay the task schedule onto the shards *)
+  let t = Chaos.seeded ~rates:soak_rates soak_seed in
+  let tasks =
+    List.concat_map
+      (fun inv ->
+        List.map (fun s -> Chaos.task_fault t ((inv * 8191) + s)) [ 0; 1; 2; 3 ])
+      (List.init 64 Fun.id)
+  in
+  Alcotest.(check bool) "shard lane independent of task lane" true (a <> tasks)
+
+(* Every injected shard fault must be absorbed by rollback: the guarded
+   parallel run stays byte-identical to the serial one, and infrastructure
+   faults never quarantine the verdict. *)
+let test_shard_faults_roll_back_to_serial () =
+  let knobs =
+    {
+      Parrun.Runner.default_knobs with
+      Parrun.Runner.jobs = 2;
+      min_trip = 1;
+      round_chunk = 8;
+      watchdog_s = Some 2.0;
+      chaos = Some (Chaos.shard_seeded ~rates:soak_rates soak_seed);
+    }
+  in
+  match
+    Parrun.Guard.run ~knobs ~predict:false ~target:"chaos_soak" good_src
+  with
+  | Error f -> Alcotest.fail ("guard failed: " ^ f.Loopa.Driver.message)
+  | Ok r ->
+      Alcotest.(check bool) "byte-identical under seeded shard faults" true
+        r.Parrun.Guard.identical;
+      Alcotest.(check (list string)) "no diffs" [] r.Parrun.Guard.diffs;
+      Alcotest.(check int) "faults never quarantine" 0
+        (Parrun.Quarantine.size
+           (Parrun.Runner.quarantine r.Parrun.Guard.runner))
+
 let () =
   Alcotest.run "chaos"
     [
@@ -296,6 +370,15 @@ let () =
         [
           Alcotest.test_case "same seed, same checkpoint bytes" `Quick
             test_same_seed_byte_identical_checkpoints;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "explicit plan lookup + summary" `Quick
+            test_shard_plan_lookup_and_summary;
+          Alcotest.test_case "seeded plan deterministic, lane-independent"
+            `Quick test_shard_seeded_deterministic;
+          Alcotest.test_case "seeded shard faults converge to serial" `Quick
+            test_shard_faults_roll_back_to_serial;
         ] );
       ( "checkpoint",
         [
