@@ -63,9 +63,14 @@ let () =
         [ string_of_int jobs; Printf.sprintf "%.2f" w; Printf.sprintf "%.2fx" sp ])
     (List.rev !scaling_results);
   print_endline (Report.Table.render t);
+  let cores = Exec.Pool.detect_jobs () in
   Printf.printf
     "(%d detected cores on this machine — speedups flatten once jobs exceed them)\n%!"
-    (Exec.Pool.detect_jobs ())
+    cores;
+  if cores < 2 then
+    Printf.printf
+      "(single-core host: every forked job shares one core, so speedups are \
+       capped below 1x by fork overhead)\n%!"
 
 (* ---- chaos supervision: seeded fault injection under the fork pool ----
 
@@ -726,16 +731,24 @@ let write_bench_snapshot () =
         ("cpu_s", Util.Json.Float (Sys.time ()));
         ("n_benchmarks", Util.Json.Int (List.length analyses));
         ( "parallel_scaling",
-          Util.Json.List
-            (List.rev_map
-               (fun (jobs, wall, sp) ->
-                 Util.Json.Obj
-                   [
-                     ("jobs", Util.Json.Int jobs);
-                     ("wall_s", Util.Json.Float wall);
-                     ("speedup", Util.Json.Float sp);
-                   ])
-               !scaling_results) );
+          (* host core count rides along: on a 1-core machine every
+             forked job shares the core, so speedup < 1x is expected,
+             not a regression *)
+          Util.Json.Obj
+            [
+              ("cores", Util.Json.Int (Exec.Pool.detect_jobs ()));
+              ( "runs",
+                Util.Json.List
+                  (List.rev_map
+                     (fun (jobs, wall, sp) ->
+                       Util.Json.Obj
+                         [
+                           ("jobs", Util.Json.Int jobs);
+                           ("wall_s", Util.Json.Float wall);
+                           ("speedup", Util.Json.Float sp);
+                         ])
+                     !scaling_results) );
+            ] );
         ("chaos", !chaos_results);
         ("parrun", !parrun_results);
         ( "lint",
@@ -759,7 +772,27 @@ let write_bench_snapshot () =
   Out_channel.with_open_text path (fun oc ->
       output_string oc (Util.Json.to_string j);
       output_char oc '\n');
-  Printf.printf "\nper-stage perf snapshot (spans + counters): %s\n" path
+  (* every snapshot also appends to the perf trajectory, one JSONL line
+     per run, for `loopapalooza perfdiff --history BENCH_history.jsonl` *)
+  let with_stamp =
+    match j with
+    | Util.Json.Obj fields ->
+        Util.Json.Obj
+          (("recorded_unix", Util.Json.Float (Unix.gettimeofday ())) :: fields)
+    | j -> j
+  in
+  let oc =
+    open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644
+      "BENCH_history.jsonl"
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Util.Json.to_string with_stamp);
+      output_char oc '\n');
+  Printf.printf
+    "\nper-stage perf snapshot (spans + counters): %s (+ BENCH_history.jsonl)\n"
+    path
 
 let () =
   table1 ();

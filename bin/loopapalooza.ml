@@ -162,6 +162,38 @@ let with_telemetry ~trace ~metrics ~prom f =
     Fun.protect ~finally:export f
   end
 
+(* ---- live observability endpoint (sweep / parrun / campaign) ---- *)
+
+let serve_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Serve live observability on 127.0.0.1:$(docv) while the run is in \
+           flight: Prometheus text at /metrics and a JSON progress snapshot \
+           at /status. Port 0 picks a free port (printed to stderr). \
+           Implies telemetry recording.")
+
+(* Start/stop the forked responder around [f]; recording is forced on so
+   /metrics has content. Publishing is the command's job: each pushes a
+   fresh snapshot at its natural progress points. *)
+let with_serve serve f =
+  match serve with
+  | None -> f None
+  | Some port ->
+      Obs.Telemetry.enable ();
+      let srv = Prof.Serve.start ~port () in
+      Printf.eprintf "serving http://127.0.0.1:%d/metrics and /status\n%!"
+        (Prof.Serve.port srv);
+      Fun.protect ~finally:(fun () -> Prof.Serve.stop srv) (fun () -> f (Some srv))
+
+let publish_status srv status =
+  Option.iter
+    (fun srv ->
+      Prof.Serve.publish srv ~metrics:(Obs.Export.prometheus ()) ~status)
+    srv
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -315,21 +347,89 @@ let print_dep_delta (ms : Loopa.Classify.module_static) =
     "static dep   : %d loops, unknown %d -> %d (range-resolved %d, audit-downgraded %d)\n"
     loops before after resolved downgraded
 
+(* The text summary behind `analyze --profile`: hottest frames by exact
+   self-instruction attribution (the only place per-frame wall time is
+   shown — the folded exports stay wall-free and byte-deterministic),
+   the opcode mix, and the emitted file list. *)
+let print_hotspot_profile ~base ~name h =
+  let files = Prof.Hotspot.write_files h ~base ~name in
+  print_newline ();
+  Printf.printf "profile: %d instructions attributed, %d samples at period %d\n"
+    (Prof.Hotspot.total_instrs h)
+    (Prof.Hotspot.n_samples h)
+    (Prof.Hotspot.sample_period h);
+  let total = max 1 (Prof.Hotspot.total_instrs h) in
+  let t = Report.Table.create [ "frame"; "self instrs"; "%"; "wall s" ] in
+  List.iteri
+    (fun i (frame, instrs, wall) ->
+      if i < 12 then
+        Report.Table.add_row t
+          [
+            frame;
+            string_of_int instrs;
+            Printf.sprintf "%.1f" (100.0 *. float_of_int instrs /. float_of_int total);
+            Printf.sprintf "%.4f" wall;
+          ])
+    (Prof.Hotspot.flat h);
+  print_endline (Report.Table.render t);
+  (match Prof.Hotspot.opcode_counts h with
+  | [] -> ()
+  | ops ->
+      print_newline ();
+      print_endline "opcode mix (retired instructions):";
+      List.iteri
+        (fun i (op, n) -> if i < 8 then Printf.printf "  %-12s %d\n" op n)
+        (List.sort (fun (_, a) (_, b) -> compare (b : int) a) ops));
+  List.iter (fun p -> Printf.printf "wrote %s\n" p) files
+
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Self-profile the interpreted run and write folded-stack \
+           flamegraphs: $(docv) (exact, instruction-weighted; per-frame \
+           totals sum to instructions_retired), $(i,FILE).samples.folded \
+           (sampled) and $(i,FILE).speedscope.json. Also prints the hottest \
+           frames and the opcode mix.")
+
+let sample_period_arg =
+  Arg.(
+    value & opt int Prof.Hotspot.default_period
+    & info [ "sample-period" ] ~docv:"N"
+        ~doc:
+          "Take one guest-stack sample every $(docv) retired instructions \
+           (deterministic: placement is a pure function of the clock).")
+
 let analyze_cmd =
-  let run target config fuel loops optimize static_dep trace metrics prom =
+  let run target config fuel loops optimize static_dep profile sample_period
+      trace metrics prom =
     handle_errors (fun () ->
         with_telemetry ~trace ~metrics ~prom (fun () ->
             let cfg = Loopa.Config.of_string config in
-            let a = Loopa.Driver.analyze_source ~fuel ~optimize (read_program target) in
+            let hotspot =
+              Option.map
+                (fun _ -> Prof.Hotspot.create ~sample_period:(max 1 sample_period) ())
+                profile
+            in
+            let a =
+              Loopa.Driver.analyze_source ~fuel ~optimize ?hotspot
+                (read_program target)
+            in
             if static_dep then print_static_verdicts a.Loopa.Driver.ms;
-            print_report ~show_loops:loops (Loopa.Driver.evaluate a cfg)))
+            print_report ~show_loops:loops (Loopa.Driver.evaluate a cfg);
+            match (profile, hotspot) with
+            | Some base, Some h -> print_hotspot_profile ~base ~name:target h
+            | _ -> ()))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the limit study on a program under one configuration.")
     Term.(
       const run $ target_arg $ config_arg $ fuel_arg $ loops_arg $ optimize_arg
-      $ static_dep_arg $ trace_arg $ metrics_arg $ prom_arg)
+      $ static_dep_arg $ profile_arg $ sample_period_arg $ trace_arg
+      $ metrics_arg $ prom_arg)
 
 (* ---- sweep ---- *)
 
@@ -358,9 +458,19 @@ let calib_report_rows rows =
     rows
 
 let sweep_cmd =
-  let run target fuel jobs parallel_loops trace metrics prom =
+  let run target fuel jobs parallel_loops serve trace metrics prom =
     handle_errors (fun () ->
         with_telemetry ~trace ~metrics ~prom (fun () ->
+        with_serve serve (fun srv ->
+            let sweep_status state =
+              Util.Json.Obj
+                [
+                  ("command", Util.Json.String "sweep");
+                  ("target", Util.Json.String target);
+                  ("state", Util.Json.String state);
+                ]
+            in
+            publish_status srv (sweep_status "analyzing");
             let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
             print_dep_delta a.Loopa.Driver.ms;
             print_newline ();
@@ -412,6 +522,7 @@ let sweep_cmd =
             in
             List.iter (Report.Table.add_row t) rows;
             print_endline (Report.Table.render t);
+            publish_status srv (sweep_status "done");
             (* ---- guarded parallel execution: predicted vs measured ---- *)
             if parallel_loops then begin
               let knobs =
@@ -433,7 +544,7 @@ let sweep_cmd =
                     r.Parrun.Guard.serial_wall r.Parrun.Guard.parallel_wall
                     (if r.Parrun.Guard.identical then "byte-identical"
                      else "DIVERGED")
-            end))
+            end)))
   in
   let parallel_loops_arg =
     Arg.(
@@ -449,7 +560,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Evaluate the full Figure-2/3 configuration ladder.")
     Term.(
       const run $ target_arg $ fuel_arg $ jobs_arg $ parallel_loops_arg
-      $ trace_arg $ metrics_arg $ prom_arg)
+      $ serve_arg $ trace_arg $ metrics_arg $ prom_arg)
 
 (* ---- parrun ---- *)
 
@@ -516,9 +627,10 @@ let parrun_result_json target (r : Parrun.Guard.result) : Util.Json.t =
 
 let parrun_cmd =
   let run targets all fuel jobs min_trip quarantine_path repro_dir watchdog
-      chaos_seed no_predict fail_on_quarantine json trace metrics prom =
+      chaos_seed no_predict fail_on_quarantine json serve trace metrics prom =
     handle_errors_int (fun () ->
         with_telemetry ~trace ~metrics ~prom (fun () ->
+        with_serve serve (fun srv ->
             let targets =
               if all then Suites.Suite.names ()
               else if targets = [] then
@@ -542,12 +654,28 @@ let parrun_cmd =
             in
             let pre_quarantined = Parrun.Quarantine.size quarantine in
             let diverged = ref [] and failed = ref [] and docs = ref [] in
+            let n_done = ref 0 in
+            let total = List.length targets in
+            let publish_progress () =
+              publish_status srv
+                (Util.Json.Obj
+                   [
+                     ("command", Util.Json.String "parrun");
+                     ("done", Util.Json.Int !n_done);
+                     ("total", Util.Json.Int total);
+                     ("diverged", Util.Json.Int (List.length !diverged));
+                     ("failed", Util.Json.Int (List.length !failed));
+                     ( "quarantined",
+                       Util.Json.Int (Parrun.Quarantine.size quarantine) );
+                   ])
+            in
+            publish_progress ();
             List.iter
               (fun target ->
-                match
-                  Parrun.Guard.run ~knobs ~quarantine ?repro_dir ~fuel
-                    ~predict:(not no_predict) ~target (read_program target)
-                with
+                (match
+                   Parrun.Guard.run ~knobs ~quarantine ?repro_dir ~fuel
+                     ~predict:(not no_predict) ~target (read_program target)
+                 with
                 | Error f ->
                     failed := target :: !failed;
                     Printf.eprintf "%s: %s\n" target
@@ -559,7 +687,9 @@ let parrun_cmd =
                       print_newline ()
                     end;
                     if not r.Parrun.Guard.identical then
-                      diverged := target :: !diverged)
+                      diverged := target :: !diverged);
+                incr n_done;
+                publish_progress ())
               targets;
             Option.iter (Parrun.Quarantine.save quarantine) quarantine_path;
             if json then
@@ -575,7 +705,7 @@ let parrun_cmd =
             end
             else if !failed <> [] then 1
             else if fail_on_quarantine && newly > 0 then 1
-            else 0))
+            else 0)))
   in
   let targets_arg =
     Arg.(
@@ -670,8 +800,8 @@ let parrun_cmd =
     Term.(
       const run $ targets_arg $ all_arg $ fuel_arg $ par_jobs_arg $ min_trip_arg
       $ quarantine_arg $ repro_dir_arg $ watchdog_arg $ chaos_seed_arg
-      $ no_predict_arg $ fail_on_quarantine_arg $ json_arg $ trace_arg
-      $ metrics_arg $ prom_arg)
+      $ no_predict_arg $ fail_on_quarantine_arg $ json_arg $ serve_arg
+      $ trace_arg $ metrics_arg $ prom_arg)
 
 (* ---- campaign ---- *)
 
@@ -820,8 +950,18 @@ let campaign_cmd =
              $(docv) for every errored task; replay or shrink them with the \
              $(b,repro) subcommands.")
   in
+  let profile_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-dir" ] ~docv:"DIR"
+          ~doc:
+            "Self-profile every task's full-fuel attempt and drop \
+             $(i,target).folded, $(i,target).samples.folded and \
+             $(i,target).speedscope.json flamegraph files in $(docv).")
+  in
   let run targets all json checkpoint resume retries fuel wall watchdog injects
-      repro_dir jobs trace metrics prom =
+      repro_dir profile_dir jobs serve trace metrics prom =
     handle_errors (fun () ->
         if (not all) && targets = [] then
           raise (Invalid_argument "campaign needs TARGETS or --all");
@@ -863,13 +1003,32 @@ let campaign_cmd =
         in
         let log = if json then fun _ -> () else prerr_endline in
         with_telemetry ~trace ~metrics ~prom (fun () ->
+        with_serve serve (fun srv ->
             (* a live progress line rides along whenever telemetry is on
-               (and the summary is not being parsed off stdout as JSON) *)
-            let heartbeat =
+               (and the summary is not being parsed off stdout as JSON);
+               with --serve, every beat is also published as /status *)
+            let log_beat =
               if (not json) && Obs.Telemetry.enabled () then
                 Some
                   (fun hb -> prerr_endline (Campaign.Runner.heartbeat_line hb))
               else None
+            in
+            let publish_beat hb =
+              publish_status srv
+                (Util.Json.Obj
+                   [
+                     ("command", Util.Json.String "campaign");
+                     ("heartbeat", Campaign.Runner.heartbeat_json hb);
+                   ])
+            in
+            let heartbeat =
+              match (log_beat, srv) with
+              | None, None -> None
+              | _ ->
+                  Some
+                    (fun hb ->
+                      Option.iter (fun f -> f hb) log_beat;
+                      if srv <> None then publish_beat hb)
             in
             let jobs = resolve_jobs jobs in
             let executor =
@@ -877,12 +1036,12 @@ let campaign_cmd =
             in
             let summary =
               Campaign.Runner.run ~budgets ?checkpoint ~resume ~faults_of
-                ?repro_dir ~log ?heartbeat ~executor named
+                ?repro_dir ?prof_dir:profile_dir ~log ?heartbeat ~executor named
             in
             if json then
               print_endline
                 (Util.Json.to_string (Campaign.Runner.summary_to_json summary))
-            else print_campaign_summary summary))
+            else print_campaign_summary summary)))
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -892,7 +1051,8 @@ let campaign_cmd =
     Term.(
       const run $ targets_arg $ all_arg $ json_arg $ checkpoint_arg $ resume_arg
       $ retries_arg $ fuel_arg $ wall_arg $ watchdog_arg $ inject_arg
-      $ repro_dir_arg $ jobs_arg $ trace_arg $ metrics_arg $ prom_arg)
+      $ repro_dir_arg $ profile_dir_arg $ jobs_arg $ serve_arg $ trace_arg
+      $ metrics_arg $ prom_arg)
 
 (* ---- chaos ---- *)
 
@@ -1354,6 +1514,134 @@ let dump_ir_cmd =
     (Cmd.info "dump-ir" ~doc:"Print the canonicalized SSA IR of a program.")
     Term.(const run $ target_arg $ optimize_arg)
 
+(* ---- perfdiff ---- *)
+
+let perfdiff_cmd =
+  let read_json path =
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> In_channel.input_all ic)
+    in
+    match Util.Json.of_string contents with
+    | Ok j -> j
+    | Error e -> raise (Invalid_argument (Printf.sprintf "%s: %s" path e))
+  in
+  let read_jsonl path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec loop acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | "" -> loop acc
+          | line -> (
+              match Util.Json.of_string line with
+              | Ok j -> loop (j :: acc)
+              | Error _ -> loop acc (* tolerate torn/malformed lines *))
+        in
+        loop [])
+  in
+  let snapshots_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SNAPSHOTS"
+          ~doc:
+            "Bench snapshot files: OLD NEW to compare two snapshots, or a \
+             single NEW when --history is given.")
+  in
+  let history_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:
+            "JSONL history file (one snapshot per line, e.g. \
+             BENCH_history.jsonl): compare NEW against the per-series median, \
+             with the slack widened by the series' own historical noise.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "tolerance" ] ~docv:"X"
+          ~doc:
+            "Scale every per-class slack by $(docv) (2.0 doubles the allowed \
+             worsening; 0.5 halves it).")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Print every compared series, not only the regressions.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the verdicts as one JSON object.")
+  in
+  let run snapshots history tolerance all json =
+    handle_errors_int (fun () ->
+        let verdicts =
+          match (history, snapshots) with
+          | None, [ old_path; new_path ] ->
+              Report.Perfdiff.compare_snapshots ~tolerance
+                ~old_:(read_json old_path) ~new_:(read_json new_path) ()
+          | Some hist_path, [ new_path ] ->
+              let new_ = read_json new_path in
+              let history = read_jsonl hist_path in
+              (* only compare against history rows of the same bench mode:
+                 quick snapshots drift far from full ones *)
+              let mode j =
+                Option.bind (Util.Json.member "harness" j)
+                  (Util.Json.member "quick")
+              in
+              let history =
+                match mode new_ with
+                | None -> history
+                | Some _ as m -> List.filter (fun j -> mode j = m) history
+              in
+              if history = [] then
+                raise
+                  (Invalid_argument
+                     (Printf.sprintf "%s: no comparable snapshots in history"
+                        hist_path));
+              Report.Perfdiff.compare_history ~tolerance ~history ~new_ ()
+          | None, _ ->
+              raise
+                (Invalid_argument
+                   "perfdiff needs OLD NEW (or NEW with --history FILE)")
+          | Some _, _ ->
+              raise
+                (Invalid_argument "perfdiff --history takes exactly one NEW")
+        in
+        let regs = Report.Perfdiff.regressions verdicts in
+        if json then
+          print_endline (Util.Json.to_string (Report.Perfdiff.to_json verdicts))
+        else if all || regs <> [] then
+          print_endline
+            (Report.Perfdiff.render ~only_regressions:(not all) verdicts);
+        if regs <> [] then (
+          Printf.eprintf "perfdiff: %d regression(s) in %d compared series\n%!"
+            (List.length regs) (List.length verdicts);
+          1)
+        else (
+          if not json then
+            Printf.printf "no regressions (%d series compared)\n"
+              (List.length verdicts);
+          0))
+  in
+  Cmd.v
+    (Cmd.info "perfdiff"
+       ~doc:
+         "Perf-trajectory regression gate: compare two bench snapshots (or a \
+          new snapshot against the JSONL history median) with noise-aware \
+          per-class slack; exit 1 on regression.")
+    Term.(
+      const run $ snapshots_arg $ history_arg $ tolerance_arg $ all_arg
+      $ json_arg)
+
 let () =
   let doc = "Loopapalooza: a compiler-driven limit study of loop-level parallelism" in
   let info = Cmd.info "loopapalooza" ~version:"1.0.0" ~doc in
@@ -1372,4 +1660,5 @@ let () =
             census_cmd;
             dump_ir_cmd;
             lint_cmd;
+            perfdiff_cmd;
           ]))

@@ -138,6 +138,24 @@ let heartbeat_line hb =
       base ^ " | "
       ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s +%d" k v) l)
 
+(* The same beat as a JSON object — the /status document the live
+   observability endpoint serves. Full counter deltas, not the top-3 the
+   log line keeps: a scraper filters for itself. *)
+let heartbeat_json hb : Json.t =
+  Json.Obj
+    [
+      ("done", Json.Int hb.hb_done);
+      ("total", Json.Int hb.hb_total);
+      ("elapsed_s", Json.Float hb.hb_elapsed_s);
+      ("tasks_per_s", Json.Float hb.hb_tasks_per_s);
+      ("eta_s", Json.Float hb.hb_eta_s);
+      ("timeouts", Json.Int hb.hb_timeouts);
+      ("backoff_waits", Json.Int hb.hb_backoff_waits);
+      ("breaker_trips", Json.Int hb.hb_breaker_trips);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) hb.hb_counters) );
+    ]
+
 type summary = {
   results : result list; (* target order; resumed results included *)
   n_completed : int;
@@ -399,7 +417,7 @@ let error_of_exec_failure (f : Loopa.Driver.failure) : error =
    yields the classified {!Loopa.Driver.failure} — built with the same
    constructors Repro.Pipeline uses, so a bundle stamped with this
    fingerprint replays to an identical one. *)
-let attempt ~budgets ~configs ~faults ~fuel src :
+let attempt ?hotspot ~budgets ~configs ~faults ~fuel src :
     status * int * Loopa.Driver.failure option =
   let errored st f = (Errored st, 0, Some f) in
   match Frontend.compile src with
@@ -433,7 +451,7 @@ let attempt ~budgets ~configs ~faults ~fuel src :
           in
           match
             Loopa.Driver.profile_result ~fuel ~mem_limit:budgets.mem_limit
-              ~max_depth:budgets.max_depth ?deadline ~faults ms
+              ~max_depth:budgets.max_depth ?deadline ~faults ?hotspot ms
           with
           | exception e ->
               errored (Crash (Printexc.to_string e))
@@ -464,13 +482,40 @@ let attempt ~budgets ~configs ~faults ~fuel src :
                         Some (Loopa.Driver.budget_failure kind) )
                     else (Truncated (kind, scores), clock, None))))
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let sanitize_name name =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_') as c -> c | _ -> '_')
+    name
+
 (* The classified failure of the attempt whose status the task kept, paired
    with the fuel that attempt ran under — exactly what a repro bundle must
    record to replay deterministically. *)
-let run_task ~budgets ~configs ~faults target src :
+let run_task ?prof_dir ~budgets ~configs ~faults target src :
     result * (Loopa.Driver.failure * int) option =
   let t0 = Unix.gettimeofday () in
-  let st1, clock1, f1 = attempt ~budgets ~configs ~faults ~fuel:budgets.fuel src in
+  (* the hotspot profiler rides the full-fuel attempt only: the retry runs
+     at reduced fuel, and a flamegraph of the longest executed prefix is
+     the informative one *)
+  let hotspot = Option.map (fun _ -> Prof.Hotspot.create ()) prof_dir in
+  let st1, clock1, f1 =
+    attempt ?hotspot ~budgets ~configs ~faults ~fuel:budgets.fuel src
+  in
+  (match (prof_dir, hotspot) with
+  | Some dir, Some h -> (
+      try
+        mkdir_p dir;
+        ignore
+          (Prof.Hotspot.write_files h
+             ~base:(Filename.concat dir (sanitize_name target))
+             ~name:target)
+      with Sys_error _ | Unix.Unix_error _ -> ())
+  | _ -> ());
   let budget_exhausted =
     match st1 with
     | Truncated _ | Errored (Budget_exhausted _) -> true
@@ -529,17 +574,6 @@ let failure_breakdown results =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* ---- repro-bundle emission ---- *)
-
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    Sys.mkdir dir 0o755
-  end
-
-let sanitize_name name =
-  String.map
-    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_') as c -> c | _ -> '_')
-    name
 
 (* Drop a self-contained bundle for an errored task: the source, the
    budgets and fault plan of the exact attempt that failed, and its
@@ -606,7 +640,7 @@ type entry = {
 
 let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
     ?checkpoint ?(resume = false) ?(faults_of = fun _ -> []) ?repro_dir
-    ?(log = fun _ -> ()) ?heartbeat ?(executor = Serial)
+    ?prof_dir ?(log = fun _ -> ()) ?heartbeat ?(executor = Serial)
     ?(on_task_start = fun (_ : string) -> ()) ?chaos ?(breaker_threshold = 5)
     (targets : (string * string) list) : summary =
   let done_before =
@@ -802,7 +836,9 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                     let r, failure =
                       Obs.Telemetry.with_span "campaign.task"
                         ~attrs:[ ("target", target) ]
-                        (fun () -> run_task ~budgets ~configs ~faults target src)
+                        (fun () ->
+                          run_task ?prof_dir ~budgets ~configs ~faults target
+                            src)
                     in
                     let telemetry =
                       if Obs.Telemetry.enabled () then
@@ -852,7 +888,7 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
           let r, failure =
             Obs.Telemetry.with_span "campaign.task"
               ~attrs:[ ("target", target) ]
-              (fun () -> run_task ~budgets ~configs ~faults target src)
+              (fun () -> run_task ?prof_dir ~budgets ~configs ~faults target src)
           in
           let tele =
             if Obs.Telemetry.enabled () then

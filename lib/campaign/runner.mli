@@ -102,6 +102,11 @@ type heartbeat = {
     so a degraded run is visible while it happens. *)
 val heartbeat_line : heartbeat -> string
 
+(** The same beat as a JSON object (full counter deltas, not the top-3 of
+    the log line) — the [/status] document the live observability endpoint
+    ([Prof.Serve]) publishes per beat. *)
+val heartbeat_json : heartbeat -> Util.Json.t
+
 type summary = {
   results : result list;  (** target order; resumed results included *)
   n_completed : int;
@@ -144,7 +149,11 @@ val result_of_json : Util.Json.t -> (result, string) Stdlib.result
     task drop a self-contained {!Repro.Bundle} (named
     [<target>.repro.json]) there, replayable and shrinkable offline with
     the [repro] CLI subcommands. [log] receives one progress line per
-    task. [heartbeat] receives one {!heartbeat} beat per finished task;
+    task. [prof_dir] attaches a {!Prof.Hotspot} profiler to every task's
+    full-fuel attempt and drops [<target>.folded],
+    [<target>.samples.folded] and [<target>.speedscope.json] there (the
+    reduced-fuel retry is not profiled). [heartbeat] receives one
+    {!heartbeat} beat per finished task;
     with telemetry enabled, every task also runs inside a
     ["campaign.task"] span and its span/counter snapshot is embedded in
     the checkpoint line.
@@ -200,6 +209,7 @@ val run :
   ?resume:bool ->
   ?faults_of:(string -> Interp.Machine.fault_plan) ->
   ?repro_dir:string ->
+  ?prof_dir:string ->
   ?log:(string -> unit) ->
   ?heartbeat:(heartbeat -> unit) ->
   ?executor:executor ->

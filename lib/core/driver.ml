@@ -177,7 +177,7 @@ let prepare ?(optimize = false) (m : Ir.Func.modul) : Classify.module_static =
    closes open invocations and the profile is marked [truncated]. *)
 let profiling_machine ?(fuel = Config.default_fuel) ?mem_limit ?max_depth
     ?deadline ?faults ?make_predictor ?(static_prune = true)
-    ?(observe_ranges = false) (ms : Classify.module_static) :
+    ?(observe_ranges = false) ?hotspot (ms : Classify.module_static) :
     Profile.t * Interp.Machine.t =
   let def_maps = Hashtbl.create 16 in
   let watch_plans = Hashtbl.create 16 in
@@ -191,12 +191,19 @@ let profiling_machine ?(fuel = Config.default_fuel) ?mem_limit ?max_depth
       Hashtbl.replace def_maps fname defs)
     ms.Classify.funcs;
   let profiler = Profile.create ?make_predictor ~static_prune ms ~def_maps in
+  (* the hotspot profiler tees the hooks (its shadow stack observes the
+     same call/loop events the profiler consumes) and arms the machine's
+     opcode counters and deterministic sampler *)
+  let hooks =
+    let base = Profile.hooks_of profiler in
+    match hotspot with None -> base | Some h -> Prof.Hotspot.tee h base
+  in
   let machine =
-    Interp.Machine.create ~hooks:(Profile.hooks_of profiler) ~fuel ?mem_limit
-      ?max_depth ?deadline ?faults
+    Interp.Machine.create ~hooks ~fuel ?mem_limit ?max_depth ?deadline ?faults
       ~watch:(fun fname -> Hashtbl.find_opt watch_plans fname)
       ms.Classify.modul
   in
+  Option.iter (fun h -> Prof.Hotspot.arm h machine) hotspot;
   (profiler, machine)
 
 let finish_profile (ms : Classify.module_static) (profiler : Profile.t)
@@ -211,20 +218,23 @@ let finish_profile (ms : Classify.module_static) (profiler : Profile.t)
   }
 
 let profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
-    ?make_predictor ?static_prune ?observe_ranges (ms : Classify.module_static) :
-    Profile.profile =
+    ?make_predictor ?static_prune ?observe_ranges ?hotspot
+    (ms : Classify.module_static) : Profile.profile =
   let profiler, machine =
     profiling_machine ?fuel ?mem_limit ?max_depth ?deadline ?faults
-      ?make_predictor ?static_prune ?observe_ranges ms
+      ?make_predictor ?static_prune ?observe_ranges ?hotspot ms
   in
-  let outcome =
-    Obs.Telemetry.with_span "profile.interp" (fun () ->
-        Interp.Machine.run_main machine)
-  in
-  record_run machine;
-  if outcome.Interp.Machine.stop <> Interp.Machine.Completed then
-    Obs.Telemetry.incr c_truncations;
-  finish_profile ms profiler outcome
+  Fun.protect
+    ~finally:(fun () -> Option.iter Prof.Hotspot.finish hotspot)
+    (fun () ->
+      let outcome =
+        Obs.Telemetry.with_span "profile.interp" (fun () ->
+            Interp.Machine.run_main machine)
+      in
+      record_run machine;
+      if outcome.Interp.Machine.stop <> Interp.Machine.Completed then
+        Obs.Telemetry.incr c_truncations;
+      finish_profile ms profiler outcome)
 
 (* As [profile_module], but every way the run can fail comes back as a
    classified {!failure} instead of an exception — with the machine clock at
@@ -232,12 +242,15 @@ let profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
    cannot carry. Budget exhaustion is still a success (a truncated
    profile), matching [profile_module]. *)
 let profile_result ?fuel ?mem_limit ?max_depth ?deadline ?faults
-    ?make_predictor ?static_prune ?observe_ranges (ms : Classify.module_static) :
-    (Profile.profile, failure) result =
+    ?make_predictor ?static_prune ?observe_ranges ?hotspot
+    (ms : Classify.module_static) : (Profile.profile, failure) result =
   let profiler, machine =
     profiling_machine ?fuel ?mem_limit ?max_depth ?deadline ?faults
-      ?make_predictor ?static_prune ?observe_ranges ms
+      ?make_predictor ?static_prune ?observe_ranges ?hotspot ms
   in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Prof.Hotspot.finish hotspot)
+  @@ fun () ->
   match
     Obs.Telemetry.with_span "profile.interp" (fun () ->
         Interp.Machine.run_main machine)
@@ -269,7 +282,7 @@ let profile_result ?fuel ?mem_limit ?max_depth ?deadline ?faults
         }
 
 let analyze_source ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
-    ?optimize ?static_prune ?observe_ranges (src : string) : analysis =
+    ?optimize ?static_prune ?observe_ranges ?hotspot (src : string) : analysis =
   Obs.Telemetry.with_span "analyze" @@ fun () ->
   let m = Frontend.compile_exn src in
   let ms = prepare ?optimize m in
@@ -277,18 +290,19 @@ let analyze_source ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
     ms;
     profile =
       profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
-        ?make_predictor ?static_prune ?observe_ranges ms;
+        ?make_predictor ?static_prune ?observe_ranges ?hotspot ms;
   }
 
 let analyze_module ?fuel ?mem_limit ?max_depth ?deadline ?faults ?make_predictor
-    ?optimize ?static_prune ?observe_ranges (m : Ir.Func.modul) : analysis =
+    ?optimize ?static_prune ?observe_ranges ?hotspot (m : Ir.Func.modul) :
+    analysis =
   Obs.Telemetry.with_span "analyze" @@ fun () ->
   let ms = prepare ?optimize m in
   {
     ms;
     profile =
       profile_module ?fuel ?mem_limit ?max_depth ?deadline ?faults
-        ?make_predictor ?static_prune ?observe_ranges ms;
+        ?make_predictor ?static_prune ?observe_ranges ?hotspot ms;
   }
 
 let evaluate ?knobs (a : analysis) (config : Config.t) : Evaluate.report =

@@ -74,7 +74,10 @@ val prepare : ?optimize:bool -> Ir.Func.modul -> Classify.module_static
     pass false to collect the unpruned profile (what {!Crosscheck} validates
     against). [observe_ranges] (default false) makes EVERY header phi report
     its per-arrival value so {!Crosscheck.check_ranges} can compare dynamic
-    values against the statically proven intervals. *)
+    values against the statically proven intervals. [hotspot] attaches a
+    {!Prof.Hotspot} profiler: its shadow stack tees the event hooks, the
+    machine's opcode counters and deterministic sampler are armed, and
+    [Prof.Hotspot.finish] runs on every exit path (including traps). *)
 val profile_module :
   ?fuel:int ->
   ?mem_limit:int ->
@@ -84,6 +87,7 @@ val profile_module :
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?static_prune:bool ->
   ?observe_ranges:bool ->
+  ?hotspot:Prof.Hotspot.t ->
   Classify.module_static ->
   Profile.profile
 
@@ -100,6 +104,7 @@ val profile_result :
   ?make_predictor:(unit -> Predictors.Hybrid.t) ->
   ?static_prune:bool ->
   ?observe_ranges:bool ->
+  ?hotspot:Prof.Hotspot.t ->
   Classify.module_static ->
   (Profile.profile, failure) result
 
@@ -117,6 +122,7 @@ val analyze_source :
   ?optimize:bool ->
   ?static_prune:bool ->
   ?observe_ranges:bool ->
+  ?hotspot:Prof.Hotspot.t ->
   string ->
   analysis
 
@@ -131,6 +137,7 @@ val analyze_module :
   ?optimize:bool ->
   ?static_prune:bool ->
   ?observe_ranges:bool ->
+  ?hotspot:Prof.Hotspot.t ->
   Ir.Func.modul ->
   analysis
 

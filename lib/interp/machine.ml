@@ -81,6 +81,16 @@ type t = {
   mutable mem_watchers : int;
   mutable mem_accesses : int; (* word accesses executed *)
   mutable mem_events : int; (* word accesses reported through hooks *)
+  (* Self-profiling state, off by default. [opcounts] is the shared empty
+     array until {!enable_opcode_counts}: the hot-path guard is one array
+     length read. The sampler is a countdown in {!tick}: 0 means disabled
+     (one compare per instruction); armed, it fires [on_sample] every
+     [sample_period] retired instructions — a pure function of the clock,
+     so sample placement is deterministic across runs. *)
+  mutable opcounts : int array;
+  mutable sample_period : int;
+  mutable sample_countdown : int;
+  mutable on_sample : int -> unit; (* receives the clock at the sample *)
 }
 
 (* Why execution stopped. [Truncated] runs closed every open loop
@@ -152,7 +162,45 @@ let create ?(hooks = Events.no_hooks) ?(fuel = 2_000_000_000)
     mem_watchers = 0;
     mem_accesses = 0;
     mem_events = 0;
+    opcounts = [||];
+    sample_period = 0;
+    sample_countdown = 0;
+    on_sample = ignore;
   }
+
+(* Two synthetic opcode slots past the IR constructors: the per-element
+   ticks of the arrcopy/arrfill builtins, and clock lumps applied by a
+   delegate's loop commit — so the opcode counters partition the clock
+   exactly (their sum always equals {!instructions_retired}). *)
+let opc_builtin = Ir.Instr.n_opcodes
+
+let opc_committed = Ir.Instr.n_opcodes + 1
+
+let enable_opcode_counts (t : t) =
+  if Array.length t.opcounts = 0 then
+    t.opcounts <- Array.make (Ir.Instr.n_opcodes + 2) 0
+
+let opcode_counts (t : t) : (string * int) list =
+  if Array.length t.opcounts = 0 then []
+  else
+    List.filter
+      (fun (_, v) -> v > 0)
+      (List.init (Array.length t.opcounts) (fun i ->
+           ( (if i = opc_builtin then "builtin_mem"
+              else if i = opc_committed then "committed"
+              else Ir.Instr.opcode_name i),
+             t.opcounts.(i) )))
+
+let set_sampler (t : t) ~period f =
+  if period <= 0 then invalid_arg "Machine.set_sampler: period must be positive";
+  t.sample_period <- period;
+  t.sample_countdown <- period;
+  t.on_sample <- f
+
+let clear_sampler (t : t) =
+  t.sample_period <- 0;
+  t.sample_countdown <- 0;
+  t.on_sample <- ignore
 
 let clock (t : t) = t.clock
 
@@ -225,6 +273,13 @@ let tick (t : t) =
   | _ -> ());
   t.clock <- t.clock + 1;
   if t.clock > t.fuel then raise (Budget_stop Fuel);
+  if t.sample_countdown > 0 then begin
+    t.sample_countdown <- t.sample_countdown - 1;
+    if t.sample_countdown = 0 then begin
+      t.sample_countdown <- t.sample_period;
+      t.on_sample t.clock
+    end
+  end;
   (* The wall budget is real wall-clock time (a stalled or descheduled
      run must still hit it), polled coarsely: a gettimeofday syscall per
      instruction would dominate the interpreter loop. *)
@@ -351,6 +406,8 @@ let exec_builtin t name (args : rv list) : rv option =
       and n = Int64.to_int (as_int n) in
       for i = 0 to n - 1 do
         tick t;
+        if Array.length t.opcounts <> 0 then
+          t.opcounts.(opc_builtin) <- t.opcounts.(opc_builtin) + 1;
         mem_access t ~addr:(src + i) ~is_write:false;
         mem_access t ~addr:(dst + i) ~is_write:true;
         Rvalue.store t.mem (dst + i) (Rvalue.load t.mem (src + i))
@@ -360,6 +417,8 @@ let exec_builtin t name (args : rv list) : rv option =
       let dst = Int64.to_int (as_int dst) and n = Int64.to_int (as_int n) in
       for i = 0 to n - 1 do
         tick t;
+        if Array.length t.opcounts <> 0 then
+          t.opcounts.(opc_builtin) <- t.opcounts.(opc_builtin) + 1;
         mem_access t ~addr:(dst + i) ~is_write:true;
         Rvalue.store t.mem (dst + i) v
       done;
@@ -433,6 +492,10 @@ let exec_phis t (fr : frame) ~pred ~seed b =
       Array.map
         (fun id ->
           tick t;
+          if Array.length t.opcounts <> 0 then begin
+            let opc = Ir.Instr.opcode (Ir.Func.kind p.fn id) in
+            t.opcounts.(opc) <- t.opcounts.(opc) + 1
+          end;
           if p.watch.Events.defs.(id) then
             t.hooks.Events.on_watched_def ~instr_id:id ~clock:t.clock;
           (match p.watch.Events.phi_uses.(id) with
@@ -480,6 +543,10 @@ let rec exec_rest t (fr : frame) b : block_exit =
     let id = insns.(!i) in
     incr i;
     tick t;
+    if Array.length t.opcounts <> 0 then begin
+      let opc = Ir.Instr.opcode (Ir.Func.kind p.fn id) in
+      t.opcounts.(opc) <- t.opcounts.(opc) + 1
+    end;
     if p.watch.Events.defs.(id) then
       t.hooks.Events.on_watched_def ~instr_id:id ~clock:t.clock;
     (match p.watch.Events.phi_uses.(id) with
@@ -610,6 +677,8 @@ and exec_func t fname (args : rv array) : rv option =
 and apply_commit t (c : loop_commit) (regs : rv array) =
   if c.lc_clock > t.fuel - t.clock then raise (Budget_stop Fuel);
   t.clock <- t.clock + c.lc_clock;
+  if Array.length t.opcounts <> 0 then
+    t.opcounts.(opc_committed) <- t.opcounts.(opc_committed) + c.lc_clock;
   List.iter (fun (id, v) -> regs.(id) <- v) c.lc_regs;
   List.iter (fun (addr, v) -> Rvalue.store t.mem addr v) c.lc_writes;
   t.mem_accesses <- t.mem_accesses + c.lc_accesses;

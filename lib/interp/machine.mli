@@ -115,6 +115,33 @@ val mem_events_pruned : t -> int
     The guarded runner pre-checks a commit's lump of ticks against it. *)
 val fuel : t -> int
 
+(** {2 Self-profiling (lib/prof)}
+
+    Both facilities follow the lib/obs zero-cost-when-off contract: until
+    enabled, the per-instruction overhead is one array-length read (opcode
+    counters) plus one integer compare (sampler). *)
+
+(** Allocate the per-opcode retired-instruction counters. Counts partition
+    the clock exactly: IR constructors by {!Ir.Instr.opcode}, plus a
+    ["builtin_mem"] slot for the per-element ticks of arrcopy/arrfill and a
+    ["committed"] slot for clock lumps a delegate's loop commit applied —
+    so the counter sum always equals {!instructions_retired}. Idempotent. *)
+val enable_opcode_counts : t -> unit
+
+(** [(opcode name, retired count)] pairs, zero entries dropped; [[]] until
+    {!enable_opcode_counts}. *)
+val opcode_counts : t -> (string * int) list
+
+(** Arm the deterministic sampling profiler: [f clock] fires every
+    [period] retired instructions (first at clock [period]). Placement is
+    a pure function of the clock, so samples land on the same instructions
+    in every run of the same program.
+    @raise Invalid_argument when [period <= 0] *)
+val set_sampler : t -> period:int -> (int -> unit) -> unit
+
+(** Disarm the sampler (back to the one-compare-per-tick null path). *)
+val clear_sampler : t -> unit
+
 (** Swap the instrumentation hooks. Shard workers install their access
     loggers per task on the forked machine image. *)
 val set_hooks : t -> Events.hooks -> unit

@@ -112,6 +112,48 @@ let retarget_successor ~from_ ~to_ = function
       Cond_br (c, (if l1 = from_ then to_ else l1), if l2 = from_ then to_ else l2)
   | k -> k
 
+(* Dense opcode index over the [kind] constructors, for per-opcode retired
+   counters: the interpreter indexes a flat array with this on its hot path,
+   so the mapping must stay total and stable. *)
+let n_opcodes = 16
+
+let opcode = function
+  | Ibinop _ -> 0
+  | Fbinop _ -> 1
+  | Icmp _ -> 2
+  | Fcmp _ -> 3
+  | Select _ -> 4
+  | Si_to_fp _ -> 5
+  | Fp_to_si _ -> 6
+  | Load _ -> 7
+  | Store _ -> 8
+  | Alloc _ -> 9
+  | Call _ -> 10
+  | Phi _ -> 11
+  | Br _ -> 12
+  | Cond_br _ -> 13
+  | Ret _ -> 14
+  | Unreachable -> 15
+
+let opcode_name = function
+  | 0 -> "ibinop"
+  | 1 -> "fbinop"
+  | 2 -> "icmp"
+  | 3 -> "fcmp"
+  | 4 -> "select"
+  | 5 -> "si_to_fp"
+  | 6 -> "fp_to_si"
+  | 7 -> "load"
+  | 8 -> "store"
+  | 9 -> "alloc"
+  | 10 -> "call"
+  | 11 -> "phi"
+  | 12 -> "br"
+  | 13 -> "cond_br"
+  | 14 -> "ret"
+  | 15 -> "unreachable"
+  | n -> invalid_arg (Printf.sprintf "Instr.opcode_name: %d" n)
+
 let ibinop_name = function
   | Add -> "add"
   | Sub -> "sub"

@@ -72,9 +72,38 @@ let sanitize name =
       | _ -> '_')
     name
 
+(* Label values are free text in the exposition format, but backslash,
+   double-quote and newline must be escaped (backslash-doubled, backslash-
+   quote, backslash-n) or the line is unparseable — a span named after a
+   Windows path or a quoted source snippet must not corrupt the dump. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let float_sample f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
+
+(* Build identity, emitted as the conventional constant-1 info gauge so
+   dashboards can join any series against version/revision. The revision
+   comes from the environment (CI exports LOOPA_GIT_REV) because the build
+   itself is hermetic. *)
+let build_info =
+  ref
+    [
+      ("version", "1.0.0");
+      ( "git_rev",
+        Option.value ~default:"unknown" (Sys.getenv_opt "LOOPA_GIT_REV") );
+    ]
+
+let set_build_info kvs = build_info := kvs
 
 let aggregate_spans (spans : Telemetry.span list) =
   let tbl = Hashtbl.create 16 in
@@ -92,6 +121,13 @@ let aggregate_spans (spans : Telemetry.span list) =
 let prometheus () : string =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "# TYPE loopa_build_info gauge";
+  line "loopa_build_info{%s} 1"
+    (String.concat ","
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+          !build_info));
   List.iter
     (fun (name, v) ->
       let m = "loopa_" ^ sanitize name ^ "_total" in
@@ -120,9 +156,10 @@ let prometheus () : string =
       line "# TYPE loopa_span_seconds summary";
       List.iter
         (fun (name, (n, total)) ->
-          line "loopa_span_seconds_sum{span=\"%s\"} %s" (sanitize name)
-            (float_sample total);
-          line "loopa_span_seconds_count{span=\"%s\"} %d" (sanitize name) n)
+          line "loopa_span_seconds_sum{span=\"%s\"} %s"
+            (escape_label_value name) (float_sample total);
+          line "loopa_span_seconds_count{span=\"%s\"} %d"
+            (escape_label_value name) n)
         aggs);
   Buffer.contents buf
 

@@ -13,10 +13,22 @@ val chrome_trace_string : unit -> string
 
 val write_chrome_trace : string -> unit
 
-(** Counters as [loopa_<name>_total], histograms as [_bucket]/[_sum]/
-    [_count] families, and per-span-name duration aggregates as
+(** Escape a Prometheus label value per the text exposition format:
+    backslash is doubled, double-quote gains a backslash, newline becomes
+    backslash-n. *)
+val escape_label_value : string -> string
+
+(** Override the [loopa_build_info] labels (defaults:
+    [version="1.0.0"], [git_rev] from the [LOOPA_GIT_REV] environment
+    variable or ["unknown"]). *)
+val set_build_info : (string * string) list -> unit
+
+(** A constant [loopa_build_info{version=..,git_rev=..} 1] gauge, counters
+    as [loopa_<name>_total], histograms as [_bucket]/[_sum]/[_count]
+    families, and per-span-name duration aggregates as
     [loopa_span_seconds{span="..."}] sum/count pairs — one sample per line,
-    [# TYPE] comments included. *)
+    [# TYPE] comments included. Label values are escaped with
+    {!escape_label_value}. *)
 val prometheus : unit -> string
 
 val write_prometheus : string -> unit

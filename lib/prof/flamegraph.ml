@@ -1,0 +1,91 @@
+(* Flamegraph emitters over folded-stack data. A profile here is just
+   [(folded key, weight)] pairs, where a folded key is the ';'-joined guest
+   stack root-first ("main;kernel;kernel:loop0"). Both writers sort by key so
+   output is byte-deterministic regardless of the hash-table iteration order
+   that produced the pairs — the determinism tests diff files directly. *)
+
+module Json = Util.Json
+
+let merge entries =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (key, w) ->
+      match Hashtbl.find_opt tbl key with
+      | Some r -> r := !r + w
+      | None -> Hashtbl.add tbl key (ref w))
+    entries;
+  Hashtbl.fold (fun key r acc -> (key, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let collapsed entries =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (key, w) -> if w > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" key w))
+    (merge entries);
+  Buffer.contents buf
+
+(* Speedscope's "sampled" profile schema (https://www.speedscope.app): a
+   shared frame table, one stack per sample as frame indices, parallel
+   weights. [unit] is "none" because our weights are retired IR instructions
+   (or sample counts), not time. *)
+let speedscope ~name entries =
+  let entries = merge entries in
+  let frames = Hashtbl.create 64 in
+  let frame_order = ref [] in
+  let frame_index f =
+    match Hashtbl.find_opt frames f with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length frames in
+        Hashtbl.add frames f i;
+        frame_order := f :: !frame_order;
+        i
+  in
+  let samples, weights =
+    List.fold_left
+      (fun (ss, ws) (key, w) ->
+        if w <= 0 then (ss, ws)
+        else
+          let stack =
+            String.split_on_char ';' key
+            |> List.map (fun f -> Json.Int (frame_index f))
+          in
+          (Json.List stack :: ss, Json.Int w :: ws))
+      ([], []) entries
+  in
+  let samples = List.rev samples and weights = List.rev weights in
+  let total = List.fold_left (fun acc (_, w) -> acc + max 0 w) 0 entries in
+  let frame_table =
+    List.rev_map (fun f -> Json.Obj [ ("name", Json.String f) ]) !frame_order
+  in
+  Json.Obj
+    [
+      ( "$schema",
+        Json.String "https://www.speedscope.app/file-format-schema.json" );
+      ("shared", Json.Obj [ ("frames", Json.List frame_table) ]);
+      ( "profiles",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("type", Json.String "sampled");
+                ("name", Json.String name);
+                ("unit", Json.String "none");
+                ("startValue", Json.Int 0);
+                ("endValue", Json.Int total);
+                ("samples", Json.List samples);
+                ("weights", Json.List weights);
+              ];
+          ] );
+      ("exporter", Json.String "loopapalooza-prof");
+      ("name", Json.String name);
+    ]
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_collapsed path entries = write_file path (collapsed entries)
+
+let write_speedscope path ~name entries =
+  write_file path (Json.to_string (speedscope ~name entries))

@@ -1,0 +1,21 @@
+(** Flamegraph emitters over folded-stack data.
+
+    A profile is [(folded key, weight)] pairs where the key is the guest
+    stack root-first, ';'-joined (["main;kernel;kernel:loop0"]) and the
+    weight is retired IR instructions (exact profile) or sample hits
+    (sampling profile). Duplicate keys are merged and output is sorted by
+    key, so both formats are byte-deterministic for a given multiset of
+    entries. *)
+
+(** Brendan Gregg collapsed format, one ["stack count\n"] line per key;
+    weights [<= 0] are dropped. Feed to [flamegraph.pl] or speedscope. *)
+val collapsed : (string * int) list -> string
+
+(** Speedscope "sampled" profile (schema
+    [https://www.speedscope.app/file-format-schema.json]); [unit] is
+    ["none"] since weights count instructions, not time. *)
+val speedscope : name:string -> (string * int) list -> Util.Json.t
+
+val write_collapsed : string -> (string * int) list -> unit
+
+val write_speedscope : string -> name:string -> (string * int) list -> unit

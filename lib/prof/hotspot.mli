@@ -1,0 +1,62 @@
+(** The hotspot profiler: exact per-loop/per-function instruction
+    attribution, per-opcode retired counters, wall-time attribution, and a
+    deterministic sampling profile of the guest Looplang call stack.
+
+    Lifecycle: {!create} → {!tee} your hooks into the machine → {!arm} the
+    machine → run → {!finish} → read {!folded}/{!sampled}/{!flat} or
+    {!write_files}.
+
+    Attribution is by clock-delta charging at stack transitions, so the
+    exact folded self-weights partition the machine clock: their sum equals
+    [Machine.instructions_retired] after {!finish}. Sample placement is a
+    pure function of the clock (every [sample_period] retired
+    instructions), so folded exports are byte-identical across runs of the
+    same program; wall times appear only in {!flat}. *)
+
+type t
+
+val default_period : int
+(** Default [sample_period]: 1000 retired instructions per sample. *)
+
+(** [wall_clock] defaults to [Unix.gettimeofday]; tests inject a
+    deterministic clock.
+    @raise Invalid_argument when [sample_period <= 0] *)
+val create :
+  ?sample_period:int -> ?wall_clock:(unit -> float) -> unit -> t
+
+(** Wrap hooks with the shadow-stack updates, forwarding every event to the
+    wrapped hooks unchanged — composes with [Loopa.Profile.hooks_of]. *)
+val tee : t -> Interp.Events.hooks -> Interp.Events.hooks
+
+(** Enable the machine's opcode counters and arm its sampler with this
+    profiler's period. Remembers the machine so {!finish} can flush. *)
+val arm : t -> Interp.Machine.t -> unit
+
+(** Charge the tail interval up to the machine's current clock and snapshot
+    its opcode counters. Idempotent; call on every exit path (the clock is
+    readable even after a trap). *)
+val finish : t -> unit
+
+(** Exact profile: [(folded key, self instructions)]; keys are root-first
+    ';'-joined stacks, loop frames as ["fn:loopN"]. Sums to the machine
+    clock after {!finish}. *)
+val folded : t -> (string * int) list
+
+(** Sampling profile: [(folded key, sample hits)]. *)
+val sampled : t -> (string * int) list
+
+(** Per-frame self totals [(frame, instructions, wall seconds)], hottest
+    first. The only place wall time surfaces. *)
+val flat : t -> (string * int * float) list
+
+(** The machine's per-opcode counters as snapshotted by {!finish}. *)
+val opcode_counts : t -> (string * int) list
+
+val total_instrs : t -> int
+val n_samples : t -> int
+val sample_period : t -> int
+
+(** Write [<base>.folded] (exact), [<base>.samples.folded] (sampled) and
+    [<base>.speedscope.json] (exact, speedscope schema); a [.folded]
+    suffix on [base] is stripped first. Returns the paths written. *)
+val write_files : t -> base:string -> name:string -> string list

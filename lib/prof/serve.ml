@@ -1,0 +1,189 @@
+(* The live observability endpoint: a forked HTTP responder serving
+   Prometheus /metrics and JSON /status for long campaign/parrun/sweep runs.
+
+   Topology mirrors lib/exec's pool: the parent binds the listening socket
+   (port 0 picks a free port, reported back via getsockname), forks, and
+   keeps only the write end of a pipe. {!publish} pushes one {!Exec.Ipc}
+   frame — {"metrics": <prometheus text>, "status": <json>} — per snapshot;
+   the child selects over {listener, pipe}, keeps the latest snapshot, and
+   answers each HTTP request from it. No threads, no shared state: the pipe
+   is the only channel, and its EOF (parent exits or calls {!stop}) is the
+   child's shutdown signal. The responder is read-only and single-request
+   ("Connection: close"), which is all a Prometheus scraper needs. *)
+
+module Json = Util.Json
+
+type t = {
+  port : int;
+  pipe_wr : Unix.file_descr;
+  child : int;
+  mutable alive : bool;
+}
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Read request bytes until the header terminator (we ignore bodies — every
+   endpoint is a GET) and answer from the latest snapshot. Any malformed or
+   oversized request gets a terse error; a broken peer is just ignored. *)
+let handle_conn conn ~metrics ~status =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec read_request () =
+    if Buffer.length buf < 8192 then
+      match Unix.read conn chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          let s = Buffer.contents buf in
+          let have_headers =
+            let rec scan i =
+              i >= 0
+              && (String.sub s i 4 = "\r\n\r\n" || scan (i - 1))
+            in
+            String.length s >= 4 && scan (String.length s - 4)
+          in
+          if not have_headers then read_request ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_request ()
+  in
+  (try read_request () with Unix.Unix_error _ -> ());
+  let request = Buffer.contents buf in
+  let path =
+    match String.index_opt request '\n' with
+    | None -> None
+    | Some eol -> (
+        let line = String.trim (String.sub request 0 eol) in
+        match String.split_on_char ' ' line with
+        | [ "GET"; path; _ ] -> Some path
+        | _ -> None)
+  in
+  let response =
+    match path with
+    | Some "/metrics" ->
+        http_response ~status:"200 OK"
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8" metrics
+    | Some "/status" ->
+        http_response ~status:"200 OK" ~content_type:"application/json"
+          (status ^ "\n")
+    | Some _ ->
+        http_response ~status:"404 Not Found" ~content_type:"text/plain"
+          "not found: endpoints are /metrics and /status\n"
+    | None ->
+        http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+          "bad request\n"
+  in
+  try send_all conn response with Unix.Unix_error _ -> ()
+
+let responder ~sock ~pipe_rd =
+  let metrics = ref "" in
+  let status = ref (Json.to_string (Json.Obj [ ("state", Json.String "starting") ])) in
+  let running = ref true in
+  while !running do
+    let ready, _, _ =
+      try Unix.select [ pipe_rd; sock ] [] [] (-1.0)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    (* Drain the pipe before accepting, so a request racing a publish sees
+       the newer snapshot. *)
+    if List.mem pipe_rd ready then begin
+      match Exec.Ipc.read pipe_rd with
+      | Exec.Ipc.Eof -> running := false
+      | Exec.Ipc.Msg j ->
+          (match Json.member "metrics" j with
+          | Some (Json.String m) -> metrics := m
+          | _ -> ());
+          (match Json.member "status" j with
+          | Some s -> status := Json.to_string s
+          | None -> ())
+      | exception Exec.Ipc.Protocol_error _ -> running := false
+    end;
+    if !running && List.mem sock ready then begin
+      match Unix.accept sock with
+      | conn, _ ->
+          handle_conn conn ~metrics:!metrics ~status:!status;
+          (try Unix.close conn with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ()
+    end
+  done
+
+let start ?(host = "127.0.0.1") ~port () =
+  if port < 0 || port > 65535 then invalid_arg "Serve.start: bad port";
+  (* publish must get EPIPE as an exception, not a fatal signal, once the
+     responder is gone *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let ok =
+    try
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.listen sock 16;
+      true
+    with e ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e
+  in
+  ignore ok;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let pipe_rd, pipe_wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close pipe_wr;
+      (try responder ~sock ~pipe_rd with _ -> ());
+      Unix._exit 0
+  | child ->
+      Unix.close pipe_rd;
+      Unix.close sock;
+      { port; pipe_wr; child; alive = true }
+
+let port t = t.port
+
+let publish t ~metrics ~status =
+  if t.alive then
+    try
+      Exec.Ipc.write t.pipe_wr
+        (Json.Obj [ ("metrics", Json.String metrics); ("status", status) ])
+    with
+    | Unix.Unix_error (Unix.EPIPE, _, _) | Sys_error _ -> t.alive <- false
+
+(* Close the pipe (the child's EOF) and reap it, escalating to SIGKILL if
+   it fails to exit promptly — e.g. a leaked pipe dup in a forked worker
+   keeping the read end open. *)
+let stop t =
+  if t.alive || t.child > 0 then begin
+    t.alive <- false;
+    (try Unix.close t.pipe_wr with Unix.Unix_error _ -> ());
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    let rec reap () =
+      match Unix.waitpid [ Unix.WNOHANG ] t.child with
+      | 0, _ ->
+          if Unix.gettimeofday () < deadline then begin
+            Unix.sleepf 0.02;
+            reap ()
+          end
+          else begin
+            (try Unix.kill t.child Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (try Unix.waitpid [] t.child with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+          end
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    in
+    reap ()
+  end

@@ -1,0 +1,29 @@
+(** The live observability endpoint: a forked HTTP responder serving
+    Prometheus [/metrics] (text format 0.0.4) and JSON [/status].
+
+    The parent process never serves HTTP: {!start} binds the socket, forks
+    a select-loop responder child, and returns a handle whose only verbs
+    are {!publish} (push a snapshot over an {!Exec.Ipc} pipe; the child
+    answers every request from the latest one) and {!stop} (close the
+    pipe — the child's EOF shutdown signal — and reap it). Publishing
+    after the child died is a silent no-op, so a crashed responder never
+    takes the campaign down with it. SIGPIPE is set to ignore by
+    {!start}. *)
+
+type t
+
+(** Bind [host] (default 127.0.0.1) on [port] — 0 picks a free port, read
+    it back with {!port} — and fork the responder.
+    @raise Invalid_argument on an out-of-range port
+    @raise Unix.Unix_error when the bind/listen fails (port in use) *)
+val start : ?host:string -> port:int -> unit -> t
+
+val port : t -> int
+
+(** Push a snapshot: [metrics] is served verbatim at [/metrics], [status]
+    compactly at [/status]. *)
+val publish : t -> metrics:string -> status:Util.Json.t -> unit
+
+(** Shut the responder down and reap the child (SIGKILL after ~2 s if the
+    EOF signal doesn't land). Idempotent. *)
+val stop : t -> unit

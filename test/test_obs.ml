@@ -229,8 +229,43 @@ let test_prometheus_shape () =
       "loopa_prom_lat_sum 1003";
       "loopa_prom_lat_count 3";
       "# TYPE loopa_span_seconds summary";
-      "loopa_span_seconds_count{span=\"prom_stage\"} 1";
+      (* label values are verbatim (escaped), not sanitized like metric
+         names: the dash survives *)
+      "loopa_span_seconds_count{span=\"prom-stage\"} 1";
+      "# TYPE loopa_build_info gauge";
     ];
+  teardown ()
+
+let test_prometheus_label_escaping () =
+  teardown ();
+  Alcotest.(check string) "backslash, quote, newline escaped"
+    "a\\\\b\\\"c\\nd"
+    (E.escape_label_value "a\\b\"c\nd");
+  T.enable ();
+  install_tick_clock ();
+  T.with_span "evil\"span\nname\\x" (fun () -> ());
+  let text = E.prometheus () in
+  Alcotest.(check bool) "escaped span label emitted" true
+    (contains text "{span=\"evil\\\"span\\nname\\\\x\"}");
+  Alcotest.(check bool) "no raw newline inside a label value" false
+    (List.exists
+       (fun line -> contains line "{span=\"evil" && not (contains line "} "))
+       (String.split_on_char '\n' text));
+  teardown ()
+
+let test_prometheus_build_info () =
+  teardown ();
+  let text = E.prometheus () in
+  Alcotest.(check bool) "gauge present even with telemetry off" true
+    (contains text "# TYPE loopa_build_info gauge");
+  Alcotest.(check bool) "version label" true
+    (contains text "loopa_build_info{version=\"");
+  Alcotest.(check bool) "git_rev label" true (contains text "git_rev=\"");
+  E.set_build_info [ ("version", "9.9.9"); ("git_rev", "de\"ad") ];
+  let text = E.prometheus () in
+  Alcotest.(check bool) "override + escaping" true
+    (contains text "loopa_build_info{version=\"9.9.9\",git_rev=\"de\\\"ad\"} 1");
+  E.set_build_info [ ("version", "1.0.0"); ("git_rev", "unknown") ];
   teardown ()
 
 let test_snapshot_rides_checkpoint_line () =
@@ -460,6 +495,10 @@ let () =
         [
           Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
           Alcotest.test_case "prometheus shape" `Quick test_prometheus_shape;
+          Alcotest.test_case "prometheus label escaping" `Quick
+            test_prometheus_label_escaping;
+          Alcotest.test_case "prometheus build info" `Quick
+            test_prometheus_build_info;
           Alcotest.test_case "snapshot in checkpoint line" `Quick
             test_snapshot_rides_checkpoint_line;
           Alcotest.test_case "heartbeat line" `Quick test_heartbeat_line;
