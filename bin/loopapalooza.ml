@@ -75,7 +75,10 @@ let handle_errors_int f =
   | Interp.Rvalue.Runtime_error msg ->
       Printf.eprintf "runtime error: %s\n" msg;
       1
-  | Invalid_argument msg | Loopa.Config.Bad_config msg ->
+  | Invalid_argument msg
+  | Loopa.Config.Bad_config msg
+  | Exec.Remote.Remote_error msg
+  | Service.Client.Client_error msg ->
       Printf.eprintf "error: %s\n" msg;
       2
   | Sys_error msg ->
@@ -146,6 +149,58 @@ let resolve_jobs jobs =
     raise (Invalid_argument (Printf.sprintf "--jobs %d: want 0 or a positive count" jobs))
   else if jobs = 0 then Exec.Pool.detect_jobs ()
   else jobs
+
+(* ---- result cache (analyze / sweep / campaign) ---- *)
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Serve results from (and store fresh results into) the \
+           content-addressed cache at $(docv). Keys cover the source bytes, \
+           every result-shaping knob and the code revision \
+           ($(b,LOOPA_GIT_REV)), so a warm hit replays byte-identical output \
+           without compiling or classifying anything.")
+
+(* ---- remote workers (sweep / campaign) ---- *)
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workers" ] ~docv:"HOST:PORT,..."
+        ~doc:
+          "Shard tasks across remote workers: listen on each $(docv) endpoint \
+           and wait for a $(b,loopapalooza worker --connect) process to dial \
+           in before starting. Remote workers ride the same supervision \
+           (watchdog, backoff, circuit breaker) as local forked ones.")
+
+(* Listen on every configured endpoint and wait for the worker fleet to
+   dial in; returns the connected, hello-validated sockets. The listening
+   fds are closed as soon as their worker arrives — one worker per
+   endpoint. *)
+let connect_workers = function
+  | None -> []
+  | Some spec ->
+      let endpoints = Exec.Remote.parse_hostports spec in
+      if endpoints = [] then
+        raise (Invalid_argument "--workers: no endpoints in the list");
+      List.map
+        (fun (host, port) ->
+          let lfd = Exec.Remote.listen ~host ~port in
+          Printf.eprintf "waiting for worker on %s:%d\n%!" host
+            (Exec.Remote.bound_port lfd);
+          Fun.protect
+            ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+            (fun () -> Exec.Remote.accept_worker lfd))
+        endpoints
+
+let close_workers remotes =
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    remotes
 
 (* Enable recording iff any exporter was requested, and export on the way
    out even when the body fails — the trace of a failed pipeline is exactly
@@ -250,40 +305,10 @@ let loops_arg =
     value & opt int 8
     & info [ "loops" ] ~docv:"N" ~doc:"Show the $(docv) costliest loops (0 = none).")
 
-let print_report ~show_loops (r : Loopa.Evaluate.report) =
-  Printf.printf "config        : %s\n" (Loopa.Config.name r.Loopa.Evaluate.config);
-  if r.Loopa.Evaluate.truncated then
-    Printf.printf "truncated     : yes — a budget ran out; results cover the executed prefix\n";
-  Printf.printf "serial cost   : %d dynamic IR instructions\n" r.Loopa.Evaluate.total_cost;
-  Printf.printf "parallel cost : %.0f\n" r.Loopa.Evaluate.parallel_cost;
-  Printf.printf "limit speedup : %.2fx\n" r.Loopa.Evaluate.speedup;
-  Printf.printf "coverage      : %.1f%% of instructions inside parallel loops\n"
-    r.Loopa.Evaluate.coverage_pct;
-  Printf.printf "static doall  : %.1f%% of instructions inside statically proven loops\n"
-    r.Loopa.Evaluate.static_coverage_pct;
-  if show_loops > 0 then begin
-    let t =
-      Report.Table.create
-        [ "loop"; "depth"; "invocations"; "parallel"; "serial"; "final"; "speedup" ]
-    in
-    List.iteri
-      (fun i (l : Loopa.Evaluate.loop_result) ->
-        if i < show_loops then
-          Report.Table.add_row t
-            [
-              Printf.sprintf "%s/bb%d" l.Loopa.Evaluate.fname l.Loopa.Evaluate.header;
-              string_of_int l.Loopa.Evaluate.depth;
-              string_of_int l.Loopa.Evaluate.invocations;
-              string_of_int l.Loopa.Evaluate.parallel_invocations;
-              Printf.sprintf "%.0f" l.Loopa.Evaluate.serial_cost;
-              Printf.sprintf "%.0f" l.Loopa.Evaluate.final_cost;
-              Printf.sprintf "%.2fx"
-                (l.Loopa.Evaluate.serial_cost /. Float.max 1.0 l.Loopa.Evaluate.final_cost);
-            ])
-      r.Loopa.Evaluate.loops;
-    print_newline ();
-    print_endline (Report.Table.render t)
-  end
+(* Report rendering lives in Service.Render, shared with the daemon —
+   the byte-identity contract between `analyze` here and `client
+   analyze` against a daemon holds because both print that exact
+   string. *)
 
 let static_dep_arg =
   Arg.(
@@ -328,7 +353,7 @@ let print_static_verdicts (ms : Loopa.Classify.module_static) =
 (* The headline before/after delta the dataflow layer buys: how many loops
    the range-strengthened tests resolved out of the baseline Unknowns, and
    how many Proven_doall verdicts the safety audit took back. *)
-let print_dep_delta (ms : Loopa.Classify.module_static) =
+let dep_delta_line (ms : Loopa.Classify.module_static) =
   let loops, resolved, downgraded =
     Hashtbl.fold
       (fun _ fs (l, r, d) ->
@@ -343,9 +368,10 @@ let print_dep_delta (ms : Loopa.Classify.module_static) =
       ms.Loopa.Classify.funcs (0, 0, 0)
   in
   let before, after = Loopa.Classify.unknown_delta ms in
-  Printf.printf
+  Printf.sprintf
     "static dep   : %d loops, unknown %d -> %d (range-resolved %d, audit-downgraded %d)\n"
     loops before after resolved downgraded
+
 
 (* The text summary behind `analyze --profile`: hottest frames by exact
    self-instruction attribution (the only place per-frame wall time is
@@ -404,31 +430,64 @@ let sample_period_arg =
 
 let analyze_cmd =
   let run target config fuel loops optimize static_dep profile sample_period
-      trace metrics prom =
+      cache trace metrics prom =
     handle_errors (fun () ->
         with_telemetry ~trace ~metrics ~prom (fun () ->
-            let cfg = Loopa.Config.of_string config in
-            let hotspot =
-              Option.map
-                (fun _ -> Prof.Hotspot.create ~sample_period:(max 1 sample_period) ())
-                profile
+            let source = read_program target in
+            (* --static-dep and --profile add output the cached entry does
+               not cover; they bypass the cache rather than truncate it *)
+            let cache =
+              if static_dep || profile <> None then None
+              else Option.map Service.Cache.open_dir cache
             in
-            let a =
-              Loopa.Driver.analyze_source ~fuel ~optimize ?hotspot
-                (read_program target)
+            let key =
+              Service.Cache.key ~source
+                ~fingerprint:
+                  (Service.Keys.analyze ~config ~fuel ~loops ~optimize)
             in
-            if static_dep then print_static_verdicts a.Loopa.Driver.ms;
-            print_report ~show_loops:loops (Loopa.Driver.evaluate a cfg);
-            match (profile, hotspot) with
-            | Some base, Some h -> print_hotspot_profile ~base ~name:target h
-            | _ -> ()))
+            let cached_text =
+              Option.bind cache (fun c ->
+                  Option.bind (Service.Cache.find c key) (fun v ->
+                      Option.bind (Util.Json.member "text" v) Util.Json.to_str))
+            in
+            match cached_text with
+            | Some text ->
+                (* warm hit: no compile, no classify — just the bytes *)
+                print_string text
+            | None ->
+                let cfg = Loopa.Config.of_string config in
+                let hotspot =
+                  Option.map
+                    (fun _ ->
+                      Prof.Hotspot.create ~sample_period:(max 1 sample_period) ())
+                    profile
+                in
+                let a = Loopa.Driver.analyze_source ~fuel ~optimize ?hotspot source in
+                if static_dep then print_static_verdicts a.Loopa.Driver.ms;
+                let text =
+                  Service.Render.report ~show_loops:loops
+                    (Loopa.Driver.evaluate a cfg)
+                in
+                Option.iter
+                  (fun c ->
+                    Service.Cache.store c key
+                      (Util.Json.Obj
+                         [
+                           ("kind", Util.Json.String "analyze");
+                           ("text", Util.Json.String text);
+                         ]))
+                  cache;
+                print_string text;
+                (match (profile, hotspot) with
+                | Some base, Some h -> print_hotspot_profile ~base ~name:target h
+                | _ -> ())))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the limit study on a program under one configuration.")
     Term.(
       const run $ target_arg $ config_arg $ fuel_arg $ loops_arg $ optimize_arg
-      $ static_dep_arg $ profile_arg $ sample_period_arg $ trace_arg
+      $ static_dep_arg $ profile_arg $ sample_period_arg $ cache_arg $ trace_arg
       $ metrics_arg $ prom_arg)
 
 (* ---- sweep ---- *)
@@ -458,7 +517,8 @@ let calib_report_rows rows =
     rows
 
 let sweep_cmd =
-  let run target fuel jobs parallel_loops serve trace metrics prom =
+  let run target fuel jobs parallel_loops cache workers serve trace metrics prom
+      =
     handle_errors (fun () ->
         with_telemetry ~trace ~metrics ~prom (fun () ->
         with_serve serve (fun srv ->
@@ -471,57 +531,106 @@ let sweep_cmd =
                 ]
             in
             publish_status srv (sweep_status "analyzing");
-            let a = Loopa.Driver.analyze_source ~fuel (read_program target) in
-            print_dep_delta a.Loopa.Driver.ms;
-            print_newline ();
-            let configs = Array.of_list Loopa.Config.figure_ladder in
-            let row_of (r : Loopa.Evaluate.report) =
-              [
-                Loopa.Config.name r.Loopa.Evaluate.config;
-                Printf.sprintf "%.2f" r.Loopa.Evaluate.speedup;
-                Printf.sprintf "%.1f" r.Loopa.Evaluate.coverage_pct;
-                Printf.sprintf "%.1f" r.Loopa.Evaluate.static_coverage_pct;
-              ]
-            in
+            let source = read_program target in
             let jobs = resolve_jobs jobs in
-            let rows =
-              if jobs <= 1 then
-                Array.to_list
-                  (Array.map (fun cfg -> row_of (Loopa.Driver.evaluate a cfg)) configs)
-              else begin
-                (* each rung is one pool task; the analysis rides into the
-                   workers through the fork image, only the four rendered
-                   cells come back over the wire *)
-                let work payload =
-                  let k = Option.value ~default:0 (Util.Json.to_int payload) in
-                  Util.Json.List
-                    (List.map
-                       (fun s -> Util.Json.String s)
-                       (row_of (Loopa.Driver.evaluate a configs.(k))))
-                in
-                let outcomes, _stats =
-                  Exec.Pool.run ~jobs ~work
-                    (Array.init (Array.length configs) (fun i -> Util.Json.Int i))
-                in
-                Array.to_list
-                  (Array.mapi
-                     (fun i outcome ->
-                       match outcome with
-                       | Some (Exec.Pool.Done (Util.Json.List cells)) ->
-                           List.map
-                             (fun c -> Option.value ~default:"?" (Util.Json.to_str c))
-                             cells
-                       | Some (Exec.Pool.Lost cause) ->
-                           [ Loopa.Config.name configs.(i); "lost: " ^ cause; "-"; "-" ]
-                       | _ -> [ Loopa.Config.name configs.(i); "?"; "-"; "-" ])
-                     outcomes)
-              end
+            (* --parallel-loops times a live run; cached bytes cannot
+               stand in for it, so it bypasses the cache *)
+            let cache =
+              if parallel_loops then None
+              else Option.map Service.Cache.open_dir cache
             in
-            let t =
-              Report.Table.create [ "configuration"; "speedup"; "coverage %"; "static %" ]
+            let key =
+              Service.Cache.key ~source
+                ~fingerprint:(Service.Keys.sweep ~fuel)
             in
-            List.iter (Report.Table.add_row t) rows;
-            print_endline (Report.Table.render t);
+            let cached_text =
+              Option.bind cache (fun c ->
+                  Option.bind (Service.Cache.find c key) (fun v ->
+                      Option.bind (Util.Json.member "text" v) Util.Json.to_str))
+            in
+            (match cached_text with
+            | Some text -> print_string text
+            | None ->
+                let a = Loopa.Driver.analyze_source ~fuel source in
+                let b = Buffer.create 512 in
+                Buffer.add_string b (dep_delta_line a.Loopa.Driver.ms);
+                Buffer.add_char b '\n';
+                let configs = Array.of_list Loopa.Config.figure_ladder in
+                let rows =
+                  if jobs <= 1 && workers = None then
+                    Array.to_list
+                      (Array.map
+                         (fun cfg ->
+                           Service.Worker.sweep_row (Loopa.Driver.evaluate a cfg))
+                         configs)
+                  else begin
+                    (* each rung is one pool task; the analysis rides into
+                       local workers through the fork image and into remote
+                       ones through the sweep-init frame — only the four
+                       rendered cells come back over the wire *)
+                    let remotes = connect_workers workers in
+                    List.iter
+                      (fun fd ->
+                        Exec.Ipc.write fd
+                          (Service.Worker.sweep_init_json ~fuel
+                             ~configs:Loopa.Config.figure_ladder ~src:source))
+                      remotes;
+                    let work payload =
+                      let k = Option.value ~default:0 (Util.Json.to_int payload) in
+                      Util.Json.List
+                        (List.map
+                           (fun s -> Util.Json.String s)
+                           (Service.Worker.sweep_row
+                              (Loopa.Driver.evaluate a configs.(k))))
+                    in
+                    let outcomes, _stats =
+                      Exec.Pool.run ~jobs ~remotes ~work
+                        (Array.init (Array.length configs) (fun i ->
+                             Util.Json.Int i))
+                    in
+                    close_workers remotes;
+                    Array.to_list
+                      (Array.mapi
+                         (fun i outcome ->
+                           match outcome with
+                           | Some (Exec.Pool.Done (Util.Json.List cells)) ->
+                               List.map
+                                 (fun c ->
+                                   Option.value ~default:"?" (Util.Json.to_str c))
+                                 cells
+                           | Some (Exec.Pool.Lost cause) ->
+                               [
+                                 Loopa.Config.name configs.(i);
+                                 "lost: " ^ cause;
+                                 "-";
+                                 "-";
+                               ]
+                           | _ -> [ Loopa.Config.name configs.(i); "?"; "-"; "-" ])
+                         outcomes)
+                  end
+                in
+                let t =
+                  Report.Table.create
+                    [ "configuration"; "speedup"; "coverage %"; "static %" ]
+                in
+                List.iter (Report.Table.add_row t) rows;
+                Printf.bprintf b "%s\n" (Report.Table.render t);
+                let text = Buffer.contents b in
+                (* rows with a lost worker are not a result — don't cache them *)
+                let complete =
+                  not (List.exists (List.exists (fun c -> c = "?" || c = "-")) rows)
+                in
+                if complete then
+                  Option.iter
+                    (fun c ->
+                      Service.Cache.store c key
+                        (Util.Json.Obj
+                           [
+                             ("kind", Util.Json.String "sweep");
+                             ("text", Util.Json.String text);
+                           ]))
+                    cache;
+                print_string text);
             publish_status srv (sweep_status "done");
             (* ---- guarded parallel execution: predicted vs measured ---- *)
             if parallel_loops then begin
@@ -533,9 +642,7 @@ let sweep_cmd =
               in
               print_newline ();
               print_endline "guarded parallel execution (measured vs predicted):";
-              match
-                Parrun.Guard.run ~knobs ~fuel ~target (read_program target)
-              with
+              match Parrun.Guard.run ~knobs ~fuel ~target source with
               | Error f -> print_endline (Loopa.Driver.failure_to_string f)
               | Ok r ->
                   print_endline
@@ -560,7 +667,8 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Evaluate the full Figure-2/3 configuration ladder.")
     Term.(
       const run $ target_arg $ fuel_arg $ jobs_arg $ parallel_loops_arg
-      $ serve_arg $ trace_arg $ metrics_arg $ prom_arg)
+      $ cache_arg $ workers_arg $ serve_arg $ trace_arg $ metrics_arg
+      $ prom_arg)
 
 (* ---- parrun ---- *)
 
@@ -842,40 +950,9 @@ let parse_inject spec =
       in
       (name, fault, clock)
 
+(* Shared with the daemon via Service.Render, like the analyze report. *)
 let print_campaign_summary (s : Campaign.Runner.summary) =
-  let t = Report.Table.create [ "target"; "status"; "attempts"; "instrs"; "wall s" ] in
-  List.iter
-    (fun (r : Campaign.Runner.result) ->
-      Report.Table.add_row t
-        [
-          r.Campaign.Runner.target;
-          Campaign.Runner.status_to_string r.Campaign.Runner.status;
-          string_of_int r.Campaign.Runner.attempts;
-          string_of_int r.Campaign.Runner.clock;
-          Printf.sprintf "%.2f" r.Campaign.Runner.wall_s;
-        ])
-    s.Campaign.Runner.results;
-  print_endline (Report.Table.render t);
-  Printf.printf "\n%d completed, %d truncated, %d failed%s\n" s.Campaign.Runner.n_completed
-    s.Campaign.Runner.n_truncated s.Campaign.Runner.n_errored
-    (if s.Campaign.Runner.n_resumed > 0 then
-       Printf.sprintf " (%d resumed from checkpoint)" s.Campaign.Runner.n_resumed
-     else "");
-  if s.Campaign.Runner.failures <> [] then begin
-    Printf.printf "failure breakdown:\n";
-    List.iter
-      (fun (cls, n) -> Printf.printf "  %-24s %d\n" cls n)
-      s.Campaign.Runner.failures
-  end;
-  if s.Campaign.Runner.geomeans <> [] then begin
-    let gt = Report.Table.create [ "configuration"; "geomean speedup" ] in
-    List.iter
-      (fun (c, g) ->
-        Report.Table.add_row gt [ Loopa.Config.name c; Printf.sprintf "%.2f" g ])
-      s.Campaign.Runner.geomeans;
-    print_newline ();
-    print_endline (Report.Table.render gt)
-  end
+  print_string (Service.Render.campaign_summary s)
 
 let campaign_cmd =
   let targets_arg =
@@ -961,7 +1038,7 @@ let campaign_cmd =
              $(i,target).speedscope.json flamegraph files in $(docv).")
   in
   let run targets all json checkpoint resume retries fuel wall watchdog injects
-      repro_dir profile_dir jobs serve trace metrics prom =
+      repro_dir profile_dir jobs cache workers serve trace metrics prom =
     handle_errors (fun () ->
         if (not all) && targets = [] then
           raise (Invalid_argument "campaign needs TARGETS or --all");
@@ -1031,13 +1108,46 @@ let campaign_cmd =
                       if srv <> None then publish_beat hb)
             in
             let jobs = resolve_jobs jobs in
+            let remotes = connect_workers workers in
             let executor =
-              if jobs > 1 then Campaign.Runner.Forked jobs else Campaign.Runner.Serial
+              if remotes <> [] then Campaign.Runner.Forked (max 1 jobs)
+              else if jobs > 1 then Campaign.Runner.Forked jobs
+              else Campaign.Runner.Serial
+            in
+            (* fault injection and per-task profiling must not consume or
+               poison cached results; both disable the cache outright *)
+            let cache =
+              if injects <> [] || profile_dir <> None then None
+              else Option.map Service.Cache.open_dir cache
+            in
+            let fingerprint =
+              Service.Keys.campaign ~budgets ~configs:Loopa.Config.figure_ladder
+            in
+            let key_of t =
+              Service.Cache.key ~source:(List.assoc t named) ~fingerprint
+            in
+            let cache_find =
+              Option.map
+                (fun c t ->
+                  Option.bind (Service.Cache.find c (key_of t)) (fun v ->
+                      match Campaign.Runner.result_of_json v with
+                      | Ok r -> Some { r with Campaign.Runner.target = t }
+                      | Error _ -> None))
+                cache
+            in
+            let cache_store =
+              Option.map
+                (fun c t r ->
+                  Service.Cache.store c (key_of t)
+                    (Campaign.Runner.result_to_json r))
+                cache
             in
             let summary =
               Campaign.Runner.run ~budgets ?checkpoint ~resume ~faults_of
-                ?repro_dir ?prof_dir:profile_dir ~log ?heartbeat ~executor named
+                ?repro_dir ?prof_dir:profile_dir ~log ?heartbeat ~executor
+                ?cache_find ?cache_store ~remotes named
             in
+            close_workers remotes;
             if json then
               print_endline
                 (Util.Json.to_string (Campaign.Runner.summary_to_json summary))
@@ -1051,8 +1161,8 @@ let campaign_cmd =
     Term.(
       const run $ targets_arg $ all_arg $ json_arg $ checkpoint_arg $ resume_arg
       $ retries_arg $ fuel_arg $ wall_arg $ watchdog_arg $ inject_arg
-      $ repro_dir_arg $ profile_dir_arg $ jobs_arg $ serve_arg $ trace_arg
-      $ metrics_arg $ prom_arg)
+      $ repro_dir_arg $ profile_dir_arg $ jobs_arg $ cache_arg $ workers_arg
+      $ serve_arg $ trace_arg $ metrics_arg $ prom_arg)
 
 (* ---- chaos ---- *)
 
@@ -1642,6 +1752,209 @@ let perfdiff_cmd =
       const run $ snapshots_arg $ history_arg $ tolerance_arg $ all_arg
       $ json_arg)
 
+(* ---- analysis as a service: serve / client / worker ---- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the analysis daemon.")
+
+let serve_cmd =
+  let cache_max_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-bytes" ] ~docv:"N"
+          ~doc:
+            "Size cap for the result cache; least-recently-used entries are \
+             evicted past it (default 256 MiB).")
+  in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve Prometheus text at http://127.0.0.1:$(docv)/metrics and a \
+             JSON snapshot at /status, republished after every request. Port \
+             0 picks a free port (printed to stderr).")
+  in
+  let run socket cache cache_max metrics_port =
+    handle_errors (fun () ->
+        Service.Daemon.serve ~socket ?cache_dir:cache
+          ?cache_max_bytes:cache_max ?metrics_port ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis daemon: accept analyze/campaign \
+          requests over a Unix-domain socket, cache-first, until SIGTERM \
+          (which drains the in-flight request and flushes the cache index).")
+    Term.(const run $ socket_arg $ cache_arg $ cache_max_arg $ metrics_port_arg)
+
+let client_cmd =
+  let progress_to_stderr frame =
+    match Option.bind (Util.Json.member "line" frame) Util.Json.to_str with
+    | Some line -> prerr_endline line
+    | None -> ()
+  in
+  let frame_str key frame =
+    Option.value ~default:""
+      (Option.bind (Util.Json.member key frame) Util.Json.to_str)
+  in
+  let fail (msg, code) =
+    Printf.eprintf "error: %s\n" msg;
+    code
+  in
+  let ping_cmd =
+    let run socket =
+      handle_errors_int (fun () ->
+          match Service.Client.submit ~socket Service.Client.ping_request with
+          | Ok _ ->
+              print_endline "pong";
+              0
+          | Error e -> fail e)
+    in
+    Cmd.v
+      (Cmd.info "ping" ~doc:"Check that the daemon is alive.")
+      Term.(const run $ socket_arg)
+  in
+  let analyze_cmd =
+    let run socket target config fuel loops optimize =
+      handle_errors_int (fun () ->
+          let req =
+            Service.Client.analyze_request ~source:(read_program target)
+              ~config ~fuel ~loops ~optimize
+          in
+          match
+            Service.Client.submit ~socket ~on_frame:progress_to_stderr req
+          with
+          | Ok frame ->
+              (* the daemon rendered with Service.Render; printing the bytes
+                 verbatim is what keeps this byte-identical to `analyze` *)
+              print_string (frame_str "text" frame);
+              0
+          | Error e -> fail e)
+    in
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:
+           "Submit one analyze request to the daemon; output is \
+            byte-identical to the local $(b,analyze) command.")
+      Term.(
+        const run $ socket_arg $ target_arg $ config_arg $ fuel_arg $ loops_arg
+        $ optimize_arg)
+  in
+  let campaign_cmd =
+    let targets_arg =
+      Arg.(
+        value & pos_all string []
+        & info [] ~docv:"TARGETS"
+            ~doc:"Registered benchmark names or Looplang source files.")
+    in
+    let all_arg =
+      Arg.(
+        value & flag
+        & info [ "all" ] ~doc:"Run over the whole benchmark registry.")
+    in
+    let retries_arg =
+      Arg.(
+        value & opt int 1
+        & info [ "retries" ] ~docv:"N"
+            ~doc:"Retries at reduced fuel for budget-exhausted tasks.")
+    in
+    let wall_arg =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "wall" ] ~docv:"SECONDS" ~doc:"Per-attempt wall-clock budget.")
+    in
+    let watchdog_arg =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "watchdog" ] ~docv:"SECONDS"
+            ~doc:"Per-task wall deadline enforced daemon-side under --jobs.")
+    in
+    let checkpoint_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "checkpoint" ] ~docv:"FILE"
+            ~doc:
+              "Write the campaign's JSONL checkpoint (shipped back by the \
+               daemon) to $(docv).")
+    in
+    let run socket targets all jobs fuel retries wall watchdog checkpoint =
+      handle_errors_int (fun () ->
+          if (not all) && targets = [] then
+            raise (Invalid_argument "client campaign needs TARGETS or --all");
+          let named =
+            if all then
+              List.map
+                (fun (b : Suites.Suite.benchmark) ->
+                  (b.Suites.Suite.name, b.Suites.Suite.source))
+                (Suites.Suite.all ())
+            else List.map (fun t -> (t, read_program t)) targets
+          in
+          let req =
+            Service.Client.campaign_request ~targets:named
+              ~jobs:(resolve_jobs jobs) ~fuel ~retries ?wall ?watchdog ()
+          in
+          match
+            Service.Client.submit ~socket ~on_frame:progress_to_stderr req
+          with
+          | Ok frame ->
+              Option.iter
+                (fun path ->
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc (frame_str "checkpoint" frame)))
+                checkpoint;
+              print_string (frame_str "summary" frame);
+              0
+          | Error e -> fail e)
+    in
+    Cmd.v
+      (Cmd.info "campaign"
+         ~doc:
+           "Submit a campaign to the daemon: progress streams to stderr, the \
+            summary (byte-identical to local $(b,campaign)) to stdout, and \
+            the checkpoint JSONL to $(b,--checkpoint).")
+      Term.(
+        const run $ socket_arg $ targets_arg $ all_arg $ jobs_arg $ fuel_arg
+        $ retries_arg $ wall_arg $ watchdog_arg $ checkpoint_arg)
+  in
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running analysis daemon ($(b,serve)); results render \
+          byte-identically to the local commands.")
+    [ ping_cmd; analyze_cmd; campaign_cmd ]
+
+let worker_cmd =
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Dial a coordinator that is waiting on this endpoint \
+             ($(b,--workers)) and serve its tasks until told to quit.")
+  in
+  let run connect =
+    handle_errors (fun () ->
+        let host, port = Exec.Remote.parse_hostport connect in
+        Service.Worker.run ~host ~port)
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Remote pool worker for multi-host sharding: connect to a campaign \
+          or sweep coordinator over TCP and execute its tasks.")
+    Term.(const run $ connect_arg)
+
 let () =
   let doc = "Loopapalooza: a compiler-driven limit study of loop-level parallelism" in
   let info = Cmd.info "loopapalooza" ~version:"1.0.0" ~doc in
@@ -1661,4 +1974,7 @@ let () =
             dump_ir_cmd;
             lint_cmd;
             perfdiff_cmd;
+            serve_cmd;
+            client_cmd;
+            worker_cmd;
           ]))

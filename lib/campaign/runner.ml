@@ -162,6 +162,7 @@ type summary = {
   n_truncated : int;
   n_errored : int;
   n_resumed : int; (* subset of the above restored from the checkpoint *)
+  n_cached : int; (* subset served from the content-addressed result cache *)
   n_degraded : int;
       (* tasks finished serially in the parent after the pool gave up
          (circuit breaker open or respawn capacity exhausted) *)
@@ -638,10 +639,107 @@ type entry = {
   efail : (Loopa.Driver.failure * int) option;
 }
 
+(* The whole isolated task as a wire frame — the worker body shared by
+   local forked workers and remote TCP workers: run it, then ship the
+   result (plus the failure detail and a telemetry snapshot when
+   enabled) back as one JSON object. *)
+let task_to_wire ?prof_dir ?(faults = []) ?(on_task_start = fun _ -> ())
+    ~budgets ~configs target src =
+  on_task_start target;
+  let tmark = Obs.Telemetry.mark () in
+  let r, failure =
+    Obs.Telemetry.with_span "campaign.task"
+      ~attrs:[ ("target", target) ]
+      (fun () -> run_task ?prof_dir ~budgets ~configs ~faults target src)
+  in
+  let tele =
+    if Obs.Telemetry.enabled () then
+      let spans, ctrs = Obs.Telemetry.since tmark in
+      [
+        ("spans", Json.List (List.map Obs.Export.span_to_json spans));
+        ("ctr", Json.Obj (List.map (fun (c, v) -> (c, Json.Int v)) ctrs));
+      ]
+    else []
+  in
+  Json.Obj
+    ([ ("r", result_to_json r) ]
+    @ (match failure with
+      | Some fw -> [ ("f", failure_to_wire fw) ]
+      | None -> [])
+    @ tele)
+
+(* ---- remote workers ----
+
+   A remote worker knows nothing when it dials in; the coordinator sends
+   one campaign-init frame carrying the budgets and the config ladder,
+   and from then on the pool's task payloads are self-contained
+   {k; target; src} objects, so the worker needs no shared memory with
+   the coordinator (the fork pool's trick of capturing sources in the
+   work closure does not survive a machine boundary). *)
+
+let remote_init_json ~(budgets : budgets) ~configs =
+  Json.Obj
+    ([
+       ("op", Json.String "campaign-init");
+       ("fuel", Json.Int budgets.fuel);
+       ("mem_limit", Json.Int budgets.mem_limit);
+       ("max_depth", Json.Int budgets.max_depth);
+       ("retries", Json.Int budgets.retries);
+       ("telemetry", Json.Bool (Obs.Telemetry.enabled ()));
+       ( "configs",
+         Json.List
+           (List.map (fun c -> Json.String (Loopa.Config.name c)) configs) );
+     ]
+    @ match budgets.wall_s with
+      | Some w -> [ ("wall_s", Json.Float w) ]
+      | None -> [])
+
+let remote_work_of_init j : (Json.t -> Json.t, string) Stdlib.result =
+  match Json.member "op" j with
+  | Some (Json.String "campaign-init") -> (
+      let geti k d =
+        Option.value ~default:d (Option.bind (Json.member k j) Json.to_int)
+      in
+      let budgets =
+        {
+          fuel = geti "fuel" default_budgets.fuel;
+          mem_limit = geti "mem_limit" default_budgets.mem_limit;
+          max_depth = geti "max_depth" default_budgets.max_depth;
+          wall_s = Option.bind (Json.member "wall_s" j) Json.to_float;
+          retries = geti "retries" default_budgets.retries;
+          watchdog_s = None (* enforced coordinator-side by the pool *);
+        }
+      in
+      let config_names =
+        match Json.member "configs" j with
+        | Some (Json.List l) -> List.filter_map Json.to_str l
+        | _ -> []
+      in
+      match
+        List.map Loopa.Config.of_string config_names
+      with
+      | configs ->
+          if Json.member "telemetry" j = Some (Json.Bool true) then
+            Obs.Telemetry.enable ();
+          Ok
+            (fun payload ->
+              match
+                ( Option.bind (Json.member "target" payload) Json.to_str,
+                  Option.bind (Json.member "src" payload) Json.to_str )
+              with
+              | Some target, Some src ->
+                  task_to_wire ~budgets ~configs target src
+              | _ ->
+                  failwith "remote task payload missing target/src")
+      | exception Loopa.Config.Bad_config m ->
+          Error ("campaign-init carries a bad config: " ^ m))
+  | _ -> Error "expected a campaign-init frame"
+
 let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
     ?checkpoint ?(resume = false) ?(faults_of = fun _ -> []) ?repro_dir
     ?prof_dir ?(log = fun _ -> ()) ?heartbeat ?(executor = Serial)
     ?(on_task_start = fun (_ : string) -> ()) ?chaos ?(breaker_threshold = 5)
+    ?cache_find ?cache_store ?(remotes = [])
     (targets : (string * string) list) : summary =
   let done_before =
     match checkpoint with
@@ -805,6 +903,45 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                 log (Printf.sprintf "%-24s repro bundle failed: %s" "" m))
         | _ -> ()
       in
+      (* Cache prefetch: consult the content-addressed result cache for
+         every fresh (non-resumed) target — in target order, before any
+         execution — so hits land in the checkpoint exactly where a
+         fresh run would have written them. A hit behaves like a resumed
+         result from here on: both executors skip it, and it does not
+         consume an index in the fresh task order chaos plans key on.
+         Only the find is delegated; a throwing cache is treated as a
+         miss because caching must never be able to fail a campaign. *)
+      let cached_tbl : (string, result) Hashtbl.t = Hashtbl.create 8 in
+      let n_cached = ref 0 in
+      (match cache_find with
+      | None -> ()
+      | Some find ->
+          List.iter
+            (fun (target, _) ->
+              if not (Hashtbl.mem done_before target) then
+                match (try find target with _ -> None) with
+                | None -> ()
+                | Some (r : result) ->
+                    Hashtbl.replace cached_tbl target r;
+                    incr n_cached;
+                    Option.iter
+                      (fun oc -> write_line_checked oc (result_to_json r))
+                      oc;
+                    log
+                      (Printf.sprintf "%-24s cached: %s" target
+                         (status_to_string r.status));
+                    beat ())
+            targets);
+      let maybe_store (r : result) =
+        match cache_store with
+        | None -> ()
+        | Some store -> (
+            match r.status with
+            | Completed _ | Truncated _ -> (
+                try store r.target r
+                with _ -> log (Printf.sprintf "%-24s cache store failed" r.target))
+            | Errored _ -> ())
+      in
       let run_serial () =
         let fresh_idx = ref 0 in
         List.map
@@ -815,6 +952,9 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                 log (Printf.sprintf "%-24s resumed: %s" target (status_to_string r.status));
                 beat ();
                 r
+            | None when Hashtbl.mem cached_tbl target ->
+                (* checkpointed, logged and beaten during the prefetch *)
+                Hashtbl.find cached_tbl target
             | None -> (
                 if !interrupted then raise Interrupted;
                 let k = !fresh_idx in
@@ -853,6 +993,7 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                     (match r.status with
                     | Errored _ -> emit_repro target src faults failure
                     | Completed _ | Truncated _ -> ());
+                    maybe_store r;
                     beat ();
                     r))
           targets
@@ -873,38 +1014,31 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
           targets;
         let fresh_arr =
           Array.of_list
-            (List.filter (fun (t, _) -> not (Hashtbl.mem done_before t)) targets)
+            (List.filter
+               (fun (t, _) ->
+                 not (Hashtbl.mem done_before t || Hashtbl.mem cached_tbl t))
+               targets)
         in
         let n = Array.length fresh_arr in
         let entries : entry option array = Array.make n None in
         let written = Array.make n false in
-        (* the worker body: the whole isolated task, exactly as serial *)
+        (* the worker body: the whole isolated task, exactly as serial.
+           Local forked workers inherit fresh_arr across the fork and
+           only need the index; remote payloads are self-contained
+           {k; target; src} objects, decoded by the remote's own work
+           function ({!remote_work_of_init}) — this one resolves through
+           fresh_arr either way. *)
         let work payload =
-          let k = Option.value ~default:0 (Json.to_int payload) in
+          let k =
+            match payload with
+            | Json.Int k -> k
+            | j ->
+                Option.value ~default:0
+                  (Option.bind (Json.member "k" j) Json.to_int)
+          in
           let target, src = fresh_arr.(k) in
-          on_task_start target;
-          let faults = faults_of target in
-          let tmark = Obs.Telemetry.mark () in
-          let r, failure =
-            Obs.Telemetry.with_span "campaign.task"
-              ~attrs:[ ("target", target) ]
-              (fun () -> run_task ?prof_dir ~budgets ~configs ~faults target src)
-          in
-          let tele =
-            if Obs.Telemetry.enabled () then
-              let spans, ctrs = Obs.Telemetry.since tmark in
-              [
-                ("spans", Json.List (List.map Obs.Export.span_to_json spans));
-                ("ctr", Json.Obj (List.map (fun (c, v) -> (c, Json.Int v)) ctrs));
-              ]
-            else []
-          in
-          Json.Obj
-            ([ ("r", result_to_json r) ]
-            @ (match failure with
-              | Some fw -> [ ("f", failure_to_wire fw) ]
-              | None -> [])
-            @ tele)
+          task_to_wire ?prof_dir ~faults:(faults_of target) ~on_task_start
+            ~budgets ~configs target src
         in
         let on_complete k outcome =
           let target, _ = fresh_arr.(k) in
@@ -963,6 +1097,7 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
           in
           entries.(k) <- Some entry;
           log (Printf.sprintf "%-24s %s" target (status_to_string entry.er.status));
+          maybe_store entry.er;
           beat ()
         in
         let on_ordered k _ =
@@ -997,6 +1132,23 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
             ~seed:(Option.value ~default:0 (Option.bind chaos Exec.Chaos.seed))
             ()
         in
+        (* remote workers get the campaign parameters once, up front;
+           after the init frame the socket speaks plain pool frames *)
+        List.iter
+          (fun fd -> Exec.Ipc.write fd (remote_init_json ~budgets ~configs))
+          remotes;
+        let payloads =
+          if remotes = [] then Array.init n (fun i -> Json.Int i)
+          else
+            Array.init n (fun i ->
+                let target, src = fresh_arr.(i) in
+                Json.Obj
+                  [
+                    ("k", Json.Int i);
+                    ("target", Json.String target);
+                    ("src", Json.String src);
+                  ])
+        in
         let _outcomes, stats =
           Exec.Pool.run ~jobs
             ~worker_init:(fun () -> Obs.Telemetry.reset ())
@@ -1006,8 +1158,8 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
             ~on_epilogue:Obs.Telemetry.absorb_histograms ~on_complete
             ~on_ordered
             ~should_stop:(fun () -> !interrupted)
-            ?task_deadline_s:watchdog_s ~backoff ~breaker ?chaos ~work
-            (Array.init n (fun i -> Json.Int i))
+            ?task_deadline_s:watchdog_s ~backoff ~breaker ?chaos ~remotes ~work
+            payloads
         in
         if !interrupted then begin
           flush_unwritten ();
@@ -1071,6 +1223,7 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
                 log
                   (Printf.sprintf "%-24s %s (degraded)" target
                      (status_to_string entry.er.status));
+                maybe_store entry.er;
                 beat ()
               end)
             entries;
@@ -1094,6 +1247,8 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
           (fun (target, _) ->
             match Hashtbl.find_opt done_before target with
             | Some r -> r
+            | None when Hashtbl.mem cached_tbl target ->
+                Hashtbl.find cached_tbl target
             | None -> (
                 let e = entries.(!cursor) in
                 incr cursor;
@@ -1104,7 +1259,10 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
       in
       let results =
         match executor with
-        | Forked jobs when jobs > 1 && targets <> [] -> run_forked jobs
+        (* remote workers imply the pool: a remote-augmented campaign
+           runs forked even at --jobs 1 *)
+        | Forked jobs when (jobs > 1 || remotes <> []) && targets <> [] ->
+            run_forked jobs
         | Serial | Forked _ -> run_serial ()
       in
       if !interrupted then raise Interrupted;
@@ -1115,6 +1273,7 @@ let run ?(budgets = default_budgets) ?(configs = Loopa.Config.figure_ladder)
         n_truncated = count (fun r -> match r.status with Truncated _ -> true | _ -> false);
         n_errored = count (fun r -> match r.status with Errored _ -> true | _ -> false);
         n_resumed = !n_resumed;
+        n_cached = !n_cached;
         n_degraded = !n_degraded;
         geomeans = geomeans_of configs results;
         failures = failure_breakdown results;
@@ -1127,6 +1286,7 @@ let summary_to_json (s : summary) =
       ("truncated", Json.Int s.n_truncated);
       ("errored", Json.Int s.n_errored);
       ("resumed", Json.Int s.n_resumed);
+      ("cached", Json.Int s.n_cached);
       ("degraded", Json.Int s.n_degraded);
       ( "geomeans",
         Json.List

@@ -1,0 +1,107 @@
+(* TCP transport for remote pool workers.
+
+   The coordinator (a campaign or sweep run with [--workers host:port,...])
+   *listens* on each configured endpoint and waits for exactly one worker
+   process ([loopapalooza worker --connect host:port]) to dial in. That
+   direction — workers dial the coordinator — keeps the coordinator free
+   of any knowledge about how worker hosts are provisioned, and means a
+   worker behind NAT can still participate.
+
+   Once the socket is established it speaks exactly the same
+   length-prefixed Util.Json frame protocol as the fork-pool pipes
+   (Exec.Ipc), so Exec.Pool treats a connected remote as just another
+   worker file descriptor. The only wrinkle handled here is the hello
+   frame: the worker announces itself with {"op":"hello","proto":N} so
+   the coordinator can reject protocol mismatches before handing the fd
+   to the pool. *)
+
+module Json = Util.Json
+
+let proto_version = 1
+
+exception Remote_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Remote_error m)) fmt
+
+(* "host:port" -> (host, port); "host:port,host:port" -> list *)
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> fail "bad worker endpoint %S (expected host:port)" s
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+          ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> fail "bad port in worker endpoint %S" s)
+
+let parse_hostports s =
+  String.split_on_char ',' s
+  |> List.filter (fun e -> String.trim e <> "")
+  |> List.map (fun e -> parse_hostport (String.trim e))
+
+let resolve host port =
+  match Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+  | [] -> fail "cannot resolve %s:%d" host port
+  | ai :: _ -> ai.Unix.ai_addr
+
+(* Bind + listen on [host:port]. Returns the listening fd; with port 0
+   the kernel picks a free port — recover it with {!bound_port}. *)
+let listen ~host ~port =
+  let addr = resolve host port in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try Unix.bind fd addr
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "cannot bind %s:%d: %s" host port (Unix.error_message e));
+  Unix.listen fd 1;
+  fd
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> 0
+
+(* Accept one worker connection and validate its hello frame. The
+   listening fd stays open (caller closes it). Raises {!Remote_error} on
+   timeout or a protocol mismatch. *)
+let accept_worker ?(timeout_s = 30.0) listen_fd =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0.0 then fail "timed out waiting for a worker to connect";
+    match Unix.select [ listen_fd ] [] [] (Float.min left 0.5) with
+    | [], _, _ -> wait ()
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ();
+  let fd, _peer = Unix.accept listen_fd in
+  match Ipc.read fd with
+  | Ipc.Msg j
+    when Json.member "op" j = Some (Json.String "hello")
+         && Json.member "proto" j = Some (Json.Int proto_version) ->
+      fd
+  | Ipc.Msg j ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail "worker hello mismatch: %s" (Json.to_string j)
+  | Ipc.Eof ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail "worker disconnected before hello"
+  | exception Ipc.Protocol_error m ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail "worker hello malformed: %s" m
+
+(* Worker side: dial the coordinator and send the hello frame. *)
+let connect ~host ~port =
+  let addr = resolve host port in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "cannot connect %s:%d: %s" host port (Unix.error_message e));
+  Ipc.write fd
+    (Json.Obj [ ("op", Json.String "hello"); ("proto", Json.Int proto_version) ]);
+  fd

@@ -1,0 +1,37 @@
+(** TCP transport for remote pool workers.
+
+    Direction: the {e coordinator} (campaign/sweep with
+    [--workers host:port,...]) listens on each configured endpoint; each
+    {e worker} process ([loopapalooza worker --connect host:port]) dials
+    in and announces itself with a hello frame. Once established, the
+    socket speaks the same length-prefixed {!Util.Json} frame protocol
+    as the fork-pool pipes ({!Ipc}), so {!Pool} treats a connected
+    remote as just another worker file descriptor. *)
+
+(** Wire protocol version carried in the hello frame; a mismatch is
+    rejected at accept time, before the fd reaches the pool. *)
+val proto_version : int
+
+(** Endpoint parsing, binding, dialing or handshake failure. *)
+exception Remote_error of string
+
+(** ["host:port"] — an empty host means 127.0.0.1. Raises
+    {!Remote_error} on malformed input. *)
+val parse_hostport : string -> string * int
+
+(** Comma-separated endpoint list (empty segments skipped). *)
+val parse_hostports : string -> (string * int) list
+
+(** Bind + listen. With port 0 the kernel picks a free port — recover it
+    with {!bound_port}. *)
+val listen : host:string -> port:int -> Unix.file_descr
+
+val bound_port : Unix.file_descr -> int
+
+(** Accept one worker connection and validate its hello frame; the
+    listening fd stays open (caller closes it). Raises {!Remote_error}
+    after [timeout_s] (default 30s) or on a protocol mismatch. *)
+val accept_worker : ?timeout_s:float -> Unix.file_descr -> Unix.file_descr
+
+(** Worker side: dial the coordinator and send the hello frame. *)
+val connect : host:string -> port:int -> Unix.file_descr

@@ -1,0 +1,36 @@
+(** Deterministic replay of a {!Bundle}: re-run the exact pipeline slice
+    the bundle records (compile → prepare → profile → evaluate, plus the
+    optional crosscheck / fuzz-invariant stages) and compare the failure
+    fingerprint against the one stamped in the bundle. *)
+
+(** Adapt a crosscheck violation into the {!Loopa.Driver.failure}
+    taxonomy (stage [Evaluate], class ["crosscheck"]). *)
+val crosscheck_failure : Loopa.Crosscheck.violation -> Loopa.Driver.failure
+
+(** Adapt a fuzz-invariant violation (by invariant name + message) into
+    the {!Loopa.Driver.failure} taxonomy. *)
+val fuzz_failure : ?config:Loopa.Config.t -> string -> string -> Loopa.Driver.failure
+
+(** Run the bundle's pipeline once. [Ok ()] means every recorded stage
+    now succeeds. [deadline] (absolute [Unix.gettimeofday] stamp) bounds
+    each execution inside the run — the shrinker uses it so one
+    pathological candidate cannot stall the reduction; replay omits it so
+    runs stay fully deterministic. *)
+val run : ?deadline:float -> Bundle.t -> (unit, Loopa.Driver.failure) result
+
+type verdict =
+  | Reproduced  (** identical fingerprint *)
+  | Vanished  (** the pipeline now succeeds *)
+  | Changed of Loopa.Driver.failure  (** fails, but with another fingerprint *)
+
+val verdict_to_string : verdict -> string
+
+(** Replay the bundle and compare fingerprints ({!Loopa.Driver.same_fingerprint}). *)
+val replay : Bundle.t -> verdict
+
+(** Classify a source the way a bundle for it would: run the full
+    pipeline and, on failure, return the bundle re-stamped with the
+    observed stage/fingerprint/message. [None] means the pipeline
+    succeeds. Used by bundle producers (fuzz, tests) to stamp a fresh
+    bundle with its fingerprint. *)
+val classify : Bundle.t -> Bundle.t option

@@ -1,0 +1,24 @@
+(** Delta-debugging shrinker for repro bundles: greedily reduce the
+    embedded Looplang source while {!Pipeline.replay} still reports
+    [Reproduced], so the bundle that gets filed is the smallest program
+    known to exhibit the same failure fingerprint. Works on the parsed
+    AST when the source still parses (statement/expression/function
+    deletions and simplifications) and falls back to line-level chopping
+    when it does not. *)
+
+type stats = {
+  tried : int;  (** candidate reductions replayed *)
+  accepted : int;  (** candidates that kept the fingerprint and were kept *)
+}
+
+(** [shrink b] returns the reduced bundle (source replaced, everything
+    else intact) together with reduction statistics. [max_candidates]
+    (default 5000) caps the total replays; [candidate_wall_s] (default
+    2.0) bounds each candidate's replay so a pathological reduction
+    cannot stall the loop. [Error] means the original bundle itself does
+    not reproduce, so there is no fingerprint to preserve. *)
+val shrink :
+  ?max_candidates:int ->
+  ?candidate_wall_s:float ->
+  Bundle.t ->
+  (Bundle.t * stats, string) result

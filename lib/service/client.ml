@@ -1,0 +1,88 @@
+(* Client side of the daemon protocol: connect to the Unix-domain
+   socket, write one request frame, then consume the reply stream.
+   Progress frames (log lines, heartbeats) are handed to the caller as
+   they arrive; the call resolves on the terminal "done" or "err"
+   frame. Rendering is the caller's job — the daemon ships the exact
+   bytes the local CLI would have printed, and the client prints them
+   verbatim, which is what keeps the two byte-identical. *)
+
+module J = Util.Json
+
+exception Client_error of string
+
+let connect socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise
+       (Client_error
+          (Printf.sprintf "cannot reach daemon at %s: %s (is it running?)"
+             socket_path (Unix.error_message e))));
+  fd
+
+(* ---- request builders (the daemon's accepted vocabulary) ---- *)
+
+let ping_request = J.Obj [ ("op", J.String "ping") ]
+
+let analyze_request ~source ~config ~fuel ~loops ~optimize =
+  J.Obj
+    [
+      ("op", J.String "analyze");
+      ("source", J.String source);
+      ("config", J.String config);
+      ("fuel", J.Int fuel);
+      ("loops", J.Int loops);
+      ("optimize", J.Bool optimize);
+    ]
+
+let campaign_request ~targets ~jobs ~fuel ~retries ?wall ?watchdog () =
+  J.Obj
+    ([
+       ("op", J.String "campaign");
+       ( "targets",
+         J.List
+           (List.map
+              (fun (name, src) ->
+                J.Obj [ ("name", J.String name); ("src", J.String src) ])
+              targets) );
+       ("jobs", J.Int jobs);
+       ("fuel", J.Int fuel);
+       ("retries", J.Int retries);
+     ]
+    @ (match wall with Some w -> [ ("wall", J.Float w) ] | None -> [])
+    @
+    match watchdog with Some w -> [ ("watchdog", J.Float w) ] | None -> [])
+
+(* ---- submission ---- *)
+
+let submit ~socket ?(on_frame = fun _ -> ()) req =
+  let fd = connect socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Exec.Ipc.write fd req;
+      let rec loop () =
+        match Exec.Ipc.read fd with
+        | Exec.Ipc.Eof ->
+            Error ("daemon closed the connection before replying", 3)
+        | exception Exec.Ipc.Protocol_error m ->
+            Error ("daemon protocol error: " ^ m, 3)
+        | Exec.Ipc.Msg frame -> (
+            match Option.bind (J.member "ev" frame) J.to_str with
+            | Some "done" | Some "pong" -> Ok frame
+            | Some "err" ->
+                let msg =
+                  Option.value ~default:"unknown daemon error"
+                    (Option.bind (J.member "message" frame) J.to_str)
+                in
+                let code =
+                  Option.value ~default:3
+                    (Option.bind (J.member "exit" frame) J.to_int)
+                in
+                Error (msg, code)
+            | _ ->
+                on_frame frame;
+                loop ())
+      in
+      loop ())

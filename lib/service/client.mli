@@ -1,0 +1,40 @@
+(** Client for the analysis daemon ({!Daemon}): one Unix-socket
+    connection per request, streaming progress frames, terminal
+    done/err frame. The daemon renders with {!Render}, the client
+    prints the shipped bytes verbatim — byte-identity with the local
+    CLI holds by construction. *)
+
+(** Connection failure (daemon not running, bad socket path). *)
+exception Client_error of string
+
+val ping_request : Util.Json.t
+
+val analyze_request :
+  source:string ->
+  config:string ->
+  fuel:int ->
+  loops:int ->
+  optimize:bool ->
+  Util.Json.t
+
+val campaign_request :
+  targets:(string * string) list ->
+  jobs:int ->
+  fuel:int ->
+  retries:int ->
+  ?wall:float ->
+  ?watchdog:float ->
+  unit ->
+  Util.Json.t
+
+(** Submit one request and consume the reply stream. Non-terminal
+    frames (["log"] lines, ["hb"] heartbeats) go to [on_frame] as they
+    arrive; returns [Ok frame] on the terminal ["done"]/["pong"] frame,
+    [Error (message, exit_code)] on an ["err"] frame or a dropped /
+    corrupted connection. Raises {!Client_error} only when the initial
+    connect fails. *)
+val submit :
+  socket:string ->
+  ?on_frame:(Util.Json.t -> unit) ->
+  Util.Json.t ->
+  (Util.Json.t, string * int) result

@@ -1,0 +1,290 @@
+(* The persistent analysis daemon behind `loopapalooza serve`: a
+   Unix-domain socket accepting one request per connection as
+   length-prefixed Util.Json frames (the Exec.Ipc codec, reused
+   verbatim), executing through the same Campaign.Runner / Loopa.Driver
+   paths as the CLI, cache-first when a cache directory is configured.
+
+   The accept loop is deliberately single-threaded: one request runs at
+   a time (the request itself parallelizes through the runner's forked
+   pool), which makes "graceful SIGTERM" trivial — the in-flight
+   request finishes, the loop observes the stop flag, the cache index
+   is flushed, the socket is unlinked. A SIGTERM that lands mid-
+   campaign is caught by the runner's own handler (Interrupted), which
+   this loop translates into an err frame for the client plus its own
+   stop flag, since the runner consumed the signal. *)
+
+module J = Util.Json
+
+let c_requests = Obs.Telemetry.counter "service.request"
+
+(* Mirror of the CLI's handle_errors_int classifier: same messages,
+   same documented exit codes, shipped to the client instead of
+   printed to stderr. *)
+let classify = function
+  | Frontend.Compile_error e ->
+      ("compile error: " ^ Frontend.error_to_string e, 1)
+  | Interp.Rvalue.Trap (kind, msg) ->
+      ( Printf.sprintf "runtime trap (%s): %s"
+          (Interp.Rvalue.trap_kind_to_string kind)
+          msg,
+        1 )
+  | Interp.Rvalue.Runtime_error msg -> ("runtime error: " ^ msg, 1)
+  | Invalid_argument msg | Loopa.Config.Bad_config msg -> ("error: " ^ msg, 2)
+  | Sys_error msg -> ("system error: " ^ msg, 2)
+  | Ir.Verifier.Invalid_ir msg ->
+      ("internal error: IR verifier rejected the module: " ^ msg, 3)
+  | Loopa.Crosscheck.Unsound msg -> ("internal error: " ^ msg, 3)
+  | Campaign.Runner.Interrupted ->
+      ("interrupted — daemon is shutting down; checkpointed results flushed", 6)
+  | Stack_overflow -> ("internal error: stack overflow", 3)
+  | e -> ("internal error: unexpected exception: " ^ Printexc.to_string e, 3)
+
+(* Frame writes tolerate a client that hung up mid-stream: the request
+   keeps running (its results still reach the cache), later sends
+   become no-ops. *)
+let sender conn =
+  let alive = ref true in
+  fun frame ->
+    if !alive then
+      try Exec.Ipc.write conn frame
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+      -> alive := false
+
+let err_frame msg code =
+  J.Obj [ ("ev", J.String "err"); ("message", J.String msg); ("exit", J.Int code) ]
+
+(* ---- request handlers ---- *)
+
+let handle_analyze ~cache send req =
+  let str k = Option.bind (J.member k req) J.to_str in
+  let geti k d = Option.value ~default:d (Option.bind (J.member k req) J.to_int) in
+  let source =
+    match str "source" with
+    | Some s -> s
+    | None -> raise (Invalid_argument "analyze request has no source")
+  in
+  let config = Option.value ~default:"reduc1-dep1-fn2 HELIX" (str "config") in
+  let fuel = geti "fuel" Loopa.Config.default_fuel in
+  let loops = geti "loops" 8 in
+  let optimize =
+    match J.member "optimize" req with Some (J.Bool b) -> b | _ -> false
+  in
+  let key =
+    Cache.key ~source
+      ~fingerprint:(Keys.analyze ~config ~fuel ~loops ~optimize)
+  in
+  let cached_text =
+    Option.bind cache (fun c ->
+        Option.bind (Cache.find c key) (fun v ->
+            Option.bind (J.member "text" v) J.to_str))
+  in
+  let text, cached =
+    match cached_text with
+    | Some text -> (text, true)
+    | None ->
+        let cfg = Loopa.Config.of_string config in
+        let a = Loopa.Driver.analyze_source ~fuel ~optimize source in
+        let text = Render.report ~show_loops:loops (Loopa.Driver.evaluate a cfg) in
+        Option.iter
+          (fun c ->
+            Cache.store c key
+              (J.Obj [ ("kind", J.String "analyze"); ("text", J.String text) ]))
+          cache;
+        (text, false)
+  in
+  send
+    (J.Obj
+       [ ("ev", J.String "done"); ("text", J.String text); ("cached", J.Bool cached) ])
+
+let handle_campaign ~cache send req =
+  let geti k d = Option.value ~default:d (Option.bind (J.member k req) J.to_int) in
+  let getf k = Option.bind (J.member k req) J.to_float in
+  let named =
+    match Option.bind (J.member "targets" req) J.to_list with
+    | None | Some [] -> raise (Invalid_argument "campaign request has no targets")
+    | Some l ->
+        List.map
+          (fun t ->
+            match
+              ( Option.bind (J.member "name" t) J.to_str,
+                Option.bind (J.member "src" t) J.to_str )
+            with
+            | Some name, Some src -> (name, src)
+            | _ ->
+                raise
+                  (Invalid_argument "campaign target needs {name, src} strings"))
+          l
+  in
+  let budgets =
+    {
+      Campaign.Runner.default_budgets with
+      Campaign.Runner.fuel = geti "fuel" Campaign.Runner.default_budgets.Campaign.Runner.fuel;
+      retries = geti "retries" 1;
+      wall_s = getf "wall";
+      watchdog_s = getf "watchdog";
+    }
+  in
+  let jobs = geti "jobs" 1 in
+  let executor =
+    if jobs > 1 then Campaign.Runner.Forked jobs else Campaign.Runner.Serial
+  in
+  let fingerprint =
+    Keys.campaign ~budgets ~configs:Loopa.Config.figure_ladder
+  in
+  let key_of target =
+    let src = List.assoc target named in
+    Cache.key ~source:src ~fingerprint
+  in
+  let cache_find target =
+    Option.bind cache (fun c ->
+        Option.bind (Cache.find c (key_of target)) (fun v ->
+            match Campaign.Runner.result_of_json v with
+            | Ok r -> Some { r with Campaign.Runner.target }
+            | Error _ -> None))
+  in
+  let cache_store target r =
+    Option.iter
+      (fun c -> Cache.store c (key_of target) (Campaign.Runner.result_to_json r))
+      cache
+  in
+  let ckpt = Filename.temp_file "loopa-daemon" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckpt with Sys_error _ -> ())
+    (fun () ->
+      let log line = send (J.Obj [ ("ev", J.String "log"); ("line", J.String line) ]) in
+      let heartbeat hb =
+        send
+          (J.Obj
+             [
+               ("ev", J.String "hb");
+               ("line", J.String (Campaign.Runner.heartbeat_line hb));
+             ])
+      in
+      let summary =
+        Campaign.Runner.run ~budgets ~checkpoint:ckpt ~log ~heartbeat ~executor
+          ~cache_find ~cache_store named
+      in
+      let checkpoint_bytes =
+        In_channel.with_open_text ckpt In_channel.input_all
+      in
+      send
+        (J.Obj
+           [
+             ("ev", J.String "done");
+             ("summary", J.String (Render.campaign_summary summary));
+             ("checkpoint", J.String checkpoint_bytes);
+             ("cached", J.Int summary.Campaign.Runner.n_cached);
+             ("total", J.Int (List.length summary.Campaign.Runner.results));
+           ]))
+
+(* ---- the daemon ---- *)
+
+let serve ~socket ?cache_dir ?cache_max_bytes ?metrics_port
+    ?(log = prerr_endline) () =
+  (* telemetry is always on in the daemon: /metrics must have content,
+     and cache.hit/miss counters must move even for socket requests *)
+  Obs.Telemetry.enable ();
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let cache = Option.map (Cache.open_dir ?max_bytes:cache_max_bytes) cache_dir in
+  let srv = Option.map (fun port -> Prof.Serve.start ~port ()) metrics_port in
+  Option.iter
+    (fun s -> log (Printf.sprintf "daemon: metrics on http://127.0.0.1:%d/metrics" (Prof.Serve.port s)))
+    srv;
+  let stop = ref false in
+  let on_signal = Sys.Signal_handle (fun _ -> stop := true) in
+  let prev_term = Sys.signal Sys.sigterm on_signal in
+  let prev_int = Sys.signal Sys.sigint on_signal in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 8;
+  log (Printf.sprintf "daemon: listening on %s" socket);
+  let publish () =
+    Option.iter
+      (fun srv ->
+        let hits, misses, evictions =
+          match cache with Some c -> Cache.stats c | None -> (0, 0, 0)
+        in
+        let requests = Obs.Telemetry.value c_requests in
+        (* aggregate service/cache series under stable plural names, on
+           top of the generic counter export *)
+        let extra =
+          Printf.sprintf
+            "# TYPE loopa_service_requests_total counter\n\
+             loopa_service_requests_total %d\n\
+             # TYPE loopa_cache_hits_total counter\n\
+             loopa_cache_hits_total %d\n\
+             # TYPE loopa_cache_misses_total counter\n\
+             loopa_cache_misses_total %d\n\
+             # TYPE loopa_cache_evictions_total counter\n\
+             loopa_cache_evictions_total %d\n"
+            requests hits misses evictions
+        in
+        let status =
+          J.Obj
+            ([
+               ("command", J.String "serve");
+               ("requests", J.Int requests);
+               ("cache_hits", J.Int hits);
+               ("cache_misses", J.Int misses);
+               ("cache_evictions", J.Int evictions);
+             ]
+            @
+            match cache with
+            | Some c ->
+                [
+                  ("cache_entries", J.Int (Cache.n_entries c));
+                  ("cache_bytes", J.Int (Cache.size_bytes c));
+                ]
+            | None -> [])
+        in
+        Prof.Serve.publish srv ~metrics:(Obs.Export.prometheus () ^ extra) ~status)
+      srv
+  in
+  publish ();
+  let handle_connection conn =
+    let send = sender conn in
+    match Exec.Ipc.read conn with
+    | Exec.Ipc.Eof -> ()
+    | exception Exec.Ipc.Protocol_error m ->
+        send (err_frame ("bad request frame: " ^ m) 2)
+    | Exec.Ipc.Msg req -> (
+        Obs.Telemetry.incr c_requests;
+        match Option.bind (J.member "op" req) J.to_str with
+        | Some "ping" -> send (J.Obj [ ("ev", J.String "pong") ])
+        | Some "analyze" -> handle_analyze ~cache send req
+        | Some "campaign" -> handle_campaign ~cache send req
+        | Some op -> send (err_frame (Printf.sprintf "unknown op %S" op) 2)
+        | None -> send (err_frame "request frame has no op" 2))
+  in
+  let accept_loop () =
+    while not !stop do
+      match Unix.select [ listen_fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ ->
+          let conn, _ = Unix.accept listen_fd in
+          let send = sender conn in
+          (try handle_connection conn with
+          | Campaign.Runner.Interrupted ->
+              (* the runner's handler ate the signal — honour it here *)
+              stop := true;
+              let msg, code = classify Campaign.Runner.Interrupted in
+              send (err_frame msg code)
+          | e ->
+              let msg, code = classify e in
+              send (err_frame msg code));
+          (try Unix.close conn with Unix.Unix_error _ -> ());
+          publish ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      Option.iter Cache.flush cache;
+      Option.iter Prof.Serve.stop srv;
+      log "daemon: drained, cache index flushed, bye")
+    accept_loop

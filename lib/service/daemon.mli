@@ -1,0 +1,32 @@
+(** The persistent analysis daemon ([loopapalooza serve]).
+
+    Protocol: one connection = one request, as length-prefixed
+    {!Util.Json} frames over a Unix-domain socket ({!Exec.Ipc}'s codec,
+    reused verbatim). Requests: [{"op":"ping"}], [{"op":"analyze", ...}]
+    ({!Client.analyze_request}), [{"op":"campaign", ...}]
+    ({!Client.campaign_request}). Replies stream [{"ev":"log"}] /
+    [{"ev":"hb"}] progress frames and terminate with [{"ev":"done"}]
+    (rendered text bytes, via {!Render}) or [{"ev":"err"}] (message +
+    the same exit code the CLI would have used).
+
+    With a cache directory configured, analyze and campaign requests are
+    served cache-first through {!Cache} using the same {!Keys}
+    fingerprints as the CLI, so daemon and CLI warm each other.
+
+    Requests execute one at a time; SIGTERM/SIGINT drain the in-flight
+    request, flush the cache index, unlink the socket and return. A
+    signal landing mid-campaign surfaces as an err frame (exit 6) to
+    the client, then the daemon stops. Metrics ([/metrics], [/status])
+    are republished after every request via {!Prof.Serve} when
+    [metrics_port] is given. *)
+
+(** Never returns until a SIGTERM/SIGINT has been honoured. Enables
+    telemetry unconditionally. [log] defaults to stderr. *)
+val serve :
+  socket:string ->
+  ?cache_dir:string ->
+  ?cache_max_bytes:int ->
+  ?metrics_port:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  unit

@@ -1,0 +1,23 @@
+(* Knob fingerprints for cache keys: every flag that can change the
+   bytes of a cached result must appear here, so "same key" implies
+   "same output". Each format string is versioned — bump the v-tag when
+   a renderer or the pipeline changes what a knob means, and old entries
+   miss cleanly instead of serving stale bytes. *)
+
+let analyze ~config ~fuel ~loops ~optimize =
+  Printf.sprintf "analyze|v1|config=%s|fuel=%d|loops=%d|optimize=%b" config
+    fuel loops optimize
+
+let sweep ~fuel = Printf.sprintf "sweep|v1|fuel=%d" fuel
+
+(* watchdog_s is deliberately absent: it only shapes Errored outcomes
+   (timeouts), and errored results are never stored *)
+let campaign ~(budgets : Campaign.Runner.budgets) ~configs =
+  Printf.sprintf "campaign|v1|fuel=%d|mem=%d|depth=%d|wall=%s|retries=%d|configs=%s"
+    budgets.Campaign.Runner.fuel budgets.Campaign.Runner.mem_limit
+    budgets.Campaign.Runner.max_depth
+    (match budgets.Campaign.Runner.wall_s with
+    | None -> "none"
+    | Some w -> Printf.sprintf "%g" w)
+    budgets.Campaign.Runner.retries
+    (String.concat "+" (List.map Loopa.Config.name configs))

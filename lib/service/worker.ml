@@ -1,0 +1,95 @@
+(* The far side of a TCP worker link: dial the coordinator, read one
+   init frame describing the job (campaign or sweep), then speak the
+   ordinary pool worker protocol over the same socket via
+   Exec.Pool.serve_loop. Campaign init decoding lives with the runner
+   (Campaign.Runner.remote_work_of_init) so the task body is the same
+   code local forked workers run; the sweep codec lives here because
+   sweep's task body is four rendered table cells, a CLI-level concern. *)
+
+module J = Util.Json
+
+let to_bool = function J.Bool b -> Some b | _ -> None
+
+(* Must mirror the CLI sweep's row rendering exactly: the coordinator
+   splices these cells into the same table whether the rung was
+   evaluated locally or remotely. *)
+let sweep_row (r : Loopa.Evaluate.report) =
+  [
+    Loopa.Config.name r.Loopa.Evaluate.config;
+    Printf.sprintf "%.2f" r.Loopa.Evaluate.speedup;
+    Printf.sprintf "%.1f" r.Loopa.Evaluate.coverage_pct;
+    Printf.sprintf "%.1f" r.Loopa.Evaluate.static_coverage_pct;
+  ]
+
+let sweep_init_json ~fuel ~configs ~src =
+  J.Obj
+    [
+      ("op", J.String "sweep-init");
+      ("src", J.String src);
+      ("fuel", J.Int fuel);
+      ("telemetry", J.Bool (Obs.Telemetry.enabled ()));
+      ( "configs",
+        J.List (List.map (fun c -> J.String (Loopa.Config.name c)) configs) );
+    ]
+
+let sweep_work_of_init j =
+  match Option.bind (J.member "op" j) J.to_str with
+  | Some "sweep-init" -> (
+      match Option.bind (J.member "src" j) J.to_str with
+      | None -> Error "sweep-init frame has no src"
+      | Some src -> (
+          let fuel =
+            Option.value ~default:Loopa.Config.default_fuel
+              (Option.bind (J.member "fuel" j) J.to_int)
+          in
+          let names =
+            match Option.bind (J.member "configs" j) J.to_list with
+            | Some l -> List.filter_map J.to_str l
+            | None -> []
+          in
+          if
+            Option.value ~default:false
+              (Option.bind (J.member "telemetry" j) to_bool)
+          then Obs.Telemetry.enable ();
+          match List.map Loopa.Config.of_string names with
+          | exception Loopa.Config.Bad_config m ->
+              Error ("sweep-init carries a bad config: " ^ m)
+          | [] -> Error "sweep-init carries no configs"
+          | configs ->
+              let configs = Array.of_list configs in
+              (* one analysis per connection; every rung evaluates against it *)
+              let a = Loopa.Driver.analyze_source ~fuel src in
+              Ok
+                (fun payload ->
+                  let k = Option.value ~default:0 (J.to_int payload) in
+                  J.List
+                    (List.map
+                       (fun s -> J.String s)
+                       (sweep_row (Loopa.Driver.evaluate a configs.(k)))))))
+  | _ -> Error "not a sweep-init frame"
+
+let serve_connection fd =
+  let init =
+    match Exec.Ipc.read fd with
+    | Exec.Ipc.Msg j -> j
+    | Exec.Ipc.Eof -> failwith "coordinator closed the link before init"
+  in
+  let work =
+    match Option.bind (J.member "op" init) J.to_str with
+    | Some "campaign-init" -> Campaign.Runner.remote_work_of_init init
+    | Some "sweep-init" -> sweep_work_of_init init
+    | Some op -> Error (Printf.sprintf "unknown init op %S" op)
+    | None -> Error "init frame has no op"
+  in
+  match work with
+  | Error m -> failwith m
+  | Ok work ->
+      let epilogue () =
+        if Obs.Telemetry.enabled () then Obs.Telemetry.wire_histograms ()
+        else J.Null
+      in
+      Exec.Pool.serve_loop ~rd:fd ~wr:fd ~epilogue ~work ()
+
+let run ~host ~port =
+  let fd = Exec.Remote.connect ~host ~port in
+  serve_connection fd

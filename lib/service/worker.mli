@@ -1,0 +1,29 @@
+(** The worker side of multi-host sharding ([loopapalooza worker
+    --connect host:port]): dial a waiting coordinator, decode its init
+    frame, and serve pool tasks over the socket until told to quit (or
+    the link drops). The process never survives the connection —
+    {!Exec.Pool.serve_loop} [_exit]s on "quit" and on transport loss. *)
+
+(** The four rendered cells of one sweep table row — shared with the
+    CLI's local sweep so remote and local rows are byte-identical. *)
+val sweep_row : Loopa.Evaluate.report -> string list
+
+(** The init frame a sweep coordinator sends each remote: source bytes,
+    fuel, the config ladder by name, and the coordinator's telemetry
+    state. *)
+val sweep_init_json :
+  fuel:int -> configs:Loopa.Config.t list -> src:string -> Util.Json.t
+
+(** Decode a sweep-init frame into the pool [work] function: analyzes
+    the source once, then maps rung-index payloads to rendered rows. *)
+val sweep_work_of_init :
+  Util.Json.t -> (Util.Json.t -> Util.Json.t, string) Stdlib.result
+
+(** Serve one established coordinator link (init frame, then the pool
+    protocol). Raises [Failure] on a bad init frame; otherwise never
+    returns. *)
+val serve_connection : Unix.file_descr -> unit
+
+(** Dial [host:port] ({!Exec.Remote.connect}) and serve. Never returns
+    on success. *)
+val run : host:string -> port:int -> unit

@@ -1,0 +1,426 @@
+(* The analysis-as-a-service layer: content-addressed cache semantics
+   (hit/miss/evict, knob-fingerprint sensitivity, corruption tolerance,
+   atomic concurrent writers), the daemon/client round trip (byte
+   identity against the local renderer, warm-cache second submission,
+   graceful SIGTERM), remote TCP workers driving a campaign to the same
+   results as a serial run, and chaos link faults (sever, stall). *)
+
+module J = Util.Json
+module Cache = Service.Cache
+module Keys = Service.Keys
+module Runner = Campaign.Runner
+
+let contains = Astring_contains.contains
+let quiet _ = ()
+
+let good_src =
+  {|
+fn main() -> int {
+  var a: int[] = new int[64];
+  for (var i: int = 0; i < 64; i = i + 1) { a[i] = i * 3; }
+  var s: int = 0;
+  for (var i: int = 0; i < 64; i = i + 1) { s = s + a[i]; }
+  print_int(s);
+  return 0;
+}
+|}
+
+let other_src =
+  {|
+fn main() -> int {
+  var s: int = 0;
+  for (var i: int = 0; i < 32; i = i + 1) { s = s + i; }
+  print_int(s);
+  return 0;
+}
+|}
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "svc-test-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* ---- cache semantics ---- *)
+
+let test_cache_hit_miss () =
+  with_tmp_dir (fun dir ->
+      let c = Cache.open_dir dir in
+      let k = Cache.key ~source:good_src ~fingerprint:"fp|v1" in
+      Alcotest.(check (option reject)) "cold miss" None (Cache.find c k);
+      Cache.store c k (J.String "payload");
+      (match Cache.find c k with
+      | Some (J.String "payload") -> ()
+      | _ -> Alcotest.fail "expected stored payload back");
+      let hits, misses, _ = Cache.stats c in
+      Alcotest.(check int) "one hit" 1 hits;
+      Alcotest.(check int) "one miss" 1 misses;
+      (* a second handle on the same directory sees the entry *)
+      let c2 = Cache.open_dir dir in
+      match Cache.find c2 k with
+      | Some (J.String "payload") -> ()
+      | _ -> Alcotest.fail "expected hit through a fresh handle")
+
+let test_cache_fingerprint_sensitivity () =
+  let fp1 = Keys.analyze ~config:"reduc1-dep1-fn2 HELIX" ~fuel:1000 ~loops:8 ~optimize:false in
+  let fp2 = Keys.analyze ~config:"reduc1-dep1-fn2 HELIX" ~fuel:2000 ~loops:8 ~optimize:false in
+  let fp3 = Keys.analyze ~config:"reduc1-dep1-fn2 HELIX" ~fuel:1000 ~loops:8 ~optimize:true in
+  let k source fp = Cache.key ~source ~fingerprint:fp in
+  Alcotest.(check bool) "fuel changes key" true (k good_src fp1 <> k good_src fp2);
+  Alcotest.(check bool) "optimize changes key" true (k good_src fp1 <> k good_src fp3);
+  Alcotest.(check bool) "source changes key" true (k good_src fp1 <> k other_src fp1);
+  (* the code revision is part of the key *)
+  Unix.putenv "LOOPA_GIT_REV" "rev-a";
+  let ka = k good_src fp1 in
+  Unix.putenv "LOOPA_GIT_REV" "rev-b";
+  let kb = k good_src fp1 in
+  Unix.putenv "LOOPA_GIT_REV" "";
+  Alcotest.(check bool) "revision changes key" true (ka <> kb);
+  with_tmp_dir (fun dir ->
+      let c = Cache.open_dir dir in
+      Cache.store c (k good_src fp1) (J.String "v1");
+      Alcotest.(check (option reject))
+        "different knobs miss" None
+        (Cache.find c (k good_src fp2)))
+
+let test_cache_eviction () =
+  with_tmp_dir (fun dir ->
+      (* entries are a few hundred bytes; a 1 KiB cap forces eviction *)
+      let c = Cache.open_dir ~max_bytes:1024 dir in
+      let pad = String.make 400 'x' in
+      let key i = Cache.key ~source:(string_of_int i) ~fingerprint:"evict" in
+      Cache.store c (key 1) (J.String pad);
+      Cache.store c (key 2) (J.String pad);
+      Cache.store c (key 3) (J.String pad);
+      let _, _, evictions = Cache.stats c in
+      Alcotest.(check bool) "evicted something" true (evictions > 0);
+      Alcotest.(check bool) "under the cap" true (Cache.size_bytes c <= 1024);
+      (* the just-written entry survives its own eviction pass *)
+      (match Cache.find c (key 3) with
+      | Some (J.String _) -> ()
+      | _ -> Alcotest.fail "newest entry must survive");
+      (* the LRU victim is gone *)
+      Alcotest.(check (option reject)) "oldest evicted" None (Cache.find c (key 1)))
+
+let test_cache_corrupt_entry_is_a_miss () =
+  with_tmp_dir (fun dir ->
+      let c = Cache.open_dir dir in
+      let k = Cache.key ~source:good_src ~fingerprint:"corrupt" in
+      Cache.store c k (J.String "good");
+      (* smash the entry on disk *)
+      let path = Filename.concat dir (k ^ ".json") in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "{ not json");
+      let c2 = Cache.open_dir dir in
+      Alcotest.(check (option reject)) "corrupt is a miss" None (Cache.find c2 k);
+      Alcotest.(check bool) "poisoned file dropped" false (Sys.file_exists path);
+      (* an entry that parses but identifies as another key is foreign *)
+      let k2 = Cache.key ~source:other_src ~fingerprint:"corrupt" in
+      let path2 = Filename.concat dir (k2 ^ ".json") in
+      Out_channel.with_open_text path2 (fun oc ->
+          Out_channel.output_string oc
+            (J.to_string
+               (J.Obj [ ("key", J.String "0000000000000000"); ("value", J.Null) ])));
+      let c3 = Cache.open_dir dir in
+      Alcotest.(check (option reject)) "foreign is a miss" None (Cache.find c3 k2))
+
+let test_cache_concurrent_writers () =
+  with_tmp_dir (fun dir ->
+      let k = Cache.key ~source:good_src ~fingerprint:"race" in
+      let big tag = J.String (tag ^ String.make 65536 (String.get tag 0)) in
+      let writer tag =
+        match Unix.fork () with
+        | 0 ->
+            (try
+               let c = Cache.open_dir dir in
+               for _ = 1 to 20 do
+                 Cache.store c k (big tag)
+               done
+             with _ -> Unix._exit 1);
+            Unix._exit 0
+        | pid -> pid
+      in
+      let a = writer "a" and b = writer "b" in
+      let reap pid =
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _ -> Alcotest.fail "writer child failed"
+      in
+      reap a;
+      reap b;
+      (* whatever rename won, the entry is whole: one of the two values,
+         never an interleaving *)
+      let c = Cache.open_dir dir in
+      match Cache.find c k with
+      | Some (J.String s) ->
+          Alcotest.(check bool) "intact value" true
+            (s = "a" ^ String.make 65536 'a' || s = "b" ^ String.make 65536 'b')
+      | _ -> Alcotest.fail "expected an intact entry after the race")
+
+(* ---- daemon round trip ---- *)
+
+let wait_for_socket path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec loop () =
+    if Sys.file_exists path then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "daemon socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      loop ()
+    end
+  in
+  loop ()
+
+let normalized_lines path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun line ->
+         match J.of_string line with
+         | Ok (J.Obj fields) ->
+             J.to_string
+               (J.Obj
+                  (List.filter
+                     (fun (k, _) -> k <> "wall_s" && k <> "telemetry")
+                     fields))
+         | _ -> line)
+
+let test_daemon_round_trip () =
+  with_tmp_dir (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      let cache_dir = Filename.concat dir "cache" in
+      let pid =
+        match Unix.fork () with
+        | 0 ->
+            (try Service.Daemon.serve ~socket ~cache_dir ~log:quiet ()
+             with _ -> Unix._exit 1);
+            Unix._exit 0
+        | pid -> pid
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          wait_for_socket socket;
+          (* ping *)
+          (match Service.Client.submit ~socket Service.Client.ping_request with
+          | Ok _ -> ()
+          | Error (m, _) -> Alcotest.failf "ping failed: %s" m);
+          (* analyze: bytes must equal the local renderer's *)
+          let fuel = 1_000_000 in
+          let config = "reduc1-dep1-fn2 HELIX" in
+          let req =
+            Service.Client.analyze_request ~source:good_src ~config ~fuel
+              ~loops:8 ~optimize:false
+          in
+          let expected =
+            Service.Render.report ~show_loops:8
+              (Loopa.Driver.evaluate
+                 (Loopa.Driver.analyze_source ~fuel ~optimize:false good_src)
+                 (Loopa.Config.of_string config))
+          in
+          let text_of frame =
+            Option.value ~default:""
+              (Option.bind (J.member "text" frame) J.to_str)
+          in
+          let cached_of frame =
+            match J.member "cached" frame with Some (J.Bool b) -> b | _ -> false
+          in
+          (match Service.Client.submit ~socket req with
+          | Ok frame ->
+              Alcotest.(check string) "analyze bytes" expected (text_of frame);
+              Alcotest.(check bool) "cold" false (cached_of frame)
+          | Error (m, _) -> Alcotest.failf "analyze failed: %s" m);
+          (match Service.Client.submit ~socket req with
+          | Ok frame ->
+              Alcotest.(check string) "warm bytes" expected (text_of frame);
+              Alcotest.(check bool) "warm hit" true (cached_of frame)
+          | Error (m, _) -> Alcotest.failf "warm analyze failed: %s" m);
+          (* campaign: checkpoint must normalize to a local serial run's *)
+          let named = [ ("good", good_src); ("other", other_src) ] in
+          let req =
+            Service.Client.campaign_request ~targets:named ~jobs:1 ~fuel
+              ~retries:1 ()
+          in
+          let progress = ref 0 in
+          let daemon_ckpt =
+            match
+              Service.Client.submit ~socket ~on_frame:(fun _ -> incr progress) req
+            with
+            | Ok frame ->
+                Option.value ~default:""
+                  (Option.bind (J.member "checkpoint" frame) J.to_str)
+            | Error (m, _) -> Alcotest.failf "campaign failed: %s" m
+          in
+          Alcotest.(check bool) "progress streamed" true (!progress > 0);
+          let budgets = { Runner.default_budgets with Runner.fuel; retries = 1 } in
+          let local_ckpt = Filename.concat dir "local.ckpt" in
+          ignore (Runner.run ~budgets ~checkpoint:local_ckpt ~log:quiet named);
+          let daemon_path = Filename.concat dir "daemon.ckpt" in
+          Out_channel.with_open_text daemon_path (fun oc ->
+              Out_channel.output_string oc daemon_ckpt);
+          Alcotest.(check (list string))
+            "normalized checkpoints identical" (normalized_lines local_ckpt)
+            (normalized_lines daemon_path);
+          (* second submission: every target served from the cache *)
+          (match Service.Client.submit ~socket req with
+          | Ok frame ->
+              let cached =
+                Option.value ~default:(-1)
+                  (Option.bind (J.member "cached" frame) J.to_int)
+              in
+              Alcotest.(check int) "100% cache hit-rate" 2 cached
+          | Error (m, _) -> Alcotest.failf "warm campaign failed: %s" m);
+          (* graceful SIGTERM: clean exit *)
+          Unix.kill pid Sys.sigterm;
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
+          | _ -> Alcotest.fail "daemon killed by signal"))
+
+(* ---- remote TCP workers ---- *)
+
+(* Fork a worker process that dials the coordinator and serves until the
+   pool tells it to quit. *)
+let spawn_worker port =
+  match Unix.fork () with
+  | 0 ->
+      (try Service.Worker.run ~host:"127.0.0.1" ~port with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid -> pid
+
+let with_remote f =
+  let lfd = Exec.Remote.listen ~host:"127.0.0.1" ~port:0 in
+  let port = Exec.Remote.bound_port lfd in
+  let wpid = spawn_worker port in
+  let fd =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+      (fun () -> Exec.Remote.accept_worker ~timeout_s:10.0 lfd)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Unix.kill wpid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] wpid) with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let status_sig (r : Runner.result) =
+  (r.Runner.target, Runner.status_to_string r.Runner.status)
+
+let test_remote_campaign_matches_serial () =
+  let named = [ ("good", good_src); ("other", other_src) ] in
+  let budgets = { Runner.default_budgets with Runner.fuel = 1_000_000 } in
+  let serial = Runner.run ~budgets ~log:quiet named in
+  let remote =
+    with_remote (fun fd ->
+        Runner.run ~budgets ~log:quiet ~executor:(Runner.Forked 1) ~remotes:[ fd ]
+          named)
+  in
+  Alcotest.(check (list (pair string string)))
+    "statuses match serial"
+    (List.map status_sig serial.Runner.results)
+    (List.map status_sig remote.Runner.results);
+  Alcotest.(check int) "all completed" 2 remote.Runner.n_completed
+
+let test_remote_link_sever () =
+  let named = [ ("good", good_src); ("other", other_src) ] in
+  let budgets = { Runner.default_budgets with Runner.fuel = 1_000_000 } in
+  let chaos = Exec.Chaos.explicit ~link_faults:[ (0, Exec.Chaos.Sever) ] [] in
+  let summary =
+    with_remote (fun fd ->
+        (* zero local workers: every task must go over the (sabotaged) link *)
+        Runner.run ~budgets ~log:quiet ~executor:(Runner.Forked 0)
+          ~remotes:[ fd ] ~chaos named)
+  in
+  (match (List.hd summary.Runner.results).Runner.status with
+  | Runner.Errored (Runner.Worker_lost cause) ->
+      Alcotest.(check string) "sever cause" Exec.Chaos.severed_link_cause cause
+  | st -> Alcotest.failf "expected worker-lost, got %s" (Runner.status_to_string st));
+  (* the second task still finishes — degraded serial completion *)
+  Alcotest.(check int) "other task completed" 1 summary.Runner.n_completed
+
+let test_remote_link_stall () =
+  let named = [ ("good", good_src); ("other", other_src) ] in
+  let budgets =
+    { Runner.default_budgets with Runner.fuel = 1_000_000; watchdog_s = Some 1.0 }
+  in
+  let chaos = Exec.Chaos.explicit ~link_faults:[ (0, Exec.Chaos.Stall) ] [] in
+  let summary =
+    with_remote (fun fd ->
+        Runner.run ~budgets ~log:quiet ~executor:(Runner.Forked 0)
+          ~remotes:[ fd ] ~chaos named)
+  in
+  (match (List.hd summary.Runner.results).Runner.status with
+  | Runner.Errored (Runner.Task_timeout cause) ->
+      Alcotest.(check bool) "timeout names the deadline" true
+        (contains cause "deadline" || contains cause "timeout" || cause <> "")
+  | st ->
+      Alcotest.failf "expected task-timeout, got %s" (Runner.status_to_string st));
+  Alcotest.(check int) "other task completed" 1 summary.Runner.n_completed
+
+(* ---- renderer ---- *)
+
+let test_render_campaign_summary_notes () =
+  let mk n_resumed n_cached =
+    {
+      Runner.results = [];
+      n_completed = 0;
+      n_truncated = 0;
+      n_errored = 0;
+      n_resumed;
+      n_cached;
+      n_degraded = 0;
+      geomeans = [];
+      failures = [];
+    }
+  in
+  let s = Service.Render.campaign_summary (mk 0 0) in
+  Alcotest.(check bool) "no notes" false (contains s "(");
+  let s = Service.Render.campaign_summary (mk 2 0) in
+  Alcotest.(check bool) "resumed note" true (contains s "(2 resumed from checkpoint)");
+  let s = Service.Render.campaign_summary (mk 1 3) in
+  Alcotest.(check bool) "both notes" true
+    (contains s "(1 resumed from checkpoint; 3 served from cache)")
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit / miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "fingerprint sensitivity" `Quick
+            test_cache_fingerprint_sensitivity;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "corrupt entry is a miss" `Quick
+            test_cache_corrupt_entry_is_a_miss;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_cache_concurrent_writers;
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "round trip + warm + SIGTERM" `Quick test_daemon_round_trip ] );
+      ( "remote",
+        [
+          Alcotest.test_case "campaign matches serial" `Quick
+            test_remote_campaign_matches_serial;
+          Alcotest.test_case "chaos: link sever" `Quick test_remote_link_sever;
+          Alcotest.test_case "chaos: link stall" `Quick test_remote_link_stall;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "summary notes" `Quick
+            test_render_campaign_summary_notes;
+        ] );
+    ]
